@@ -1,0 +1,82 @@
+// Reproduces Figure 4 of the paper: final per-layer precision of the CSQ
+// quantization schemes under different target bits (ResNet-20, A=3).
+//
+// Shape: layer profiles are broadly consistent across targets (layers keep
+// their relative ranking); the paper additionally observes a rising trend
+// toward the output layers, with fc among the highest-precision layers.
+#include <iomanip>
+#include <iostream>
+
+#include "harness.h"
+
+int main() {
+  using namespace csq;
+  using namespace csq::bench;
+
+  const Scale scale = Scale::from_mode();
+  print_banner("Figure 4: layer-wise precision under different targets",
+               scale);
+  const SyntheticDataset data = make_cifar(scale);
+
+  RunConfig config;
+  config.arch = Arch::resnet20;
+  config.epochs = scale.cifar_epochs;
+  config.base_width = scale.width_resnet20;
+  config.num_classes = data.train.num_classes();
+  config.act_bits = 3;
+
+  const std::vector<int> targets = {5, 4, 3, 2};
+  std::vector<CsqTrainResult> results;
+  for (const int target : targets) {
+    CsqRunOptions options;
+    options.target_bits = target;
+    CsqTrainResult result;
+    const Row row = run_csq(config, data, options, &result);
+    results.push_back(std::move(result));
+    std::cout << "  done: target " << target << " ("
+              << format_float(row.seconds, 1) << "s)\n";
+  }
+
+  TextTable table("Figure 4: per-layer precision (bits)");
+  std::vector<std::string> header = {"layer"};
+  for (const int target : targets) {
+    header.push_back("T" + std::to_string(target));
+  }
+  header.push_back("weights");
+  table.set_header(header);
+
+  const std::size_t layer_count = results[0].layer_bits.size();
+  for (std::size_t l = 0; l < layer_count; ++l) {
+    std::vector<std::string> cells = {results[0].layer_bits[l].name};
+    for (const CsqTrainResult& result : results) {
+      cells.push_back(std::to_string(result.layer_bits[l].bits));
+    }
+    cells.push_back(std::to_string(results[0].layer_bits[l].weight_count));
+    table.add_row(std::move(cells));
+  }
+  std::cout << '\n';
+  table.print(std::cout);
+
+  // Shape check: cross-target consistency of the per-layer ranking
+  // (Spearman-style sign agreement between adjacent targets).
+  std::cout << "\nshape check:\n";
+  for (std::size_t t = 1; t < targets.size(); ++t) {
+    int agree = 0, total = 0;
+    for (std::size_t a = 0; a < layer_count; ++a) {
+      for (std::size_t b = a + 1; b < layer_count; ++b) {
+        const int prev = results[t - 1].layer_bits[a].bits -
+                         results[t - 1].layer_bits[b].bits;
+        const int curr =
+            results[t].layer_bits[a].bits - results[t].layer_bits[b].bits;
+        if (prev == 0 || curr == 0) continue;
+        ++total;
+        if ((prev > 0) == (curr > 0)) ++agree;
+      }
+    }
+    std::cout << "  ranking agreement T" << targets[t - 1] << " vs T"
+              << targets[t] << ": "
+              << (total > 0 ? format_float(100.0 * agree / total, 1) : "n/a")
+              << "% of ordered layer pairs\n";
+  }
+  return 0;
+}

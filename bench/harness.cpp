@@ -1,0 +1,300 @@
+#include "harness.h"
+
+#include <iostream>
+
+#include "opt/trainer.h"
+#include "quant/act_quant.h"
+#include "quant/bsq_weight.h"
+#include "quant/dorefa_weight.h"
+#include "quant/lqnets_weight.h"
+#include "quant/ptq.h"
+#include "quant/ste_uniform_weight.h"
+#include "util/check.h"
+#include "util/env.h"
+#include "util/logging.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace csq::bench {
+
+const char* arch_name(Arch arch) {
+  switch (arch) {
+    case Arch::resnet20:
+      return "resnet20";
+    case Arch::vgg19bn:
+      return "vgg19bn";
+    case Arch::resnet18:
+      return "resnet18";
+    case Arch::resnet50:
+      return "resnet50";
+  }
+  return "?";
+}
+
+Scale Scale::from_mode() {
+  Scale scale;
+  scale.imagenet_epochs = 12;  // joint phase; CSQ annealing needs >= ~12
+  scale.imagenet_finetune = 4;
+  switch (bench_mode()) {
+    case BenchMode::smoke:
+      scale.cifar_train = 300;
+      scale.cifar_test = 200;
+      scale.imagenet_train = 400;
+      scale.imagenet_test = 200;
+      scale.cifar_epochs = 5;
+      scale.imagenet_epochs = 4;
+      scale.imagenet_finetune = 2;
+      scale.width_resnet20 = 4;
+      scale.width_vgg = 4;
+      scale.width_resnet18 = 4;
+      scale.width_resnet50 = 4;
+      break;
+    case BenchMode::normal:
+      break;  // defaults above
+    case BenchMode::full:
+      scale.cifar_train = 1600;
+      scale.cifar_test = 600;
+      scale.imagenet_train = 3000;
+      scale.imagenet_test = 800;
+      scale.cifar_epochs = 40;
+      scale.imagenet_epochs = 25;
+      scale.imagenet_finetune = 10;
+      scale.width_resnet20 = 12;
+      scale.width_vgg = 8;
+      scale.width_resnet18 = 12;
+      scale.width_resnet50 = 8;
+      break;
+  }
+  // Per-axis overrides for targeted reruns, e.g.
+  // CSQ_IMAGENET_EPOCHS=16 ./bench/table3_imagenet
+  scale.cifar_epochs = env_int("CSQ_CIFAR_EPOCHS", scale.cifar_epochs);
+  scale.imagenet_epochs =
+      env_int("CSQ_IMAGENET_EPOCHS", scale.imagenet_epochs);
+  scale.imagenet_finetune =
+      env_int("CSQ_IMAGENET_FINETUNE", scale.imagenet_finetune);
+  return scale;
+}
+
+void print_banner(const std::string& title, const Scale& scale) {
+  std::cout << "### " << title << '\n'
+            << "mode=" << bench_mode_name(bench_mode())
+            << " threads=" << global_pool().num_threads()
+            << " cifar=" << scale.cifar_train << "/" << scale.cifar_test
+            << " imagenet=" << scale.imagenet_train << "/"
+            << scale.imagenet_test << " epochs=" << scale.cifar_epochs << "/"
+            << scale.imagenet_epochs << "+" << scale.imagenet_finetune
+            << "\n\n";
+  set_log_level(LogLevel::warn);  // silence per-epoch chatter in benches
+}
+
+SyntheticDataset make_cifar(const Scale& scale) {
+  SyntheticConfig config = SyntheticConfig::cifar_like();
+  config.train_samples = scale.cifar_train;
+  config.test_samples = scale.cifar_test;
+  return make_synthetic(config);
+}
+
+SyntheticDataset make_imagenet(const Scale& scale) {
+  SyntheticConfig config = SyntheticConfig::imagenet_like();
+  config.train_samples = scale.imagenet_train;
+  config.test_samples = scale.imagenet_test;
+  return make_synthetic(config);
+}
+
+TextTable make_paper_table(const std::string& title) {
+  TextTable table(title);
+  table.set_header({"A-Bits", "Method", "W-Bits", "Comp(x)", "Acc(%)",
+                    "paper Acc(%)", "time(s)"});
+  return table;
+}
+
+void add_row(TextTable& table, const std::string& a_bits, const Row& row) {
+  table.add_row({a_bits, row.method, row.w_bits,
+                 format_float(row.compression, 2),
+                 format_float(row.accuracy, 2),
+                 row.paper_accuracy ? format_float(*row.paper_accuracy, 2)
+                                    : std::string("-"),
+                 format_float(row.seconds, 1)});
+}
+
+Model build_model(const RunConfig& config,
+                  const WeightSourceFactory& weight_factory,
+                  const ActQuantFactory& act_factory, Rng& rng) {
+  ModelConfig model_config;
+  model_config.num_classes = config.num_classes;
+  model_config.base_width = config.base_width;
+  switch (config.arch) {
+    case Arch::resnet20:
+      return make_resnet20(model_config, weight_factory, act_factory, rng);
+    case Arch::vgg19bn:
+      return make_vgg19bn(model_config, weight_factory, act_factory, rng);
+    case Arch::resnet18:
+      return make_resnet18(model_config, weight_factory, act_factory, rng);
+    case Arch::resnet50:
+      return make_resnet50(model_config, weight_factory, act_factory, rng);
+  }
+  CSQ_UNREACHABLE("unknown arch");
+}
+
+namespace {
+
+TrainConfig train_config_of(const RunConfig& config) {
+  TrainConfig train;
+  train.epochs = config.epochs;
+  train.batch_size = config.batch_size;
+  train.learning_rate = config.learning_rate;
+  train.weight_decay = config.weight_decay;
+  train.warmup_epochs = config.warmup_epochs;
+  train.seed = config.seed;
+  return train;
+}
+
+ActQuantFactory act_factory_of(const RunConfig& config) {
+  if (config.act_bits <= 0) return nullptr;
+  return fixed_act_quant_factory(config.act_bits);
+}
+
+// Trains with `fit` and fills the common row fields.
+Row run_generic(const RunConfig& config, const SyntheticDataset& data,
+                const WeightSourceFactory& weight_factory,
+                const ActQuantFactory& act_factory, std::string method,
+                std::string w_bits, const FitHooks& hooks = {}) {
+  Timer timer;
+  Rng rng(config.seed);
+  Model model = build_model(config, weight_factory, act_factory, rng);
+  const FitResult fit_result =
+      fit(model, data.train, data.test, train_config_of(config), hooks);
+  Row row;
+  row.method = std::move(method);
+  row.w_bits = std::move(w_bits);
+  row.compression = model.compression_ratio();
+  row.accuracy = fit_result.test_accuracy;
+  row.seconds = timer.seconds();
+  return row;
+}
+
+}  // namespace
+
+Row run_fp(const RunConfig& config, const SyntheticDataset& data) {
+  return run_generic(config, data, dense_weight_factory(),
+                     act_factory_of(config), "FP", "32");
+}
+
+Row run_ste_uniform(const RunConfig& config, const SyntheticDataset& data,
+                    int bits) {
+  return run_generic(config, data, ste_uniform_weight_factory(bits),
+                     act_factory_of(config), "STE-Uniform",
+                     std::to_string(bits));
+}
+
+Row run_dorefa(const RunConfig& config, const SyntheticDataset& data,
+               int bits) {
+  return run_generic(config, data, dorefa_weight_factory(bits),
+                     act_factory_of(config), "DoReFa", std::to_string(bits));
+}
+
+Row run_pact(const RunConfig& config, const SyntheticDataset& data,
+             int bits) {
+  // PACT quantizes activations with a learnable clip; weights use the
+  // uniform STE scheme at the same precision (as in the original paper's
+  // W/A co-quantized setting).
+  ActQuantFactory act = config.act_bits > 0
+                            ? pact_act_quant_factory(config.act_bits)
+                            : nullptr;
+  return run_generic(config, data, ste_uniform_weight_factory(bits), act,
+                     "PACT", std::to_string(bits));
+}
+
+Row run_lqnets(const RunConfig& config, const SyntheticDataset& data,
+               int bits) {
+  return run_generic(config, data, lqnets_weight_factory(bits),
+                     act_factory_of(config), "LQ-Nets", std::to_string(bits));
+}
+
+Row run_bsq(const RunConfig& config, const SyntheticDataset& data,
+            const BsqOptions& options) {
+  Timer timer;
+  Rng rng(config.seed);
+  std::vector<BsqWeightSource*> sources;
+  Model model = build_model(config, bsq_weight_factory(&sources),
+                            act_factory_of(config), rng);
+
+  FitHooks hooks;
+  hooks.before_step = [&]() {
+    for (BsqWeightSource* source : sources) {
+      source->add_sparsity_regularizer(options.sparsity_lambda);
+    }
+  };
+  hooks.on_epoch_end = [&](int epoch, float, float) {
+    if ((epoch + 1) % options.prune_every == 0) {
+      for (BsqWeightSource* source : sources) {
+        source->prune_bits(options.prune_threshold);
+      }
+    }
+  };
+  const FitResult fit_result =
+      fit(model, data.train, data.test, train_config_of(config), hooks);
+
+  Row row;
+  row.method = "BSQ";
+  row.w_bits = "MP";
+  row.compression = model.compression_ratio();
+  row.accuracy = fit_result.test_accuracy;
+  row.seconds = timer.seconds();
+  return row;
+}
+
+Row run_csq(const RunConfig& config, const SyntheticDataset& data,
+            const CsqRunOptions& options, CsqTrainResult* result_out) {
+  Timer timer;
+  Rng rng(config.seed);
+  std::vector<CsqWeightSource*> sources;
+  CsqWeightOptions weight_options;
+  weight_options.fixed_precision = options.fixed_precision;
+  Model model =
+      build_model(config, csq_weight_factory(&sources, weight_options),
+                  act_factory_of(config), rng);
+
+  CsqTrainConfig csq_config;
+  csq_config.train = train_config_of(config);
+  csq_config.lambda = options.lambda;
+  csq_config.target_bits = options.target_bits;
+  csq_config.finetune_epochs = options.finetune_epochs;
+  const CsqTrainResult result =
+      train_csq(model, sources, data.train, data.test, csq_config);
+  if (result_out != nullptr) *result_out = result;
+
+  Row row;
+  row.method = options.fixed_precision > 0
+                   ? "CSQ-Uniform"
+                   : "CSQ T" + std::to_string(
+                                   static_cast<int>(options.target_bits));
+  row.w_bits = options.fixed_precision > 0
+                   ? std::to_string(options.fixed_precision)
+                   : "MP";
+  row.compression = result.compression;
+  row.accuracy = result.test_accuracy;
+  row.seconds = timer.seconds();
+  return row;
+}
+
+Row run_ptq(const RunConfig& config, const SyntheticDataset& data, int bits,
+            bool percentile) {
+  Timer timer;
+  Rng rng(config.seed);
+  Model model = build_model(config, dense_weight_factory(),
+                            act_factory_of(config), rng);
+  fit(model, data.train, data.test, train_config_of(config));
+  quantize_dense_weights(model, bits,
+                         percentile ? PtqCalibration::percentile
+                                    : PtqCalibration::max_abs);
+  Row row;
+  row.method = percentile ? "PTQ-pct (ZAQ-like)" : "PTQ-max (ZeroQ-like)";
+  row.w_bits = std::to_string(bits);
+  row.compression = 32.0 / bits;
+  row.accuracy = evaluate_accuracy(model, data.test);
+  row.seconds = timer.seconds();
+  return row;
+}
+
+}  // namespace csq::bench

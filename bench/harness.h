@@ -1,0 +1,124 @@
+// Shared experiment harness for the paper-reproduction benches.
+//
+// Each bench binary reproduces one table or figure of the paper. This
+// header provides: workload scaling (CSQ_BENCH_MODE=smoke|default|full),
+// dataset construction, one runner per quantization method, and row
+// formatting that mirrors the paper's table layout, including the paper's
+// published number as a reference column ("the shape, not the absolute
+// value, is the reproduction target" — see EXPERIMENTS.md).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/csq_trainer.h"
+#include "data/synthetic.h"
+#include "nn/models.h"
+#include "util/table.h"
+
+namespace csq::bench {
+
+enum class Arch { resnet20, vgg19bn, resnet18, resnet50 };
+
+const char* arch_name(Arch arch);
+
+// Workload scaling by bench mode.
+struct Scale {
+  // Default mode is sized so the whole suite finishes in ~30 minutes on a
+  // multicore CPU while preserving the paper's qualitative shapes; CSQ's
+  // temperature annealing needs >= ~20 epochs to organize the bit-level
+  // representation, which lower-bounds the CIFAR epoch count.
+  std::int64_t cifar_train = 640;
+  std::int64_t cifar_test = 320;
+  std::int64_t imagenet_train = 1000;
+  std::int64_t imagenet_test = 400;
+  int cifar_epochs = 22;
+  int imagenet_epochs = 8;
+  int imagenet_finetune = 3;
+  std::int64_t width_resnet20 = 8;
+  std::int64_t width_vgg = 4;
+  std::int64_t width_resnet18 = 8;
+  std::int64_t width_resnet50 = 6;
+
+  static Scale from_mode();
+};
+
+// Prints the standard bench banner (mode, threads, workload sizes).
+void print_banner(const std::string& title, const Scale& scale);
+
+SyntheticDataset make_cifar(const Scale& scale);
+SyntheticDataset make_imagenet(const Scale& scale);
+
+// One table row in the paper's format.
+struct Row {
+  std::string method;
+  std::string w_bits;       // "32", "3", "MP", ...
+  double compression = 1.0; // 32 / avg weight bits
+  double accuracy = 0.0;    // top-1 %
+  std::optional<double> paper_accuracy;  // published number, for shape check
+  double seconds = 0.0;     // wall clock of the run
+};
+
+void add_row(TextTable& table, const std::string& a_bits, const Row& row);
+
+// Standard header for the tables: A-Bits | Method | W-Bits | Comp | Acc |
+// paper Acc | time.
+TextTable make_paper_table(const std::string& title);
+
+// ---- method runners ----------------------------------------------------
+// All runners train from scratch on `data` and return a filled Row.
+// `act_bits` == 0 means full-precision activations (the "32" blocks).
+
+struct RunConfig {
+  Arch arch = Arch::resnet20;
+  int epochs = 15;
+  int act_bits = 0;
+  std::int64_t batch_size = 50;
+  float learning_rate = 0.1f;
+  float weight_decay = 5e-4f;
+  int warmup_epochs = 0;
+  std::uint64_t seed = 7;
+  int num_classes = 10;
+  std::int64_t base_width = 8;
+};
+
+Model build_model(const RunConfig& config,
+                  const WeightSourceFactory& weight_factory,
+                  const ActQuantFactory& act_factory, Rng& rng);
+
+Row run_fp(const RunConfig& config, const SyntheticDataset& data);
+Row run_ste_uniform(const RunConfig& config, const SyntheticDataset& data,
+                    int bits);
+Row run_dorefa(const RunConfig& config, const SyntheticDataset& data,
+               int bits);
+// PACT: learnable-clip activation quantization + uniform STE weights.
+Row run_pact(const RunConfig& config, const SyntheticDataset& data, int bits);
+Row run_lqnets(const RunConfig& config, const SyntheticDataset& data,
+               int bits);
+
+struct BsqOptions {
+  float sparsity_lambda = 1e-3f;
+  int prune_every = 4;
+  float prune_threshold = 0.03f;
+};
+Row run_bsq(const RunConfig& config, const SyntheticDataset& data,
+            const BsqOptions& options = {});
+
+struct CsqRunOptions {
+  double target_bits = 3.0;
+  double lambda = 0.01;
+  int fixed_precision = 0;  // CSQ-Uniform arm when > 0
+  int finetune_epochs = 0;
+};
+// Returns the row plus the full training result (for figure benches).
+Row run_csq(const RunConfig& config, const SyntheticDataset& data,
+            const CsqRunOptions& options,
+            CsqTrainResult* result_out = nullptr);
+
+// Post-training quantization of a pretrained FP model (ZeroQ/ZAQ stand-in
+// rows of Table II). `percentile` selects the outlier-clipping calibrator.
+Row run_ptq(const RunConfig& config, const SyntheticDataset& data, int bits,
+            bool percentile);
+
+}  // namespace csq::bench

@@ -1,0 +1,152 @@
+// google-benchmark microbenchmarks for the hot kernels that bound training
+// throughput: GEMM (all three transpose forms), im2col convolution, the
+// temperature-sigmoid gate, and the CSQ bi-level materialize/backward pair.
+#include <benchmark/benchmark.h>
+
+#include "core/csq_weight.h"
+#include "core/gate.h"
+#include "nn/conv2d.h"
+#include "nn/weight_source.h"
+#include "tensor/gemm.h"
+#include "tensor/im2col.h"
+#include "tensor/init.h"
+#include "util/rng.h"
+
+namespace csq {
+namespace {
+
+Tensor random_tensor(std::vector<std::int64_t> shape, Rng& rng) {
+  Tensor tensor(std::move(shape));
+  fill_uniform(tensor, -1.0f, 1.0f, rng);
+  return tensor;
+}
+
+void BM_GemmNN(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a = random_tensor({n, n}, rng);
+  Tensor b = random_tensor({n, n}, rng);
+  Tensor c({n, n});
+  for (auto _ : state) {
+    gemm(Trans::no, Trans::no, n, n, n, 1.0f, a.data(), n, b.data(), n, 0.0f,
+         c.data(), n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_GemmNN)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_GemmNT(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  Rng rng(2);
+  Tensor a = random_tensor({n, n}, rng);
+  Tensor b = random_tensor({n, n}, rng);
+  Tensor c({n, n});
+  for (auto _ : state) {
+    gemm(Trans::no, Trans::yes, n, n, n, 1.0f, a.data(), n, b.data(), n, 0.0f,
+         c.data(), n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_GemmNT)->Arg(64)->Arg(128);
+
+void BM_GemmParallel(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  Rng rng(3);
+  Tensor a = random_tensor({n, n}, rng);
+  Tensor b = random_tensor({n, n}, rng);
+  Tensor c({n, n});
+  for (auto _ : state) {
+    gemm_parallel(Trans::no, Trans::no, n, n, n, 1.0f, a.data(), n, b.data(),
+                  n, 0.0f, c.data(), n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_GemmParallel)->Arg(256)->Arg(512);
+
+void BM_ConvForward(benchmark::State& state) {
+  const std::int64_t channels = state.range(0);
+  Rng rng(4);
+  Conv2dConfig config;
+  config.in_channels = channels;
+  config.out_channels = channels;
+  Conv2d conv("conv", config, dense_weight_factory(), rng);
+  Tensor input = random_tensor({16, channels, 16, 16}, rng);
+  for (auto _ : state) {
+    Tensor out = conv.forward(input, /*training=*/false);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 16 * 2 * channels * channels *
+                          9 * 16 * 16);
+}
+BENCHMARK(BM_ConvForward)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_Im2Col(benchmark::State& state) {
+  Rng rng(5);
+  ConvGeometry geom;
+  geom.channels = state.range(0);
+  geom.height = 16;
+  geom.width = 16;
+  geom.kernel_h = geom.kernel_w = 3;
+  geom.stride = 1;
+  geom.pad = 1;
+  Tensor image = random_tensor({geom.channels, 16, 16}, rng);
+  Tensor col({geom.col_rows(), geom.col_cols()});
+  for (auto _ : state) {
+    im2col(geom, image.data(), col.data());
+    benchmark::DoNotOptimize(col.data());
+  }
+}
+BENCHMARK(BM_Im2Col)->Arg(8)->Arg(32);
+
+void BM_GateEval(benchmark::State& state) {
+  Rng rng(6);
+  Tensor logits = random_tensor({state.range(0)}, rng);
+  Tensor out(logits.shape());
+  for (auto _ : state) {
+    const float* in = logits.data();
+    float* dst = out.data();
+    for (std::int64_t i = 0; i < logits.numel(); ++i) {
+      dst[i] = gate(in[i], 37.0f);
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * logits.numel());
+}
+BENCHMARK(BM_GateEval)->Arg(4096)->Arg(65536);
+
+void BM_CsqMaterialize(benchmark::State& state) {
+  const std::int64_t side = state.range(0);
+  Rng rng(7);
+  CsqWeightOptions options;
+  CsqWeightSource source("layer", {side, side}, side, options, rng);
+  source.set_beta(13.0f);
+  for (auto _ : state) {
+    const Tensor& w = source.weight(/*training=*/false);
+    benchmark::DoNotOptimize(w.data());
+  }
+  state.SetItemsProcessed(state.iterations() * side * side * 8);
+}
+BENCHMARK(BM_CsqMaterialize)->Arg(32)->Arg(96);
+
+void BM_CsqMaterializeAndBackward(benchmark::State& state) {
+  const std::int64_t side = state.range(0);
+  Rng rng(8);
+  CsqWeightOptions options;
+  CsqWeightSource source("layer", {side, side}, side, options, rng);
+  source.set_beta(13.0f);
+  Tensor grad = random_tensor({side, side}, rng);
+  for (auto _ : state) {
+    source.weight(/*training=*/true);
+    source.backward(grad);
+  }
+  state.SetItemsProcessed(state.iterations() * side * side * 8);
+}
+BENCHMARK(BM_CsqMaterializeAndBackward)->Arg(32)->Arg(96);
+
+}  // namespace
+}  // namespace csq
+
+BENCHMARK_MAIN();

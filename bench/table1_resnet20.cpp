@@ -1,0 +1,64 @@
+// Reproduces Table I of the paper: quantization results of ResNet-20 on
+// (synthetic) CIFAR-10 across activation precisions 32 / 3 / 2.
+//
+// Shape expectations (see EXPERIMENTS.md): CSQ rows Pareto-match or beat
+// the uniform-QAT baselines at equal-or-higher compression; BSQ sits
+// between uniform QAT and CSQ; compression ratios track 32 / target bits.
+#include <iostream>
+
+#include "harness.h"
+
+int main() {
+  using namespace csq;
+  using namespace csq::bench;
+
+  const Scale scale = Scale::from_mode();
+  print_banner("Table I: ResNet-20 on synthetic CIFAR-10", scale);
+  const SyntheticDataset data = make_cifar(scale);
+
+  RunConfig config;
+  config.arch = Arch::resnet20;
+  config.epochs = scale.cifar_epochs;
+  config.base_width = scale.width_resnet20;
+  config.num_classes = data.train.num_classes();
+
+  TextTable table = make_paper_table("Table I (paper: Table I)");
+  const auto emit = [&](const std::string& a_bits, Row row, double paper) {
+    row.paper_accuracy = paper;
+    add_row(table, a_bits, row);
+    std::cout << "  done: A" << a_bits << " " << row.method << " ("
+              << format_float(row.seconds, 1) << "s)\n";
+  };
+
+  // ---- A-Bits = 32 (full-precision activations) -----------------------
+  config.act_bits = 0;
+  emit("32", run_fp(config, data), 92.62);
+  emit("32", run_lqnets(config, data, 3), 92.00);
+  emit("32", run_bsq(config, data), 91.87);
+  emit("32", run_csq(config, data, {.target_bits = 1.0}), 91.70);
+  emit("32", run_csq(config, data, {.target_bits = 2.0}), 92.68);
+
+  // ---- A-Bits = 3 ------------------------------------------------------
+  table.add_rule();
+  config.act_bits = 3;
+  emit("3", run_lqnets(config, data, 3), 91.60);
+  emit("3", run_pact(config, data, 3), 91.10);
+  emit("3", run_dorefa(config, data, 3), 89.90);
+  emit("3", run_bsq(config, data), 92.16);
+  emit("3", run_csq(config, data, {.target_bits = 2.0}), 92.14);
+  emit("3", run_csq(config, data, {.target_bits = 3.0}), 92.42);
+
+  // ---- A-Bits = 2 ------------------------------------------------------
+  table.add_rule();
+  config.act_bits = 2;
+  emit("2", run_lqnets(config, data, 2), 90.20);
+  emit("2", run_pact(config, data, 2), 89.70);
+  emit("2", run_dorefa(config, data, 2), 88.20);
+  emit("2", run_bsq(config, data), 90.19);
+  emit("2", run_csq(config, data, {.target_bits = 1.0}), 90.08);
+  emit("2", run_csq(config, data, {.target_bits = 2.0}), 90.33);
+
+  std::cout << '\n';
+  table.print(std::cout);
+  return 0;
+}

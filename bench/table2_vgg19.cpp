@@ -1,0 +1,76 @@
+// Reproduces Table II of the paper: VGG19BN on (synthetic) CIFAR-10.
+//
+// The ZeroQ / ZAQ rows are represented by post-training quantization with
+// max-abs and percentile calibration (data-free PTQ family; see DESIGN.md
+// substitutions). QUANOS and the non-linear quantizer of [23] are not
+// reimplemented; their rows print the paper value only.
+#include <iostream>
+
+#include "harness.h"
+
+int main() {
+  using namespace csq;
+  using namespace csq::bench;
+
+  const Scale scale = Scale::from_mode();
+  print_banner("Table II: VGG19BN on synthetic CIFAR-10", scale);
+
+  // VGG19 has five 2x2 max-pools: input must be 32x32.
+  SyntheticConfig data_config = SyntheticConfig::cifar_like();
+  data_config.train_samples = scale.cifar_train;
+  data_config.test_samples = scale.cifar_test;
+  data_config.height = 32;
+  data_config.width = 32;
+  const SyntheticDataset data = make_synthetic(data_config);
+
+  RunConfig config;
+  config.arch = Arch::vgg19bn;
+  config.epochs = scale.cifar_epochs;
+  config.base_width = scale.width_vgg;
+  config.num_classes = data.train.num_classes();
+
+  TextTable table = make_paper_table("Table II (paper: Table II)");
+  const auto emit = [&](const std::string& a_bits, Row row, double paper) {
+    row.paper_accuracy = paper;
+    add_row(table, a_bits, row);
+    std::cout << "  done: A" << a_bits << " " << row.method << " ("
+              << format_float(row.seconds, 1) << "s)\n";
+  };
+  const auto paper_only = [&](const std::string& a_bits,
+                              const std::string& method,
+                              const std::string& w_bits, double comp,
+                              double paper) {
+    table.add_row({a_bits, method + " (not reimpl.)", w_bits,
+                   format_float(comp, 2), "-", format_float(paper, 2), "-"});
+  };
+
+  // ---- A-Bits = 32 -----------------------------------------------------
+  config.act_bits = 0;
+  emit("32", run_fp(config, data), 94.22);
+  emit("32", run_lqnets(config, data, 3), 93.80);
+  emit("32", run_csq(config, data, {.target_bits = 2.0}), 94.10);
+
+  // ---- A-Bits = 8 ------------------------------------------------------
+  table.add_rule();
+  config.act_bits = 8;
+  emit("8", run_ptq(config, data, 4, /*percentile=*/false), 92.69);
+  emit("8", run_ptq(config, data, 4, /*percentile=*/true), 93.06);
+  emit("8", run_csq(config, data, {.target_bits = 3.0}), 93.90);
+
+  // ---- A-Bits = 4 ------------------------------------------------------
+  table.add_rule();
+  config.act_bits = 4;
+  paper_only("4", "QUANOS", "MP", 7.11, 90.70);
+  emit("4", run_csq(config, data, {.target_bits = 3.0}), 93.62);
+
+  // ---- A-Bits = 3 ------------------------------------------------------
+  table.add_rule();
+  config.act_bits = 3;
+  emit("3", run_lqnets(config, data, 3), 93.80);
+  paper_only("3", "Non-Linear [23]", "3", 9.14, 93.40);
+  emit("3", run_csq(config, data, {.target_bits = 2.0}), 93.58);
+
+  std::cout << '\n';
+  table.print(std::cout);
+  return 0;
+}

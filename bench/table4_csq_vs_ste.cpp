@@ -1,0 +1,77 @@
+// Reproduces Table IV of the paper (ablation): STE-based QAT vs bit-level
+// continuous sparsification, at fixed uniform precision and with the full
+// bi-level mixed-precision scheme. ResNet-20, 3-bit activations.
+//
+// Note on shape: on the synthetic substrate the capacity cliff sits at
+// 1-2 bits rather than the paper's 2-4 (the task is easier relative to the
+// model), so the W=1 column is included — the ordering
+// STE-Uniform << CSQ-Uniform <= CSQ-MP at the cliff is the reproduced claim.
+#include <iostream>
+
+#include "harness.h"
+
+int main() {
+  using namespace csq;
+  using namespace csq::bench;
+
+  const Scale scale = Scale::from_mode();
+  print_banner("Table IV: CSQ vs STE-based QAT (ResNet-20, A=3)", scale);
+  const SyntheticDataset data = make_cifar(scale);
+
+  RunConfig config;
+  config.arch = Arch::resnet20;
+  config.epochs = scale.cifar_epochs;
+  config.base_width = scale.width_resnet20;
+  config.num_classes = data.train.num_classes();
+  config.act_bits = 3;
+
+  TextTable table("Table IV (paper: Table IV)");
+  table.set_header({"W-Bits", "QAT method", "Acc(%)", "paper Acc(%)",
+                    "avg bits", "time(s)"});
+
+  // Paper accuracies for W = 4 / 3 / 2 (W = 1 is substrate-specific).
+  struct PaperRef {
+    double ste, uniform, mp;
+  };
+  const std::vector<std::pair<int, PaperRef>> cases = {
+      {4, {88.89, 91.93, 92.68}},
+      {3, {87.68, 91.74, 92.62}},
+      {2, {84.35, 91.67, 92.34}},
+      {1, {-1.0, -1.0, -1.0}},
+  };
+
+  for (const auto& [bits, paper] : cases) {
+    if (bits != 4) table.add_rule();
+    const auto paper_cell = [](double value) {
+      return value > 0 ? format_float(value, 2) : std::string("-");
+    };
+
+    Row ste = run_ste_uniform(config, data, bits);
+    table.add_row({std::to_string(bits), "STE-Uniform [27]",
+                   format_float(ste.accuracy, 2), paper_cell(paper.ste),
+                   std::to_string(bits), format_float(ste.seconds, 1)});
+    std::cout << "  done: W" << bits << " STE\n";
+
+    CsqRunOptions uniform;
+    uniform.fixed_precision = bits;
+    Row csq_u = run_csq(config, data, uniform);
+    table.add_row({std::to_string(bits), "CSQ-Uniform",
+                   format_float(csq_u.accuracy, 2), paper_cell(paper.uniform),
+                   std::to_string(bits), format_float(csq_u.seconds, 1)});
+    std::cout << "  done: W" << bits << " CSQ-Uniform\n";
+
+    CsqRunOptions mixed;
+    mixed.target_bits = bits;
+    CsqTrainResult mixed_result;
+    Row csq_mp = run_csq(config, data, mixed, &mixed_result);
+    table.add_row({std::to_string(bits), "CSQ-MP",
+                   format_float(csq_mp.accuracy, 2), paper_cell(paper.mp),
+                   format_float(mixed_result.average_bits, 2),
+                   format_float(csq_mp.seconds, 1)});
+    std::cout << "  done: W" << bits << " CSQ-MP\n";
+  }
+
+  std::cout << '\n';
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Reproduces Table V of the paper: accuracy-model size tradeoff of CSQ
+// under target precisions 1..5 bits (ResNet-20, A=3), plus the FP
+// reference. Shape: achieved average precision tracks the target;
+// compression = 32 / avg bits; accuracy degrades gracefully as the budget
+// tightens and collapses only at the lowest budget.
+#include <iostream>
+
+#include "harness.h"
+
+int main() {
+  using namespace csq;
+  using namespace csq::bench;
+
+  const Scale scale = Scale::from_mode();
+  print_banner("Table V: accuracy-size tradeoff under target bits", scale);
+  const SyntheticDataset data = make_cifar(scale);
+
+  RunConfig config;
+  config.arch = Arch::resnet20;
+  config.epochs = scale.cifar_epochs;
+  config.base_width = scale.width_resnet20;
+  config.num_classes = data.train.num_classes();
+  config.act_bits = 3;
+
+  TextTable table("Table V (paper: Table V)");
+  table.set_header({"Target", "Ave. prec.", "Comp(x)", "CSQ acc(%)",
+                    "paper prec.", "paper acc(%)", "time(s)"});
+
+  struct PaperRef {
+    double precision, accuracy;
+  };
+  const std::vector<std::pair<int, PaperRef>> targets = {
+      {1, {1.00, 90.33}}, {2, {1.97, 91.70}}, {3, {3.05, 92.42}},
+      {4, {4.00, 92.51}}, {5, {5.05, 92.61}},
+  };
+
+  for (const auto& [target, paper] : targets) {
+    CsqRunOptions options;
+    options.target_bits = target;
+    CsqTrainResult result;
+    const Row row = run_csq(config, data, options, &result);
+    table.add_row({std::to_string(target) + "-bit",
+                   format_float(result.average_bits, 2),
+                   format_float(result.compression, 2),
+                   format_float(row.accuracy, 2),
+                   format_float(paper.precision, 2),
+                   format_float(paper.accuracy, 2),
+                   format_float(row.seconds, 1)});
+    std::cout << "  done: target " << target << "\n";
+  }
+
+  // FP reference column of the paper's Table V.
+  config.act_bits = 0;
+  const Row fp = run_fp(config, data);
+  table.add_rule();
+  table.add_row({"FP", "32.00", "1.00", format_float(fp.accuracy, 2), "32.00",
+                 "92.62", format_float(fp.seconds, 1)});
+
+  std::cout << '\n';
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Head-to-head ablation (the paper's Table IV story): the same ResNet-20
+// trained three ways at the same weight precision —
+//   1. STE-Uniform QAT (latent weights, straight-through rounding),
+//   2. CSQ-Uniform (bit-level continuous sparsification, fixed precision),
+//   3. CSQ-MP (bi-level: bit values + learned bit selection under a budget)
+// — demonstrating why the gradient path matters at aggressive precisions.
+//
+//   $ ./examples/ablation_ste_vs_csq [bits]   (default 1)
+#include <cstdlib>
+#include <iostream>
+
+#include "core/csq_trainer.h"
+#include "data/synthetic.h"
+#include "nn/models.h"
+#include "opt/trainer.h"
+#include "quant/act_quant.h"
+#include "quant/ste_uniform_weight.h"
+#include "util/logging.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace csq;
+  set_log_level(LogLevel::warn);
+  const int bits = argc > 1 ? std::atoi(argv[1]) : 1;
+
+  const SyntheticDataset data = make_synthetic(SyntheticConfig::cifar_like());
+  std::cout << "ablation at W=" << bits << " bits, A=3 (ResNet-20)\n";
+
+  TextTable table("STE vs continuous sparsification");
+  table.set_header({"method", "gradient path", "avg bits", "Acc(%)"});
+
+  ModelConfig model_config;
+  model_config.num_classes = data.train.num_classes();
+  model_config.base_width = 8;
+
+  TrainConfig train_config;
+  train_config.epochs = 20;
+  train_config.batch_size = 50;
+  train_config.learning_rate = 0.1f;
+
+  {  // 1. STE-Uniform
+    Rng rng(7);
+    Model model = make_resnet20(model_config, ste_uniform_weight_factory(bits),
+                                fixed_act_quant_factory(3), rng);
+    const FitResult result = fit(model, data.train, data.test, train_config);
+    table.add_row({"STE-Uniform [27]", "straight-through estimate",
+                   std::to_string(bits), format_float(result.test_accuracy, 2)});
+    std::cout << "  STE-Uniform done\n";
+  }
+  {  // 2. CSQ-Uniform
+    std::vector<CsqWeightSource*> sources;
+    CsqWeightOptions options;
+    options.fixed_precision = bits;
+    Rng rng(7);
+    Model model = make_resnet20(model_config, csq_weight_factory(&sources,
+                                                                 options),
+                                fixed_act_quant_factory(3), rng);
+    CsqTrainConfig config;
+    config.train = train_config;
+    const CsqTrainResult result =
+        train_csq(model, sources, data.train, data.test, config);
+    table.add_row({"CSQ-Uniform", "analytic (annealed gates)",
+                   std::to_string(bits), format_float(result.test_accuracy, 2)});
+    std::cout << "  CSQ-Uniform done\n";
+  }
+  {  // 3. CSQ-MP
+    std::vector<CsqWeightSource*> sources;
+    Rng rng(7);
+    Model model = make_resnet20(model_config, csq_weight_factory(&sources),
+                                fixed_act_quant_factory(3), rng);
+    CsqTrainConfig config;
+    config.train = train_config;
+    config.target_bits = bits;
+    const CsqTrainResult result =
+        train_csq(model, sources, data.train, data.test, config);
+    table.add_row({"CSQ-MP", "analytic + learned bit masks",
+                   format_float(result.average_bits, 2),
+                   format_float(result.test_accuracy, 2)});
+    std::cout << "  CSQ-MP done\n";
+  }
+
+  std::cout << '\n';
+  table.print(std::cout);
+  std::cout
+      << "\nExpected shape (paper Table IV): STE trails CSQ-Uniform at the "
+         "precision cliff\n(W=1 on this substrate). CSQ-MP spends an *average* "
+         "budget non-uniformly, which\nhelps at W>=2 but can drive individual "
+         "layers below 1 bit when the target is 1.\n";
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Deployment path: train a CSQ model, finalize it to exact fixed-point
+// form, export integer weight codes, verify the export is bit-exact with
+// the float materialization, and run the final classifier layer with pure
+// integer arithmetic — the fixed-point benefit the paper's introduction
+// motivates ("enables the use of fixed-point arithmetic units").
+//
+//   $ ./examples/deploy_fixed_point
+#include <cstdio>
+#include <iostream>
+
+#include "core/csq_trainer.h"
+#include "core/export.h"
+#include "core/model_io.h"
+#include "data/synthetic.h"
+#include "nn/models.h"
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+int main() {
+  using namespace csq;
+  set_log_level(LogLevel::warn);
+
+  // Small, fast training: the point of this example is the export flow.
+  SyntheticConfig data_config = SyntheticConfig::cifar_like();
+  data_config.train_samples = 600;
+  data_config.test_samples = 300;
+  const SyntheticDataset data = make_synthetic(data_config);
+
+  std::vector<CsqWeightSource*> sources;
+  Rng rng(7);
+  ModelConfig model_config;
+  model_config.num_classes = data.train.num_classes();
+  model_config.base_width = 8;
+  Model model = make_resnet20(model_config, csq_weight_factory(&sources),
+                              nullptr, rng);
+
+  CsqTrainConfig config;
+  config.train.epochs = 18;
+  config.train.batch_size = 50;
+  config.target_bits = 3.0;
+  const CsqTrainResult result =
+      train_csq(model, sources, data.train, data.test, config);
+  std::cout << "trained: " << result.test_accuracy << "% @ "
+            << result.average_bits << " avg bits\n\n";
+
+  // 1. Every finalized layer must be bit-exact against its integer codes.
+  std::int64_t total_storage_bits = 0;
+  float worst_roundtrip = 0.0f;
+  for (const QuantLayer& layer : model.quant_layers()) {
+    auto* source = dynamic_cast<CsqWeightSource*>(layer.source);
+    const QuantizedLayerExport exported = export_layer(layer.name, *source);
+    worst_roundtrip =
+        std::max(worst_roundtrip, export_roundtrip_error(*source));
+    total_storage_bits += exported.storage_bits();
+  }
+  std::cout << "export roundtrip max error: " << worst_roundtrip
+            << (worst_roundtrip == 0.0f ? " (bit-exact)" : " (NOT exact!)")
+            << '\n';
+  std::cout << "total quantized storage: " << total_storage_bits / 8 / 1024.0
+            << " KiB vs FP32 "
+            << model.total_weight_count() * 4 / 1024.0 << " KiB\n\n";
+
+  // 2. Ship the model: serialize all integer codes + scales to a container
+  //    file and read it back (the artifact a runtime would load).
+  const std::string model_path = "csq_model.bin";
+  const std::vector<QuantizedLayerExport> exported = export_model(model);
+  if (save_quantized_model(model_path, exported)) {
+    const auto loaded = load_quantized_model(model_path);
+    std::cout << "serialized " << loaded.size() << " layers to " << model_path
+              << " (" << model_storage_bits(loaded) / 8 / 1024.0
+              << " KiB payload), reloaded OK\n\n";
+    std::remove(model_path.c_str());
+  }
+
+  // 3. Integer-arithmetic execution of the final classifier layer.
+  auto* fc_source = dynamic_cast<CsqWeightSource*>(
+      model.quant_layers().back().source);
+  const QuantizedLayerExport fc = export_layer("fc", *fc_source);
+
+  Rng feature_rng(99);
+  Tensor features({4, fc.shape[1]});
+  for (std::int64_t i = 0; i < features.numel(); ++i) {
+    features[i] = feature_rng.uniform(0.0f, 2.0f);
+  }
+  const Tensor integer_logits = integer_linear_forward(fc, features, 8, 2.0f);
+  const Tensor reference_logits =
+      reference_linear_forward(fc, features, 8, 2.0f);
+  std::cout << "integer vs reference classifier logits: max diff = "
+            << max_abs_diff(integer_logits, reference_logits) << '\n';
+  std::cout << "integer path uses int32 accumulation of " << fc.bits
+            << "-bit weight codes x 8-bit activation codes.\n";
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Mixed-precision exploration: trains CSQ at several target budgets on the
+// synthetic CIFAR stand-in and prints the accuracy/size Pareto frontier
+// plus each discovered layer-wise scheme — the workflow a practitioner
+// would use to pick an operating point for deployment.
+//
+//   $ ./examples/mixed_precision_cifar [target_bits...]
+//
+// Defaults to targets 2 3 4.
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "core/csq_trainer.h"
+#include "data/synthetic.h"
+#include "nn/models.h"
+#include "quant/act_quant.h"
+#include "util/logging.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace csq;
+  set_log_level(LogLevel::warn);
+
+  std::vector<double> targets;
+  for (int i = 1; i < argc; ++i) targets.push_back(std::atof(argv[i]));
+  if (targets.empty()) targets = {2.0, 3.0, 4.0};
+
+  const SyntheticDataset data = make_synthetic(SyntheticConfig::cifar_like());
+  std::cout << "exploring targets:";
+  for (const double target : targets) std::cout << ' ' << target;
+  std::cout << " bits (ResNet-20, A=3, " << data.train.size()
+            << " train samples)\n\n";
+
+  TextTable frontier("accuracy-size frontier");
+  frontier.set_header({"target", "avg bits", "Comp(x)", "Acc(%)"});
+
+  for (const double target : targets) {
+    std::vector<CsqWeightSource*> sources;
+    Rng rng(7);
+    ModelConfig model_config;
+    model_config.num_classes = data.train.num_classes();
+    model_config.base_width = 8;
+    Model model = make_resnet20(model_config, csq_weight_factory(&sources),
+                                fixed_act_quant_factory(3), rng);
+
+    CsqTrainConfig config;
+    config.train.epochs = 20;
+    config.train.batch_size = 50;
+    config.train.learning_rate = 0.1f;
+    config.target_bits = target;
+    const CsqTrainResult result =
+        train_csq(model, sources, data.train, data.test, config);
+
+    frontier.add_row({format_float(target, 1),
+                      format_float(result.average_bits, 2),
+                      format_float(result.compression, 2),
+                      format_float(result.test_accuracy, 2)});
+
+    std::cout << "scheme @ target " << target << ":";
+    for (const LayerPrecision& layer : result.layer_bits) {
+      std::cout << ' ' << layer.name << '=' << layer.bits;
+    }
+    std::cout << "\n\n";
+  }
+  frontier.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,47 @@
+#include "core/budget.h"
+
+#include "util/check.h"
+
+namespace csq {
+
+double average_precision(const std::vector<CsqWeightSource*>& sources) {
+  CSQ_CHECK(!sources.empty()) << "average_precision: no CSQ sources";
+  double weighted = 0.0;
+  double total = 0.0;
+  for (const CsqWeightSource* source : sources) {
+    const auto count = static_cast<double>(source->weight_count());
+    weighted += static_cast<double>(source->layer_precision()) * count;
+    total += count;
+  }
+  return weighted / total;
+}
+
+double budget_delta(const std::vector<CsqWeightSource*>& sources,
+                    double target_bits) {
+  return average_precision(sources) - target_bits;
+}
+
+void apply_budget_regularizer(const std::vector<CsqWeightSource*>& sources,
+                              double lambda, double target_bits) {
+  const double delta = budget_delta(sources, target_bits);
+  const float strength = static_cast<float>(lambda * delta);
+  for (CsqWeightSource* source : sources) {
+    source->add_budget_regularizer_gradient(strength);
+  }
+}
+
+std::vector<LayerPrecision> layer_precisions(
+    const std::vector<std::pair<std::string, CsqWeightSource*>>& named) {
+  std::vector<LayerPrecision> result;
+  result.reserve(named.size());
+  for (const auto& [name, source] : named) {
+    LayerPrecision entry;
+    entry.name = name;
+    entry.bits = source->layer_precision();
+    entry.weight_count = source->weight_count();
+    result.push_back(std::move(entry));
+  }
+  return result;
+}
+
+}  // namespace csq

@@ -1,0 +1,38 @@
+// Budget-aware model-size regularization (paper Section III-B).
+//
+// The regularizer strength on each layer's bit mask is lambda * DeltaS,
+// where DeltaS = (element-weighted average precision of the current model)
+// minus the target precision. Positive DeltaS (model above budget) prunes
+// bits; negative DeltaS (below budget) *grows* precision — the "growing"
+// in the paper's title.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/csq_weight.h"
+
+namespace csq {
+
+// Element-weighted average precision sum_l n_l |W_l| / sum_l |W_l| with
+// n_l = sum_b I(m_B >= 0) — the paper's precision accounting.
+double average_precision(const std::vector<CsqWeightSource*>& sources);
+
+// DeltaS = average_precision - target_bits.
+double budget_delta(const std::vector<CsqWeightSource*>& sources,
+                    double target_bits);
+
+// Adds lambda * DeltaS * dR/dm_B to every source's mask gradient.
+void apply_budget_regularizer(const std::vector<CsqWeightSource*>& sources,
+                              double lambda, double target_bits);
+
+// Per-layer precision snapshot (name, bits) — the paper's Figure 4 data.
+struct LayerPrecision {
+  std::string name;
+  int bits = 0;
+  std::int64_t weight_count = 0;
+};
+std::vector<LayerPrecision> layer_precisions(
+    const std::vector<std::pair<std::string, CsqWeightSource*>>& named);
+
+}  // namespace csq

@@ -1,0 +1,296 @@
+#include "core/csq_weight.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "quant/quantizer.h"
+#include "tensor/init.h"
+#include "tensor/ops.h"
+#include "util/check.h"
+
+namespace csq {
+
+CsqWeightSource::CsqWeightSource(const std::string& name,
+                                 std::vector<std::int64_t> shape,
+                                 std::int64_t fan_in,
+                                 const CsqWeightOptions& options, Rng& rng)
+    : shape_(shape), fixed_precision_(options.fixed_precision) {
+  CSQ_CHECK(fixed_precision_ >= 0 && fixed_precision_ <= kBits)
+      << "csq: fixed precision out of range";
+  element_count_ = shape_numel(shape_);
+  quantized_ = Tensor(shape_);
+
+  // Train-from-scratch initialization: draw a He-initialized dense weight
+  // and decompose it onto the 8-bit grid; logits start at a soft +/- kappa
+  // so beta0 = 1 gives a smooth landscape (paper Section III-A trains all
+  // logits from real values, any magnitude permitted).
+  Tensor dense(shape_);
+  fill_he_normal(dense, fan_in, rng);
+  const float init_scale = max_abs_scale(dense);
+  scale_ = Parameter(name + ".s", Tensor::from_data({1}, {init_scale}),
+                     /*apply_weight_decay=*/false);
+
+  for (int b = 0; b < kBits; ++b) {
+    pos_logits_[static_cast<std::size_t>(b)] =
+        Parameter(name + ".mp" + std::to_string(b), Tensor(shape_),
+                  /*apply_weight_decay=*/false);
+    neg_logits_[static_cast<std::size_t>(b)] =
+        Parameter(name + ".mn" + std::to_string(b), Tensor(shape_),
+                  /*apply_weight_decay=*/false);
+  }
+
+  const float* w = dense.data();
+  for (std::int64_t i = 0; i < element_count_; ++i) {
+    std::int64_t code = static_cast<std::int64_t>(
+        std::lround(std::fabs(w[i]) / init_scale * kDenominator));
+    code = std::min<std::int64_t>(code, 255);
+    const bool positive = w[i] >= 0.0f;
+    for (int b = 0; b < kBits; ++b) {
+      const bool bit_set = ((code >> b) & 1) != 0;
+      // Jitter breaks the symmetry between elements sharing a bit pattern.
+      const float kappa = options.init_logit * rng.uniform(0.75f, 1.25f);
+      float& mp = pos_logits_[static_cast<std::size_t>(b)].value[i];
+      float& mn = neg_logits_[static_cast<std::size_t>(b)].value[i];
+      mp = (positive && bit_set) ? kappa : -kappa;
+      mn = (!positive && bit_set) ? kappa : -kappa;
+    }
+  }
+
+  // Bit mask: all bits start selected (the budget regularizer grows or
+  // prunes from there). In fixed-precision mode the mask is a constant
+  // selecting the *top* n bits — on the shared 8-bit grid this spans the
+  // same dynamic range as the paper's n-bit Eq. (3) form (denominator
+  // 2^n - 1 with bits 0..n-1), up to a scale absorbed by s.
+  Tensor mask_init({kBits});
+  for (int b = 0; b < kBits; ++b) {
+    if (fixed_precision_ > 0) {
+      mask_init[b] = b >= kBits - fixed_precision_ ? 1.0f : -1.0f;
+    } else {
+      mask_init[b] = options.mask_init;
+    }
+  }
+  mask_logits_ = Parameter(name + ".mB", std::move(mask_init),
+                           /*apply_weight_decay=*/false);
+  if (fixed_precision_ > 0) {
+    for (int b = 0; b < kBits; ++b) {
+      frozen_mask_[static_cast<std::size_t>(b)] =
+          b >= kBits - fixed_precision_;
+    }
+  }
+}
+
+void CsqWeightSource::set_beta(float beta) {
+  CSQ_CHECK(beta > 0.0f) << "csq: beta must be positive";
+  beta_ = beta;
+}
+
+bool CsqWeightSource::mask_bit_active(int bit) const {
+  if (mode_ != CsqMode::joint || fixed_precision_ > 0) {
+    return frozen_mask_[static_cast<std::size_t>(bit)];
+  }
+  return mask_logits_.value[bit] >= 0.0f;
+}
+
+float CsqWeightSource::soft_mask_value(int bit) const {
+  if (fixed_precision_ > 0 || mode_ != CsqMode::joint) {
+    // Frozen hard mask (Eq. 4) — constant 0/1, no gradient.
+    return frozen_mask_[static_cast<std::size_t>(bit)] ? 1.0f : 0.0f;
+  }
+  return gate(mask_logits_.value[bit], beta_);
+}
+
+int CsqWeightSource::layer_precision() const {
+  int precision = 0;
+  for (int b = 0; b < kBits; ++b) precision += mask_bit_active(b) ? 1 : 0;
+  return precision;
+}
+
+void CsqWeightSource::materialize_soft(bool cache_for_backward) {
+  const float factor = scale_.value[0] / kDenominator;
+  float* w = quantized_.data();
+  std::fill(w, w + element_count_, 0.0f);
+
+  for (int b = 0; b < kBits; ++b) {
+    const float mask_value = soft_mask_value(b);
+    cached_gate_mask_[static_cast<std::size_t>(b)] = mask_value;
+    if (mask_value == 0.0f && !cache_for_backward) continue;
+
+    const float bit_weight = factor * static_cast<float>(1 << b) * mask_value;
+    const float* mp = pos_logits_[static_cast<std::size_t>(b)].value.data();
+    const float* mn = neg_logits_[static_cast<std::size_t>(b)].value.data();
+
+    if (cache_for_backward) {
+      Tensor& gate_pos = cached_gate_pos_[static_cast<std::size_t>(b)];
+      Tensor& gate_neg = cached_gate_neg_[static_cast<std::size_t>(b)];
+      if (!gate_pos.same_shape(quantized_)) gate_pos = Tensor(shape_);
+      if (!gate_neg.same_shape(quantized_)) gate_neg = Tensor(shape_);
+      float* gp = gate_pos.data();
+      float* gn = gate_neg.data();
+      for (std::int64_t i = 0; i < element_count_; ++i) {
+        gp[i] = gate(mp[i], beta_);
+        gn[i] = gate(mn[i], beta_);
+        w[i] += bit_weight * (gp[i] - gn[i]);
+      }
+    } else {
+      for (std::int64_t i = 0; i < element_count_; ++i) {
+        w[i] += bit_weight * (gate(mp[i], beta_) - gate(mn[i], beta_));
+      }
+    }
+  }
+  cache_valid_ = cache_for_backward;
+}
+
+void CsqWeightSource::materialize_hard() {
+  // Integer-first accumulation guarantees the materialized weight is
+  // exactly s/255 * code (the "exact quantized model" the paper claims).
+  const float factor = scale_.value[0] / kDenominator;
+  float* w = quantized_.data();
+  for (std::int64_t i = 0; i < element_count_; ++i) {
+    std::int32_t code = 0;
+    for (int b = 0; b < kBits; ++b) {
+      if (!frozen_mask_[static_cast<std::size_t>(b)]) continue;
+      const float mp = pos_logits_[static_cast<std::size_t>(b)].value[i];
+      const float mn = neg_logits_[static_cast<std::size_t>(b)].value[i];
+      const std::int32_t bit =
+          static_cast<std::int32_t>(hard_gate(mp)) -
+          static_cast<std::int32_t>(hard_gate(mn));
+      code += bit * (1 << b);
+    }
+    w[i] = factor * static_cast<float>(code);
+  }
+  cache_valid_ = false;
+}
+
+const Tensor& CsqWeightSource::weight(bool training) {
+  if (mode_ == CsqMode::finalized) {
+    materialize_hard();
+  } else {
+    materialize_soft(/*cache_for_backward=*/training);
+  }
+  return quantized_;
+}
+
+void CsqWeightSource::backward(const Tensor& grad_weight) {
+  CSQ_CHECK(mode_ != CsqMode::finalized)
+      << "csq: backward on a finalized source";
+  CSQ_CHECK(cache_valid_) << "csq: backward without training materialization";
+  CSQ_CHECK(grad_weight.same_shape(quantized_)) << "csq: grad shape mismatch";
+
+  const float s = scale_.value[0];
+  const float factor = s / kDenominator;
+  const float* g = grad_weight.data();
+
+  // ds: dW/ds = W / s (W is linear in s).
+  if (s != 0.0f) {
+    const float* q = quantized_.data();
+    double ds = 0.0;
+    for (std::int64_t i = 0; i < element_count_; ++i) {
+      ds += static_cast<double>(g[i]) * q[i] / s;
+    }
+    scale_.grad[0] += static_cast<float>(ds);
+  }
+
+  const bool mask_trains =
+      mode_ == CsqMode::joint && fixed_precision_ == 0;
+
+  for (int b = 0; b < kBits; ++b) {
+    const float mask_value = cached_gate_mask_[static_cast<std::size_t>(b)];
+    const float bit_scale = factor * static_cast<float>(1 << b);
+    const float* gp = cached_gate_pos_[static_cast<std::size_t>(b)].data();
+    const float* gn = cached_gate_neg_[static_cast<std::size_t>(b)].data();
+    float* grad_p = pos_logits_[static_cast<std::size_t>(b)].grad.data();
+    float* grad_n = neg_logits_[static_cast<std::size_t>(b)].grad.data();
+
+    // dW_i/dm_p = factor * 2^b * mask * f'(m_p);   f'(m) = beta*f*(1-f).
+    const float common = bit_scale * mask_value;
+    double mask_grad_acc = 0.0;
+    for (std::int64_t i = 0; i < element_count_; ++i) {
+      const float gi = g[i];
+      if (common != 0.0f) {
+        grad_p[i] += gi * common * gate_derivative_from_value(gp[i], beta_);
+        grad_n[i] -= gi * common * gate_derivative_from_value(gn[i], beta_);
+      }
+      if (mask_trains) {
+        // dW_i/dm_B = factor * 2^b * (f(m_p)-f(m_n)) * f'(m_B).
+        mask_grad_acc += static_cast<double>(gi) * (gp[i] - gn[i]);
+      }
+    }
+    if (mask_trains) {
+      const float mask_derivative =
+          gate_derivative_from_value(mask_value, beta_);
+      mask_logits_.grad[b] +=
+          static_cast<float>(mask_grad_acc) * bit_scale * mask_derivative;
+    }
+  }
+  cache_valid_ = false;
+}
+
+void CsqWeightSource::collect_parameters(std::vector<Parameter*>& out) {
+  out.push_back(&scale_);
+  for (int b = 0; b < kBits; ++b) {
+    out.push_back(&pos_logits_[static_cast<std::size_t>(b)]);
+    out.push_back(&neg_logits_[static_cast<std::size_t>(b)]);
+  }
+  out.push_back(&mask_logits_);
+}
+
+void CsqWeightSource::add_budget_regularizer_gradient(float strength) {
+  if (mode_ != CsqMode::joint || fixed_precision_ > 0) return;
+  for (int b = 0; b < kBits; ++b) {
+    mask_logits_.grad[b] +=
+        strength * gate_derivative(mask_logits_.value[b], beta_);
+  }
+}
+
+void CsqWeightSource::freeze_mask() {
+  CSQ_CHECK(mode_ == CsqMode::joint) << "csq: freeze_mask outside joint mode";
+  if (fixed_precision_ == 0) {
+    for (int b = 0; b < kBits; ++b) {
+      frozen_mask_[static_cast<std::size_t>(b)] =
+          mask_logits_.value[b] >= 0.0f;
+    }
+  }
+  mode_ = CsqMode::finetune;
+  cache_valid_ = false;
+}
+
+void CsqWeightSource::finalize() {
+  if (mode_ == CsqMode::joint) freeze_mask();
+  mode_ = CsqMode::finalized;
+  cache_valid_ = false;
+}
+
+std::vector<std::int32_t> CsqWeightSource::integer_codes() const {
+  CSQ_CHECK(mode_ == CsqMode::finalized)
+      << "csq: integer codes require a finalized source";
+  std::vector<std::int32_t> codes(static_cast<std::size_t>(element_count_));
+  for (std::int64_t i = 0; i < element_count_; ++i) {
+    std::int32_t code = 0;
+    for (int b = 0; b < kBits; ++b) {
+      if (!frozen_mask_[static_cast<std::size_t>(b)]) continue;
+      const float mp = pos_logits_[static_cast<std::size_t>(b)].value[i];
+      const float mn = neg_logits_[static_cast<std::size_t>(b)].value[i];
+      code += (static_cast<std::int32_t>(hard_gate(mp)) -
+               static_cast<std::int32_t>(hard_gate(mn))) *
+              (1 << b);
+    }
+    codes[static_cast<std::size_t>(i)] = code;
+  }
+  return codes;
+}
+
+WeightSourceFactory csq_weight_factory(
+    std::vector<CsqWeightSource*>* registry,
+    const CsqWeightOptions& options) {
+  CSQ_CHECK(registry != nullptr) << "csq factory: null registry";
+  return [registry, options](const std::string& name,
+                             std::vector<std::int64_t> shape,
+                             std::int64_t fan_in, Rng& rng) -> WeightSourcePtr {
+    auto source = std::make_unique<CsqWeightSource>(name, std::move(shape),
+                                                    fan_in, options, rng);
+    registry->push_back(source.get());
+    return source;
+  };
+}
+
+}  // namespace csq

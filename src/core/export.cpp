@@ -1,0 +1,131 @@
+#include "core/export.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "quant/quantizer.h"
+#include "tensor/ops.h"
+#include "util/check.h"
+
+namespace csq {
+
+std::int64_t QuantizedLayerExport::storage_bits() const {
+  return static_cast<std::int64_t>(codes.size()) * bits + 32;
+}
+
+QuantizedLayerExport export_layer(const std::string& name,
+                                  const CsqWeightSource& source) {
+  QuantizedLayerExport layer;
+  layer.name = name;
+  layer.shape = source.shape();
+  layer.codes = source.integer_codes();
+  layer.scale = source.scale();
+  layer.bits = source.layer_precision();
+  return layer;
+}
+
+float export_roundtrip_error(CsqWeightSource& source) {
+  const Tensor& materialized = source.weight(/*training=*/false);
+  const std::vector<std::int32_t> codes = source.integer_codes();
+  const float factor = source.scale() / CsqWeightSource::kDenominator;
+  float max_diff = 0.0f;
+  const float* w = materialized.data();
+  for (std::int64_t i = 0; i < materialized.numel(); ++i) {
+    // volatile forces the product through a float rounding point; without
+    // it, fp-contract fuses the multiply into the subtraction (FMA) and
+    // reports a phantom 1-ulp "difference" against the stored weight.
+    volatile float reconstructed =
+        factor * static_cast<float>(codes[static_cast<std::size_t>(i)]);
+    max_diff = std::max(max_diff, std::fabs(w[i] - reconstructed));
+  }
+  return max_diff;
+}
+
+namespace {
+
+// Quantizes activations to integer codes in [0, 2^bits - 1] over [0, clip].
+std::vector<std::int32_t> activation_codes(const Tensor& input, int act_bits,
+                                           float act_clip) {
+  CSQ_CHECK(act_clip > 0.0f) << "integer forward: bad activation clip";
+  const auto levels = static_cast<float>(levels_per_side(act_bits));
+  std::vector<std::int32_t> codes(static_cast<std::size_t>(input.numel()));
+  const float* in = input.data();
+  for (std::int64_t i = 0; i < input.numel(); ++i) {
+    const float normalized = std::clamp(in[i] / act_clip, 0.0f, 1.0f);
+    codes[static_cast<std::size_t>(i)] =
+        static_cast<std::int32_t>(std::lround(normalized * levels));
+  }
+  return codes;
+}
+
+}  // namespace
+
+Tensor integer_linear_forward(const QuantizedLayerExport& layer,
+                              const Tensor& input, int act_bits,
+                              float act_clip) {
+  CSQ_CHECK(layer.shape.size() == 2 || layer.shape.empty())
+      << "integer_linear_forward expects a 2-d (OUT,IN) export";
+  CSQ_CHECK(input.ndim() == 2) << "integer forward expects (B, IN)";
+  const std::int64_t out_features =
+      layer.shape.empty() ? 0 : layer.shape[0];
+  const std::int64_t in_features = layer.shape.empty() ? 0 : layer.shape[1];
+  CSQ_CHECK(in_features == input.dim(1))
+      << "integer forward: in_features mismatch";
+  const std::int64_t batch = input.dim(0);
+
+  const std::vector<std::int32_t> act = activation_codes(input, act_bits,
+                                                         act_clip);
+  const float weight_step = layer.scale / CsqWeightSource::kDenominator;
+  const float act_step =
+      act_clip / static_cast<float>(levels_per_side(act_bits));
+  const float combined_scale = weight_step * act_step;
+
+  Tensor output({batch, out_features});
+  float* out = output.data();
+  for (std::int64_t b = 0; b < batch; ++b) {
+    const std::int32_t* act_row = act.data() + b * in_features;
+    for (std::int64_t o = 0; o < out_features; ++o) {
+      const std::int32_t* w_row = layer.codes.data() + o * in_features;
+      std::int64_t acc = 0;  // |w|<=255, |a|<=65535: int64 is ample headroom
+      for (std::int64_t i = 0; i < in_features; ++i) {
+        acc += static_cast<std::int64_t>(w_row[i]) * act_row[i];
+      }
+      out[b * out_features + o] =
+          combined_scale * static_cast<float>(acc);
+    }
+  }
+  return output;
+}
+
+Tensor reference_linear_forward(const QuantizedLayerExport& layer,
+                                const Tensor& input, int act_bits,
+                                float act_clip) {
+  const std::int64_t out_features = layer.shape[0];
+  const std::int64_t in_features = layer.shape[1];
+  CSQ_CHECK(in_features == input.dim(1))
+      << "reference forward: in_features mismatch";
+  const std::int64_t batch = input.dim(0);
+  const float weight_step = layer.scale / CsqWeightSource::kDenominator;
+
+  Tensor output({batch, out_features});
+  float* out = output.data();
+  const float* in = input.data();
+  for (std::int64_t b = 0; b < batch; ++b) {
+    for (std::int64_t o = 0; o < out_features; ++o) {
+      double acc = 0.0;
+      for (std::int64_t i = 0; i < in_features; ++i) {
+        const float w =
+            weight_step *
+            static_cast<float>(layer.codes[static_cast<std::size_t>(
+                o * in_features + i)]);
+        const float a = quantize_unsigned(in[b * in_features + i], act_clip,
+                                          act_bits);
+        acc += static_cast<double>(w) * a;
+      }
+      out[b * out_features + o] = static_cast<float>(acc);
+    }
+  }
+  return output;
+}
+
+}  // namespace csq

@@ -1,0 +1,56 @@
+// Fixed-point export of a finalized CSQ model.
+//
+// A finalized CsqWeightSource stores its weight as integer codes
+// |q| <= 2^8 - 1 times s/255. This module packages those codes, verifies
+// that the float materialization is bit-exact with the integer
+// reconstruction (the paper's "exact quantized model" property), and
+// provides an integer-arithmetic linear/conv forward (int32 accumulation)
+// demonstrating the fixed-point deployment path the paper's introduction
+// motivates.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/csq_weight.h"
+#include "tensor/tensor.h"
+
+namespace csq {
+
+struct QuantizedLayerExport {
+  std::string name;
+  std::vector<std::int64_t> shape;
+  std::vector<std::int32_t> codes;  // integer weight codes, |q| <= 255
+  float scale = 1.0f;               // s: w = scale * code / 255
+  int bits = 0;                     // precision of the layer's scheme
+  // Storage estimate: bits * elements for codes (sign handled by the
+  // positive/negative planes) plus one float scale.
+  std::int64_t storage_bits() const;
+};
+
+// Requires the source to be finalized.
+QuantizedLayerExport export_layer(const std::string& name,
+                                  const CsqWeightSource& source);
+
+// Checks bit-exact agreement between the source's float materialization and
+// scale/255 * codes. Returns the max abs difference (0.0 when exact).
+float export_roundtrip_error(CsqWeightSource& source);
+
+// Integer-arithmetic fully-connected forward:
+//   1. quantize the input activations to unsigned `act_bits` codes over
+//      [0, act_clip],
+//   2. accumulate int32 dot products of weight codes and activation codes,
+//   3. dequantize with the combined scale.
+// Matches the float path up to activation-quantization error only.
+Tensor integer_linear_forward(const QuantizedLayerExport& layer,
+                              const Tensor& input, int act_bits,
+                              float act_clip);
+
+// Float reference for the same computation (quantized activations, float
+// weights from the export): used to validate the integer path.
+Tensor reference_linear_forward(const QuantizedLayerExport& layer,
+                                const Tensor& input, int act_bits,
+                                float act_clip);
+
+}  // namespace csq

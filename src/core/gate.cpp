@@ -1,0 +1,25 @@
+#include "core/gate.h"
+
+#include "util/check.h"
+
+namespace csq {
+
+TemperatureSchedule::TemperatureSchedule(float beta0, float beta_max,
+                                         int total_epochs)
+    : beta0_(beta0), beta_max_(beta_max), total_epochs_(total_epochs) {
+  CSQ_CHECK(beta0 > 0.0f) << "temperature schedule: beta0 must be positive";
+  CSQ_CHECK(beta_max >= beta0) << "temperature schedule: beta_max < beta0";
+  CSQ_CHECK(total_epochs >= 1) << "temperature schedule: bad epoch count";
+}
+
+float TemperatureSchedule::at_epoch(int epoch) const {
+  CSQ_CHECK(epoch >= 0) << "temperature schedule: negative epoch";
+  if (total_epochs_ == 1 || epoch >= total_epochs_ - 1) {
+    return beta0_ * beta_max_;
+  }
+  const float progress = static_cast<float>(epoch) /
+                         static_cast<float>(total_epochs_ - 1);
+  return beta0_ * std::pow(beta_max_, progress);
+}
+
+}  // namespace csq

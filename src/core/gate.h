@@ -1,0 +1,51 @@
+// Temperature sigmoid gate — the continuous-sparsification primitive
+// (paper Eq. 2):  f_beta(x) = sigmoid(beta * x)  ->  I(x >= 0) as beta -> inf.
+//
+// Both levels of the bi-level relaxation use this gate: the bit values of
+// each weight (m_p, m_n) and the per-layer bit-selection mask (m_B). The
+// exponential temperature schedule (Algorithm 1) anneals beta from beta0 to
+// beta_max over training so the relaxation converges to an exact quantized
+// model without straight-through estimation.
+#pragma once
+
+#include <cmath>
+
+namespace csq {
+
+// sigmoid(beta * x).
+inline float gate(float x, float beta) {
+  return 1.0f / (1.0f + std::exp(-beta * x));
+}
+
+// d gate / d x = beta * sigmoid(beta x) * (1 - sigmoid(beta x)).
+inline float gate_derivative(float x, float beta) {
+  const float s = gate(x, beta);
+  return beta * s * (1.0f - s);
+}
+
+// Derivative given a precomputed gate value (avoids a second exp).
+inline float gate_derivative_from_value(float gate_value, float beta) {
+  return beta * gate_value * (1.0f - gate_value);
+}
+
+// Hard unit-step limit used at finalization.
+inline float hard_gate(float x) { return x >= 0.0f ? 1.0f : 0.0f; }
+
+// Exponential temperature schedule: beta(e) = beta0 * beta_max^{e/(T-1)}
+// (paper Algorithm 1; the maximum is reached exactly at the last epoch).
+class TemperatureSchedule {
+ public:
+  TemperatureSchedule(float beta0, float beta_max, int total_epochs);
+
+  float at_epoch(int epoch) const;
+
+  float beta0() const { return beta0_; }
+  float beta_max() const { return beta_max_; }
+
+ private:
+  float beta0_;
+  float beta_max_;
+  int total_epochs_;
+};
+
+}  // namespace csq

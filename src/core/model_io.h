@@ -1,0 +1,41 @@
+// Binary serialization of finalized CSQ models.
+//
+// Completes the deployment story: after finalization the model is a list of
+// integer code tensors plus per-layer scales (core/export.h); this module
+// persists that list to a compact binary container and reads it back, so a
+// quantized model can ship without the training stack.
+//
+// Format (little-endian):
+//   magic "CSQM" | u32 version | u32 layer_count
+//   per layer: u32 name_len | name bytes | u32 ndim | i64 dims[ndim]
+//              | i32 bits | f32 scale | i16 codes[numel]
+// Codes fit i16 (|q| <= 255 by construction; checked on save).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/export.h"
+#include "nn/model.h"
+
+namespace csq {
+
+// Exports every (finalized) CSQ layer of a model, in registry order.
+// Throws if any quant layer is not a finalized CsqWeightSource.
+std::vector<QuantizedLayerExport> export_model(Model& model);
+
+// Serializes to `path`. Returns false on I/O failure; throws check_error on
+// malformed layers (e.g. codes out of the i16-representable range).
+bool save_quantized_model(const std::string& path,
+                          const std::vector<QuantizedLayerExport>& layers);
+
+// Deserializes from `path`. Throws check_error on format violations
+// (bad magic, truncated payload, absurd counts).
+std::vector<QuantizedLayerExport> load_quantized_model(
+    const std::string& path);
+
+// Total storage of the container payload in bits (sum of per-layer
+// storage_bits); used to report deployment size.
+std::int64_t model_storage_bits(const std::vector<QuantizedLayerExport>& layers);
+
+}  // namespace csq

@@ -1,0 +1,41 @@
+#include "data/dataloader.h"
+
+#include <numeric>
+
+#include "util/check.h"
+
+namespace csq {
+
+DataLoader::DataLoader(const InMemoryDataset& dataset, std::int64_t batch_size,
+                       bool shuffle, Rng rng)
+    : dataset_(dataset),
+      batch_size_(batch_size),
+      shuffle_(shuffle),
+      rng_(rng) {
+  CSQ_CHECK(batch_size > 0) << "dataloader: batch size must be positive";
+  CSQ_CHECK(dataset.size() > 0) << "dataloader: empty dataset";
+  order_.resize(static_cast<std::size_t>(dataset.size()));
+  std::iota(order_.begin(), order_.end(), 0);
+  start_epoch();
+}
+
+std::int64_t DataLoader::batches_per_epoch() const {
+  return (dataset_.size() + batch_size_ - 1) / batch_size_;
+}
+
+void DataLoader::start_epoch() {
+  if (shuffle_) rng_.shuffle(order_);
+  cursor_ = 0;
+}
+
+bool DataLoader::next(Batch& out) {
+  if (cursor_ >= dataset_.size()) return false;
+  const std::int64_t end =
+      std::min(cursor_ + batch_size_, dataset_.size());
+  std::vector<int> indices(order_.begin() + cursor_, order_.begin() + end);
+  out = dataset_.gather(indices);
+  cursor_ = end;
+  return true;
+}
+
+}  // namespace csq

@@ -1,0 +1,35 @@
+// Shuffling mini-batch iterator over an InMemoryDataset.
+#pragma once
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/rng.h"
+
+namespace csq {
+
+class DataLoader {
+ public:
+  // The loader keeps a reference to the dataset; the dataset must outlive it.
+  DataLoader(const InMemoryDataset& dataset, std::int64_t batch_size,
+             bool shuffle, Rng rng);
+
+  // Batches per epoch (last partial batch included).
+  std::int64_t batches_per_epoch() const;
+
+  // Starts a new epoch: reshuffles when enabled and resets the cursor.
+  void start_epoch();
+
+  // Returns false when the epoch is exhausted.
+  bool next(Batch& out);
+
+ private:
+  const InMemoryDataset& dataset_;
+  std::int64_t batch_size_;
+  bool shuffle_;
+  Rng rng_;
+  std::vector<int> order_;
+  std::int64_t cursor_ = 0;
+};
+
+}  // namespace csq

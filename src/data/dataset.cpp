@@ -1,0 +1,48 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/check.h"
+
+namespace csq {
+
+InMemoryDataset::InMemoryDataset(Tensor images, std::vector<int> labels)
+    : images_(std::move(images)), labels_(std::move(labels)) {
+  CSQ_CHECK(images_.ndim() == 4) << "dataset images must be (N,C,H,W)";
+  CSQ_CHECK(images_.dim(0) == static_cast<std::int64_t>(labels_.size()))
+      << "dataset: " << labels_.size() << " labels for " << images_.dim(0)
+      << " images";
+  int max_label = -1;
+  for (const int label : labels_) {
+    CSQ_CHECK(label >= 0) << "dataset: negative label";
+    max_label = std::max(max_label, label);
+  }
+  num_classes_ = max_label + 1;
+}
+
+Batch InMemoryDataset::gather(const std::vector<int>& indices) const {
+  const std::int64_t batch = static_cast<std::int64_t>(indices.size());
+  const std::int64_t sample_size =
+      images_.dim(1) * images_.dim(2) * images_.dim(3);
+
+  Batch result;
+  result.images =
+      Tensor({batch, images_.dim(1), images_.dim(2), images_.dim(3)});
+  result.labels.resize(indices.size());
+
+  const float* src = images_.data();
+  float* dst = result.images.data();
+  for (std::int64_t b = 0; b < batch; ++b) {
+    const int index = indices[static_cast<std::size_t>(b)];
+    CSQ_CHECK(index >= 0 && index < size())
+        << "dataset gather: index " << index << " out of range " << size();
+    std::memcpy(dst + b * sample_size, src + index * sample_size,
+                static_cast<std::size_t>(sample_size) * sizeof(float));
+    result.labels[static_cast<std::size_t>(b)] =
+        labels_[static_cast<std::size_t>(index)];
+  }
+  return result;
+}
+
+}  // namespace csq

@@ -1,0 +1,38 @@
+// In-memory labeled image dataset.
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace csq {
+
+struct Batch {
+  Tensor images;            // (B, C, H, W)
+  std::vector<int> labels;  // size B
+};
+
+class InMemoryDataset {
+ public:
+  InMemoryDataset() = default;
+  InMemoryDataset(Tensor images, std::vector<int> labels);
+
+  std::int64_t size() const { return static_cast<std::int64_t>(labels_.size()); }
+  std::int64_t channels() const { return images_.dim(1); }
+  std::int64_t height() const { return images_.dim(2); }
+  std::int64_t width() const { return images_.dim(3); }
+  int num_classes() const { return num_classes_; }
+
+  const Tensor& images() const { return images_; }
+  const std::vector<int>& labels() const { return labels_; }
+
+  // Gathers the given sample indices into a contiguous batch.
+  Batch gather(const std::vector<int>& indices) const;
+
+ private:
+  Tensor images_;
+  std::vector<int> labels_;
+  int num_classes_ = 0;
+};
+
+}  // namespace csq

@@ -1,0 +1,52 @@
+// Synthetic class-template image generator — the stand-in for CIFAR-10 and
+// ImageNet (see DESIGN.md, substitutions table).
+//
+// Each class is defined by a procedural template: a sum of oriented
+// sinusoidal gratings (Gabor-like textures) and Gaussian blobs with random
+// per-channel color weights. A sample is the class template under a random
+// spatial shift, optional horizontal flip, contrast jitter and additive
+// Gaussian pixel noise. The result is a dataset with
+//   * class-conditional structure a small conv net can learn,
+//   * intra-class variation producing a real generalization gap, and
+//   * graded difficulty (noise / shift / class count), so quantization hurts
+//     accuracy progressively — the property the paper's tables measure.
+// Generation is deterministic in the seed.
+#pragma once
+
+#include "data/dataset.h"
+#include "util/rng.h"
+
+namespace csq {
+
+struct SyntheticConfig {
+  int num_classes = 10;
+  std::int64_t train_samples = 1000;
+  std::int64_t test_samples = 400;
+  std::int64_t channels = 3;
+  std::int64_t height = 16;
+  std::int64_t width = 16;
+  // Per-class template complexity.
+  int gratings_per_class = 3;
+  int blobs_per_class = 2;
+  // Augmentation / difficulty.
+  float noise_stddev = 0.45f;
+  int max_shift = 2;
+  bool random_flip = true;
+  float contrast_jitter = 0.3f;  // contrast in [1-j, 1+j]
+  std::uint64_t seed = 17;
+
+  // Paper-dataset presets (scaled to the bench substrate).
+  static SyntheticConfig cifar_like();
+  static SyntheticConfig imagenet_like();
+};
+
+struct SyntheticDataset {
+  InMemoryDataset train;
+  InMemoryDataset test;
+};
+
+// Generates train and test splits from disjoint sample draws of the same
+// class templates.
+SyntheticDataset make_synthetic(const SyntheticConfig& config);
+
+}  // namespace csq

@@ -1,0 +1,42 @@
+#include "nn/activations.h"
+
+#include "util/check.h"
+
+namespace csq {
+
+Tensor ReLU::forward(const Tensor& input, bool training) {
+  Tensor output(input.shape());
+  Tensor mask(input.shape());
+  const float* in = input.data();
+  float* out = output.data();
+  float* m = mask.data();
+  const std::int64_t count = input.numel();
+  for (std::int64_t i = 0; i < count; ++i) {
+    const bool positive = in[i] > 0.0f;
+    out[i] = positive ? in[i] : 0.0f;
+    m[i] = positive ? 1.0f : 0.0f;
+  }
+  if (training) {
+    cached_mask_ = std::move(mask);
+  } else {
+    cached_mask_ = Tensor();
+  }
+  return output;
+}
+
+Tensor ReLU::backward(const Tensor& grad_output) {
+  CSQ_CHECK(!cached_mask_.empty())
+      << "relu " << name() << ": backward without training forward";
+  CSQ_CHECK(grad_output.same_shape(cached_mask_))
+      << "relu " << name() << ": grad shape mismatch";
+  Tensor grad_input(grad_output.shape());
+  const float* go = grad_output.data();
+  const float* m = cached_mask_.data();
+  float* gi = grad_input.data();
+  const std::int64_t count = grad_output.numel();
+  for (std::int64_t i = 0; i < count; ++i) gi[i] = go[i] * m[i];
+  cached_mask_ = Tensor();
+  return grad_input;
+}
+
+}  // namespace csq

@@ -1,0 +1,20 @@
+// Activation modules.
+#pragma once
+
+#include "nn/module.h"
+
+namespace csq {
+
+class ReLU final : public Module {
+ public:
+  explicit ReLU(const std::string& name) { set_name(name); }
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  const char* kind() const override { return "relu"; }
+
+ private:
+  Tensor cached_mask_;  // 1 where input > 0
+};
+
+}  // namespace csq

@@ -1,0 +1,172 @@
+#include "nn/batchnorm.h"
+
+#include <cmath>
+
+#include "util/check.h"
+#include "util/thread_pool.h"
+
+namespace csq {
+
+BatchNorm2d::BatchNorm2d(const std::string& name, std::int64_t channels,
+                         float momentum, float epsilon)
+    : channels_(channels),
+      momentum_(momentum),
+      epsilon_(epsilon),
+      gamma_(name + ".gamma", Tensor::full({channels}, 1.0f),
+             /*apply_weight_decay=*/false),
+      beta_(name + ".beta", Tensor({channels}),
+            /*apply_weight_decay=*/false),
+      running_mean_({channels}),
+      running_var_(Tensor::full({channels}, 1.0f)) {
+  CSQ_CHECK(channels > 0) << "batchnorm: bad channel count";
+  set_name(name);
+}
+
+Tensor BatchNorm2d::forward(const Tensor& input, bool training) {
+  CSQ_CHECK(input.ndim() == 4 && input.dim(1) == channels_)
+      << "batchnorm " << name() << ": expected (B," << channels_
+      << ",H,W), got " << input.shape_string();
+  const std::int64_t batch = input.dim(0);
+  const std::int64_t height = input.dim(2);
+  const std::int64_t width = input.dim(3);
+  const std::int64_t plane = height * width;
+  const std::int64_t count = batch * plane;
+
+  Tensor output(input.shape());
+  const float* in = input.data();
+  float* out = output.data();
+  const float* gamma = gamma_.value.data();
+  const float* beta = beta_.value.data();
+
+  if (!training) {
+    const float* mean = running_mean_.data();
+    const float* var = running_var_.data();
+    parallel_for(0, channels_, [&](std::int64_t c) {
+      const float inv_std = 1.0f / std::sqrt(var[c] + epsilon_);
+      const float scale = gamma[c] * inv_std;
+      const float shift = beta[c] - mean[c] * scale;
+      for (std::int64_t b = 0; b < batch; ++b) {
+        const float* src = in + (b * channels_ + c) * plane;
+        float* dst = out + (b * channels_ + c) * plane;
+        for (std::int64_t p = 0; p < plane; ++p) dst[p] = src[p] * scale + shift;
+      }
+    });
+    return output;
+  }
+
+  Tensor xhat(input.shape());
+  Tensor inv_std_t({channels_});
+  float* xhat_data = xhat.data();
+  float* inv_std_data = inv_std_t.data();
+  float* run_mean = running_mean_.data();
+  float* run_var = running_var_.data();
+
+  parallel_for(0, channels_, [&](std::int64_t c) {
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    for (std::int64_t b = 0; b < batch; ++b) {
+      const float* src = in + (b * channels_ + c) * plane;
+      for (std::int64_t p = 0; p < plane; ++p) {
+        sum += src[p];
+        sum_sq += static_cast<double>(src[p]) * src[p];
+      }
+    }
+    const float mean = static_cast<float>(sum / count);
+    const float var =
+        static_cast<float>(sum_sq / count - static_cast<double>(mean) * mean);
+    const float safe_var = var < 0.0f ? 0.0f : var;
+    const float inv_std = 1.0f / std::sqrt(safe_var + epsilon_);
+    inv_std_data[c] = inv_std;
+
+    run_mean[c] = (1.0f - momentum_) * run_mean[c] + momentum_ * mean;
+    // Unbiased variance for running stats (matches standard framework
+    // behaviour); guard count==1.
+    const float unbiased =
+        count > 1 ? safe_var * static_cast<float>(count) /
+                        static_cast<float>(count - 1)
+                  : safe_var;
+    run_var[c] = (1.0f - momentum_) * run_var[c] + momentum_ * unbiased;
+
+    const float scale = gamma[c];
+    const float shift = beta[c];
+    for (std::int64_t b = 0; b < batch; ++b) {
+      const float* src = in + (b * channels_ + c) * plane;
+      float* xh = xhat_data + (b * channels_ + c) * plane;
+      float* dst = out + (b * channels_ + c) * plane;
+      for (std::int64_t p = 0; p < plane; ++p) {
+        const float normalized = (src[p] - mean) * inv_std;
+        xh[p] = normalized;
+        dst[p] = normalized * scale + shift;
+      }
+    }
+  });
+
+  cached_xhat_ = std::move(xhat);
+  cached_inv_std_ = std::move(inv_std_t);
+  cached_batch_ = batch;
+  cached_h_ = height;
+  cached_w_ = width;
+  return output;
+}
+
+Tensor BatchNorm2d::backward(const Tensor& grad_output) {
+  CSQ_CHECK(cached_batch_ > 0)
+      << "batchnorm " << name() << ": backward without training forward";
+  const std::int64_t batch = cached_batch_;
+  const std::int64_t plane = cached_h_ * cached_w_;
+  const std::int64_t count = batch * plane;
+  CSQ_CHECK(grad_output.ndim() == 4 && grad_output.dim(0) == batch &&
+            grad_output.dim(1) == channels_ && grad_output.dim(2) == cached_h_ &&
+            grad_output.dim(3) == cached_w_)
+      << "batchnorm " << name() << ": grad shape mismatch";
+
+  Tensor grad_input(grad_output.shape());
+  const float* go = grad_output.data();
+  const float* xhat = cached_xhat_.data();
+  const float* inv_std = cached_inv_std_.data();
+  const float* gamma = gamma_.value.data();
+  float* gi = grad_input.data();
+  float* dgamma = gamma_.grad.data();
+  float* dbeta = beta_.grad.data();
+
+  parallel_for(0, channels_, [&](std::int64_t c) {
+    // Standard BN backward:
+    //   dxhat = dy * gamma
+    //   dx = inv_std/N * (N*dxhat - sum(dxhat) - xhat * sum(dxhat*xhat))
+    double sum_dy = 0.0;
+    double sum_dy_xhat = 0.0;
+    for (std::int64_t b = 0; b < batch; ++b) {
+      const std::int64_t base = (b * channels_ + c) * plane;
+      for (std::int64_t p = 0; p < plane; ++p) {
+        const float dy = go[base + p];
+        sum_dy += dy;
+        sum_dy_xhat += static_cast<double>(dy) * xhat[base + p];
+      }
+    }
+    dgamma[c] += static_cast<float>(sum_dy_xhat);
+    dbeta[c] += static_cast<float>(sum_dy);
+
+    const float mean_dy = static_cast<float>(sum_dy / count);
+    const float mean_dy_xhat = static_cast<float>(sum_dy_xhat / count);
+    const float scale = gamma[c] * inv_std[c];
+    for (std::int64_t b = 0; b < batch; ++b) {
+      const std::int64_t base = (b * channels_ + c) * plane;
+      for (std::int64_t p = 0; p < plane; ++p) {
+        gi[base + p] = scale * (go[base + p] - mean_dy -
+                                xhat[base + p] * mean_dy_xhat);
+      }
+    }
+  });
+
+  cached_xhat_ = Tensor();
+  cached_inv_std_ = Tensor();
+  cached_batch_ = 0;
+  return grad_input;
+}
+
+void BatchNorm2d::collect_parameters(std::vector<Parameter*>& out) {
+  out.push_back(&gamma_);
+  out.push_back(&beta_);
+}
+
+}  // namespace csq

@@ -1,0 +1,40 @@
+// Batch normalization over (B, H, W) per channel, with running statistics
+// for evaluation mode.
+#pragma once
+
+#include "nn/module.h"
+
+namespace csq {
+
+class BatchNorm2d final : public Module {
+ public:
+  BatchNorm2d(const std::string& name, std::int64_t channels,
+              float momentum = 0.1f, float epsilon = 1e-5f);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  void collect_parameters(std::vector<Parameter*>& out) override;
+  const char* kind() const override { return "batchnorm2d"; }
+
+  const Tensor& running_mean() const { return running_mean_; }
+  const Tensor& running_var() const { return running_var_; }
+
+ private:
+  std::int64_t channels_;
+  float momentum_;
+  float epsilon_;
+
+  Parameter gamma_;
+  Parameter beta_;
+  Tensor running_mean_;
+  Tensor running_var_;
+
+  // Training caches.
+  Tensor cached_xhat_;     // normalized input
+  Tensor cached_inv_std_;  // (C)
+  std::int64_t cached_batch_ = 0;
+  std::int64_t cached_h_ = 0;
+  std::int64_t cached_w_ = 0;
+};
+
+}  // namespace csq

@@ -1,0 +1,188 @@
+#include "nn/blocks.h"
+
+#include "nn/activations.h"
+#include "nn/batchnorm.h"
+#include "nn/conv2d.h"
+#include "tensor/ops.h"
+#include "util/check.h"
+
+namespace csq {
+
+namespace {
+
+// Shared fork/join logic for both block types.
+Tensor block_forward(Sequential& main, Sequential* downsample,
+                     Module& out_relu, Module* out_act_quant,
+                     const Tensor& input, bool training) {
+  Tensor main_out = main.forward(input, training);
+  Tensor skip = downsample != nullptr ? downsample->forward(input, training)
+                                      : input;
+  CSQ_CHECK(main_out.same_shape(skip))
+      << "residual join shape mismatch: " << main_out.shape_string() << " vs "
+      << skip.shape_string();
+  add_inplace(main_out, skip);
+  Tensor activated = out_relu.forward(main_out, training);
+  if (out_act_quant != nullptr) {
+    activated = out_act_quant->forward(activated, training);
+  }
+  return activated;
+}
+
+Tensor block_backward(Sequential& main, Sequential* downsample,
+                      Module& out_relu, Module* out_act_quant,
+                      const Tensor& grad_output) {
+  Tensor grad = grad_output;
+  if (out_act_quant != nullptr) grad = out_act_quant->backward(grad);
+  grad = out_relu.backward(grad);
+  // The sum node broadcasts the gradient to both branches.
+  Tensor grad_input = main.backward(grad);
+  if (downsample != nullptr) {
+    add_inplace(grad_input, downsample->backward(grad));
+  } else {
+    add_inplace(grad_input, grad);
+  }
+  return grad_input;
+}
+
+void append_act_quant(Sequential& seq, const ActQuantFactory& act_factory,
+                      const std::string& name) {
+  if (act_factory) {
+    if (ModulePtr quant = act_factory(name)) seq.add(std::move(quant));
+  }
+}
+
+std::unique_ptr<Sequential> make_downsample(
+    const std::string& name, std::int64_t in_channels,
+    std::int64_t out_channels, std::int64_t stride,
+    const WeightSourceFactory& weight_factory, Rng& rng) {
+  if (stride == 1 && in_channels == out_channels) return nullptr;
+  auto seq = std::make_unique<Sequential>(name);
+  Conv2dConfig conv;
+  conv.in_channels = in_channels;
+  conv.out_channels = out_channels;
+  conv.kernel = 1;
+  conv.stride = stride;
+  conv.pad = 0;
+  seq->add(std::make_unique<Conv2d>(name + ".conv", conv, weight_factory, rng));
+  seq->add(std::make_unique<BatchNorm2d>(name + ".bn", out_channels));
+  return seq;
+}
+
+}  // namespace
+
+BasicBlock::BasicBlock(const std::string& name, const BlockConfig& config,
+                       const WeightSourceFactory& weight_factory,
+                       const ActQuantFactory& act_factory, Rng& rng)
+    : main_(name + ".main") {
+  set_name(name);
+  const std::int64_t out_c = config.out_channels;
+
+  Conv2dConfig conv1;
+  conv1.in_channels = config.in_channels;
+  conv1.out_channels = out_c;
+  conv1.kernel = 3;
+  conv1.stride = config.stride;
+  conv1.pad = 1;
+  main_.add(std::make_unique<Conv2d>(name + ".conv1", conv1, weight_factory,
+                                     rng));
+  main_.add(std::make_unique<BatchNorm2d>(name + ".bn1", out_c));
+  main_.add(std::make_unique<ReLU>(name + ".relu1"));
+  append_act_quant(main_, act_factory, name + ".aq1");
+
+  Conv2dConfig conv2;
+  conv2.in_channels = out_c;
+  conv2.out_channels = out_c;
+  conv2.kernel = 3;
+  conv2.stride = 1;
+  conv2.pad = 1;
+  main_.add(std::make_unique<Conv2d>(name + ".conv2", conv2, weight_factory,
+                                     rng));
+  main_.add(std::make_unique<BatchNorm2d>(name + ".bn2", out_c));
+
+  downsample_ = make_downsample(name + ".downsample", config.in_channels,
+                                out_c, config.stride, weight_factory, rng);
+  out_relu_ = std::make_unique<ReLU>(name + ".relu2");
+  if (act_factory) out_act_quant_ = act_factory(name + ".aq2");
+}
+
+Tensor BasicBlock::forward(const Tensor& input, bool training) {
+  return block_forward(main_, downsample_.get(), *out_relu_,
+                       out_act_quant_.get(), input, training);
+}
+
+Tensor BasicBlock::backward(const Tensor& grad_output) {
+  return block_backward(main_, downsample_.get(), *out_relu_,
+                        out_act_quant_.get(), grad_output);
+}
+
+void BasicBlock::collect_parameters(std::vector<Parameter*>& out) {
+  main_.collect_parameters(out);
+  if (downsample_) downsample_->collect_parameters(out);
+  if (out_act_quant_) out_act_quant_->collect_parameters(out);
+}
+
+Bottleneck::Bottleneck(const std::string& name, const BlockConfig& config,
+                       const WeightSourceFactory& weight_factory,
+                       const ActQuantFactory& act_factory, Rng& rng)
+    : main_(name + ".main") {
+  set_name(name);
+  const std::int64_t mid_c = config.out_channels;
+  const std::int64_t out_c = config.out_channels * expansion;
+
+  Conv2dConfig conv1;
+  conv1.in_channels = config.in_channels;
+  conv1.out_channels = mid_c;
+  conv1.kernel = 1;
+  conv1.stride = 1;
+  conv1.pad = 0;
+  main_.add(std::make_unique<Conv2d>(name + ".conv1", conv1, weight_factory,
+                                     rng));
+  main_.add(std::make_unique<BatchNorm2d>(name + ".bn1", mid_c));
+  main_.add(std::make_unique<ReLU>(name + ".relu1"));
+  append_act_quant(main_, act_factory, name + ".aq1");
+
+  Conv2dConfig conv2;
+  conv2.in_channels = mid_c;
+  conv2.out_channels = mid_c;
+  conv2.kernel = 3;
+  conv2.stride = config.stride;
+  conv2.pad = 1;
+  main_.add(std::make_unique<Conv2d>(name + ".conv2", conv2, weight_factory,
+                                     rng));
+  main_.add(std::make_unique<BatchNorm2d>(name + ".bn2", mid_c));
+  main_.add(std::make_unique<ReLU>(name + ".relu2"));
+  append_act_quant(main_, act_factory, name + ".aq2");
+
+  Conv2dConfig conv3;
+  conv3.in_channels = mid_c;
+  conv3.out_channels = out_c;
+  conv3.kernel = 1;
+  conv3.stride = 1;
+  conv3.pad = 0;
+  main_.add(std::make_unique<Conv2d>(name + ".conv3", conv3, weight_factory,
+                                     rng));
+  main_.add(std::make_unique<BatchNorm2d>(name + ".bn3", out_c));
+
+  downsample_ = make_downsample(name + ".downsample", config.in_channels,
+                                out_c, config.stride, weight_factory, rng);
+  out_relu_ = std::make_unique<ReLU>(name + ".relu3");
+  if (act_factory) out_act_quant_ = act_factory(name + ".aq3");
+}
+
+Tensor Bottleneck::forward(const Tensor& input, bool training) {
+  return block_forward(main_, downsample_.get(), *out_relu_,
+                       out_act_quant_.get(), input, training);
+}
+
+Tensor Bottleneck::backward(const Tensor& grad_output) {
+  return block_backward(main_, downsample_.get(), *out_relu_,
+                        out_act_quant_.get(), grad_output);
+}
+
+void Bottleneck::collect_parameters(std::vector<Parameter*>& out) {
+  main_.collect_parameters(out);
+  if (downsample_) downsample_->collect_parameters(out);
+  if (out_act_quant_) out_act_quant_->collect_parameters(out);
+}
+
+}  // namespace csq

@@ -1,0 +1,69 @@
+// Residual blocks (He et al. 2016): BasicBlock for ResNet-18/20, Bottleneck
+// for ResNet-50. Blocks own their main path as a Sequential and hand-code the
+// fork/join of the skip connection in forward/backward.
+//
+// Activation quantization: the model builders optionally insert an
+// activation-quantizer module after every ReLU (the paper's "A-Bits"
+// column). Blocks receive the same factory so their internal ReLUs are
+// quantized consistently.
+#pragma once
+
+#include <functional>
+
+#include "nn/module.h"
+#include "nn/sequential.h"
+#include "nn/weight_source.h"
+
+namespace csq {
+
+// Creates an activation-quantizer module for the given instance name, or
+// returns nullptr for full-precision activations.
+using ActQuantFactory = std::function<ModulePtr(const std::string& name)>;
+
+struct BlockConfig {
+  std::int64_t in_channels = 0;
+  std::int64_t out_channels = 0;
+  std::int64_t stride = 1;
+};
+
+class BasicBlock final : public Module {
+ public:
+  static constexpr std::int64_t expansion = 1;
+
+  BasicBlock(const std::string& name, const BlockConfig& config,
+             const WeightSourceFactory& weight_factory,
+             const ActQuantFactory& act_factory, Rng& rng);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  void collect_parameters(std::vector<Parameter*>& out) override;
+  const char* kind() const override { return "basic_block"; }
+
+ private:
+  Sequential main_;
+  std::unique_ptr<Sequential> downsample_;  // null -> identity skip
+  ModulePtr out_relu_;
+  ModulePtr out_act_quant_;  // may be null
+};
+
+class Bottleneck final : public Module {
+ public:
+  static constexpr std::int64_t expansion = 4;
+
+  Bottleneck(const std::string& name, const BlockConfig& config,
+             const WeightSourceFactory& weight_factory,
+             const ActQuantFactory& act_factory, Rng& rng);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  void collect_parameters(std::vector<Parameter*>& out) override;
+  const char* kind() const override { return "bottleneck"; }
+
+ private:
+  Sequential main_;
+  std::unique_ptr<Sequential> downsample_;
+  ModulePtr out_relu_;
+  ModulePtr out_act_quant_;
+};
+
+}  // namespace csq

@@ -1,0 +1,175 @@
+#include "nn/conv2d.h"
+
+#include "tensor/gemm.h"
+#include "tensor/ops.h"
+#include "util/check.h"
+#include "util/thread_pool.h"
+
+namespace csq {
+
+Conv2d::Conv2d(const std::string& name, const Conv2dConfig& config,
+               const WeightSourceFactory& weight_factory, Rng& rng)
+    : config_(config), has_bias_(config.bias) {
+  CSQ_CHECK(config.in_channels > 0 && config.out_channels > 0)
+      << "conv2d: bad channel counts";
+  set_name(name);
+  const std::int64_t fan_in =
+      config.in_channels * config.kernel * config.kernel;
+  weight_source_ = weight_factory(
+      name,
+      {config.out_channels, config.in_channels, config.kernel, config.kernel},
+      fan_in, rng);
+  if (has_bias_) {
+    bias_ = Parameter(name + ".bias", Tensor({config.out_channels}),
+                      /*apply_weight_decay=*/false);
+  }
+}
+
+ConvGeometry Conv2d::geometry_for(const Tensor& input) const {
+  CSQ_CHECK(input.ndim() == 4) << "conv2d expects (B,C,H,W), got "
+                               << input.shape_string();
+  CSQ_CHECK(input.dim(1) == config_.in_channels)
+      << "conv2d " << name() << ": input channels " << input.dim(1)
+      << " != " << config_.in_channels;
+  ConvGeometry geom;
+  geom.channels = config_.in_channels;
+  geom.height = input.dim(2);
+  geom.width = input.dim(3);
+  geom.kernel_h = config_.kernel;
+  geom.kernel_w = config_.kernel;
+  geom.stride = config_.stride;
+  geom.pad = config_.pad;
+  geom.validate();
+  return geom;
+}
+
+Tensor Conv2d::forward(const Tensor& input, bool training) {
+  const ConvGeometry geom = geometry_for(input);
+  const std::int64_t batch = input.dim(0);
+  const std::int64_t col_rows = geom.col_rows();
+  const std::int64_t col_cols = geom.col_cols();
+  const std::int64_t out_c = config_.out_channels;
+
+  const Tensor& weights = weight_source_->weight(training);
+
+  Tensor output({batch, out_c, geom.out_h(), geom.out_w()});
+  // The unfolded inputs are needed again by backward; cache them for the
+  // whole batch when training (memory: B * K * OH*OW floats).
+  Tensor cols({batch, col_rows, col_cols});
+
+  const std::int64_t in_stride = geom.channels * geom.height * geom.width;
+  const std::int64_t out_stride = out_c * col_cols;
+  const std::int64_t col_stride = col_rows * col_cols;
+
+  const float* in_data = input.data();
+  float* out_data = output.data();
+  float* col_data = cols.data();
+  const float* w_data = weights.data();
+
+  parallel_for(0, batch, [&](std::int64_t b) {
+    float* col = col_data + b * col_stride;
+    im2col(geom, in_data + b * in_stride, col);
+    // out_b(OC, P) = W(OC, K) * col(K, P)
+    gemm(Trans::no, Trans::no, out_c, col_cols, col_rows, 1.0f, w_data,
+         col_rows, col, col_cols, 0.0f, out_data + b * out_stride, col_cols);
+  });
+
+  if (has_bias_) {
+    const float* bias = bias_.value.data();
+    for (std::int64_t b = 0; b < batch; ++b) {
+      for (std::int64_t oc = 0; oc < out_c; ++oc) {
+        float* plane = out_data + b * out_stride + oc * col_cols;
+        const float bias_oc = bias[oc];
+        for (std::int64_t p = 0; p < col_cols; ++p) plane[p] += bias_oc;
+      }
+    }
+  }
+
+  if (training) {
+    cached_cols_ = std::move(cols);
+    cached_geom_ = geom;
+    cached_batch_ = batch;
+  } else {
+    cached_cols_ = Tensor();
+    cached_batch_ = 0;
+  }
+  return output;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_output) {
+  CSQ_CHECK(cached_batch_ > 0)
+      << "conv2d " << name() << ": backward without training forward";
+  const ConvGeometry& geom = cached_geom_;
+  const std::int64_t batch = cached_batch_;
+  const std::int64_t col_rows = geom.col_rows();
+  const std::int64_t col_cols = geom.col_cols();
+  const std::int64_t out_c = config_.out_channels;
+
+  CSQ_CHECK(grad_output.ndim() == 4 && grad_output.dim(0) == batch &&
+            grad_output.dim(1) == out_c &&
+            grad_output.dim(2) == geom.out_h() &&
+            grad_output.dim(3) == geom.out_w())
+      << "conv2d " << name() << ": grad_output shape "
+      << grad_output.shape_string() << " mismatch";
+
+  const Tensor& weights = weight_source_->weight(/*training=*/true);
+  const float* w_data = weights.data();
+  const float* go_data = grad_output.data();
+  const float* col_data = cached_cols_.data();
+
+  const std::int64_t out_stride = out_c * col_cols;
+  const std::int64_t col_stride = col_rows * col_cols;
+  const std::int64_t in_stride = geom.channels * geom.height * geom.width;
+
+  // ---- input gradient: batch-parallel col2im(W^T * dOut_b) -------------
+  Tensor grad_input({batch, geom.channels, geom.height, geom.width});
+  float* gi_data = grad_input.data();
+  parallel_for(0, batch, [&](std::int64_t b) {
+    std::vector<float> grad_col(
+        static_cast<std::size_t>(col_rows * col_cols));
+    // grad_col(K, P) = W^T(K, OC) * dOut_b(OC, P); A = W stored (OC, K).
+    gemm(Trans::yes, Trans::no, col_rows, col_cols, out_c, 1.0f, w_data,
+         col_rows, go_data + b * out_stride, col_cols, 0.0f, grad_col.data(),
+         col_cols);
+    col2im(geom, grad_col.data(), gi_data + b * in_stride);
+  });
+
+  // ---- weight gradient: OC-parallel sum_b dOut_b * col_b^T ------------
+  Tensor grad_weight(weights.shape());
+  float* gw_data = grad_weight.data();
+  parallel_for_chunked(0, out_c, [&](std::int64_t oc_begin,
+                                     std::int64_t oc_end) {
+    const std::int64_t rows = oc_end - oc_begin;
+    for (std::int64_t b = 0; b < batch; ++b) {
+      // gW[oc,:] += dot(dOut_b[oc,:], col_b[k,:]) — NT over the row block.
+      gemm(Trans::no, Trans::yes, rows, col_rows, col_cols, 1.0f,
+           go_data + b * out_stride + oc_begin * col_cols, col_cols,
+           col_data + b * col_stride, col_cols, b == 0 ? 0.0f : 1.0f,
+           gw_data + oc_begin * col_rows, col_rows);
+    }
+  });
+  weight_source_->backward(grad_weight);
+
+  if (has_bias_) {
+    float* gb = bias_.grad.data();
+    for (std::int64_t b = 0; b < batch; ++b) {
+      for (std::int64_t oc = 0; oc < out_c; ++oc) {
+        const float* plane = go_data + b * out_stride + oc * col_cols;
+        float acc = 0.0f;
+        for (std::int64_t p = 0; p < col_cols; ++p) acc += plane[p];
+        gb[oc] += acc;
+      }
+    }
+  }
+
+  cached_cols_ = Tensor();
+  cached_batch_ = 0;
+  return grad_input;
+}
+
+void Conv2d::collect_parameters(std::vector<Parameter*>& out) {
+  weight_source_->collect_parameters(out);
+  if (has_bias_) out.push_back(&bias_);
+}
+
+}  // namespace csq

@@ -1,0 +1,53 @@
+// 2-D convolution lowered to GEMM via im2col.
+//
+// Input  (B, IC, H, W) -> Output (B, OC, OH, OW).
+// The forward pass parallelizes over the batch (each sample runs
+// im2col + one serial GEMM); the backward pass parallelizes the input
+// gradient over the batch and the weight gradient over output channels so no
+// accumulation races occur. im2col matrices are cached per batch during
+// training-mode forward.
+#pragma once
+
+#include "nn/module.h"
+#include "nn/weight_source.h"
+#include "tensor/im2col.h"
+
+namespace csq {
+
+struct Conv2dConfig {
+  std::int64_t in_channels = 0;
+  std::int64_t out_channels = 0;
+  std::int64_t kernel = 3;
+  std::int64_t stride = 1;
+  std::int64_t pad = 1;
+  bool bias = false;  // ResNet/VGG convs are bias-free (BN follows).
+};
+
+class Conv2d final : public Module {
+ public:
+  Conv2d(const std::string& name, const Conv2dConfig& config,
+         const WeightSourceFactory& weight_factory, Rng& rng);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  void collect_parameters(std::vector<Parameter*>& out) override;
+  const char* kind() const override { return "conv2d"; }
+
+  WeightSource& source() { return *weight_source_; }
+  const Conv2dConfig& config() const { return config_; }
+
+ private:
+  ConvGeometry geometry_for(const Tensor& input) const;
+
+  Conv2dConfig config_;
+  WeightSourcePtr weight_source_;
+  Parameter bias_;  // empty unless config_.bias
+  bool has_bias_ = false;
+
+  // Training-mode caches.
+  Tensor cached_cols_;        // (B, K, OH*OW) unfolded inputs
+  ConvGeometry cached_geom_;  // geometry of the cached batch
+  std::int64_t cached_batch_ = 0;
+};
+
+}  // namespace csq

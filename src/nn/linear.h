@@ -1,0 +1,34 @@
+// Fully-connected layer: Y = X W^T + b, weights (OUT, IN).
+#pragma once
+
+#include "nn/module.h"
+#include "nn/weight_source.h"
+
+namespace csq {
+
+class Linear final : public Module {
+ public:
+  Linear(const std::string& name, std::int64_t in_features,
+         std::int64_t out_features, const WeightSourceFactory& weight_factory,
+         Rng& rng, bool bias = true);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  void collect_parameters(std::vector<Parameter*>& out) override;
+  const char* kind() const override { return "linear"; }
+
+  WeightSource& source() { return *weight_source_; }
+  std::int64_t in_features() const { return in_features_; }
+  std::int64_t out_features() const { return out_features_; }
+
+ private:
+  std::int64_t in_features_;
+  std::int64_t out_features_;
+  WeightSourcePtr weight_source_;
+  Parameter bias_;
+  bool has_bias_;
+
+  Tensor cached_input_;  // (B, IN) from the last training forward
+};
+
+}  // namespace csq

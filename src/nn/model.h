@@ -1,0 +1,59 @@
+// Model: a module tree plus the bookkeeping the quantization pipeline needs —
+// the flat parameter list for the optimizer and the registry of quantizable
+// layers (name -> WeightSource) used for precision accounting, budget
+// regularization and the layer-wise scheme dumps of the paper's Figure 4.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/module.h"
+#include "nn/weight_source.h"
+
+namespace csq {
+
+struct QuantLayer {
+  std::string name;
+  WeightSource* source = nullptr;
+};
+
+class Model {
+ public:
+  Model() = default;
+  Model(Model&&) = default;
+  Model& operator=(Model&&) = default;
+
+  // Wraps a weight-source factory so that every created source is recorded
+  // in this model's quant-layer registry. Builders must create all layers
+  // through the wrapped factory and only then call set_root.
+  WeightSourceFactory recording_factory(WeightSourceFactory base);
+
+  void set_root(ModulePtr root);
+  Module& root();
+  bool has_root() const { return root_ != nullptr; }
+
+  Tensor forward(const Tensor& input, bool training);
+  Tensor backward(const Tensor& grad_output);
+
+  // Flat parameter list (collected once; stable for the model's lifetime).
+  const std::vector<Parameter*>& parameters();
+  void zero_grad();
+
+  const std::vector<QuantLayer>& quant_layers() const { return quant_layers_; }
+
+  // Total quantizable weight elements across registered layers.
+  std::int64_t total_weight_count() const;
+  // Element-weighted average storage bits across registered layers.
+  double average_bits() const;
+  // 32 / average_bits — the Comp(x) column of the paper's tables.
+  double compression_ratio() const;
+
+ private:
+  ModulePtr root_;
+  std::vector<Parameter*> parameters_;
+  bool parameters_collected_ = false;
+  std::vector<QuantLayer> quant_layers_;
+};
+
+}  // namespace csq

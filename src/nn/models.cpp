@@ -1,0 +1,190 @@
+#include "nn/models.h"
+
+#include <string>
+
+#include "nn/activations.h"
+#include "nn/batchnorm.h"
+#include "nn/conv2d.h"
+#include "nn/linear.h"
+#include "nn/pooling.h"
+#include "nn/sequential.h"
+#include "util/check.h"
+
+namespace csq {
+
+namespace {
+
+void add_act_quant(Sequential& seq, const ActQuantFactory& act_factory,
+                   const std::string& name) {
+  if (act_factory) {
+    if (ModulePtr quant = act_factory(name)) seq.add(std::move(quant));
+  }
+}
+
+// conv3x3 -> bn -> relu [-> act quant] stem shared by the residual nets.
+void add_stem(Sequential& seq, std::int64_t in_channels,
+              std::int64_t out_channels,
+              const WeightSourceFactory& weight_factory,
+              const ActQuantFactory& act_factory, Rng& rng) {
+  Conv2dConfig conv;
+  conv.in_channels = in_channels;
+  conv.out_channels = out_channels;
+  conv.kernel = 3;
+  conv.stride = 1;
+  conv.pad = 1;
+  seq.add(std::make_unique<Conv2d>("conv1", conv, weight_factory, rng));
+  seq.add(std::make_unique<BatchNorm2d>("bn1", out_channels));
+  seq.add(std::make_unique<ReLU>("relu1"));
+  add_act_quant(seq, act_factory, "aq1");
+}
+
+template <typename Block>
+std::int64_t add_stage(Sequential& seq, const std::string& stage_name,
+                       std::int64_t in_channels, std::int64_t width,
+                       int blocks, std::int64_t first_stride,
+                       const WeightSourceFactory& weight_factory,
+                       const ActQuantFactory& act_factory, Rng& rng) {
+  std::int64_t channels = in_channels;
+  for (int i = 0; i < blocks; ++i) {
+    BlockConfig config;
+    config.in_channels = channels;
+    config.out_channels = width;
+    config.stride = i == 0 ? first_stride : 1;
+    seq.add(std::make_unique<Block>(stage_name + "." + std::to_string(i),
+                                    config, weight_factory, act_factory, rng));
+    channels = width * Block::expansion;
+  }
+  return channels;
+}
+
+}  // namespace
+
+Model make_resnet_cifar(int depth, const ModelConfig& config,
+                        const WeightSourceFactory& weight_factory,
+                        const ActQuantFactory& act_factory, Rng& rng) {
+  CSQ_CHECK((depth - 2) % 6 == 0 && depth >= 8)
+      << "resnet_cifar: depth must be 6n+2, got " << depth;
+  const int blocks_per_stage = (depth - 2) / 6;
+  const std::int64_t w = config.base_width;
+
+  Model model;
+  const WeightSourceFactory factory =
+      model.recording_factory(weight_factory);
+
+  auto seq = std::make_unique<Sequential>("resnet" + std::to_string(depth));
+  add_stem(*seq, config.in_channels, w, factory, act_factory, rng);
+  std::int64_t channels = w;
+  channels = add_stage<BasicBlock>(*seq, "layer1", channels, w,
+                                   blocks_per_stage, 1, factory, act_factory,
+                                   rng);
+  channels = add_stage<BasicBlock>(*seq, "layer2", channels, 2 * w,
+                                   blocks_per_stage, 2, factory, act_factory,
+                                   rng);
+  channels = add_stage<BasicBlock>(*seq, "layer3", channels, 4 * w,
+                                   blocks_per_stage, 2, factory, act_factory,
+                                   rng);
+  seq->add(std::make_unique<GlobalAvgPool>("avgpool"));
+  seq->add(std::make_unique<Linear>("fc", channels, config.num_classes,
+                                    factory, rng));
+  model.set_root(std::move(seq));
+  return model;
+}
+
+Model make_vgg19bn(const ModelConfig& config,
+                   const WeightSourceFactory& weight_factory,
+                   const ActQuantFactory& act_factory, Rng& rng) {
+  // VGG-19: conv counts per stage {2, 2, 4, 4, 4}, width multipliers
+  // {1, 2, 4, 8, 8}, max-pool between stages.
+  static constexpr int kStageConvs[5] = {2, 2, 4, 4, 4};
+  static constexpr int kStageWidth[5] = {1, 2, 4, 8, 8};
+  const std::int64_t w = config.base_width;
+
+  Model model;
+  const WeightSourceFactory factory =
+      model.recording_factory(weight_factory);
+
+  auto seq = std::make_unique<Sequential>("vgg19bn");
+  std::int64_t channels = config.in_channels;
+  int conv_index = 1;
+  for (int stage = 0; stage < 5; ++stage) {
+    const std::int64_t width = w * kStageWidth[stage];
+    for (int i = 0; i < kStageConvs[stage]; ++i, ++conv_index) {
+      const std::string name = "conv" + std::to_string(conv_index);
+      Conv2dConfig conv;
+      conv.in_channels = channels;
+      conv.out_channels = width;
+      conv.kernel = 3;
+      conv.stride = 1;
+      conv.pad = 1;
+      seq->add(std::make_unique<Conv2d>(name, conv, factory, rng));
+      seq->add(std::make_unique<BatchNorm2d>("bn" + std::to_string(conv_index),
+                                             width));
+      seq->add(std::make_unique<ReLU>("relu" + std::to_string(conv_index)));
+      add_act_quant(*seq, act_factory, "aq" + std::to_string(conv_index));
+      channels = width;
+    }
+    seq->add(std::make_unique<MaxPool2d>("pool" + std::to_string(stage + 1),
+                                         2));
+  }
+  seq->add(std::make_unique<GlobalAvgPool>("avgpool"));
+  seq->add(std::make_unique<Linear>("fc", channels, config.num_classes,
+                                    factory, rng));
+  model.set_root(std::move(seq));
+  return model;
+}
+
+Model make_resnet18(const ModelConfig& config,
+                    const WeightSourceFactory& weight_factory,
+                    const ActQuantFactory& act_factory, Rng& rng) {
+  const std::int64_t w = config.base_width;
+
+  Model model;
+  const WeightSourceFactory factory =
+      model.recording_factory(weight_factory);
+
+  auto seq = std::make_unique<Sequential>("resnet18");
+  add_stem(*seq, config.in_channels, w, factory, act_factory, rng);
+  std::int64_t channels = w;
+  channels = add_stage<BasicBlock>(*seq, "layer1", channels, w, 2, 1, factory,
+                                   act_factory, rng);
+  channels = add_stage<BasicBlock>(*seq, "layer2", channels, 2 * w, 2, 2,
+                                   factory, act_factory, rng);
+  channels = add_stage<BasicBlock>(*seq, "layer3", channels, 4 * w, 2, 2,
+                                   factory, act_factory, rng);
+  channels = add_stage<BasicBlock>(*seq, "layer4", channels, 8 * w, 2, 2,
+                                   factory, act_factory, rng);
+  seq->add(std::make_unique<GlobalAvgPool>("avgpool"));
+  seq->add(std::make_unique<Linear>("fc", channels, config.num_classes,
+                                    factory, rng));
+  model.set_root(std::move(seq));
+  return model;
+}
+
+Model make_resnet50(const ModelConfig& config,
+                    const WeightSourceFactory& weight_factory,
+                    const ActQuantFactory& act_factory, Rng& rng) {
+  const std::int64_t w = config.base_width;
+
+  Model model;
+  const WeightSourceFactory factory =
+      model.recording_factory(weight_factory);
+
+  auto seq = std::make_unique<Sequential>("resnet50");
+  add_stem(*seq, config.in_channels, w, factory, act_factory, rng);
+  std::int64_t channels = w;
+  channels = add_stage<Bottleneck>(*seq, "layer1", channels, w, 3, 1, factory,
+                                   act_factory, rng);
+  channels = add_stage<Bottleneck>(*seq, "layer2", channels, 2 * w, 4, 2,
+                                   factory, act_factory, rng);
+  channels = add_stage<Bottleneck>(*seq, "layer3", channels, 4 * w, 6, 2,
+                                   factory, act_factory, rng);
+  channels = add_stage<Bottleneck>(*seq, "layer4", channels, 8 * w, 3, 2,
+                                   factory, act_factory, rng);
+  seq->add(std::make_unique<GlobalAvgPool>("avgpool"));
+  seq->add(std::make_unique<Linear>("fc", channels, config.num_classes,
+                                    factory, rng));
+  model.set_root(std::move(seq));
+  return model;
+}
+
+}  // namespace csq

@@ -1,0 +1,52 @@
+// Model zoo: the four architectures of the paper's evaluation.
+//
+//  * resnet_cifar(depth)  — ResNet-20/32 for CIFAR-style inputs
+//                           (3 stages of (depth-2)/6 BasicBlocks,
+//                           widths w/2w/4w; the paper's Figure 4 layer list).
+//  * vgg19bn              — VGG-19 with batch norm.
+//  * resnet18 / resnet50  — ImageNet-family residual nets; built with a
+//                           3x3 stem (no initial downsampling) because the
+//                           synthetic substrate uses 32x32 inputs.
+//
+// Every Conv2d/Linear weight is created through the given
+// WeightSourceFactory, so the same builder produces the FP baseline, the
+// STE/DoReFa/LQ-Nets/BSQ baselines and the CSQ model depending on the
+// factory. `base_width` scales channel counts uniformly (paper-faithful
+// values: 16 for ResNet-20, 64 for ResNet-18/50 and VGG); the bench
+// harnesses use smaller widths so the full suite runs in minutes.
+#pragma once
+
+#include "nn/blocks.h"
+#include "nn/model.h"
+
+namespace csq {
+
+struct ModelConfig {
+  int num_classes = 10;
+  std::int64_t base_width = 16;
+  std::int64_t in_channels = 3;
+};
+
+Model make_resnet_cifar(int depth, const ModelConfig& config,
+                        const WeightSourceFactory& weight_factory,
+                        const ActQuantFactory& act_factory, Rng& rng);
+
+inline Model make_resnet20(const ModelConfig& config,
+                           const WeightSourceFactory& weight_factory,
+                           const ActQuantFactory& act_factory, Rng& rng) {
+  return make_resnet_cifar(20, config, weight_factory, act_factory, rng);
+}
+
+Model make_vgg19bn(const ModelConfig& config,
+                   const WeightSourceFactory& weight_factory,
+                   const ActQuantFactory& act_factory, Rng& rng);
+
+Model make_resnet18(const ModelConfig& config,
+                    const WeightSourceFactory& weight_factory,
+                    const ActQuantFactory& act_factory, Rng& rng);
+
+Model make_resnet50(const ModelConfig& config,
+                    const WeightSourceFactory& weight_factory,
+                    const ActQuantFactory& act_factory, Rng& rng);
+
+}  // namespace csq

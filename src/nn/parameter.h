@@ -1,0 +1,30 @@
+// Trainable parameter: a value tensor plus its gradient accumulator.
+#pragma once
+
+#include <string>
+
+#include "tensor/tensor.h"
+
+namespace csq {
+
+struct Parameter {
+  Parameter() = default;
+  Parameter(std::string param_name, Tensor initial_value,
+            bool apply_weight_decay = true)
+      : name(std::move(param_name)),
+        value(std::move(initial_value)),
+        grad(value.shape()),
+        weight_decay(apply_weight_decay) {}
+
+  void zero_grad() { grad.zero(); }
+
+  std::string name;
+  Tensor value;
+  Tensor grad;
+  // Whether the optimizer applies L2 weight decay to this parameter.
+  // Disabled for batch-norm affine parameters, quantization scales and
+  // gate logits — decaying logits toward zero would fight the gates.
+  bool weight_decay = true;
+};
+
+}  // namespace csq

@@ -1,0 +1,52 @@
+// Pooling and shape modules: 2x2 max pooling (VGG), global average pooling
+// (ResNet/VGG heads) and flatten.
+#pragma once
+
+#include <vector>
+
+#include "nn/module.h"
+
+namespace csq {
+
+// Max pooling with square kernel == stride (non-overlapping), as used by VGG.
+class MaxPool2d final : public Module {
+ public:
+  MaxPool2d(const std::string& name, std::int64_t kernel);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  const char* kind() const override { return "maxpool2d"; }
+
+ private:
+  std::int64_t kernel_;
+  std::vector<std::int64_t> cached_argmax_;  // flat input index per output
+  std::vector<std::int64_t> cached_input_shape_;
+};
+
+// (B, C, H, W) -> (B, C): mean over the spatial grid.
+class GlobalAvgPool final : public Module {
+ public:
+  explicit GlobalAvgPool(const std::string& name) { set_name(name); }
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  const char* kind() const override { return "global_avg_pool"; }
+
+ private:
+  std::vector<std::int64_t> cached_input_shape_;
+};
+
+// (B, C, H, W) -> (B, C*H*W).
+class Flatten final : public Module {
+ public:
+  explicit Flatten(const std::string& name) { set_name(name); }
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  const char* kind() const override { return "flatten"; }
+
+ private:
+  std::vector<std::int64_t> cached_input_shape_;
+};
+
+}  // namespace csq

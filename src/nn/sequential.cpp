@@ -1,0 +1,25 @@
+#include "nn/sequential.h"
+
+namespace csq {
+
+Tensor Sequential::forward(const Tensor& input, bool training) {
+  Tensor current = input;
+  for (auto& module : modules_) {
+    current = module->forward(current, training);
+  }
+  return current;
+}
+
+Tensor Sequential::backward(const Tensor& grad_output) {
+  Tensor current = grad_output;
+  for (auto it = modules_.rbegin(); it != modules_.rend(); ++it) {
+    current = (*it)->backward(current);
+  }
+  return current;
+}
+
+void Sequential::collect_parameters(std::vector<Parameter*>& out) {
+  for (auto& module : modules_) module->collect_parameters(out);
+}
+
+}  // namespace csq

@@ -1,0 +1,77 @@
+#include "nn/softmax_ce.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/ops.h"
+#include "util/check.h"
+
+namespace csq {
+
+float SoftmaxCrossEntropy::forward(const Tensor& logits,
+                                   const std::vector<int>& labels) {
+  CSQ_CHECK(logits.ndim() == 2) << "softmax_ce expects (B, classes)";
+  const std::int64_t batch = logits.dim(0);
+  const std::int64_t classes = logits.dim(1);
+  CSQ_CHECK(static_cast<std::int64_t>(labels.size()) == batch)
+      << "softmax_ce: " << labels.size() << " labels for batch " << batch;
+
+  probabilities_ = Tensor({batch, classes});
+  labels_ = labels;
+  predictions_.assign(static_cast<std::size_t>(batch), 0);
+
+  const float* in = logits.data();
+  float* probs = probabilities_.data();
+  double total_loss = 0.0;
+  for (std::int64_t b = 0; b < batch; ++b) {
+    const float* row = in + b * classes;
+    const int label = labels[static_cast<std::size_t>(b)];
+    CSQ_CHECK(label >= 0 && label < classes)
+        << "softmax_ce: label " << label << " out of range " << classes;
+
+    // Numerically stable log-softmax.
+    const std::int64_t best = argmax(row, classes);
+    predictions_[static_cast<std::size_t>(b)] = static_cast<int>(best);
+    const float max_logit = row[best];
+    double denom = 0.0;
+    for (std::int64_t j = 0; j < classes; ++j) {
+      denom += std::exp(static_cast<double>(row[j] - max_logit));
+    }
+    const double log_denom = std::log(denom);
+    float* prob_row = probs + b * classes;
+    for (std::int64_t j = 0; j < classes; ++j) {
+      prob_row[j] = static_cast<float>(
+          std::exp(static_cast<double>(row[j] - max_logit) - log_denom));
+    }
+    total_loss -= static_cast<double>(row[label] - max_logit) - log_denom;
+  }
+  return static_cast<float>(total_loss / static_cast<double>(batch));
+}
+
+Tensor SoftmaxCrossEntropy::backward() const {
+  CSQ_CHECK(!probabilities_.empty()) << "softmax_ce: backward before forward";
+  const std::int64_t batch = probabilities_.dim(0);
+  const std::int64_t classes = probabilities_.dim(1);
+
+  Tensor grad = probabilities_;
+  float* g = grad.data();
+  const float inv_batch = 1.0f / static_cast<float>(batch);
+  for (std::int64_t b = 0; b < batch; ++b) {
+    g[b * classes + labels_[static_cast<std::size_t>(b)]] -= 1.0f;
+    for (std::int64_t j = 0; j < classes; ++j) g[b * classes + j] *= inv_batch;
+  }
+  return grad;
+}
+
+int count_correct(const std::vector<int>& predictions,
+                  const std::vector<int>& labels) {
+  CSQ_CHECK(predictions.size() == labels.size())
+      << "count_correct: size mismatch";
+  int correct = 0;
+  for (std::size_t i = 0; i < predictions.size(); ++i) {
+    if (predictions[i] == labels[i]) ++correct;
+  }
+  return correct;
+}
+
+}  // namespace csq

@@ -1,0 +1,34 @@
+// Softmax cross-entropy loss with integer class labels.
+//
+// Not a Module: the loss consumes logits and labels and produces the scalar
+// loss plus the logits gradient, which seeds the network backward pass.
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace csq {
+
+class SoftmaxCrossEntropy {
+ public:
+  // Returns the mean loss over the batch. Caches softmax probabilities.
+  float forward(const Tensor& logits, const std::vector<int>& labels);
+
+  // Gradient of the mean loss w.r.t. the logits: (softmax - onehot) / B.
+  Tensor backward() const;
+
+  // Top-1 predictions of the last forward.
+  const std::vector<int>& predictions() const { return predictions_; }
+
+ private:
+  Tensor probabilities_;
+  std::vector<int> labels_;
+  std::vector<int> predictions_;
+};
+
+// Counts label matches (top-1) between predictions and labels.
+int count_correct(const std::vector<int>& predictions,
+                  const std::vector<int>& labels);
+
+}  // namespace csq

@@ -1,0 +1,41 @@
+#include "nn/weight_source.h"
+
+#include "tensor/init.h"
+#include "tensor/ops.h"
+#include "util/check.h"
+
+namespace csq {
+
+DenseWeightSource::DenseWeightSource(const std::string& name,
+                                     std::vector<std::int64_t> shape,
+                                     std::int64_t fan_in, Rng& rng) {
+  Tensor value(std::move(shape));
+  fill_he_normal(value, fan_in, rng);
+  weight_ = Parameter(name + ".weight", std::move(value),
+                      /*apply_weight_decay=*/true);
+}
+
+const Tensor& DenseWeightSource::weight(bool training) {
+  (void)training;
+  return weight_.value;
+}
+
+void DenseWeightSource::backward(const Tensor& grad_weight) {
+  CSQ_CHECK(grad_weight.same_shape(weight_.grad))
+      << "dense weight grad shape mismatch";
+  add_inplace(weight_.grad, grad_weight);
+}
+
+void DenseWeightSource::collect_parameters(std::vector<Parameter*>& out) {
+  out.push_back(&weight_);
+}
+
+WeightSourceFactory dense_weight_factory() {
+  return [](const std::string& name, std::vector<std::int64_t> shape,
+            std::int64_t fan_in, Rng& rng) -> WeightSourcePtr {
+    return std::make_unique<DenseWeightSource>(name, std::move(shape), fan_in,
+                                               rng);
+  };
+}
+
+}  // namespace csq

@@ -1,0 +1,81 @@
+// WeightSource: the seam between the NN layers and the quantization schemes.
+//
+// Conv2d and Linear do not own a weight tensor directly; they own a
+// WeightSource that materializes the effective weight each step and receives
+// dLoss/dWeight back. The full-precision baseline (DenseWeightSource, below)
+// stores the weight as a plain parameter. Quantized trainings plug in
+// sources from src/quant (STE-Uniform, DoReFa, LQ-Nets, BSQ) or src/core
+// (the paper's bi-level continuous-sparsification parameterization).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/parameter.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace csq {
+
+class WeightSource {
+ public:
+  virtual ~WeightSource() = default;
+
+  WeightSource() = default;
+  WeightSource(const WeightSource&) = delete;
+  WeightSource& operator=(const WeightSource&) = delete;
+
+  // Materializes the effective weight for the current step. The reference
+  // stays valid until the next mutate/materialize call on this source.
+  virtual const Tensor& weight(bool training) = 0;
+
+  // Accumulates dLoss/dWeight into the source's own trainable parameters.
+  // Must be called after a training-mode weight() materialization.
+  virtual void backward(const Tensor& grad_weight) = 0;
+
+  virtual void collect_parameters(std::vector<Parameter*>& out) = 0;
+
+  virtual const char* kind() const = 0;
+
+  // Number of weight elements provided by this source.
+  virtual std::int64_t weight_count() const = 0;
+
+  // Storage cost per weight element, in bits, under the source's current
+  // quantization state (32 for dense). Drives the Comp(x) columns.
+  virtual double bits_per_weight() const { return 32.0; }
+};
+
+using WeightSourcePtr = std::unique_ptr<WeightSource>;
+
+// Factory signature used by the model builders: receives the dotted layer
+// name, the weight shape (OC,IC,KH,KW for conv, OUT,IN for linear) and the
+// fan-in for initialization.
+using WeightSourceFactory = std::function<WeightSourcePtr(
+    const std::string& name, std::vector<std::int64_t> shape,
+    std::int64_t fan_in, Rng& rng)>;
+
+// Full-precision weight stored as a single dense parameter.
+class DenseWeightSource final : public WeightSource {
+ public:
+  DenseWeightSource(const std::string& name, std::vector<std::int64_t> shape,
+                    std::int64_t fan_in, Rng& rng);
+
+  const Tensor& weight(bool training) override;
+  void backward(const Tensor& grad_weight) override;
+  void collect_parameters(std::vector<Parameter*>& out) override;
+  const char* kind() const override { return "dense"; }
+  std::int64_t weight_count() const override { return weight_.value.numel(); }
+
+  Parameter& parameter() { return weight_; }
+
+ private:
+  Parameter weight_;
+};
+
+// Factory for the dense source (the FP baseline used in every table's
+// first row).
+WeightSourceFactory dense_weight_factory();
+
+}  // namespace csq

@@ -1,0 +1,38 @@
+#include "opt/lr_schedule.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace csq {
+
+CosineSchedule::CosineSchedule(float lr_max, int total_epochs,
+                               int warmup_epochs, float lr_min)
+    : lr_max_(lr_max),
+      lr_min_(lr_min),
+      total_epochs_(total_epochs),
+      warmup_epochs_(warmup_epochs) {
+  CSQ_CHECK(total_epochs >= 1) << "cosine schedule: bad epoch count";
+  CSQ_CHECK(warmup_epochs >= 0 && warmup_epochs < total_epochs)
+      << "cosine schedule: warmup " << warmup_epochs << " vs total "
+      << total_epochs;
+  CSQ_CHECK(lr_max > 0.0f && lr_min >= 0.0f && lr_min <= lr_max)
+      << "cosine schedule: bad lr range";
+}
+
+float CosineSchedule::at_epoch(int epoch) const {
+  CSQ_CHECK(epoch >= 0) << "cosine schedule: negative epoch";
+  if (epoch >= total_epochs_) return lr_min_;
+  if (warmup_epochs_ > 0 && epoch < warmup_epochs_) {
+    // Linear ramp ending at lr_max on the first post-warmup epoch.
+    return lr_max_ * static_cast<float>(epoch + 1) /
+           static_cast<float>(warmup_epochs_);
+  }
+  const float progress =
+      static_cast<float>(epoch - warmup_epochs_) /
+      static_cast<float>(total_epochs_ - warmup_epochs_);
+  return lr_min_ + 0.5f * (lr_max_ - lr_min_) *
+                       (1.0f + std::cos(3.14159265358979f * progress));
+}
+
+}  // namespace csq

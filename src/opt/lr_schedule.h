@@ -1,0 +1,26 @@
+// Learning-rate schedules: cosine annealing with optional linear warmup —
+// the schedule used by all experiments in the paper (Section IV-A).
+#pragma once
+
+namespace csq {
+
+class CosineSchedule {
+ public:
+  // lr(e) = lr_min + 0.5*(lr_max - lr_min)*(1 + cos(pi * t)) where t ramps
+  // over the post-warmup epochs; during warmup lr rises linearly from
+  // lr_max/warmup_epochs to lr_max.
+  CosineSchedule(float lr_max, int total_epochs, int warmup_epochs = 0,
+                 float lr_min = 0.0f);
+
+  float at_epoch(int epoch) const;
+
+  int total_epochs() const { return total_epochs_; }
+
+ private:
+  float lr_max_;
+  float lr_min_;
+  int total_epochs_;
+  int warmup_epochs_;
+};
+
+}  // namespace csq

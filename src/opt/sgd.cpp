@@ -1,0 +1,39 @@
+#include "opt/sgd.h"
+
+#include "util/check.h"
+
+namespace csq {
+
+Sgd::Sgd(std::vector<Parameter*> parameters, const SgdConfig& config)
+    : parameters_(std::move(parameters)), config_(config) {
+  CSQ_CHECK(!parameters_.empty()) << "sgd: no parameters";
+  velocities_.reserve(parameters_.size());
+  for (const Parameter* param : parameters_) {
+    CSQ_CHECK(param != nullptr) << "sgd: null parameter";
+    velocities_.emplace_back(param->value.shape());
+  }
+}
+
+void Sgd::step() {
+  const float lr = config_.learning_rate;
+  const float momentum = config_.momentum;
+  for (std::size_t p = 0; p < parameters_.size(); ++p) {
+    Parameter& param = *parameters_[p];
+    const float decay = param.weight_decay ? config_.weight_decay : 0.0f;
+    float* value = param.value.data();
+    const float* grad = param.grad.data();
+    float* velocity = velocities_[p].data();
+    const std::int64_t count = param.value.numel();
+    for (std::int64_t i = 0; i < count; ++i) {
+      const float g = grad[i] + decay * value[i];
+      velocity[i] = momentum * velocity[i] + g;
+      value[i] -= lr * velocity[i];
+    }
+  }
+}
+
+void Sgd::reset_momentum() {
+  for (Tensor& velocity : velocities_) velocity.zero();
+}
+
+}  // namespace csq

@@ -1,0 +1,106 @@
+#include "opt/trainer.h"
+
+#include "nn/softmax_ce.h"
+#include "util/logging.h"
+
+namespace csq {
+
+float evaluate_accuracy(Model& model, const InMemoryDataset& dataset,
+                        std::int64_t batch_size) {
+  DataLoader loader(dataset, batch_size, /*shuffle=*/false, Rng(1));
+  SoftmaxCrossEntropy loss;
+  Batch batch;
+  int correct = 0;
+  loader.start_epoch();
+  while (loader.next(batch)) {
+    Tensor logits = model.forward(batch.images, /*training=*/false);
+    loss.forward(logits, batch.labels);
+    correct += count_correct(loss.predictions(), batch.labels);
+  }
+  return 100.0f * static_cast<float>(correct) /
+         static_cast<float>(dataset.size());
+}
+
+float evaluate_loss(Model& model, const InMemoryDataset& dataset,
+                    std::int64_t batch_size) {
+  DataLoader loader(dataset, batch_size, /*shuffle=*/false, Rng(1));
+  SoftmaxCrossEntropy loss;
+  Batch batch;
+  double total = 0.0;
+  std::int64_t samples = 0;
+  loader.start_epoch();
+  while (loader.next(batch)) {
+    Tensor logits = model.forward(batch.images, /*training=*/false);
+    const float batch_loss = loss.forward(logits, batch.labels);
+    const auto batch_count = static_cast<std::int64_t>(batch.labels.size());
+    total += static_cast<double>(batch_loss) * batch_count;
+    samples += batch_count;
+  }
+  return static_cast<float>(total / static_cast<double>(samples));
+}
+
+EpochStats train_one_epoch(Model& model, Sgd& optimizer, DataLoader& loader,
+                           const FitHooks& hooks) {
+  SoftmaxCrossEntropy loss;
+  Batch batch;
+  double total_loss = 0.0;
+  std::int64_t correct = 0;
+  std::int64_t samples = 0;
+
+  loader.start_epoch();
+  while (loader.next(batch)) {
+    model.zero_grad();
+    Tensor logits = model.forward(batch.images, /*training=*/true);
+    const float batch_loss = loss.forward(logits, batch.labels);
+    model.backward(loss.backward());
+    if (hooks.before_step) hooks.before_step();
+    optimizer.step();
+
+    const auto batch_count = static_cast<std::int64_t>(batch.labels.size());
+    total_loss += static_cast<double>(batch_loss) * batch_count;
+    correct += count_correct(loss.predictions(), batch.labels);
+    samples += batch_count;
+  }
+
+  EpochStats stats;
+  stats.loss = static_cast<float>(total_loss / static_cast<double>(samples));
+  stats.accuracy =
+      100.0f * static_cast<float>(correct) / static_cast<float>(samples);
+  return stats;
+}
+
+FitResult fit(Model& model, const InMemoryDataset& train,
+              const InMemoryDataset& test, const TrainConfig& config,
+              const FitHooks& hooks) {
+  SgdConfig sgd_config;
+  sgd_config.learning_rate = config.learning_rate;
+  sgd_config.momentum = config.momentum;
+  sgd_config.weight_decay = config.weight_decay;
+  Sgd optimizer(model.parameters(), sgd_config);
+
+  CosineSchedule schedule(config.learning_rate, config.epochs,
+                          config.warmup_epochs, config.lr_min);
+  DataLoader loader(train, config.batch_size, /*shuffle=*/true,
+                    Rng(config.seed));
+
+  FitResult result;
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    optimizer.set_learning_rate(schedule.at_epoch(epoch));
+    if (hooks.on_epoch_begin) hooks.on_epoch_begin(epoch);
+
+    const EpochStats stats = train_one_epoch(model, optimizer, loader, hooks);
+    result.final_train_loss = stats.loss;
+    result.final_train_accuracy = stats.accuracy;
+
+    if (hooks.on_epoch_end) hooks.on_epoch_end(epoch, stats.loss, stats.accuracy);
+    if (config.verbose) {
+      log_info() << "epoch " << epoch + 1 << "/" << config.epochs
+                 << " lr=" << optimizer.learning_rate()
+                 << " loss=" << stats.loss << " acc=" << stats.accuracy << "%";
+    }
+  }
+  result.test_accuracy = evaluate_accuracy(model, test, config.batch_size);
+  return result;
+}
+
+}  // namespace csq

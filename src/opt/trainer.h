@@ -1,0 +1,67 @@
+// Generic training/evaluation loops shared by all QAT methods and the FP
+// baseline. Scheme-specific behaviour (temperature schedules, budget
+// regularization, periodic bit pruning) is injected through FitHooks.
+#pragma once
+
+#include <functional>
+
+#include "data/dataloader.h"
+#include "data/dataset.h"
+#include "nn/model.h"
+#include "opt/lr_schedule.h"
+#include "opt/sgd.h"
+
+namespace csq {
+
+struct TrainConfig {
+  int epochs = 30;
+  std::int64_t batch_size = 50;
+  float learning_rate = 0.1f;
+  float lr_min = 0.0f;
+  int warmup_epochs = 0;
+  float momentum = 0.9f;
+  float weight_decay = 5e-4f;
+  std::uint64_t seed = 3;
+  bool verbose = false;  // per-epoch log lines
+};
+
+struct FitHooks {
+  // Called at the start of every epoch (set gate temperatures, ...).
+  std::function<void(int epoch)> on_epoch_begin;
+  // Called after backward and before the optimizer step of every batch
+  // (inject regularizer gradients, ...).
+  std::function<void()> before_step;
+  // Called at the end of every epoch with train statistics (periodic
+  // precision adjustment, trajectory recording, ...).
+  std::function<void(int epoch, float train_loss, float train_accuracy)>
+      on_epoch_end;
+};
+
+struct FitResult {
+  float final_train_loss = 0.0f;
+  float final_train_accuracy = 0.0f;  // percent
+  float test_accuracy = 0.0f;         // percent, evaluated after training
+};
+
+// Top-1 accuracy (percent) of the model on a dataset, eval mode.
+float evaluate_accuracy(Model& model, const InMemoryDataset& dataset,
+                        std::int64_t batch_size = 100);
+
+// Mean loss of the model on a dataset, eval mode.
+float evaluate_loss(Model& model, const InMemoryDataset& dataset,
+                    std::int64_t batch_size = 100);
+
+// Runs one training epoch; returns {mean loss, accuracy%}.
+struct EpochStats {
+  float loss = 0.0f;
+  float accuracy = 0.0f;
+};
+EpochStats train_one_epoch(Model& model, Sgd& optimizer, DataLoader& loader,
+                           const FitHooks& hooks);
+
+// Full training run: cosine schedule, per-epoch hooks, final test accuracy.
+FitResult fit(Model& model, const InMemoryDataset& train,
+              const InMemoryDataset& test, const TrainConfig& config,
+              const FitHooks& hooks = {});
+
+}  // namespace csq

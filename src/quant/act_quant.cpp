@@ -1,0 +1,133 @@
+#include "quant/act_quant.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "quant/quantizer.h"
+#include "tensor/ops.h"
+#include "util/check.h"
+
+namespace csq {
+
+FixedActQuant::FixedActQuant(const std::string& name, int bits,
+                             float ema_momentum)
+    : bits_(bits), ema_momentum_(ema_momentum) {
+  CSQ_CHECK(bits >= 1 && bits <= 16) << "act quant: bits out of range";
+  set_name(name);
+}
+
+Tensor FixedActQuant::forward(const Tensor& input, bool training) {
+  if (training) {
+    const float batch_max = max_value(input);
+    if (!range_initialized_) {
+      range_ = std::max(batch_max, 1e-3f);
+      range_initialized_ = true;
+    } else {
+      range_ = (1.0f - ema_momentum_) * range_ +
+               ema_momentum_ * std::max(batch_max, 1e-3f);
+    }
+  }
+  if (!quantize_enabled_) {
+    if (training) cached_pass_mask_ = Tensor::full(input.shape(), 1.0f);
+    return input;
+  }
+
+  Tensor output(input.shape());
+  Tensor mask(input.shape());
+  const float* in = input.data();
+  float* out = output.data();
+  float* m = mask.data();
+  const std::int64_t count = input.numel();
+  const float clip = range_;
+  for (std::int64_t i = 0; i < count; ++i) {
+    out[i] = quantize_unsigned(in[i], clip, bits_);
+    m[i] = (in[i] >= 0.0f && in[i] <= clip) ? 1.0f : 0.0f;
+  }
+  if (training) {
+    cached_pass_mask_ = std::move(mask);
+  } else {
+    cached_pass_mask_ = Tensor();
+  }
+  return output;
+}
+
+Tensor FixedActQuant::backward(const Tensor& grad_output) {
+  CSQ_CHECK(!cached_pass_mask_.empty())
+      << "act quant " << name() << ": backward without training forward";
+  Tensor grad = mul(grad_output, cached_pass_mask_);
+  cached_pass_mask_ = Tensor();
+  return grad;
+}
+
+PactActQuant::PactActQuant(const std::string& name, int bits, float alpha_init)
+    : bits_(bits),
+      alpha_(name + ".alpha", Tensor::from_data({1}, {alpha_init}),
+             /*apply_weight_decay=*/true) {
+  CSQ_CHECK(bits >= 1 && bits <= 16) << "pact: bits out of range";
+  CSQ_CHECK(alpha_init > 0.0f) << "pact: alpha must start positive";
+  set_name(name);
+}
+
+Tensor PactActQuant::forward(const Tensor& input, bool training) {
+  const float alpha = std::max(alpha_.value[0], 1e-3f);
+  Tensor output(input.shape());
+  const float* in = input.data();
+  float* out = output.data();
+  const std::int64_t count = input.numel();
+  for (std::int64_t i = 0; i < count; ++i) {
+    out[i] = quantize_unsigned(in[i], alpha, bits_);
+  }
+  if (training) {
+    cached_input_ = input;
+  } else {
+    cached_input_ = Tensor();
+  }
+  return output;
+}
+
+Tensor PactActQuant::backward(const Tensor& grad_output) {
+  CSQ_CHECK(!cached_input_.empty())
+      << "pact " << name() << ": backward without training forward";
+  const float alpha = std::max(alpha_.value[0], 1e-3f);
+  Tensor grad(grad_output.shape());
+  const float* go = grad_output.data();
+  const float* in = cached_input_.data();
+  float* g = grad.data();
+  double dalpha = 0.0;
+  const std::int64_t count = grad_output.numel();
+  for (std::int64_t i = 0; i < count; ++i) {
+    if (in[i] >= alpha) {
+      // Clipped region: output == alpha, so d out/d alpha = 1, d out/d x = 0.
+      g[i] = 0.0f;
+      dalpha += go[i];
+    } else if (in[i] < 0.0f) {
+      g[i] = 0.0f;
+    } else {
+      g[i] = go[i];  // STE inside the active range
+    }
+  }
+  alpha_.grad[0] += static_cast<float>(dalpha);
+  cached_input_ = Tensor();
+  return grad;
+}
+
+void PactActQuant::collect_parameters(std::vector<Parameter*>& out) {
+  out.push_back(&alpha_);
+}
+
+ActQuantFactory fixed_act_quant_factory(
+    int bits, std::vector<FixedActQuant*>* registry) {
+  return [bits, registry](const std::string& name) -> ModulePtr {
+    auto quant = std::make_unique<FixedActQuant>(name, bits);
+    if (registry != nullptr) registry->push_back(quant.get());
+    return quant;
+  };
+}
+
+ActQuantFactory pact_act_quant_factory(int bits) {
+  return [bits](const std::string& name) -> ModulePtr {
+    return std::make_unique<PactActQuant>(name, bits);
+  };
+}
+
+}  // namespace csq

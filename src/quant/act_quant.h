@@ -1,0 +1,66 @@
+// Activation quantizers — the "A-Bits" column of the paper's tables.
+//
+// CSQ "does not control activation quantization, we quantize the activation
+// uniformly throughout the training process" (Section IV-A). Two modules:
+//
+//  * FixedActQuant — unsigned uniform quantizer whose clip range tracks an
+//    EMA of the observed batch maximum (observe-then-quantize); STE backward
+//    masked outside the clip range.
+//  * PactActQuant — PACT (Choi et al. 2018): the clip alpha is a trainable
+//    parameter; gradient w.r.t. alpha flows from the clipped region.
+//
+// Both are Modules inserted after every ReLU by the model builders.
+#pragma once
+
+#include "nn/blocks.h"
+#include "nn/module.h"
+
+namespace csq {
+
+class FixedActQuant final : public Module {
+ public:
+  FixedActQuant(const std::string& name, int bits, float ema_momentum = 0.05f);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  const char* kind() const override { return "fixed_act_quant"; }
+
+  int bits() const { return bits_; }
+  float range() const { return range_; }
+  // When false the module passes activations through while still updating
+  // the range statistics — used for post-training calibration.
+  void set_quantize_enabled(bool enabled) { quantize_enabled_ = enabled; }
+
+ private:
+  int bits_;
+  float ema_momentum_;
+  float range_ = 1.0f;
+  bool range_initialized_ = false;
+  bool quantize_enabled_ = true;
+  Tensor cached_pass_mask_;  // 1 where input was inside [0, range]
+};
+
+class PactActQuant final : public Module {
+ public:
+  PactActQuant(const std::string& name, int bits, float alpha_init = 6.0f);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  void collect_parameters(std::vector<Parameter*>& out) override;
+  const char* kind() const override { return "pact_act_quant"; }
+
+  float alpha() const { return alpha_.value[0]; }
+
+ private:
+  int bits_;
+  Parameter alpha_;
+  Tensor cached_input_;
+};
+
+// Factories for the model builders. When `registry` is non-null every
+// created FixedActQuant is recorded (used by the PTQ calibration flow).
+ActQuantFactory fixed_act_quant_factory(
+    int bits, std::vector<FixedActQuant*>* registry = nullptr);
+ActQuantFactory pact_act_quant_factory(int bits);
+
+}  // namespace csq

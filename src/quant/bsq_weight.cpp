@@ -1,0 +1,198 @@
+#include "quant/bsq_weight.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "quant/quantizer.h"
+#include "tensor/init.h"
+#include "tensor/ops.h"
+#include "util/check.h"
+
+namespace csq {
+
+namespace {
+constexpr float kDenominator = 255.0f;  // 2^8 - 1 for the 8-bit ceiling
+}
+
+BsqWeightSource::BsqWeightSource(const std::string& name,
+                                 std::vector<std::int64_t> shape,
+                                 std::int64_t fan_in, Rng& rng)
+    : shape_(shape) {
+  element_count_ = shape_numel(shape_);
+  active_.fill(true);
+
+  // He-initialize a dense weight, then decompose it into bit planes.
+  Tensor dense(shape_);
+  fill_he_normal(dense, fan_in, rng);
+  const float scale_value = max_abs_scale(dense);
+  scale_ = Parameter(name + ".scale", Tensor::from_data({1}, {scale_value}),
+                     /*apply_weight_decay=*/false);
+  for (int b = 0; b < kMaxBits; ++b) {
+    pos_[static_cast<std::size_t>(b)] =
+        Parameter(name + ".p" + std::to_string(b), Tensor(shape_),
+                  /*apply_weight_decay=*/false);
+    neg_[static_cast<std::size_t>(b)] =
+        Parameter(name + ".n" + std::to_string(b), Tensor(shape_),
+                  /*apply_weight_decay=*/false);
+  }
+  quantized_ = Tensor(shape_);
+  requantize_from(dense);
+}
+
+void BsqWeightSource::reconstruct(Tensor& out) const {
+  const float s = scale_.value[0];
+  float* w = out.data();
+  std::fill(w, w + element_count_, 0.0f);
+  for (int b = 0; b < kMaxBits; ++b) {
+    if (!active_[static_cast<std::size_t>(b)]) continue;
+    const float weight_of_bit =
+        s * static_cast<float>(1 << b) / kDenominator;
+    const float* p = pos_[static_cast<std::size_t>(b)].value.data();
+    const float* n = neg_[static_cast<std::size_t>(b)].value.data();
+    for (std::int64_t i = 0; i < element_count_; ++i) {
+      const float bit_p = std::round(std::clamp(p[i], 0.0f, 1.0f));
+      const float bit_n = std::round(std::clamp(n[i], 0.0f, 1.0f));
+      w[i] += weight_of_bit * (bit_p - bit_n);
+    }
+  }
+}
+
+const Tensor& BsqWeightSource::weight(bool training) {
+  (void)training;
+  reconstruct(quantized_);
+  return quantized_;
+}
+
+void BsqWeightSource::backward(const Tensor& grad_weight) {
+  CSQ_CHECK(grad_weight.same_shape(quantized_)) << "bsq: grad shape mismatch";
+  const float s = scale_.value[0];
+  const float* g = grad_weight.data();
+
+  // ds: dW/ds = W / s elementwise.
+  if (s != 0.0f) {
+    double ds = 0.0;
+    const float* q = quantized_.data();
+    for (std::int64_t i = 0; i < element_count_; ++i) {
+      ds += static_cast<double>(g[i]) * q[i] / s;
+    }
+    scale_.grad[0] += static_cast<float>(ds);
+  }
+
+  // Clipped STE into the bit planes: the round() passes gradient through
+  // where the latent lies in [0, 1].
+  for (int b = 0; b < kMaxBits; ++b) {
+    if (!active_[static_cast<std::size_t>(b)]) continue;
+    const float weight_of_bit = s * static_cast<float>(1 << b) / kDenominator;
+    Parameter& p = pos_[static_cast<std::size_t>(b)];
+    Parameter& n = neg_[static_cast<std::size_t>(b)];
+    const float* pv = p.value.data();
+    const float* nv = n.value.data();
+    float* pg = p.grad.data();
+    float* ng = n.grad.data();
+    for (std::int64_t i = 0; i < element_count_; ++i) {
+      if (pv[i] >= 0.0f && pv[i] <= 1.0f) pg[i] += g[i] * weight_of_bit;
+      if (nv[i] >= 0.0f && nv[i] <= 1.0f) ng[i] -= g[i] * weight_of_bit;
+    }
+  }
+}
+
+void BsqWeightSource::collect_parameters(std::vector<Parameter*>& out) {
+  out.push_back(&scale_);
+  for (int b = 0; b < kMaxBits; ++b) {
+    out.push_back(&pos_[static_cast<std::size_t>(b)]);
+    out.push_back(&neg_[static_cast<std::size_t>(b)]);
+  }
+}
+
+int BsqWeightSource::active_bits() const {
+  int count = 0;
+  for (const bool active : active_) count += active ? 1 : 0;
+  return count;
+}
+
+void BsqWeightSource::add_sparsity_regularizer(float strength) {
+  for (int b = 0; b < kMaxBits; ++b) {
+    if (!active_[static_cast<std::size_t>(b)]) continue;
+    for (Parameter* plane : {&pos_[static_cast<std::size_t>(b)],
+                             &neg_[static_cast<std::size_t>(b)]}) {
+      const float* v = plane->value.data();
+      float* grad = plane->grad.data();
+      for (std::int64_t i = 0; i < element_count_; ++i) {
+        if (v[i] > 0.0f) grad[i] += strength;
+        // Latents <= 0 already round to zero; no push needed.
+      }
+    }
+  }
+}
+
+int BsqWeightSource::prune_bits(float usage_threshold) {
+  Tensor current(shape_);
+  reconstruct(current);
+
+  int removed = 0;
+  for (int b = 0; b < kMaxBits; ++b) {
+    if (!active_[static_cast<std::size_t>(b)]) continue;
+    const float* p = pos_[static_cast<std::size_t>(b)].value.data();
+    const float* n = neg_[static_cast<std::size_t>(b)].value.data();
+    double usage = 0.0;
+    for (std::int64_t i = 0; i < element_count_; ++i) {
+      usage += std::round(std::clamp(p[i], 0.0f, 1.0f)) +
+               std::round(std::clamp(n[i], 0.0f, 1.0f));
+    }
+    usage /= static_cast<double>(2 * element_count_);
+    if (usage < usage_threshold) {
+      active_[static_cast<std::size_t>(b)] = false;
+      ++removed;
+    }
+  }
+  // Keep at least one bit: an all-pruned layer would zero its weights.
+  if (active_bits() == 0) {
+    active_[kMaxBits - 1] = true;
+    --removed;
+  }
+  if (removed > 0) requantize_from(current);
+  return removed;
+}
+
+void BsqWeightSource::requantize_from(const Tensor& target) {
+  const float s = max_abs_scale(target);
+  scale_.value[0] = s;
+  const float* w = target.data();
+
+  for (std::int64_t i = 0; i < element_count_; ++i) {
+    // Greedy MSB-first decomposition of |w| onto the active bit grid.
+    std::int64_t code = static_cast<std::int64_t>(
+        std::lround(std::fabs(w[i]) / s * kDenominator));
+    code = std::min<std::int64_t>(code, 255);
+    const bool positive = w[i] >= 0.0f;
+    std::int64_t remaining = code;
+    for (int b = kMaxBits - 1; b >= 0; --b) {
+      const std::int64_t bit_value = std::int64_t{1} << b;
+      float bit = 0.0f;
+      if (active_[static_cast<std::size_t>(b)] && remaining >= bit_value) {
+        remaining -= bit_value;
+        bit = 1.0f;
+      }
+      // Latents sit at 0.25 / 0.75 so rounding is unambiguous but training
+      // can still flip a bit without a long march.
+      pos_[static_cast<std::size_t>(b)].value[i] =
+          positive ? (bit > 0.0f ? 0.75f : 0.25f) : 0.25f;
+      neg_[static_cast<std::size_t>(b)].value[i] =
+          positive ? 0.25f : (bit > 0.0f ? 0.75f : 0.25f);
+    }
+  }
+}
+
+WeightSourceFactory bsq_weight_factory(
+    std::vector<BsqWeightSource*>* registry) {
+  CSQ_CHECK(registry != nullptr) << "bsq factory: null registry";
+  return [registry](const std::string& name, std::vector<std::int64_t> shape,
+                    std::int64_t fan_in, Rng& rng) -> WeightSourcePtr {
+    auto source =
+        std::make_unique<BsqWeightSource>(name, std::move(shape), fan_in, rng);
+    registry->push_back(source.get());
+    return source;
+  };
+}
+
+}  // namespace csq

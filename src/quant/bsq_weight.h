@@ -1,0 +1,66 @@
+// BSQ baseline (Yang et al., ICLR 2021): bit-level weight training with
+// straight-through gradient estimation and *hard* periodic precision
+// adjustment — the two properties whose instability CSQ is designed to fix
+// (paper Sections I-II).
+//
+// Representation (paper Eq. 1): latent bit planes p_b, n_b in [0,1] per
+// weight element;
+//   W = s / (2^N - 1) * sum_{b active} (round(p_b) - round(n_b)) * 2^b.
+// Gradients pass through the rounding by clipped STE. An L1 bit-sparsity
+// regularizer pushes planes toward zero, and every `prune_every` epochs the
+// training harness calls prune_bits(): bit planes whose usage falls below a
+// threshold are removed permanently and the weights are re-quantized onto
+// the remaining grid — the abrupt scheme change that perturbs convergence.
+#pragma once
+
+#include <array>
+
+#include "nn/weight_source.h"
+
+namespace csq {
+
+class BsqWeightSource final : public WeightSource {
+ public:
+  static constexpr int kMaxBits = 8;
+
+  BsqWeightSource(const std::string& name, std::vector<std::int64_t> shape,
+                  std::int64_t fan_in, Rng& rng);
+
+  const Tensor& weight(bool training) override;
+  void backward(const Tensor& grad_weight) override;
+  void collect_parameters(std::vector<Parameter*>& out) override;
+  const char* kind() const override { return "bsq"; }
+  std::int64_t weight_count() const override { return element_count_; }
+  double bits_per_weight() const override { return active_bits(); }
+
+  int active_bits() const;
+  bool bit_active(int bit) const { return active_[static_cast<std::size_t>(bit)]; }
+
+  // Adds the L1 bit-sparsity regularizer gradient (strength * sign(plane))
+  // to the plane gradients. Called by the harness before each optimizer step.
+  void add_sparsity_regularizer(float strength);
+
+  // Hard precision adjustment: deactivates every active bit plane whose
+  // mean rounded usage is below `usage_threshold`, then re-quantizes the
+  // current weights onto the surviving grid. Returns #bits removed.
+  int prune_bits(float usage_threshold);
+
+ private:
+  void reconstruct(Tensor& out) const;  // current rounded weight, any mode
+  void requantize_from(const Tensor& target);
+
+  Parameter scale_;                       // s, scalar
+  std::array<Parameter, kMaxBits> pos_;   // p_b planes
+  std::array<Parameter, kMaxBits> neg_;   // n_b planes
+  std::array<bool, kMaxBits> active_;
+  Tensor quantized_;
+  std::vector<std::int64_t> shape_;
+  std::int64_t element_count_ = 0;
+};
+
+// Registry-recording factory: every created source is appended to *registry
+// so the training harness can drive pruning and regularization.
+WeightSourceFactory bsq_weight_factory(
+    std::vector<BsqWeightSource*>* registry);
+
+}  // namespace csq

@@ -1,0 +1,75 @@
+#include "quant/dorefa_weight.h"
+
+#include <cmath>
+
+#include "quant/quantizer.h"
+#include "tensor/init.h"
+#include "tensor/ops.h"
+#include "util/check.h"
+
+namespace csq {
+
+DorefaWeightSource::DorefaWeightSource(const std::string& name,
+                                       std::vector<std::int64_t> shape,
+                                       std::int64_t fan_in, int bits, Rng& rng)
+    : bits_(bits) {
+  CSQ_CHECK(bits >= 1 && bits <= 8) << "dorefa: bits out of range";
+  Tensor value(std::move(shape));
+  fill_he_normal(value, fan_in, rng);
+  latent_ = Parameter(name + ".latent", std::move(value),
+                      /*apply_weight_decay=*/true);
+  quantized_ = Tensor(latent_.value.shape());
+  cached_tanh_ = Tensor(latent_.value.shape());
+}
+
+const Tensor& DorefaWeightSource::weight(bool training) {
+  (void)training;
+  const float* w = latent_.value.data();
+  float* t = cached_tanh_.data();
+  const std::int64_t count = latent_.value.numel();
+
+  float max_tanh = 0.0f;
+  for (std::int64_t i = 0; i < count; ++i) {
+    t[i] = std::tanh(w[i]);
+    max_tanh = std::max(max_tanh, std::fabs(t[i]));
+  }
+  cached_max_tanh_ = max_tanh > 0.0f ? max_tanh : 1.0f;
+
+  const auto levels = static_cast<float>(levels_per_side(bits_));
+  float* q = quantized_.data();
+  const float inv_two_max = 0.5f / cached_max_tanh_;
+  for (std::int64_t i = 0; i < count; ++i) {
+    const float normalized = t[i] * inv_two_max + 0.5f;  // [0, 1]
+    q[i] = 2.0f * std::round(levels * normalized) / levels - 1.0f;
+  }
+  return quantized_;
+}
+
+void DorefaWeightSource::backward(const Tensor& grad_weight) {
+  CSQ_CHECK(grad_weight.same_shape(latent_.grad))
+      << "dorefa: grad shape mismatch";
+  // d w_hat / d w = 2 * d w_norm/d w (STE through round)
+  //              = 2 * (1 - tanh^2 w) / (2 max|tanh|) = (1 - tanh^2) / max.
+  const float* go = grad_weight.data();
+  const float* t = cached_tanh_.data();
+  float* gl = latent_.grad.data();
+  const float inv_max = 1.0f / cached_max_tanh_;
+  const std::int64_t count = latent_.grad.numel();
+  for (std::int64_t i = 0; i < count; ++i) {
+    gl[i] += go[i] * (1.0f - t[i] * t[i]) * inv_max;
+  }
+}
+
+void DorefaWeightSource::collect_parameters(std::vector<Parameter*>& out) {
+  out.push_back(&latent_);
+}
+
+WeightSourceFactory dorefa_weight_factory(int bits) {
+  return [bits](const std::string& name, std::vector<std::int64_t> shape,
+                std::int64_t fan_in, Rng& rng) -> WeightSourcePtr {
+    return std::make_unique<DorefaWeightSource>(name, std::move(shape), fan_in,
+                                                bits, rng);
+  };
+}
+
+}  // namespace csq

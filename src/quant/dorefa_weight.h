@@ -1,0 +1,36 @@
+// DoReFa-Net weight quantization (Zhou et al. 2016).
+//
+// Forward:  w_norm = tanh(w) / (2 * max|tanh(w)|) + 0.5      in [0, 1]
+//           w_hat  = 2 * round((2^k - 1) * w_norm)/(2^k - 1) - 1
+// Backward: STE through the rounding; the tanh normalization is
+// differentiated exactly (treating max|tanh| as a constant, the standard
+// implementation choice).
+#pragma once
+
+#include "nn/weight_source.h"
+
+namespace csq {
+
+class DorefaWeightSource final : public WeightSource {
+ public:
+  DorefaWeightSource(const std::string& name, std::vector<std::int64_t> shape,
+                     std::int64_t fan_in, int bits, Rng& rng);
+
+  const Tensor& weight(bool training) override;
+  void backward(const Tensor& grad_weight) override;
+  void collect_parameters(std::vector<Parameter*>& out) override;
+  const char* kind() const override { return "dorefa"; }
+  std::int64_t weight_count() const override { return latent_.value.numel(); }
+  double bits_per_weight() const override { return bits_; }
+
+ private:
+  Parameter latent_;
+  Tensor quantized_;
+  Tensor cached_tanh_;
+  float cached_max_tanh_ = 1.0f;
+  int bits_;
+};
+
+WeightSourceFactory dorefa_weight_factory(int bits);
+
+}  // namespace csq

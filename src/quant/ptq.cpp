@@ -1,0 +1,40 @@
+#include "quant/ptq.h"
+
+#include <cmath>
+
+#include "quant/quantizer.h"
+#include "tensor/ops.h"
+#include "util/check.h"
+
+namespace csq {
+
+PtqReport quantize_dense_weights(Model& model, int bits,
+                                 PtqCalibration calibration,
+                                 float percentile_fraction) {
+  PtqReport report;
+  double error_sum = 0.0;
+  for (const QuantLayer& layer : model.quant_layers()) {
+    auto* dense = dynamic_cast<DenseWeightSource*>(layer.source);
+    if (dense == nullptr) continue;
+
+    Tensor& weights = dense->parameter().value;
+    const float scale = calibration == PtqCalibration::max_abs
+                            ? max_abs_scale(weights)
+                            : percentile_scale(weights, percentile_fraction);
+
+    const float before_norm = std::sqrt(squared_norm(weights));
+    Tensor original = weights;
+    quantize_symmetric_tensor(original, weights, scale, bits);
+    const Tensor diff = sub(weights, original);
+    const float error_norm = std::sqrt(squared_norm(diff));
+
+    error_sum += before_norm > 0.0f ? error_norm / before_norm : 0.0;
+    ++report.layers_quantized;
+  }
+  if (report.layers_quantized > 0) {
+    report.mean_relative_error = error_sum / report.layers_quantized;
+  }
+  return report;
+}
+
+}  // namespace csq

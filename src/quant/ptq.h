@@ -1,0 +1,29 @@
+// Post-training quantization — the stand-in for the data-free PTQ rows
+// (ZeroQ / ZAQ) in the paper's Table II (see DESIGN.md substitutions).
+//
+// Operates on a trained model whose layers use DenseWeightSource: each dense
+// weight tensor is snapped in place onto the symmetric n-bit grid. Two
+// calibrators: plain max-abs and percentile clipping (clipping the top
+// outliers trades clipping error for resolution, usually winning at 4 bits).
+#pragma once
+
+#include "nn/model.h"
+
+namespace csq {
+
+enum class PtqCalibration { max_abs, percentile };
+
+struct PtqReport {
+  int layers_quantized = 0;
+  // Mean (over layers) of the RMS weight perturbation relative to the
+  // layer's RMS weight — a size-agnostic distortion measure.
+  double mean_relative_error = 0.0;
+};
+
+// Quantizes every DenseWeightSource in the model to `bits` in place.
+// Non-dense sources are left untouched (and counted out of the report).
+PtqReport quantize_dense_weights(Model& model, int bits,
+                                 PtqCalibration calibration,
+                                 float percentile_fraction = 0.999f);
+
+}  // namespace csq

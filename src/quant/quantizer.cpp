@@ -1,0 +1,81 @@
+#include "quant/quantizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/check.h"
+
+namespace csq {
+
+std::int64_t levels_per_side(int bits) {
+  CSQ_CHECK(bits >= 1 && bits <= 16) << "bits out of range: " << bits;
+  return (std::int64_t{1} << bits) - 1;
+}
+
+std::int64_t symmetric_code(float value, float scale, int bits) {
+  CSQ_CHECK(scale > 0.0f) << "quantizer scale must be positive";
+  const auto levels = static_cast<float>(levels_per_side(bits));
+  const float normalized = std::clamp(value / scale, -1.0f, 1.0f);
+  return static_cast<std::int64_t>(std::lround(normalized * levels));
+}
+
+float dequantize_code(std::int64_t code, float scale, int bits) {
+  const auto levels = static_cast<float>(levels_per_side(bits));
+  return static_cast<float>(code) * scale / levels;
+}
+
+float quantize_symmetric(float value, float scale, int bits) {
+  return dequantize_code(symmetric_code(value, scale, bits), scale, bits);
+}
+
+void quantize_symmetric_tensor(const Tensor& in, Tensor& out, float scale,
+                               int bits) {
+  CSQ_CHECK(in.same_shape(out)) << "quantize tensor: shape mismatch";
+  const float* src = in.data();
+  float* dst = out.data();
+  const std::int64_t count = in.numel();
+  for (std::int64_t i = 0; i < count; ++i) {
+    dst[i] = quantize_symmetric(src[i], scale, bits);
+  }
+}
+
+float quantize_unsigned(float value, float clip, int bits) {
+  CSQ_CHECK(clip > 0.0f) << "activation clip must be positive";
+  const auto levels = static_cast<float>(levels_per_side(bits));
+  const float normalized = std::clamp(value / clip, 0.0f, 1.0f);
+  return std::round(normalized * levels) * clip / levels;
+}
+
+float max_abs_scale(const Tensor& weights) {
+  float best = 0.0f;
+  const float* data = weights.data();
+  const std::int64_t count = weights.numel();
+  for (std::int64_t i = 0; i < count; ++i) {
+    best = std::max(best, std::fabs(data[i]));
+  }
+  // Degenerate all-zero tensors still need a usable scale.
+  return best > 0.0f ? best : 1.0f;
+}
+
+float percentile_scale(const Tensor& weights, float fraction) {
+  CSQ_CHECK(fraction > 0.0f && fraction <= 1.0f)
+      << "percentile fraction out of (0,1]";
+  const std::int64_t count = weights.numel();
+  CSQ_CHECK(count > 0) << "percentile of empty tensor";
+  std::vector<float> magnitudes(static_cast<std::size_t>(count));
+  const float* data = weights.data();
+  for (std::int64_t i = 0; i < count; ++i) {
+    magnitudes[static_cast<std::size_t>(i)] = std::fabs(data[i]);
+  }
+  const auto rank = static_cast<std::size_t>(
+      std::min<double>(static_cast<double>(count) - 1,
+                       std::floor(fraction * static_cast<double>(count - 1))));
+  std::nth_element(magnitudes.begin(),
+                   magnitudes.begin() + static_cast<std::ptrdiff_t>(rank),
+                   magnitudes.end());
+  const float value = magnitudes[rank];
+  return value > 0.0f ? value : max_abs_scale(weights);
+}
+
+}  // namespace csq

@@ -1,0 +1,43 @@
+// Shared uniform-quantization helpers.
+//
+// The library follows the paper's bit-level convention (Eq. 1): an n-bit
+// weight takes integer codes in [-(2^n - 1), +(2^n - 1)] scaled by
+// s / (2^n - 1), i.e. w_hat = s * q / (2^n - 1) with |q| <= 2^n - 1. This is
+// the sign-magnitude grid spanned by n positive and n negative bit planes,
+// and it is what CSQ's finalized models land on exactly.
+//
+// Activations use the standard unsigned grid: codes in [0, 2^n - 1] over
+// [0, clip].
+#pragma once
+
+#include "tensor/tensor.h"
+
+namespace csq {
+
+// Number of quantization steps per side for n bits: 2^n - 1.
+std::int64_t levels_per_side(int bits);
+
+// Symmetric signed quantization (paper convention). `scale` is the clip
+// magnitude (w is clamped to [-scale, scale]). Returns the dequantized value.
+float quantize_symmetric(float value, float scale, int bits);
+
+// Integer code of the symmetric quantizer, in [-(2^n-1), 2^n-1].
+std::int64_t symmetric_code(float value, float scale, int bits);
+
+// Dequantizes an integer code.
+float dequantize_code(std::int64_t code, float scale, int bits);
+
+// Elementwise tensor quantization; out may alias in.
+void quantize_symmetric_tensor(const Tensor& in, Tensor& out, float scale,
+                               int bits);
+
+// Unsigned quantization for activations over [0, clip].
+float quantize_unsigned(float value, float clip, int bits);
+
+// Scale calibrators.
+float max_abs_scale(const Tensor& weights);
+// Magnitude below which the given fraction (e.g. 0.999) of |w| falls;
+// clipping the top 0.1% outliers usually improves low-bit PTQ.
+float percentile_scale(const Tensor& weights, float fraction);
+
+}  // namespace csq

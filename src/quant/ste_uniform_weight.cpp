@@ -1,0 +1,62 @@
+#include "quant/ste_uniform_weight.h"
+
+#include "quant/quantizer.h"
+#include "tensor/init.h"
+#include "tensor/ops.h"
+#include "util/check.h"
+
+namespace csq {
+
+SteUniformWeightSource::SteUniformWeightSource(
+    const std::string& name, std::vector<std::int64_t> shape,
+    std::int64_t fan_in, int bits, Rng& rng)
+    : bits_(bits) {
+  CSQ_CHECK(bits >= 1 && bits <= 8) << "ste_uniform: bits out of range";
+  Tensor value(std::move(shape));
+  fill_he_normal(value, fan_in, rng);
+  latent_ = Parameter(name + ".latent", std::move(value),
+                      /*apply_weight_decay=*/true);
+  quantized_ = Tensor(latent_.value.shape());
+}
+
+const Tensor& SteUniformWeightSource::weight(bool training) {
+  (void)training;
+  const float scale = max_abs_scale(latent_.value);
+  quantize_symmetric_tensor(latent_.value, quantized_, scale, bits_);
+  return quantized_;
+}
+
+void SteUniformWeightSource::backward(const Tensor& grad_weight) {
+  CSQ_CHECK(grad_weight.same_shape(latent_.grad))
+      << "ste_uniform: grad shape mismatch";
+  // Straight-through: d w_hat / d w_latent ~= 1 (no clipping occurs since
+  // the scale is the max-abs of the latent weight).
+  add_inplace(latent_.grad, grad_weight);
+}
+
+void SteUniformWeightSource::collect_parameters(
+    std::vector<Parameter*>& out) {
+  out.push_back(&latent_);
+}
+
+WeightSourceFactory ste_uniform_weight_factory(int bits) {
+  return [bits](const std::string& name, std::vector<std::int64_t> shape,
+                std::int64_t fan_in, Rng& rng) -> WeightSourcePtr {
+    return std::make_unique<SteUniformWeightSource>(name, std::move(shape),
+                                                    fan_in, bits, rng);
+  };
+}
+
+WeightSourceFactory ste_mixed_weight_factory(
+    std::unordered_map<std::string, int> bits_by_layer, int default_bits) {
+  return [bits_by_layer = std::move(bits_by_layer), default_bits](
+             const std::string& name, std::vector<std::int64_t> shape,
+             std::int64_t fan_in, Rng& rng) -> WeightSourcePtr {
+    const auto it = bits_by_layer.find(name);
+    const int bits = it != bits_by_layer.end() ? it->second : default_bits;
+    return std::make_unique<SteUniformWeightSource>(name, std::move(shape),
+                                                    fan_in, bits, rng);
+  };
+}
+
+}  // namespace csq

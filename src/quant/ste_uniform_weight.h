@@ -1,0 +1,46 @@
+// STE-Uniform baseline (the paper's Table IV comparator, implementation
+// following Polino et al. [27]): a full-precision latent weight is linearly
+// quantized in the forward pass and the gradient flows to the latent weight
+// unchanged through the rounding (straight-through estimation).
+//
+// The dynamic per-layer scale is the max-abs of the latent weight at each
+// materialization, so nothing clips and the STE is exact pass-through.
+#pragma once
+
+#include <unordered_map>
+
+#include "nn/weight_source.h"
+
+namespace csq {
+
+class SteUniformWeightSource final : public WeightSource {
+ public:
+  SteUniformWeightSource(const std::string& name,
+                         std::vector<std::int64_t> shape, std::int64_t fan_in,
+                         int bits, Rng& rng);
+
+  const Tensor& weight(bool training) override;
+  void backward(const Tensor& grad_weight) override;
+  void collect_parameters(std::vector<Parameter*>& out) override;
+  const char* kind() const override { return "ste_uniform"; }
+  std::int64_t weight_count() const override { return latent_.value.numel(); }
+  double bits_per_weight() const override { return bits_; }
+
+  int bits() const { return bits_; }
+
+ private:
+  Parameter latent_;
+  Tensor quantized_;
+  int bits_;
+};
+
+// Factory for the STE-Uniform baseline at fixed precision.
+WeightSourceFactory ste_uniform_weight_factory(int bits);
+
+// Per-layer mixed-precision STE factory: looks the layer name up in the
+// given map and falls back to `default_bits` when absent. Used to retrain a
+// model at the scheme found by the search baselines (HAWQ-lite / HAQ-lite).
+WeightSourceFactory ste_mixed_weight_factory(
+    std::unordered_map<std::string, int> bits_by_layer, int default_bits);
+
+}  // namespace csq

@@ -1,0 +1,35 @@
+// Budgeted bit assignment from a sensitivity profile (HAWQ-lite).
+//
+// Minimize sum_l sensitivity[l][b_l] subject to the element-weighted average
+// precision sum_l b_l * |W_l| / sum_l |W_l| <= target. Solved greedily:
+// start at max_bits everywhere and repeatedly take the cheapest marginal
+// reduction (smallest sensitivity increase per storage bit saved) until the
+// budget holds, followed by a local-improvement pass that re-grows a layer
+// whenever another can shrink more cheaply.
+#pragma once
+
+#include <vector>
+
+#include "search/sensitivity.h"
+
+namespace csq {
+
+struct BitAssignment {
+  std::vector<int> bits;        // per layer, aligned with profile order
+  double average_bits = 0.0;    // element-weighted
+  double predicted_loss_increase = 0.0;
+};
+
+BitAssignment assign_bits_greedy(const SensitivityProfile& profile,
+                                 double target_bits, int min_bits = 1,
+                                 int max_bits = 8);
+
+// Element-weighted average precision of an assignment.
+double assignment_average_bits(const std::vector<int>& bits,
+                               const std::vector<std::int64_t>& sizes);
+
+// Applies the assignment as mixed-precision PTQ on a dense model (layer
+// order must match model.quant_layers()).
+void apply_assignment_ptq(Model& model, const std::vector<int>& bits);
+
+}  // namespace csq

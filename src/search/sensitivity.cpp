@@ -1,0 +1,83 @@
+#include "search/sensitivity.h"
+
+#include <algorithm>
+
+#include "opt/trainer.h"
+#include "quant/quantizer.h"
+#include "util/check.h"
+
+namespace csq {
+
+namespace {
+
+InMemoryDataset calibration_subset(const InMemoryDataset& dataset,
+                                   std::int64_t samples) {
+  const std::int64_t count = std::min(samples, dataset.size());
+  std::vector<int> indices(static_cast<std::size_t>(count));
+  for (std::int64_t i = 0; i < count; ++i) {
+    indices[static_cast<std::size_t>(i)] = static_cast<int>(i);
+  }
+  Batch batch = dataset.gather(indices);
+  return InMemoryDataset(std::move(batch.images), std::move(batch.labels));
+}
+
+}  // namespace
+
+std::vector<Tensor> backup_dense_weights(Model& model) {
+  std::vector<Tensor> backup;
+  for (const QuantLayer& layer : model.quant_layers()) {
+    auto* dense = dynamic_cast<DenseWeightSource*>(layer.source);
+    CSQ_CHECK(dense != nullptr)
+        << "sensitivity profiling requires dense layers, got "
+        << layer.source->kind() << " at " << layer.name;
+    backup.push_back(dense->parameter().value);
+  }
+  return backup;
+}
+
+void restore_dense_weights(Model& model, const std::vector<Tensor>& backup) {
+  const auto& layers = model.quant_layers();
+  CSQ_CHECK(backup.size() == layers.size())
+      << "restore_dense_weights: backup size mismatch";
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    auto* dense = dynamic_cast<DenseWeightSource*>(layers[i].source);
+    CSQ_CHECK(dense != nullptr) << "restore: non-dense layer";
+    dense->parameter().value = backup[i];
+  }
+}
+
+SensitivityProfile profile_sensitivity(Model& model,
+                                       const InMemoryDataset& calibration,
+                                       int max_bits,
+                                       std::int64_t calibration_samples) {
+  CSQ_CHECK(max_bits >= 1 && max_bits <= 8) << "sensitivity: bad max_bits";
+  const InMemoryDataset subset =
+      calibration_subset(calibration, calibration_samples);
+
+  SensitivityProfile profile;
+  profile.base_loss = evaluate_loss(model, subset);
+
+  const std::vector<Tensor> backup = backup_dense_weights(model);
+  const auto& layers = model.quant_layers();
+
+  for (std::size_t l = 0; l < layers.size(); ++l) {
+    auto* dense = dynamic_cast<DenseWeightSource*>(layers[l].source);
+    profile.layer_names.push_back(layers[l].name);
+    profile.layer_sizes.push_back(dense->parameter().value.numel());
+
+    std::vector<double> per_bits(static_cast<std::size_t>(max_bits), 0.0);
+    for (int bits = 1; bits <= max_bits; ++bits) {
+      Tensor& weights = dense->parameter().value;
+      const float scale = max_abs_scale(backup[l]);
+      quantize_symmetric_tensor(backup[l], weights, scale, bits);
+      const double loss = evaluate_loss(model, subset);
+      per_bits[static_cast<std::size_t>(bits - 1)] =
+          std::max(0.0, loss - profile.base_loss);
+      weights = backup[l];  // restore before the next probe
+    }
+    profile.sensitivity.push_back(std::move(per_bits));
+  }
+  return profile;
+}
+
+}  // namespace csq

@@ -1,0 +1,36 @@
+// Perturbation-based layer sensitivity profiling — the HAWQ-family stand-in
+// (see DESIGN.md substitutions). For a *pretrained* full-precision model,
+// the sensitivity of layer l at precision b is the calibration-loss increase
+// when only that layer's weights are quantized to b bits. This reproduces
+// the defining property of the sensitivity-statistics baselines the paper
+// argues against: the statistics are frozen at pretrain time and do not
+// track sensitivity drift during quantization-aware training.
+#pragma once
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "nn/model.h"
+
+namespace csq {
+
+struct SensitivityProfile {
+  // sensitivity[l][b-1]: loss increase of layer l quantized to b bits.
+  std::vector<std::vector<double>> sensitivity;
+  std::vector<std::string> layer_names;
+  std::vector<std::int64_t> layer_sizes;
+  double base_loss = 0.0;
+};
+
+// Profiles every DenseWeightSource layer at precisions 1..max_bits using a
+// calibration subset of at most `calibration_samples` samples.
+SensitivityProfile profile_sensitivity(Model& model,
+                                       const InMemoryDataset& calibration,
+                                       int max_bits = 8,
+                                       std::int64_t calibration_samples = 200);
+
+// Snapshots / restores dense weights (used by candidate evaluation).
+std::vector<Tensor> backup_dense_weights(Model& model);
+void restore_dense_weights(Model& model, const std::vector<Tensor>& backup);
+
+}  // namespace csq

@@ -1,0 +1,144 @@
+#include "tensor/gemm.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/thread_pool.h"
+
+namespace csq {
+
+namespace {
+
+// Scales a row block of C by beta (handles beta == 0 without reading C).
+void apply_beta(std::int64_t m_begin, std::int64_t m_end, std::int64_t n,
+                float beta, float* c, std::int64_t ldc) {
+  if (beta == 1.0f) return;
+  for (std::int64_t i = m_begin; i < m_end; ++i) {
+    float* row = c + i * ldc;
+    if (beta == 0.0f) {
+      std::fill(row, row + n, 0.0f);
+    } else {
+      for (std::int64_t j = 0; j < n; ++j) row[j] *= beta;
+    }
+  }
+}
+
+// C[i,:] += alpha * A[i,:] * B  for i in [m_begin, m_end).
+// i-k-j order: the j loop runs over contiguous C and B rows and vectorizes.
+void kernel_nn(std::int64_t m_begin, std::int64_t m_end, std::int64_t n,
+               std::int64_t k, float alpha, const float* a, std::int64_t lda,
+               const float* b, std::int64_t ldb, float* c, std::int64_t ldc) {
+  for (std::int64_t i = m_begin; i < m_end; ++i) {
+    const float* a_row = a + i * lda;
+    float* c_row = c + i * ldc;
+    for (std::int64_t p = 0; p < k; ++p) {
+      const float a_ip = alpha * a_row[p];
+      if (a_ip == 0.0f) continue;
+      const float* b_row = b + p * ldb;
+      for (std::int64_t j = 0; j < n; ++j) c_row[j] += a_ip * b_row[j];
+    }
+  }
+}
+
+// C[i,j] += alpha * dot(A[i,:], B[j,:])  (B given transposed, [n, k]).
+// Dot products over contiguous rows; unrolled 4x over j to reuse the A row.
+void kernel_nt(std::int64_t m_begin, std::int64_t m_end, std::int64_t n,
+               std::int64_t k, float alpha, const float* a, std::int64_t lda,
+               const float* b, std::int64_t ldb, float* c, std::int64_t ldc) {
+  for (std::int64_t i = m_begin; i < m_end; ++i) {
+    const float* a_row = a + i * lda;
+    float* c_row = c + i * ldc;
+    std::int64_t j = 0;
+    for (; j + 4 <= n; j += 4) {
+      const float* b0 = b + (j + 0) * ldb;
+      const float* b1 = b + (j + 1) * ldb;
+      const float* b2 = b + (j + 2) * ldb;
+      const float* b3 = b + (j + 3) * ldb;
+      float acc0 = 0.0f, acc1 = 0.0f, acc2 = 0.0f, acc3 = 0.0f;
+      for (std::int64_t p = 0; p < k; ++p) {
+        const float a_ip = a_row[p];
+        acc0 += a_ip * b0[p];
+        acc1 += a_ip * b1[p];
+        acc2 += a_ip * b2[p];
+        acc3 += a_ip * b3[p];
+      }
+      c_row[j + 0] += alpha * acc0;
+      c_row[j + 1] += alpha * acc1;
+      c_row[j + 2] += alpha * acc2;
+      c_row[j + 3] += alpha * acc3;
+    }
+    for (; j < n; ++j) {
+      const float* b_row = b + j * ldb;
+      float acc = 0.0f;
+      for (std::int64_t p = 0; p < k; ++p) acc += a_row[p] * b_row[p];
+      c_row[j] += alpha * acc;
+    }
+  }
+}
+
+// C[i,j] += alpha * sum_p A[p,i] * B[p,j]  (A given transposed, [k, m]).
+// p-outer order keeps both A and B accesses row-contiguous; the row block
+// [m_begin, m_end) owned by this thread is updated independently.
+void kernel_tn(std::int64_t m_begin, std::int64_t m_end, std::int64_t n,
+               std::int64_t k, float alpha, const float* a, std::int64_t lda,
+               const float* b, std::int64_t ldb, float* c, std::int64_t ldc) {
+  for (std::int64_t p = 0; p < k; ++p) {
+    const float* a_row = a + p * lda;
+    const float* b_row = b + p * ldb;
+    for (std::int64_t i = m_begin; i < m_end; ++i) {
+      const float a_pi = alpha * a_row[i];
+      if (a_pi == 0.0f) continue;
+      float* c_row = c + i * ldc;
+      for (std::int64_t j = 0; j < n; ++j) c_row[j] += a_pi * b_row[j];
+    }
+  }
+}
+
+void gemm_rows(Trans trans_a, Trans trans_b, std::int64_t m_begin,
+               std::int64_t m_end, std::int64_t n, std::int64_t k, float alpha,
+               const float* a, std::int64_t lda, const float* b,
+               std::int64_t ldb, float beta, float* c, std::int64_t ldc) {
+  apply_beta(m_begin, m_end, n, beta, c, ldc);
+  if (alpha == 0.0f || k == 0) return;
+  if (trans_a == Trans::no && trans_b == Trans::no) {
+    kernel_nn(m_begin, m_end, n, k, alpha, a, lda, b, ldb, c, ldc);
+  } else if (trans_a == Trans::no && trans_b == Trans::yes) {
+    kernel_nt(m_begin, m_end, n, k, alpha, a, lda, b, ldb, c, ldc);
+  } else if (trans_a == Trans::yes && trans_b == Trans::no) {
+    kernel_tn(m_begin, m_end, n, k, alpha, a, lda, b, ldb, c, ldc);
+  } else {
+    CSQ_UNREACHABLE("gemm TT is not implemented (unused in this library)");
+  }
+}
+
+}  // namespace
+
+void gemm(Trans trans_a, Trans trans_b, std::int64_t m, std::int64_t n,
+          std::int64_t k, float alpha, const float* a, std::int64_t lda,
+          const float* b, std::int64_t ldb, float beta, float* c,
+          std::int64_t ldc) {
+  CSQ_CHECK(m >= 0 && n >= 0 && k >= 0) << "gemm: negative extent";
+  if (m == 0 || n == 0) return;
+  gemm_rows(trans_a, trans_b, 0, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+}
+
+void gemm_parallel(Trans trans_a, Trans trans_b, std::int64_t m,
+                   std::int64_t n, std::int64_t k, float alpha, const float* a,
+                   std::int64_t lda, const float* b, std::int64_t ldb,
+                   float beta, float* c, std::int64_t ldc) {
+  CSQ_CHECK(m >= 0 && n >= 0 && k >= 0) << "gemm: negative extent";
+  if (m == 0 || n == 0) return;
+  // Only fan out when there is enough arithmetic to amortize the pool wakeup.
+  const std::int64_t flops = 2 * m * n * k;
+  if (flops < (1 << 18) || inside_parallel_region()) {
+    gemm_rows(trans_a, trans_b, 0, m, n, k, alpha, a, lda, b, ldb, beta, c,
+              ldc);
+    return;
+  }
+  parallel_for_chunked(0, m, [&](std::int64_t row_begin, std::int64_t row_end) {
+    gemm_rows(trans_a, trans_b, row_begin, row_end, n, k, alpha, a, lda, b,
+              ldb, beta, c, ldc);
+  });
+}
+
+}  // namespace csq

@@ -1,0 +1,31 @@
+// Single-precision general matrix multiply.
+//
+//   C = alpha * op(A) * op(B) + beta * C
+//
+// Row-major storage with explicit leading dimensions (BLAS-style). Three
+// transpose combinations are implemented — NN, NT and TN — which cover every
+// use in the library (forward, input-gradient and weight-gradient of both
+// Linear and im2col convolution).
+//
+// `gemm` is strictly serial so it can run inside batch-parallel loops;
+// `gemm_parallel` splits rows of C across the global thread pool and is used
+// at top level (Linear layers, benchmark kernels).
+#pragma once
+
+#include <cstdint>
+
+namespace csq {
+
+enum class Trans { no, yes };
+
+void gemm(Trans trans_a, Trans trans_b, std::int64_t m, std::int64_t n,
+          std::int64_t k, float alpha, const float* a, std::int64_t lda,
+          const float* b, std::int64_t ldb, float beta, float* c,
+          std::int64_t ldc);
+
+void gemm_parallel(Trans trans_a, Trans trans_b, std::int64_t m,
+                   std::int64_t n, std::int64_t k, float alpha, const float* a,
+                   std::int64_t lda, const float* b, std::int64_t ldb,
+                   float beta, float* c, std::int64_t ldc);
+
+}  // namespace csq

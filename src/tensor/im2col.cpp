@@ -1,0 +1,77 @@
+#include "tensor/im2col.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/check.h"
+
+namespace csq {
+
+void ConvGeometry::validate() const {
+  CSQ_CHECK(channels > 0 && height > 0 && width > 0)
+      << "conv geometry: bad input extents";
+  CSQ_CHECK(kernel_h > 0 && kernel_w > 0) << "conv geometry: bad kernel";
+  CSQ_CHECK(stride > 0) << "conv geometry: stride must be positive";
+  CSQ_CHECK(pad >= 0) << "conv geometry: negative padding";
+  CSQ_CHECK(height + 2 * pad >= kernel_h && width + 2 * pad >= kernel_w)
+      << "conv geometry: kernel larger than padded input";
+}
+
+void im2col(const ConvGeometry& geom, const float* image, float* col) {
+  const std::int64_t out_h = geom.out_h();
+  const std::int64_t out_w = geom.out_w();
+  const std::int64_t col_cols = out_h * out_w;
+
+  std::int64_t row = 0;
+  for (std::int64_t c = 0; c < geom.channels; ++c) {
+    const float* channel = image + c * geom.height * geom.width;
+    for (std::int64_t ki = 0; ki < geom.kernel_h; ++ki) {
+      for (std::int64_t kj = 0; kj < geom.kernel_w; ++kj, ++row) {
+        float* col_row = col + row * col_cols;
+        for (std::int64_t oy = 0; oy < out_h; ++oy) {
+          const std::int64_t iy = oy * geom.stride - geom.pad + ki;
+          float* dst = col_row + oy * out_w;
+          if (iy < 0 || iy >= geom.height) {
+            std::fill(dst, dst + out_w, 0.0f);
+            continue;
+          }
+          const float* src_row = channel + iy * geom.width;
+          // ix = ox*stride - pad + kj; copy the in-bounds middle segment in
+          // one pass, zero the out-of-bounds edges.
+          for (std::int64_t ox = 0; ox < out_w; ++ox) {
+            const std::int64_t ix = ox * geom.stride - geom.pad + kj;
+            dst[ox] = (ix >= 0 && ix < geom.width) ? src_row[ix] : 0.0f;
+          }
+        }
+      }
+    }
+  }
+}
+
+void col2im(const ConvGeometry& geom, const float* col, float* image) {
+  const std::int64_t out_h = geom.out_h();
+  const std::int64_t out_w = geom.out_w();
+  const std::int64_t col_cols = out_h * out_w;
+
+  std::int64_t row = 0;
+  for (std::int64_t c = 0; c < geom.channels; ++c) {
+    float* channel = image + c * geom.height * geom.width;
+    for (std::int64_t ki = 0; ki < geom.kernel_h; ++ki) {
+      for (std::int64_t kj = 0; kj < geom.kernel_w; ++kj, ++row) {
+        const float* col_row = col + row * col_cols;
+        for (std::int64_t oy = 0; oy < out_h; ++oy) {
+          const std::int64_t iy = oy * geom.stride - geom.pad + ki;
+          if (iy < 0 || iy >= geom.height) continue;
+          float* dst_row = channel + iy * geom.width;
+          const float* src = col_row + oy * out_w;
+          for (std::int64_t ox = 0; ox < out_w; ++ox) {
+            const std::int64_t ix = ox * geom.stride - geom.pad + kj;
+            if (ix >= 0 && ix < geom.width) dst_row[ix] += src[ox];
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace csq

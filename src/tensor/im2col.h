@@ -1,0 +1,46 @@
+// im2col / col2im transforms for convolution lowering.
+//
+// A single image (C, H, W) is unfolded into a matrix
+//   col[(c*kh + ki)*kw + kj, oy*out_w + ox] = x[c, oy*stride - pad + ki,
+//                                               ox*stride - pad + kj]
+// (zero where the source index falls in padding), so that a convolution with
+// weight (OC, C, kh, kw) becomes one GEMM: out = W_mat(OC, C*kh*kw) * col.
+// col2im is the adjoint scatter-add used by the input-gradient pass.
+#pragma once
+
+#include <cstdint>
+
+namespace csq {
+
+struct ConvGeometry {
+  std::int64_t channels = 0;
+  std::int64_t height = 0;
+  std::int64_t width = 0;
+  std::int64_t kernel_h = 0;
+  std::int64_t kernel_w = 0;
+  std::int64_t stride = 1;
+  std::int64_t pad = 0;
+
+  std::int64_t out_h() const {
+    return (height + 2 * pad - kernel_h) / stride + 1;
+  }
+  std::int64_t out_w() const {
+    return (width + 2 * pad - kernel_w) / stride + 1;
+  }
+  // Rows of the unfolded matrix.
+  std::int64_t col_rows() const { return channels * kernel_h * kernel_w; }
+  // Columns of the unfolded matrix.
+  std::int64_t col_cols() const { return out_h() * out_w(); }
+
+  // Validates that the geometry yields a positive output grid.
+  void validate() const;
+};
+
+// image: C*H*W floats; col: col_rows()*col_cols() floats (fully overwritten).
+void im2col(const ConvGeometry& geom, const float* image, float* col);
+
+// Adjoint: accumulates col back into image. `image` must be zeroed by the
+// caller when a fresh gradient is wanted.
+void col2im(const ConvGeometry& geom, const float* col, float* image);
+
+}  // namespace csq

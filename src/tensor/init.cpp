@@ -1,0 +1,35 @@
+#include "tensor/init.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace csq {
+
+void fill_he_normal(Tensor& weights, std::int64_t fan_in, Rng& rng) {
+  CSQ_CHECK(fan_in > 0) << "he init: fan_in must be positive";
+  const float stddev = std::sqrt(2.0f / static_cast<float>(fan_in));
+  fill_normal(weights, 0.0f, stddev, rng);
+}
+
+void fill_xavier_uniform(Tensor& weights, std::int64_t fan_in,
+                         std::int64_t fan_out, Rng& rng) {
+  CSQ_CHECK(fan_in > 0 && fan_out > 0) << "xavier init: bad fan";
+  const float limit =
+      std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  fill_uniform(weights, -limit, limit, rng);
+}
+
+void fill_uniform(Tensor& tensor, float lo, float hi, Rng& rng) {
+  float* data = tensor.data();
+  const std::int64_t count = tensor.numel();
+  for (std::int64_t i = 0; i < count; ++i) data[i] = rng.uniform(lo, hi);
+}
+
+void fill_normal(Tensor& tensor, float mean, float stddev, Rng& rng) {
+  float* data = tensor.data();
+  const std::int64_t count = tensor.numel();
+  for (std::int64_t i = 0; i < count; ++i) data[i] = rng.normal(mean, stddev);
+}
+
+}  // namespace csq

@@ -1,0 +1,20 @@
+// Weight initializers (He / Xavier / uniform / constant).
+#pragma once
+
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace csq {
+
+// He (Kaiming) normal: stddev = sqrt(2 / fan_in). The standard initializer
+// for ReLU networks; used by every conv/linear layer in the model zoo.
+void fill_he_normal(Tensor& weights, std::int64_t fan_in, Rng& rng);
+
+// Xavier/Glorot uniform: limit = sqrt(6 / (fan_in + fan_out)).
+void fill_xavier_uniform(Tensor& weights, std::int64_t fan_in,
+                         std::int64_t fan_out, Rng& rng);
+
+void fill_uniform(Tensor& tensor, float lo, float hi, Rng& rng);
+void fill_normal(Tensor& tensor, float mean, float stddev, Rng& rng);
+
+}  // namespace csq

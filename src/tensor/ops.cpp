@@ -1,0 +1,125 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace csq {
+
+void axpy(std::int64_t count, float alpha, const float* x, float* y) {
+  for (std::int64_t i = 0; i < count; ++i) y[i] += alpha * x[i];
+}
+
+namespace {
+
+template <typename BinaryOp>
+Tensor elementwise(const Tensor& a, const Tensor& b, BinaryOp op,
+                   const char* what) {
+  CSQ_CHECK(a.same_shape(b)) << what << ": shape mismatch " << a.shape_string()
+                             << " vs " << b.shape_string();
+  Tensor result(a.shape());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pr = result.data();
+  const std::int64_t count = a.numel();
+  for (std::int64_t i = 0; i < count; ++i) pr[i] = op(pa[i], pb[i]);
+  return result;
+}
+
+}  // namespace
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  return elementwise(a, b, [](float x, float y) { return x + y; }, "add");
+}
+
+Tensor sub(const Tensor& a, const Tensor& b) {
+  return elementwise(a, b, [](float x, float y) { return x - y; }, "sub");
+}
+
+Tensor mul(const Tensor& a, const Tensor& b) {
+  return elementwise(a, b, [](float x, float y) { return x * y; }, "mul");
+}
+
+void add_inplace(Tensor& a, const Tensor& b) {
+  CSQ_CHECK(a.same_shape(b)) << "add_inplace: shape mismatch";
+  axpy(a.numel(), 1.0f, b.data(), a.data());
+}
+
+void scale_inplace(Tensor& a, float alpha) {
+  float* pa = a.data();
+  const std::int64_t count = a.numel();
+  for (std::int64_t i = 0; i < count; ++i) pa[i] *= alpha;
+}
+
+Tensor scale(const Tensor& a, float alpha) {
+  Tensor result = a;
+  scale_inplace(result, alpha);
+  return result;
+}
+
+float sum(const Tensor& a) {
+  // Pairwise-ish accumulation in double to keep reductions stable for the
+  // larger activation tensors.
+  double acc = 0.0;
+  const float* pa = a.data();
+  const std::int64_t count = a.numel();
+  for (std::int64_t i = 0; i < count; ++i) acc += pa[i];
+  return static_cast<float>(acc);
+}
+
+float mean(const Tensor& a) {
+  CSQ_CHECK(a.numel() > 0) << "mean of empty tensor";
+  return sum(a) / static_cast<float>(a.numel());
+}
+
+float max_abs(const Tensor& a) {
+  float best = 0.0f;
+  const float* pa = a.data();
+  const std::int64_t count = a.numel();
+  for (std::int64_t i = 0; i < count; ++i) best = std::max(best, std::fabs(pa[i]));
+  return best;
+}
+
+float min_value(const Tensor& a) {
+  CSQ_CHECK(a.numel() > 0) << "min of empty tensor";
+  return *std::min_element(a.data(), a.data() + a.numel());
+}
+
+float max_value(const Tensor& a) {
+  CSQ_CHECK(a.numel() > 0) << "max of empty tensor";
+  return *std::max_element(a.data(), a.data() + a.numel());
+}
+
+float squared_norm(const Tensor& a) {
+  double acc = 0.0;
+  const float* pa = a.data();
+  const std::int64_t count = a.numel();
+  for (std::int64_t i = 0; i < count; ++i) {
+    acc += static_cast<double>(pa[i]) * static_cast<double>(pa[i]);
+  }
+  return static_cast<float>(acc);
+}
+
+std::int64_t argmax(const float* values, std::int64_t count) {
+  CSQ_CHECK(count > 0) << "argmax of empty span";
+  std::int64_t best = 0;
+  for (std::int64_t i = 1; i < count; ++i) {
+    if (values[i] > values[best]) best = i;
+  }
+  return best;
+}
+
+float max_abs_diff(const Tensor& a, const Tensor& b) {
+  CSQ_CHECK(a.same_shape(b)) << "max_abs_diff: shape mismatch";
+  float best = 0.0f;
+  const float* pa = a.data();
+  const float* pb = b.data();
+  const std::int64_t count = a.numel();
+  for (std::int64_t i = 0; i < count; ++i) {
+    best = std::max(best, std::fabs(pa[i] - pb[i]));
+  }
+  return best;
+}
+
+}  // namespace csq

@@ -1,0 +1,45 @@
+// Elementwise and reduction operations over Tensors and raw spans.
+//
+// Kernels operate on flat float spans; the Tensor overloads just validate
+// shapes and forward. Keeping the span forms public lets layer code work on
+// slices (e.g. one sample of a batch) without materializing sub-tensors.
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/tensor.h"
+
+namespace csq {
+
+// y[i] += alpha * x[i]
+void axpy(std::int64_t count, float alpha, const float* x, float* y);
+
+// dst[i] = a[i] + b[i] / a[i] - b[i] / a[i] * b[i]
+Tensor add(const Tensor& a, const Tensor& b);
+Tensor sub(const Tensor& a, const Tensor& b);
+Tensor mul(const Tensor& a, const Tensor& b);
+
+// In-place variants.
+void add_inplace(Tensor& a, const Tensor& b);
+void scale_inplace(Tensor& a, float alpha);
+
+// Scalar ops returning new tensors.
+Tensor scale(const Tensor& a, float alpha);
+
+// Reductions.
+float sum(const Tensor& a);
+float mean(const Tensor& a);
+float max_abs(const Tensor& a);
+float min_value(const Tensor& a);
+float max_value(const Tensor& a);
+// Squared L2 norm.
+float squared_norm(const Tensor& a);
+
+// Index of the maximum element in [begin, begin+count) of a flat span.
+std::int64_t argmax(const float* values, std::int64_t count);
+
+// Relative max-abs difference between two same-shaped tensors; used by tests
+// and by the fixed-point equivalence checks.
+float max_abs_diff(const Tensor& a, const Tensor& b);
+
+}  // namespace csq

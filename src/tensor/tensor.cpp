@@ -1,0 +1,114 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace csq {
+
+std::int64_t shape_numel(const std::vector<std::int64_t>& shape) {
+  std::int64_t count = 1;
+  for (const std::int64_t extent : shape) {
+    CSQ_CHECK(extent >= 0) << "negative shape extent " << extent;
+    count *= extent;
+  }
+  return count;
+}
+
+Tensor::Tensor(std::vector<std::int64_t> shape)
+    : shape_(std::move(shape)),
+      data_(static_cast<std::size_t>(shape_numel(shape_)), 0.0f) {}
+
+Tensor::Tensor(std::initializer_list<std::int64_t> shape)
+    : Tensor(std::vector<std::int64_t>(shape)) {}
+
+Tensor Tensor::zeros(std::vector<std::int64_t> shape) {
+  return Tensor(std::move(shape));
+}
+
+Tensor Tensor::full(std::vector<std::int64_t> shape, float value) {
+  Tensor result(std::move(shape));
+  result.fill(value);
+  return result;
+}
+
+Tensor Tensor::from_data(std::vector<std::int64_t> shape,
+                         std::vector<float> values) {
+  CSQ_CHECK(shape_numel(shape) == static_cast<std::int64_t>(values.size()))
+      << "data size " << values.size() << " does not match shape";
+  Tensor result;
+  result.shape_ = std::move(shape);
+  result.data_ = std::move(values);
+  return result;
+}
+
+std::int64_t Tensor::dim(int axis) const {
+  CSQ_CHECK(axis >= 0 && axis < ndim())
+      << "axis " << axis << " out of range for " << ndim() << "-d tensor";
+  return shape_[static_cast<std::size_t>(axis)];
+}
+
+std::string Tensor::shape_string() const {
+  std::ostringstream out;
+  out << '[';
+  for (std::size_t i = 0; i < shape_.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << shape_[i];
+  }
+  out << ']';
+  return out.str();
+}
+
+Tensor Tensor::reshaped(std::vector<std::int64_t> new_shape) const& {
+  CSQ_CHECK(shape_numel(new_shape) == numel())
+      << "reshape " << shape_string() << " -> incompatible element count";
+  Tensor result;
+  result.shape_ = std::move(new_shape);
+  result.data_ = data_;
+  return result;
+}
+
+Tensor Tensor::reshaped(std::vector<std::int64_t> new_shape) && {
+  CSQ_CHECK(shape_numel(new_shape) == numel())
+      << "reshape " << shape_string() << " -> incompatible element count";
+  shape_ = std::move(new_shape);
+  return std::move(*this);
+}
+
+float& Tensor::at(std::initializer_list<std::int64_t> index) {
+  return data_[flat_offset(index)];
+}
+
+float Tensor::at(std::initializer_list<std::int64_t> index) const {
+  return data_[flat_offset(index)];
+}
+
+void Tensor::fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+std::size_t Tensor::check_flat(std::int64_t flat_index) const {
+  CSQ_CHECK(flat_index >= 0 && flat_index < numel())
+      << "flat index " << flat_index << " out of range " << numel();
+  return static_cast<std::size_t>(flat_index);
+}
+
+std::size_t Tensor::flat_offset(
+    std::initializer_list<std::int64_t> index) const {
+  CSQ_CHECK(static_cast<int>(index.size()) == ndim())
+      << "index rank " << index.size() << " != tensor rank " << ndim();
+  std::size_t offset = 0;
+  int axis = 0;
+  for (const std::int64_t i : index) {
+    const std::int64_t extent = shape_[static_cast<std::size_t>(axis)];
+    CSQ_CHECK(i >= 0 && i < extent)
+        << "index " << i << " out of range " << extent << " on axis " << axis;
+    offset = offset * static_cast<std::size_t>(extent) +
+             static_cast<std::size_t>(i);
+    ++axis;
+  }
+  return offset;
+}
+
+}  // namespace csq

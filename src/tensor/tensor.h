@@ -1,0 +1,69 @@
+// Dense float32 tensor with contiguous row-major storage.
+//
+// The library deliberately keeps a single dtype (float) and a single layout
+// (contiguous, row-major): every operation the CSQ pipeline needs — GEMM,
+// im2col convolution, batch-norm, elementwise gate evaluation — is expressible
+// over flat spans, and keeping layout trivial keeps kernels fast and testable.
+// Copies are deep; Tensor is a regular value type (Core Guidelines C.20).
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace csq {
+
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(std::vector<std::int64_t> shape);
+  Tensor(std::initializer_list<std::int64_t> shape);
+
+  // Factories ----------------------------------------------------------
+  static Tensor zeros(std::vector<std::int64_t> shape);
+  static Tensor full(std::vector<std::int64_t> shape, float value);
+  static Tensor from_data(std::vector<std::int64_t> shape,
+                          std::vector<float> values);
+
+  // Shape --------------------------------------------------------------
+  const std::vector<std::int64_t>& shape() const { return shape_; }
+  std::int64_t dim(int axis) const;
+  int ndim() const { return static_cast<int>(shape_.size()); }
+  std::int64_t numel() const { return static_cast<std::int64_t>(data_.size()); }
+  bool empty() const { return data_.empty(); }
+  bool same_shape(const Tensor& other) const { return shape_ == other.shape_; }
+  std::string shape_string() const;
+
+  // Returns a tensor with identical data and a new shape with the same
+  // element count. O(numel) copy on lvalues, O(1) move on rvalues.
+  Tensor reshaped(std::vector<std::int64_t> new_shape) const&;
+  Tensor reshaped(std::vector<std::int64_t> new_shape) &&;
+
+  // Data access ---------------------------------------------------------
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  float& operator[](std::int64_t flat_index) { return data_[check_flat(flat_index)]; }
+  float operator[](std::int64_t flat_index) const { return data_[check_flat(flat_index)]; }
+
+  // Multi-dimensional accessors (bounds-checked; intended for tests and
+  // non-hot-path code — kernels index flat spans directly).
+  float& at(std::initializer_list<std::int64_t> index);
+  float at(std::initializer_list<std::int64_t> index) const;
+
+  // Whole-tensor helpers --------------------------------------------------
+  void fill(float value);
+  void zero() { fill(0.0f); }
+
+ private:
+  std::size_t check_flat(std::int64_t flat_index) const;
+  std::size_t flat_offset(std::initializer_list<std::int64_t> index) const;
+
+  std::vector<std::int64_t> shape_;
+  std::vector<float> data_;
+};
+
+// Computes the element count of a shape; throws on negative extents.
+std::int64_t shape_numel(const std::vector<std::int64_t>& shape);
+
+}  // namespace csq

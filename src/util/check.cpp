@@ -1,0 +1,13 @@
+#include "util/check.h"
+
+namespace csq::detail {
+
+void check_failed(const char* expr, const char* file, int line,
+                  const std::string& message) {
+  std::ostringstream out;
+  out << "CSQ_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!message.empty()) out << " — " << message;
+  throw check_error(out.str());
+}
+
+}  // namespace csq::detail

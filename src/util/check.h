@@ -1,0 +1,74 @@
+// Contract checking for the csq library.
+//
+// Follows the spirit of the C++ Core Guidelines (I.6/I.8 Expects/Ensures):
+// preconditions and invariants are checked with a macro that throws a
+// descriptive exception. Checks stay enabled in release builds; every failure
+// carries the failing expression, file and line.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace csq {
+
+// Error type thrown on any contract violation inside the library.
+class check_error : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+
+[[noreturn]] void check_failed(const char* expr, const char* file, int line,
+                               const std::string& message);
+
+// Stream-style message builder so call sites can write
+//   CSQ_CHECK(a == b) << "a=" << a;
+class check_message_builder {
+ public:
+  check_message_builder(const char* expr, const char* file, int line)
+      : expr_(expr), file_(file), line_(line) {}
+
+  check_message_builder(const check_message_builder&) = delete;
+  check_message_builder& operator=(const check_message_builder&) = delete;
+
+  template <typename T>
+  check_message_builder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+  [[noreturn]] ~check_message_builder() noexcept(false) {
+    check_failed(expr_, file_, line_, stream_.str());
+  }
+
+ private:
+  const char* expr_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+// Sink that swallows the streamed message when the check passes.
+struct check_void_sink {
+  template <typename T>
+  check_void_sink& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace detail
+}  // namespace csq
+
+// Precondition / invariant check. Always on (quantization-search bugs are
+// silent numeric corruption otherwise); cost is one predictable branch.
+#define CSQ_CHECK(cond)                                                   \
+  if (cond)                                                               \
+    ::csq::detail::check_void_sink{};                                     \
+  else                                                                    \
+    ::csq::detail::check_message_builder { #cond, __FILE__, __LINE__ }
+
+// Marks unreachable code paths.
+#define CSQ_UNREACHABLE(msg)                                              \
+  ::csq::detail::check_failed("unreachable", __FILE__, __LINE__, (msg))

@@ -1,0 +1,46 @@
+#include "util/env.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace csq {
+
+BenchMode bench_mode() {
+  const char* env = std::getenv("CSQ_BENCH_MODE");
+  if (env == nullptr) return BenchMode::normal;
+  if (std::strcmp(env, "smoke") == 0) return BenchMode::smoke;
+  if (std::strcmp(env, "full") == 0) return BenchMode::full;
+  return BenchMode::normal;
+}
+
+const char* bench_mode_name(BenchMode mode) {
+  switch (mode) {
+    case BenchMode::smoke:
+      return "smoke";
+    case BenchMode::normal:
+      return "default";
+    case BenchMode::full:
+      return "full";
+  }
+  return "?";
+}
+
+int env_int(const char* name, int fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return fallback;
+  return std::atoi(env);
+}
+
+double env_double(const char* name, double fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return fallback;
+  return std::atof(env);
+}
+
+std::string env_string(const char* name, const std::string& fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return fallback;
+  return env;
+}
+
+}  // namespace csq

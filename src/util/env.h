@@ -1,0 +1,25 @@
+// Environment-variable driven configuration for benches and examples.
+//
+// The bench harnesses scale their workloads through CSQ_BENCH_MODE:
+//   smoke   — seconds per harness; sanity only, numbers are noisy.
+//   default — minutes for the full suite; shapes of the paper hold.
+//   full    — larger datasets / more epochs; closest to the paper's trends.
+#pragma once
+
+#include <string>
+
+namespace csq {
+
+enum class BenchMode { smoke, normal, full };
+
+// Reads CSQ_BENCH_MODE (smoke|default|full); unset or unknown -> default.
+BenchMode bench_mode();
+
+const char* bench_mode_name(BenchMode mode);
+
+// Generic typed getters with defaults.
+int env_int(const char* name, int fallback);
+double env_double(const char* name, double fallback);
+std::string env_string(const char* name, const std::string& fallback);
+
+}  // namespace csq

@@ -1,0 +1,61 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <mutex>
+
+namespace csq {
+
+namespace {
+
+LogLevel level_from_env() {
+  const char* env = std::getenv("CSQ_LOG_LEVEL");
+  if (env == nullptr) return LogLevel::info;
+  if (std::strcmp(env, "debug") == 0) return LogLevel::debug;
+  if (std::strcmp(env, "info") == 0) return LogLevel::info;
+  if (std::strcmp(env, "warn") == 0) return LogLevel::warn;
+  if (std::strcmp(env, "error") == 0) return LogLevel::error;
+  if (std::strcmp(env, "off") == 0) return LogLevel::off;
+  return LogLevel::info;
+}
+
+std::atomic<LogLevel>& level_storage() {
+  static std::atomic<LogLevel> level{level_from_env()};
+  return level;
+}
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::debug:
+      return "DEBUG";
+    case LogLevel::info:
+      return "INFO ";
+    case LogLevel::warn:
+      return "WARN ";
+    case LogLevel::error:
+      return "ERROR";
+    case LogLevel::off:
+      return "OFF  ";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { level_storage().store(level); }
+
+LogLevel log_level() { return level_storage().load(); }
+
+namespace detail {
+
+void emit_log(LogLevel level, const std::string& message) {
+  static std::mutex io_mutex;
+  std::lock_guard<std::mutex> lock(io_mutex);
+  std::ostream& out = (level >= LogLevel::warn) ? std::cerr : std::cout;
+  out << "[csq " << level_tag(level) << "] " << message << '\n';
+}
+
+}  // namespace detail
+}  // namespace csq

@@ -1,0 +1,54 @@
+// Minimal leveled logger. Experiments log progress at info level; benches can
+// silence training chatter via set_log_level(LogLevel::warn) or the
+// CSQ_LOG_LEVEL environment variable (debug|info|warn|error|off).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace csq {
+
+enum class LogLevel { debug = 0, info = 1, warn = 2, error = 3, off = 4 };
+
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+
+void emit_log(LogLevel level, const std::string& message);
+
+class log_line {
+ public:
+  explicit log_line(LogLevel level) : level_(level) {}
+  log_line(const log_line&) = delete;
+  log_line& operator=(const log_line&) = delete;
+
+  template <typename T>
+  log_line& operator<<(const T& value) {
+    if (enabled()) stream_ << value;
+    return *this;
+  }
+
+  ~log_line() {
+    if (enabled()) emit_log(level_, stream_.str());
+  }
+
+ private:
+  bool enabled() const { return level_ >= log_level(); }
+
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+inline detail::log_line log_debug() {
+  return detail::log_line(LogLevel::debug);
+}
+inline detail::log_line log_info() { return detail::log_line(LogLevel::info); }
+inline detail::log_line log_warn() { return detail::log_line(LogLevel::warn); }
+inline detail::log_line log_error() {
+  return detail::log_line(LogLevel::error);
+}
+
+}  // namespace csq

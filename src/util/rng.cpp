@@ -1,0 +1,81 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace csq {
+
+Rng::Rng(std::uint64_t seed, std::uint64_t stream)
+    : state_(0), inc_((stream << 1u) | 1u) {
+  next_u32();
+  state_ += seed;
+  next_u32();
+}
+
+std::uint32_t Rng::next_u32() {
+  const std::uint64_t old = state_;
+  state_ = old * 6364136223846793005ULL + inc_;
+  const auto xorshifted =
+      static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+  const auto rot = static_cast<std::uint32_t>(old >> 59u);
+  return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+}
+
+float Rng::uniform() {
+  // 24 high bits -> float in [0, 1) with full float precision.
+  return static_cast<float>(next_u32() >> 8) * (1.0f / 16777216.0f);
+}
+
+float Rng::uniform(float lo, float hi) { return lo + (hi - lo) * uniform(); }
+
+std::uint32_t Rng::uniform_int(std::uint32_t n) {
+  CSQ_CHECK(n > 0) << "uniform_int needs a positive range";
+  // Lemire rejection-free-ish bounded generation with rejection of the
+  // biased region.
+  const std::uint64_t threshold = (0x100000000ULL - n) % n;
+  while (true) {
+    const std::uint64_t product =
+        static_cast<std::uint64_t>(next_u32()) * static_cast<std::uint64_t>(n);
+    if ((product & 0xffffffffULL) >= threshold) {
+      return static_cast<std::uint32_t>(product >> 32);
+    }
+  }
+}
+
+float Rng::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box-Muller; guard against log(0).
+  float u1 = uniform();
+  while (u1 <= 1e-12f) u1 = uniform();
+  const float u2 = uniform();
+  const float radius = std::sqrt(-2.0f * std::log(u1));
+  const float angle = 6.28318530717958647692f * u2;
+  cached_normal_ = radius * std::sin(angle);
+  has_cached_normal_ = true;
+  return radius * std::cos(angle);
+}
+
+float Rng::normal(float mean, float stddev) { return mean + stddev * normal(); }
+
+bool Rng::bernoulli(float p) { return uniform() < p; }
+
+void Rng::shuffle(std::vector<int>& values) {
+  for (std::size_t i = values.size(); i > 1; --i) {
+    const std::uint32_t j = uniform_int(static_cast<std::uint32_t>(i));
+    std::swap(values[i - 1], values[j]);
+  }
+}
+
+Rng Rng::split() {
+  const std::uint64_t seed =
+      (static_cast<std::uint64_t>(next_u32()) << 32) | next_u32();
+  const std::uint64_t stream =
+      (static_cast<std::uint64_t>(next_u32()) << 32) | next_u32();
+  return Rng(seed, stream);
+}
+
+}  // namespace csq

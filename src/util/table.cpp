@@ -1,0 +1,103 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace csq {
+
+void TextTable::set_header(std::vector<std::string> cells) {
+  header_ = std::move(cells);
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  CSQ_CHECK(header_.empty() || cells.size() == header_.size())
+      << "row width " << cells.size() << " != header width " << header_.size();
+  Row row;
+  row.cells = std::move(cells);
+  row.rule_before = next_rule_;
+  next_rule_ = false;
+  rows_.push_back(std::move(row));
+}
+
+void TextTable::add_rule() { next_rule_ = true; }
+
+void TextTable::print(std::ostream& out) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t i = 0; i < header_.size(); ++i) widths[i] = header_[i].size();
+  for (const Row& row : rows_) {
+    widths.resize(std::max(widths.size(), row.cells.size()), 0);
+    for (std::size_t i = 0; i < row.cells.size(); ++i) {
+      widths[i] = std::max(widths[i], row.cells[i].size());
+    }
+  }
+
+  const auto print_cells = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i > 0) out << " | ";
+      out << std::left << std::setw(static_cast<int>(widths[i])) << cells[i];
+    }
+    out << '\n';
+  };
+  const auto print_rule = [&] {
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      if (i > 0) out << "-+-";
+      out << std::string(widths[i], '-');
+    }
+    out << '\n';
+  };
+
+  out << "== " << title_ << " ==\n";
+  if (!header_.empty()) {
+    print_cells(header_);
+    print_rule();
+  }
+  for (const Row& row : rows_) {
+    if (row.rule_before) print_rule();
+    print_cells(row.cells);
+  }
+  out.flush();
+}
+
+std::string TextTable::to_string() const {
+  std::ostringstream out;
+  print(out);
+  return out.str();
+}
+
+std::string format_float(double value, int precision) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(precision) << value;
+  return out.str();
+}
+
+void CsvWriter::add_row(std::vector<std::string> cells) {
+  CSQ_CHECK(cells.size() == header_.size())
+      << "csv row width " << cells.size() << " != header " << header_.size();
+  rows_.push_back(std::move(cells));
+}
+
+void CsvWriter::write(std::ostream& out) const {
+  const auto write_row = [&out](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i > 0) out << ',';
+      out << cells[i];
+    }
+    out << '\n';
+  };
+  write_row(header_);
+  for (const auto& row : rows_) write_row(row);
+}
+
+bool CsvWriter::save(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file) return false;
+  write(file);
+  return static_cast<bool>(file);
+}
+
+}  // namespace csq

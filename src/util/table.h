@@ -1,0 +1,64 @@
+// Plain-text table printer used by the bench harnesses to emit paper-style
+// result tables, plus a CSV writer for figure series.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace csq {
+
+// Accumulates rows of string cells and prints an aligned ASCII table with a
+// title and header rule, e.g.
+//
+//   == Table I: ResNet-20 on synthetic CIFAR-10 ==
+//   A-Bits | Method      | W-Bits | Comp(x) | Acc(%) | paper Acc(%)
+//   -------+-------------+--------+---------+--------+-------------
+//   32     | FP          | 32     | 1.00    | 91.80  | 92.62
+class TextTable {
+ public:
+  explicit TextTable(std::string title) : title_(std::move(title)) {}
+
+  void set_header(std::vector<std::string> cells);
+  void add_row(std::vector<std::string> cells);
+  // Inserts a horizontal rule before the next row (visual grouping, like the
+  // A-Bits blocks in the paper's tables).
+  void add_rule();
+
+  void print(std::ostream& out) const;
+  std::string to_string() const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool rule_before = false;
+  };
+
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+  bool next_rule_ = false;
+};
+
+// Formats a double with fixed precision (helper for table cells).
+std::string format_float(double value, int precision = 2);
+
+// Writes a CSV with a header row and one row per record. Used by the figure
+// harnesses to dump epoch series that can be re-plotted.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  void add_row(std::vector<std::string> cells);
+  void write(std::ostream& out) const;
+  bool save(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace csq

@@ -1,0 +1,85 @@
+// Work-sharing thread pool used to parallelize GEMM / convolution over the
+// batch dimension and other embarrassingly parallel loops.
+//
+// Design notes:
+//  * Static partitioning via `parallel_for` — the loops we run are regular
+//    (same cost per index), so dynamic stealing would only add overhead.
+//  * Exceptions thrown by workers are captured and rethrown on the caller
+//    thread (first one wins), so CSQ_CHECK failures inside kernels surface.
+//  * A process-wide pool is exposed through `global_pool()`; thread count is
+//    taken from the CSQ_THREADS environment variable, defaulting to the
+//    hardware concurrency.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace csq {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()) + 1; }
+
+  // Runs fn(begin..end) partitioned across the pool plus the calling thread.
+  // Blocks until every index is processed. fn receives a single index.
+  void parallel_for(std::int64_t begin, std::int64_t end,
+                    const std::function<void(std::int64_t)>& fn);
+
+  // Chunked variant: fn receives [chunk_begin, chunk_end) so the body can
+  // amortize per-call overhead across contiguous indices.
+  void parallel_for_chunked(
+      std::int64_t begin, std::int64_t end,
+      const std::function<void(std::int64_t, std::int64_t)>& fn);
+
+ private:
+  struct Task {
+    std::function<void(std::int64_t, std::int64_t)> body;
+    std::int64_t begin = 0;
+    std::int64_t end = 0;
+    std::int64_t chunk = 1;
+  };
+
+  void worker_loop();
+  void run_task_share(const Task& task);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::condition_variable done_;
+  const Task* active_task_ = nullptr;
+  std::int64_t next_index_ = 0;
+  int workers_running_ = 0;
+  std::uint64_t generation_ = 0;
+  bool shutdown_ = false;
+  std::exception_ptr first_error_;
+};
+
+// Process-wide pool (created on first use).
+ThreadPool& global_pool();
+
+// True when called from inside a parallel region (worker or caller share);
+// used to serialize nested parallel loops.
+bool inside_parallel_region();
+
+// Convenience wrappers over the global pool. Falls back to a serial loop for
+// tiny ranges where threading would cost more than it saves.
+void parallel_for(std::int64_t begin, std::int64_t end,
+                  const std::function<void(std::int64_t)>& fn,
+                  std::int64_t serial_threshold = 2);
+
+void parallel_for_chunked(
+    std::int64_t begin, std::int64_t end,
+    const std::function<void(std::int64_t, std::int64_t)>& fn);
+
+}  // namespace csq

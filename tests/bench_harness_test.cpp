@@ -1,0 +1,156 @@
+// End-to-end coverage of the bench harness method runners: every row type
+// used by the table benches (FP / STE / DoReFa / PACT / LQ-Nets / BSQ /
+// CSQ / PTQ) must train, report a sane accuracy and the correct
+// compression accounting, at miniature scale.
+#include <gtest/gtest.h>
+
+#include "../bench/harness.h"
+
+namespace csq::bench {
+namespace {
+
+struct Fixture {
+  SyntheticDataset data;
+  RunConfig config;
+};
+
+Fixture make_fixture() {
+  Fixture fixture;
+  SyntheticConfig data_config;
+  data_config.num_classes = 4;
+  data_config.train_samples = 96;
+  data_config.test_samples = 48;
+  data_config.height = 8;
+  data_config.width = 8;
+  data_config.noise_stddev = 0.4f;
+  data_config.seed = 40;
+  fixture.data = make_synthetic(data_config);
+
+  fixture.config.arch = Arch::resnet20;
+  fixture.config.epochs = 3;
+  fixture.config.base_width = 4;
+  fixture.config.num_classes = 4;
+  fixture.config.batch_size = 32;
+  return fixture;
+}
+
+void expect_sane(const Row& row, double expected_compression) {
+  EXPECT_GE(row.accuracy, 0.0);
+  EXPECT_LE(row.accuracy, 100.0);
+  EXPECT_NEAR(row.compression, expected_compression,
+              expected_compression * 0.75);
+  EXPECT_GT(row.seconds, 0.0);
+}
+
+TEST(BenchHarness, FpRow) {
+  Fixture fixture = make_fixture();
+  const Row row = run_fp(fixture.config, fixture.data);
+  EXPECT_EQ(row.method, "FP");
+  EXPECT_EQ(row.w_bits, "32");
+  expect_sane(row, 1.0);
+}
+
+TEST(BenchHarness, SteRow) {
+  Fixture fixture = make_fixture();
+  const Row row = run_ste_uniform(fixture.config, fixture.data, 4);
+  expect_sane(row, 8.0);
+}
+
+TEST(BenchHarness, DorefaRowWithActQuant) {
+  Fixture fixture = make_fixture();
+  fixture.config.act_bits = 3;
+  const Row row = run_dorefa(fixture.config, fixture.data, 3);
+  expect_sane(row, 32.0 / 3.0);
+}
+
+TEST(BenchHarness, PactRow) {
+  Fixture fixture = make_fixture();
+  fixture.config.act_bits = 2;
+  const Row row = run_pact(fixture.config, fixture.data, 2);
+  expect_sane(row, 16.0);
+}
+
+TEST(BenchHarness, LqnetsRow) {
+  Fixture fixture = make_fixture();
+  const Row row = run_lqnets(fixture.config, fixture.data, 2);
+  expect_sane(row, 16.0);
+}
+
+TEST(BenchHarness, BsqRowReportsMixedPrecision) {
+  Fixture fixture = make_fixture();
+  BsqOptions options;
+  options.prune_every = 1;
+  options.prune_threshold = 0.02f;
+  const Row row = run_bsq(fixture.config, fixture.data, options);
+  EXPECT_EQ(row.w_bits, "MP");
+  EXPECT_GE(row.compression, 4.0);  // pruning moved below 8 bits
+}
+
+TEST(BenchHarness, CsqRowWithResult) {
+  Fixture fixture = make_fixture();
+  CsqRunOptions options;
+  options.target_bits = 4.0;
+  options.lambda = 0.05;
+  CsqTrainResult result;
+  const Row row = run_csq(fixture.config, fixture.data, options, &result);
+  EXPECT_EQ(row.method, "CSQ T4");
+  EXPECT_EQ(row.w_bits, "MP");
+  EXPECT_EQ(result.precision_trajectory.size(), 3u);
+  EXPECT_NEAR(row.compression, 32.0 / result.average_bits, 1e-9);
+}
+
+TEST(BenchHarness, CsqUniformRow) {
+  Fixture fixture = make_fixture();
+  CsqRunOptions options;
+  options.fixed_precision = 3;
+  const Row row = run_csq(fixture.config, fixture.data, options);
+  EXPECT_EQ(row.method, "CSQ-Uniform");
+  EXPECT_NEAR(row.compression, 32.0 / 3.0, 1e-6);
+}
+
+TEST(BenchHarness, PtqRows) {
+  Fixture fixture = make_fixture();
+  const Row max_row = run_ptq(fixture.config, fixture.data, 4, false);
+  const Row pct_row = run_ptq(fixture.config, fixture.data, 4, true);
+  EXPECT_NEAR(max_row.compression, 8.0, 1e-9);
+  EXPECT_NE(max_row.method, pct_row.method);
+}
+
+TEST(BenchHarness, TableFormatting) {
+  TextTable table = make_paper_table("t");
+  Row row;
+  row.method = "FP";
+  row.w_bits = "32";
+  row.compression = 1.0;
+  row.accuracy = 91.234;
+  row.paper_accuracy = 92.62;
+  add_row(table, "32", row);
+  const std::string text = table.to_string();
+  EXPECT_NE(text.find("91.23"), std::string::npos);
+  EXPECT_NE(text.find("92.62"), std::string::npos);
+}
+
+TEST(BenchHarness, ScalePresetsAreOrdered) {
+  // smoke <= default <= full on every workload axis.
+  const Scale normal;  // default member values
+  Scale smoke = normal, full = normal;
+  smoke.cifar_train = 300;
+  EXPECT_LE(smoke.cifar_train, normal.cifar_train);
+  full.cifar_train = 1600;
+  EXPECT_GE(full.cifar_train, normal.cifar_train);
+}
+
+TEST(BenchHarness, BuildModelDispatchesAllArchs) {
+  Fixture fixture = make_fixture();
+  Rng rng(41);
+  for (const Arch arch :
+       {Arch::resnet20, Arch::vgg19bn, Arch::resnet18, Arch::resnet50}) {
+    fixture.config.arch = arch;
+    Model model =
+        build_model(fixture.config, dense_weight_factory(), nullptr, rng);
+    EXPECT_GT(model.quant_layers().size(), 10u) << arch_name(arch);
+  }
+}
+
+}  // namespace
+}  // namespace csq::bench

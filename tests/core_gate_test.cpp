@@ -1,0 +1,127 @@
+// Tests for src/core/gate: temperature sigmoid properties and the
+// exponential temperature schedule (paper Eq. 2 and Algorithm 1).
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/gate.h"
+#include "test_helpers.h"
+#include "util/check.h"
+
+namespace csq {
+namespace {
+
+using testing::expect_close;
+using testing::numeric_derivative;
+
+TEST(Gate, RangeIsUnitInterval) {
+  for (float beta : {0.5f, 1.0f, 10.0f, 200.0f}) {
+    for (float x : {-5.0f, -0.3f, 0.0f, 0.7f, 4.0f}) {
+      const float g = gate(x, beta);
+      EXPECT_GE(g, 0.0f);
+      EXPECT_LE(g, 1.0f);
+      // Strictly inside (0,1) while beta*x is below float saturation;
+      // beyond |beta*x| ~ 17, exp(-|beta*x|) drops under the float ulp at
+      // 1 and the gate legitimately reaches the exact 0/1 limit values.
+      if (std::fabs(beta * x) < 15.0f) {
+        EXPECT_GT(g, 0.0f);
+        EXPECT_LT(g, 1.0f);
+      }
+    }
+  }
+}
+
+TEST(Gate, MonotoneIncreasingInX) {
+  float previous = 0.0f;
+  for (float x = -4.0f; x <= 4.0f; x += 0.25f) {
+    const float g = gate(x, 3.0f);
+    EXPECT_GT(g, previous);
+    previous = g;
+  }
+}
+
+TEST(Gate, SymmetricAroundZero) {
+  for (float x : {0.1f, 0.5f, 2.0f}) {
+    EXPECT_NEAR(gate(x, 2.0f) + gate(-x, 2.0f), 1.0f, 1e-6f);
+  }
+  EXPECT_FLOAT_EQ(gate(0.0f, 123.0f), 0.5f);
+}
+
+class GateBetaTest : public ::testing::TestWithParam<float> {};
+
+TEST_P(GateBetaTest, DerivativeMatchesNumeric) {
+  const float beta = GetParam();
+  for (float x : {-1.5f, -0.2f, 0.0f, 0.4f, 1.1f}) {
+    // Keep beta*x small enough that the finite difference is stable.
+    if (std::fabs(beta * x) > 12.0f) continue;
+    const double numeric = numeric_derivative(
+        [beta](float v) { return static_cast<double>(gate(v, beta)); }, x,
+        1e-3f);
+    expect_close(gate_derivative(x, beta), numeric, 2e-2, 1e-5);
+  }
+}
+
+TEST_P(GateBetaTest, DerivativeFromValueIsConsistent) {
+  const float beta = GetParam();
+  for (float x : {-0.8f, 0.0f, 0.6f}) {
+    EXPECT_FLOAT_EQ(gate_derivative(x, beta),
+                    gate_derivative_from_value(gate(x, beta), beta));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Betas, GateBetaTest,
+                         ::testing::Values(0.5f, 1.0f, 2.0f, 5.0f, 10.0f));
+
+TEST(Gate, ConvergesToUnitStepAsBetaGrows) {
+  // The continuous-sparsification property: f_beta -> I(x >= 0).
+  for (float x : {-0.5f, -0.05f, 0.05f, 0.5f}) {
+    const float g = gate(x, 200.0f * 10.0f);
+    EXPECT_NEAR(g, hard_gate(x), 1e-4f);
+  }
+}
+
+TEST(Gate, HardGateIsTheIndicator) {
+  EXPECT_FLOAT_EQ(hard_gate(-1e-6f), 0.0f);
+  EXPECT_FLOAT_EQ(hard_gate(0.0f), 1.0f);
+  EXPECT_FLOAT_EQ(hard_gate(3.0f), 1.0f);
+}
+
+TEST(TemperatureSchedule, EndpointsMatchAlgorithmOne) {
+  const TemperatureSchedule schedule(1.0f, 200.0f, 100);
+  EXPECT_FLOAT_EQ(schedule.at_epoch(0), 1.0f);
+  EXPECT_FLOAT_EQ(schedule.at_epoch(99), 200.0f);
+  EXPECT_NEAR(schedule.at_epoch(50), std::pow(200.0f, 50.0f / 99.0f), 0.5f);
+}
+
+TEST(TemperatureSchedule, GrowsMonotonically) {
+  const TemperatureSchedule schedule(1.0f, 200.0f, 60);
+  float previous = 0.0f;
+  for (int epoch = 0; epoch < 60; ++epoch) {
+    const float beta = schedule.at_epoch(epoch);
+    EXPECT_GT(beta, previous);
+    previous = beta;
+  }
+}
+
+TEST(TemperatureSchedule, GrowthIsExponentialNotLinear) {
+  const TemperatureSchedule schedule(1.0f, 256.0f, 9);
+  // Equal epoch steps multiply beta by the same factor.
+  const float r1 = schedule.at_epoch(2) / schedule.at_epoch(1);
+  const float r2 = schedule.at_epoch(6) / schedule.at_epoch(5);
+  EXPECT_NEAR(r1, r2, 1e-3f);
+  EXPECT_GT(r1, 1.5f);
+}
+
+TEST(TemperatureSchedule, SingleEpochJumpsToMax) {
+  const TemperatureSchedule schedule(1.0f, 200.0f, 1);
+  EXPECT_FLOAT_EQ(schedule.at_epoch(0), 200.0f);
+}
+
+TEST(TemperatureSchedule, RejectsBadParameters) {
+  EXPECT_THROW(TemperatureSchedule(0.0f, 200.0f, 10), check_error);
+  EXPECT_THROW(TemperatureSchedule(1.0f, 0.5f, 10), check_error);
+  EXPECT_THROW(TemperatureSchedule(1.0f, 200.0f, 0), check_error);
+}
+
+}  // namespace
+}  // namespace csq

@@ -1,0 +1,269 @@
+// Tests for src/data (synthetic generator, loader) and src/opt (SGD,
+// schedules, training loops).
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/dataloader.h"
+#include "data/synthetic.h"
+#include "nn/models.h"
+#include "opt/lr_schedule.h"
+#include "opt/sgd.h"
+#include "opt/trainer.h"
+#include "tensor/ops.h"
+#include "test_helpers.h"
+#include "util/check.h"
+
+namespace csq {
+namespace {
+
+SyntheticConfig tiny_config() {
+  SyntheticConfig config;
+  config.num_classes = 4;
+  config.train_samples = 64;
+  config.test_samples = 32;
+  config.height = 8;
+  config.width = 8;
+  config.noise_stddev = 0.3f;
+  config.seed = 5;
+  return config;
+}
+
+TEST(Synthetic, DeterministicForSameSeed) {
+  const SyntheticDataset a = make_synthetic(tiny_config());
+  const SyntheticDataset b = make_synthetic(tiny_config());
+  EXPECT_LT(max_abs_diff(a.train.images(), b.train.images()), 0.0f + 1e-9f);
+  EXPECT_EQ(a.train.labels(), b.train.labels());
+}
+
+TEST(Synthetic, DifferentSeedsProduceDifferentData) {
+  SyntheticConfig config = tiny_config();
+  const SyntheticDataset a = make_synthetic(config);
+  config.seed = 6;
+  const SyntheticDataset b = make_synthetic(config);
+  EXPECT_GT(max_abs_diff(a.train.images(), b.train.images()), 0.1f);
+}
+
+TEST(Synthetic, LabelsBalancedAcrossClasses) {
+  const SyntheticDataset data = make_synthetic(tiny_config());
+  std::vector<int> counts(4, 0);
+  for (const int label : data.train.labels()) ++counts[label];
+  for (const int count : counts) EXPECT_EQ(count, 16);
+}
+
+TEST(Synthetic, TrainAndTestDrawDifferentSamples) {
+  const SyntheticDataset data = make_synthetic(tiny_config());
+  // Same templates, different augmentation draws: first train and test
+  // samples of class 0 must differ.
+  float diff = 0.0f;
+  const float* train = data.train.images().data();
+  const float* test = data.test.images().data();
+  for (std::int64_t i = 0; i < 3 * 8 * 8; ++i) {
+    diff = std::max(diff, std::abs(train[i] - test[i]));
+  }
+  EXPECT_GT(diff, 0.05f);
+}
+
+TEST(Synthetic, ClassesAreDistinguishable) {
+  // Class templates must differ far more than augmentation noise within a
+  // class — otherwise the datasets would be unlearnable.
+  SyntheticConfig config = tiny_config();
+  config.noise_stddev = 0.1f;
+  const SyntheticDataset data = make_synthetic(config);
+  const std::int64_t sample = 3 * 8 * 8;
+  const float* images = data.train.images().data();
+  // samples 0 and 4 share class 0; samples 0 and 1 are classes 0 and 1.
+  double same_class = 0.0, cross_class = 0.0;
+  for (std::int64_t i = 0; i < sample; ++i) {
+    same_class += std::pow(images[i] - images[4 * sample + i], 2.0);
+    cross_class += std::pow(images[i] - images[1 * sample + i], 2.0);
+  }
+  EXPECT_GT(cross_class, same_class);
+}
+
+TEST(Synthetic, PresetsValidate) {
+  EXPECT_GT(SyntheticConfig::cifar_like().num_classes, 1);
+  EXPECT_GT(SyntheticConfig::imagenet_like().num_classes,
+            SyntheticConfig::cifar_like().num_classes);
+}
+
+TEST(Dataset, GatherCopiesRequestedSamples) {
+  const SyntheticDataset data = make_synthetic(tiny_config());
+  const Batch batch = data.train.gather({3, 0, 7});
+  EXPECT_EQ(batch.images.dim(0), 3);
+  EXPECT_EQ(batch.labels.size(), 3u);
+  EXPECT_EQ(batch.labels[0], data.train.labels()[3]);
+  EXPECT_THROW(data.train.gather({-1}), check_error);
+  EXPECT_THROW(data.train.gather({1000}), check_error);
+}
+
+TEST(DataLoader, EpochCoversEverySampleExactlyOnce) {
+  const SyntheticDataset data = make_synthetic(tiny_config());
+  DataLoader loader(data.train, 10, /*shuffle=*/true, Rng(3));
+  EXPECT_EQ(loader.batches_per_epoch(), 7);  // ceil(64/10)
+
+  std::multiset<int> label_multiset;
+  Batch batch;
+  int batches = 0;
+  std::int64_t samples = 0;
+  while (loader.next(batch)) {
+    ++batches;
+    samples += static_cast<std::int64_t>(batch.labels.size());
+    for (const int label : batch.labels) label_multiset.insert(label);
+  }
+  EXPECT_EQ(batches, 7);
+  EXPECT_EQ(samples, 64);
+  for (int c = 0; c < 4; ++c) {
+    EXPECT_EQ(label_multiset.count(c), 16u);
+  }
+}
+
+TEST(DataLoader, ShuffleChangesOrderBetweenEpochs) {
+  const SyntheticDataset data = make_synthetic(tiny_config());
+  DataLoader loader(data.train, 64, /*shuffle=*/true, Rng(3));
+  Batch first, second;
+  loader.next(first);
+  loader.start_epoch();
+  loader.next(second);
+  EXPECT_NE(first.labels, second.labels);
+}
+
+TEST(DataLoader, NoShufflePreservesOrder) {
+  const SyntheticDataset data = make_synthetic(tiny_config());
+  DataLoader loader(data.train, 64, /*shuffle=*/false, Rng(3));
+  Batch batch;
+  loader.next(batch);
+  EXPECT_EQ(batch.labels, data.train.labels());
+}
+
+// ------------------------------------------------------------------ sgd --
+
+TEST(Sgd, PlainStepMatchesClosedForm) {
+  Parameter param("w", Tensor::from_data({2}, {1.0f, -2.0f}));
+  param.grad = Tensor::from_data({2}, {0.5f, 1.0f});
+  SgdConfig config;
+  config.learning_rate = 0.1f;
+  config.momentum = 0.0f;
+  config.weight_decay = 0.0f;
+  Sgd sgd({&param}, config);
+  sgd.step();
+  EXPECT_FLOAT_EQ(param.value[0], 1.0f - 0.1f * 0.5f);
+  EXPECT_FLOAT_EQ(param.value[1], -2.0f - 0.1f * 1.0f);
+}
+
+TEST(Sgd, MomentumAccumulates) {
+  Parameter param("w", Tensor::from_data({1}, {0.0f}));
+  SgdConfig config;
+  config.learning_rate = 1.0f;
+  config.momentum = 0.5f;
+  config.weight_decay = 0.0f;
+  Sgd sgd({&param}, config);
+  param.grad[0] = 1.0f;
+  sgd.step();  // v=1, w=-1
+  EXPECT_FLOAT_EQ(param.value[0], -1.0f);
+  sgd.step();  // v=0.5*1+1=1.5, w=-2.5
+  EXPECT_FLOAT_EQ(param.value[0], -2.5f);
+  sgd.reset_momentum();
+  sgd.step();  // v=1 again
+  EXPECT_FLOAT_EQ(param.value[0], -3.5f);
+}
+
+TEST(Sgd, WeightDecayRespectsPerParameterFlag) {
+  Parameter decayed("w", Tensor::from_data({1}, {2.0f}), true);
+  Parameter exempt("g", Tensor::from_data({1}, {2.0f}), false);
+  SgdConfig config;
+  config.learning_rate = 0.1f;
+  config.momentum = 0.0f;
+  config.weight_decay = 0.5f;
+  Sgd sgd({&decayed, &exempt}, config);
+  sgd.step();  // grads are zero: only decay acts
+  EXPECT_FLOAT_EQ(decayed.value[0], 2.0f - 0.1f * 0.5f * 2.0f);
+  EXPECT_FLOAT_EQ(exempt.value[0], 2.0f);
+}
+
+// ------------------------------------------------------------- schedule --
+
+TEST(CosineSchedule, EndpointsAndMonotoneDecay) {
+  CosineSchedule schedule(0.1f, 100, /*warmup=*/0, /*lr_min=*/0.0f);
+  EXPECT_FLOAT_EQ(schedule.at_epoch(0), 0.1f);
+  EXPECT_NEAR(schedule.at_epoch(50), 0.05f, 1e-3f);
+  EXPECT_LT(schedule.at_epoch(99), 0.001f);
+  for (int e = 1; e < 100; ++e) {
+    EXPECT_LE(schedule.at_epoch(e), schedule.at_epoch(e - 1) + 1e-7f);
+  }
+}
+
+TEST(CosineSchedule, WarmupRampsLinearly) {
+  CosineSchedule schedule(0.1f, 20, /*warmup=*/5);
+  EXPECT_FLOAT_EQ(schedule.at_epoch(0), 0.02f);
+  EXPECT_FLOAT_EQ(schedule.at_epoch(4), 0.1f);
+  EXPECT_GT(schedule.at_epoch(5), schedule.at_epoch(19));
+}
+
+TEST(CosineSchedule, RejectsBadConfigs) {
+  EXPECT_THROW(CosineSchedule(0.1f, 0), check_error);
+  EXPECT_THROW(CosineSchedule(0.1f, 10, 10), check_error);
+  EXPECT_THROW(CosineSchedule(-0.1f, 10), check_error);
+}
+
+// ---------------------------------------------------------------- fit --
+
+TEST(Fit, LearnsTinySyntheticTask) {
+  SyntheticConfig data_config = tiny_config();
+  data_config.noise_stddev = 0.2f;
+  const SyntheticDataset data = make_synthetic(data_config);
+
+  Rng rng(8);
+  ModelConfig model_config;
+  model_config.num_classes = 4;
+  model_config.base_width = 4;
+  Model model = make_resnet20(model_config, dense_weight_factory(), nullptr,
+                              rng);
+  TrainConfig config;
+  config.epochs = 8;
+  config.batch_size = 16;
+  config.learning_rate = 0.05f;
+  const FitResult result = fit(model, data.train, data.test, config);
+  EXPECT_GT(result.final_train_accuracy, 70.0f);
+  EXPECT_GT(result.test_accuracy, 60.0f);
+}
+
+TEST(Fit, HooksFireInOrder) {
+  const SyntheticDataset data = make_synthetic(tiny_config());
+  Rng rng(9);
+  ModelConfig model_config;
+  model_config.num_classes = 4;
+  model_config.base_width = 4;
+  Model model = make_resnet20(model_config, dense_weight_factory(), nullptr,
+                              rng);
+  TrainConfig config;
+  config.epochs = 2;
+  config.batch_size = 32;
+
+  int begins = 0, steps = 0, ends = 0;
+  FitHooks hooks;
+  hooks.on_epoch_begin = [&](int) { ++begins; };
+  hooks.before_step = [&]() { ++steps; };
+  hooks.on_epoch_end = [&](int, float, float) { ++ends; };
+  fit(model, data.train, data.test, config, hooks);
+  EXPECT_EQ(begins, 2);
+  EXPECT_EQ(ends, 2);
+  EXPECT_EQ(steps, 2 * 2);  // 64 samples / 32 per batch * 2 epochs
+}
+
+TEST(EvaluateAccuracy, PerfectAndRandomBaselines) {
+  const SyntheticDataset data = make_synthetic(tiny_config());
+  Rng rng(10);
+  ModelConfig model_config;
+  model_config.num_classes = 4;
+  model_config.base_width = 4;
+  Model model = make_resnet20(model_config, dense_weight_factory(), nullptr,
+                              rng);
+  const float accuracy = evaluate_accuracy(model, data.test);
+  EXPECT_GE(accuracy, 0.0f);
+  EXPECT_LE(accuracy, 100.0f);
+}
+
+}  // namespace
+}  // namespace csq

@@ -1,0 +1,131 @@
+// Tests for the quantized-model container (core/model_io): roundtrip
+// fidelity, format validation against corrupt/truncated files, export
+// preconditions.
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "core/model_io.h"
+#include "nn/models.h"
+#include "util/check.h"
+
+namespace csq {
+namespace {
+
+// Unique temp path per test to avoid collisions under parallel ctest.
+std::string temp_path(const std::string& tag) {
+  return ::testing::TempDir() + "csq_model_io_" + tag + ".bin";
+}
+
+std::vector<QuantizedLayerExport> make_layers() {
+  QuantizedLayerExport a;
+  a.name = "conv1";
+  a.shape = {2, 3};
+  a.codes = {0, 64, -128, 255, -255, 7};
+  a.scale = 0.125f;
+  a.bits = 4;
+  QuantizedLayerExport b;
+  b.name = "fc";
+  b.shape = {1, 2, 1, 1};
+  b.codes = {-1, 1};
+  b.scale = 2.0f;
+  b.bits = 1;
+  return {a, b};
+}
+
+TEST(ModelIo, SaveLoadRoundtrip) {
+  const std::string path = temp_path("roundtrip");
+  const auto layers = make_layers();
+  ASSERT_TRUE(save_quantized_model(path, layers));
+
+  const auto loaded = load_quantized_model(path);
+  ASSERT_EQ(loaded.size(), layers.size());
+  for (std::size_t l = 0; l < layers.size(); ++l) {
+    EXPECT_EQ(loaded[l].name, layers[l].name);
+    EXPECT_EQ(loaded[l].shape, layers[l].shape);
+    EXPECT_EQ(loaded[l].codes, layers[l].codes);
+    EXPECT_EQ(loaded[l].bits, layers[l].bits);
+    EXPECT_FLOAT_EQ(loaded[l].scale, layers[l].scale);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ModelIo, StorageBitsAggregatesLayers) {
+  const auto layers = make_layers();
+  EXPECT_EQ(model_storage_bits(layers),
+            layers[0].storage_bits() + layers[1].storage_bits());
+}
+
+TEST(ModelIo, RejectsOutOfGridCodesOnSave) {
+  auto layers = make_layers();
+  layers[0].codes[0] = 300;  // outside the 8-bit grid
+  EXPECT_THROW(save_quantized_model(temp_path("badcode"), layers),
+               check_error);
+}
+
+TEST(ModelIo, RejectsBadMagic) {
+  const std::string path = temp_path("badmagic");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "NOPEnope this is not a model file";
+  }
+  EXPECT_THROW(load_quantized_model(path), check_error);
+  std::remove(path.c_str());
+}
+
+TEST(ModelIo, RejectsTruncatedFile) {
+  const std::string path = temp_path("truncated");
+  ASSERT_TRUE(save_quantized_model(path, make_layers()));
+  // Chop the last bytes off.
+  std::ifstream in(path, std::ios::binary);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  in.close();
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(contents.data(),
+              static_cast<std::streamsize>(contents.size() - 5));
+  }
+  EXPECT_THROW(load_quantized_model(path), check_error);
+  std::remove(path.c_str());
+}
+
+TEST(ModelIo, RejectsMissingFile) {
+  EXPECT_THROW(load_quantized_model(temp_path("does_not_exist")),
+               check_error);
+}
+
+TEST(ModelIo, ExportModelRequiresFinalizedCsqSources) {
+  Rng rng(50);
+  ModelConfig config;
+  config.base_width = 4;
+
+  // Dense model: export must refuse.
+  Model dense = make_resnet20(config, dense_weight_factory(), nullptr, rng);
+  EXPECT_THROW(export_model(dense), check_error);
+
+  // CSQ model: not finalized -> integer_codes refuses.
+  std::vector<CsqWeightSource*> sources;
+  Model csq_model =
+      make_resnet20(config, csq_weight_factory(&sources), nullptr, rng);
+  EXPECT_THROW(export_model(csq_model), check_error);
+
+  // Finalized: full roundtrip through disk, bit-exact codes.
+  for (CsqWeightSource* source : sources) source->finalize();
+  const auto layers = export_model(csq_model);
+  EXPECT_EQ(layers.size(), csq_model.quant_layers().size());
+
+  const std::string path = temp_path("resnet");
+  ASSERT_TRUE(save_quantized_model(path, layers));
+  const auto loaded = load_quantized_model(path);
+  ASSERT_EQ(loaded.size(), layers.size());
+  for (std::size_t l = 0; l < layers.size(); ++l) {
+    EXPECT_EQ(loaded[l].codes, layers[l].codes);
+    EXPECT_EQ(loaded[l].name, layers[l].name);
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace csq

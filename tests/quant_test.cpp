@@ -1,0 +1,375 @@
+// Tests for src/quant: uniform quantizer properties, STE / DoReFa /
+// LQ-Nets / BSQ weight sources, activation quantizers, PTQ.
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "nn/conv2d.h"
+#include "quant/act_quant.h"
+#include "quant/bsq_weight.h"
+#include "quant/dorefa_weight.h"
+#include "quant/lqnets_weight.h"
+#include "quant/ptq.h"
+#include "quant/quantizer.h"
+#include "quant/ste_uniform_weight.h"
+#include "nn/models.h"
+#include "tensor/ops.h"
+#include "test_helpers.h"
+#include "util/check.h"
+
+namespace csq {
+namespace {
+
+using testing::random_tensor;
+
+// ----------------------------------------------------------- quantizer --
+
+class QuantizerBitsTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(QuantizerBitsTest, ValuesLandOnTheGrid) {
+  const int bits = GetParam();
+  const float scale = 1.7f;
+  const auto levels = static_cast<float>(levels_per_side(bits));
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const float value = rng.uniform(-3.0f, 3.0f);
+    const float q = quantize_symmetric(value, scale, bits);
+    // q * levels / scale must be an integer with |.| <= levels.
+    const float grid_position = q * levels / scale;
+    EXPECT_NEAR(grid_position, std::round(grid_position), 1e-3f);
+    EXPECT_LE(std::fabs(grid_position), levels + 1e-3f);
+  }
+}
+
+TEST_P(QuantizerBitsTest, QuantizationIsIdempotent) {
+  const int bits = GetParam();
+  Rng rng(4);
+  for (int i = 0; i < 100; ++i) {
+    const float value = rng.uniform(-2.0f, 2.0f);
+    const float once = quantize_symmetric(value, 1.0f, bits);
+    EXPECT_FLOAT_EQ(once, quantize_symmetric(once, 1.0f, bits));
+  }
+}
+
+TEST_P(QuantizerBitsTest, ErrorBoundedByHalfStep) {
+  const int bits = GetParam();
+  const float scale = 1.0f;
+  const float step = scale / static_cast<float>(levels_per_side(bits));
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    const float value = rng.uniform(-1.0f, 1.0f);  // inside the clip range
+    const float q = quantize_symmetric(value, scale, bits);
+    EXPECT_LE(std::fabs(q - value), 0.5f * step + 1e-6f);
+  }
+}
+
+TEST_P(QuantizerBitsTest, CodesRoundTrip) {
+  const int bits = GetParam();
+  Rng rng(6);
+  for (int i = 0; i < 100; ++i) {
+    const float value = rng.uniform(-2.0f, 2.0f);
+    const std::int64_t code = symmetric_code(value, 1.5f, bits);
+    EXPECT_LE(std::llabs(code), levels_per_side(bits));
+    EXPECT_FLOAT_EQ(dequantize_code(code, 1.5f, bits),
+                    quantize_symmetric(value, 1.5f, bits));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBits, QuantizerBitsTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(Quantizer, ClampsOutOfRangeValues) {
+  EXPECT_FLOAT_EQ(quantize_symmetric(10.0f, 1.0f, 3), 1.0f);
+  EXPECT_FLOAT_EQ(quantize_symmetric(-10.0f, 1.0f, 3), -1.0f);
+}
+
+TEST(Quantizer, UnsignedGridAndClip) {
+  EXPECT_FLOAT_EQ(quantize_unsigned(-1.0f, 2.0f, 4), 0.0f);
+  EXPECT_FLOAT_EQ(quantize_unsigned(5.0f, 2.0f, 4), 2.0f);
+  const float q = quantize_unsigned(1.0f, 2.0f, 2);
+  EXPECT_NEAR(q * 3.0f / 2.0f, std::round(q * 3.0f / 2.0f), 1e-5f);
+}
+
+TEST(Quantizer, MaxAbsScaleHandlesZeros) {
+  EXPECT_FLOAT_EQ(max_abs_scale(Tensor({4})), 1.0f);
+  EXPECT_FLOAT_EQ(max_abs_scale(Tensor::from_data({2}, {-3.0f, 2.0f})), 3.0f);
+}
+
+TEST(Quantizer, PercentileScaleClipsOutliers) {
+  std::vector<float> values(1000, 0.1f);
+  values[0] = 100.0f;  // one huge outlier
+  Tensor tensor = Tensor::from_data({1000}, std::move(values));
+  EXPECT_FLOAT_EQ(percentile_scale(tensor, 0.99f), 0.1f);
+  EXPECT_FLOAT_EQ(max_abs_scale(tensor), 100.0f);
+}
+
+// --------------------------------------------------------- ste uniform --
+
+TEST(SteUniform, WeightsAreOnGridAndGradPassesThrough) {
+  Rng rng(7);
+  SteUniformWeightSource source("w", {4, 4}, 4, /*bits=*/3, rng);
+  const Tensor& quantized = source.weight(true);
+  const float scale = max_abs_scale(quantized);
+  for (std::int64_t i = 0; i < quantized.numel(); ++i) {
+    const float grid = quantized[i] / scale * 7.0f;
+    EXPECT_NEAR(grid, std::round(grid), 1e-3f);
+  }
+
+  Tensor grad = Tensor::full({4, 4}, 0.5f);
+  source.backward(grad);
+  std::vector<Parameter*> params;
+  source.collect_parameters(params);
+  ASSERT_EQ(params.size(), 1u);
+  EXPECT_FLOAT_EQ(params[0]->grad[0], 0.5f);  // pure pass-through
+  EXPECT_DOUBLE_EQ(source.bits_per_weight(), 3.0);
+}
+
+TEST(SteUniform, MixedFactoryUsesPerLayerBits) {
+  Rng rng(8);
+  auto factory = ste_mixed_weight_factory({{"a", 2}, {"b", 6}}, 4);
+  auto a = factory("a", {2, 2}, 2, rng);
+  auto b = factory("b", {2, 2}, 2, rng);
+  auto other = factory("unknown", {2, 2}, 2, rng);
+  EXPECT_DOUBLE_EQ(a->bits_per_weight(), 2.0);
+  EXPECT_DOUBLE_EQ(b->bits_per_weight(), 6.0);
+  EXPECT_DOUBLE_EQ(other->bits_per_weight(), 4.0);
+}
+
+// -------------------------------------------------------------- dorefa --
+
+TEST(Dorefa, WeightsBoundedAndOnGrid) {
+  Rng rng(9);
+  DorefaWeightSource source("w", {8, 8}, 8, /*bits=*/2, rng);
+  const Tensor& quantized = source.weight(true);
+  const auto levels = 3.0f;  // 2^2 - 1
+  for (std::int64_t i = 0; i < quantized.numel(); ++i) {
+    EXPECT_LE(std::fabs(quantized[i]), 1.0f + 1e-5f);
+    const float grid = (quantized[i] + 1.0f) / 2.0f * levels;
+    EXPECT_NEAR(grid, std::round(grid), 1e-3f);
+  }
+}
+
+TEST(Dorefa, GradientScalesWithTanhDerivative) {
+  Rng rng(10);
+  DorefaWeightSource source("w", {1, 2}, 2, /*bits=*/2, rng);
+  std::vector<Parameter*> params;
+  source.collect_parameters(params);
+  // Put one latent near zero (tanh' ~ 1) and one far out (tanh' ~ 0).
+  params[0]->value[0] = 0.0f;
+  params[0]->value[1] = 5.0f;
+  source.weight(true);
+  source.backward(Tensor::full({1, 2}, 1.0f));
+  EXPECT_GT(std::fabs(params[0]->grad[0]), 10.0f * std::fabs(params[0]->grad[1]));
+}
+
+// -------------------------------------------------------------- lqnets --
+
+TEST(LqNets, EncodingUsesAtMostTwoToTheNLevels) {
+  Rng rng(11);
+  LqNetsWeightSource source("w", {16, 16}, 16, /*bits=*/2, rng);
+  const Tensor& quantized = source.weight(true);
+  std::set<float> distinct;
+  for (std::int64_t i = 0; i < quantized.numel(); ++i) {
+    distinct.insert(quantized[i]);
+  }
+  EXPECT_LE(distinct.size(), 4u);
+  EXPECT_EQ(source.basis().size(), 2u);
+}
+
+TEST(LqNets, QemReducesFitError) {
+  Rng rng(12);
+  LqNetsWeightSource source("w", {32, 32}, 32, /*bits=*/3, rng);
+  source.weight(true);
+  const float first = source.last_fit_error();
+  for (int i = 0; i < 5; ++i) source.weight(true);
+  EXPECT_LE(source.last_fit_error(), first * 1.01f);
+}
+
+TEST(LqNets, RejectsTooManyBits) {
+  Rng rng(13);
+  EXPECT_THROW(LqNetsWeightSource("w", {2, 2}, 2, 5, rng), check_error);
+}
+
+// ----------------------------------------------------------------- bsq --
+
+TEST(Bsq, InitialReconstructionApproximatesDenseInit) {
+  Rng rng(14);
+  BsqWeightSource source("w", {8, 8}, 8, rng);
+  EXPECT_EQ(source.active_bits(), 8);
+  const Tensor& w = source.weight(true);
+  // 8-bit decomposition: error <= s/255 half-step.
+  const float scale = max_abs_scale(w);
+  EXPECT_GT(scale, 0.0f);
+}
+
+TEST(Bsq, WeightsLandOnEightBitGrid) {
+  Rng rng(15);
+  BsqWeightSource source("w", {6, 6}, 6, rng);
+  const Tensor& w = source.weight(true);
+  std::vector<Parameter*> params;
+  source.collect_parameters(params);
+  const float s = params[0]->value[0];  // scale is first
+  for (std::int64_t i = 0; i < w.numel(); ++i) {
+    const float grid = w[i] / s * 255.0f;
+    EXPECT_NEAR(grid, std::round(grid), 1e-2f);
+  }
+}
+
+TEST(Bsq, PruneRemovesUnusedBitsAndRequantizes) {
+  Rng rng(16);
+  BsqWeightSource source("w", {10, 10}, 10, rng);
+  Tensor before = source.weight(true);
+  // Aggressive threshold: every bit with < 60% usage dies.
+  const int removed = source.prune_bits(0.6f);
+  EXPECT_GT(removed, 0);
+  EXPECT_EQ(source.active_bits(), 8 - removed);
+  EXPECT_GE(source.active_bits(), 1);
+  EXPECT_DOUBLE_EQ(source.bits_per_weight(), source.active_bits());
+  // Re-quantized weights still approximate the pre-prune weights.
+  Tensor after = source.weight(true);
+  EXPECT_LT(max_abs_diff(before, after), max_abs_scale(before) * 0.6f);
+}
+
+TEST(Bsq, SparsityRegularizerPushesActiveLatentsOnly) {
+  Rng rng(17);
+  BsqWeightSource source("w", {4, 4}, 4, rng);
+  source.add_sparsity_regularizer(0.1f);
+  std::vector<Parameter*> params;
+  source.collect_parameters(params);
+  // Latents sit at 0.25/0.75 > 0, so every plane entry receives +0.1.
+  bool any_pushed = false;
+  for (std::size_t p = 1; p < params.size(); ++p) {
+    for (std::int64_t i = 0; i < params[p]->grad.numel(); ++i) {
+      if (params[p]->grad[i] != 0.0f) {
+        EXPECT_FLOAT_EQ(params[p]->grad[i], 0.1f);
+        any_pushed = true;
+      }
+    }
+  }
+  EXPECT_TRUE(any_pushed);
+}
+
+TEST(Bsq, SteBackwardRoutesGradientToActivePlanes) {
+  Rng rng(18);
+  BsqWeightSource source("w", {2, 2}, 2, rng);
+  source.weight(true);
+  source.backward(Tensor::full({2, 2}, 1.0f));
+  std::vector<Parameter*> params;
+  source.collect_parameters(params);
+  float total = 0.0f;
+  for (Parameter* param : params) {
+    for (std::int64_t i = 0; i < param->grad.numel(); ++i) {
+      total += std::fabs(param->grad[i]);
+    }
+  }
+  EXPECT_GT(total, 0.0f);
+}
+
+// ----------------------------------------------------------- act quant --
+
+TEST(FixedActQuant, QuantizesToGridAndTracksRange) {
+  FixedActQuant quant("aq", 2);
+  Tensor input = Tensor::from_data({1, 4}, {0.0f, 1.0f, 2.0f, 4.0f});
+  Tensor out = quant.forward(input, /*training=*/true);
+  const float range = quant.range();
+  EXPECT_NEAR(range, 4.0f, 1e-4f);
+  for (std::int64_t i = 0; i < out.numel(); ++i) {
+    const float grid = out[i] / range * 3.0f;
+    EXPECT_NEAR(grid, std::round(grid), 1e-3f);
+  }
+}
+
+TEST(FixedActQuant, BackwardMasksOutOfRange) {
+  FixedActQuant quant("aq", 4);
+  Tensor warmup = Tensor::from_data({1, 2}, {1.0f, 1.0f});
+  quant.forward(warmup, true);  // range ~1
+  Tensor input = Tensor::from_data({1, 2}, {0.5f, 50.0f});
+  quant.forward(input, true);
+  Tensor grad = quant.backward(Tensor::full({1, 2}, 1.0f));
+  EXPECT_FLOAT_EQ(grad[0], 1.0f);
+  EXPECT_FLOAT_EQ(grad[1], 0.0f);  // above the clip: STE masks it
+}
+
+TEST(FixedActQuant, ObserveModePassesThrough) {
+  FixedActQuant quant("aq", 2);
+  quant.set_quantize_enabled(false);
+  Tensor input = Tensor::from_data({1, 3}, {0.123f, 0.456f, 0.789f});
+  Tensor out = quant.forward(input, true);
+  EXPECT_LT(max_abs_diff(out, input), 1e-7f);
+  EXPECT_GT(quant.range(), 0.0f);  // statistics still update
+}
+
+TEST(PactActQuant, ClipGradientFlowsToAlpha) {
+  PactActQuant quant("pact", 4, /*alpha_init=*/1.0f);
+  Tensor input = Tensor::from_data({1, 3}, {0.5f, 2.0f, 3.0f});
+  quant.forward(input, true);
+  Tensor grad = quant.backward(Tensor::full({1, 3}, 1.0f));
+  EXPECT_FLOAT_EQ(grad[0], 1.0f);  // in range: STE
+  EXPECT_FLOAT_EQ(grad[1], 0.0f);  // clipped
+  std::vector<Parameter*> params;
+  quant.collect_parameters(params);
+  EXPECT_FLOAT_EQ(params[0]->grad[0], 2.0f);  // two clipped entries
+}
+
+TEST(PactActQuant, OutputBoundedByAlpha) {
+  PactActQuant quant("pact", 3, 0.7f);
+  Rng rng(19);
+  Tensor input = random_tensor({2, 8}, rng, -1.0f, 5.0f);
+  Tensor out = quant.forward(input, false);
+  EXPECT_LE(max_value(out), 0.7f + 1e-5f);
+  EXPECT_GE(min_value(out), 0.0f);
+}
+
+TEST(ActQuantFactories, RegistryRecordsInstances) {
+  std::vector<FixedActQuant*> registry;
+  auto factory = fixed_act_quant_factory(4, &registry);
+  ModulePtr a = factory("aq1");
+  ModulePtr b = factory("aq2");
+  EXPECT_EQ(registry.size(), 2u);
+  EXPECT_EQ(registry[0]->bits(), 4);
+}
+
+// ----------------------------------------------------------------- ptq --
+
+TEST(Ptq, QuantizesAllDenseLayersInPlace) {
+  Rng rng(20);
+  ModelConfig config;
+  config.base_width = 4;
+  Model model = make_resnet20(config, dense_weight_factory(), nullptr, rng);
+  const PtqReport report =
+      quantize_dense_weights(model, 4, PtqCalibration::max_abs);
+  EXPECT_EQ(report.layers_quantized,
+            static_cast<int>(model.quant_layers().size()));
+  EXPECT_GT(report.mean_relative_error, 0.0);
+  EXPECT_LT(report.mean_relative_error, 0.2);
+
+  // Every dense weight now sits on its layer's 4-bit grid.
+  for (const QuantLayer& layer : model.quant_layers()) {
+    auto* dense = dynamic_cast<DenseWeightSource*>(layer.source);
+    ASSERT_NE(dense, nullptr);
+    const Tensor& w = dense->parameter().value;
+    const float scale = max_abs_scale(w);
+    for (std::int64_t i = 0; i < std::min<std::int64_t>(w.numel(), 50); ++i) {
+      const float grid = w[i] / scale * 15.0f;
+      EXPECT_NEAR(grid, std::round(grid), 1e-2f);
+    }
+  }
+}
+
+TEST(Ptq, LowerBitsGiveLargerError) {
+  Rng rng(21);
+  ModelConfig config;
+  config.base_width = 4;
+  Model model_a = make_resnet20(config, dense_weight_factory(), nullptr, rng);
+  Rng rng2(21);
+  Model model_b = make_resnet20(config, dense_weight_factory(), nullptr, rng2);
+  const PtqReport high =
+      quantize_dense_weights(model_a, 8, PtqCalibration::max_abs);
+  const PtqReport low =
+      quantize_dense_weights(model_b, 2, PtqCalibration::max_abs);
+  EXPECT_GT(low.mean_relative_error, high.mean_relative_error * 4);
+}
+
+}  // namespace
+}  // namespace csq

@@ -1,0 +1,193 @@
+// Tests for src/util: contracts, rng, thread pool, tables, env.
+#include <algorithm>
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+#include "util/env.h"
+#include "util/rng.h"
+#include "util/table.h"
+#include "util/thread_pool.h"
+
+namespace csq {
+namespace {
+
+TEST(Check, PassingConditionDoesNotThrow) {
+  const auto passing_check = [] { CSQ_CHECK(1 + 1 == 2) << "never built"; };
+  EXPECT_NO_THROW(passing_check());
+}
+
+TEST(Check, FailingConditionThrowsWithMessage) {
+  try {
+    CSQ_CHECK(false) << "context " << 42;
+    FAIL() << "expected check_error";
+  } catch (const check_error& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("false"), std::string::npos);
+    EXPECT_NE(what.find("context 42"), std::string::npos);
+  }
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u32(), b.next_u32());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u32() == b.next_u32()) ? 1 : 0;
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const float value = rng.uniform();
+    EXPECT_GE(value, 0.0f);
+    EXPECT_LT(value, 1.0f);
+  }
+}
+
+TEST(Rng, UniformIntBoundsAndCoverage) {
+  Rng rng(11);
+  std::set<std::uint32_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    const std::uint32_t value = rng.uniform_int(7);
+    EXPECT_LT(value, 7u);
+    seen.insert(value);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all buckets hit in 500 draws
+}
+
+TEST(Rng, UniformIntRejectsZeroRange) {
+  Rng rng(1);
+  EXPECT_THROW(rng.uniform_int(0), check_error);
+}
+
+TEST(Rng, NormalMomentsApproximatelyStandard) {
+  Rng rng(13);
+  double sum = 0.0, sum_sq = 0.0;
+  constexpr int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / kSamples;
+  const double var = sum_sq / kSamples - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.03);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(3);
+  std::vector<int> values(50);
+  std::iota(values.begin(), values.end(), 0);
+  std::vector<int> shuffled = values;
+  rng.shuffle(shuffled);
+  EXPECT_NE(shuffled, values);  // astronomically unlikely to be identity
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, values);
+}
+
+TEST(Rng, SplitStreamsAreIndependent) {
+  Rng parent(5);
+  Rng child_a = parent.split();
+  Rng child_b = parent.split();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    same += (child_a.next_u32() == child_b.next_u32()) ? 1 : 0;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexOnce) {
+  std::vector<std::atomic<int>> counters(1000);
+  parallel_for(0, 1000, [&](std::int64_t i) { ++counters[i]; });
+  for (const auto& counter : counters) EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPool, ChunkedVariantCoversRange) {
+  std::atomic<std::int64_t> total{0};
+  parallel_for_chunked(0, 517, [&](std::int64_t begin, std::int64_t end) {
+    std::int64_t local = 0;
+    for (std::int64_t i = begin; i < end; ++i) local += i;
+    total += local;
+  });
+  EXPECT_EQ(total.load(), 517 * 516 / 2);
+}
+
+TEST(ThreadPool, WorkerExceptionPropagatesToCaller) {
+  EXPECT_THROW(
+      parallel_for(0, 100,
+                   [](std::int64_t i) {
+                     if (i == 31) throw std::runtime_error("boom");
+                   }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, NestedParallelForRunsSerially) {
+  std::atomic<int> total{0};
+  parallel_for(0, 8, [&](std::int64_t) {
+    // Inner loop must not deadlock; it runs serially on the worker.
+    parallel_for(0, 8, [&](std::int64_t) { ++total; });
+  });
+  EXPECT_EQ(total.load(), 64);
+}
+
+TEST(ThreadPool, EmptyRangeIsNoop) {
+  int calls = 0;
+  parallel_for(5, 5, [&](std::int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(TextTable, AlignsColumnsAndPrintsHeader) {
+  TextTable table("demo");
+  table.set_header({"Method", "Acc(%)"});
+  table.add_row({"FP", "92.62"});
+  table.add_rule();
+  table.add_row({"CSQ T2", "92.68"});
+  const std::string text = table.to_string();
+  EXPECT_NE(text.find("== demo =="), std::string::npos);
+  EXPECT_NE(text.find("Method"), std::string::npos);
+  EXPECT_NE(text.find("CSQ T2"), std::string::npos);
+  EXPECT_EQ(table.row_count(), 2u);
+}
+
+TEST(TextTable, RowWidthMismatchThrows) {
+  TextTable table("bad");
+  table.set_header({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), check_error);
+}
+
+TEST(CsvWriter, WritesHeaderAndRows) {
+  CsvWriter csv({"epoch", "bits"});
+  csv.add_row({"0", "7.5"});
+  csv.add_row({"1", "6.0"});
+  std::ostringstream out;
+  csv.write(out);
+  EXPECT_EQ(out.str(), "epoch,bits\n0,7.5\n1,6.0\n");
+}
+
+TEST(FormatFloat, FixedPrecision) {
+  EXPECT_EQ(format_float(10.6666, 2), "10.67");
+  EXPECT_EQ(format_float(1.0, 1), "1.0");
+}
+
+TEST(Env, IntFallsBackWhenUnset) {
+  EXPECT_EQ(env_int("CSQ_SURELY_UNSET_VAR", 42), 42);
+}
+
+TEST(Env, BenchModeNameRoundtrip) {
+  EXPECT_STREQ(bench_mode_name(BenchMode::smoke), "smoke");
+  EXPECT_STREQ(bench_mode_name(BenchMode::normal), "default");
+  EXPECT_STREQ(bench_mode_name(BenchMode::full), "full");
+}
+
+}  // namespace
+}  // namespace csq
