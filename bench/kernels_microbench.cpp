@@ -1,16 +1,36 @@
 // google-benchmark microbenchmarks for the hot kernels that bound training
 // throughput: GEMM (all three transpose forms), im2col convolution, the
 // temperature-sigmoid gate, and the CSQ bi-level materialize/backward pair.
+//
+// In addition to the registered benchmarks, every run emits
+// BENCH_materialize.json: serial vs pooled weight materialization for all
+// five WeightSource families on a ResNet-20-sized layer, so later PRs can
+// track the hot-path trajectory.
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "core/csq_weight.h"
 #include "core/gate.h"
 #include "nn/conv2d.h"
 #include "nn/weight_source.h"
+#include "quant/bsq_weight.h"
+#include "quant/dorefa_weight.h"
+#include "quant/lqnets_weight.h"
+#include "quant/ste_uniform_weight.h"
 #include "tensor/gemm.h"
 #include "tensor/im2col.h"
 #include "tensor/init.h"
+#include "tensor/quant_kernels.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace csq {
 namespace {
@@ -146,7 +166,154 @@ void BM_CsqMaterializeAndBackward(benchmark::State& state) {
 }
 BENCHMARK(BM_CsqMaterializeAndBackward)->Arg(32)->Arg(96);
 
+// ------------------------------------------ weight materialization bench --
+
+struct MaterializeFamily {
+  const char* name;
+  std::function<WeightSourcePtr(Rng&)> make;
+};
+
+// A ResNet-20-sized conv layer: 64x64x3x3 = 36864 weights.
+const std::vector<std::int64_t>& bench_shape() {
+  static const std::vector<std::int64_t> shape = {64, 64, 3, 3};
+  return shape;
+}
+constexpr std::int64_t kBenchFanIn = 64 * 3 * 3;
+
+std::vector<MaterializeFamily> materialize_families() {
+  std::vector<MaterializeFamily> families;
+  families.push_back({"csq", [](Rng& rng) {
+                        CsqWeightOptions options;
+                        auto src = std::make_unique<CsqWeightSource>(
+                            "layer", bench_shape(), kBenchFanIn, options, rng);
+                        src->set_beta(13.0f);
+                        return WeightSourcePtr(std::move(src));
+                      }});
+  families.push_back({"bsq", [](Rng& rng) {
+                        return WeightSourcePtr(
+                            std::make_unique<BsqWeightSource>(
+                                "layer", bench_shape(), kBenchFanIn, rng));
+                      }});
+  families.push_back({"ste_uniform", [](Rng& rng) {
+                        return WeightSourcePtr(
+                            std::make_unique<SteUniformWeightSource>(
+                                "layer", bench_shape(), kBenchFanIn,
+                                /*bits=*/4, rng));
+                      }});
+  families.push_back({"dorefa", [](Rng& rng) {
+                        return WeightSourcePtr(
+                            std::make_unique<DorefaWeightSource>(
+                                "layer", bench_shape(), kBenchFanIn,
+                                /*bits=*/2, rng));
+                      }});
+  families.push_back({"lqnets", [](Rng& rng) {
+                        return WeightSourcePtr(
+                            std::make_unique<LqNetsWeightSource>(
+                                "layer", bench_shape(), kBenchFanIn,
+                                /*bits=*/2, rng));
+                      }});
+  return families;
+}
+
+// Wall-clock ns per element of an eval-mode materialization, measured until
+// at least `min_ms` of accumulated runtime.
+double time_materialize_ns_per_element(WeightSource& source,
+                                       double min_ms = 120.0) {
+  const std::int64_t elements = source.weight_count();
+  for (int i = 0; i < 3; ++i) source.weight(/*training=*/false);  // warmup
+  using clock = std::chrono::steady_clock;
+  double elapsed_ns = 0.0;
+  std::int64_t iterations = 0;
+  while (elapsed_ns < min_ms * 1e6 && iterations < 2000) {
+    const auto start = clock::now();
+    const Tensor& w = source.weight(/*training=*/false);
+    const auto stop = clock::now();
+    benchmark::DoNotOptimize(w.data());
+    elapsed_ns += std::chrono::duration<double, std::nano>(stop - start).count();
+    ++iterations;
+  }
+  return elapsed_ns / static_cast<double>(iterations * elements);
+}
+
+void write_materialize_report(const std::string& path) {
+  const KernelExec prior = default_kernel_exec();
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "could not open " << path << " for writing; skipping the "
+              << "materialization report\n";
+    return;
+  }
+  const std::int64_t elements = 64 * 64 * 3 * 3;
+  out << "{\n  \"layer\": \"64x64x3x3\",\n  \"elements\": " << elements
+      << ",\n  \"threads\": " << global_pool().num_threads()
+      << ",\n  \"results\": [\n";
+  bool first = true;
+  for (const MaterializeFamily& family : materialize_families()) {
+    Rng rng(42);
+    WeightSourcePtr source = family.make(rng);
+    set_default_kernel_exec(KernelExec::serial);
+    const double serial_ns = time_materialize_ns_per_element(*source);
+    set_default_kernel_exec(KernelExec::pooled);
+    const double pooled_ns = time_materialize_ns_per_element(*source);
+    if (!first) out << ",\n";
+    first = false;
+    out << "    {\"family\": \"" << family.name
+        << "\", \"serial_ns_per_element\": " << serial_ns
+        << ", \"pooled_ns_per_element\": " << pooled_ns
+        << ", \"speedup\": " << serial_ns / pooled_ns << "}";
+    std::cout << "materialize " << family.name << ": serial " << serial_ns
+              << " ns/elem, pooled " << pooled_ns << " ns/elem (x"
+              << serial_ns / pooled_ns << ")\n";
+  }
+  out << "\n  ]\n}\n";
+  set_default_kernel_exec(prior);
+  std::cout << "wrote " << path << "\n";
+}
+
+void register_materialize_benchmarks() {
+  for (const MaterializeFamily& family : materialize_families()) {
+    for (const bool pooled : {false, true}) {
+      const std::string name = std::string("BM_WeightMaterialize/") +
+                               family.name + (pooled ? "/pooled" : "/serial");
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [make = family.make, pooled](benchmark::State& state) {
+            Rng rng(42);
+            WeightSourcePtr source = make(rng);
+            const KernelExec prior = default_kernel_exec();
+            set_default_kernel_exec(pooled ? KernelExec::pooled
+                                           : KernelExec::serial);
+            for (auto _ : state) {
+              const Tensor& w = source->weight(/*training=*/false);
+              benchmark::DoNotOptimize(w.data());
+            }
+            set_default_kernel_exec(prior);
+            state.SetItemsProcessed(state.iterations() *
+                                    source->weight_count());
+          });
+    }
+  }
+}
+
 }  // namespace
 }  // namespace csq
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool list_only = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--benchmark_list_tests", 0) == 0) {
+      list_only = true;
+    }
+  }
+  csq::register_materialize_benchmarks();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  // The cross-PR tracking report runs after flag parsing so pure listing
+  // invocations stay instant; CSQ_SKIP_MATERIALIZE_REPORT=1 opts out.
+  if (!list_only && std::getenv("CSQ_SKIP_MATERIALIZE_REPORT") == nullptr) {
+    csq::write_materialize_report("BENCH_materialize.json");
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

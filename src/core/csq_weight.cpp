@@ -19,6 +19,7 @@ CsqWeightSource::CsqWeightSource(const std::string& name,
       << "csq: fixed precision out of range";
   element_count_ = shape_numel(shape_);
   quantized_ = Tensor(shape_);
+  engine_ = BitPlaneEngine(element_count_, kBits, /*cache_gates=*/true);
 
   // Train-from-scratch initialization: draw a He-initialized dense weight
   // and decompose it onto the 8-bit grid; logits start at a soft +/- kappa
@@ -81,6 +82,11 @@ CsqWeightSource::CsqWeightSource(const std::string& name,
 
 void CsqWeightSource::set_beta(float beta) {
   CSQ_CHECK(beta > 0.0f) << "csq: beta must be positive";
+  // A temperature change between a training materialization and its
+  // backward would make the cached gate values stale (they were evaluated at
+  // the old beta); invalidate so backward() asserts instead of silently
+  // mixing temperatures.
+  if (beta != beta_) cache_valid_ = false;
   beta_ = beta;
 }
 
@@ -107,57 +113,46 @@ int CsqWeightSource::layer_precision() const {
 
 void CsqWeightSource::materialize_soft(bool cache_for_backward) {
   const float factor = scale_.value[0] / kDenominator;
-  float* w = quantized_.data();
-  std::fill(w, w + element_count_, 0.0f);
 
+  // Stage the engine planes (Eq. 5): one gated pair per participating bit.
+  // With a trainable mask every bit participates (its gradient needs the
+  // gates even at tiny mask values); with a frozen mask only active bits are
+  // evaluated — inactive ones contribute neither value nor gradient.
+  engine_.clear_planes();
+  staged_planes_ = 0;
   for (int b = 0; b < kBits; ++b) {
     const float mask_value = soft_mask_value(b);
-    cached_gate_mask_[static_cast<std::size_t>(b)] = mask_value;
-    if (mask_value == 0.0f && !cache_for_backward) continue;
-
-    const float bit_weight = factor * static_cast<float>(1 << b) * mask_value;
-    const float* mp = pos_logits_[static_cast<std::size_t>(b)].value.data();
-    const float* mn = neg_logits_[static_cast<std::size_t>(b)].value.data();
-
-    if (cache_for_backward) {
-      Tensor& gate_pos = cached_gate_pos_[static_cast<std::size_t>(b)];
-      Tensor& gate_neg = cached_gate_neg_[static_cast<std::size_t>(b)];
-      if (!gate_pos.same_shape(quantized_)) gate_pos = Tensor(shape_);
-      if (!gate_neg.same_shape(quantized_)) gate_neg = Tensor(shape_);
-      float* gp = gate_pos.data();
-      float* gn = gate_neg.data();
-      for (std::int64_t i = 0; i < element_count_; ++i) {
-        gp[i] = gate(mp[i], beta_);
-        gn[i] = gate(mn[i], beta_);
-        w[i] += bit_weight * (gp[i] - gn[i]);
-      }
-    } else {
-      for (std::int64_t i = 0; i < element_count_; ++i) {
-        w[i] += bit_weight * (gate(mp[i], beta_) - gate(mn[i], beta_));
-      }
-    }
+    if (!mask_trains() && mask_value == 0.0f) continue;
+    plane_bits_[static_cast<std::size_t>(staged_planes_)] = b;
+    plane_mask_values_[static_cast<std::size_t>(staged_planes_)] = mask_value;
+    engine_.add_plane(pos_logits_[static_cast<std::size_t>(b)].value.data(),
+                      neg_logits_[static_cast<std::size_t>(b)].value.data(),
+                      factor * static_cast<float>(1 << b) * mask_value,
+                      1 << b);
+    ++staged_planes_;
   }
+  engine_.materialize(GateKind::sigmoid, beta_, quantized_.data(),
+                      cache_for_backward);
   cache_valid_ = cache_for_backward;
+}
+
+void CsqWeightSource::stage_hard_planes() const {
+  engine_.clear_planes();
+  for (int b = 0; b < kBits; ++b) {
+    if (!frozen_mask_[static_cast<std::size_t>(b)]) continue;
+    engine_.add_plane(pos_logits_[static_cast<std::size_t>(b)].value.data(),
+                      neg_logits_[static_cast<std::size_t>(b)].value.data(),
+                      /*coeff=*/0.0f, 1 << b);
+  }
 }
 
 void CsqWeightSource::materialize_hard() {
   // Integer-first accumulation guarantees the materialized weight is
   // exactly s/255 * code (the "exact quantized model" the paper claims).
-  const float factor = scale_.value[0] / kDenominator;
-  float* w = quantized_.data();
-  for (std::int64_t i = 0; i < element_count_; ++i) {
-    std::int32_t code = 0;
-    for (int b = 0; b < kBits; ++b) {
-      if (!frozen_mask_[static_cast<std::size_t>(b)]) continue;
-      const float mp = pos_logits_[static_cast<std::size_t>(b)].value[i];
-      const float mn = neg_logits_[static_cast<std::size_t>(b)].value[i];
-      const std::int32_t bit =
-          static_cast<std::int32_t>(hard_gate(mp)) -
-          static_cast<std::int32_t>(hard_gate(mn));
-      code += bit * (1 << b);
-    }
-    w[i] = factor * static_cast<float>(code);
-  }
+  stage_hard_planes();
+  engine_.materialize_hard(scale_.value[0] / kDenominator, quantized_.data(),
+                           /*codes=*/nullptr);
+  staged_planes_ = 0;
   cache_valid_ = false;
 }
 
@@ -173,7 +168,10 @@ const Tensor& CsqWeightSource::weight(bool training) {
 void CsqWeightSource::backward(const Tensor& grad_weight) {
   CSQ_CHECK(mode_ != CsqMode::finalized)
       << "csq: backward on a finalized source";
-  CSQ_CHECK(cache_valid_) << "csq: backward without training materialization";
+  CSQ_CHECK(cache_valid_)
+      << "csq: backward without a matching training materialization (the "
+         "gate cache is stale after set_beta/freeze_mask/finalize or an "
+         "eval-mode forward)";
   CSQ_CHECK(grad_weight.same_shape(quantized_)) << "csq: grad shape mismatch";
 
   const float s = scale_.value[0];
@@ -182,44 +180,30 @@ void CsqWeightSource::backward(const Tensor& grad_weight) {
 
   // ds: dW/ds = W / s (W is linear in s).
   if (s != 0.0f) {
-    const float* q = quantized_.data();
-    double ds = 0.0;
-    for (std::int64_t i = 0; i < element_count_; ++i) {
-      ds += static_cast<double>(g[i]) * q[i] / s;
-    }
-    scale_.grad[0] += static_cast<float>(ds);
+    scale_.grad[0] +=
+        static_cast<float>(engine_.dot(g, quantized_.data()) / s);
   }
 
-  const bool mask_trains =
-      mode_ == CsqMode::joint && fixed_precision_ == 0;
+  // dW_i/dm_p = factor * 2^b * mask * f'(m_p);   f'(m) = beta*f*(1-f).
+  // The mask needs the raw per-plane reduction sum_i g_i*(f(m_p)-f(m_n)).
+  for (int p = 0; p < staged_planes_; ++p) {
+    const int b = plane_bits_[static_cast<std::size_t>(p)];
+    engine_.set_plane_grads(
+        p, pos_logits_[static_cast<std::size_t>(b)].grad.data(),
+        neg_logits_[static_cast<std::size_t>(b)].grad.data(),
+        /*want_diff_sum=*/mask_trains());
+  }
+  engine_.backward(GateKind::sigmoid, beta_, g);
 
-  for (int b = 0; b < kBits; ++b) {
-    const float mask_value = cached_gate_mask_[static_cast<std::size_t>(b)];
-    const float bit_scale = factor * static_cast<float>(1 << b);
-    const float* gp = cached_gate_pos_[static_cast<std::size_t>(b)].data();
-    const float* gn = cached_gate_neg_[static_cast<std::size_t>(b)].data();
-    float* grad_p = pos_logits_[static_cast<std::size_t>(b)].grad.data();
-    float* grad_n = neg_logits_[static_cast<std::size_t>(b)].grad.data();
-
-    // dW_i/dm_p = factor * 2^b * mask * f'(m_p);   f'(m) = beta*f*(1-f).
-    const float common = bit_scale * mask_value;
-    double mask_grad_acc = 0.0;
-    for (std::int64_t i = 0; i < element_count_; ++i) {
-      const float gi = g[i];
-      if (common != 0.0f) {
-        grad_p[i] += gi * common * gate_derivative_from_value(gp[i], beta_);
-        grad_n[i] -= gi * common * gate_derivative_from_value(gn[i], beta_);
-      }
-      if (mask_trains) {
-        // dW_i/dm_B = factor * 2^b * (f(m_p)-f(m_n)) * f'(m_B).
-        mask_grad_acc += static_cast<double>(gi) * (gp[i] - gn[i]);
-      }
-    }
-    if (mask_trains) {
-      const float mask_derivative =
-          gate_derivative_from_value(mask_value, beta_);
-      mask_logits_.grad[b] +=
-          static_cast<float>(mask_grad_acc) * bit_scale * mask_derivative;
+  if (mask_trains()) {
+    for (int p = 0; p < staged_planes_; ++p) {
+      const int b = plane_bits_[static_cast<std::size_t>(p)];
+      const float bit_scale = factor * static_cast<float>(1 << b);
+      // dW_i/dm_B = factor * 2^b * (f(m_p)-f(m_n)) * f'(m_B).
+      const float mask_derivative = gate_derivative_from_value(
+          plane_mask_values_[static_cast<std::size_t>(p)], beta_);
+      mask_logits_.grad[b] += static_cast<float>(engine_.diff_sum(p)) *
+                              bit_scale * mask_derivative;
     }
   }
   cache_valid_ = false;
@@ -258,24 +242,16 @@ void CsqWeightSource::finalize() {
   if (mode_ == CsqMode::joint) freeze_mask();
   mode_ = CsqMode::finalized;
   cache_valid_ = false;
+  // No backward can ever run again: drop the 16x-weight gate cache.
+  engine_.release_gate_cache();
 }
 
 std::vector<std::int32_t> CsqWeightSource::integer_codes() const {
   CSQ_CHECK(mode_ == CsqMode::finalized)
       << "csq: integer codes require a finalized source";
   std::vector<std::int32_t> codes(static_cast<std::size_t>(element_count_));
-  for (std::int64_t i = 0; i < element_count_; ++i) {
-    std::int32_t code = 0;
-    for (int b = 0; b < kBits; ++b) {
-      if (!frozen_mask_[static_cast<std::size_t>(b)]) continue;
-      const float mp = pos_logits_[static_cast<std::size_t>(b)].value[i];
-      const float mn = neg_logits_[static_cast<std::size_t>(b)].value[i];
-      code += (static_cast<std::int32_t>(hard_gate(mp)) -
-               static_cast<std::int32_t>(hard_gate(mn))) *
-              (1 << b);
-    }
-    codes[static_cast<std::size_t>(i)] = code;
-  }
+  stage_hard_planes();
+  engine_.materialize_hard(/*unit=*/0.0f, /*out=*/nullptr, codes.data());
   return codes;
 }
 

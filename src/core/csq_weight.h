@@ -24,6 +24,7 @@
 
 #include "core/gate.h"
 #include "nn/weight_source.h"
+#include "quant/bitplane_engine.h"
 
 namespace csq {
 
@@ -90,8 +91,13 @@ class CsqWeightSource final : public WeightSource {
  private:
   void materialize_soft(bool cache_for_backward);
   void materialize_hard();
+  // Stages the engine planes for the hard paths (frozen-active bits only).
+  void stage_hard_planes() const;
   bool mask_bit_active(int bit) const;
   float soft_mask_value(int bit) const;
+  bool mask_trains() const {
+    return mode_ == CsqMode::joint && fixed_precision_ == 0;
+  }
 
   Parameter scale_;
   std::array<Parameter, kBits> pos_logits_;
@@ -100,10 +106,18 @@ class CsqWeightSource final : public WeightSource {
   std::array<bool, kBits> frozen_mask_{};
 
   Tensor quantized_;
-  // Caches from the last training materialization (gate values per plane).
-  std::array<Tensor, kBits> cached_gate_pos_;
-  std::array<Tensor, kBits> cached_gate_neg_;
-  std::array<float, kBits> cached_gate_mask_{};
+  // Shared materialization pipeline: owns the gate caches and the reduction
+  // workspace, so steady-state steps allocate nothing. Mutable because the
+  // const hard paths (integer_codes) stage planes through it.
+  mutable BitPlaneEngine engine_;
+  // Per staged plane: originating bit index and the soft mask value used at
+  // the last soft materialization (plane order == engine plane order).
+  std::array<int, kBits> plane_bits_{};
+  std::array<float, kBits> plane_mask_values_{};
+  int staged_planes_ = 0;
+  // The gate cache is only usable by backward() while nothing that changes
+  // the gate values (set_beta, freeze_mask, finalize, a non-training
+  // materialization) has run since the caching forward.
   bool cache_valid_ = false;
 
   std::vector<std::int64_t> shape_;

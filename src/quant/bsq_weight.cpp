@@ -36,25 +36,25 @@ BsqWeightSource::BsqWeightSource(const std::string& name,
                   /*apply_weight_decay=*/false);
   }
   quantized_ = Tensor(shape_);
+  engine_ = BitPlaneEngine(element_count_, kMaxBits, /*cache_gates=*/false);
   requantize_from(dense);
 }
 
 void BsqWeightSource::reconstruct(Tensor& out) const {
   const float s = scale_.value[0];
-  float* w = out.data();
-  std::fill(w, w + element_count_, 0.0f);
+  engine_.clear_planes();
+  staged_planes_ = 0;
   for (int b = 0; b < kMaxBits; ++b) {
     if (!active_[static_cast<std::size_t>(b)]) continue;
-    const float weight_of_bit =
-        s * static_cast<float>(1 << b) / kDenominator;
-    const float* p = pos_[static_cast<std::size_t>(b)].value.data();
-    const float* n = neg_[static_cast<std::size_t>(b)].value.data();
-    for (std::int64_t i = 0; i < element_count_; ++i) {
-      const float bit_p = std::round(std::clamp(p[i], 0.0f, 1.0f));
-      const float bit_n = std::round(std::clamp(n[i], 0.0f, 1.0f));
-      w[i] += weight_of_bit * (bit_p - bit_n);
-    }
+    plane_bits_[static_cast<std::size_t>(staged_planes_)] = b;
+    engine_.add_plane(pos_[static_cast<std::size_t>(b)].value.data(),
+                      neg_[static_cast<std::size_t>(b)].value.data(),
+                      s * static_cast<float>(1 << b) / kDenominator, 1 << b);
+    ++staged_planes_;
   }
+  // round_clip gates: W = s/(2^N-1) * sum_b 2^b (round(p_b) - round(n_b)).
+  engine_.materialize(GateKind::round_clip, /*beta=*/0.0f, out.data(),
+                      /*cache=*/false);
 }
 
 const Tensor& BsqWeightSource::weight(bool training) {
@@ -65,35 +65,25 @@ const Tensor& BsqWeightSource::weight(bool training) {
 
 void BsqWeightSource::backward(const Tensor& grad_weight) {
   CSQ_CHECK(grad_weight.same_shape(quantized_)) << "bsq: grad shape mismatch";
+  CSQ_CHECK(staged_planes_ > 0) << "bsq: backward before materialization";
   const float s = scale_.value[0];
   const float* g = grad_weight.data();
 
   // ds: dW/ds = W / s elementwise.
   if (s != 0.0f) {
-    double ds = 0.0;
-    const float* q = quantized_.data();
-    for (std::int64_t i = 0; i < element_count_; ++i) {
-      ds += static_cast<double>(g[i]) * q[i] / s;
-    }
-    scale_.grad[0] += static_cast<float>(ds);
+    scale_.grad[0] +=
+        static_cast<float>(engine_.dot(g, quantized_.data()) / s);
   }
 
   // Clipped STE into the bit planes: the round() passes gradient through
   // where the latent lies in [0, 1].
-  for (int b = 0; b < kMaxBits; ++b) {
-    if (!active_[static_cast<std::size_t>(b)]) continue;
-    const float weight_of_bit = s * static_cast<float>(1 << b) / kDenominator;
-    Parameter& p = pos_[static_cast<std::size_t>(b)];
-    Parameter& n = neg_[static_cast<std::size_t>(b)];
-    const float* pv = p.value.data();
-    const float* nv = n.value.data();
-    float* pg = p.grad.data();
-    float* ng = n.grad.data();
-    for (std::int64_t i = 0; i < element_count_; ++i) {
-      if (pv[i] >= 0.0f && pv[i] <= 1.0f) pg[i] += g[i] * weight_of_bit;
-      if (nv[i] >= 0.0f && nv[i] <= 1.0f) ng[i] -= g[i] * weight_of_bit;
-    }
+  for (int p = 0; p < staged_planes_; ++p) {
+    const int b = plane_bits_[static_cast<std::size_t>(p)];
+    engine_.set_plane_grads(p, pos_[static_cast<std::size_t>(b)].grad.data(),
+                            neg_[static_cast<std::size_t>(b)].grad.data(),
+                            /*want_diff_sum=*/false);
   }
+  engine_.backward(GateKind::round_clip, /*beta=*/0.0f, g);
 }
 
 void BsqWeightSource::collect_parameters(std::vector<Parameter*>& out) {

@@ -16,6 +16,7 @@
 #include <array>
 
 #include "nn/weight_source.h"
+#include "quant/bitplane_engine.h"
 
 namespace csq {
 
@@ -54,6 +55,13 @@ class BsqWeightSource final : public WeightSource {
   std::array<Parameter, kMaxBits> neg_;   // n_b planes
   std::array<bool, kMaxBits> active_;
   Tensor quantized_;
+  // Shared materialization pipeline (round_clip gates + clipped STE).
+  // Mutable because reconstruct() is const but stages planes through it.
+  mutable BitPlaneEngine engine_;
+  // Bit index per staged plane (engine plane order), from the last
+  // reconstruct; backward routes gradients through the same staging.
+  mutable std::array<int, kMaxBits> plane_bits_{};
+  mutable int staged_planes_ = 0;
   std::vector<std::int64_t> shape_;
   std::int64_t element_count_ = 0;
 };

@@ -1,10 +1,8 @@
 #include "quant/dorefa_weight.h"
 
-#include <cmath>
-
 #include "quant/quantizer.h"
 #include "tensor/init.h"
-#include "tensor/ops.h"
+#include "tensor/quant_kernels.h"
 #include "util/check.h"
 
 namespace csq {
@@ -20,28 +18,22 @@ DorefaWeightSource::DorefaWeightSource(const std::string& name,
                       /*apply_weight_decay=*/true);
   quantized_ = Tensor(latent_.value.shape());
   cached_tanh_ = Tensor(latent_.value.shape());
+  max_partials_.resize(
+      static_cast<std::size_t>(quant_chunk_count(latent_.value.numel())));
 }
 
 const Tensor& DorefaWeightSource::weight(bool training) {
   (void)training;
-  const float* w = latent_.value.data();
-  float* t = cached_tanh_.data();
   const std::int64_t count = latent_.value.numel();
-
-  float max_tanh = 0.0f;
-  for (std::int64_t i = 0; i < count; ++i) {
-    t[i] = std::tanh(w[i]);
-    max_tanh = std::max(max_tanh, std::fabs(t[i]));
-  }
+  const KernelExec exec = default_kernel_exec();
+  const float max_tanh =
+      tanh_forward_max(latent_.value.data(), cached_tanh_.data(), count,
+                       max_partials_.data(), exec);
   cached_max_tanh_ = max_tanh > 0.0f ? max_tanh : 1.0f;
 
   const auto levels = static_cast<float>(levels_per_side(bits_));
-  float* q = quantized_.data();
-  const float inv_two_max = 0.5f / cached_max_tanh_;
-  for (std::int64_t i = 0; i < count; ++i) {
-    const float normalized = t[i] * inv_two_max + 0.5f;  // [0, 1]
-    q[i] = 2.0f * std::round(levels * normalized) / levels - 1.0f;
-  }
+  dorefa_fake_quant(cached_tanh_.data(), quantized_.data(), count,
+                    0.5f / cached_max_tanh_, levels, exec);
   return quantized_;
 }
 
@@ -50,14 +42,9 @@ void DorefaWeightSource::backward(const Tensor& grad_weight) {
       << "dorefa: grad shape mismatch";
   // d w_hat / d w = 2 * d w_norm/d w (STE through round)
   //              = 2 * (1 - tanh^2 w) / (2 max|tanh|) = (1 - tanh^2) / max.
-  const float* go = grad_weight.data();
-  const float* t = cached_tanh_.data();
-  float* gl = latent_.grad.data();
-  const float inv_max = 1.0f / cached_max_tanh_;
-  const std::int64_t count = latent_.grad.numel();
-  for (std::int64_t i = 0; i < count; ++i) {
-    gl[i] += go[i] * (1.0f - t[i] * t[i]) * inv_max;
-  }
+  tanh_ste_backward(grad_weight.data(), cached_tanh_.data(),
+                    latent_.grad.data(), latent_.grad.numel(),
+                    1.0f / cached_max_tanh_, default_kernel_exec());
 }
 
 void DorefaWeightSource::collect_parameters(std::vector<Parameter*>& out) {

@@ -7,6 +7,8 @@
 // implementation choice).
 #pragma once
 
+#include <vector>
+
 #include "nn/weight_source.h"
 
 namespace csq {
@@ -27,6 +29,8 @@ class DorefaWeightSource final : public WeightSource {
   Parameter latent_;
   Tensor quantized_;
   Tensor cached_tanh_;
+  // Per-chunk scratch for the parallel max|tanh| reduction.
+  std::vector<float> max_partials_;
   float cached_max_tanh_ = 1.0f;
   int bits_;
 };

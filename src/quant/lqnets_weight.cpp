@@ -6,6 +6,7 @@
 #include "quant/quantizer.h"
 #include "tensor/init.h"
 #include "tensor/ops.h"
+#include "tensor/quant_kernels.h"
 #include "util/check.h"
 
 namespace csq {
@@ -22,6 +23,10 @@ LqNetsWeightSource::LqNetsWeightSource(const std::string& name,
                       /*apply_weight_decay=*/true);
   quantized_ = Tensor(latent_.value.shape());
   codes_.resize(static_cast<std::size_t>(latent_.value.numel()));
+  const std::int64_t chunks = quant_chunk_count(latent_.value.numel());
+  fit_partials_.resize(static_cast<std::size_t>(chunks));
+  gram_partials_.resize(
+      static_cast<std::size_t>(chunks * (bits * bits + bits)));
 
   // Initialize the basis so v.b spans a roughly uniform grid over the
   // initial weight range; QEM adapts it from there.
@@ -53,23 +58,12 @@ const Tensor& LqNetsWeightSource::weight(bool training) {
   float* q = quantized_.data();
   const std::int64_t count = latent_.value.numel();
   const int combos = 1 << bits_;
+  const KernelExec exec = default_kernel_exec();
 
   // E-step: nearest-level encoding (2^n <= 16 candidates: linear scan).
-  double fit_error = 0.0;
-  for (std::int64_t i = 0; i < count; ++i) {
-    int best_code = 0;
-    float best_dist = std::fabs(w[i] - levels_[0]);
-    for (int c = 1; c < combos; ++c) {
-      const float dist = std::fabs(w[i] - levels_[static_cast<std::size_t>(c)]);
-      if (dist < best_dist) {
-        best_dist = dist;
-        best_code = c;
-      }
-    }
-    codes_[static_cast<std::size_t>(i)] = static_cast<std::int8_t>(best_code);
-    q[i] = levels_[static_cast<std::size_t>(best_code)];
-    fit_error += static_cast<double>(best_dist) * best_dist;
-  }
+  const double fit_error =
+      nearest_level_encode(w, levels_.data(), combos, codes_.data(), q, count,
+                           fit_partials_.data(), exec);
   last_fit_error_ = static_cast<float>(fit_error / static_cast<double>(count));
 
   if (training) {
@@ -78,21 +72,8 @@ const Tensor& LqNetsWeightSource::weight(bool training) {
     const int n = bits_;
     double gram[16];  // n <= 4 -> at most 4x4
     double rhs[4];
-    for (int a = 0; a < n; ++a) {
-      rhs[a] = 0.0;
-      for (int b = 0; b < n; ++b) gram[a * n + b] = 0.0;
-    }
-    for (std::int64_t i = 0; i < count; ++i) {
-      const int code = codes_[static_cast<std::size_t>(i)];
-      for (int a = 0; a < n; ++a) {
-        const double sign_a = (code >> a) & 1 ? 1.0 : -1.0;
-        rhs[a] += sign_a * w[i];
-        for (int b = 0; b < n; ++b) {
-          const double sign_b = (code >> b) & 1 ? 1.0 : -1.0;
-          gram[a * n + b] += sign_a * sign_b;
-        }
-      }
-    }
+    code_gram_accumulate(w, codes_.data(), n, gram, rhs, count,
+                         gram_partials_.data(), exec);
     for (int a = 0; a < n; ++a) gram[a * n + a] += 1e-6 * count;
 
     // Gaussian elimination with partial pivoting.
@@ -144,7 +125,8 @@ void LqNetsWeightSource::backward(const Tensor& grad_weight) {
   CSQ_CHECK(grad_weight.same_shape(latent_.grad))
       << "lqnets: grad shape mismatch";
   // STE to the latent weights.
-  add_inplace(latent_.grad, grad_weight);
+  accumulate(grad_weight.data(), latent_.grad.data(), latent_.grad.numel(),
+             default_kernel_exec());
 }
 
 void LqNetsWeightSource::collect_parameters(std::vector<Parameter*>& out) {

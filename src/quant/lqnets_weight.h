@@ -38,6 +38,10 @@ class LqNetsWeightSource final : public WeightSource {
   std::vector<float> basis_;          // v, size n
   std::vector<float> levels_;         // all 2^n values v.b, sorted
   std::vector<std::int8_t> codes_;    // packed encodings, n per weight
+  // Per-chunk reduction scratch for the parallel E/M steps (fit error and
+  // Gram/rhs partials), sized once at construction.
+  std::vector<double> fit_partials_;
+  std::vector<double> gram_partials_;
   float last_fit_error_ = 0.0f;
   int bits_;
 };

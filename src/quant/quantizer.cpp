@@ -4,6 +4,7 @@
 #include <cmath>
 #include <vector>
 
+#include "tensor/quant_kernels.h"
 #include "util/check.h"
 
 namespace csq {
@@ -32,12 +33,10 @@ float quantize_symmetric(float value, float scale, int bits) {
 void quantize_symmetric_tensor(const Tensor& in, Tensor& out, float scale,
                                int bits) {
   CSQ_CHECK(in.same_shape(out)) << "quantize tensor: shape mismatch";
-  const float* src = in.data();
-  float* dst = out.data();
-  const std::int64_t count = in.numel();
-  for (std::int64_t i = 0; i < count; ++i) {
-    dst[i] = quantize_symmetric(src[i], scale, bits);
-  }
+  // Same per-element arithmetic as quantize_symmetric, via the shared
+  // chunk-parallel kernel.
+  fake_quant_symmetric(in.data(), out.data(), in.numel(), scale, bits,
+                       default_kernel_exec());
 }
 
 float quantize_unsigned(float value, float clip, int bits) {

@@ -1,8 +1,7 @@
 #include "quant/ste_uniform_weight.h"
 
-#include "quant/quantizer.h"
 #include "tensor/init.h"
-#include "tensor/ops.h"
+#include "tensor/quant_kernels.h"
 #include "util/check.h"
 
 namespace csq {
@@ -17,12 +16,20 @@ SteUniformWeightSource::SteUniformWeightSource(
   latent_ = Parameter(name + ".latent", std::move(value),
                       /*apply_weight_decay=*/true);
   quantized_ = Tensor(latent_.value.shape());
+  max_partials_.resize(
+      static_cast<std::size_t>(quant_chunk_count(latent_.value.numel())));
 }
 
 const Tensor& SteUniformWeightSource::weight(bool training) {
   (void)training;
-  const float scale = max_abs_scale(latent_.value);
-  quantize_symmetric_tensor(latent_.value, quantized_, scale, bits_);
+  const std::int64_t count = latent_.value.numel();
+  const KernelExec exec = default_kernel_exec();
+  const float max_abs = reduce_max_abs(latent_.value.data(), count,
+                                       max_partials_.data(), exec);
+  // Degenerate all-zero tensors still need a usable scale.
+  const float scale = max_abs > 0.0f ? max_abs : 1.0f;
+  fake_quant_symmetric(latent_.value.data(), quantized_.data(), count, scale,
+                       bits_, exec);
   return quantized_;
 }
 
@@ -31,7 +38,8 @@ void SteUniformWeightSource::backward(const Tensor& grad_weight) {
       << "ste_uniform: grad shape mismatch";
   // Straight-through: d w_hat / d w_latent ~= 1 (no clipping occurs since
   // the scale is the max-abs of the latent weight).
-  add_inplace(latent_.grad, grad_weight);
+  accumulate(grad_weight.data(), latent_.grad.data(), latent_.grad.numel(),
+             default_kernel_exec());
 }
 
 void SteUniformWeightSource::collect_parameters(

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <unordered_map>
+#include <vector>
 
 #include "nn/weight_source.h"
 
@@ -31,6 +32,9 @@ class SteUniformWeightSource final : public WeightSource {
  private:
   Parameter latent_;
   Tensor quantized_;
+  // Per-chunk scratch for the parallel max-abs scale reduction (sized once;
+  // the hot path allocates nothing).
+  std::vector<float> max_partials_;
   int bits_;
 };
 

@@ -263,6 +263,37 @@ TEST(CsqWeight, IntegerCodesRespectMaskAndRange) {
   }
 }
 
+// The gate values cached by a training materialization are only valid at the
+// temperature/mask state they were computed under. Mutating either between
+// forward and backward must assert, not silently mix temperatures.
+TEST(CsqWeight, SetBetaBetweenForwardAndBackwardInvalidatesCache) {
+  Rng rng(90);
+  CsqWeightSource source = make_source(rng);
+  source.set_beta(2.0f);
+  source.weight(/*training=*/true);
+  source.set_beta(4.0f);  // stale gates: cached at beta=2
+  EXPECT_THROW(source.backward(Tensor({3, 4})), check_error);
+}
+
+TEST(CsqWeight, RedundantSetBetaKeepsCacheValid) {
+  Rng rng(91);
+  CsqWeightSource source = make_source(rng);
+  source.set_beta(2.0f);
+  source.weight(/*training=*/true);
+  source.set_beta(2.0f);  // no-op: gates still match
+  Tensor probe = random_tensor({3, 4}, rng);
+  EXPECT_NO_THROW(source.backward(probe));
+}
+
+TEST(CsqWeight, FreezeMaskBetweenForwardAndBackwardInvalidatesCache) {
+  Rng rng(92);
+  CsqWeightSource source = make_source(rng);
+  source.set_beta(2.0f);
+  source.weight(/*training=*/true);
+  source.freeze_mask();  // mask values and plane staging are now stale
+  EXPECT_THROW(source.backward(Tensor({3, 4})), check_error);
+}
+
 TEST(CsqWeight, BackwardOnFinalizedSourceThrows) {
   Rng rng(73);
   CsqWeightSource source = make_source(rng);

@@ -1,10 +1,15 @@
 // Tests for src/quant: uniform quantizer properties, STE / DoReFa /
-// LQ-Nets / BSQ weight sources, activation quantizers, PTQ.
+// LQ-Nets / BSQ weight sources, activation quantizers, PTQ, and the shared
+// bit-plane engine / quant-kernel pipeline every family materializes
+// through (cross-family gradient checks, serial-vs-pooled parity).
 #include <cmath>
+#include <cstring>
+#include <functional>
 #include <set>
 
 #include <gtest/gtest.h>
 
+#include "core/csq_weight.h"
 #include "nn/conv2d.h"
 #include "quant/act_quant.h"
 #include "quant/bsq_weight.h"
@@ -15,6 +20,7 @@
 #include "quant/ste_uniform_weight.h"
 #include "nn/models.h"
 #include "tensor/ops.h"
+#include "tensor/quant_kernels.h"
 #include "test_helpers.h"
 #include "util/check.h"
 
@@ -265,6 +271,281 @@ TEST(Bsq, SteBackwardRoutesGradientToActivePlanes) {
   }
   EXPECT_GT(total, 0.0f);
 }
+
+// --------------------------------------- cross-family engine parity ----
+//
+// All five WeightSource families materialize through the shared
+// BitPlaneEngine / quant_kernels pipeline. The checks below run one
+// identical harness over every family: (a) the analytic backward of each
+// source matches a finite-difference probe of its own forward (for the
+// STE-style families the epsilon spans the quantization step, so the FD
+// measures the surrogate slope the STE claims), and (b) pooled (multi-
+// thread) and serial execution produce bit-identical weights and gradients.
+
+struct FamilyCase {
+  std::string name;
+  // Builds a ready-to-train source of the given shape (fan_in = last dim).
+  std::function<WeightSourcePtr(Rng&, std::vector<std::int64_t>)> make;
+  // Finite-difference epsilons for one parameter coordinate; several values
+  // are averaged (used where the forward is a staircase).
+  std::function<std::vector<float>(const WeightSource&, const Parameter&,
+                                   std::int64_t)>
+      eps_list;
+  // Rejects coordinates where the FD probe is ill-posed (the scale argmax,
+  // clip edges, rounding-boundary straddles).
+  std::function<bool(const WeightSource&, const Parameter&, std::int64_t)>
+      coordinate_ok;
+  double rtol = 5e-2;
+  double atol = 1e-3;
+};
+
+std::int64_t fan_in_of(const std::vector<std::int64_t>& shape) {
+  return shape.back();
+}
+
+std::vector<FamilyCase> family_cases() {
+  std::vector<FamilyCase> cases;
+
+  {  // CSQ: smooth sigmoid gates — plain small-eps FD on every parameter.
+    FamilyCase fc;
+    fc.name = "csq";
+    fc.make = [](Rng& rng, std::vector<std::int64_t> shape) {
+      CsqWeightOptions options;
+      auto src = std::make_unique<CsqWeightSource>(
+          "w", shape, fan_in_of(shape), options, rng);
+      src->set_beta(3.0f);
+      return WeightSourcePtr(std::move(src));
+    };
+    fc.eps_list = [](const WeightSource&, const Parameter&, std::int64_t) {
+      return std::vector<float>{1e-3f};
+    };
+    fc.coordinate_ok = [](const WeightSource&, const Parameter&,
+                          std::int64_t) { return true; };
+    fc.rtol = 5e-2;
+    fc.atol = 1e-3;
+    cases.push_back(std::move(fc));
+  }
+
+  {  // BSQ: latents sit at 0.25/0.75, so eps=0.5 flips the rounded bit
+     // exactly once per side and the clipped STE matches the FD exactly.
+    FamilyCase fc;
+    fc.name = "bsq";
+    fc.make = [](Rng& rng, std::vector<std::int64_t> shape) {
+      return WeightSourcePtr(std::make_unique<BsqWeightSource>(
+          "w", shape, fan_in_of(shape), rng));
+    };
+    fc.eps_list = [](const WeightSource&, const Parameter& param,
+                     std::int64_t) {
+      const bool is_scale = param.value.numel() == 1;
+      return std::vector<float>{is_scale ? 1e-3f : 0.5f};
+    };
+    fc.coordinate_ok = [](const WeightSource&, const Parameter&,
+                          std::int64_t) { return true; };
+    fc.rtol = 2e-2;
+    fc.atol = 1e-5;
+    cases.push_back(std::move(fc));
+  }
+
+  {  // STE-Uniform: eps = one grid step; away from the clip edge and the
+     // scale argmax the staircase shifts exactly one level → FD = 1.
+    FamilyCase fc;
+    fc.name = "ste_uniform";
+    fc.make = [](Rng& rng, std::vector<std::int64_t> shape) {
+      return WeightSourcePtr(std::make_unique<SteUniformWeightSource>(
+          "w", shape, fan_in_of(shape), /*bits=*/3, rng));
+    };
+    fc.eps_list = [](const WeightSource&, const Parameter& param,
+                     std::int64_t) {
+      const float scale = max_abs(param.value);
+      return std::vector<float>{scale / 7.0f};
+    };
+    fc.coordinate_ok = [](const WeightSource&, const Parameter& param,
+                          std::int64_t index) {
+      const float scale = max_abs(param.value);
+      const float step = scale / 7.0f;
+      return std::fabs(param.value[index]) < scale - 1.5f * step;
+    };
+    fc.rtol = 5e-3;
+    fc.atol = 1e-3;
+    cases.push_back(std::move(fc));
+  }
+
+  {  // DoReFa: latents are rewritten to the near-linear region of tanh; the
+     // per-coordinate eps is sized so the normalized value moves exactly one
+     // grid level, making the FD track the surrogate (1-tanh^2)/max slope.
+    FamilyCase fc;
+    fc.name = "dorefa";
+    fc.make = [](Rng& rng, std::vector<std::int64_t> shape) {
+      auto src = std::make_unique<DorefaWeightSource>(
+          "w", shape, fan_in_of(shape), /*bits=*/2, rng);
+      std::vector<Parameter*> params;
+      src->collect_parameters(params);
+      Tensor& latent = params[0]->value;
+      for (std::int64_t i = 0; i < latent.numel(); ++i) {
+        latent[i] = rng.uniform(-0.3f, 0.3f);
+      }
+      latent[0] = 0.35f;  // pins the max|tanh| away from probed coords
+      return WeightSourcePtr(std::move(src));
+    };
+    const auto max_tanh = [](const Parameter& param) {
+      float best = 0.0f;
+      for (std::int64_t i = 0; i < param.value.numel(); ++i) {
+        best = std::max(best, std::fabs(std::tanh(param.value[i])));
+      }
+      return best;
+    };
+    fc.eps_list = [max_tanh](const WeightSource&, const Parameter& param,
+                             std::int64_t index) {
+      const float t = std::tanh(param.value[index]);
+      const float level_step = 2.0f * max_tanh(param) / 3.0f;  // 2^2-1 levels
+      return std::vector<float>{level_step / (1.0f - t * t)};
+    };
+    fc.coordinate_ok = [max_tanh](const WeightSource&, const Parameter& param,
+                                  std::int64_t index) {
+      const float max_t = max_tanh(param);
+      const float t = std::tanh(param.value[index]);
+      // The one-level step is 2*max_t/3 in tanh units; the perturbed tanh
+      // must stay below max_t or the max-abs normalizer itself would move.
+      if (std::fabs(t) > 0.25f * max_t) return false;
+      const float norm3 = 3.0f * (t / (2.0f * max_t) + 0.5f);
+      const float frac = norm3 - std::round(norm3);
+      return std::fabs(frac) < 0.3f;  // rounding-boundary guard
+    };
+    fc.rtol = 0.15;
+    fc.atol = 1e-3;
+    cases.push_back(std::move(fc));
+  }
+
+  {  // LQ-Nets: the staircase is non-uniform, so the FD averages several
+     // wide epsilons; near the center of the range the secant slope tracks
+     // the STE's unit pass-through.
+    FamilyCase fc;
+    fc.name = "lqnets";
+    fc.make = [](Rng& rng, std::vector<std::int64_t> shape) {
+      auto src = std::make_unique<LqNetsWeightSource>(
+          "w", shape, fan_in_of(shape), /*bits=*/2, rng);
+      for (int i = 0; i < 8; ++i) src->weight(true);  // settle QEM
+      return WeightSourcePtr(std::move(src));
+    };
+    fc.eps_list = [](const WeightSource&, const Parameter& param,
+                     std::int64_t) {
+      const float m = max_abs(param.value);
+      return std::vector<float>{0.6f * m, 0.8f * m, 1.0f * m};
+    };
+    fc.coordinate_ok = [](const WeightSource&, const Parameter& param,
+                          std::int64_t index) {
+      return std::fabs(param.value[index]) < 0.35f * max_abs(param.value);
+    };
+    fc.rtol = 0.4;
+    fc.atol = 1e-2;
+    cases.push_back(std::move(fc));
+  }
+
+  return cases;
+}
+
+class WeightSourceFamilyTest : public ::testing::TestWithParam<FamilyCase> {};
+
+TEST_P(WeightSourceFamilyTest, AnalyticBackwardMatchesFiniteDifference) {
+  const FamilyCase& fc = GetParam();
+  Rng rng(123);
+  WeightSourcePtr source = fc.make(rng, {10, 14});
+
+  const Tensor& w0 = source->weight(/*training=*/true);
+  Rng probe_rng(321);
+  Tensor probe = random_tensor(w0.shape(), probe_rng);
+  source->backward(probe);
+
+  std::vector<Parameter*> params;
+  source->collect_parameters(params);
+  ASSERT_FALSE(params.empty());
+
+  Rng pick(777);
+  int checked = 0;
+  for (Parameter* param : params) {
+    int param_checked = 0;
+    for (int attempt = 0; attempt < 64 && param_checked < 3; ++attempt) {
+      const auto index = static_cast<std::int64_t>(pick.uniform_int(
+          static_cast<std::uint32_t>(param->value.numel())));
+      if (!fc.coordinate_ok(*source, *param, index)) continue;
+      const float original = param->value[index];
+      const std::vector<float> epss = fc.eps_list(*source, *param, index);
+      ASSERT_FALSE(epss.empty());
+      double numeric = 0.0;
+      for (const float eps : epss) {
+        numeric += testing::numeric_derivative(
+            [&](float x) {
+              param->value[index] = x;
+              return static_cast<double>(
+                  testing::probe_loss(source->weight(/*training=*/false),
+                                      probe));
+            },
+            original, eps);
+      }
+      numeric /= static_cast<double>(epss.size());
+      param->value[index] = original;
+      SCOPED_TRACE(fc.name + ": " + param->name + "[" +
+                   std::to_string(index) + "]");
+      testing::expect_close(param->grad[index], numeric, fc.rtol, fc.atol);
+      ++param_checked;
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 0) << fc.name << ": every probe coordinate was skipped";
+}
+
+TEST_P(WeightSourceFamilyTest, PooledMaterializationBitIdenticalToSerial) {
+  const FamilyCase& fc = GetParam();
+  const KernelExec prior = default_kernel_exec();
+  // > kQuantChunk elements so the pooled path actually spans chunks.
+  const std::vector<std::int64_t> shape = {37, 113};
+
+  Rng rng_serial(91);
+  set_default_kernel_exec(KernelExec::serial);
+  WeightSourcePtr serial_src = fc.make(rng_serial, shape);
+  const Tensor& w_serial = serial_src->weight(/*training=*/true);
+  Rng probe_rng(17);
+  Tensor probe = random_tensor(w_serial.shape(), probe_rng);
+  serial_src->backward(probe);
+
+  Rng rng_pooled(91);
+  set_default_kernel_exec(KernelExec::pooled);
+  WeightSourcePtr pooled_src = fc.make(rng_pooled, shape);
+  const Tensor& w_pooled = pooled_src->weight(/*training=*/true);
+  pooled_src->backward(probe);
+
+  set_default_kernel_exec(prior);
+
+  ASSERT_EQ(w_serial.numel(), w_pooled.numel());
+  EXPECT_EQ(std::memcmp(w_serial.data(), w_pooled.data(),
+                        sizeof(float) * static_cast<std::size_t>(
+                                            w_serial.numel())),
+            0)
+      << fc.name << ": pooled weights diverge from serial";
+
+  // Gradients ride the same fixed chunk grid: bit-identical too.
+  std::vector<Parameter*> params_serial;
+  std::vector<Parameter*> params_pooled;
+  serial_src->collect_parameters(params_serial);
+  pooled_src->collect_parameters(params_pooled);
+  ASSERT_EQ(params_serial.size(), params_pooled.size());
+  for (std::size_t p = 0; p < params_serial.size(); ++p) {
+    ASSERT_EQ(params_serial[p]->grad.numel(), params_pooled[p]->grad.numel());
+    EXPECT_EQ(std::memcmp(params_serial[p]->grad.data(),
+                          params_pooled[p]->grad.data(),
+                          sizeof(float) * static_cast<std::size_t>(
+                                              params_serial[p]->grad.numel())),
+              0)
+        << fc.name << ": gradient of " << params_serial[p]->name
+        << " diverges between pooled and serial";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamilies, WeightSourceFamilyTest, ::testing::ValuesIn(family_cases()),
+    [](const ::testing::TestParamInfo<FamilyCase>& info) {
+      return info.param.name;
+    });
 
 // ----------------------------------------------------------- act quant --
 
