@@ -2,12 +2,20 @@
 // throughput: GEMM (all three transpose forms), im2col convolution, the
 // temperature-sigmoid gate, and the CSQ bi-level materialize/backward pair.
 //
-// In addition to the registered benchmarks, every run emits
-// BENCH_materialize.json: serial vs pooled weight materialization for all
-// five WeightSource families on a ResNet-20-sized layer, so later PRs can
-// track the hot-path trajectory.
+// In addition to the registered benchmarks, every run emits three
+// cross-PR tracking reports:
+//   BENCH_materialize.json — serial vs pooled weight materialization for
+//     all five WeightSource families on a ResNet-20-sized layer;
+//   BENCH_gemm.json        — GFLOP/s of the blocked/packed GEMM against the
+//     seed's naive triple-loop reference (serial and pooled) over
+//     conv-shaped problems, with a pooled bit-identity check;
+//   BENCH_step.json        — full train-step latency (forward + backward +
+//     SGD) of a ResNet-20 BasicBlock under dense and CSQ weights.
+// `--smoke` runs every report in a 1-iteration mode and exits — the ctest
+// entry uses it so CI catches bench bitrot.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdlib>
 #include <fstream>
@@ -19,8 +27,10 @@
 
 #include "core/csq_weight.h"
 #include "core/gate.h"
+#include "nn/blocks.h"
 #include "nn/conv2d.h"
 #include "nn/weight_source.h"
+#include "opt/sgd.h"
 #include "quant/bsq_weight.h"
 #include "quant/dorefa_weight.h"
 #include "quant/lqnets_weight.h"
@@ -143,7 +153,11 @@ void BM_CsqMaterialize(benchmark::State& state) {
   CsqWeightOptions options;
   CsqWeightSource source("layer", {side, side}, side, options, rng);
   source.set_beta(13.0f);
+  std::vector<Parameter*> params;
+  source.collect_parameters(params);
   for (auto _ : state) {
+    // Defeat the eval dirty-flag: this benchmark measures the rebuild.
+    params.front()->mark_updated();
     const Tensor& w = source.weight(/*training=*/false);
     benchmark::DoNotOptimize(w.data());
   }
@@ -216,15 +230,23 @@ std::vector<MaterializeFamily> materialize_families() {
 }
 
 // Wall-clock ns per element of an eval-mode materialization, measured until
-// at least `min_ms` of accumulated runtime.
+// at least `min_ms` of accumulated runtime. Each iteration marks a
+// parameter updated so the eval dirty-flag cannot short-circuit the rebuild
+// being measured.
 double time_materialize_ns_per_element(WeightSource& source,
                                        double min_ms = 120.0) {
   const std::int64_t elements = source.weight_count();
-  for (int i = 0; i < 3; ++i) source.weight(/*training=*/false);  // warmup
+  std::vector<Parameter*> params;
+  source.collect_parameters(params);
+  for (int i = 0; i < 3; ++i) {  // warmup
+    if (!params.empty()) params.front()->mark_updated();
+    source.weight(/*training=*/false);
+  }
   using clock = std::chrono::steady_clock;
   double elapsed_ns = 0.0;
   std::int64_t iterations = 0;
   while (elapsed_ns < min_ms * 1e6 && iterations < 2000) {
+    if (!params.empty()) params.front()->mark_updated();
     const auto start = clock::now();
     const Tensor& w = source.weight(/*training=*/false);
     const auto stop = clock::now();
@@ -235,7 +257,7 @@ double time_materialize_ns_per_element(WeightSource& source,
   return elapsed_ns / static_cast<double>(iterations * elements);
 }
 
-void write_materialize_report(const std::string& path) {
+void write_materialize_report(const std::string& path, double min_ms = 120.0) {
   const KernelExec prior = default_kernel_exec();
   std::ofstream out(path);
   if (!out) {
@@ -252,9 +274,9 @@ void write_materialize_report(const std::string& path) {
     Rng rng(42);
     WeightSourcePtr source = family.make(rng);
     set_default_kernel_exec(KernelExec::serial);
-    const double serial_ns = time_materialize_ns_per_element(*source);
+    const double serial_ns = time_materialize_ns_per_element(*source, min_ms);
     set_default_kernel_exec(KernelExec::pooled);
-    const double pooled_ns = time_materialize_ns_per_element(*source);
+    const double pooled_ns = time_materialize_ns_per_element(*source, min_ms);
     if (!first) out << ",\n";
     first = false;
     out << "    {\"family\": \"" << family.name
@@ -270,6 +292,253 @@ void write_materialize_report(const std::string& path) {
   std::cout << "wrote " << path << "\n";
 }
 
+// --------------------------------------------------------- GEMM report --
+
+// The seed's unblocked i-k-j / dot-product kernels, kept verbatim as the
+// performance reference the blocked kernel is measured against.
+void naive_gemm(Trans trans_a, Trans trans_b, std::int64_t m, std::int64_t n,
+                std::int64_t k, float alpha, const float* a, std::int64_t lda,
+                const float* b, std::int64_t ldb, float beta, float* c,
+                std::int64_t ldc) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    float* row = c + i * ldc;
+    if (beta == 0.0f) {
+      std::fill(row, row + n, 0.0f);
+    } else if (beta != 1.0f) {
+      for (std::int64_t j = 0; j < n; ++j) row[j] *= beta;
+    }
+  }
+  if (alpha == 0.0f || k == 0) return;
+  if (trans_a == Trans::no && trans_b == Trans::no) {
+    for (std::int64_t i = 0; i < m; ++i) {
+      const float* a_row = a + i * lda;
+      float* c_row = c + i * ldc;
+      for (std::int64_t p = 0; p < k; ++p) {
+        const float a_ip = alpha * a_row[p];
+        if (a_ip == 0.0f) continue;
+        const float* b_row = b + p * ldb;
+        for (std::int64_t j = 0; j < n; ++j) c_row[j] += a_ip * b_row[j];
+      }
+    }
+  } else if (trans_a == Trans::no && trans_b == Trans::yes) {
+    for (std::int64_t i = 0; i < m; ++i) {
+      const float* a_row = a + i * lda;
+      float* c_row = c + i * ldc;
+      for (std::int64_t j = 0; j < n; ++j) {
+        const float* b_row = b + j * ldb;
+        float acc = 0.0f;
+        for (std::int64_t p = 0; p < k; ++p) acc += a_row[p] * b_row[p];
+        c_row[j] += alpha * acc;
+      }
+    }
+  } else {
+    for (std::int64_t p = 0; p < k; ++p) {
+      const float* a_row = a + p * lda;
+      const float* b_row = b + p * ldb;
+      for (std::int64_t i = 0; i < m; ++i) {
+        const float a_pi = alpha * a_row[i];
+        if (a_pi == 0.0f) continue;
+        float* c_row = c + i * ldc;
+        for (std::int64_t j = 0; j < n; ++j) c_row[j] += a_pi * b_row[j];
+      }
+    }
+  }
+}
+
+using GemmFn = std::function<void(std::int64_t, std::int64_t, std::int64_t,
+                                  const float*, const float*, float*)>;
+
+// Mean GFLOP/s of fn over at least min_ms of accumulated runtime.
+double time_gemm_gflops(const GemmFn& fn, std::int64_t m, std::int64_t n,
+                        std::int64_t k, const float* a, const float* b,
+                        float* c, double min_ms) {
+  using clock = std::chrono::steady_clock;
+  fn(m, n, k, a, b, c);  // warmup
+  double elapsed_ns = 0.0;
+  std::int64_t iterations = 0;
+  while (elapsed_ns < min_ms * 1e6 && iterations < 2000) {
+    const auto start = clock::now();
+    fn(m, n, k, a, b, c);
+    const auto stop = clock::now();
+    benchmark::DoNotOptimize(c);
+    elapsed_ns +=
+        std::chrono::duration<double, std::nano>(stop - start).count();
+    ++iterations;
+  }
+  const double flops =
+      2.0 * static_cast<double>(m) * static_cast<double>(n) *
+      static_cast<double>(k) * static_cast<double>(iterations);
+  return flops / elapsed_ns;  // flops per ns == GFLOP/s
+}
+
+struct GemmProblem {
+  const char* name;
+  Trans trans_a, trans_b;
+  std::int64_t m, n, k;
+};
+
+void write_gemm_report(const std::string& path, double min_ms) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "could not open " << path << " for writing; skipping the "
+              << "GEMM report\n";
+    return;
+  }
+  // The acceptance cube plus conv-shaped problems: a 64ch 3x3 conv over
+  // 32x32 (forward NN, weight-grad NT, input-grad TN) and a stage-2-sized
+  // 128ch conv over 16x16.
+  const GemmProblem problems[] = {
+      {"cube256_nn", Trans::no, Trans::no, 256, 256, 256},
+      {"conv64x32x32_fwd_nn", Trans::no, Trans::no, 64, 1024, 576},
+      {"conv64x32x32_wgrad_nt", Trans::no, Trans::yes, 64, 576, 1024},
+      {"conv64x32x32_igrad_tn", Trans::yes, Trans::no, 576, 1024, 64},
+      {"conv128x16x16_fwd_nn", Trans::no, Trans::no, 128, 256, 1152},
+  };
+  out << "{\n  \"threads\": " << global_pool().num_threads()
+      << ",\n  \"problems\": [\n";
+  bool first = true;
+  for (const GemmProblem& p : problems) {
+    Rng rng(7);
+    const std::int64_t a_rows = p.trans_a == Trans::no ? p.m : p.k;
+    const std::int64_t a_cols = p.trans_a == Trans::no ? p.k : p.m;
+    const std::int64_t b_rows = p.trans_b == Trans::no ? p.k : p.n;
+    const std::int64_t b_cols = p.trans_b == Trans::no ? p.n : p.k;
+    Tensor a = random_tensor({a_rows, a_cols}, rng);
+    Tensor b = random_tensor({b_rows, b_cols}, rng);
+    Tensor c({p.m, p.n});
+
+    const double naive = time_gemm_gflops(
+        [&](std::int64_t m, std::int64_t n, std::int64_t k, const float* pa,
+            const float* pb, float* pc) {
+          naive_gemm(p.trans_a, p.trans_b, m, n, k, 1.0f, pa, a_cols, pb,
+                     b_cols, 0.0f, pc, n);
+        },
+        p.m, p.n, p.k, a.data(), b.data(), c.data(), min_ms);
+    const double blocked = time_gemm_gflops(
+        [&](std::int64_t m, std::int64_t n, std::int64_t k, const float* pa,
+            const float* pb, float* pc) {
+          gemm(p.trans_a, p.trans_b, m, n, k, 1.0f, pa, a_cols, pb, b_cols,
+               0.0f, pc, n);
+        },
+        p.m, p.n, p.k, a.data(), b.data(), c.data(), min_ms);
+    const double pooled = time_gemm_gflops(
+        [&](std::int64_t m, std::int64_t n, std::int64_t k, const float* pa,
+            const float* pb, float* pc) {
+          gemm_parallel(p.trans_a, p.trans_b, m, n, k, 1.0f, pa, a_cols, pb,
+                        b_cols, 0.0f, pc, n);
+        },
+        p.m, p.n, p.k, a.data(), b.data(), c.data(), min_ms);
+
+    // Determinism contract check: pooled output must be bit-identical to
+    // serial.
+    Tensor serial_c({p.m, p.n});
+    Tensor pooled_c({p.m, p.n});
+    gemm(p.trans_a, p.trans_b, p.m, p.n, p.k, 1.0f, a.data(), a_cols,
+         b.data(), b_cols, 0.0f, serial_c.data(), p.n);
+    gemm_parallel(p.trans_a, p.trans_b, p.m, p.n, p.k, 1.0f, a.data(), a_cols,
+                  b.data(), b_cols, 0.0f, pooled_c.data(), p.n);
+    bool bit_identical = true;
+    for (std::int64_t i = 0; i < serial_c.numel(); ++i) {
+      if (serial_c[i] != pooled_c[i]) {
+        bit_identical = false;
+        break;
+      }
+    }
+
+    if (!first) out << ",\n";
+    first = false;
+    out << "    {\"name\": \"" << p.name << "\", \"m\": " << p.m
+        << ", \"n\": " << p.n << ", \"k\": " << p.k
+        << ", \"naive_gflops\": " << naive
+        << ", \"blocked_gflops\": " << blocked
+        << ", \"blocked_pooled_gflops\": " << pooled
+        << ", \"speedup_vs_naive\": " << blocked / naive
+        << ", \"pooled_bit_identical\": "
+        << (bit_identical ? "true" : "false") << "}";
+    std::cout << "gemm " << p.name << ": naive " << naive << " GFLOP/s, "
+              << "blocked " << blocked << " GFLOP/s (x" << blocked / naive
+              << "), pooled " << pooled << " GFLOP/s, bit_identical="
+              << bit_identical << "\n";
+  }
+  out << "\n  ]\n}\n";
+  std::cout << "wrote " << path << "\n";
+}
+
+// --------------------------------------------------------- step report --
+
+// Full train-step latency (forward + backward + SGD) on one ResNet-20
+// BasicBlock (16 channels, 16x16 activations, batch 8) under dense and CSQ
+// weights — the end-to-end shape of the QAT hot path.
+void write_step_report(const std::string& path, int steps) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "could not open " << path << " for writing; skipping the "
+              << "step report\n";
+    return;
+  }
+  const std::int64_t batch = 8, channels = 16, side = 16;
+  out << "{\n  \"block\": \"resnet20-basic-" << channels << "ch\""
+      << ",\n  \"batch\": " << batch << ",\n  \"image\": \"" << side << "x"
+      << side << "\",\n  \"threads\": " << global_pool().num_threads()
+      << ",\n  \"variants\": [\n";
+
+  struct Variant {
+    const char* name;
+    std::function<WeightSourceFactory()> factory;
+  };
+  std::vector<CsqWeightSource*> registry;
+  const Variant variants[] = {
+      {"dense", [] { return dense_weight_factory(); }},
+      {"csq", [&registry] { return csq_weight_factory(&registry); }},
+  };
+
+  bool first = true;
+  for (const Variant& variant : variants) {
+    Rng rng(21);
+    BlockConfig config;
+    config.in_channels = channels;
+    config.out_channels = channels;
+    BasicBlock block("block", config, variant.factory(), nullptr, rng);
+    for (CsqWeightSource* source : registry) source->set_beta(8.0f);
+
+    Tensor input = random_tensor({batch, channels, side, side}, rng);
+    Tensor grad_output = random_tensor({batch, channels, side, side}, rng);
+    std::vector<Parameter*> params;
+    block.collect_parameters(params);
+    SgdConfig sgd_config;
+    sgd_config.learning_rate = 1e-4f;
+    Sgd sgd(params, sgd_config);
+
+    const auto run_step = [&] {
+      for (Parameter* param : params) param->zero_grad();
+      Tensor output = block.forward(input, /*training=*/true);
+      Tensor grad_in = block.backward(grad_output);
+      sgd.step();
+      benchmark::DoNotOptimize(grad_in.data());
+    };
+    for (int i = 0; i < 2; ++i) run_step();  // warmup
+
+    using clock = std::chrono::steady_clock;
+    const auto start = clock::now();
+    for (int i = 0; i < steps; ++i) run_step();
+    const auto stop = clock::now();
+    const double total_ms =
+        std::chrono::duration<double, std::milli>(stop - start).count();
+    const double step_ms = total_ms / static_cast<double>(steps);
+
+    if (!first) out << ",\n";
+    first = false;
+    out << "    {\"weights\": \"" << variant.name
+        << "\", \"mean_step_ms\": " << step_ms << ", \"steps\": " << steps
+        << "}";
+    std::cout << "train step (" << variant.name << "): " << step_ms
+              << " ms\n";
+    registry.clear();
+  }
+  out << "\n  ]\n}\n";
+  std::cout << "wrote " << path << "\n";
+}
+
 void register_materialize_benchmarks() {
   for (const MaterializeFamily& family : materialize_families()) {
     for (const bool pooled : {false, true}) {
@@ -280,10 +549,15 @@ void register_materialize_benchmarks() {
           [make = family.make, pooled](benchmark::State& state) {
             Rng rng(42);
             WeightSourcePtr source = make(rng);
+            std::vector<Parameter*> params;
+            source->collect_parameters(params);
             const KernelExec prior = default_kernel_exec();
             set_default_kernel_exec(pooled ? KernelExec::pooled
                                            : KernelExec::serial);
             for (auto _ : state) {
+              // Defeat the eval dirty-flag: measure the rebuild, not the
+              // cache hit.
+              params.front()->mark_updated();
               const Tensor& w = source->weight(/*training=*/false);
               benchmark::DoNotOptimize(w.data());
             }
@@ -300,17 +574,38 @@ void register_materialize_benchmarks() {
 
 int main(int argc, char** argv) {
   bool list_only = false;
+  bool smoke = false;
   for (int i = 1; i < argc; ++i) {
-    if (std::string(argv[i]).rfind("--benchmark_list_tests", 0) == 0) {
-      list_only = true;
+    const std::string arg(argv[i]);
+    if (arg.rfind("--benchmark_list_tests", 0) == 0) list_only = true;
+    if (arg == "--smoke") {
+      smoke = true;
+      // Hide the flag from the benchmark-library parser.
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+      --i;
     }
+  }
+  if (smoke) {
+    // 1-iteration CI mode: exercise every report writer (bitrot guard)
+    // without the statistical runtime, then exit.
+    csq::write_gemm_report("BENCH_gemm.json", /*min_ms=*/1.0);
+    csq::write_step_report("BENCH_step.json", /*steps=*/1);
+    csq::write_materialize_report("BENCH_materialize.json", /*min_ms=*/1.0);
+    return 0;
   }
   csq::register_materialize_benchmarks();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  // The cross-PR tracking report runs after flag parsing so pure listing
-  // invocations stay instant; CSQ_SKIP_MATERIALIZE_REPORT=1 opts out.
-  if (!list_only && std::getenv("CSQ_SKIP_MATERIALIZE_REPORT") == nullptr) {
+  // The cross-PR tracking reports run after flag parsing so pure listing
+  // invocations stay instant; CSQ_SKIP_BENCH_REPORTS=1 (or the older
+  // CSQ_SKIP_MATERIALIZE_REPORT=1) opts out.
+  const bool skip_reports =
+      std::getenv("CSQ_SKIP_BENCH_REPORTS") != nullptr ||
+      std::getenv("CSQ_SKIP_MATERIALIZE_REPORT") != nullptr;
+  if (!list_only && !skip_reports) {
+    csq::write_gemm_report("BENCH_gemm.json", /*min_ms=*/150.0);
+    csq::write_step_report("BENCH_step.json", /*steps=*/40);
     csq::write_materialize_report("BENCH_materialize.json");
   }
   benchmark::RunSpecifiedBenchmarks();

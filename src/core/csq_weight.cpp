@@ -85,9 +85,23 @@ void CsqWeightSource::set_beta(float beta) {
   // A temperature change between a training materialization and its
   // backward would make the cached gate values stale (they were evaluated at
   // the old beta); invalidate so backward() asserts instead of silently
-  // mixing temperatures.
-  if (beta != beta_) cache_valid_ = false;
+  // mixing temperatures. The stamp revision also invalidates the eval-mode
+  // weight cache.
+  if (beta != beta_) {
+    cache_valid_ = false;
+    ++internal_rev_;
+  }
   beta_ = beta;
+}
+
+std::uint64_t CsqWeightSource::state_stamp() const {
+  std::uint64_t stamp =
+      internal_rev_ + scale_.version + mask_logits_.version;
+  for (int b = 0; b < kBits; ++b) {
+    stamp += pos_logits_[static_cast<std::size_t>(b)].version +
+             neg_logits_[static_cast<std::size_t>(b)].version;
+  }
+  return stamp;
 }
 
 bool CsqWeightSource::mask_bit_active(int bit) const {
@@ -157,11 +171,22 @@ void CsqWeightSource::materialize_hard() {
 }
 
 const Tensor& CsqWeightSource::weight(bool training) {
+  // Dirty-flag: soft and hard materializations are pure functions of the
+  // parameters, beta and mode, so an unchanged stamp means quantized_
+  // already holds the right values. Training-mode calls additionally
+  // require the backward gate cache to be live (cache_valid_) — this is
+  // what lets the backward pass's weight(true) reuse the forward pass's
+  // materialization instead of rebuilding identical weights.
+  const std::uint64_t stamp = state_stamp();
+  if (eval_cache_fresh(stamp) && (!training || cache_valid_)) {
+    return quantized_;
+  }
   if (mode_ == CsqMode::finalized) {
     materialize_hard();
   } else {
     materialize_soft(/*cache_for_backward=*/training);
   }
+  note_materialized(stamp);
   return quantized_;
 }
 
@@ -236,12 +261,14 @@ void CsqWeightSource::freeze_mask() {
   }
   mode_ = CsqMode::finetune;
   cache_valid_ = false;
+  ++internal_rev_;
 }
 
 void CsqWeightSource::finalize() {
   if (mode_ == CsqMode::joint) freeze_mask();
   mode_ = CsqMode::finalized;
   cache_valid_ = false;
+  ++internal_rev_;
   // No backward can ever run again: drop the 16x-weight gate cache.
   engine_.release_gate_cache();
 }

@@ -91,6 +91,9 @@ class CsqWeightSource final : public WeightSource {
  private:
   void materialize_soft(bool cache_for_backward);
   void materialize_hard();
+  // Eval dirty-flag stamp: parameter versions + scheme revision. Any
+  // set_beta / freeze_mask / finalize / optimizer step changes it.
+  std::uint64_t state_stamp() const;
   // Stages the engine planes for the hard paths (frozen-active bits only).
   void stage_hard_planes() const;
   bool mask_bit_active(int bit) const;
@@ -125,6 +128,9 @@ class CsqWeightSource final : public WeightSource {
   float beta_ = 1.0f;
   CsqMode mode_ = CsqMode::joint;
   int fixed_precision_ = 0;
+  // Bumped on every scheme mutation (set_beta, freeze_mask, finalize) so
+  // state_stamp() changes even when no parameter version moved.
+  std::uint64_t internal_rev_ = 0;
 };
 
 // Registry-recording factory (the CSQ trainer drives temperature, budget

@@ -52,45 +52,71 @@ Tensor Conv2d::forward(const Tensor& input, bool training) {
 
   const Tensor& weights = weight_source_->weight(training);
 
-  Tensor output({batch, out_c, geom.out_h(), geom.out_w()});
-  // The unfolded inputs are needed again by backward; cache them for the
-  // whole batch when training (memory: B * K * OH*OW floats).
-  Tensor cols({batch, col_rows, col_cols});
+  // Fully overwritten below (im2col + beta=0 GEMM + bias add).
+  Tensor output =
+      Tensor::uninitialized({batch, out_c, geom.out_h(), geom.out_w()});
+  // Training caches the whole unfolded batch for backward (memory:
+  // B * K * OH*OW floats, recycled across steps). Eval never reads the
+  // columns back, so it uses small per-thread stripes instead of pinning a
+  // batch-sized buffer in the grow-once arena (think batch-256 validation
+  // passes between batch-8 training steps).
+  float* col_data = training
+                        ? ws_.tensor(kColsSlot, {batch, col_rows, col_cols})
+                              .data()
+                        : ws_.floats(kEvalColSlot,
+                                     pool_slot_count() * col_rows * col_cols);
 
-  const std::int64_t in_stride = geom.channels * geom.height * geom.width;
-  const std::int64_t out_stride = out_c * col_cols;
-  const std::int64_t col_stride = col_rows * col_cols;
+  struct ForwardContext {
+    ConvGeometry geom;
+    const float* in_data;
+    float* out_data;
+    float* col_data;
+    const float* w_data;
+    const float* bias;  // null when the layer has no bias
+    std::int64_t in_stride, out_stride, col_stride;
+    std::int64_t out_c, col_rows, col_cols;
+    bool batch_cols;  // col_data indexed by sample (true) or pool slot
+  } ctx;
+  ctx.geom = geom;
+  ctx.in_data = input.data();
+  ctx.out_data = output.data();
+  ctx.col_data = col_data;
+  ctx.w_data = weights.data();
+  ctx.bias = has_bias_ ? bias_.value.data() : nullptr;
+  ctx.in_stride = geom.channels * geom.height * geom.width;
+  ctx.out_stride = out_c * col_cols;
+  ctx.col_stride = col_rows * col_cols;
+  ctx.out_c = out_c;
+  ctx.col_rows = col_rows;
+  ctx.col_cols = col_cols;
+  ctx.batch_cols = training;
 
-  const float* in_data = input.data();
-  float* out_data = output.data();
-  float* col_data = cols.data();
-  const float* w_data = weights.data();
-
-  parallel_for(0, batch, [&](std::int64_t b) {
-    float* col = col_data + b * col_stride;
-    im2col(geom, in_data + b * in_stride, col);
+  // Single-reference capture keeps the closure inside std::function's
+  // small-buffer optimization (no allocation per dispatch). The bias add is
+  // folded into the batch-parallel region instead of a serial post-pass.
+  parallel_for(0, batch, [&ctx](std::int64_t b) {
+    float* col =
+        ctx.col_data +
+        (ctx.batch_cols ? b : pool_slot()) * ctx.col_stride;
+    im2col(ctx.geom, ctx.in_data + b * ctx.in_stride, col);
+    float* out_b = ctx.out_data + b * ctx.out_stride;
     // out_b(OC, P) = W(OC, K) * col(K, P)
-    gemm(Trans::no, Trans::no, out_c, col_cols, col_rows, 1.0f, w_data,
-         col_rows, col, col_cols, 0.0f, out_data + b * out_stride, col_cols);
-  });
-
-  if (has_bias_) {
-    const float* bias = bias_.value.data();
-    for (std::int64_t b = 0; b < batch; ++b) {
-      for (std::int64_t oc = 0; oc < out_c; ++oc) {
-        float* plane = out_data + b * out_stride + oc * col_cols;
-        const float bias_oc = bias[oc];
-        for (std::int64_t p = 0; p < col_cols; ++p) plane[p] += bias_oc;
+    gemm(Trans::no, Trans::no, ctx.out_c, ctx.col_cols, ctx.col_rows, 1.0f,
+         ctx.w_data, ctx.col_rows, col, ctx.col_cols, 0.0f, out_b,
+         ctx.col_cols);
+    if (ctx.bias != nullptr) {
+      for (std::int64_t oc = 0; oc < ctx.out_c; ++oc) {
+        float* plane = out_b + oc * ctx.col_cols;
+        const float bias_oc = ctx.bias[oc];
+        for (std::int64_t p = 0; p < ctx.col_cols; ++p) plane[p] += bias_oc;
       }
     }
-  }
+  });
 
   if (training) {
-    cached_cols_ = std::move(cols);
     cached_geom_ = geom;
     cached_batch_ = batch;
   } else {
-    cached_cols_ = Tensor();
     cached_batch_ = 0;
   }
   return output;
@@ -99,7 +125,7 @@ Tensor Conv2d::forward(const Tensor& input, bool training) {
 Tensor Conv2d::backward(const Tensor& grad_output) {
   CSQ_CHECK(cached_batch_ > 0)
       << "conv2d " << name() << ": backward without training forward";
-  const ConvGeometry& geom = cached_geom_;
+  const ConvGeometry geom = cached_geom_;
   const std::int64_t batch = cached_batch_;
   const std::int64_t col_rows = geom.col_rows();
   const std::int64_t col_cols = geom.col_cols();
@@ -113,56 +139,92 @@ Tensor Conv2d::backward(const Tensor& grad_output) {
       << grad_output.shape_string() << " mismatch";
 
   const Tensor& weights = weight_source_->weight(/*training=*/true);
-  const float* w_data = weights.data();
-  const float* go_data = grad_output.data();
-  const float* col_data = cached_cols_.data();
-
-  const std::int64_t out_stride = out_c * col_cols;
-  const std::int64_t col_stride = col_rows * col_cols;
-  const std::int64_t in_stride = geom.channels * geom.height * geom.width;
+  const Tensor& cols = ws_.peek(kColsSlot);
 
   // ---- input gradient: batch-parallel col2im(W^T * dOut_b) -------------
+  // Zero-filled construction: col2im scatter-adds into its sample slice.
   Tensor grad_input({batch, geom.channels, geom.height, geom.width});
-  float* gi_data = grad_input.data();
-  parallel_for(0, batch, [&](std::int64_t b) {
-    std::vector<float> grad_col(
-        static_cast<std::size_t>(col_rows * col_cols));
+
+  struct InputGradContext {
+    ConvGeometry geom;
+    const float* w_data;
+    const float* go_data;
+    float* gi_data;
+    float* grad_col_base;  // pool_slot_count() stripes of col_stride floats
+    std::int64_t out_stride, col_stride, in_stride;
+    std::int64_t out_c, col_rows, col_cols;
+  } ictx;
+  ictx.geom = geom;
+  ictx.w_data = weights.data();
+  ictx.go_data = grad_output.data();
+  ictx.gi_data = grad_input.data();
+  ictx.grad_col_base =
+      ws_.floats(kGradColSlot, pool_slot_count() * col_rows * col_cols);
+  ictx.out_stride = out_c * col_cols;
+  ictx.col_stride = col_rows * col_cols;
+  ictx.in_stride = geom.channels * geom.height * geom.width;
+  ictx.out_c = out_c;
+  ictx.col_rows = col_rows;
+  ictx.col_cols = col_cols;
+
+  parallel_for(0, batch, [&ictx](std::int64_t b) {
+    float* grad_col = ictx.grad_col_base + pool_slot() * ictx.col_stride;
     // grad_col(K, P) = W^T(K, OC) * dOut_b(OC, P); A = W stored (OC, K).
-    gemm(Trans::yes, Trans::no, col_rows, col_cols, out_c, 1.0f, w_data,
-         col_rows, go_data + b * out_stride, col_cols, 0.0f, grad_col.data(),
-         col_cols);
-    col2im(geom, grad_col.data(), gi_data + b * in_stride);
+    gemm(Trans::yes, Trans::no, ictx.col_rows, ictx.col_cols, ictx.out_c,
+         1.0f, ictx.w_data, ictx.col_rows, ictx.go_data + b * ictx.out_stride,
+         ictx.col_cols, 0.0f, grad_col, ictx.col_cols);
+    col2im(ictx.geom, grad_col, ictx.gi_data + b * ictx.in_stride);
   });
 
-  // ---- weight gradient: OC-parallel sum_b dOut_b * col_b^T ------------
-  Tensor grad_weight(weights.shape());
-  float* gw_data = grad_weight.data();
-  parallel_for_chunked(0, out_c, [&](std::int64_t oc_begin,
-                                     std::int64_t oc_end) {
+  // ---- weight + bias gradients: OC-parallel over disjoint row blocks ----
+  Tensor& grad_weight = ws_.tensor(kGradWeightSlot, weights.shape());
+
+  struct WeightGradContext {
+    const float* go_data;
+    const float* col_data;
+    float* gw_data;
+    float* gb_data;  // null when the layer has no bias
+    std::int64_t batch, out_stride, col_stride;
+    std::int64_t col_rows, col_cols;
+  } wctx;
+  wctx.go_data = grad_output.data();
+  wctx.col_data = cols.data();
+  wctx.gw_data = grad_weight.data();
+  wctx.gb_data = has_bias_ ? bias_.grad.data() : nullptr;
+  wctx.batch = batch;
+  wctx.out_stride = out_c * col_cols;
+  wctx.col_stride = col_rows * col_cols;
+  wctx.col_rows = col_rows;
+  wctx.col_cols = col_cols;
+
+  parallel_for_chunked(0, out_c, [&wctx](std::int64_t oc_begin,
+                                         std::int64_t oc_end) {
     const std::int64_t rows = oc_end - oc_begin;
-    for (std::int64_t b = 0; b < batch; ++b) {
+    for (std::int64_t b = 0; b < wctx.batch; ++b) {
       // gW[oc,:] += dot(dOut_b[oc,:], col_b[k,:]) — NT over the row block.
-      gemm(Trans::no, Trans::yes, rows, col_rows, col_cols, 1.0f,
-           go_data + b * out_stride + oc_begin * col_cols, col_cols,
-           col_data + b * col_stride, col_cols, b == 0 ? 0.0f : 1.0f,
-           gw_data + oc_begin * col_rows, col_rows);
+      gemm(Trans::no, Trans::yes, rows, wctx.col_rows, wctx.col_cols, 1.0f,
+           wctx.go_data + b * wctx.out_stride + oc_begin * wctx.col_cols,
+           wctx.col_cols, wctx.col_data + b * wctx.col_stride, wctx.col_cols,
+           b == 0 ? 0.0f : 1.0f, wctx.gw_data + oc_begin * wctx.col_rows,
+           wctx.col_rows);
+    }
+    if (wctx.gb_data != nullptr) {
+      // Bias gradient folded into the same disjoint OC ownership: each
+      // channel sums its dOut plane over the batch in a fixed order, so
+      // pooled and serial execution agree.
+      for (std::int64_t oc = oc_begin; oc < oc_end; ++oc) {
+        float acc = 0.0f;
+        for (std::int64_t b = 0; b < wctx.batch; ++b) {
+          const float* plane =
+              wctx.go_data + b * wctx.out_stride + oc * wctx.col_cols;
+          for (std::int64_t p = 0; p < wctx.col_cols; ++p) acc += plane[p];
+        }
+        wctx.gb_data[oc] += acc;
+      }
     }
   });
   weight_source_->backward(grad_weight);
 
-  if (has_bias_) {
-    float* gb = bias_.grad.data();
-    for (std::int64_t b = 0; b < batch; ++b) {
-      for (std::int64_t oc = 0; oc < out_c; ++oc) {
-        const float* plane = go_data + b * out_stride + oc * col_cols;
-        float acc = 0.0f;
-        for (std::int64_t p = 0; p < col_cols; ++p) acc += plane[p];
-        gb[oc] += acc;
-      }
-    }
-  }
-
-  cached_cols_ = Tensor();
   cached_batch_ = 0;
   return grad_input;
 }

@@ -1,16 +1,21 @@
 // 2-D convolution lowered to GEMM via im2col.
 //
 // Input  (B, IC, H, W) -> Output (B, OC, OH, OW).
-// The forward pass parallelizes over the batch (each sample runs
-// im2col + one serial GEMM); the backward pass parallelizes the input
-// gradient over the batch and the weight gradient over output channels so no
-// accumulation races occur. im2col matrices are cached per batch during
-// training-mode forward.
+// The forward pass parallelizes over the batch (each sample runs im2col,
+// one serial blocked GEMM and its bias add); the backward pass parallelizes
+// the input gradient over the batch and the weight+bias gradients over
+// output channels so no accumulation races occur.
+//
+// Every recurring buffer — the cached im2col matrix, the per-thread
+// grad_col stripes and the dW staging tensor — lives in a per-layer
+// Workspace with grow-once semantics, so steady-state training steps
+// perform zero heap allocations.
 #pragma once
 
 #include "nn/module.h"
 #include "nn/weight_source.h"
 #include "tensor/im2col.h"
+#include "tensor/workspace.h"
 
 namespace csq {
 
@@ -35,8 +40,13 @@ class Conv2d final : public Module {
 
   WeightSource& source() { return *weight_source_; }
   const Conv2dConfig& config() const { return config_; }
+  Workspace& workspace() { return ws_; }
 
  private:
+  // Workspace slot indices.
+  enum TensorSlot : int { kColsSlot = 0, kGradWeightSlot = 1 };
+  enum FloatSlot : int { kGradColSlot = 0, kEvalColSlot = 1 };
+
   ConvGeometry geometry_for(const Tensor& input) const;
 
   Conv2dConfig config_;
@@ -44,8 +54,9 @@ class Conv2d final : public Module {
   Parameter bias_;  // empty unless config_.bias
   bool has_bias_ = false;
 
-  // Training-mode caches.
-  Tensor cached_cols_;        // (B, K, OH*OW) unfolded inputs
+  // Per-layer scratch arena; kColsSlot doubles as the training-mode cache
+  // of the unfolded inputs (B, K, OH*OW), consumed by backward.
+  Workspace ws_;
   ConvGeometry cached_geom_;  // geometry of the cached batch
   std::int64_t cached_batch_ = 0;
 };

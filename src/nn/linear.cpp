@@ -27,11 +27,12 @@ Tensor Linear::forward(const Tensor& input, bool training) {
   const std::int64_t batch = input.dim(0);
   const Tensor& weights = weight_source_->weight(training);
 
-  Tensor output({batch, out_features_});
+  // Fully overwritten by the beta=0 GEMM.
+  Tensor output = Tensor::uninitialized({batch, out_features_});
   // Y(B, OUT) = X(B, IN) * W^T, W stored (OUT, IN).
   gemm_parallel(Trans::no, Trans::yes, batch, out_features_, in_features_,
                 1.0f, input.data(), in_features_, weights.data(), in_features_,
-                0.0f, output.data(), out_features_);
+                0.0f, output.data(), out_features_, &ws_.gemm_scratch());
   if (has_bias_) {
     float* out = output.data();
     const float* bias = bias_.value.data();
@@ -42,15 +43,16 @@ Tensor Linear::forward(const Tensor& input, bool training) {
     }
   }
   if (training) {
-    cached_input_ = input;
+    cached_input_ = input;  // same-shape assignment recycles the storage
+    has_cached_input_ = true;
   } else {
-    cached_input_ = Tensor();
+    has_cached_input_ = false;
   }
   return output;
 }
 
 Tensor Linear::backward(const Tensor& grad_output) {
-  CSQ_CHECK(!cached_input_.empty())
+  CSQ_CHECK(has_cached_input_)
       << "linear " << name() << ": backward without training forward";
   const std::int64_t batch = cached_input_.dim(0);
   CSQ_CHECK(grad_output.ndim() == 2 && grad_output.dim(0) == batch &&
@@ -60,16 +62,18 @@ Tensor Linear::backward(const Tensor& grad_output) {
   const Tensor& weights = weight_source_->weight(/*training=*/true);
 
   // dX(B, IN) = dY(B, OUT) * W(OUT, IN)
-  Tensor grad_input({batch, in_features_});
+  Tensor grad_input = Tensor::uninitialized({batch, in_features_});
   gemm_parallel(Trans::no, Trans::no, batch, in_features_, out_features_, 1.0f,
                 grad_output.data(), out_features_, weights.data(),
-                in_features_, 0.0f, grad_input.data(), in_features_);
+                in_features_, 0.0f, grad_input.data(), in_features_,
+                &ws_.gemm_scratch());
 
   // dW(OUT, IN) = dY^T(OUT, B) * X(B, IN)
-  Tensor grad_weight(weights.shape());
+  Tensor& grad_weight = ws_.tensor(kGradWeightSlot, weights.shape());
   gemm_parallel(Trans::yes, Trans::no, out_features_, in_features_, batch,
                 1.0f, grad_output.data(), out_features_, cached_input_.data(),
-                in_features_, 0.0f, grad_weight.data(), in_features_);
+                in_features_, 0.0f, grad_weight.data(), in_features_,
+                &ws_.gemm_scratch());
   weight_source_->backward(grad_weight);
 
   if (has_bias_) {
@@ -82,7 +86,7 @@ Tensor Linear::backward(const Tensor& grad_output) {
     }
   }
 
-  cached_input_ = Tensor();
+  has_cached_input_ = false;
   return grad_input;
 }
 

@@ -1,8 +1,14 @@
 // Fully-connected layer: Y = X W^T + b, weights (OUT, IN).
+//
+// GEMMs run through the pooled blocked kernel with packed-panel scratch from
+// the layer's Workspace; the dW staging tensor and the cached forward input
+// are recycled across steps, so steady-state forward+backward performs zero
+// heap allocations.
 #pragma once
 
 #include "nn/module.h"
 #include "nn/weight_source.h"
+#include "tensor/workspace.h"
 
 namespace csq {
 
@@ -20,15 +26,23 @@ class Linear final : public Module {
   WeightSource& source() { return *weight_source_; }
   std::int64_t in_features() const { return in_features_; }
   std::int64_t out_features() const { return out_features_; }
+  Workspace& workspace() { return ws_; }
 
  private:
+  enum TensorSlot : int { kGradWeightSlot = 0 };
+
   std::int64_t in_features_;
   std::int64_t out_features_;
   WeightSourcePtr weight_source_;
   Parameter bias_;
   bool has_bias_;
 
-  Tensor cached_input_;  // (B, IN) from the last training forward
+  Workspace ws_;
+  // (B, IN) from the last training forward. The tensor keeps its storage
+  // across steps (same-shape copy-assignment never allocates); the flag
+  // gates backward-without-forward misuse.
+  Tensor cached_input_;
+  bool has_cached_input_ = false;
 };
 
 }  // namespace csq

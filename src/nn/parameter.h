@@ -18,9 +18,17 @@ struct Parameter {
 
   void zero_grad() { grad.zero(); }
 
+  // Mutation contract: any code that writes `value` must call
+  // mark_updated() afterwards. The optimizer does this on every step; the
+  // weight sources use the version counters to skip re-materializing
+  // unchanged weights on eval-mode forwards (the ROADMAP dirty-flag).
+  void mark_updated() { ++version; }
+
   std::string name;
   Tensor value;
   Tensor grad;
+  // Monotonic revision of `value` (see mark_updated above).
+  std::uint64_t version = 0;
   // Whether the optimizer applies L2 weight decay to this parameter.
   // Disabled for batch-norm affine parameters, quantization scales and
   // gate logits — decaying logits toward zero would fight the gates.

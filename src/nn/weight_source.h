@@ -45,6 +45,38 @@ class WeightSource {
   // Storage cost per weight element, in bits, under the source's current
   // quantization state (32 for dense). Drives the Comp(x) columns.
   virtual double bits_per_weight() const { return 32.0; }
+
+  // Number of times this source actually rebuilt its weight tensor. Eval
+  // dirty-flag observability: an eval-mode weight() whose inputs (parameter
+  // versions + scheme state) are unchanged returns the cached tensor and
+  // leaves this counter flat — the regression tests assert it.
+  std::uint64_t materialize_count() const { return materialize_count_; }
+
+ protected:
+  // Eval dirty-flag helpers for derived sources. A source computes a stamp
+  // (the sum of its parameters' version counters plus an internal revision
+  // bumped on every scheme mutation — set_beta, freeze_mask, finalize,
+  // prune, requantize). Versions only grow, so any mutation changes the
+  // sum. eval_cache_fresh() answers whether the cached weight tensor is
+  // still valid for that stamp; note_materialized() records a rebuild whose
+  // result stays valid until the stamp changes.
+  bool eval_cache_fresh(std::uint64_t stamp) const {
+    return eval_cache_valid_ && eval_cache_stamp_ == stamp;
+  }
+  void note_materialized(std::uint64_t stamp) {
+    ++materialize_count_;
+    eval_cache_valid_ = true;
+    eval_cache_stamp_ = stamp;
+  }
+  void note_materialized_volatile() {
+    ++materialize_count_;
+    eval_cache_valid_ = false;
+  }
+
+ private:
+  std::uint64_t materialize_count_ = 0;
+  std::uint64_t eval_cache_stamp_ = 0;
+  bool eval_cache_valid_ = false;
 };
 
 using WeightSourcePtr = std::unique_ptr<WeightSource>;

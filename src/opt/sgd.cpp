@@ -29,6 +29,7 @@ void Sgd::step() {
       velocity[i] = momentum * velocity[i] + g;
       value[i] -= lr * velocity[i];
     }
+    param.mark_updated();
   }
 }
 

@@ -57,9 +57,26 @@ void BsqWeightSource::reconstruct(Tensor& out) const {
                       /*cache=*/false);
 }
 
+std::uint64_t BsqWeightSource::state_stamp() const {
+  std::uint64_t stamp = internal_rev_ + scale_.version;
+  for (int b = 0; b < kMaxBits; ++b) {
+    stamp += pos_[static_cast<std::size_t>(b)].version +
+             neg_[static_cast<std::size_t>(b)].version;
+  }
+  return stamp;
+}
+
 const Tensor& BsqWeightSource::weight(bool training) {
-  (void)training;
+  // Dirty-flag: the rounded reconstruction is a pure function of the
+  // latents, scale and active set. Training-mode reuse additionally needs
+  // live plane staging (the backward routes gradients through it); staging
+  // from the materialization that set the stamp is still in place.
+  const std::uint64_t stamp = state_stamp();
+  if (eval_cache_fresh(stamp) && (!training || staged_planes_ > 0)) {
+    return quantized_;
+  }
   reconstruct(quantized_);
+  note_materialized(stamp);
   return quantized_;
 }
 
@@ -119,6 +136,7 @@ int BsqWeightSource::prune_bits(float usage_threshold) {
   Tensor current(shape_);
   reconstruct(current);
 
+  const std::array<bool, kMaxBits> before = active_;
   int removed = 0;
   for (int b = 0; b < kMaxBits; ++b) {
     if (!active_[static_cast<std::size_t>(b)]) continue;
@@ -140,11 +158,16 @@ int BsqWeightSource::prune_bits(float usage_threshold) {
     active_[kMaxBits - 1] = true;
     --removed;
   }
-  if (removed > 0) requantize_from(current);
+  // Requantize on any change to the active set — not just a net removal:
+  // the keep-one-bit fallback can swap which bit is active while leaving
+  // `removed` at zero, and the weights (and the eval dirty-flag stamp,
+  // bumped inside requantize_from) must follow.
+  if (active_ != before) requantize_from(current);
   return removed;
 }
 
 void BsqWeightSource::requantize_from(const Tensor& target) {
+  ++internal_rev_;  // latents, scale and active set all change
   const float s = max_abs_scale(target);
   scale_.value[0] = s;
   const float* w = target.data();

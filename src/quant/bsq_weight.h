@@ -49,6 +49,8 @@ class BsqWeightSource final : public WeightSource {
  private:
   void reconstruct(Tensor& out) const;  // current rounded weight, any mode
   void requantize_from(const Tensor& target);
+  // Eval dirty-flag stamp: parameter versions + prune/requantize revision.
+  std::uint64_t state_stamp() const;
 
   Parameter scale_;                       // s, scalar
   std::array<Parameter, kMaxBits> pos_;   // p_b planes
@@ -64,6 +66,9 @@ class BsqWeightSource final : public WeightSource {
   mutable int staged_planes_ = 0;
   std::vector<std::int64_t> shape_;
   std::int64_t element_count_ = 0;
+  // Bumped whenever the scheme mutates outside the parameter tensors
+  // (prune_bits / requantize_from rewrite latents and the active set).
+  std::uint64_t internal_rev_ = 0;
 };
 
 // Registry-recording factory: every created source is appended to *registry

@@ -23,7 +23,13 @@ DorefaWeightSource::DorefaWeightSource(const std::string& name,
 }
 
 const Tensor& DorefaWeightSource::weight(bool training) {
+  // Dirty-flag: the tanh fake-quant is a pure function of the latents.
+  // cached_tanh_/cached_max_tanh_ (what the backward consumes) come from
+  // the same materialization that set the stamp, so training calls reuse
+  // the cache as well.
   (void)training;
+  const std::uint64_t stamp = latent_.version;
+  if (eval_cache_fresh(stamp)) return quantized_;
   const std::int64_t count = latent_.value.numel();
   const KernelExec exec = default_kernel_exec();
   const float max_tanh =
@@ -34,6 +40,7 @@ const Tensor& DorefaWeightSource::weight(bool training) {
   const auto levels = static_cast<float>(levels_per_side(bits_));
   dorefa_fake_quant(cached_tanh_.data(), quantized_.data(), count,
                     0.5f / cached_max_tanh_, levels, exec);
+  note_materialized(stamp);
   return quantized_;
 }
 

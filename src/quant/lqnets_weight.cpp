@@ -54,6 +54,12 @@ void LqNetsWeightSource::refresh_levels() {
 }
 
 const Tensor& LqNetsWeightSource::weight(bool training) {
+  // Eval dirty-flag: the E-step encoding is a pure function of the latents
+  // and the current basis. Training calls are deliberately never skipped —
+  // each one IS a QEM iteration (the M-step refits the basis), so caching
+  // would change the algorithm, not just save work.
+  const std::uint64_t stamp = latent_.version + internal_rev_;
+  if (!training && eval_cache_fresh(stamp)) return quantized_;
   const float* w = latent_.value.data();
   float* q = quantized_.data();
   const std::int64_t count = latent_.value.numel();
@@ -116,8 +122,14 @@ const Tensor& LqNetsWeightSource::weight(bool training) {
             std::fabs(static_cast<float>(solution[a]));
       }
       refresh_levels();
+      // quantized_ was encoded against the pre-update levels: record the
+      // rebuild but leave the eval cache invalid.
+      ++internal_rev_;
+      note_materialized_volatile();
+      return quantized_;
     }
   }
+  note_materialized(stamp);
   return quantized_;
 }
 

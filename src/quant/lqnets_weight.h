@@ -44,6 +44,9 @@ class LqNetsWeightSource final : public WeightSource {
   std::vector<double> gram_partials_;
   float last_fit_error_ = 0.0f;
   int bits_;
+  // Bumped when the M-step rewrites the basis (the eval dirty-flag stamp
+  // must change: the cached encoding used the pre-update levels).
+  std::uint64_t internal_rev_ = 0;
 };
 
 WeightSourceFactory lqnets_weight_factory(int bits);

@@ -25,6 +25,7 @@ PtqReport quantize_dense_weights(Model& model, int bits,
     const float before_norm = std::sqrt(squared_norm(weights));
     Tensor original = weights;
     quantize_symmetric_tensor(original, weights, scale, bits);
+    dense->parameter().mark_updated();
     const Tensor diff = sub(weights, original);
     const float error_norm = std::sqrt(squared_norm(diff));
 

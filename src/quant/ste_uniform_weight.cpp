@@ -21,7 +21,12 @@ SteUniformWeightSource::SteUniformWeightSource(
 }
 
 const Tensor& SteUniformWeightSource::weight(bool training) {
+  // Dirty-flag: the fake-quant is a pure function of the latents, and the
+  // STE backward needs no forward-cached state, so training calls (e.g.
+  // the backward pass re-fetching weights) reuse the cache too.
   (void)training;
+  const std::uint64_t stamp = latent_.version;
+  if (eval_cache_fresh(stamp)) return quantized_;
   const std::int64_t count = latent_.value.numel();
   const KernelExec exec = default_kernel_exec();
   const float max_abs = reduce_max_abs(latent_.value.data(), count,
@@ -30,6 +35,7 @@ const Tensor& SteUniformWeightSource::weight(bool training) {
   const float scale = max_abs > 0.0f ? max_abs : 1.0f;
   fake_quant_symmetric(latent_.value.data(), quantized_.data(), count, scale,
                        bits_, exec);
+  note_materialized(stamp);
   return quantized_;
 }
 

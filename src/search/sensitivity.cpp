@@ -43,6 +43,7 @@ void restore_dense_weights(Model& model, const std::vector<Tensor>& backup) {
     auto* dense = dynamic_cast<DenseWeightSource*>(layers[i].source);
     CSQ_CHECK(dense != nullptr) << "restore: non-dense layer";
     dense->parameter().value = backup[i];
+    dense->parameter().mark_updated();
   }
 }
 
@@ -70,10 +71,12 @@ SensitivityProfile profile_sensitivity(Model& model,
       Tensor& weights = dense->parameter().value;
       const float scale = max_abs_scale(backup[l]);
       quantize_symmetric_tensor(backup[l], weights, scale, bits);
+      dense->parameter().mark_updated();
       const double loss = evaluate_loss(model, subset);
       per_bits[static_cast<std::size_t>(bits - 1)] =
           std::max(0.0, loss - profile.base_loss);
       weights = backup[l];  // restore before the next probe
+      dense->parameter().mark_updated();
     }
     profile.sensitivity.push_back(std::move(per_bits));
   }

@@ -9,6 +9,21 @@ namespace csq {
 
 namespace {
 
+static_assert(kGemmMC % kGemmMR == 0, "MC must be a multiple of MR");
+static_assert(kGemmNC % kGemmNR == 0, "NC must be a multiple of NR");
+
+// Per-thread packing scratch for callers that do not supply one. Pool worker
+// threads are long-lived, so each buffer grows to its steady-state size once
+// and is then recycled forever.
+GemmScratch& local_scratch() {
+  thread_local GemmScratch scratch;
+  return scratch;
+}
+
+void ensure_size(std::vector<float>& buffer, std::size_t count) {
+  if (buffer.size() < count) buffer.resize(count);
+}
+
 // Scales a row block of C by beta (handles beta == 0 without reading C).
 void apply_beta(std::int64_t m_begin, std::int64_t m_end, std::int64_t n,
                 float beta, float* c, std::int64_t ldc) {
@@ -23,92 +38,270 @@ void apply_beta(std::int64_t m_begin, std::int64_t m_end, std::int64_t n,
   }
 }
 
-// C[i,:] += alpha * A[i,:] * B  for i in [m_begin, m_end).
-// i-k-j order: the j loop runs over contiguous C and B rows and vectorizes.
-void kernel_nn(std::int64_t m_begin, std::int64_t m_end, std::int64_t n,
-               std::int64_t k, float alpha, const float* a, std::int64_t lda,
-               const float* b, std::int64_t ldb, float* c, std::int64_t ldc) {
-  for (std::int64_t i = m_begin; i < m_end; ++i) {
-    const float* a_row = a + i * lda;
-    float* c_row = c + i * ldc;
-    for (std::int64_t p = 0; p < k; ++p) {
-      const float a_ip = alpha * a_row[p];
-      if (a_ip == 0.0f) continue;
-      const float* b_row = b + p * ldb;
-      for (std::int64_t j = 0; j < n; ++j) c_row[j] += a_ip * b_row[j];
-    }
-  }
-}
+// --------------------------------------------------------------- packing --
+//
+// A~ layout: ceil(mc/MR) micro-panels, each kc x MR:
+//   packed[panel r][p * MR + i] = op(A)[ic + r*MR + i, pc + p]
+// B~ layout: ceil(nc/NR) micro-panels, each kc x NR:
+//   packed[panel s][p * NR + j] = op(B)[pc + p, jc + s*NR + j]
+// Rows/columns beyond the matrix edge are zero-filled so the micro-kernel
+// always runs full MR x NR tiles.
 
-// C[i,j] += alpha * dot(A[i,:], B[j,:])  (B given transposed, [n, k]).
-// Dot products over contiguous rows; unrolled 4x over j to reuse the A row.
-void kernel_nt(std::int64_t m_begin, std::int64_t m_end, std::int64_t n,
-               std::int64_t k, float alpha, const float* a, std::int64_t lda,
-               const float* b, std::int64_t ldb, float* c, std::int64_t ldc) {
-  for (std::int64_t i = m_begin; i < m_end; ++i) {
-    const float* a_row = a + i * lda;
-    float* c_row = c + i * ldc;
-    std::int64_t j = 0;
-    for (; j + 4 <= n; j += 4) {
-      const float* b0 = b + (j + 0) * ldb;
-      const float* b1 = b + (j + 1) * ldb;
-      const float* b2 = b + (j + 2) * ldb;
-      const float* b3 = b + (j + 3) * ldb;
-      float acc0 = 0.0f, acc1 = 0.0f, acc2 = 0.0f, acc3 = 0.0f;
-      for (std::int64_t p = 0; p < k; ++p) {
-        const float a_ip = a_row[p];
-        acc0 += a_ip * b0[p];
-        acc1 += a_ip * b1[p];
-        acc2 += a_ip * b2[p];
-        acc3 += a_ip * b3[p];
+void pack_a_panel(Trans trans, const float* a, std::int64_t lda,
+                  std::int64_t ic, std::int64_t pc, std::int64_t mc,
+                  std::int64_t kc, float* dst) {
+  for (std::int64_t r = 0; r < mc; r += kGemmMR) {
+    const std::int64_t rows = std::min(kGemmMR, mc - r);
+    if (trans == Trans::no) {
+      // op(A)[i, p] = a[(ic + i) * lda + pc + p]: row-contiguous reads.
+      for (std::int64_t i = 0; i < rows; ++i) {
+        const float* src = a + (ic + r + i) * lda + pc;
+        for (std::int64_t p = 0; p < kc; ++p) dst[p * kGemmMR + i] = src[p];
       }
-      c_row[j + 0] += alpha * acc0;
-      c_row[j + 1] += alpha * acc1;
-      c_row[j + 2] += alpha * acc2;
-      c_row[j + 3] += alpha * acc3;
+      for (std::int64_t i = rows; i < kGemmMR; ++i) {
+        for (std::int64_t p = 0; p < kc; ++p) dst[p * kGemmMR + i] = 0.0f;
+      }
+    } else {
+      // op(A)[i, p] = a[(pc + p) * lda + ic + i]: contiguous in i.
+      for (std::int64_t p = 0; p < kc; ++p) {
+        const float* src = a + (pc + p) * lda + ic + r;
+        float* d = dst + p * kGemmMR;
+        std::int64_t i = 0;
+        for (; i < rows; ++i) d[i] = src[i];
+        for (; i < kGemmMR; ++i) d[i] = 0.0f;
+      }
     }
-    for (; j < n; ++j) {
-      const float* b_row = b + j * ldb;
-      float acc = 0.0f;
-      for (std::int64_t p = 0; p < k; ++p) acc += a_row[p] * b_row[p];
-      c_row[j] += alpha * acc;
+    dst += kGemmMR * kc;
+  }
+}
+
+void pack_b_panel(Trans trans, const float* b, std::int64_t ldb,
+                  std::int64_t pc, std::int64_t jc, std::int64_t kc,
+                  std::int64_t nc, float* dst) {
+  for (std::int64_t s = 0; s < nc; s += kGemmNR) {
+    const std::int64_t cols = std::min(kGemmNR, nc - s);
+    if (trans == Trans::no) {
+      // op(B)[p, j] = b[(pc + p) * ldb + jc + j]: contiguous in j.
+      for (std::int64_t p = 0; p < kc; ++p) {
+        const float* src = b + (pc + p) * ldb + jc + s;
+        float* d = dst + p * kGemmNR;
+        std::int64_t j = 0;
+        for (; j < cols; ++j) d[j] = src[j];
+        for (; j < kGemmNR; ++j) d[j] = 0.0f;
+      }
+    } else {
+      // op(B)[p, j] = b[(jc + j) * ldb + pc + p]: row-contiguous reads.
+      for (std::int64_t j = 0; j < cols; ++j) {
+        const float* src = b + (jc + s + j) * ldb + pc;
+        for (std::int64_t p = 0; p < kc; ++p) dst[p * kGemmNR + j] = src[p];
+      }
+      for (std::int64_t j = cols; j < kGemmNR; ++j) {
+        for (std::int64_t p = 0; p < kc; ++p) dst[p * kGemmNR + j] = 0.0f;
+      }
+    }
+    dst += kGemmNR * kc;
+  }
+}
+
+// ---------------------------------------------------------- micro-kernel --
+//
+// acc(MR, NR) = A~panel(kc, MR) * B~panel(kc, NR). On GCC/Clang the kernel
+// is written with vector extensions: one 8-float vector register per
+// accumulator row, one unaligned load of the packed B row per k step, and a
+// broadcast-multiply per packed A element — the classic outer-product form
+// that maps 1:1 onto FMA units. Elsewhere a scalar form with constant trip
+// counts lets the auto-vectorizer do its best.
+
+#if defined(__GNUC__) || defined(__clang__)
+#define CSQ_GEMM_VECTOR_KERNEL 1
+#endif
+
+#ifdef CSQ_GEMM_VECTOR_KERNEL
+
+typedef float Vec8 __attribute__((vector_size(32)));
+static_assert(kGemmMR == 8 && kGemmNR == 8,
+              "vector micro-kernel assumes an 8x8 tile");
+
+inline Vec8 load8(const float* p) {
+  Vec8 r;
+  __builtin_memcpy(&r, p, sizeof(r));  // unaligned vector load
+  return r;
+}
+
+inline void micro_kernel(const float* pa, const float* pb, std::int64_t kc,
+                         float* acc) {
+  Vec8 c0{}, c1{}, c2{}, c3{}, c4{}, c5{}, c6{}, c7{};
+  for (std::int64_t p = 0; p < kc; ++p) {
+    const float* a_col = pa + p * kGemmMR;
+    const Vec8 b = load8(pb + p * kGemmNR);
+    c0 += a_col[0] * b;
+    c1 += a_col[1] * b;
+    c2 += a_col[2] * b;
+    c3 += a_col[3] * b;
+    c4 += a_col[4] * b;
+    c5 += a_col[5] * b;
+    c6 += a_col[6] * b;
+    c7 += a_col[7] * b;
+  }
+  __builtin_memcpy(acc + 0 * 8, &c0, sizeof(c0));
+  __builtin_memcpy(acc + 1 * 8, &c1, sizeof(c1));
+  __builtin_memcpy(acc + 2 * 8, &c2, sizeof(c2));
+  __builtin_memcpy(acc + 3 * 8, &c3, sizeof(c3));
+  __builtin_memcpy(acc + 4 * 8, &c4, sizeof(c4));
+  __builtin_memcpy(acc + 5 * 8, &c5, sizeof(c5));
+  __builtin_memcpy(acc + 6 * 8, &c6, sizeof(c6));
+  __builtin_memcpy(acc + 7 * 8, &c7, sizeof(c7));
+}
+
+#else  // portable fallback
+
+inline void micro_kernel(const float* pa, const float* pb, std::int64_t kc,
+                         float* acc) {
+  for (std::int64_t x = 0; x < kGemmMR * kGemmNR; ++x) acc[x] = 0.0f;
+  for (std::int64_t p = 0; p < kc; ++p) {
+    const float* a_col = pa + p * kGemmMR;
+    const float* b_row = pb + p * kGemmNR;
+    for (std::int64_t i = 0; i < kGemmMR; ++i) {
+      const float a_ip = a_col[i];
+      float* acc_row = acc + i * kGemmNR;
+      for (std::int64_t j = 0; j < kGemmNR; ++j) {
+        acc_row[j] += a_ip * b_row[j];
+      }
     }
   }
 }
 
-// C[i,j] += alpha * sum_p A[p,i] * B[p,j]  (A given transposed, [k, m]).
-// p-outer order keeps both A and B accesses row-contiguous; the row block
-// [m_begin, m_end) owned by this thread is updated independently.
-void kernel_tn(std::int64_t m_begin, std::int64_t m_end, std::int64_t n,
-               std::int64_t k, float alpha, const float* a, std::int64_t lda,
-               const float* b, std::int64_t ldb, float* c, std::int64_t ldc) {
-  for (std::int64_t p = 0; p < k; ++p) {
-    const float* a_row = a + p * lda;
-    const float* b_row = b + p * ldb;
-    for (std::int64_t i = m_begin; i < m_end; ++i) {
-      const float a_pi = alpha * a_row[i];
-      if (a_pi == 0.0f) continue;
-      float* c_row = c + i * ldc;
-      for (std::int64_t j = 0; j < n; ++j) c_row[j] += a_pi * b_row[j];
+#endif  // CSQ_GEMM_VECTOR_KERNEL
+
+// C tile update: c = beta_eff * c + alpha * acc over the valid m_sub x n_sub
+// region. beta_eff == 0 never reads C (NaN/garbage safe).
+inline void update_c_tile(float* c, std::int64_t ldc, const float* acc,
+                          std::int64_t m_sub, std::int64_t n_sub, float alpha,
+                          float beta_eff) {
+  for (std::int64_t i = 0; i < m_sub; ++i) {
+    float* c_row = c + i * ldc;
+    const float* acc_row = acc + i * kGemmNR;
+    if (beta_eff == 0.0f) {
+      for (std::int64_t j = 0; j < n_sub; ++j) c_row[j] = alpha * acc_row[j];
+    } else if (beta_eff == 1.0f) {
+      for (std::int64_t j = 0; j < n_sub; ++j) c_row[j] += alpha * acc_row[j];
+    } else {
+      for (std::int64_t j = 0; j < n_sub; ++j) {
+        c_row[j] = beta_eff * c_row[j] + alpha * acc_row[j];
+      }
     }
   }
 }
 
-void gemm_rows(Trans trans_a, Trans trans_b, std::int64_t m_begin,
-               std::int64_t m_end, std::int64_t n, std::int64_t k, float alpha,
-               const float* a, std::int64_t lda, const float* b,
-               std::int64_t ldb, float beta, float* c, std::int64_t ldc) {
-  apply_beta(m_begin, m_end, n, beta, c, ldc);
-  if (alpha == 0.0f || k == 0) return;
-  if (trans_a == Trans::no && trans_b == Trans::no) {
-    kernel_nn(m_begin, m_end, n, k, alpha, a, lda, b, ldb, c, ldc);
-  } else if (trans_a == Trans::no && trans_b == Trans::yes) {
-    kernel_nt(m_begin, m_end, n, k, alpha, a, lda, b, ldb, c, ldc);
-  } else if (trans_a == Trans::yes && trans_b == Trans::no) {
-    kernel_tn(m_begin, m_end, n, k, alpha, a, lda, b, ldb, c, ldc);
-  } else {
-    CSQ_UNREACHABLE("gemm TT is not implemented (unused in this library)");
+// One MC-tall row tile of C inside a (jc, pc) panel: packs its A panel and
+// sweeps the jr/ir micro-tile grid. `packed_b` is read-only shared state.
+void run_ic_tile(Trans trans_a, const float* a, std::int64_t lda,
+                 std::int64_t ic, std::int64_t pc, std::int64_t jc,
+                 std::int64_t m, std::int64_t kc, std::int64_t nc, float alpha,
+                 float beta_eff, const float* packed_b, float* c,
+                 std::int64_t ldc, std::vector<float>& pack_a_storage) {
+  const std::int64_t mc = std::min(kGemmMC, m - ic);
+  const std::int64_t a_panels = (mc + kGemmMR - 1) / kGemmMR;
+  ensure_size(pack_a_storage,
+              static_cast<std::size_t>(a_panels * kGemmMR * kc));
+  float* packed_a = pack_a_storage.data();
+  pack_a_panel(trans_a, a, lda, ic, pc, mc, kc, packed_a);
+
+  float acc[kGemmMR * kGemmNR];
+  for (std::int64_t jr = 0; jr < nc; jr += kGemmNR) {
+    const std::int64_t n_sub = std::min(kGemmNR, nc - jr);
+    const float* pb = packed_b + (jr / kGemmNR) * kGemmNR * kc;
+    for (std::int64_t ir = 0; ir < mc; ir += kGemmMR) {
+      const std::int64_t m_sub = std::min(kGemmMR, mc - ir);
+      const float* pa = packed_a + (ir / kGemmMR) * kGemmMR * kc;
+      micro_kernel(pa, pb, kc, acc);
+      update_c_tile(c + (ic + ir) * ldc + jc + jr, ldc, acc, m_sub, n_sub,
+                    alpha, beta_eff);
+    }
   }
+}
+
+// Shared driver for the serial and pooled paths. The jc/pc loop nest runs on
+// the calling thread (B is packed once per (jc, pc) and reused across the
+// whole ic sweep); the ic tiles either run in order (serial) or are
+// distributed across the pool. Both orders compute each C element with an
+// identical floating-point operation sequence, so results are bit-identical.
+void gemm_blocked(Trans trans_a, Trans trans_b, std::int64_t m, std::int64_t n,
+                  std::int64_t k, float alpha, const float* a,
+                  std::int64_t lda, const float* b, std::int64_t ldb,
+                  float beta, float* c, std::int64_t ldc, GemmScratch* scratch,
+                  bool pooled) {
+  if (m == 0 || n == 0) return;
+  if (alpha == 0.0f || k == 0) {
+    apply_beta(0, m, n, beta, c, ldc);
+    return;
+  }
+  GemmScratch& shared = scratch != nullptr ? *scratch : local_scratch();
+
+  for (std::int64_t jc = 0; jc < n; jc += kGemmNC) {
+    const std::int64_t nc = std::min(kGemmNC, n - jc);
+    const std::int64_t b_panels = (nc + kGemmNR - 1) / kGemmNR;
+    for (std::int64_t pc = 0; pc < k; pc += kGemmKC) {
+      const std::int64_t kc = std::min(kGemmKC, k - pc);
+      ensure_size(shared.packed_b,
+                  static_cast<std::size_t>(b_panels * kGemmNR * kc));
+      pack_b_panel(trans_b, b, ldb, pc, jc, kc, nc, shared.packed_b.data());
+      const float beta_eff = pc == 0 ? beta : 1.0f;
+
+      const std::int64_t ic_tiles = (m + kGemmMC - 1) / kGemmMC;
+      if (!pooled || ic_tiles <= 1) {
+        for (std::int64_t t = 0; t < ic_tiles; ++t) {
+          run_ic_tile(trans_a, a, lda, t * kGemmMC, pc, jc, m, kc, nc, alpha,
+                      beta_eff, shared.packed_b.data(), c, ldc,
+                      shared.packed_a);
+        }
+      } else {
+        // Each worker packs A into its own thread-local scratch; every C
+        // element belongs to exactly one ic tile, so there are no write
+        // conflicts and no order dependence.
+        struct TileContext {
+          Trans trans_a;
+          const float* a;
+          std::int64_t lda, pc, jc, m, kc, nc;
+          float alpha, beta_eff;
+          const float* packed_b;
+          float* c;
+          std::int64_t ldc;
+        } ctx;
+        ctx.trans_a = trans_a;
+        ctx.a = a;
+        ctx.lda = lda;
+        ctx.pc = pc;
+        ctx.jc = jc;
+        ctx.m = m;
+        ctx.kc = kc;
+        ctx.nc = nc;
+        ctx.alpha = alpha;
+        ctx.beta_eff = beta_eff;
+        ctx.packed_b = shared.packed_b.data();
+        ctx.c = c;
+        ctx.ldc = ldc;
+        // Single-reference capture keeps the closure inside std::function's
+        // small-buffer optimization: no allocation per dispatch.
+        parallel_for_chunked(
+            0, ic_tiles, [&ctx](std::int64_t begin, std::int64_t end) {
+              for (std::int64_t t = begin; t < end; ++t) {
+                run_ic_tile(ctx.trans_a, ctx.a, ctx.lda, t * kGemmMC, ctx.pc,
+                            ctx.jc, ctx.m, ctx.kc, ctx.nc, ctx.alpha,
+                            ctx.beta_eff, ctx.packed_b, ctx.c, ctx.ldc,
+                            local_scratch().packed_a);
+              }
+            });
+      }
+    }
+  }
+}
+
+void check_extents(Trans trans_a, Trans trans_b, std::int64_t m,
+                   std::int64_t n, std::int64_t k) {
+  CSQ_CHECK(m >= 0 && n >= 0 && k >= 0) << "gemm: negative extent";
+  CSQ_CHECK(trans_a == Trans::no || trans_b == Trans::no)
+      << "gemm TT is not implemented (unused in this library)";
 }
 
 }  // namespace
@@ -116,29 +309,23 @@ void gemm_rows(Trans trans_a, Trans trans_b, std::int64_t m_begin,
 void gemm(Trans trans_a, Trans trans_b, std::int64_t m, std::int64_t n,
           std::int64_t k, float alpha, const float* a, std::int64_t lda,
           const float* b, std::int64_t ldb, float beta, float* c,
-          std::int64_t ldc) {
-  CSQ_CHECK(m >= 0 && n >= 0 && k >= 0) << "gemm: negative extent";
-  if (m == 0 || n == 0) return;
-  gemm_rows(trans_a, trans_b, 0, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+          std::int64_t ldc, GemmScratch* scratch) {
+  check_extents(trans_a, trans_b, m, n, k);
+  gemm_blocked(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc,
+               scratch, /*pooled=*/false);
 }
 
 void gemm_parallel(Trans trans_a, Trans trans_b, std::int64_t m,
                    std::int64_t n, std::int64_t k, float alpha, const float* a,
                    std::int64_t lda, const float* b, std::int64_t ldb,
-                   float beta, float* c, std::int64_t ldc) {
-  CSQ_CHECK(m >= 0 && n >= 0 && k >= 0) << "gemm: negative extent";
-  if (m == 0 || n == 0) return;
+                   float beta, float* c, std::int64_t ldc,
+                   GemmScratch* scratch) {
+  check_extents(trans_a, trans_b, m, n, k);
   // Only fan out when there is enough arithmetic to amortize the pool wakeup.
   const std::int64_t flops = 2 * m * n * k;
-  if (flops < (1 << 18) || inside_parallel_region()) {
-    gemm_rows(trans_a, trans_b, 0, m, n, k, alpha, a, lda, b, ldb, beta, c,
-              ldc);
-    return;
-  }
-  parallel_for_chunked(0, m, [&](std::int64_t row_begin, std::int64_t row_end) {
-    gemm_rows(trans_a, trans_b, row_begin, row_end, n, k, alpha, a, lda, b,
-              ldb, beta, c, ldc);
-  });
+  const bool pooled = flops >= (1 << 18) && !inside_parallel_region();
+  gemm_blocked(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc,
+               scratch, pooled);
 }
 
 }  // namespace csq

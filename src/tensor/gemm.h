@@ -7,25 +7,71 @@
 // use in the library (forward, input-gradient and weight-gradient of both
 // Linear and im2col convolution).
 //
+// Blocking scheme (GotoBLAS/BLIS-style, single precision):
+//
+//   for jc in N step kNC:                column panel of C / B
+//     for pc in K step kKC:              depth panel (beta applied at pc==0)
+//       pack op(B)[pc:pc+kc, jc:jc+nc]   -> B~  (NR-wide micro-panels, L2/L3)
+//       for ic in M step kMC:            row panel of C / A
+//         pack op(A)[ic:ic+mc, pc:pc+kc] -> A~  (MR-tall micro-panels, L1/L2)
+//         for jr, ir over the panel:     kMR x kNR register micro-kernel
+//
+// The micro-kernel keeps a kMR x kNR accumulator tile in registers and
+// streams the packed panels, so every loaded cache line is used kMR (or kNR)
+// times; edge tiles are zero-padded during packing and written back through
+// bounds-checked tails. All three transpose variants route through the same
+// packed kernel — only the pack routines differ. Packing scratch lives in
+// thread-local grow-once buffers (or a caller-provided GemmScratch), so
+// steady-state calls perform no heap allocations.
+//
+// Determinism contract: for fixed operands, `gemm` and `gemm_parallel`
+// produce BIT-IDENTICAL results regardless of thread count. The parallel
+// path distributes whole (ic, jr) tiles of C across the pool; each C element
+// is owned by exactly one tile, and the per-element accumulation order
+// (pc-panel order, then packed-k order inside the micro-kernel) is a
+// function of the blocking constants only — never of the thread count. The
+// tier-1 GEMM parity tests assert this with exact equality.
+//
 // `gemm` is strictly serial so it can run inside batch-parallel loops;
-// `gemm_parallel` splits rows of C across the global thread pool and is used
-// at top level (Linear layers, benchmark kernels).
+// `gemm_parallel` fans out across the global thread pool and is used at top
+// level (Linear layers, benchmark kernels).
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 namespace csq {
 
 enum class Trans { no, yes };
 
+// Register micro-tile (rows x cols of C held in accumulators) and the cache
+// blocking constants. kMC/kKC size the packed A panel for L2 (64 KiB), kKC *
+// kNC bounds the packed B panel (1 MiB); all are multiples of the micro-tile
+// so packing never splits a micro-panel.
+constexpr std::int64_t kGemmMR = 8;
+constexpr std::int64_t kGemmNR = 8;
+constexpr std::int64_t kGemmMC = 64;
+constexpr std::int64_t kGemmKC = 256;
+constexpr std::int64_t kGemmNC = 1024;
+
+// Reusable packing scratch. Grow-once: buffers expand to the largest panel
+// seen and are then recycled, so a layer that owns a GemmScratch performs
+// zero steady-state allocations. When no scratch is supplied the kernels use
+// an internal thread-local instance (one per pool thread, also grow-once).
+struct GemmScratch {
+  std::vector<float> packed_a;  // kMC x kKC panel, MR-tall micro-panels
+  std::vector<float> packed_b;  // kKC x kNC panel, NR-wide micro-panels
+};
+
 void gemm(Trans trans_a, Trans trans_b, std::int64_t m, std::int64_t n,
           std::int64_t k, float alpha, const float* a, std::int64_t lda,
           const float* b, std::int64_t ldb, float beta, float* c,
-          std::int64_t ldc);
+          std::int64_t ldc, GemmScratch* scratch = nullptr);
 
 void gemm_parallel(Trans trans_a, Trans trans_b, std::int64_t m,
                    std::int64_t n, std::int64_t k, float alpha, const float* a,
                    std::int64_t lda, const float* b, std::int64_t ldb,
-                   float beta, float* c, std::int64_t ldc);
+                   float beta, float* c, std::int64_t ldc,
+                   GemmScratch* scratch = nullptr);
 
 }  // namespace csq

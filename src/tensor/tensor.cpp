@@ -1,11 +1,141 @@
 #include "tensor/tensor.h"
 
 #include <algorithm>
+#include <mutex>
 #include <sstream>
+#include <utility>
 
 #include "util/check.h"
 
 namespace csq {
+
+namespace {
+
+// Process-wide recycling pool for tensor storage. Data spans are bucketed by
+// floor(log2(capacity)): a request for n elements is served from bucket
+// ceil(log2(n)), whose members all have capacity >= 2^ceil(log2(n)) >= n.
+// Freshly allocated spans reserve the rounded-up power of two, so recycled
+// capacities stay normalized and the waste factor is bounded by 2x. The
+// cache is byte-capped; releases beyond the cap simply free.
+class StoragePool {
+ public:
+  static constexpr int kBuckets = 40;
+  static constexpr std::uint64_t kMaxCachedBytes = 256ull << 20;
+  static constexpr std::size_t kMaxCachedShapes = 4096;
+
+  void acquire_data(std::vector<float>& out, std::size_t count) {
+    if (count == 0) {
+      out.clear();
+      return;
+    }
+    const int bucket = ceil_log2(count);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.data_requests;
+      std::vector<std::vector<float>>& shelf =
+          data_shelves_[static_cast<std::size_t>(bucket)];
+      if (!shelf.empty()) {
+        ++stats_.data_reuses;
+        cached_bytes_ -= shelf.back().capacity() * sizeof(float);
+        out = std::move(shelf.back());
+        shelf.pop_back();
+        out.resize(count);
+        return;
+      }
+      ++stats_.data_allocations;
+    }
+    out.reserve(std::size_t{1} << bucket);
+    out.resize(count);
+  }
+
+  void release_data(std::vector<float>&& v) noexcept {
+    if (v.capacity() == 0) return;
+    const std::uint64_t bytes = v.capacity() * sizeof(float);
+    const int bucket = floor_log2(v.capacity());
+    try {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (cached_bytes_ + bytes > kMaxCachedBytes) return;  // drop: just free
+      data_shelves_[static_cast<std::size_t>(bucket)].push_back(std::move(v));
+      cached_bytes_ += bytes;
+    } catch (...) {
+      // Shelf growth failed; the buffer is freed normally.
+    }
+  }
+
+  void acquire_shape(std::vector<std::int64_t>& out) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!shapes_.empty()) {
+        out = std::move(shapes_.back());
+        shapes_.pop_back();
+        out.clear();
+        return;
+      }
+    }
+    out.reserve(8);
+  }
+
+  void release_shape(std::vector<std::int64_t>&& v) noexcept {
+    if (v.capacity() == 0) return;
+    try {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (shapes_.size() >= kMaxCachedShapes) return;
+      shapes_.push_back(std::move(v));
+    } catch (...) {
+    }
+  }
+
+  TensorPoolStats stats() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    TensorPoolStats snapshot = stats_;
+    snapshot.cached_bytes = cached_bytes_;
+    return snapshot;
+  }
+
+  void trim() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& shelf : data_shelves_) {
+      shelf.clear();
+      shelf.shrink_to_fit();
+    }
+    shapes_.clear();
+    shapes_.shrink_to_fit();
+    cached_bytes_ = 0;
+  }
+
+ private:
+  static int floor_log2(std::size_t n) {
+    int bits = 0;
+    while (n > 1) {
+      n >>= 1;
+      ++bits;
+    }
+    return bits;
+  }
+  static int ceil_log2(std::size_t n) {
+    const int floor = floor_log2(n);
+    return (std::size_t{1} << floor) == n ? floor : floor + 1;
+  }
+
+  std::mutex mutex_;
+  std::vector<std::vector<float>> data_shelves_[kBuckets];
+  std::vector<std::vector<std::int64_t>> shapes_;
+  std::uint64_t cached_bytes_ = 0;
+  TensorPoolStats stats_;
+};
+
+// Leaked so tensors with static storage duration can release safely during
+// program teardown regardless of destruction order.
+StoragePool& pool() {
+  static StoragePool* instance = new StoragePool();
+  return *instance;
+}
+
+}  // namespace
+
+TensorPoolStats tensor_pool_stats() { return pool().stats(); }
+
+void tensor_pool_trim() { pool().trim(); }
 
 std::int64_t shape_numel(const std::vector<std::int64_t>& shape) {
   std::int64_t count = 1;
@@ -16,12 +146,54 @@ std::int64_t shape_numel(const std::vector<std::int64_t>& shape) {
   return count;
 }
 
-Tensor::Tensor(std::vector<std::int64_t> shape)
-    : shape_(std::move(shape)),
-      data_(static_cast<std::size_t>(shape_numel(shape_)), 0.0f) {}
+Tensor::Tensor(const std::vector<std::int64_t>& shape) {
+  pool().acquire_shape(shape_);
+  shape_.assign(shape.begin(), shape.end());
+  pool().acquire_data(data_, static_cast<std::size_t>(shape_numel(shape_)));
+  std::fill(data_.begin(), data_.end(), 0.0f);
+}
 
-Tensor::Tensor(std::initializer_list<std::int64_t> shape)
-    : Tensor(std::vector<std::int64_t>(shape)) {}
+Tensor::Tensor(std::vector<std::int64_t>&& shape) : shape_(std::move(shape)) {
+  pool().acquire_data(data_, static_cast<std::size_t>(shape_numel(shape_)));
+  std::fill(data_.begin(), data_.end(), 0.0f);
+}
+
+Tensor::Tensor(std::initializer_list<std::int64_t> shape) {
+  pool().acquire_shape(shape_);
+  shape_.assign(shape.begin(), shape.end());
+  pool().acquire_data(data_, static_cast<std::size_t>(shape_numel(shape_)));
+  std::fill(data_.begin(), data_.end(), 0.0f);
+}
+
+Tensor::Tensor(const Tensor& other) {
+  pool().acquire_shape(shape_);
+  shape_.assign(other.shape_.begin(), other.shape_.end());
+  pool().acquire_data(data_, other.data_.size());
+  std::copy(other.data_.begin(), other.data_.end(), data_.begin());
+}
+
+Tensor& Tensor::operator=(const Tensor& other) {
+  // Plain vector copy-assignment reuses existing capacity, so repeated
+  // same-shape assignments (per-step activation caches) never allocate.
+  shape_ = other.shape_;
+  data_ = other.data_;
+  return *this;
+}
+
+Tensor& Tensor::operator=(Tensor&& other) noexcept {
+  if (this != &other) {
+    pool().release_shape(std::move(shape_));
+    pool().release_data(std::move(data_));
+    shape_ = std::move(other.shape_);
+    data_ = std::move(other.data_);
+  }
+  return *this;
+}
+
+Tensor::~Tensor() {
+  pool().release_shape(std::move(shape_));
+  pool().release_data(std::move(data_));
+}
 
 Tensor Tensor::zeros(std::vector<std::int64_t> shape) {
   return Tensor(std::move(shape));
@@ -40,6 +212,24 @@ Tensor Tensor::from_data(std::vector<std::int64_t> shape,
   Tensor result;
   result.shape_ = std::move(shape);
   result.data_ = std::move(values);
+  return result;
+}
+
+Tensor Tensor::uninitialized(const std::vector<std::int64_t>& shape) {
+  Tensor result;
+  pool().acquire_shape(result.shape_);
+  result.shape_.assign(shape.begin(), shape.end());
+  pool().acquire_data(result.data_,
+                      static_cast<std::size_t>(shape_numel(result.shape_)));
+  return result;
+}
+
+Tensor Tensor::uninitialized(std::initializer_list<std::int64_t> shape) {
+  Tensor result;
+  pool().acquire_shape(result.shape_);
+  result.shape_.assign(shape.begin(), shape.end());
+  pool().acquire_data(result.data_,
+                      static_cast<std::size_t>(shape_numel(result.shape_)));
   return result;
 }
 
@@ -63,9 +253,8 @@ std::string Tensor::shape_string() const {
 Tensor Tensor::reshaped(std::vector<std::int64_t> new_shape) const& {
   CSQ_CHECK(shape_numel(new_shape) == numel())
       << "reshape " << shape_string() << " -> incompatible element count";
-  Tensor result;
-  result.shape_ = std::move(new_shape);
-  result.data_ = data_;
+  Tensor result(*this);
+  result.shape_.assign(new_shape.begin(), new_shape.end());
   return result;
 }
 
@@ -74,6 +263,27 @@ Tensor Tensor::reshaped(std::vector<std::int64_t> new_shape) && {
       << "reshape " << shape_string() << " -> incompatible element count";
   shape_ = std::move(new_shape);
   return std::move(*this);
+}
+
+void Tensor::resize_unspecified(const std::vector<std::int64_t>& new_shape) {
+  shape_.assign(new_shape.begin(), new_shape.end());
+  resize_storage();
+}
+
+void Tensor::resize_unspecified(
+    std::initializer_list<std::int64_t> new_shape) {
+  shape_.assign(new_shape.begin(), new_shape.end());
+  resize_storage();
+}
+
+void Tensor::resize_storage() {
+  const auto count = static_cast<std::size_t>(shape_numel(shape_));
+  if (data_.capacity() < count) {
+    pool().release_data(std::move(data_));
+    pool().acquire_data(data_, count);
+  } else {
+    data_.resize(count);
+  }
 }
 
 float& Tensor::at(std::initializer_list<std::int64_t> index) {

@@ -5,6 +5,15 @@
 // im2col convolution, batch-norm, elementwise gate evaluation — is expressible
 // over flat spans, and keeping layout trivial keeps kernels fast and testable.
 // Copies are deep; Tensor is a regular value type (Core Guidelines C.20).
+//
+// Storage recycling: tensor storage (the data span AND the shape vector) is
+// drawn from a process-wide recycling pool and returned to it on
+// destruction. Training loops create and destroy the same tensor shapes
+// every step (layer outputs, gradients, scratch), so after a warmup step the
+// pool serves every request without touching the heap — steady-state
+// forward+backward performs zero allocations. The pool is thread-safe,
+// byte-capped, and observable through tensor_pool_stats() (the allocation
+// regression tests assert on it).
 #pragma once
 
 #include <cstdint>
@@ -17,14 +26,28 @@ namespace csq {
 class Tensor {
  public:
   Tensor() = default;
-  explicit Tensor(std::vector<std::int64_t> shape);
+  // Zero-filled tensor of the given shape. The const& overload recycles
+  // pooled storage for both the shape and the data; the && overload adopts
+  // the caller's shape vector.
+  explicit Tensor(const std::vector<std::int64_t>& shape);
+  explicit Tensor(std::vector<std::int64_t>&& shape);
   Tensor(std::initializer_list<std::int64_t> shape);
+
+  Tensor(const Tensor& other);
+  Tensor& operator=(const Tensor& other);
+  Tensor(Tensor&& other) noexcept = default;
+  Tensor& operator=(Tensor&& other) noexcept;
+  ~Tensor();
 
   // Factories ----------------------------------------------------------
   static Tensor zeros(std::vector<std::int64_t> shape);
   static Tensor full(std::vector<std::int64_t> shape, float value);
   static Tensor from_data(std::vector<std::int64_t> shape,
                           std::vector<float> values);
+  // Pool-backed tensor with UNSPECIFIED contents — for outputs that are
+  // fully overwritten (GEMM with beta == 0, im2col); skips the zero-fill.
+  static Tensor uninitialized(const std::vector<std::int64_t>& shape);
+  static Tensor uninitialized(std::initializer_list<std::int64_t> shape);
 
   // Shape --------------------------------------------------------------
   const std::vector<std::int64_t>& shape() const { return shape_; }
@@ -39,6 +62,12 @@ class Tensor {
   // element count. O(numel) copy on lvalues, O(1) move on rvalues.
   Tensor reshaped(std::vector<std::int64_t> new_shape) const&;
   Tensor reshaped(std::vector<std::int64_t> new_shape) &&;
+
+  // In-place reshape that reuses the existing storage when capacity allows
+  // (grow-once semantics; zero steady-state allocations). Contents are
+  // UNSPECIFIED afterwards — intended for Workspace-held scratch tensors.
+  void resize_unspecified(const std::vector<std::int64_t>& new_shape);
+  void resize_unspecified(std::initializer_list<std::int64_t> new_shape);
 
   // Data access ---------------------------------------------------------
   float* data() { return data_.data(); }
@@ -58,6 +87,8 @@ class Tensor {
  private:
   std::size_t check_flat(std::int64_t flat_index) const;
   std::size_t flat_offset(std::initializer_list<std::int64_t> index) const;
+  // Fits data_ to shape_ with unspecified contents, recycling via the pool.
+  void resize_storage();
 
   std::vector<std::int64_t> shape_;
   std::vector<float> data_;
@@ -65,5 +96,21 @@ class Tensor {
 
 // Computes the element count of a shape; throws on negative extents.
 std::int64_t shape_numel(const std::vector<std::int64_t>& shape);
+
+// ------------------------------------------------------- storage pool ----
+
+struct TensorPoolStats {
+  // Data-span requests served by recycling vs. fresh heap allocations.
+  std::uint64_t data_requests = 0;
+  std::uint64_t data_reuses = 0;
+  std::uint64_t data_allocations = 0;
+  // Bytes currently cached in the pool (bounded by an internal cap).
+  std::uint64_t cached_bytes = 0;
+};
+
+TensorPoolStats tensor_pool_stats();
+
+// Frees every cached buffer (tests and memory-pressure handling).
+void tensor_pool_trim();
 
 }  // namespace csq

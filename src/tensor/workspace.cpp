@@ -1,0 +1,68 @@
+#include "tensor/workspace.h"
+
+#include "util/check.h"
+
+namespace csq {
+
+Workspace::Workspace() {
+  // Reserving up front keeps slot creation from relocating sibling slots
+  // (Tensor& references returned earlier must survive later slot growth).
+  float_slots_.reserve(kMaxSlots);
+  tensor_slots_.reserve(kMaxSlots);
+}
+
+float* Workspace::floats(int slot, std::int64_t count) {
+  CSQ_CHECK(slot >= 0 && slot < kMaxSlots && count >= 0)
+      << "workspace: bad float slot request";
+  if (static_cast<std::size_t>(slot) >= float_slots_.size()) {
+    float_slots_.resize(static_cast<std::size_t>(slot) + 1);
+    ++growth_count_;
+  }
+  std::vector<float>& buffer = float_slots_[static_cast<std::size_t>(slot)];
+  if (buffer.size() < static_cast<std::size_t>(count)) {
+    buffer.resize(static_cast<std::size_t>(count));
+    ++growth_count_;
+  }
+  return buffer.data();
+}
+
+Tensor& Workspace::tensor(int slot, const std::vector<std::int64_t>& shape) {
+  Tensor& t = tensor_slot_for(slot, shape_numel(shape));
+  t.resize_unspecified(shape);
+  return t;
+}
+
+Tensor& Workspace::tensor(int slot, std::initializer_list<std::int64_t> shape) {
+  std::int64_t count = 1;
+  for (const std::int64_t extent : shape) count *= extent;
+  Tensor& t = tensor_slot_for(slot, count);
+  t.resize_unspecified(shape);
+  return t;
+}
+
+Tensor& Workspace::tensor_slot_for(int slot, std::int64_t count) {
+  CSQ_CHECK(slot >= 0 && slot < kMaxSlots) << "workspace: bad tensor slot";
+  if (static_cast<std::size_t>(slot) >= tensor_slots_.size()) {
+    tensor_slots_.resize(static_cast<std::size_t>(slot) + 1);
+    tensor_high_water_.resize(static_cast<std::size_t>(slot) + 1, 0);
+    ++growth_count_;
+  }
+  // Count growth only when the request exceeds the slot's high-water mark —
+  // that is when resize_unspecified actually has to allocate. Shrinking and
+  // re-growing within reserved capacity (ragged last batches, alternating
+  // train/eval batch sizes) stays allocation-free and is not counted.
+  std::int64_t& high_water = tensor_high_water_[static_cast<std::size_t>(slot)];
+  if (count > high_water) {
+    ++growth_count_;
+    high_water = count;
+  }
+  return tensor_slots_[static_cast<std::size_t>(slot)];
+}
+
+const Tensor& Workspace::peek(int slot) const {
+  CSQ_CHECK(slot >= 0 && static_cast<std::size_t>(slot) < tensor_slots_.size())
+      << "workspace: peek of unpopulated slot " << slot;
+  return tensor_slots_[static_cast<std::size_t>(slot)];
+}
+
+}  // namespace csq

@@ -1,0 +1,71 @@
+// Workspace — a per-layer scratch arena for the training/eval hot path.
+//
+// Conv2d and Linear own one Workspace each and draw every recurring buffer
+// from it: the cached im2col matrix, per-thread grad_col scratch, the
+// dLoss/dWeight staging tensor, and the packed-panel storage the blocked
+// GEMM uses. All slots have grow-once semantics — a buffer expands to the
+// largest extent ever requested and is then recycled verbatim — so a
+// steady-state forward+backward step performs ZERO heap allocations. The
+// growth_count() counter makes that property testable: the allocation
+// regression tests assert it stays flat across steps.
+//
+// Slots are indexed by small integers local to the owning layer (each layer
+// declares its own slot enum). Per-thread float scratch is laid out as
+// pool_slot_count() stripes indexed by pool_slot() (util/thread_pool.h), so
+// bodies running inside parallel regions get private stripes without
+// locking.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/gemm.h"
+#include "tensor/tensor.h"
+
+namespace csq {
+
+class Workspace {
+ public:
+  // Hard bound on slot indices. Slot storage is reserved up front so a
+  // tensor()/floats() call never relocates other slots — references handed
+  // out earlier in the same step stay valid.
+  static constexpr int kMaxSlots = 8;
+
+  Workspace();
+  Workspace(const Workspace&) = delete;
+  Workspace& operator=(const Workspace&) = delete;
+
+  // Flat float scratch of at least `count` elements. Contents unspecified.
+  float* floats(int slot, std::int64_t count);
+
+  // Tensor slot reshaped in place to `shape`; contents unspecified. The
+  // returned reference stays valid until the next call for the same slot.
+  Tensor& tensor(int slot, const std::vector<std::int64_t>& shape);
+  Tensor& tensor(int slot, std::initializer_list<std::int64_t> shape);
+
+  // The slot's current tensor, untouched (shape and contents as last
+  // written). The slot must have been populated by a prior tensor() call.
+  const Tensor& peek(int slot) const;
+
+  // Packed-panel storage for gemm/gemm_parallel calls issued by the owning
+  // layer at top level (serial per-sample GEMMs inside parallel regions use
+  // the kernels' thread-local scratch instead).
+  GemmScratch& gemm_scratch() { return gemm_scratch_; }
+
+  // Number of buffer growth events since construction. A steady-state
+  // training step must leave this unchanged.
+  std::uint64_t growth_count() const { return growth_count_; }
+
+ private:
+  // Returns the slot tensor, accounting a growth event only when `count`
+  // exceeds the slot's allocation high-water mark.
+  Tensor& tensor_slot_for(int slot, std::int64_t count);
+
+  std::vector<std::vector<float>> float_slots_;
+  std::vector<Tensor> tensor_slots_;
+  std::vector<std::int64_t> tensor_high_water_;
+  GemmScratch gemm_scratch_;
+  std::uint64_t growth_count_ = 0;
+};
+
+}  // namespace csq

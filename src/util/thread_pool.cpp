@@ -8,11 +8,20 @@
 
 namespace csq {
 
-ThreadPool::ThreadPool(int num_threads) {
+namespace {
+// Scratch-stripe index: worker i of the global pool holds i + 1, everything
+// else 0 (see pool_slot() below).
+thread_local int t_pool_slot = 0;
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads, bool assign_scratch_slots) {
   CSQ_CHECK(num_threads >= 1) << "thread pool needs at least one thread";
   workers_.reserve(static_cast<std::size_t>(num_threads - 1));
   for (int i = 0; i < num_threads - 1; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i, assign_scratch_slots] {
+      if (assign_scratch_slots) t_pool_slot = i + 1;
+      worker_loop();
+    });
   }
 }
 
@@ -150,9 +159,14 @@ int configured_thread_count() {
 }  // namespace
 
 ThreadPool& global_pool() {
-  static ThreadPool pool(configured_thread_count());
+  static ThreadPool pool(configured_thread_count(),
+                         /*assign_scratch_slots=*/true);
   return pool;
 }
+
+int pool_slot() { return t_pool_slot; }
+
+int pool_slot_count() { return global_pool().num_threads(); }
 
 void parallel_for(std::int64_t begin, std::int64_t end,
                   const std::function<void(std::int64_t)>& fn,

@@ -23,7 +23,9 @@ namespace csq {
 
 class ThreadPool {
  public:
-  explicit ThreadPool(int num_threads);
+  // `assign_scratch_slots` gives each worker a stable pool_slot() stripe
+  // index (used only by the global pool; private pools leave slots at 0).
+  explicit ThreadPool(int num_threads, bool assign_scratch_slots = false);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -71,6 +73,15 @@ ThreadPool& global_pool();
 // True when called from inside a parallel region (worker or caller share);
 // used to serialize nested parallel loops.
 bool inside_parallel_region();
+
+// Stable scratch-stripe index of the calling thread: global-pool worker i
+// answers i + 1, every other thread (including the caller participating in a
+// parallel region) answers 0. Always < pool_slot_count(). Lets parallel
+// bodies index pre-sized per-thread scratch stripes without locking.
+int pool_slot();
+
+// Number of distinct pool_slot() values: global_pool().num_threads().
+int pool_slot_count();
 
 // Convenience wrappers over the global pool. Falls back to a serial loop for
 // tiny ranges where threading would cost more than it saves.

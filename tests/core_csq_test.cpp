@@ -102,11 +102,13 @@ TEST_P(CsqGradTest, AllParameterGradientsMatchNumeric) {
       const double numeric = numeric_derivative(
           [&](float x) {
             param->value[index] = x;
+            param->mark_updated();  // direct-mutation contract
             const Tensor& w = source.weight(/*training=*/false);
             return static_cast<double>(probe_loss(w, probe));
           },
           original, 1e-3f);
       param->value[index] = original;
+      param->mark_updated();
       SCOPED_TRACE(param->name + "[" + std::to_string(index) + "] beta=" +
                    std::to_string(beta));
       expect_close(param->grad[index], numeric, 5e-2, 1e-4);

@@ -25,6 +25,7 @@ void force_initial_precision(const std::vector<CsqWeightSource*>& sources,
       mask->value[b] =
           b >= CsqWeightSource::kBits - bits ? magnitude : -magnitude;
     }
+    mask->mark_updated();  // direct-mutation contract
   }
 }
 

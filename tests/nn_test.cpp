@@ -395,6 +395,7 @@ TEST(Model, TrainStepReducesLossOnTinyProblem) {
       for (std::int64_t i = 0; i < param->value.numel(); ++i) {
         param->value[i] -= 0.05f * param->grad[i];
       }
+      param->mark_updated();
     }
   }
   const float final_loss = loss.forward(model.forward(images, true), labels);

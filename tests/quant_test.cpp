@@ -476,6 +476,7 @@ TEST_P(WeightSourceFamilyTest, AnalyticBackwardMatchesFiniteDifference) {
         numeric += testing::numeric_derivative(
             [&](float x) {
               param->value[index] = x;
+              param->mark_updated();  // direct-mutation contract
               return static_cast<double>(
                   testing::probe_loss(source->weight(/*training=*/false),
                                       probe));
@@ -484,6 +485,7 @@ TEST_P(WeightSourceFamilyTest, AnalyticBackwardMatchesFiniteDifference) {
       }
       numeric /= static_cast<double>(epss.size());
       param->value[index] = original;
+      param->mark_updated();
       SCOPED_TRACE(fc.name + ": " + param->name + "[" +
                    std::to_string(index) + "]");
       testing::expect_close(param->grad[index], numeric, fc.rtol, fc.atol);

@@ -171,6 +171,102 @@ INSTANTIATE_TEST_SUITE_P(
         GemmCase{Trans::no, Trans::no, 1, 1, 1, 1.0f, 0.0f},
         GemmCase{Trans::no, Trans::no, 5, 7, 0, 1.0f, 0.5f}));
 
+// Blocked-kernel parity sweep: every transpose variant against the naive
+// reference over odd/prime/tile-straddling extents (1 and 3 exercise the
+// zero-padded packing tails, 17 a partial micro-tile, 64 exact MC/tile
+// multiples, 129 a blocked edge one past 2*MC), with alpha/beta cycling
+// through {0, 1, 0.5}.
+TEST(GemmBlockedParity, MatchesNaiveAcrossExtentGrid) {
+  const std::int64_t extents[] = {1, 3, 17, 64, 129};
+  const float coeffs[] = {0.0f, 1.0f, 0.5f};
+  const std::pair<Trans, Trans> variants[] = {
+      {Trans::no, Trans::no}, {Trans::no, Trans::yes}, {Trans::yes, Trans::no}};
+  Rng rng(1234);
+  for (const auto& [trans_a, trans_b] : variants) {
+    int combo = 0;
+    for (const std::int64_t m : extents) {
+      for (const std::int64_t n : extents) {
+        for (const std::int64_t k : extents) {
+          const float alpha = coeffs[combo % 3];
+          const float beta = coeffs[(combo / 3) % 3];
+          ++combo;
+          const std::int64_t a_rows = trans_a == Trans::no ? m : k;
+          const std::int64_t a_cols = trans_a == Trans::no ? k : m;
+          const std::int64_t b_rows = trans_b == Trans::no ? k : n;
+          const std::int64_t b_cols = trans_b == Trans::no ? n : k;
+          Tensor a = random_tensor({a_rows, a_cols}, rng);
+          Tensor b = random_tensor({b_rows, b_cols}, rng);
+          Tensor out = random_tensor({m, n}, rng);
+          Tensor expected = out;
+          gemm(trans_a, trans_b, m, n, k, alpha, a.data(), a_cols, b.data(),
+               b_cols, beta, out.data(), n);
+          reference_gemm(trans_a, trans_b, m, n, k, alpha, a.data(), a_cols,
+                         b.data(), b_cols, beta, expected.data(), n);
+          ASSERT_LT(max_abs_diff(out, expected), 2e-3f)
+              << "ta=" << (trans_a == Trans::yes) << " tb="
+              << (trans_b == Trans::yes) << " m=" << m << " n=" << n
+              << " k=" << k << " alpha=" << alpha << " beta=" << beta;
+        }
+      }
+    }
+  }
+}
+
+// Determinism contract (gemm.h): pooled and serial execution must be
+// BIT-identical, not merely close — per-element accumulation order is a
+// function of the blocking constants only.
+TEST(GemmBlockedParity, PooledIsBitIdenticalToSerial) {
+  struct Case {
+    Trans trans_a, trans_b;
+    std::int64_t m, n, k;
+    float alpha, beta;
+  };
+  const Case cases[] = {
+      {Trans::no, Trans::no, 256, 256, 256, 1.0f, 0.0f},
+      {Trans::no, Trans::no, 129, 200, 300, 0.5f, 1.0f},
+      {Trans::no, Trans::yes, 192, 160, 129, 1.0f, 0.5f},
+      {Trans::yes, Trans::no, 150, 256, 70, -1.0f, 0.0f},
+  };
+  Rng rng(77);
+  for (const Case& c : cases) {
+    const std::int64_t a_rows = c.trans_a == Trans::no ? c.m : c.k;
+    const std::int64_t a_cols = c.trans_a == Trans::no ? c.k : c.m;
+    const std::int64_t b_rows = c.trans_b == Trans::no ? c.k : c.n;
+    const std::int64_t b_cols = c.trans_b == Trans::no ? c.n : c.k;
+    Tensor a = random_tensor({a_rows, a_cols}, rng);
+    Tensor b = random_tensor({b_rows, b_cols}, rng);
+    Tensor serial = random_tensor({c.m, c.n}, rng);
+    Tensor pooled = serial;
+    gemm(c.trans_a, c.trans_b, c.m, c.n, c.k, c.alpha, a.data(), a_cols,
+         b.data(), b_cols, c.beta, serial.data(), c.n);
+    gemm_parallel(c.trans_a, c.trans_b, c.m, c.n, c.k, c.alpha, a.data(),
+                  a_cols, b.data(), b_cols, c.beta, pooled.data(), c.n);
+    for (std::int64_t i = 0; i < serial.numel(); ++i) {
+      ASSERT_EQ(serial[i], pooled[i])
+          << "bit mismatch at " << i << " (m=" << c.m << " n=" << c.n
+          << " k=" << c.k << ")";
+    }
+  }
+}
+
+// A caller-provided GemmScratch must yield the same bits as the internal
+// thread-local scratch (the packing layout is scratch-independent).
+TEST(GemmBlockedParity, ExternalScratchMatchesThreadLocal) {
+  Rng rng(88);
+  Tensor a = random_tensor({100, 129}, rng);
+  Tensor b = random_tensor({129, 90}, rng);
+  Tensor c1({100, 90});
+  Tensor c2({100, 90});
+  GemmScratch scratch;
+  gemm(Trans::no, Trans::no, 100, 90, 129, 1.0f, a.data(), 129, b.data(), 90,
+       0.0f, c1.data(), 90);
+  gemm(Trans::no, Trans::no, 100, 90, 129, 1.0f, a.data(), 129, b.data(), 90,
+       0.0f, c2.data(), 90, &scratch);
+  for (std::int64_t i = 0; i < c1.numel(); ++i) ASSERT_EQ(c1[i], c2[i]);
+  EXPECT_FALSE(scratch.packed_a.empty());
+  EXPECT_FALSE(scratch.packed_b.empty());
+}
+
 TEST(Gemm, BetaZeroIgnoresGarbageInC) {
   Tensor a = Tensor::full({2, 2}, 1.0f);
   Tensor b = Tensor::full({2, 2}, 1.0f);

@@ -102,11 +102,13 @@ inline void check_parameter_gradients(Module& module, const Tensor& input,
       const double numeric = numeric_derivative(
           [&](float x) {
             param->value[index] = x;
+            param->mark_updated();  // direct-mutation contract
             Tensor out = module.forward(input, /*training=*/true);
             return static_cast<double>(probe_loss(out, probe));
           },
           original);
       param->value[index] = original;
+      param->mark_updated();
       SCOPED_TRACE(param->name + " index " + std::to_string(index));
       expect_close(param->grad[index], numeric, rtol, 2e-3);
     }
