@@ -2,7 +2,7 @@
 // throughput: GEMM (all three transpose forms), im2col convolution, the
 // temperature-sigmoid gate, and the CSQ bi-level materialize/backward pair.
 //
-// In addition to the registered benchmarks, every run emits three
+// In addition to the registered benchmarks, every run emits four
 // cross-PR tracking reports:
 //   BENCH_materialize.json — serial vs pooled weight materialization for
 //     all five WeightSource families on a ResNet-20-sized layer;
@@ -10,7 +10,10 @@
 //     seed's naive triple-loop reference (serial and pooled) over
 //     conv-shaped problems, with a pooled bit-identity check;
 //   BENCH_step.json        — full train-step latency (forward + backward +
-//     SGD) of a ResNet-20 BasicBlock under dense and CSQ weights.
+//     SGD) of a ResNet-20 BasicBlock under dense and CSQ weights;
+//   BENCH_infer.json       — serving latency of a finalized ResNet-20:
+//     float eval-path forward vs the int8 compiled graph
+//     (runtime/compiled_graph.h), per batch size.
 // `--smoke` runs every report in a 1-iteration mode and exits — the ctest
 // entry uses it so CI catches bench bitrot.
 #include <benchmark/benchmark.h>
@@ -29,8 +32,10 @@
 #include "core/gate.h"
 #include "nn/blocks.h"
 #include "nn/conv2d.h"
+#include "nn/models.h"
 #include "nn/weight_source.h"
 #include "opt/sgd.h"
+#include "runtime/compiled_graph.h"
 #include "quant/bsq_weight.h"
 #include "quant/dorefa_weight.h"
 #include "quant/lqnets_weight.h"
@@ -539,6 +544,88 @@ void write_step_report(const std::string& path, int steps) {
   std::cout << "wrote " << path << "\n";
 }
 
+// -------------------------------------------------------- infer report --
+
+// Serving latency of a finalized ResNet-20 (width 16, 16x16 synthetic
+// input): the float eval path (model.forward, eval mode, weights cached by
+// the dirty flag) against the int8 compiled graph, per batch size. The
+// acceptance bar from the runtime PR: int8 at or below float for batch >=
+// 16 on the serving path.
+void write_infer_report(const std::string& path, int iterations) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "could not open " << path << " for writing; skipping the "
+              << "infer report\n";
+    return;
+  }
+  const std::int64_t channels = 3, side = 16;
+  Rng rng(33);
+  std::vector<CsqWeightSource*> registry;
+  ModelConfig model_config;
+  model_config.base_width = 16;
+  // The paper's deployment regime: ~3-bit weight codes (an untrained
+  // free-mask model finalizes to full-span 8-bit codes, which forces the
+  // runtime's two-plane split on every layer — not the serving shape CSQ
+  // targets).
+  CsqWeightOptions weight_options;
+  weight_options.fixed_precision = 3;
+  Model model = make_resnet20(
+      model_config, csq_weight_factory(&registry, weight_options), nullptr,
+      rng);
+  for (CsqWeightSource* source : registry) source->finalize();
+
+  runtime::LowerOptions options;
+  options.in_channels = channels;
+  options.in_height = side;
+  options.in_width = side;
+  runtime::CompiledGraph graph = runtime::lower(model, options);
+  {
+    Rng calib_rng(34);
+    Tensor calib = random_tensor({8, channels, side, side}, calib_rng);
+    graph.calibrate(calib);
+  }
+
+  out << "{\n  \"model\": \"resnet20-w16-csq3b\",\n  \"image\": \"" << side << "x"
+      << side << "\",\n  \"threads\": " << global_pool().num_threads()
+      << ",\n  \"batches\": [\n";
+  bool first = true;
+  for (const std::int64_t batch : {1, 4, 16, 32}) {
+    Rng data_rng(35);
+    Tensor input = random_tensor({batch, channels, side, side}, data_rng);
+    graph.prepare(batch);
+
+    using clock = std::chrono::steady_clock;
+    const auto time_ms = [&](const std::function<void()>& fn) {
+      fn();  // warmup
+      const auto start = clock::now();
+      for (int i = 0; i < iterations; ++i) fn();
+      const auto stop = clock::now();
+      return std::chrono::duration<double, std::milli>(stop - start).count() /
+             static_cast<double>(iterations);
+    };
+
+    const double float_ms = time_ms([&] {
+      Tensor logits = model.forward(input, /*training=*/false);
+      benchmark::DoNotOptimize(logits.data());
+    });
+    const double int8_ms = time_ms([&] {
+      Tensor logits = graph.forward(input);
+      benchmark::DoNotOptimize(logits.data());
+    });
+
+    if (!first) out << ",\n";
+    first = false;
+    out << "    {\"batch\": " << batch << ", \"float_eval_ms\": " << float_ms
+        << ", \"int8_graph_ms\": " << int8_ms
+        << ", \"speedup\": " << float_ms / int8_ms << "}";
+    std::cout << "infer batch " << batch << ": float " << float_ms
+              << " ms, int8 " << int8_ms << " ms (x" << float_ms / int8_ms
+              << ")\n";
+  }
+  out << "\n  ]\n}\n";
+  std::cout << "wrote " << path << "\n";
+}
+
 void register_materialize_benchmarks() {
   for (const MaterializeFamily& family : materialize_families()) {
     for (const bool pooled : {false, true}) {
@@ -592,6 +679,7 @@ int main(int argc, char** argv) {
     csq::write_gemm_report("BENCH_gemm.json", /*min_ms=*/1.0);
     csq::write_step_report("BENCH_step.json", /*steps=*/1);
     csq::write_materialize_report("BENCH_materialize.json", /*min_ms=*/1.0);
+    csq::write_infer_report("BENCH_infer.json", /*iterations=*/1);
     return 0;
   }
   csq::register_materialize_benchmarks();
@@ -607,6 +695,7 @@ int main(int argc, char** argv) {
     csq::write_gemm_report("BENCH_gemm.json", /*min_ms=*/150.0);
     csq::write_step_report("BENCH_step.json", /*steps=*/40);
     csq::write_materialize_report("BENCH_materialize.json");
+    csq::write_infer_report("BENCH_infer.json", /*iterations=*/40);
   }
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

@@ -282,6 +282,15 @@ std::vector<std::int32_t> CsqWeightSource::integer_codes() const {
   return codes;
 }
 
+WeightCodes CsqWeightSource::finalized_codes() const {
+  WeightCodes result;
+  result.codes = integer_codes();
+  result.scale = scale_.value[0];
+  result.denominator = kDenominator;
+  result.bits = layer_precision();
+  return result;
+}
+
 WeightSourceFactory csq_weight_factory(
     std::vector<CsqWeightSource*>* registry,
     const CsqWeightOptions& options) {

@@ -56,9 +56,16 @@ class CsqWeightSource final : public WeightSource {
   void collect_parameters(std::vector<Parameter*>& out) override;
   const char* kind() const override { return "csq"; }
   std::int64_t weight_count() const override { return element_count_; }
+  std::vector<std::int64_t> weight_shape() const override { return shape_; }
   // Storage bits per weight under the *current* (hard-counted) bit mask —
   // the paper counts precision as sum_b I(m_B^(b) >= 0) throughout training.
   double bits_per_weight() const override { return layer_precision(); }
+  // Finalized sources are exactly s/255 * code — the fixed-point form the
+  // export container and the integer runtime consume.
+  bool has_finalized_codes() const override {
+    return mode_ == CsqMode::finalized;
+  }
+  WeightCodes finalized_codes() const override;
 
   // --- CSQ-specific API --------------------------------------------------
   void set_beta(float beta);

@@ -4,30 +4,37 @@
 #include <cmath>
 
 #include "quant/quantizer.h"
+#include "runtime/packed_weights.h"
+#include "tensor/gemm.h"
 #include "tensor/ops.h"
 #include "util/check.h"
 
 namespace csq {
 
 std::int64_t QuantizedLayerExport::storage_bits() const {
-  return static_cast<std::int64_t>(codes.size()) * bits + 32;
+  return static_cast<std::int64_t>(codes.size()) * bits + 64;
 }
 
 QuantizedLayerExport export_layer(const std::string& name,
-                                  const CsqWeightSource& source) {
+                                  const WeightSource& source) {
+  CSQ_CHECK(source.has_finalized_codes())
+      << "export_layer: " << name << " (" << source.kind()
+      << ") has no exact integer form — finalize it first";
+  WeightCodes codes = source.finalized_codes();
   QuantizedLayerExport layer;
   layer.name = name;
-  layer.shape = source.shape();
-  layer.codes = source.integer_codes();
-  layer.scale = source.scale();
-  layer.bits = source.layer_precision();
+  layer.shape = source.weight_shape();
+  layer.codes = std::move(codes.codes);
+  layer.scale = codes.scale;
+  layer.denominator = codes.denominator;
+  layer.bits = codes.bits;
   return layer;
 }
 
-float export_roundtrip_error(CsqWeightSource& source) {
+float export_roundtrip_error(WeightSource& source) {
   const Tensor& materialized = source.weight(/*training=*/false);
-  const std::vector<std::int32_t> codes = source.integer_codes();
-  const float factor = source.scale() / CsqWeightSource::kDenominator;
+  const WeightCodes codes = source.finalized_codes();
+  const float factor = codes.step();
   float max_diff = 0.0f;
   const float* w = materialized.data();
   for (std::int64_t i = 0; i < materialized.numel(); ++i) {
@@ -35,7 +42,8 @@ float export_roundtrip_error(CsqWeightSource& source) {
     // it, fp-contract fuses the multiply into the subtraction (FMA) and
     // reports a phantom 1-ulp "difference" against the stored weight.
     volatile float reconstructed =
-        factor * static_cast<float>(codes[static_cast<std::size_t>(i)]);
+        factor *
+        static_cast<float>(codes.codes[static_cast<std::size_t>(i)]);
     max_diff = std::max(max_diff, std::fabs(w[i] - reconstructed));
   }
   return max_diff;
@@ -43,18 +51,29 @@ float export_roundtrip_error(CsqWeightSource& source) {
 
 namespace {
 
-// Quantizes activations to integer codes in [0, 2^bits - 1] over [0, clip].
-std::vector<std::int32_t> activation_codes(const Tensor& input, int act_bits,
+// Quantizes activations to uint8 codes in [0, 2^bits - 1] over [0, clip].
+std::vector<std::uint8_t> activation_codes(const Tensor& input, int act_bits,
                                            float act_clip) {
   CSQ_CHECK(act_clip > 0.0f) << "integer forward: bad activation clip";
+  CSQ_CHECK(act_bits >= 1 && act_bits <= 8)
+      << "integer forward: activation codes live in uint8 (1..8 bits)";
   const auto levels = static_cast<float>(levels_per_side(act_bits));
-  std::vector<std::int32_t> codes(static_cast<std::size_t>(input.numel()));
+  std::vector<std::uint8_t> codes(static_cast<std::size_t>(input.numel()));
   const float* in = input.data();
   for (std::int64_t i = 0; i < input.numel(); ++i) {
     const float normalized = std::clamp(in[i] / act_clip, 0.0f, 1.0f);
     codes[static_cast<std::size_t>(i)] =
-        static_cast<std::int32_t>(std::lround(normalized * levels));
+        static_cast<std::uint8_t>(std::lround(normalized * levels));
   }
+  return codes;
+}
+
+WeightCodes to_weight_codes(const QuantizedLayerExport& layer) {
+  WeightCodes codes;
+  codes.codes = layer.codes;
+  codes.scale = layer.scale;
+  codes.denominator = layer.denominator;
+  codes.bits = layer.bits;
   return codes;
 }
 
@@ -63,35 +82,37 @@ std::vector<std::int32_t> activation_codes(const Tensor& input, int act_bits,
 Tensor integer_linear_forward(const QuantizedLayerExport& layer,
                               const Tensor& input, int act_bits,
                               float act_clip) {
-  CSQ_CHECK(layer.shape.size() == 2 || layer.shape.empty())
+  CSQ_CHECK(layer.shape.size() == 2)
       << "integer_linear_forward expects a 2-d (OUT,IN) export";
   CSQ_CHECK(input.ndim() == 2) << "integer forward expects (B, IN)";
-  const std::int64_t out_features =
-      layer.shape.empty() ? 0 : layer.shape[0];
-  const std::int64_t in_features = layer.shape.empty() ? 0 : layer.shape[1];
+  const std::int64_t out_features = layer.shape[0];
+  const std::int64_t in_features = layer.shape[1];
   CSQ_CHECK(in_features == input.dim(1))
       << "integer forward: in_features mismatch";
   const std::int64_t batch = input.dim(0);
 
-  const std::vector<std::int32_t> act = activation_codes(input, act_bits,
-                                                         act_clip);
-  const float weight_step = layer.scale / CsqWeightSource::kDenominator;
+  const std::vector<std::uint8_t> act =
+      activation_codes(input, act_bits, act_clip);
+  const runtime::PackedIntWeights weights(to_weight_codes(layer),
+                                          out_features, in_features);
   const float act_step =
       act_clip / static_cast<float>(levels_per_side(act_bits));
-  const float combined_scale = weight_step * act_step;
+  const float combined_scale = weights.effective_step() * act_step;
+
+  // acc(OUT, B) = codes(OUT, IN) * act^T — the runtime's int8 GEMM with
+  // exact int32 accumulation.
+  std::vector<std::int32_t> acc(
+      static_cast<std::size_t>(out_features * batch));
+  weights.gemm(Trans::yes, batch, act.data(), in_features, acc.data(), batch,
+               /*pooled=*/false);
 
   Tensor output({batch, out_features});
   float* out = output.data();
   for (std::int64_t b = 0; b < batch; ++b) {
-    const std::int32_t* act_row = act.data() + b * in_features;
     for (std::int64_t o = 0; o < out_features; ++o) {
-      const std::int32_t* w_row = layer.codes.data() + o * in_features;
-      std::int64_t acc = 0;  // |w|<=255, |a|<=65535: int64 is ample headroom
-      for (std::int64_t i = 0; i < in_features; ++i) {
-        acc += static_cast<std::int64_t>(w_row[i]) * act_row[i];
-      }
       out[b * out_features + o] =
-          combined_scale * static_cast<float>(acc);
+          combined_scale *
+          static_cast<float>(acc[static_cast<std::size_t>(o * batch + b)]);
     }
   }
   return output;
@@ -105,7 +126,7 @@ Tensor reference_linear_forward(const QuantizedLayerExport& layer,
   CSQ_CHECK(in_features == input.dim(1))
       << "reference forward: in_features mismatch";
   const std::int64_t batch = input.dim(0);
-  const float weight_step = layer.scale / CsqWeightSource::kDenominator;
+  const float weight_step = layer.step();
 
   Tensor output({batch, out_features});
   float* out = output.data();

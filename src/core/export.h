@@ -1,19 +1,21 @@
-// Fixed-point export of a finalized CSQ model.
+// Fixed-point export of finalized quantized models.
 //
-// A finalized CsqWeightSource stores its weight as integer codes
-// |q| <= 2^8 - 1 times s/255. This module packages those codes, verifies
-// that the float materialization is bit-exact with the integer
-// reconstruction (the paper's "exact quantized model" property), and
-// provides an integer-arithmetic linear/conv forward (int32 accumulation)
-// demonstrating the fixed-point deployment path the paper's introduction
-// motivates.
+// A finalized weight source stores its weights as integer codes times
+// scale / denominator (the paper's "exact quantized model" property, surfaced
+// through WeightSource::finalized_codes — any fixed-grid family exports, not
+// just CSQ). This module packages those codes for serialization (model_io.h),
+// verifies that the float materialization is bit-exact with the integer
+// reconstruction, and provides an integer-arithmetic linear forward built on
+// the runtime's int8 GEMM (runtime/packed_weights.h) — the single-layer
+// demonstrator of the fixed-point deployment path; the whole-network story
+// lives in runtime/compiled_graph.h.
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <vector>
 
-#include "core/csq_weight.h"
+#include "nn/weight_source.h"
 #include "tensor/tensor.h"
 
 namespace csq {
@@ -22,25 +24,32 @@ struct QuantizedLayerExport {
   std::string name;
   std::vector<std::int64_t> shape;
   std::vector<std::int32_t> codes;  // integer weight codes, |q| <= 255
-  float scale = 1.0f;               // s: w = scale * code / 255
+  float scale = 1.0f;               // w = scale * code / denominator
+  float denominator = 255.0f;       // 2^n - 1 of the layer's grid
   int bits = 0;                     // precision of the layer's scheme
+
+  // Real value of one quantization step.
+  float step() const { return scale / denominator; }
   // Storage estimate: bits * elements for codes (sign handled by the
-  // positive/negative planes) plus one float scale.
+  // positive/negative planes) plus the two per-layer floats of the v2
+  // container (scale + grid denominator).
   std::int64_t storage_bits() const;
 };
 
-// Requires the source to be finalized.
+// Packages the source's integer form. Requires has_finalized_codes().
 QuantizedLayerExport export_layer(const std::string& name,
-                                  const CsqWeightSource& source);
+                                  const WeightSource& source);
 
-// Checks bit-exact agreement between the source's float materialization and
-// scale/255 * codes. Returns the max abs difference (0.0 when exact).
-float export_roundtrip_error(CsqWeightSource& source);
+// Checks agreement between the source's float materialization and
+// step() * codes. Returns the max abs difference — exactly 0.0 for finalized
+// CSQ sources (integer-first materialization); at worst one float rounding
+// per element for the other fixed-grid families.
+float export_roundtrip_error(WeightSource& source);
 
 // Integer-arithmetic fully-connected forward:
 //   1. quantize the input activations to unsigned `act_bits` codes over
-//      [0, act_clip],
-//   2. accumulate int32 dot products of weight codes and activation codes,
+//      [0, act_clip] (act_bits <= 8: codes live in uint8),
+//   2. run the runtime's int8-code GEMM with int32 accumulation,
 //   3. dequantize with the combined scale.
 // Matches the float path up to activation-quantization error only.
 Tensor integer_linear_forward(const QuantizedLayerExport& layer,

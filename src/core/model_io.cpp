@@ -10,7 +10,9 @@ namespace csq {
 namespace {
 
 constexpr char kMagic[4] = {'C', 'S', 'Q', 'M'};
-constexpr std::uint32_t kVersion = 1;
+// v1: scale only (denominator fixed at 255); v2 adds the per-layer grid
+// denominator so non-CSQ families (STE-Uniform's 2^n - 1 grids) roundtrip.
+constexpr std::uint32_t kVersion = 2;
 // Sanity bounds for reading untrusted files.
 constexpr std::uint32_t kMaxLayers = 1 << 16;
 constexpr std::uint32_t kMaxNameLength = 1 << 12;
@@ -36,11 +38,11 @@ std::vector<QuantizedLayerExport> export_model(Model& model) {
   std::vector<QuantizedLayerExport> layers;
   layers.reserve(model.quant_layers().size());
   for (const QuantLayer& layer : model.quant_layers()) {
-    auto* source = dynamic_cast<CsqWeightSource*>(layer.source);
-    CSQ_CHECK(source != nullptr)
-        << "export_model: layer " << layer.name << " is not a CSQ source ("
-        << layer.source->kind() << ")";
-    layers.push_back(export_layer(layer.name, *source));
+    CSQ_CHECK(layer.source->has_finalized_codes())
+        << "export_model: layer " << layer.name << " ("
+        << layer.source->kind()
+        << ") has no exact integer form — finalize the model first";
+    layers.push_back(export_layer(layer.name, *layer.source));
   }
   return layers;
 }
@@ -65,6 +67,7 @@ bool save_quantized_model(const std::string& path,
     for (const std::int64_t dim : layer.shape) write_pod(out, dim);
     write_pod(out, static_cast<std::int32_t>(layer.bits));
     write_pod(out, layer.scale);
+    write_pod(out, layer.denominator);
     for (const std::int32_t code : layer.codes) {
       CSQ_CHECK(code >= -255 && code <= 255)
           << "save: layer " << layer.name << " code " << code
@@ -86,7 +89,7 @@ std::vector<QuantizedLayerExport> load_quantized_model(
   CSQ_CHECK(in && std::equal(magic, magic + 4, kMagic))
       << "quantized model file: bad magic";
   const auto version = read_pod<std::uint32_t>(in);
-  CSQ_CHECK(version == kVersion)
+  CSQ_CHECK(version == 1 || version == kVersion)
       << "quantized model file: unsupported version " << version;
   const auto layer_count = read_pod<std::uint32_t>(in);
   CSQ_CHECK(layer_count <= kMaxLayers)
@@ -118,6 +121,11 @@ std::vector<QuantizedLayerExport> load_quantized_model(
     CSQ_CHECK(layer.bits >= 0 && layer.bits <= 8)
         << "quantized model file: bits out of range";
     layer.scale = read_pod<float>(in);
+    if (version >= 2) {
+      layer.denominator = read_pod<float>(in);
+      CSQ_CHECK(layer.denominator >= 1.0f && layer.denominator <= 255.0f)
+          << "quantized model file: bad grid denominator";
+    }  // v1 files fixed the denominator at 255 (the struct default)
 
     layer.codes.resize(static_cast<std::size_t>(count));
     for (std::int64_t i = 0; i < count; ++i) {

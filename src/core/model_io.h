@@ -8,8 +8,10 @@
 // Format (little-endian):
 //   magic "CSQM" | u32 version | u32 layer_count
 //   per layer: u32 name_len | name bytes | u32 ndim | i64 dims[ndim]
-//              | i32 bits | f32 scale | i16 codes[numel]
-// Codes fit i16 (|q| <= 255 by construction; checked on save).
+//              | i32 bits | f32 scale | f32 denominator (v2+)
+//              | i16 codes[numel]
+// Codes fit i16 (|q| <= 255 by construction; checked on save). v1 files
+// (CSQ-only, denominator fixed at 255) still load.
 #pragma once
 
 #include <string>
@@ -20,8 +22,9 @@
 
 namespace csq {
 
-// Exports every (finalized) CSQ layer of a model, in registry order.
-// Throws if any quant layer is not a finalized CsqWeightSource.
+// Exports every quantizable layer of a model, in registry order. Throws if
+// any quant layer has no exact integer form (WeightSource::
+// has_finalized_codes — finalized CSQ, BSQ, STE-Uniform all qualify).
 std::vector<QuantizedLayerExport> export_model(Model& model);
 
 // Serializes to `path`. Returns false on I/O failure; throws check_error on

@@ -1,8 +1,11 @@
 #include "nn/activations.h"
 
+#include "nn/lowering.h"
 #include "util/check.h"
 
 namespace csq {
+
+void ReLU::lower(GraphLowering& lowering) { lowering.lower_relu(); }
 
 Tensor ReLU::forward(const Tensor& input, bool training) {
   Tensor output(input.shape());

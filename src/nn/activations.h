@@ -12,6 +12,7 @@ class ReLU final : public Module {
   Tensor forward(const Tensor& input, bool training) override;
   Tensor backward(const Tensor& grad_output) override;
   const char* kind() const override { return "relu"; }
+  void lower(GraphLowering& lowering) override;
 
  private:
   Tensor cached_mask_;  // 1 where input > 0

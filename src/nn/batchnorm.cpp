@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "nn/lowering.h"
 #include "util/check.h"
 #include "util/thread_pool.h"
 
@@ -167,6 +168,10 @@ Tensor BatchNorm2d::backward(const Tensor& grad_output) {
 void BatchNorm2d::collect_parameters(std::vector<Parameter*>& out) {
   out.push_back(&gamma_);
   out.push_back(&beta_);
+}
+
+void BatchNorm2d::lower(GraphLowering& lowering) {
+  lowering.lower_batchnorm(*this);
 }
 
 }  // namespace csq

@@ -15,9 +15,13 @@ class BatchNorm2d final : public Module {
   Tensor backward(const Tensor& grad_output) override;
   void collect_parameters(std::vector<Parameter*>& out) override;
   const char* kind() const override { return "batchnorm2d"; }
+  void lower(GraphLowering& lowering) override;
 
   const Tensor& running_mean() const { return running_mean_; }
   const Tensor& running_var() const { return running_var_; }
+  const Tensor& gamma() const { return gamma_.value; }
+  const Tensor& beta() const { return beta_.value; }
+  float epsilon() const { return epsilon_; }
 
  private:
   std::int64_t channels_;

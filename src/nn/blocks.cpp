@@ -3,12 +3,27 @@
 #include "nn/activations.h"
 #include "nn/batchnorm.h"
 #include "nn/conv2d.h"
+#include "nn/lowering.h"
 #include "tensor/ops.h"
 #include "util/check.h"
 
 namespace csq {
 
 namespace {
+
+// Shared fork/join lowering: the main branch, then the (possibly identity)
+// skip branch, then the joined ReLU / activation quantizer.
+void block_lower(GraphLowering& lowering, Sequential& main,
+                 Sequential* downsample, Module& out_relu,
+                 Module* out_act_quant) {
+  lowering.begin_residual();
+  main.lower(lowering);
+  lowering.begin_skip();
+  if (downsample != nullptr) downsample->lower(lowering);
+  lowering.end_residual();
+  out_relu.lower(lowering);
+  if (out_act_quant != nullptr) out_act_quant->lower(lowering);
+}
 
 // Shared fork/join logic for both block types.
 Tensor block_forward(Sequential& main, Sequential* downsample,
@@ -121,6 +136,11 @@ void BasicBlock::collect_parameters(std::vector<Parameter*>& out) {
   if (out_act_quant_) out_act_quant_->collect_parameters(out);
 }
 
+void BasicBlock::lower(GraphLowering& lowering) {
+  block_lower(lowering, main_, downsample_.get(), *out_relu_,
+              out_act_quant_.get());
+}
+
 Bottleneck::Bottleneck(const std::string& name, const BlockConfig& config,
                        const WeightSourceFactory& weight_factory,
                        const ActQuantFactory& act_factory, Rng& rng)
@@ -183,6 +203,11 @@ void Bottleneck::collect_parameters(std::vector<Parameter*>& out) {
   main_.collect_parameters(out);
   if (downsample_) downsample_->collect_parameters(out);
   if (out_act_quant_) out_act_quant_->collect_parameters(out);
+}
+
+void Bottleneck::lower(GraphLowering& lowering) {
+  block_lower(lowering, main_, downsample_.get(), *out_relu_,
+              out_act_quant_.get());
 }
 
 }  // namespace csq

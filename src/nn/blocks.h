@@ -38,6 +38,7 @@ class BasicBlock final : public Module {
   Tensor backward(const Tensor& grad_output) override;
   void collect_parameters(std::vector<Parameter*>& out) override;
   const char* kind() const override { return "basic_block"; }
+  void lower(GraphLowering& lowering) override;
 
  private:
   Sequential main_;
@@ -58,6 +59,7 @@ class Bottleneck final : public Module {
   Tensor backward(const Tensor& grad_output) override;
   void collect_parameters(std::vector<Parameter*>& out) override;
   const char* kind() const override { return "bottleneck"; }
+  void lower(GraphLowering& lowering) override;
 
  private:
   Sequential main_;

@@ -1,5 +1,6 @@
 #include "nn/conv2d.h"
 
+#include "nn/lowering.h"
 #include "tensor/gemm.h"
 #include "tensor/ops.h"
 #include "util/check.h"
@@ -233,5 +234,7 @@ void Conv2d::collect_parameters(std::vector<Parameter*>& out) {
   weight_source_->collect_parameters(out);
   if (has_bias_) out.push_back(&bias_);
 }
+
+void Conv2d::lower(GraphLowering& lowering) { lowering.lower_conv2d(*this); }
 
 }  // namespace csq

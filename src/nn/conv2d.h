@@ -37,9 +37,14 @@ class Conv2d final : public Module {
   Tensor backward(const Tensor& grad_output) override;
   void collect_parameters(std::vector<Parameter*>& out) override;
   const char* kind() const override { return "conv2d"; }
+  void lower(GraphLowering& lowering) override;
 
   WeightSource& source() { return *weight_source_; }
   const Conv2dConfig& config() const { return config_; }
+  // Optional bias as a flat span (nullptr when the layer is bias-free).
+  const float* bias_data() const {
+    return has_bias_ ? bias_.value.data() : nullptr;
+  }
   Workspace& workspace() { return ws_; }
 
  private:

@@ -1,5 +1,6 @@
 #include "nn/linear.h"
 
+#include "nn/lowering.h"
 #include "tensor/gemm.h"
 #include "tensor/ops.h"
 #include "util/check.h"
@@ -94,5 +95,7 @@ void Linear::collect_parameters(std::vector<Parameter*>& out) {
   weight_source_->collect_parameters(out);
   if (has_bias_) out.push_back(&bias_);
 }
+
+void Linear::lower(GraphLowering& lowering) { lowering.lower_linear(*this); }
 
 }  // namespace csq

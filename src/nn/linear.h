@@ -22,10 +22,15 @@ class Linear final : public Module {
   Tensor backward(const Tensor& grad_output) override;
   void collect_parameters(std::vector<Parameter*>& out) override;
   const char* kind() const override { return "linear"; }
+  void lower(GraphLowering& lowering) override;
 
   WeightSource& source() { return *weight_source_; }
   std::int64_t in_features() const { return in_features_; }
   std::int64_t out_features() const { return out_features_; }
+  // Optional bias as a flat span (nullptr when the layer is bias-free).
+  const float* bias_data() const {
+    return has_bias_ ? bias_.value.data() : nullptr;
+  }
   Workspace& workspace() { return ws_; }
 
  private:

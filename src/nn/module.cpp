@@ -1,0 +1,14 @@
+#include "nn/module.h"
+
+#include "nn/lowering.h"
+#include "util/check.h"
+
+namespace csq {
+
+void Module::lower(GraphLowering& lowering) {
+  (void)lowering;
+  CSQ_CHECK(false) << "module " << name() << " (" << kind()
+                   << ") has no integer lowering";
+}
+
+}  // namespace csq

@@ -18,6 +18,8 @@
 
 namespace csq {
 
+class GraphLowering;
+
 class Module {
  public:
   virtual ~Module() = default;
@@ -40,6 +42,13 @@ class Module {
 
   // Short type tag ("conv2d", "relu", ...) for debug printouts.
   virtual const char* kind() const = 0;
+
+  // Describes this module to an integer-lowering sink (nn/lowering.h) in
+  // execution order. The default implementation throws: a module without an
+  // override cannot be lowered into the integer runtime, and the error names
+  // it. Containers forward to their children; leaves call the matching
+  // GraphLowering hook.
+  virtual void lower(GraphLowering& lowering);
 
   // Dotted instance path assigned by the model builder, e.g.
   // "layer1.0.conv1" — matches the layer naming in the paper's Figure 4.

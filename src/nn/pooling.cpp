@@ -2,9 +2,20 @@
 
 #include <limits>
 
+#include "nn/lowering.h"
 #include "util/check.h"
 
 namespace csq {
+
+void MaxPool2d::lower(GraphLowering& lowering) {
+  lowering.lower_maxpool(kernel_);
+}
+
+void GlobalAvgPool::lower(GraphLowering& lowering) {
+  lowering.lower_global_avg_pool();
+}
+
+void Flatten::lower(GraphLowering& lowering) { lowering.lower_flatten(); }
 
 MaxPool2d::MaxPool2d(const std::string& name, std::int64_t kernel)
     : kernel_(kernel) {

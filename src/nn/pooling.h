@@ -16,6 +16,7 @@ class MaxPool2d final : public Module {
   Tensor forward(const Tensor& input, bool training) override;
   Tensor backward(const Tensor& grad_output) override;
   const char* kind() const override { return "maxpool2d"; }
+  void lower(GraphLowering& lowering) override;
 
  private:
   std::int64_t kernel_;
@@ -31,6 +32,7 @@ class GlobalAvgPool final : public Module {
   Tensor forward(const Tensor& input, bool training) override;
   Tensor backward(const Tensor& grad_output) override;
   const char* kind() const override { return "global_avg_pool"; }
+  void lower(GraphLowering& lowering) override;
 
  private:
   std::vector<std::int64_t> cached_input_shape_;
@@ -44,6 +46,7 @@ class Flatten final : public Module {
   Tensor forward(const Tensor& input, bool training) override;
   Tensor backward(const Tensor& grad_output) override;
   const char* kind() const override { return "flatten"; }
+  void lower(GraphLowering& lowering) override;
 
  private:
   std::vector<std::int64_t> cached_input_shape_;

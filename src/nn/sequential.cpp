@@ -2,6 +2,10 @@
 
 namespace csq {
 
+void Sequential::lower(GraphLowering& lowering) {
+  for (auto& module : modules_) module->lower(lowering);
+}
+
 Tensor Sequential::forward(const Tensor& input, bool training) {
   Tensor current = input;
   for (auto& module : modules_) {

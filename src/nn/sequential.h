@@ -25,6 +25,7 @@ class Sequential final : public Module {
   Tensor backward(const Tensor& grad_output) override;
   void collect_parameters(std::vector<Parameter*>& out) override;
   const char* kind() const override { return "sequential"; }
+  void lower(GraphLowering& lowering) override;
 
   std::size_t size() const { return modules_.size(); }
   Module& module(std::size_t index) { return *modules_[index]; }

@@ -6,6 +6,12 @@
 
 namespace csq {
 
+WeightCodes WeightSource::finalized_codes() const {
+  CSQ_CHECK(false) << "weight source kind '" << kind()
+                   << "' has no exact integer fixed-point form";
+  return {};
+}
+
 DenseWeightSource::DenseWeightSource(const std::string& name,
                                      std::vector<std::int64_t> shape,
                                      std::int64_t fan_in, Rng& rng) {

@@ -19,6 +19,24 @@
 
 namespace csq {
 
+// Exact fixed-point form of a weight tensor:
+//   weight[i] = scale / denominator * codes[i]
+// with integer codes |q| <= denominator (the sign-magnitude grid of the
+// paper's Eq. 1). This is the contract the export container and the integer
+// inference runtime consume; a source that answers has_finalized_codes()
+// must reproduce its weight(false) materialization from this form up to (at
+// worst) one float rounding per element — finalized CSQ sources reproduce it
+// bit-exactly.
+struct WeightCodes {
+  std::vector<std::int32_t> codes;
+  float scale = 1.0f;
+  float denominator = 255.0f;
+  int bits = 0;  // occupied bits per weight (storage accounting)
+
+  // Real value of one quantization step.
+  float step() const { return scale / denominator; }
+};
+
 class WeightSource {
  public:
   virtual ~WeightSource() = default;
@@ -42,9 +60,22 @@ class WeightSource {
   // Number of weight elements provided by this source.
   virtual std::int64_t weight_count() const = 0;
 
+  // Shape of the weight tensor ((OC,IC,KH,KW) for conv, (OUT,IN) for
+  // linear). Used by the export/lowering paths.
+  virtual std::vector<std::int64_t> weight_shape() const = 0;
+
   // Storage cost per weight element, in bits, under the source's current
   // quantization state (32 for dense). Drives the Comp(x) columns.
   virtual double bits_per_weight() const { return 32.0; }
+
+  // True when the source's CURRENT weights have an exact integer fixed-point
+  // form (finalized CSQ, BSQ's rounded planes, STE-Uniform's fake-quant
+  // grid). Replaces the former dynamic_cast<CsqWeightSource*> coupling in
+  // export/model_io, so any fixed-grid family can export and lower.
+  virtual bool has_finalized_codes() const { return false; }
+
+  // The integer form itself. Throws unless has_finalized_codes().
+  virtual WeightCodes finalized_codes() const;
 
   // Number of times this source actually rebuilt its weight tensor. Eval
   // dirty-flag observability: an eval-mode weight() whose inputs (parameter
@@ -99,6 +130,9 @@ class DenseWeightSource final : public WeightSource {
   void collect_parameters(std::vector<Parameter*>& out) override;
   const char* kind() const override { return "dense"; }
   std::int64_t weight_count() const override { return weight_.value.numel(); }
+  std::vector<std::int64_t> weight_shape() const override {
+    return weight_.value.shape();
+  }
 
   Parameter& parameter() { return weight_; }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "nn/lowering.h"
 #include "quant/quantizer.h"
 #include "tensor/ops.h"
 #include "util/check.h"
@@ -59,6 +60,15 @@ Tensor FixedActQuant::backward(const Tensor& grad_output) {
   return grad;
 }
 
+void FixedActQuant::lower(GraphLowering& lowering) {
+  // A never-calibrated quantizer (range still at its construction default)
+  // would pin a meaningless clip; runtime calibration handles that edge
+  // instead.
+  if (quantize_enabled_ && range_initialized_) {
+    lowering.lower_act_quant(bits_, range_);
+  }
+}
+
 PactActQuant::PactActQuant(const std::string& name, int bits, float alpha_init)
     : bits_(bits),
       alpha_(name + ".alpha", Tensor::from_data({1}, {alpha_init}),
@@ -113,6 +123,10 @@ Tensor PactActQuant::backward(const Tensor& grad_output) {
 
 void PactActQuant::collect_parameters(std::vector<Parameter*>& out) {
   out.push_back(&alpha_);
+}
+
+void PactActQuant::lower(GraphLowering& lowering) {
+  lowering.lower_act_quant(bits_, std::max(alpha_.value[0], 1e-3f));
 }
 
 ActQuantFactory fixed_act_quant_factory(

@@ -24,6 +24,7 @@ class FixedActQuant final : public Module {
   Tensor forward(const Tensor& input, bool training) override;
   Tensor backward(const Tensor& grad_output) override;
   const char* kind() const override { return "fixed_act_quant"; }
+  void lower(GraphLowering& lowering) override;
 
   int bits() const { return bits_; }
   float range() const { return range_; }
@@ -48,6 +49,7 @@ class PactActQuant final : public Module {
   Tensor backward(const Tensor& grad_output) override;
   void collect_parameters(std::vector<Parameter*>& out) override;
   const char* kind() const override { return "pact_act_quant"; }
+  void lower(GraphLowering& lowering) override;
 
   float alpha() const { return alpha_.value[0]; }
 

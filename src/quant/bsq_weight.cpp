@@ -111,6 +111,33 @@ void BsqWeightSource::collect_parameters(std::vector<Parameter*>& out) {
   }
 }
 
+WeightCodes BsqWeightSource::finalized_codes() const {
+  WeightCodes result;
+  // Integer-first accumulation of the rounded planes,
+  //   code_i = sum_{b active} 2^b * (round(clamp(p_b, 0, 1)) -
+  //                                  round(clamp(n_b, 0, 1))),
+  // mirroring the round_clip gates of reconstruct(). Deliberately does not
+  // touch the engine: its plane staging may belong to an in-flight training
+  // step whose backward still routes through it.
+  result.codes.assign(static_cast<std::size_t>(element_count_), 0);
+  for (int b = 0; b < kMaxBits; ++b) {
+    if (!active_[static_cast<std::size_t>(b)]) continue;
+    const float* p = pos_[static_cast<std::size_t>(b)].value.data();
+    const float* n = neg_[static_cast<std::size_t>(b)].value.data();
+    const std::int32_t weight = std::int32_t{1} << b;
+    for (std::int64_t i = 0; i < element_count_; ++i) {
+      const int bit_pos = std::lround(std::clamp(p[i], 0.0f, 1.0f));
+      const int bit_neg = std::lround(std::clamp(n[i], 0.0f, 1.0f));
+      result.codes[static_cast<std::size_t>(i)] +=
+          weight * (bit_pos - bit_neg);
+    }
+  }
+  result.scale = scale_.value[0];
+  result.denominator = kDenominator;
+  result.bits = active_bits();
+  return result;
+}
+
 int BsqWeightSource::active_bits() const {
   int count = 0;
   for (const bool active : active_) count += active ? 1 : 0;

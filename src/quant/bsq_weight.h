@@ -32,7 +32,13 @@ class BsqWeightSource final : public WeightSource {
   void collect_parameters(std::vector<Parameter*>& out) override;
   const char* kind() const override { return "bsq"; }
   std::int64_t weight_count() const override { return element_count_; }
+  std::vector<std::int64_t> weight_shape() const override { return shape_; }
   double bits_per_weight() const override { return active_bits(); }
+  // BSQ's rounded bit planes sit on the s/255 grid at every step, so the
+  // integer form exists in any mode (reconstruction exact up to the float
+  // plane-sum order of the soft materializer — at worst 1 ulp per element).
+  bool has_finalized_codes() const override { return true; }
+  WeightCodes finalized_codes() const override;
 
   int active_bits() const;
   bool bit_active(int bit) const { return active_[static_cast<std::size_t>(bit)]; }

@@ -23,6 +23,9 @@ class LqNetsWeightSource final : public WeightSource {
   void collect_parameters(std::vector<Parameter*>& out) override;
   const char* kind() const override { return "lqnets"; }
   std::int64_t weight_count() const override { return latent_.value.numel(); }
+  std::vector<std::int64_t> weight_shape() const override {
+    return latent_.value.shape();
+  }
   double bits_per_weight() const override { return bits_; }
 
   // Current learned basis (size n), exposed for tests.

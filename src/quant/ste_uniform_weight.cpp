@@ -1,5 +1,9 @@
 #include "quant/ste_uniform_weight.h"
 
+#include <algorithm>
+#include <cmath>
+
+#include "quant/quantizer.h"
 #include "tensor/init.h"
 #include "tensor/quant_kernels.h"
 #include "util/check.h"
@@ -51,6 +55,27 @@ void SteUniformWeightSource::backward(const Tensor& grad_weight) {
 void SteUniformWeightSource::collect_parameters(
     std::vector<Parameter*>& out) {
   out.push_back(&latent_);
+}
+
+WeightCodes SteUniformWeightSource::finalized_codes() const {
+  const std::int64_t count = latent_.value.numel();
+  const float* latent = latent_.value.data();
+  // Same dynamic scale as weight(): the serial max is exactly the chunked
+  // reduction's result (float max is order-independent).
+  float max_abs = 0.0f;
+  for (std::int64_t i = 0; i < count; ++i) {
+    max_abs = std::max(max_abs, std::fabs(latent[i]));
+  }
+  WeightCodes result;
+  result.scale = max_abs > 0.0f ? max_abs : 1.0f;
+  result.denominator = static_cast<float>(levels_per_side(bits_));
+  result.bits = bits_;
+  result.codes.resize(static_cast<std::size_t>(count));
+  for (std::int64_t i = 0; i < count; ++i) {
+    result.codes[static_cast<std::size_t>(i)] = static_cast<std::int32_t>(
+        symmetric_code(latent[i], result.scale, bits_));
+  }
+  return result;
 }
 
 WeightSourceFactory ste_uniform_weight_factory(int bits) {

@@ -25,7 +25,14 @@ class SteUniformWeightSource final : public WeightSource {
   void collect_parameters(std::vector<Parameter*>& out) override;
   const char* kind() const override { return "ste_uniform"; }
   std::int64_t weight_count() const override { return latent_.value.numel(); }
+  std::vector<std::int64_t> weight_shape() const override {
+    return latent_.value.shape();
+  }
   double bits_per_weight() const override { return bits_; }
+  // The fake-quant forward IS a uniform grid: codes exist at every step
+  // (scale = dynamic max-abs of the latent, denominator = 2^bits - 1).
+  bool has_finalized_codes() const override { return true; }
+  WeightCodes finalized_codes() const override;
 
   int bits() const { return bits_; }
 

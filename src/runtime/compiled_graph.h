@@ -1,0 +1,129 @@
+// Integer inference runtime: lowering a finalized float Model into an
+// int8 compiled graph with a serving-grade batched forward.
+//
+// `lower(model, options)` walks the module tree through the nn lowering seam
+// (nn/lowering.h) and emits a flat list of integer ops over typed edges:
+//
+//   * Conv2d / Linear  -> int8 weight-code GEMMs (runtime/packed_weights.h)
+//                         with int32 accumulation into an i32 edge;
+//   * BatchNorm2d      -> folded into the consuming requantization's
+//                         per-channel scale/bias (running statistics — the
+//                         eval-mode semantics);
+//   * ReLU             -> fused into the requantization clamp;
+//   * activation       -> uint8 codes with a per-edge scale; act-quant
+//     flow                modules pin their edge's scale (clip / levels),
+//                         remaining edges take calibrated ranges;
+//   * residual joins   -> integer re-scaled adds inside the requantization.
+//
+// Execution: `forward` runs the integer path — quantize input once, then
+// uint8 GEMM operands, int32 accumulators and one fused scale/clamp pass per
+// layer. Every activation buffer and scratch stripe is drawn from a
+// grow-once Workspace, so a steady-state batched forward performs ZERO heap
+// allocations (asserted by the operator-new counter tests). Serial and
+// pooled execution are bit-identical (integer arithmetic plus the fixed
+// blocking of the int8 GEMM).
+//
+// Calibration: `calibrate` runs the float reference walk of the same
+// lowered ops (dequantized weights, folded BN) recording per-edge activation
+// ranges; edges without an act-quant-pinned scale take range / levels. The
+// input edge is affine (scale + zero point) since images are signed;
+// interior edges are post-ReLU and unsigned.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "nn/model.h"
+#include "tensor/tensor.h"
+
+namespace csq {
+namespace runtime {
+
+struct LowerOptions {
+  // Per-sample input extents (the module tree is shape-polymorphic; the
+  // compiled graph is not).
+  std::int64_t in_channels = 3;
+  std::int64_t in_height = 32;
+  std::int64_t in_width = 32;
+  // Activation code width; codes are stored in uint8, so at most 8.
+  int act_bits = 8;
+  // Thread-pool execution (flippable later via set_pooled).
+  bool pooled = true;
+};
+
+class CompiledGraph {
+ public:
+  CompiledGraph(CompiledGraph&&) noexcept;
+  CompiledGraph& operator=(CompiledGraph&&) noexcept;
+  ~CompiledGraph();
+
+  // Integer forward: float images (B, C, H, W) -> float logits. Requires
+  // every edge scale to be resolved (calibrate() or act-quant everywhere
+  // plus a calibrated input edge — in practice: call calibrate first).
+  Tensor forward(const Tensor& input);
+
+  // Float walk of the SAME lowered ops (dequantized weights, folded BN,
+  // fused ReLU) with no activation quantization: the reference the parity
+  // tests compare against.
+  Tensor forward_reference(const Tensor& input);
+
+  // Records activation ranges from a float reference walk and resolves the
+  // scale of every non-pinned edge. Multiple calls accumulate ranges.
+  void calibrate(const Tensor& batch);
+
+  // Grows every activation buffer for batches up to `batch`. STEADY-STATE
+  // forwards at or below that size perform zero heap allocations; the first
+  // forward per pool thread may still grow thread-local GEMM packing
+  // scratch and the pooled output span, so latency-critical deployments
+  // should warm with one real forward (the allocation-regression test
+  // measures after exactly that warmup). forward() prepares on demand, so
+  // this is an optional hook.
+  void prepare(std::int64_t batch);
+
+  void set_pooled(bool pooled);
+
+  // Growth events of the activation/scratch workspace (flat in steady
+  // state; the allocation regression tests assert on it).
+  std::uint64_t buffer_growth_count() const;
+
+  // ---- introspection ----------------------------------------------------
+  struct LayerInfo {
+    std::string name;
+    int bits = 0;              // scheme bits from the search assignment
+    bool split = false;        // full-span layer stored as two int8 planes
+    std::int64_t weight_count = 0;
+    std::int64_t storage_bits = 0;
+  };
+  const std::vector<LayerInfo>& layers() const;
+  std::int64_t weight_storage_bits() const;
+
+  // Bit-exact reconstruction of a lowered layer's weights from its packed
+  // int8 codes (flat tensor, row-major (out, in) / (oc, ic*kh*kw)).
+  Tensor dequantized_weights(const std::string& layer_name) const;
+
+  // Human-readable op listing for debugging / the deploy example.
+  std::string describe() const;
+
+  struct Impl;
+
+ private:
+  friend CompiledGraph lower(Model& model, const LowerOptions& options);
+  CompiledGraph();
+  std::unique_ptr<Impl> impl_;
+};
+
+// Lowers a finalized model. Every quantizable layer must answer
+// WeightSource::has_finalized_codes() (finalized CSQ, BSQ, STE-Uniform...);
+// throws with the offending layer's name otherwise.
+CompiledGraph lower(Model& model, const LowerOptions& options = {});
+
+// Top-1 accuracy (percent) of the integer graph on a dataset — the
+// integer-path counterpart of evaluate_accuracy (opt/trainer.h).
+float evaluate_graph_accuracy(CompiledGraph& graph,
+                              const InMemoryDataset& dataset,
+                              std::int64_t batch_size = 100);
+
+}  // namespace runtime
+}  // namespace csq

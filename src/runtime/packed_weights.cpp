@@ -1,0 +1,113 @@
+#include "runtime/packed_weights.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "util/check.h"
+
+namespace csq {
+namespace runtime {
+
+namespace {
+
+// Largest power-of-two divisor shared by every nonzero code (capped at 7 —
+// beyond that the layer is all zeros or a single plane anyway).
+int common_shift(const std::vector<std::int32_t>& codes) {
+  int shift = 8;
+  for (const std::int32_t code : codes) {
+    if (code == 0) continue;
+    int tz = 0;
+    std::int32_t magnitude = std::abs(code);
+    while ((magnitude & 1) == 0 && tz < 8) {
+      magnitude >>= 1;
+      ++tz;
+    }
+    shift = std::min(shift, tz);
+    if (shift == 0) break;
+  }
+  return shift == 8 ? 0 : shift;
+}
+
+}  // namespace
+
+PackedIntWeights::PackedIntWeights(const WeightCodes& codes, std::int64_t rows,
+                                   std::int64_t cols)
+    : rows_(rows), cols_(cols), bits_(codes.bits) {
+  const std::int64_t count = rows * cols;
+  CSQ_CHECK(count == static_cast<std::int64_t>(codes.codes.size()))
+      << "packed weights: " << rows << "x" << cols << " != "
+      << codes.codes.size() << " codes";
+  // int32 accumulator headroom: the worst per-k contribution is the split
+  // form 2 * |hi| * 255 + lo * 255 with hi = -128, lo = 1 (65535), so the
+  // reduction depth must satisfy k * 65535 < 2^31 - 1.
+  CSQ_CHECK(cols <= 32767)
+      << "packed weights: reduction depth " << cols
+      << " would overflow int32 accumulation";
+
+  shift_ = common_shift(codes.codes);
+  // Power-of-two scaling of a float is exact: effective_step * plane-value
+  // reproduces step * full-code bit for bit.
+  effective_step_ = std::ldexp(codes.step(), shift_);
+
+  std::int32_t max_magnitude = 0;
+  for (const std::int32_t code : codes.codes) {
+    max_magnitude = std::max(max_magnitude, std::abs(code >> shift_));
+  }
+  const bool needs_split = max_magnitude > 127;
+
+  primary_.resize(static_cast<std::size_t>(count));
+  if (needs_split) low_.resize(static_cast<std::size_t>(count));
+  row_sums_.assign(static_cast<std::size_t>(rows), 0);
+  for (std::int64_t i = 0; i < count; ++i) {
+    const std::int32_t shifted =
+        codes.codes[static_cast<std::size_t>(i)] / (1 << shift_);
+    CSQ_CHECK(shifted >= -255 && shifted <= 255)
+        << "packed weights: code " << codes.codes[static_cast<std::size_t>(i)]
+        << " outside the 8-bit grid";
+    if (needs_split) {
+      const std::int32_t lo = shifted & 1;
+      const std::int32_t hi = (shifted - lo) / 2;
+      primary_[static_cast<std::size_t>(i)] = static_cast<std::int8_t>(hi);
+      low_[static_cast<std::size_t>(i)] = static_cast<std::int8_t>(lo);
+    } else {
+      primary_[static_cast<std::size_t>(i)] = static_cast<std::int8_t>(shifted);
+    }
+    row_sums_[static_cast<std::size_t>(i / cols)] += shifted;
+  }
+
+  primary_panels_.resize(
+      static_cast<std::size_t>(gemm_s8u8_packed_a_size(rows, cols)));
+  gemm_s8u8_pack_a(rows, cols, primary_.data(), cols,
+                   primary_panels_.data());
+  if (needs_split) {
+    low_panels_.resize(primary_panels_.size());
+    gemm_s8u8_pack_a(rows, cols, low_.data(), cols, low_panels_.data());
+  }
+}
+
+void PackedIntWeights::gemm(Trans trans_b, std::int64_t n,
+                            const std::uint8_t* b, std::int64_t ldb,
+                            std::int32_t* c, std::int64_t ldc, bool pooled,
+                            IntGemmScratch* scratch) const {
+  const auto run = pooled ? gemm_s8u8_prepacked_parallel : gemm_s8u8_prepacked;
+  if (!split()) {
+    run(trans_b, rows_, n, cols_, /*alpha=*/1, primary_panels_.data(), b, ldb,
+        /*accumulate=*/false, c, ldc, scratch);
+    return;
+  }
+  // code = 2*hi + lo: alpha-chained passes, both exact in int32.
+  run(trans_b, rows_, n, cols_, /*alpha=*/2, primary_panels_.data(), b, ldb,
+      /*accumulate=*/false, c, ldc, scratch);
+  run(trans_b, rows_, n, cols_, /*alpha=*/1, low_panels_.data(), b, ldb,
+      /*accumulate=*/true, c, ldc, scratch);
+}
+
+std::int64_t PackedIntWeights::storage_bits() const {
+  // Split layers carry the scheme-bits hi plane plus a 1-bit lo plane.
+  const std::int64_t count = rows_ * cols_;
+  const std::int64_t per_weight = split() ? bits_ + 1 : bits_;
+  return count * per_weight + 32;
+}
+
+}  // namespace runtime
+}  // namespace csq

@@ -1,0 +1,101 @@
+// Int8 packing of exact fixed-point weight codes (nn/weight_source.h
+// WeightCodes) for the integer inference runtime.
+//
+// The paper's finalized grid is sign-magnitude with |code| <= 2^8 - 1 —
+// one bit wider than int8. Packing normalizes each layer in two exact steps:
+//
+//   1. A per-layer power-of-two shift: every code is divisible by
+//      2^shift (shift = the lowest active bit of the layer's scheme), so the
+//      stored plane holds code >> shift and the shift folds into the
+//      effective scale exactly (power-of-two float scaling is lossless).
+//   2. If the shifted codes still exceed +/-127 (a full-span 8-bit layer),
+//      a hi/lo split: code = 2*hi + lo with hi in [-128, 127] and lo in
+//      {0, 1}. The GEMM then runs two int8 passes chained through the
+//      kernel's integer alpha (alpha=2 overwrite, alpha=1 accumulate).
+//
+// Both transforms are integer-exact, so reconstructing
+//   weight[i] = effective_step() * full_code(i)
+// reproduces the float materialization of a finalized CSQ source bit for
+// bit (one float multiply of the step by an exactly-representable integer —
+// the same operation materialize_hard performs).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/weight_source.h"
+#include "tensor/gemm.h"
+
+namespace csq {
+namespace runtime {
+
+class PackedIntWeights {
+ public:
+  PackedIntWeights() = default;
+
+  // Packs `codes` as a (rows x cols) int8 matrix. rows*cols must equal
+  // codes.codes.size(); rows is the GEMM M extent (output channels).
+  PackedIntWeights(const WeightCodes& codes, std::int64_t rows,
+                   std::int64_t cols);
+
+  std::int64_t rows() const { return rows_; }
+  std::int64_t cols() const { return cols_; }
+  int bits() const { return bits_; }
+  int shift() const { return shift_; }
+  bool split() const { return !low_.empty(); }
+
+  // Real value of one stored-plane unit: step * 2^shift (exact).
+  float effective_step() const { return effective_step_; }
+
+  // Full integer code of element i (plane value re-assembled and shifted).
+  std::int32_t full_code(std::int64_t i) const {
+    return plane_code(i) * (1 << shift_);
+  }
+  // Bit-exact float weight of element i (power-of-two scaling makes
+  // effective_step * plane == step * full_code exactly).
+  float weight(std::int64_t i) const {
+    return effective_step_ * static_cast<float>(plane_code(i));
+  }
+
+  // Per-row sum of the stored-plane codes — the same units the GEMM
+  // accumulator is in — for the zero-point correction term of the consuming
+  // requantization: real = effective_step * S_in * (acc - zp * row_sum).
+  const std::vector<std::int64_t>& row_code_sums() const { return row_sums_; }
+
+  // C(rows, n) int32 = plane-codes * op(B); one pass, or the alpha-chained
+  // hi/lo pair for split layers. `pooled` routes through the MC-tile
+  // parallel kernel (top-level calls); serial inside parallel regions.
+  void gemm(Trans trans_b, std::int64_t n, const std::uint8_t* b,
+            std::int64_t ldb, std::int32_t* c, std::int64_t ldc, bool pooled,
+            IntGemmScratch* scratch = nullptr) const;
+
+  // Storage of the packed planes in bits (bits() per weight, doubled for
+  // split layers, plus the scale).
+  std::int64_t storage_bits() const;
+
+ private:
+  // Stored-plane code of element i: the hi/lo pair re-assembled for split
+  // layers, the single plane otherwise (GEMM-accumulator units).
+  std::int32_t plane_code(std::int64_t i) const {
+    const auto index = static_cast<std::size_t>(i);
+    return split() ? 2 * static_cast<std::int32_t>(primary_[index]) +
+                         low_[index]
+                   : primary_[index];
+  }
+
+  std::vector<std::int8_t> primary_;
+  std::vector<std::int8_t> low_;  // empty unless split()
+  // Kernel micro-panel form of the planes, packed once at construction
+  // (weights are static at serving time) so gemm() skips per-call A packing.
+  std::vector<std::int16_t> primary_panels_;
+  std::vector<std::int16_t> low_panels_;
+  std::vector<std::int64_t> row_sums_;
+  std::int64_t rows_ = 0;
+  std::int64_t cols_ = 0;
+  int bits_ = 0;
+  int shift_ = 0;
+  float effective_step_ = 1.0f;
+};
+
+}  // namespace runtime
+}  // namespace csq

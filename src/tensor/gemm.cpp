@@ -2,6 +2,10 @@
 
 #include <algorithm>
 
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
 #include "util/check.h"
 #include "util/thread_pool.h"
 
@@ -304,6 +308,308 @@ void check_extents(Trans trans_a, Trans trans_b, std::int64_t m,
       << "gemm TT is not implemented (unused in this library)";
 }
 
+// Integer-path extents: the exactness contract (see gemm.h) is derived for
+// the split-plane chaining alphas (|alpha| <= 2), where the worst
+// per-depth-step contribution is 65535 and int32 accumulation therefore
+// requires k <= 32767. Enforce both halves of that derivation here so
+// direct callers cannot silently wrap, not just through PackedIntWeights.
+void check_int_extents(Trans trans_b, std::int64_t m, std::int64_t n,
+                       std::int64_t k, std::int32_t alpha) {
+  check_extents(Trans::no, trans_b, m, n, k);
+  CSQ_CHECK(alpha >= -2 && alpha <= 2)
+      << "gemm_s8u8: alpha " << alpha
+      << " outside the [-2, 2] range the exactness bound is derived for";
+  CSQ_CHECK(k <= 32767)
+      << "gemm_s8u8: reduction depth " << k
+      << " would overflow int32 accumulation";
+}
+
+// ------------------------------------------------------ integer kernel ----
+//
+// Same blocking scheme as the float path (NC/KC/MC panels, MR x NR
+// micro-tiles, MC-row-tile pooled split). Operands are widened to int16
+// while packing, laid out in K-PAIRS: consecutive depth steps 2p and 2p+1
+// sit adjacent per row/column, so the AVX2 micro-kernel fuses them with one
+// vpmaddwd (int16 pair dot -> int32, no saturation possible at |a| <= 255,
+// |b| <= 255) — the integer analogue of the float kernel's FMA. Odd kc
+// tails are zero-padded (exact).
+//
+// A~ pair layout: panels MR-tall; entry (p, i) at [(p/2)*MR + i]*2 + p%2.
+// B~ pair layout: panels NR-wide; entry (p, j) at [(p/2)*NR + j]*2 + p%2.
+
+IntGemmScratch& local_int_scratch() {
+  thread_local IntGemmScratch scratch;
+  return scratch;
+}
+
+void ensure_size_s16(std::vector<std::int16_t>& buffer, std::size_t count) {
+  if (buffer.size() < count) buffer.resize(count);
+}
+
+// Depth extent after pairing (elements per packed row/column).
+inline std::int64_t paired_kc(std::int64_t kc) { return (kc + 1) & ~1; }
+
+// A is always (m x k) row-major int8 (the weight codes); panels MR-tall.
+void pack_a_s8(const std::int8_t* a, std::int64_t lda, std::int64_t ic,
+               std::int64_t pc, std::int64_t mc, std::int64_t kc,
+               std::int16_t* dst) {
+  const std::int64_t kcp = paired_kc(kc);
+  for (std::int64_t r = 0; r < mc; r += kGemmMR) {
+    const std::int64_t rows = std::min(kGemmMR, mc - r);
+    std::fill(dst, dst + kGemmMR * kcp, std::int16_t{0});
+    for (std::int64_t i = 0; i < rows; ++i) {
+      const std::int8_t* src = a + (ic + r + i) * lda + pc;
+      for (std::int64_t p = 0; p < kc; ++p) {
+        dst[((p / 2) * kGemmMR + i) * 2 + (p & 1)] =
+            static_cast<std::int16_t>(src[p]);
+      }
+    }
+    dst += kGemmMR * kcp;
+  }
+}
+
+// op(B) is (k x n) uint8 activation codes; panels NR-wide, zero-padded.
+void pack_b_u8(Trans trans, const std::uint8_t* b, std::int64_t ldb,
+               std::int64_t pc, std::int64_t jc, std::int64_t kc,
+               std::int64_t nc, std::int16_t* dst) {
+  const std::int64_t kcp = paired_kc(kc);
+  for (std::int64_t s = 0; s < nc; s += kGemmNR) {
+    const std::int64_t cols = std::min(kGemmNR, nc - s);
+    std::fill(dst, dst + kGemmNR * kcp, std::int16_t{0});
+    if (trans == Trans::no) {
+      for (std::int64_t p = 0; p < kc; ++p) {
+        const std::uint8_t* src = b + (pc + p) * ldb + jc + s;
+        std::int16_t* d = dst + (p / 2) * kGemmNR * 2 + (p & 1);
+        for (std::int64_t j = 0; j < cols; ++j) {
+          d[j * 2] = static_cast<std::int16_t>(src[j]);
+        }
+      }
+    } else {
+      for (std::int64_t j = 0; j < cols; ++j) {
+        const std::uint8_t* src = b + (jc + s + j) * ldb + pc;
+        for (std::int64_t p = 0; p < kc; ++p) {
+          dst[((p / 2) * kGemmNR + j) * 2 + (p & 1)] =
+              static_cast<std::int16_t>(src[p]);
+        }
+      }
+    }
+    dst += kGemmNR * kcp;
+  }
+}
+
+#if defined(__AVX2__)
+#define CSQ_GEMM_AVX2_INT_KERNEL 1
+#endif
+
+#ifdef CSQ_GEMM_AVX2_INT_KERNEL
+
+static_assert(kGemmMR == 8 && kGemmNR == 8,
+              "AVX2 integer micro-kernel assumes an 8x8 tile");
+
+// Reads one packed int16 A pair as its int32 broadcast payload. memcpy (not
+// a reinterpret_cast dereference) keeps the int16-store/int32-load pattern
+// well-defined under strict aliasing; it compiles to the same vpbroadcastd.
+inline std::int32_t load_a_pair(const std::int16_t* p) {
+  std::int32_t pair;
+  __builtin_memcpy(&pair, p, sizeof(pair));
+  return pair;
+}
+
+// One vpbroadcastd per packed A pair, one vpmaddwd + vpaddd per accumulator
+// row: the same instruction-per-MAC budget as the float kernel's
+// broadcast-FMA form.
+inline void micro_kernel_int(const std::int16_t* pa, const std::int16_t* pb,
+                             std::int64_t kc, std::int32_t* acc) {
+  const std::int64_t pairs = paired_kc(kc) / 2;
+  __m256i c0 = _mm256_setzero_si256(), c1 = _mm256_setzero_si256(),
+          c2 = _mm256_setzero_si256(), c3 = _mm256_setzero_si256(),
+          c4 = _mm256_setzero_si256(), c5 = _mm256_setzero_si256(),
+          c6 = _mm256_setzero_si256(), c7 = _mm256_setzero_si256();
+  for (std::int64_t p = 0; p < pairs; ++p) {
+    const __m256i b = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(pb + p * kGemmNR * 2));
+    const std::int16_t* a_col = pa + p * kGemmMR * 2;
+    c0 = _mm256_add_epi32(
+        c0, _mm256_madd_epi16(_mm256_set1_epi32(load_a_pair(a_col + 0)), b));
+    c1 = _mm256_add_epi32(
+        c1, _mm256_madd_epi16(_mm256_set1_epi32(load_a_pair(a_col + 2)), b));
+    c2 = _mm256_add_epi32(
+        c2, _mm256_madd_epi16(_mm256_set1_epi32(load_a_pair(a_col + 4)), b));
+    c3 = _mm256_add_epi32(
+        c3, _mm256_madd_epi16(_mm256_set1_epi32(load_a_pair(a_col + 6)), b));
+    c4 = _mm256_add_epi32(
+        c4, _mm256_madd_epi16(_mm256_set1_epi32(load_a_pair(a_col + 8)), b));
+    c5 = _mm256_add_epi32(
+        c5, _mm256_madd_epi16(_mm256_set1_epi32(load_a_pair(a_col + 10)), b));
+    c6 = _mm256_add_epi32(
+        c6, _mm256_madd_epi16(_mm256_set1_epi32(load_a_pair(a_col + 12)), b));
+    c7 = _mm256_add_epi32(
+        c7, _mm256_madd_epi16(_mm256_set1_epi32(load_a_pair(a_col + 14)), b));
+  }
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + 0 * 8), c0);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + 1 * 8), c1);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + 2 * 8), c2);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + 3 * 8), c3);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + 4 * 8), c4);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + 5 * 8), c5);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + 6 * 8), c6);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + 7 * 8), c7);
+}
+
+#else  // portable fallback over the same pair layout
+
+inline void micro_kernel_int(const std::int16_t* pa, const std::int16_t* pb,
+                             std::int64_t kc, std::int32_t* acc) {
+  const std::int64_t pairs = paired_kc(kc) / 2;
+  for (std::int64_t x = 0; x < kGemmMR * kGemmNR; ++x) acc[x] = 0;
+  for (std::int64_t p = 0; p < pairs; ++p) {
+    const std::int16_t* a_col = pa + p * kGemmMR * 2;
+    const std::int16_t* b_row = pb + p * kGemmNR * 2;
+    for (std::int64_t i = 0; i < kGemmMR; ++i) {
+      const std::int32_t a0 = a_col[i * 2];
+      const std::int32_t a1 = a_col[i * 2 + 1];
+      std::int32_t* acc_row = acc + i * kGemmNR;
+      for (std::int64_t j = 0; j < kGemmNR; ++j) {
+        acc_row[j] += a0 * b_row[j * 2] + a1 * b_row[j * 2 + 1];
+      }
+    }
+  }
+}
+
+#endif  // CSQ_GEMM_AVX2_INT_KERNEL
+
+inline void update_c_tile_int(std::int32_t* c, std::int64_t ldc,
+                              const std::int32_t* acc, std::int64_t m_sub,
+                              std::int64_t n_sub, std::int32_t alpha,
+                              bool add_into_c) {
+  for (std::int64_t i = 0; i < m_sub; ++i) {
+    std::int32_t* c_row = c + i * ldc;
+    const std::int32_t* acc_row = acc + i * kGemmNR;
+    if (add_into_c) {
+      for (std::int64_t j = 0; j < n_sub; ++j) c_row[j] += alpha * acc_row[j];
+    } else {
+      for (std::int64_t j = 0; j < n_sub; ++j) c_row[j] = alpha * acc_row[j];
+    }
+  }
+}
+
+void run_ic_tile_int(std::int64_t ic, std::int64_t jc, std::int64_t m,
+                     std::int64_t kc, std::int64_t nc, std::int32_t alpha,
+                     bool add_into_c, const std::int16_t* packed_a,
+                     const std::int16_t* packed_b, std::int32_t* c,
+                     std::int64_t ldc) {
+  const std::int64_t mc = std::min(kGemmMC, m - ic);
+  std::int32_t acc[kGemmMR * kGemmNR];
+  const std::int64_t kcp = paired_kc(kc);
+  for (std::int64_t jr = 0; jr < nc; jr += kGemmNR) {
+    const std::int64_t n_sub = std::min(kGemmNR, nc - jr);
+    const std::int16_t* pb = packed_b + (jr / kGemmNR) * kGemmNR * kcp;
+    for (std::int64_t ir = 0; ir < mc; ir += kGemmMR) {
+      const std::int64_t m_sub = std::min(kGemmMR, mc - ir);
+      const std::int16_t* pa = packed_a + (ir / kGemmMR) * kGemmMR * kcp;
+      micro_kernel_int(pa, pb, kc, acc);
+      update_c_tile_int(c + (ic + ir) * ldc + jc + jr, ldc, acc, m_sub, n_sub,
+                        alpha, add_into_c);
+    }
+  }
+}
+
+// Row-panel stride of one pc block in the prepacked-A layout: every MR-tall
+// panel of the full m extent, consecutively.
+inline std::int64_t packed_a_block_size(std::int64_t m, std::int64_t kc) {
+  return ((m + kGemmMR - 1) / kGemmMR) * kGemmMR * paired_kc(kc);
+}
+
+// `prepacked_a` may be null (A packed per (ic, pc) tile into scratch — the
+// one-shot path) or point at a gemm_s8u8_pack_a layout (weights packed once
+// at graph-lowering time).
+void gemm_s8u8_blocked(Trans trans_b, std::int64_t m, std::int64_t n,
+                       std::int64_t k, std::int32_t alpha,
+                       const std::int8_t* a, std::int64_t lda,
+                       const std::int16_t* prepacked_a, const std::uint8_t* b,
+                       std::int64_t ldb, bool accumulate, std::int32_t* c,
+                       std::int64_t ldc, IntGemmScratch* scratch,
+                       bool pooled) {
+  if (m == 0 || n == 0) return;
+  if (alpha == 0 || k == 0) {
+    if (!accumulate) {
+      for (std::int64_t i = 0; i < m; ++i) {
+        std::fill(c + i * ldc, c + i * ldc + n, 0);
+      }
+    }
+    return;
+  }
+  IntGemmScratch& shared = scratch != nullptr ? *scratch : local_int_scratch();
+
+  for (std::int64_t jc = 0; jc < n; jc += kGemmNC) {
+    const std::int64_t nc = std::min(kGemmNC, n - jc);
+    const std::int64_t b_panels = (nc + kGemmNR - 1) / kGemmNR;
+    std::int64_t a_block_offset = 0;
+    for (std::int64_t pc = 0; pc < k; pc += kGemmKC) {
+      const std::int64_t kc = std::min(kGemmKC, k - pc);
+      const std::int64_t kcp = paired_kc(kc);
+      ensure_size_s16(shared.packed_b,
+                      static_cast<std::size_t>(b_panels * kGemmNR * kcp));
+      pack_b_u8(trans_b, b, ldb, pc, jc, kc, nc, shared.packed_b.data());
+      const bool add_into_c = accumulate || pc != 0;
+
+      const std::int64_t ic_tiles = (m + kGemmMC - 1) / kGemmMC;
+      const auto tile_a = [&](std::int64_t ic,
+                              std::vector<std::int16_t>& pack_storage)
+          -> const std::int16_t* {
+        if (prepacked_a != nullptr) {
+          return prepacked_a + a_block_offset + (ic / kGemmMR) * kGemmMR * kcp;
+        }
+        const std::int64_t mc = std::min(kGemmMC, m - ic);
+        const std::int64_t a_panels = (mc + kGemmMR - 1) / kGemmMR;
+        ensure_size_s16(pack_storage,
+                        static_cast<std::size_t>(a_panels * kGemmMR * kcp));
+        pack_a_s8(a, lda, ic, pc, mc, kc, pack_storage.data());
+        return pack_storage.data();
+      };
+
+      if (!pooled || ic_tiles <= 1) {
+        for (std::int64_t t = 0; t < ic_tiles; ++t) {
+          run_ic_tile_int(t * kGemmMC, jc, m, kc, nc, alpha, add_into_c,
+                          tile_a(t * kGemmMC, shared.packed_a),
+                          shared.packed_b.data(), c, ldc);
+        }
+      } else {
+        struct TileContext {
+          const decltype(tile_a)* pick_a;
+          std::int64_t jc, m, kc, nc;
+          std::int32_t alpha;
+          bool add_into_c;
+          const std::int16_t* packed_b;
+          std::int32_t* c;
+          std::int64_t ldc;
+        } ctx;
+        ctx.pick_a = &tile_a;
+        ctx.jc = jc;
+        ctx.m = m;
+        ctx.kc = kc;
+        ctx.nc = nc;
+        ctx.alpha = alpha;
+        ctx.add_into_c = add_into_c;
+        ctx.packed_b = shared.packed_b.data();
+        ctx.c = c;
+        ctx.ldc = ldc;
+        parallel_for_chunked(
+            0, ic_tiles, [&ctx](std::int64_t begin, std::int64_t end) {
+              for (std::int64_t t = begin; t < end; ++t) {
+                run_ic_tile_int(t * kGemmMC, ctx.jc, ctx.m, ctx.kc, ctx.nc,
+                                ctx.alpha, ctx.add_into_c,
+                                (*ctx.pick_a)(t * kGemmMC,
+                                              local_int_scratch().packed_a),
+                                ctx.packed_b, ctx.c, ctx.ldc);
+              }
+            });
+      }
+      a_block_offset += packed_a_block_size(m, kc);
+    }
+  }
+}
+
 }  // namespace
 
 void gemm(Trans trans_a, Trans trans_b, std::int64_t m, std::int64_t n,
@@ -326,6 +632,72 @@ void gemm_parallel(Trans trans_a, Trans trans_b, std::int64_t m,
   const bool pooled = flops >= (1 << 18) && !inside_parallel_region();
   gemm_blocked(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc,
                scratch, pooled);
+}
+
+void gemm_s8u8(Trans trans_b, std::int64_t m, std::int64_t n, std::int64_t k,
+               std::int32_t alpha, const std::int8_t* a, std::int64_t lda,
+               const std::uint8_t* b, std::int64_t ldb, bool accumulate,
+               std::int32_t* c, std::int64_t ldc, IntGemmScratch* scratch) {
+  check_int_extents(trans_b, m, n, k, alpha);
+  gemm_s8u8_blocked(trans_b, m, n, k, alpha, a, lda, /*prepacked_a=*/nullptr,
+                    b, ldb, accumulate, c, ldc, scratch, /*pooled=*/false);
+}
+
+void gemm_s8u8_parallel(Trans trans_b, std::int64_t m, std::int64_t n,
+                        std::int64_t k, std::int32_t alpha,
+                        const std::int8_t* a, std::int64_t lda,
+                        const std::uint8_t* b, std::int64_t ldb,
+                        bool accumulate, std::int32_t* c, std::int64_t ldc,
+                        IntGemmScratch* scratch) {
+  check_int_extents(trans_b, m, n, k, alpha);
+  const std::int64_t ops = 2 * m * n * k;
+  const bool pooled = ops >= (1 << 18) && !inside_parallel_region();
+  gemm_s8u8_blocked(trans_b, m, n, k, alpha, a, lda, /*prepacked_a=*/nullptr,
+                    b, ldb, accumulate, c, ldc, scratch, pooled);
+}
+
+std::int64_t gemm_s8u8_packed_a_size(std::int64_t m, std::int64_t k) {
+  std::int64_t total = 0;
+  for (std::int64_t pc = 0; pc < k; pc += kGemmKC) {
+    total += packed_a_block_size(m, std::min(kGemmKC, k - pc));
+  }
+  return total;
+}
+
+void gemm_s8u8_pack_a(std::int64_t m, std::int64_t k, const std::int8_t* a,
+                      std::int64_t lda, std::int16_t* packed) {
+  // Panels for the whole m extent per pc block — run_ic_tile_int slices MC
+  // tiles out of the same consecutive layout.
+  for (std::int64_t pc = 0; pc < k; pc += kGemmKC) {
+    const std::int64_t kc = std::min(kGemmKC, k - pc);
+    pack_a_s8(a, lda, /*ic=*/0, pc, m, kc, packed);
+    packed += packed_a_block_size(m, kc);
+  }
+}
+
+void gemm_s8u8_prepacked(Trans trans_b, std::int64_t m, std::int64_t n,
+                         std::int64_t k, std::int32_t alpha,
+                         const std::int16_t* packed_a, const std::uint8_t* b,
+                         std::int64_t ldb, bool accumulate, std::int32_t* c,
+                         std::int64_t ldc, IntGemmScratch* scratch) {
+  check_int_extents(trans_b, m, n, k, alpha);
+  gemm_s8u8_blocked(trans_b, m, n, k, alpha, /*a=*/nullptr, /*lda=*/0,
+                    packed_a, b, ldb, accumulate, c, ldc, scratch,
+                    /*pooled=*/false);
+}
+
+void gemm_s8u8_prepacked_parallel(Trans trans_b, std::int64_t m,
+                                  std::int64_t n, std::int64_t k,
+                                  std::int32_t alpha,
+                                  const std::int16_t* packed_a,
+                                  const std::uint8_t* b, std::int64_t ldb,
+                                  bool accumulate, std::int32_t* c,
+                                  std::int64_t ldc, IntGemmScratch* scratch) {
+  check_int_extents(trans_b, m, n, k, alpha);
+  const std::int64_t ops = 2 * m * n * k;
+  const bool pooled = ops >= (1 << 18) && !inside_parallel_region();
+  gemm_s8u8_blocked(trans_b, m, n, k, alpha, /*a=*/nullptr, /*lda=*/0,
+                    packed_a, b, ldb, accumulate, c, ldc, scratch, pooled);
 }
 
 }  // namespace csq

@@ -74,4 +74,66 @@ void gemm_parallel(Trans trans_a, Trans trans_b, std::int64_t m,
                    float beta, float* c, std::int64_t ldc,
                    GemmScratch* scratch = nullptr);
 
+// ------------------------------------------------- integer (serving) GEMM --
+//
+//   C(m, n) int32  =  alpha * A(m, k) int8  *  op(B)(k, n) uint8   [+ C]
+//
+// The fixed-point inference kernel: A holds int8 weight codes, B holds
+// unsigned 8-bit activation codes, accumulation is exact int32. Headroom is
+// TIGHT, not ample: the runtime's split-plane chaining (alpha=2 on a hi
+// plane reaching -128, plus the lo pass) costs up to 65535 per depth step,
+// so exactness requires k <= 32767 — enforced by PackedIntWeights, and a
+// bound any alpha/code-range extension must re-derive. The blocked loop
+// nest, the packed-panel layouts and the
+// MC-row-tile parallel split are shared with the float kernel above; panels
+// are widened to int16 during packing so the micro-kernel runs
+// convert-multiply-accumulate on full vectors. Integer arithmetic is
+// associative, so serial and pooled execution are bit-identical by
+// construction (and asserted by the runtime parity tests).
+//
+// `accumulate` == false overwrites C, true adds into it — the runtime's
+// split-plane weights (codes beyond +/-127 decomposed as 2*hi + lo) chain
+// two calls: alpha=2 overwrite, alpha=1 accumulate.
+struct IntGemmScratch {
+  std::vector<std::int16_t> packed_a;  // widened int8 micro-panels
+  std::vector<std::int16_t> packed_b;  // widened uint8 micro-panels
+};
+
+void gemm_s8u8(Trans trans_b, std::int64_t m, std::int64_t n, std::int64_t k,
+               std::int32_t alpha, const std::int8_t* a, std::int64_t lda,
+               const std::uint8_t* b, std::int64_t ldb, bool accumulate,
+               std::int32_t* c, std::int64_t ldc,
+               IntGemmScratch* scratch = nullptr);
+
+void gemm_s8u8_parallel(Trans trans_b, std::int64_t m, std::int64_t n,
+                        std::int64_t k, std::int32_t alpha,
+                        const std::int8_t* a, std::int64_t lda,
+                        const std::uint8_t* b, std::int64_t ldb,
+                        bool accumulate, std::int32_t* c, std::int64_t ldc,
+                        IntGemmScratch* scratch = nullptr);
+
+// Weight matrices are static at serving time: pack A into the kernel's
+// micro-panel layout ONCE (all KC-depth blocks, MR-tall panels) and reuse it
+// across every forward. `gemm_s8u8_packed_a_size` gives the required int16
+// element count; the prepacked variants then skip the per-call A packing.
+std::int64_t gemm_s8u8_packed_a_size(std::int64_t m, std::int64_t k);
+
+void gemm_s8u8_pack_a(std::int64_t m, std::int64_t k, const std::int8_t* a,
+                      std::int64_t lda, std::int16_t* packed);
+
+void gemm_s8u8_prepacked(Trans trans_b, std::int64_t m, std::int64_t n,
+                         std::int64_t k, std::int32_t alpha,
+                         const std::int16_t* packed_a, const std::uint8_t* b,
+                         std::int64_t ldb, bool accumulate, std::int32_t* c,
+                         std::int64_t ldc, IntGemmScratch* scratch = nullptr);
+
+void gemm_s8u8_prepacked_parallel(Trans trans_b, std::int64_t m,
+                                  std::int64_t n, std::int64_t k,
+                                  std::int32_t alpha,
+                                  const std::int16_t* packed_a,
+                                  const std::uint8_t* b, std::int64_t ldb,
+                                  bool accumulate, std::int32_t* c,
+                                  std::int64_t ldc,
+                                  IntGemmScratch* scratch = nullptr);
+
 }  // namespace csq

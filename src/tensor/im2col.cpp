@@ -48,6 +48,56 @@ void im2col(const ConvGeometry& geom, const float* image, float* col) {
   }
 }
 
+void im2col_u8(const ConvGeometry& geom, const std::uint8_t* image,
+               std::uint8_t* col, std::uint8_t pad_code) {
+  const std::int64_t out_h = geom.out_h();
+  const std::int64_t out_w = geom.out_w();
+  const std::int64_t col_cols = out_h * out_w;
+
+  std::int64_t row = 0;
+  for (std::int64_t c = 0; c < geom.channels; ++c) {
+    const std::uint8_t* channel = image + c * geom.height * geom.width;
+    for (std::int64_t ki = 0; ki < geom.kernel_h; ++ki) {
+      for (std::int64_t kj = 0; kj < geom.kernel_w; ++kj, ++row) {
+        std::uint8_t* col_row = col + row * col_cols;
+        for (std::int64_t oy = 0; oy < out_h; ++oy) {
+          const std::int64_t iy = oy * geom.stride - geom.pad + ki;
+          std::uint8_t* dst = col_row + oy * out_w;
+          if (iy < 0 || iy >= geom.height) {
+            std::fill(dst, dst + out_w, pad_code);
+            continue;
+          }
+          const std::uint8_t* src_row = channel + iy * geom.width;
+          if (geom.stride == 1) {
+            // Unit stride: ix = ox + kj - pad is contiguous — pad the two
+            // border zones and memcpy the in-bounds middle (the inference
+            // hot path; bytes make this a single wide copy). Both bounds
+            // are clamped into [0, out_w]: a kernel wider than the output
+            // grid can push the in-bounds window entirely off either edge.
+            const std::int64_t ix0 = kj - geom.pad;
+            const std::int64_t begin =
+                std::clamp<std::int64_t>(-ix0, 0, out_w);
+            const std::int64_t end =
+                std::clamp<std::int64_t>(geom.width - ix0, begin, out_w);
+            std::fill(dst, dst + begin, pad_code);
+            if (end > begin) {
+              std::memcpy(dst + begin, src_row + ix0 + begin,
+                          static_cast<std::size_t>(end - begin));
+            }
+            std::fill(dst + end, dst + out_w, pad_code);
+            continue;
+          }
+          for (std::int64_t ox = 0; ox < out_w; ++ox) {
+            const std::int64_t ix = ox * geom.stride - geom.pad + kj;
+            dst[ox] =
+                (ix >= 0 && ix < geom.width) ? src_row[ix] : pad_code;
+          }
+        }
+      }
+    }
+  }
+}
+
 void col2im(const ConvGeometry& geom, const float* col, float* image) {
   const std::int64_t out_h = geom.out_h();
   const std::int64_t out_w = geom.out_w();

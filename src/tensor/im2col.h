@@ -39,6 +39,13 @@ struct ConvGeometry {
 // image: C*H*W floats; col: col_rows()*col_cols() floats (fully overwritten).
 void im2col(const ConvGeometry& geom, const float* image, float* col);
 
+// Integer-runtime variant over unsigned 8-bit activation codes. Padding
+// positions take `pad_code` — the code representing the real value zero of
+// the producing edge (its zero point), so a zero-padded float convolution
+// and the integer one see the same border.
+void im2col_u8(const ConvGeometry& geom, const std::uint8_t* image,
+               std::uint8_t* col, std::uint8_t pad_code);
+
 // Adjoint: accumulates col back into image. `image` must be zeroed by the
 // caller when a fresh gradient is wanted.
 void col2im(const ConvGeometry& geom, const float* col, float* image);

@@ -4,26 +4,41 @@
 
 namespace csq {
 
-Workspace::Workspace() {
+Workspace::Workspace(int max_slots) : max_slots_(max_slots) {
+  CSQ_CHECK(max_slots > 0) << "workspace: bad slot capacity";
   // Reserving up front keeps slot creation from relocating sibling slots
   // (Tensor& references returned earlier must survive later slot growth).
-  float_slots_.reserve(kMaxSlots);
-  tensor_slots_.reserve(kMaxSlots);
+  float_slots_.reserve(static_cast<std::size_t>(max_slots_));
+  tensor_slots_.reserve(static_cast<std::size_t>(max_slots_));
 }
 
-float* Workspace::floats(int slot, std::int64_t count) {
-  CSQ_CHECK(slot >= 0 && slot < kMaxSlots && count >= 0)
-      << "workspace: bad float slot request";
-  if (static_cast<std::size_t>(slot) >= float_slots_.size()) {
-    float_slots_.resize(static_cast<std::size_t>(slot) + 1);
+template <typename T>
+T* Workspace::flat_slot(std::vector<std::vector<T>>& slots, int slot,
+                        std::int64_t count) {
+  CSQ_CHECK(slot >= 0 && slot < max_slots_ && count >= 0)
+      << "workspace: bad flat slot request";
+  if (static_cast<std::size_t>(slot) >= slots.size()) {
+    slots.resize(static_cast<std::size_t>(slot) + 1);
     ++growth_count_;
   }
-  std::vector<float>& buffer = float_slots_[static_cast<std::size_t>(slot)];
+  std::vector<T>& buffer = slots[static_cast<std::size_t>(slot)];
   if (buffer.size() < static_cast<std::size_t>(count)) {
     buffer.resize(static_cast<std::size_t>(count));
     ++growth_count_;
   }
   return buffer.data();
+}
+
+float* Workspace::floats(int slot, std::int64_t count) {
+  return flat_slot(float_slots_, slot, count);
+}
+
+std::uint8_t* Workspace::bytes(int slot, std::int64_t count) {
+  return flat_slot(byte_slots_, slot, count);
+}
+
+std::int32_t* Workspace::ints(int slot, std::int64_t count) {
+  return flat_slot(int_slots_, slot, count);
 }
 
 Tensor& Workspace::tensor(int slot, const std::vector<std::int64_t>& shape) {
@@ -41,7 +56,7 @@ Tensor& Workspace::tensor(int slot, std::initializer_list<std::int64_t> shape) {
 }
 
 Tensor& Workspace::tensor_slot_for(int slot, std::int64_t count) {
-  CSQ_CHECK(slot >= 0 && slot < kMaxSlots) << "workspace: bad tensor slot";
+  CSQ_CHECK(slot >= 0 && slot < max_slots_) << "workspace: bad tensor slot";
   if (static_cast<std::size_t>(slot) >= tensor_slots_.size()) {
     tensor_slots_.resize(static_cast<std::size_t>(slot) + 1);
     tensor_high_water_.resize(static_cast<std::size_t>(slot) + 1, 0);

@@ -26,17 +26,26 @@ namespace csq {
 
 class Workspace {
  public:
-  // Hard bound on slot indices. Slot storage is reserved up front so a
-  // tensor()/floats() call never relocates other slots — references handed
-  // out earlier in the same step stay valid.
+  // Default bound on slot indices (layers use a handful of slots each).
+  // Slot storage is reserved up front so a tensor()/floats() call never
+  // relocates other slots — references handed out earlier in the same step
+  // stay valid. Owners with many buffers (the integer runtime's compiled
+  // graph draws one slot per activation edge) construct with an explicit
+  // capacity.
   static constexpr int kMaxSlots = 8;
 
-  Workspace();
+  explicit Workspace(int max_slots = kMaxSlots);
   Workspace(const Workspace&) = delete;
   Workspace& operator=(const Workspace&) = delete;
 
   // Flat float scratch of at least `count` elements. Contents unspecified.
   float* floats(int slot, std::int64_t count);
+
+  // Flat integer scratch (uint8 activation codes / int32 accumulators) for
+  // the fixed-point inference path. Same grow-once semantics and growth
+  // accounting as the float slots; each element type has its own slot space.
+  std::uint8_t* bytes(int slot, std::int64_t count);
+  std::int32_t* ints(int slot, std::int64_t count);
 
   // Tensor slot reshaped in place to `shape`; contents unspecified. The
   // returned reference stays valid until the next call for the same slot.
@@ -61,7 +70,15 @@ class Workspace {
   // exceeds the slot's allocation high-water mark.
   Tensor& tensor_slot_for(int slot, std::int64_t count);
 
+  // Shared grow-once slot logic for the flat scratch spans.
+  template <typename T>
+  T* flat_slot(std::vector<std::vector<T>>& slots, int slot,
+               std::int64_t count);
+
+  int max_slots_;
   std::vector<std::vector<float>> float_slots_;
+  std::vector<std::vector<std::uint8_t>> byte_slots_;
+  std::vector<std::vector<std::int32_t>> int_slots_;
   std::vector<Tensor> tensor_slots_;
   std::vector<std::int64_t> tensor_high_water_;
   GemmScratch gemm_scratch_;

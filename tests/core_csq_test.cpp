@@ -352,7 +352,9 @@ TEST(Export, StorageBitsAccounting) {
   QuantizedLayerExport layer;
   layer.codes.assign(100, 0);
   layer.bits = 3;
-  EXPECT_EQ(layer.storage_bits(), 100 * 3 + 32);
+  // Codes plus the two per-layer floats of the v2 container (scale +
+  // grid denominator).
+  EXPECT_EQ(layer.storage_bits(), 100 * 3 + 64);
 }
 
 TEST(Export, IntegerLinearForwardMatchesReference) {

@@ -16,12 +16,14 @@
 #include "core/csq_weight.h"
 #include "nn/conv2d.h"
 #include "nn/linear.h"
+#include "nn/models.h"
 #include "nn/weight_source.h"
 #include "opt/sgd.h"
 #include "quant/bsq_weight.h"
 #include "quant/dorefa_weight.h"
 #include "quant/lqnets_weight.h"
 #include "quant/ste_uniform_weight.h"
+#include "runtime/compiled_graph.h"
 #include "tensor/workspace.h"
 #include "test_helpers.h"
 #include "util/check.h"
@@ -174,6 +176,43 @@ TEST(AllocationRegression, EvalForwardIsAllocationFreeAndSkipsMaterialize) {
   // Weights unchanged between the eval forwards: the dirty flag short
   // circuits every re-materialization.
   EXPECT_EQ(registry.front()->materialize_count(), materialized);
+}
+
+TEST(AllocationRegression, CompiledGraphBatchedForwardIsAllocationFree) {
+  // The serving path: a finalized ResNet-20 lowered into the int8 compiled
+  // graph. After warmup, a steady-state batched forward must not touch the
+  // heap — activation edges, im2col stripes and GEMM packing scratch all
+  // come from grow-once storage.
+  Rng rng(320);
+  std::vector<CsqWeightSource*> registry;
+  ModelConfig model_config;
+  model_config.base_width = 4;
+  Model model = make_resnet20(model_config, csq_weight_factory(&registry),
+                              nullptr, rng);
+  for (CsqWeightSource* source : registry) source->finalize();
+
+  runtime::LowerOptions options;
+  options.in_height = 12;
+  options.in_width = 12;
+  runtime::CompiledGraph graph = runtime::lower(model, options);
+  Tensor images = random_tensor({4, 3, 12, 12}, rng);
+  graph.calibrate(images);
+  graph.prepare(4);
+  for (int i = 0; i < 3; ++i) {
+    Tensor logits = graph.forward(images);
+  }
+
+  const std::uint64_t pool_allocs_before = tensor_pool_stats().data_allocations;
+  const std::uint64_t growth_before = graph.buffer_growth_count();
+  const std::uint64_t before = alloc_count();
+  for (int i = 0; i < 5; ++i) {
+    Tensor logits = graph.forward(images);
+  }
+  EXPECT_EQ(alloc_count() - before, 0u)
+      << "steady-state int8 forward hit the heap";
+  EXPECT_EQ(tensor_pool_stats().data_allocations, pool_allocs_before);
+  EXPECT_EQ(graph.buffer_growth_count(), growth_before)
+      << "steady-state int8 forward grew the graph workspace";
 }
 
 // -------------------------------------------------------- dirty flag ----

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/csq_weight.h"
 #include "core/model_io.h"
 #include "nn/models.h"
 #include "util/check.h"

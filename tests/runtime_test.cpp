@@ -1,0 +1,559 @@
+// Integer inference runtime tests:
+//
+//  * the int8 x uint8 -> int32 GEMM against an exact int64 reference, over
+//    the transpose forms, alpha/accumulate modes and pooled execution;
+//  * PackedIntWeights shift/split normalization: bit-exact reconstruction
+//    of full-range sign-magnitude codes from int8 planes;
+//  * integer Conv2d forward parity: exact accumulator match against an
+//    int64 reference and float-level agreement with the finalized float
+//    path (the satellite the linear-only export tests did not cover);
+//  * whole-graph lowering of a finalized ResNet-20 on synthetic CIFAR-like
+//    data: bit-exact lowered weights, a top-1 accuracy-drop bound vs the
+//    float eval path, and serial-vs-pooled bit-identity;
+//  * lowering of the non-CSQ fixed-grid families (STE-Uniform, BSQ)
+//    through the generic finalized-codes accessor.
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/csq_weight.h"
+#include "core/export.h"
+#include "data/synthetic.h"
+#include "nn/conv2d.h"
+#include "nn/models.h"
+#include "opt/trainer.h"
+#include "quant/act_quant.h"
+#include "quant/bsq_weight.h"
+#include "quant/ste_uniform_weight.h"
+#include "runtime/compiled_graph.h"
+#include "runtime/packed_weights.h"
+#include "tensor/gemm.h"
+#include "tensor/im2col.h"
+#include "tensor/ops.h"
+#include "test_helpers.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace csq {
+namespace {
+
+using testing::random_tensor;
+
+std::vector<std::int8_t> random_s8(std::int64_t count, Rng& rng,
+                                   int magnitude = 127) {
+  std::vector<std::int8_t> values(static_cast<std::size_t>(count));
+  for (auto& v : values) {
+    v = static_cast<std::int8_t>(
+        rng.uniform(-static_cast<float>(magnitude),
+                    static_cast<float>(magnitude)));
+  }
+  return values;
+}
+
+std::vector<std::uint8_t> random_u8(std::int64_t count, Rng& rng,
+                                    int magnitude = 255) {
+  std::vector<std::uint8_t> values(static_cast<std::size_t>(count));
+  for (auto& v : values) {
+    v = static_cast<std::uint8_t>(
+        rng.uniform(0.0f, static_cast<float>(magnitude)));
+  }
+  return values;
+}
+
+// Exact reference: C = alpha * A * op(B) (+ C), int64 accumulation.
+void reference_s8u8(Trans trans_b, std::int64_t m, std::int64_t n,
+                    std::int64_t k, std::int32_t alpha, const std::int8_t* a,
+                    const std::uint8_t* b, std::int64_t ldb, bool accumulate,
+                    std::vector<std::int32_t>& c) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      std::int64_t acc = 0;
+      for (std::int64_t p = 0; p < k; ++p) {
+        const std::int64_t bv = trans_b == Trans::no ? b[p * ldb + j]
+                                                     : b[j * ldb + p];
+        acc += static_cast<std::int64_t>(a[i * k + p]) * bv;
+      }
+      auto& dst = c[static_cast<std::size_t>(i * n + j)];
+      dst = static_cast<std::int32_t>((accumulate ? dst : 0) + alpha * acc);
+    }
+  }
+}
+
+TEST(Int8Gemm, MatchesExactReferenceAcrossShapesAndModes) {
+  Rng rng(901);
+  const std::int64_t extents[] = {1, 3, 17, 64, 129};
+  for (const std::int64_t m : extents) {
+    for (const std::int64_t n : extents) {
+      for (const std::int64_t k : extents) {
+        for (const Trans trans_b : {Trans::no, Trans::yes}) {
+          for (const std::int32_t alpha : {1, 2}) {
+            for (const bool accumulate : {false, true}) {
+              const auto a = random_s8(m * k, rng);
+              const auto b = random_u8(k * n, rng);
+              const std::int64_t ldb = trans_b == Trans::no ? n : k;
+              std::vector<std::int32_t> expected(
+                  static_cast<std::size_t>(m * n));
+              std::vector<std::int32_t> actual(
+                  static_cast<std::size_t>(m * n));
+              if (accumulate) {
+                for (std::int64_t i = 0; i < m * n; ++i) {
+                  const auto seed = static_cast<std::int32_t>(
+                      rng.uniform(-100.0f, 100.0f));
+                  expected[static_cast<std::size_t>(i)] = seed;
+                  actual[static_cast<std::size_t>(i)] = seed;
+                }
+              }
+              reference_s8u8(trans_b, m, n, k, alpha, a.data(), b.data(),
+                             ldb, accumulate, expected);
+              gemm_s8u8(trans_b, m, n, k, alpha, a.data(), k, b.data(), ldb,
+                        accumulate, actual.data(), n);
+              ASSERT_EQ(expected, actual)
+                  << "m=" << m << " n=" << n << " k=" << k
+                  << " trans_b=" << (trans_b == Trans::yes) << " alpha="
+                  << alpha << " accumulate=" << accumulate;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(Int8Gemm, PooledIsBitIdenticalToSerial) {
+  Rng rng(902);
+  const std::int64_t m = 192, n = 160, k = 300;
+  const auto a = random_s8(m * k, rng);
+  const auto b = random_u8(k * n, rng);
+  std::vector<std::int32_t> serial(static_cast<std::size_t>(m * n));
+  std::vector<std::int32_t> pooled(static_cast<std::size_t>(m * n));
+  gemm_s8u8(Trans::no, m, n, k, 1, a.data(), k, b.data(), n,
+            /*accumulate=*/false, serial.data(), n);
+  gemm_s8u8_parallel(Trans::no, m, n, k, 1, a.data(), k, b.data(), n,
+                     /*accumulate=*/false, pooled.data(), n);
+  EXPECT_EQ(serial, pooled);
+}
+
+TEST(Int8Gemm, Im2ColU8HandlesKernelWiderThanOutput) {
+  // width=1, kernel=7, pad=3 passes validate() with out_w=1: for the outer
+  // kernel columns the in-bounds window falls entirely off the output grid
+  // and both fill bounds must clamp (regression: the unit-stride fast path
+  // overran the buffer here).
+  ConvGeometry geom;
+  geom.channels = 1;
+  geom.height = 1;
+  geom.width = 1;
+  geom.kernel_h = geom.kernel_w = 7;
+  geom.stride = 1;
+  geom.pad = 3;
+  geom.validate();
+  const std::uint8_t image[1] = {200};
+  std::vector<std::uint8_t> col(
+      static_cast<std::size_t>(geom.col_rows() * geom.col_cols()), 0xAA);
+  std::vector<std::uint8_t> guard(64, 0x5B);  // canary after the buffer
+  im2col_u8(geom, image, col.data(), /*pad_code=*/7);
+  for (std::int64_t r = 0; r < geom.col_rows(); ++r) {
+    // Only the center tap (ki=3, kj=3) reads the pixel; the rest is pad.
+    EXPECT_EQ(col[static_cast<std::size_t>(r)], r == 24 ? 200 : 7);
+  }
+  for (const std::uint8_t byte : guard) EXPECT_EQ(byte, 0x5B);
+}
+
+// ------------------------------------------------------ packed weights --
+
+WeightCodes make_codes(std::vector<std::int32_t> values, float scale,
+                       int bits) {
+  WeightCodes codes;
+  codes.codes = std::move(values);
+  codes.scale = scale;
+  codes.denominator = 255.0f;
+  codes.bits = bits;
+  return codes;
+}
+
+TEST(PackedWeights, ShiftNormalizationAvoidsSplit) {
+  // Top-3-bits codes: multiples of 32, up to 224 — int8 after the shift.
+  const WeightCodes codes =
+      make_codes({224, -224, 96, 0, -160, 32}, 0.5f, 3);
+  runtime::PackedIntWeights packed(codes, 2, 3);
+  EXPECT_EQ(packed.shift(), 5);
+  EXPECT_FALSE(packed.split());
+  for (std::int64_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(packed.full_code(i), codes.codes[static_cast<std::size_t>(i)]);
+    // One float rounding of step * code — identical to materialize_hard.
+    const float expected =
+        codes.step() *
+        static_cast<float>(codes.codes[static_cast<std::size_t>(i)]);
+    EXPECT_EQ(packed.weight(i), expected);
+  }
+}
+
+TEST(PackedWeights, FullSpanCodesSplitIntoTwoPlanes) {
+  // Codes with bit 0 and bit 7 both set cannot shift into int8: split.
+  const WeightCodes codes = make_codes({255, -255, 129, -129, 1, 0}, 1.0f, 8);
+  runtime::PackedIntWeights packed(codes, 3, 2);
+  EXPECT_EQ(packed.shift(), 0);
+  EXPECT_TRUE(packed.split());
+  for (std::int64_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(packed.full_code(i), codes.codes[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(PackedWeights, SplitGemmMatchesExactReference) {
+  Rng rng(903);
+  const std::int64_t rows = 9, cols = 31, n = 13;
+  std::vector<std::int32_t> values(static_cast<std::size_t>(rows * cols));
+  for (auto& v : values) {
+    v = static_cast<std::int32_t>(rng.uniform(-255.0f, 255.0f));
+  }
+  values[0] = 255;  // force the split path
+  const WeightCodes codes = make_codes(values, 0.7f, 8);
+  runtime::PackedIntWeights packed(codes, rows, cols);
+  ASSERT_TRUE(packed.split());
+
+  const auto act = random_u8(cols * n, rng);
+  std::vector<std::int32_t> acc(static_cast<std::size_t>(rows * n));
+  packed.gemm(Trans::no, n, act.data(), n, acc.data(), n, /*pooled=*/false);
+
+  for (std::int64_t r = 0; r < rows; ++r) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      std::int64_t expected = 0;
+      for (std::int64_t p = 0; p < cols; ++p) {
+        expected += static_cast<std::int64_t>(
+                        values[static_cast<std::size_t>(r * cols + p)]) *
+                    act[static_cast<std::size_t>(p * n + j)];
+      }
+      ASSERT_EQ(acc[static_cast<std::size_t>(r * n + j)], expected)
+          << "r=" << r << " j=" << j;
+    }
+  }
+}
+
+// ------------------------------------------- integer conv2d forward -----
+
+TEST(IntegerConv, AccumulatorsMatchExactReferenceAndFloatFinalizedPath) {
+  Rng rng(904);
+  const std::int64_t oc = 8, ic = 4, kernel = 3;
+  CsqWeightOptions options;
+  CsqWeightSource source("conv", {oc, ic, kernel, kernel}, ic * kernel * kernel,
+                         options, rng);
+  source.finalize();
+
+  runtime::PackedIntWeights packed(source.finalized_codes(), oc,
+                                   ic * kernel * kernel);
+  ConvGeometry geom;
+  geom.channels = ic;
+  geom.height = 6;
+  geom.width = 6;
+  geom.kernel_h = geom.kernel_w = kernel;
+  geom.stride = 1;
+  geom.pad = 1;
+
+  const float act_scale = 0.01f;
+  const auto act = random_u8(ic * geom.height * geom.width, rng);
+
+  // Integer path: uint8 im2col, int8-code GEMM, int32 accumulation.
+  std::vector<std::uint8_t> col(
+      static_cast<std::size_t>(geom.col_rows() * geom.col_cols()));
+  im2col_u8(geom, act.data(), col.data(), /*pad_code=*/0);
+  std::vector<std::int32_t> acc(
+      static_cast<std::size_t>(oc * geom.col_cols()));
+  packed.gemm(Trans::no, geom.col_cols(), col.data(), geom.col_cols(),
+              acc.data(), geom.col_cols(), /*pooled=*/false);
+
+  // Exact int64 reference over the raw codes (shift folded out).
+  const std::vector<std::int32_t> raw_codes =
+      source.finalized_codes().codes;
+  for (std::int64_t o = 0; o < oc; ++o) {
+    for (std::int64_t p = 0; p < geom.col_cols(); ++p) {
+      std::int64_t expected = 0;
+      for (std::int64_t r = 0; r < geom.col_rows(); ++r) {
+        expected += static_cast<std::int64_t>(
+                        raw_codes[static_cast<std::size_t>(
+                            o * geom.col_rows() + r)] >>
+                        packed.shift()) *
+                    col[static_cast<std::size_t>(p + r * geom.col_cols())];
+      }
+      ASSERT_EQ(acc[static_cast<std::size_t>(o * geom.col_cols() + p)],
+                expected);
+    }
+  }
+
+  // Float finalized path: real activations through the materialized weights
+  // (the eval-mode Conv2d computation) — must agree to float precision.
+  Tensor real_act({ic, geom.height, geom.width});
+  for (std::int64_t i = 0; i < real_act.numel(); ++i) {
+    real_act[i] = act_scale * static_cast<float>(act[static_cast<std::size_t>(i)]);
+  }
+  std::vector<float> real_col(
+      static_cast<std::size_t>(geom.col_rows() * geom.col_cols()));
+  im2col(geom, real_act.data(), real_col.data());
+  const Tensor& weights = source.weight(/*training=*/false);
+  std::vector<float> float_out(static_cast<std::size_t>(oc * geom.col_cols()),
+                               0.0f);
+  gemm(Trans::no, Trans::no, oc, geom.col_cols(), geom.col_rows(), 1.0f,
+       weights.data(), geom.col_rows(), real_col.data(), geom.col_cols(),
+       0.0f, float_out.data(), geom.col_cols());
+
+  const float combined = packed.effective_step() * act_scale;
+  float max_rel = 0.0f;
+  float max_abs_out = 0.0f;
+  for (std::size_t i = 0; i < float_out.size(); ++i) {
+    max_abs_out = std::max(max_abs_out, std::fabs(float_out[i]));
+  }
+  for (std::size_t i = 0; i < float_out.size(); ++i) {
+    const float integer_value = combined * static_cast<float>(acc[i]);
+    max_rel = std::max(max_rel, std::fabs(integer_value - float_out[i]));
+  }
+  EXPECT_LT(max_rel, 1e-4f * std::max(1.0f, max_abs_out));
+}
+
+// ------------------------------------------------------- whole graph ----
+
+SyntheticConfig small_data_config() {
+  SyntheticConfig config = SyntheticConfig::cifar_like();
+  config.train_samples = 192;
+  config.test_samples = 256;
+  return config;
+}
+
+TEST(CompiledGraph, FinalizedResnet20EndToEnd) {
+  const SyntheticDataset data = make_synthetic(small_data_config());
+  Rng rng(905);
+  std::vector<CsqWeightSource*> sources;
+  ModelConfig model_config;
+  model_config.num_classes = data.train.num_classes();
+  model_config.base_width = 8;
+  Model model =
+      make_resnet20(model_config, csq_weight_factory(&sources),
+                    fixed_act_quant_factory(/*bits=*/8), rng);
+
+  // A few training-mode passes settle the BN running statistics and the
+  // act-quant EMA clip ranges the lowering folds/pins.
+  std::vector<int> indices;
+  for (int i = 0; i < 64; ++i) indices.push_back(i);
+  const Batch calib = data.train.gather(indices);
+  for (int step = 0; step < 3; ++step) {
+    model.forward(calib.images, /*training=*/true);
+  }
+  for (CsqWeightSource* source : sources) source->finalize();
+
+  runtime::LowerOptions options;
+  options.in_channels = data.train.channels();
+  options.in_height = data.train.height();
+  options.in_width = data.train.width();
+  runtime::CompiledGraph graph = runtime::lower(model, options);
+  graph.calibrate(calib.images);
+
+  // 1. Weight reconstruction from the packed int8 planes is bit-exact vs
+  //    the float materialization — the paper's "exact quantized model".
+  for (const QuantLayer& layer : model.quant_layers()) {
+    const Tensor lowered = graph.dequantized_weights(layer.name);
+    const Tensor& reference = layer.source->weight(/*training=*/false);
+    ASSERT_EQ(lowered.numel(), reference.numel());
+    for (std::int64_t i = 0; i < reference.numel(); ++i) {
+      ASSERT_EQ(lowered[i], reference[i])
+          << layer.name << "[" << i << "] reconstructed inexactly";
+    }
+  }
+
+  // 2. Top-1 within 1 point of the float eval path.
+  const float float_accuracy = evaluate_accuracy(model, data.test, 64);
+  const float int8_accuracy =
+      runtime::evaluate_graph_accuracy(graph, data.test, 64);
+  EXPECT_LE(std::fabs(float_accuracy - int8_accuracy), 1.0f)
+      << "float " << float_accuracy << "% vs int8 " << int8_accuracy << "%";
+
+  // 3. Serial vs pooled integer forwards are bit-identical.
+  const Batch batch = data.test.gather({0, 1, 2, 3, 4, 5, 6, 7});
+  graph.set_pooled(false);
+  const Tensor serial_logits = graph.forward(batch.images);
+  graph.set_pooled(true);
+  const Tensor pooled_logits = graph.forward(batch.images);
+  ASSERT_TRUE(serial_logits.same_shape(pooled_logits));
+  for (std::int64_t i = 0; i < serial_logits.numel(); ++i) {
+    ASSERT_EQ(serial_logits[i], pooled_logits[i]) << "logit " << i;
+  }
+
+  // 4. Layer accounting: every quant layer lowered, scheme bits recorded.
+  ASSERT_EQ(graph.layers().size(), model.quant_layers().size());
+  EXPECT_LT(graph.weight_storage_bits(),
+            model.total_weight_count() * 32);
+}
+
+TEST(CompiledGraph, CalibratedGraphWithoutActQuantStaysClose) {
+  // PTQ-style flow: no activation quantizers in the trained model; every
+  // edge scale comes from calibration.
+  const SyntheticDataset data = make_synthetic(small_data_config());
+  Rng rng(906);
+  std::vector<CsqWeightSource*> sources;
+  ModelConfig model_config;
+  model_config.num_classes = data.train.num_classes();
+  model_config.base_width = 8;
+  Model model = make_resnet20(model_config, csq_weight_factory(&sources),
+                              nullptr, rng);
+  std::vector<int> indices;
+  for (int i = 0; i < 64; ++i) indices.push_back(i);
+  const Batch calib = data.train.gather(indices);
+  for (int step = 0; step < 3; ++step) {
+    model.forward(calib.images, /*training=*/true);
+  }
+  for (CsqWeightSource* source : sources) source->finalize();
+
+  runtime::LowerOptions options;
+  options.in_channels = data.train.channels();
+  options.in_height = data.train.height();
+  options.in_width = data.train.width();
+  runtime::CompiledGraph graph = runtime::lower(model, options);
+  graph.calibrate(calib.images);
+
+  const float float_accuracy = evaluate_accuracy(model, data.test, 64);
+  const float int8_accuracy =
+      runtime::evaluate_graph_accuracy(graph, data.test, 64);
+  EXPECT_LE(std::fabs(float_accuracy - int8_accuracy), 2.0f)
+      << "float " << float_accuracy << "% vs int8 " << int8_accuracy << "%";
+
+  // The integer forward tracks the graph's own float reference closely
+  // (8-bit edges; per-edge calibrated scales).
+  const Batch batch = data.test.gather({0, 1, 2, 3});
+  const Tensor reference = graph.forward_reference(batch.images);
+  const Tensor integer = graph.forward(batch.images);
+  EXPECT_LT(max_abs_diff(reference, integer),
+            0.1f * std::max(1.0f, max_abs(reference)));
+}
+
+TEST(CompiledGraph, LowBitActQuantEdgesServeTheTrainedGrid) {
+  // A 4-bit act-quant model must serve on the 15-level grid it trained
+  // with, not the graph's default 255-level grid — the lowering pins both
+  // the clip and the level count of the edge.
+  const SyntheticDataset data = make_synthetic(small_data_config());
+  Rng rng(912);
+  std::vector<CsqWeightSource*> sources;
+  ModelConfig model_config;
+  model_config.num_classes = data.train.num_classes();
+  model_config.base_width = 8;
+  Model model =
+      make_resnet20(model_config, csq_weight_factory(&sources),
+                    fixed_act_quant_factory(/*bits=*/4), rng);
+  std::vector<int> indices;
+  for (int i = 0; i < 64; ++i) indices.push_back(i);
+  const Batch calib = data.train.gather(indices);
+  for (int step = 0; step < 3; ++step) {
+    model.forward(calib.images, /*training=*/true);
+  }
+  for (CsqWeightSource* source : sources) source->finalize();
+
+  runtime::LowerOptions options;
+  options.in_channels = data.train.channels();
+  options.in_height = data.train.height();
+  options.in_width = data.train.width();
+  runtime::CompiledGraph graph = runtime::lower(model, options);
+  graph.calibrate(calib.images);
+
+  const float float_accuracy = evaluate_accuracy(model, data.test, 64);
+  const float int8_accuracy =
+      runtime::evaluate_graph_accuracy(graph, data.test, 64);
+  EXPECT_LE(std::fabs(float_accuracy - int8_accuracy), 1.0f)
+      << "float " << float_accuracy << "% vs int8 " << int8_accuracy << "%";
+}
+
+TEST(CompiledGraph, LowersSteUniformAndBsqFamilies) {
+  // The generic finalized-codes seam: non-CSQ fixed-grid families lower and
+  // export too (the former dynamic_cast<CsqWeightSource*> rejected them).
+  const SyntheticDataset data = make_synthetic(small_data_config());
+  Rng rng(907);
+  ModelConfig model_config;
+  model_config.num_classes = data.train.num_classes();
+  model_config.base_width = 4;
+
+  Model ste_model = make_resnet20(model_config,
+                                  ste_uniform_weight_factory(/*bits=*/4),
+                                  nullptr, rng);
+  runtime::LowerOptions options;
+  options.in_channels = data.train.channels();
+  options.in_height = data.train.height();
+  options.in_width = data.train.width();
+  runtime::CompiledGraph ste_graph = runtime::lower(ste_model, options);
+  const Batch calib = data.train.gather({0, 1, 2, 3, 4, 5, 6, 7});
+  ste_graph.calibrate(calib.images);
+  const Tensor ste_logits = ste_graph.forward(calib.images);
+  EXPECT_EQ(ste_logits.dim(0), 8);
+  EXPECT_TRUE(std::isfinite(max_abs(ste_logits)));
+  for (const auto& layer : ste_graph.layers()) EXPECT_EQ(layer.bits, 4);
+
+  std::vector<BsqWeightSource*> bsq_sources;
+  Model bsq_model = make_resnet20(
+      model_config, bsq_weight_factory(&bsq_sources), nullptr, rng);
+  runtime::CompiledGraph bsq_graph = runtime::lower(bsq_model, options);
+  bsq_graph.calibrate(calib.images);
+  const Tensor bsq_logits = bsq_graph.forward(calib.images);
+  EXPECT_TRUE(std::isfinite(max_abs(bsq_logits)));
+  // BSQ reconstruction is plane-summed floats: near-exact, not bit-exact.
+  for (const QuantLayer& layer : bsq_model.quant_layers()) {
+    EXPECT_LT(export_roundtrip_error(*layer.source), 1e-5f);
+  }
+}
+
+TEST(CompiledGraph, RequiresFinalizedSources) {
+  Rng rng(908);
+  std::vector<CsqWeightSource*> sources;
+  ModelConfig model_config;
+  model_config.base_width = 4;
+  Model model = make_resnet20(model_config, csq_weight_factory(&sources),
+                              nullptr, rng);
+  runtime::LowerOptions options;
+  options.in_height = 16;
+  options.in_width = 16;
+  EXPECT_THROW(runtime::lower(model, options), check_error);
+
+  Model dense = make_resnet20(model_config, dense_weight_factory(), nullptr,
+                              rng);
+  EXPECT_THROW(runtime::lower(dense, options), check_error);
+}
+
+TEST(CompiledGraph, ForwardWithoutCalibrationThrows) {
+  Rng rng(909);
+  std::vector<CsqWeightSource*> sources;
+  ModelConfig model_config;
+  model_config.base_width = 4;
+  Model model = make_resnet20(model_config, csq_weight_factory(&sources),
+                              nullptr, rng);
+  for (CsqWeightSource* source : sources) source->finalize();
+  runtime::LowerOptions options;
+  options.in_height = 16;
+  options.in_width = 16;
+  runtime::CompiledGraph graph = runtime::lower(model, options);
+  Tensor input({2, 3, 16, 16});
+  EXPECT_THROW(graph.forward(input), check_error);
+}
+
+TEST(CompiledGraph, LowersVgg19WithMaxPools) {
+  // VGG exercises the maxpool lowering and deep conv/bn/relu chains.
+  Rng rng(910);
+  ModelConfig model_config;
+  model_config.base_width = 4;
+  model_config.num_classes = 10;
+  Model model = make_vgg19bn(model_config,
+                             ste_uniform_weight_factory(/*bits=*/4), nullptr,
+                             rng);
+  runtime::LowerOptions options;
+  options.in_height = 32;
+  options.in_width = 32;
+  runtime::CompiledGraph graph = runtime::lower(model, options);
+
+  Rng data_rng(911);
+  Tensor images = random_tensor({4, 3, 32, 32}, data_rng);
+  graph.calibrate(images);
+  graph.set_pooled(false);
+  const Tensor serial = graph.forward(images);
+  graph.set_pooled(true);
+  const Tensor pooled = graph.forward(images);
+  for (std::int64_t i = 0; i < serial.numel(); ++i) {
+    ASSERT_EQ(serial[i], pooled[i]);
+  }
+  EXPECT_EQ(serial.dim(1), 10);
+}
+
+}  // namespace
+}  // namespace csq
