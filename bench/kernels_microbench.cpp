@@ -13,19 +13,25 @@
 //     SGD) of a ResNet-20 BasicBlock under dense and CSQ weights;
 //   BENCH_infer.json       — serving latency of a finalized ResNet-20:
 //     float eval-path forward vs the int8 compiled graph
-//     (runtime/compiled_graph.h), per batch size.
+//     (runtime/compiled_graph.h), per batch size;
+//   BENCH_serve.json       — the batching server (serve/batching_server.h)
+//     under closed-loop producer threads: throughput and p50/p99 request
+//     latency vs offered load (producer count) and max_batch.
 // `--smoke` runs every report in a 1-iteration mode and exits — the ctest
 // entry uses it so CI catches bench bitrot.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <functional>
 #include <iostream>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/csq_weight.h"
@@ -36,6 +42,7 @@
 #include "nn/weight_source.h"
 #include "opt/sgd.h"
 #include "runtime/compiled_graph.h"
+#include "serve/batching_server.h"
 #include "quant/bsq_weight.h"
 #include "quant/dorefa_weight.h"
 #include "quant/lqnets_weight.h"
@@ -626,6 +633,124 @@ void write_infer_report(const std::string& path, int iterations) {
   std::cout << "wrote " << path << "\n";
 }
 
+// -------------------------------------------------------- serve report --
+
+// The batching server under closed-loop load: `producers` threads each
+// issue `requests_per_producer` single-sample requests as fast as their
+// previous one completes. Reports throughput plus p50/p99 per-request
+// latency for each (producers, max_batch) point — the flush-policy
+// trade-off the serving layer exists to navigate.
+void write_serve_report(const std::string& path, int requests_per_producer) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "could not open " << path << " for writing; skipping the "
+              << "serve report\n";
+    return;
+  }
+  const std::int64_t side = 16;
+  Rng rng(55);
+  std::vector<CsqWeightSource*> registry;
+  ModelConfig model_config;
+  model_config.base_width = 16;
+  CsqWeightOptions weight_options;
+  weight_options.fixed_precision = 3;
+  Model model = make_resnet20(
+      model_config, csq_weight_factory(&registry, weight_options), nullptr,
+      rng);
+  for (CsqWeightSource* source : registry) source->finalize();
+
+  runtime::LowerOptions lower_options;
+  lower_options.in_height = side;
+  lower_options.in_width = side;
+  runtime::CompiledGraph graph = runtime::lower(model, lower_options);
+  {
+    Rng calib_rng(56);
+    Tensor calib = random_tensor({8, 3, side, side}, calib_rng);
+    graph.calibrate(calib);
+  }
+
+  constexpr int kSamples = 4;
+  Rng data_rng(57);
+  Tensor samples = random_tensor({kSamples, 3, side, side}, data_rng);
+  const std::int64_t sample_numel = 3 * side * side;
+
+  out << "{\n  \"model\": \"resnet20-w16-csq3b\",\n  \"image\": \"" << side
+      << "x" << side << "\",\n  \"threads\": " << global_pool().num_threads()
+      << ",\n  \"replicas\": 2,\n  \"configs\": [\n";
+  bool first = true;
+  for (const int producers : {1, 4}) {
+    for (const std::int64_t max_batch : {std::int64_t{1}, std::int64_t{8},
+                                         std::int64_t{32}}) {
+      serve::ServerOptions server_options;
+      server_options.max_batch = max_batch;
+      server_options.max_latency_us = 200;
+      serve::BatchingServer server(server_options);
+      std::vector<runtime::CompiledGraph> replicas;
+      replicas.push_back(runtime::replicate(graph));
+      replicas.push_back(runtime::replicate(graph));
+      server.add_model("m", std::move(replicas));
+      server.start();
+      const serve::ModelHandle handle = server.handle("m");
+
+      const int total = producers * requests_per_producer;
+      std::vector<double> latencies_us(static_cast<std::size_t>(total), 0.0);
+      using clock = std::chrono::steady_clock;
+      const auto start = clock::now();
+      std::vector<std::thread> threads;
+      for (int p = 0; p < producers; ++p) {
+        threads.emplace_back([&, p] {
+          std::vector<float> logits(10);
+          for (int i = 0; i < requests_per_producer; ++i) {
+            const int s = (p + i) % kSamples;
+            const auto issued = clock::now();
+            server.infer(handle, samples.data() + s * sample_numel,
+                         logits.data());
+            latencies_us[static_cast<std::size_t>(
+                p * requests_per_producer + i)] =
+                std::chrono::duration<double, std::micro>(clock::now() -
+                                                          issued)
+                    .count();
+          }
+        });
+      }
+      for (std::thread& thread : threads) thread.join();
+      const double seconds =
+          std::chrono::duration<double>(clock::now() - start).count();
+      server.stop();
+
+      std::sort(latencies_us.begin(), latencies_us.end());
+      const auto percentile = [&](double q) {
+        const auto index = static_cast<std::size_t>(
+            q * static_cast<double>(latencies_us.size() - 1));
+        return latencies_us[index];
+      };
+      const double throughput = static_cast<double>(total) / seconds;
+      const auto stats = server.stats("m");
+      const double mean_batch =
+          static_cast<double>(stats.requests) /
+          static_cast<double>(std::max<std::uint64_t>(stats.batches, 1));
+
+      if (!first) out << ",\n";
+      first = false;
+      out << "    {\"producers\": " << producers
+          << ", \"max_batch\": " << max_batch
+          << ", \"requests\": " << total
+          << ", \"throughput_rps\": " << throughput
+          << ", \"p50_us\": " << percentile(0.50)
+          << ", \"p99_us\": " << percentile(0.99)
+          << ", \"mean_batch\": " << mean_batch
+          << ", \"full_flushes\": " << stats.full_flushes
+          << ", \"timer_flushes\": " << stats.timer_flushes << "}";
+      std::cout << "serve p" << producers << " mb" << max_batch << ": "
+                << throughput << " req/s, p50 " << percentile(0.50)
+                << " us, p99 " << percentile(0.99) << " us, mean batch "
+                << mean_batch << "\n";
+    }
+  }
+  out << "\n  ]\n}\n";
+  std::cout << "wrote " << path << "\n";
+}
+
 void register_materialize_benchmarks() {
   for (const MaterializeFamily& family : materialize_families()) {
     for (const bool pooled : {false, true}) {
@@ -680,6 +805,7 @@ int main(int argc, char** argv) {
     csq::write_step_report("BENCH_step.json", /*steps=*/1);
     csq::write_materialize_report("BENCH_materialize.json", /*min_ms=*/1.0);
     csq::write_infer_report("BENCH_infer.json", /*iterations=*/1);
+    csq::write_serve_report("BENCH_serve.json", /*requests_per_producer=*/4);
     return 0;
   }
   csq::register_materialize_benchmarks();
@@ -696,6 +822,8 @@ int main(int argc, char** argv) {
     csq::write_step_report("BENCH_step.json", /*steps=*/40);
     csq::write_materialize_report("BENCH_materialize.json");
     csq::write_infer_report("BENCH_infer.json", /*iterations=*/40);
+    csq::write_serve_report("BENCH_serve.json",
+                            /*requests_per_producer=*/150);
   }
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

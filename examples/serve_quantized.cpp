@@ -1,0 +1,163 @@
+// Serving path: Model -> lower() -> persisted artifact ->
+// serve::BatchingServer.
+//
+// Builds a finalized CSQ ResNet-20, lowers and calibrates it, persists the
+// compiled graph to a v3 "CSQM" artifact (runtime/graph_artifact.h) and
+// then DESTROYS the float model — everything from here on is the serving
+// process: artifact-loaded int8 replicas behind a request-batching server,
+// driven by concurrent producer threads. Prints the artifact size, the
+// bit-identity of loaded-vs-direct forwards, per-request correctness under
+// concurrency and the throughput/batching statistics.
+//
+//   $ ./examples/serve_quantized
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "core/csq_weight.h"
+#include "data/synthetic.h"
+#include "nn/models.h"
+#include "runtime/compiled_graph.h"
+#include "runtime/graph_artifact.h"
+#include "serve/batching_server.h"
+#include "tensor/ops.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+int main() {
+  using namespace csq;
+  set_log_level(LogLevel::warn);
+
+  const std::int64_t side = 16;
+  const std::string artifact_path = "resnet20_int8.csqm";
+
+  // ---- build + lower + persist (the "training process") ------------------
+  Tensor probe;        // one batch kept around to verify bit-identity
+  Tensor direct_logits;
+  {
+    Rng rng(7);
+    std::vector<CsqWeightSource*> sources;
+    ModelConfig model_config;
+    model_config.base_width = 16;
+    CsqWeightOptions weight_options;
+    weight_options.fixed_precision = 3;  // the paper's deployment regime
+    Model model = make_resnet20(
+        model_config, csq_weight_factory(&sources, weight_options), nullptr,
+        rng);
+    for (CsqWeightSource* source : sources) source->finalize();
+
+    runtime::LowerOptions options;
+    options.in_height = side;
+    options.in_width = side;
+    runtime::CompiledGraph graph = runtime::lower(model, options);
+
+    Rng data_rng(21);
+    Tensor calib = Tensor::uninitialized({16, 3, side, side});
+    for (std::int64_t i = 0; i < calib.numel(); ++i) {
+      calib[i] = data_rng.uniform(-1.0f, 1.0f);
+    }
+    graph.calibrate(calib);
+
+    probe = Tensor::uninitialized({4, 3, side, side});
+    for (std::int64_t i = 0; i < probe.numel(); ++i) {
+      probe[i] = data_rng.uniform(-1.0f, 1.0f);
+    }
+    direct_logits = graph.forward(probe);
+
+    if (!runtime::save_graph(artifact_path, graph)) {
+      std::cerr << "could not write " << artifact_path << "\n";
+      return 1;
+    }
+    std::ifstream artifact(artifact_path,
+                           std::ios::binary | std::ios::ate);
+    std::cout << "saved " << artifact_path << " ("
+              << artifact.tellg() / 1024.0 << " KiB, float weights would be "
+              << model.total_weight_count() * 4 / 1024.0 << " KiB)\n";
+  }  // <- model and original graph destroyed: serving starts cold
+
+  // ---- serve from the artifact (the "serving process") -------------------
+  runtime::CompiledGraph loaded = runtime::load_graph(artifact_path);
+  const Tensor loaded_logits = loaded.forward(probe);
+  bool identical = loaded_logits.same_shape(direct_logits);
+  for (std::int64_t i = 0; identical && i < loaded_logits.numel(); ++i) {
+    identical = loaded_logits[i] == direct_logits[i];
+  }
+  std::cout << "loaded graph forward vs direct lowering: "
+            << (identical ? "bit-identical" : "MISMATCH!") << "\n\n";
+
+  serve::ServerOptions server_options;
+  server_options.max_batch = 16;
+  server_options.max_latency_us = 300;
+  serve::BatchingServer server(server_options);
+  server.add_model_from_artifact("resnet20", artifact_path, /*replicas=*/2);
+  server.start();
+
+  const auto shape = server.model_shape("resnet20");
+  const std::int64_t sample_numel = shape.channels * shape.height * shape.width;
+
+  // Distinct samples with precomputed single-sample reference logits.
+  constexpr int kSamples = 8;
+  Rng sample_rng(33);
+  Tensor samples = Tensor::uninitialized(
+      {kSamples, shape.channels, shape.height, shape.width});
+  for (std::int64_t i = 0; i < samples.numel(); ++i) {
+    samples[i] = sample_rng.uniform(-1.0f, 1.0f);
+  }
+  std::vector<Tensor> expected;
+  for (int s = 0; s < kSamples; ++s) {
+    Tensor one =
+        Tensor::uninitialized({1, shape.channels, shape.height, shape.width});
+    std::memcpy(one.data(), samples.data() + s * sample_numel,
+                static_cast<std::size_t>(sample_numel) * sizeof(float));
+    expected.push_back(loaded.forward(one));
+  }
+
+  constexpr int kProducers = 4;
+  constexpr int kRequestsEach = 200;
+  std::atomic<std::uint64_t> mismatches{0};
+  const serve::ModelHandle handle = server.handle("resnet20");
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      std::vector<float> logits(
+          static_cast<std::size_t>(shape.out_features));
+      for (int i = 0; i < kRequestsEach; ++i) {
+        const int s = (p * 13 + i) % kSamples;
+        server.infer(handle, samples.data() + s * sample_numel,
+                     logits.data());
+        if (std::memcmp(logits.data(),
+                        expected[static_cast<std::size_t>(s)].data(),
+                        logits.size() * sizeof(float)) != 0) {
+          ++mismatches;
+        }
+      }
+    });
+  }
+  for (std::thread& producer : producers) producer.join();
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  const auto stats = server.stats("resnet20");
+  std::cout << "served " << stats.requests << " requests from " << kProducers
+            << " producers in " << seconds << " s ("
+            << static_cast<double>(stats.requests) / seconds << " req/s)\n";
+  std::cout << "batches: " << stats.batches << " (mean batch "
+            << static_cast<double>(stats.requests) /
+                   static_cast<double>(stats.batches)
+            << ", max " << stats.max_batch_observed << ", full flushes "
+            << stats.full_flushes << ", timer flushes " << stats.timer_flushes
+            << ")\n";
+  std::cout << "per-request bit-identity vs single-sample forwards: "
+            << (mismatches.load() == 0 ? "all identical" : "MISMATCHES!")
+            << "\n";
+  server.stop();
+  std::remove(artifact_path.c_str());
+  return mismatches.load() == 0 && identical ? 0 : 1;
+}

@@ -1,5 +1,6 @@
 #include "core/model_io.h"
 
+#include <algorithm>
 #include <cstdint>
 #include <fstream>
 
@@ -10,29 +11,103 @@ namespace csq {
 namespace {
 
 constexpr char kMagic[4] = {'C', 'S', 'Q', 'M'};
-// v1: scale only (denominator fixed at 255); v2 adds the per-layer grid
-// denominator so non-CSQ families (STE-Uniform's 2^n - 1 grids) roundtrip.
-constexpr std::uint32_t kVersion = 2;
 // Sanity bounds for reading untrusted files.
 constexpr std::uint32_t kMaxLayers = 1 << 16;
 constexpr std::uint32_t kMaxNameLength = 1 << 12;
 constexpr std::uint32_t kMaxRank = 8;
 constexpr std::int64_t kMaxElements = std::int64_t{1} << 32;
 
-template <typename T>
-void write_pod(std::ostream& out, const T& value) {
-  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
-}
-
-template <typename T>
-T read_pod(std::istream& in) {
-  T value{};
-  in.read(reinterpret_cast<char*>(&value), sizeof(T));
-  CSQ_CHECK(static_cast<bool>(in)) << "quantized model file: truncated";
-  return value;
-}
+using model_io::read_pod;
+using model_io::write_pod;
 
 }  // namespace
+
+namespace model_io {
+
+void write_container_header(std::ostream& out, std::uint32_t version,
+                            std::uint32_t layer_count) {
+  out.write(kMagic, sizeof(kMagic));
+  write_pod(out, version);
+  write_pod(out, layer_count);
+}
+
+std::pair<std::uint32_t, std::uint32_t> read_container_header(
+    std::istream& in) {
+  char magic[4] = {};
+  in.read(magic, sizeof(magic));
+  CSQ_CHECK(in && std::equal(magic, magic + 4, kMagic))
+      << "quantized model file: bad magic";
+  const auto version = read_pod<std::uint32_t>(in);
+  CSQ_CHECK(version >= 1 && version <= kGraphContainerVersion)
+      << "quantized model file: unsupported version " << version;
+  const auto layer_count = read_pod<std::uint32_t>(in);
+  CSQ_CHECK(layer_count <= kMaxLayers)
+      << "quantized model file: absurd layer count " << layer_count;
+  return {version, layer_count};
+}
+
+void write_layer_record(std::ostream& out, const QuantizedLayerExport& layer) {
+  CSQ_CHECK(shape_numel(layer.shape) ==
+            static_cast<std::int64_t>(layer.codes.size()))
+      << "save: layer " << layer.name << " shape/code mismatch";
+  write_pod(out, static_cast<std::uint32_t>(layer.name.size()));
+  out.write(layer.name.data(),
+            static_cast<std::streamsize>(layer.name.size()));
+  write_pod(out, static_cast<std::uint32_t>(layer.shape.size()));
+  for (const std::int64_t dim : layer.shape) write_pod(out, dim);
+  write_pod(out, static_cast<std::int32_t>(layer.bits));
+  write_pod(out, layer.scale);
+  write_pod(out, layer.denominator);
+  for (const std::int32_t code : layer.codes) {
+    CSQ_CHECK(code >= -255 && code <= 255)
+        << "save: layer " << layer.name << " code " << code
+        << " outside the 8-bit grid";
+    write_pod(out, static_cast<std::int16_t>(code));
+  }
+}
+
+QuantizedLayerExport read_layer_record(std::istream& in,
+                                       std::uint32_t version) {
+  QuantizedLayerExport layer;
+  const auto name_length = read_pod<std::uint32_t>(in);
+  CSQ_CHECK(name_length <= kMaxNameLength)
+      << "quantized model file: absurd name length";
+  layer.name.resize(name_length);
+  in.read(layer.name.data(), name_length);
+  CSQ_CHECK(static_cast<bool>(in)) << "quantized model file: truncated name";
+
+  const auto rank = read_pod<std::uint32_t>(in);
+  CSQ_CHECK(rank <= kMaxRank) << "quantized model file: absurd rank";
+  layer.shape.resize(rank);
+  for (std::uint32_t d = 0; d < rank; ++d) {
+    layer.shape[d] = read_pod<std::int64_t>(in);
+    CSQ_CHECK(layer.shape[d] >= 0) << "quantized model file: negative dim";
+  }
+  const std::int64_t count = shape_numel(layer.shape);
+  CSQ_CHECK(count <= kMaxElements)
+      << "quantized model file: absurd element count";
+
+  layer.bits = read_pod<std::int32_t>(in);
+  CSQ_CHECK(layer.bits >= 0 && layer.bits <= 8)
+      << "quantized model file: bits out of range";
+  layer.scale = read_pod<float>(in);
+  if (version >= 2) {
+    layer.denominator = read_pod<float>(in);
+    CSQ_CHECK(layer.denominator >= 1.0f && layer.denominator <= 255.0f)
+        << "quantized model file: bad grid denominator";
+  }  // v1 files fixed the denominator at 255 (the struct default)
+
+  layer.codes.resize(static_cast<std::size_t>(count));
+  for (std::int64_t i = 0; i < count; ++i) {
+    const auto code = read_pod<std::int16_t>(in);
+    CSQ_CHECK(code >= -255 && code <= 255)
+        << "quantized model file: code outside the 8-bit grid";
+    layer.codes[static_cast<std::size_t>(i)] = code;
+  }
+  return layer;
+}
+
+}  // namespace model_io
 
 std::vector<QuantizedLayerExport> export_model(Model& model) {
   std::vector<QuantizedLayerExport> layers;
@@ -52,28 +127,11 @@ bool save_quantized_model(const std::string& path,
   std::ofstream out(path, std::ios::binary);
   if (!out) return false;
 
-  out.write(kMagic, sizeof(kMagic));
-  write_pod(out, kVersion);
-  write_pod(out, static_cast<std::uint32_t>(layers.size()));
-
+  model_io::write_container_header(
+      out, model_io::kLayerVersion,
+      static_cast<std::uint32_t>(layers.size()));
   for (const QuantizedLayerExport& layer : layers) {
-    CSQ_CHECK(shape_numel(layer.shape) ==
-              static_cast<std::int64_t>(layer.codes.size()))
-        << "save: layer " << layer.name << " shape/code mismatch";
-    write_pod(out, static_cast<std::uint32_t>(layer.name.size()));
-    out.write(layer.name.data(),
-              static_cast<std::streamsize>(layer.name.size()));
-    write_pod(out, static_cast<std::uint32_t>(layer.shape.size()));
-    for (const std::int64_t dim : layer.shape) write_pod(out, dim);
-    write_pod(out, static_cast<std::int32_t>(layer.bits));
-    write_pod(out, layer.scale);
-    write_pod(out, layer.denominator);
-    for (const std::int32_t code : layer.codes) {
-      CSQ_CHECK(code >= -255 && code <= 255)
-          << "save: layer " << layer.name << " code " << code
-          << " outside the 8-bit grid";
-      write_pod(out, static_cast<std::int16_t>(code));
-    }
+    model_io::write_layer_record(out, layer);
   }
   return static_cast<bool>(out);
 }
@@ -84,58 +142,14 @@ std::vector<QuantizedLayerExport> load_quantized_model(
   CSQ_CHECK(static_cast<bool>(in))
       << "quantized model file: cannot open " << path;
 
-  char magic[4] = {};
-  in.read(magic, sizeof(magic));
-  CSQ_CHECK(in && std::equal(magic, magic + 4, kMagic))
-      << "quantized model file: bad magic";
-  const auto version = read_pod<std::uint32_t>(in);
-  CSQ_CHECK(version == 1 || version == kVersion)
-      << "quantized model file: unsupported version " << version;
-  const auto layer_count = read_pod<std::uint32_t>(in);
-  CSQ_CHECK(layer_count <= kMaxLayers)
-      << "quantized model file: absurd layer count " << layer_count;
-
+  const auto [version, layer_count] = model_io::read_container_header(in);
   std::vector<QuantizedLayerExport> layers;
   layers.reserve(layer_count);
   for (std::uint32_t l = 0; l < layer_count; ++l) {
-    QuantizedLayerExport layer;
-    const auto name_length = read_pod<std::uint32_t>(in);
-    CSQ_CHECK(name_length <= kMaxNameLength)
-        << "quantized model file: absurd name length";
-    layer.name.resize(name_length);
-    in.read(layer.name.data(), name_length);
-    CSQ_CHECK(static_cast<bool>(in)) << "quantized model file: truncated name";
-
-    const auto rank = read_pod<std::uint32_t>(in);
-    CSQ_CHECK(rank <= kMaxRank) << "quantized model file: absurd rank";
-    layer.shape.resize(rank);
-    for (std::uint32_t d = 0; d < rank; ++d) {
-      layer.shape[d] = read_pod<std::int64_t>(in);
-      CSQ_CHECK(layer.shape[d] >= 0) << "quantized model file: negative dim";
-    }
-    const std::int64_t count = shape_numel(layer.shape);
-    CSQ_CHECK(count <= kMaxElements)
-        << "quantized model file: absurd element count";
-
-    layer.bits = read_pod<std::int32_t>(in);
-    CSQ_CHECK(layer.bits >= 0 && layer.bits <= 8)
-        << "quantized model file: bits out of range";
-    layer.scale = read_pod<float>(in);
-    if (version >= 2) {
-      layer.denominator = read_pod<float>(in);
-      CSQ_CHECK(layer.denominator >= 1.0f && layer.denominator <= 255.0f)
-          << "quantized model file: bad grid denominator";
-    }  // v1 files fixed the denominator at 255 (the struct default)
-
-    layer.codes.resize(static_cast<std::size_t>(count));
-    for (std::int64_t i = 0; i < count; ++i) {
-      const auto code = read_pod<std::int16_t>(in);
-      CSQ_CHECK(code >= -255 && code <= 255)
-          << "quantized model file: code outside the 8-bit grid";
-      layer.codes[static_cast<std::size_t>(i)] = code;
-    }
-    layers.push_back(std::move(layer));
+    layers.push_back(model_io::read_layer_record(in, version));
   }
+  // v3 containers carry a trailing graph section (runtime/graph_artifact.h)
+  // this reader deliberately ignores.
   return layers;
 }
 

@@ -12,13 +12,24 @@
 //              | i16 codes[numel]
 // Codes fit i16 (|q| <= 255 by construction; checked on save). v1 files
 // (CSQ-only, denominator fixed at 255) still load.
+//
+// Version 3 is the GRAPH ARTIFACT container (runtime/graph_artifact.h): the
+// same layer section followed by a "CSQG" graph section carrying the lowered
+// topology and calibrated edge scales. load_quantized_model reads the layer
+// section of a v3 file and ignores the graph section, so serving artifacts
+// double as plain quantized-model containers; v1/v2 files load unchanged.
 #pragma once
 
+#include <cstdint>
+#include <istream>
+#include <ostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/export.h"
 #include "nn/model.h"
+#include "util/check.h"
 
 namespace csq {
 
@@ -40,5 +51,49 @@ std::vector<QuantizedLayerExport> load_quantized_model(
 // Total storage of the container payload in bits (sum of per-layer
 // storage_bits); used to report deployment size.
 std::int64_t model_storage_bits(const std::vector<QuantizedLayerExport>& layers);
+
+// ---- low-level container sections ----------------------------------------
+//
+// Shared with the runtime graph-artifact writer (runtime/graph_artifact.cpp),
+// which embeds the standard layer section ahead of its graph section so one
+// set of readers/writers defines the on-disk layer record.
+namespace model_io {
+
+// Container versions: v1 scale-only, v2 adds the grid denominator (the
+// format save_quantized_model writes), v3 marks a trailing graph section.
+constexpr std::uint32_t kLayerVersion = 2;
+constexpr std::uint32_t kGraphContainerVersion = 3;
+
+// Little-endian POD field encoding — ONE definition for every section of
+// the container (layer records here, the graph section in
+// runtime/graph_artifact.cpp), so the low-level format cannot drift
+// between writers.
+template <typename T>
+void write_pod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  CSQ_CHECK(static_cast<bool>(in)) << "model container: truncated";
+  return value;
+}
+
+// Writes/validates the "CSQM" magic + version + layer count header.
+void write_container_header(std::ostream& out, std::uint32_t version,
+                            std::uint32_t layer_count);
+// Returns {version, layer_count}; throws check_error on bad magic/bounds.
+std::pair<std::uint32_t, std::uint32_t> read_container_header(
+    std::istream& in);
+
+// One layer record in the (version-independent) v2 layout. The reader
+// honours `version` for the v1 denominator default.
+void write_layer_record(std::ostream& out, const QuantizedLayerExport& layer);
+QuantizedLayerExport read_layer_record(std::istream& in,
+                                       std::uint32_t version);
+
+}  // namespace model_io
 
 }  // namespace csq

@@ -3,12 +3,16 @@
 //
 // A finalized model is lowered by walking the module tree in execution
 // order: every Module describes itself to a GraphLowering sink via
-// Module::lower. The sink (implemented by runtime::lower) fuses the
-// description into integer ops — Conv2d/Linear become int8-code GEMMs,
-// BatchNorm2d folds into the preceding layer's requantization scale/bias,
-// ReLU becomes the requantization clamp, and activation quantizers pin the
-// scale of the edge they produce. Residual blocks drive the fork/join
-// callbacks so the skip connection becomes an integer re-scaled add.
+// Module::lower. The sink (runtime::record_program's recorder) captures
+// the walk as a serializable GraphProgram — Conv2d/Linear contribute their
+// integer weight codes, BatchNorm2d its folded eval-mode affine, ReLU and
+// activation quantizers their fusion/pin markers, and residual blocks
+// drive the fork/join callbacks so the skip connection becomes an integer
+// re-scaled add. runtime::build_graph then replays the program into a
+// CompiledGraph; because the replay consumes only data, a persisted
+// artifact (runtime/graph_artifact.h) rebuilds the same graph with the
+// float model absent from memory. This walk is the ONLY point where the
+// runtime touches modules.
 //
 // The interface lives in nn (not runtime) so that module classes can
 // override lower() without depending on the runtime's graph types; the

@@ -10,10 +10,6 @@
 #endif
 
 #include "data/dataloader.h"
-#include "nn/batchnorm.h"
-#include "nn/conv2d.h"
-#include "nn/linear.h"
-#include "nn/lowering.h"
 #include "runtime/packed_weights.h"
 #include "tensor/gemm.h"
 #include "tensor/im2col.h"
@@ -63,6 +59,11 @@ class Op;
 // pimpl'd CompiledGraph methods and the (file-local) op classes share it.
 struct CompiledGraph::Impl {
   LowerOptions options;
+  // The program this graph was replayed from, kept for save_graph /
+  // replicate (codes are int32 per weight — comparable to the packed
+  // planes). Shared, not owned: replicate() hands every replica the same
+  // immutable program, so a shard of N replicas pays for ONE copy.
+  std::shared_ptr<const GraphProgram> program;
   std::int64_t levels = 255;  // 2^act_bits - 1
 
   std::vector<EdgeData> edges;
@@ -1028,11 +1029,13 @@ void CompiledGraph::Impl::run_float_all() {
 
 namespace {
 
-// GraphLowering sink: fuses the module-tree walk into the op list. The
-// conv/bn/relu/act-quant run of a plain stack is accumulated as a "pending"
-// accumulator and flushed into one RequantOp (or JoinOp at residual joins)
-// when the next op needs a realized uint8 edge.
-class GraphBuilder final : public GraphLowering {
+// Replays a recorded GraphProgram into the op list. The conv/bn/relu/
+// act-quant run of a plain stack is accumulated as a "pending" accumulator
+// and flushed into one RequantOp (or JoinOp at residual joins) when the
+// next instruction needs a realized uint8 edge. Consumes only program data
+// — never a module — so artifact loading shares this path byte for byte
+// with live lowering.
+class GraphBuilder {
  public:
   GraphBuilder(CompiledGraph::Impl& g) : g_(g) {
     EdgeData input;
@@ -1046,104 +1049,103 @@ class GraphBuilder final : public GraphLowering {
     g_.ops.push_back(std::make_unique<QuantizeInputOp>(0));
   }
 
-  void lower_conv2d(Conv2d& conv) override {
+  void conv(const QuantizedLayerExport& layer, const ProgramInstr& instr) {
     const int in = realize();
     const EdgeData in_e = g_.edges[static_cast<std::size_t>(in)];
-    const Conv2dConfig& config = conv.config();
-    CSQ_CHECK(in_e.channels == config.in_channels)
-        << "lowering " << conv.name() << ": edge channels " << in_e.channels
-        << " != " << config.in_channels;
+    CSQ_CHECK(layer.shape.size() == 4)
+        << "lowering " << layer.name << ": conv weights must be rank 4, got "
+        << layer.shape.size();
+    const std::int64_t out_channels = layer.shape[0];
+    const std::int64_t in_channels = layer.shape[1];
+    CSQ_CHECK(layer.shape[2] == instr.kernel && layer.shape[3] == instr.kernel)
+        << "lowering " << layer.name << ": kernel " << instr.kernel
+        << " does not match the weight shape";
+    CSQ_CHECK(in_e.channels == in_channels)
+        << "lowering " << layer.name << ": edge channels " << in_e.channels
+        << " != " << in_channels;
+    CSQ_CHECK(instr.bias.empty() ||
+              static_cast<std::int64_t>(instr.bias.size()) == out_channels)
+        << "lowering " << layer.name << ": bias length mismatch";
 
     ConvGeometry geom;
-    geom.channels = config.in_channels;
+    geom.channels = in_channels;
     geom.height = in_e.height;
     geom.width = in_e.width;
-    geom.kernel_h = geom.kernel_w = config.kernel;
-    geom.stride = config.stride;
-    geom.pad = config.pad;
+    geom.kernel_h = geom.kernel_w = instr.kernel;
+    geom.stride = instr.stride;
+    geom.pad = instr.pad;
     geom.validate();
 
-    PackedIntWeights packed = pack_source(conv.name(), conv.source(),
-                                          config.out_channels,
-                                          geom.col_rows());
+    PackedIntWeights packed(layer.codes, layer.step(), layer.bits,
+                            out_channels, geom.col_rows());
     const bool direct =
-        config.kernel == 1 && config.stride == 1 && config.pad == 0;
+        instr.kernel == 1 && instr.stride == 1 && instr.pad == 0;
     const int col_slot = direct ? -1 : g_.byte_slots_used++;
-    const int acc =
-        new_acc_edge(config.out_channels, geom.out_h(), geom.out_w());
+    const int acc = new_acc_edge(out_channels, geom.out_h(), geom.out_w());
 
-    auto op = std::make_unique<ConvOp>(conv.name(), in, acc, geom,
+    auto op = std::make_unique<ConvOp>(layer.name, in, acc, geom,
                                        std::move(packed), col_slot);
     const ConvOp* raw = op.get();
-    record_layer(conv.name(), raw->weights());
+    record_layer(layer.name, raw->weights());
     g_.ops.push_back(std::move(op));
 
     pending_.active = true;
     pending_.main.acc_edge = acc;
     pending_.main.in_edge = in;
     pending_.main.weights = &raw->weights();
-    pending_.main.channels = config.out_channels;
+    pending_.main.channels = out_channels;
     pending_.main.plane = geom.out_h() * geom.out_w();
-    if (const float* bias = conv.bias_data()) {
-      pending_.main.bias.assign(bias, bias + config.out_channels);
-    }
+    pending_.main.bias = instr.bias;
   }
 
-  void lower_linear(Linear& linear) override {
+  void linear(const QuantizedLayerExport& layer, const ProgramInstr& instr) {
     const int in = realize();
     const EdgeData& in_e = g_.edges[static_cast<std::size_t>(in)];
-    CSQ_CHECK(in_e.per_sample() == linear.in_features())
-        << "lowering " << linear.name() << ": edge carries "
-        << in_e.per_sample() << " values, layer expects "
-        << linear.in_features();
+    CSQ_CHECK(layer.shape.size() == 2)
+        << "lowering " << layer.name << ": linear weights must be rank 2, "
+        << "got " << layer.shape.size();
+    const std::int64_t out_features = layer.shape[0];
+    const std::int64_t in_features = layer.shape[1];
+    CSQ_CHECK(in_e.per_sample() == in_features)
+        << "lowering " << layer.name << ": edge carries " << in_e.per_sample()
+        << " values, layer expects " << in_features;
     CSQ_CHECK(g_.out_features == 0)
         << "integer graph: multiple Linear heads are not supported";
+    CSQ_CHECK(instr.bias.empty() ||
+              static_cast<std::int64_t>(instr.bias.size()) == out_features)
+        << "lowering " << layer.name << ": bias length mismatch";
 
-    PackedIntWeights packed =
-        pack_source(linear.name(), linear.source(), linear.out_features(),
-                    linear.in_features());
-    std::vector<float> bias;
-    if (const float* b = linear.bias_data()) {
-      bias.assign(b, b + linear.out_features());
-    }
+    PackedIntWeights packed(layer.codes, layer.step(), layer.bits,
+                            out_features, in_features);
     const int acc_slot = g_.int_slots_used++;
-    auto op = std::make_unique<LinearOp>(linear.name(), in, std::move(packed),
-                                         std::move(bias), acc_slot);
-    record_layer(linear.name(), op->weights());
-    g_.out_features = linear.out_features();
+    auto op = std::make_unique<LinearOp>(layer.name, in, std::move(packed),
+                                         instr.bias, acc_slot);
+    record_layer(layer.name, op->weights());
+    g_.out_features = out_features;
     g_.ops.push_back(std::move(op));
     current_edge_ = -1;  // the graph output is the float logits tensor
   }
 
-  void lower_batchnorm(const BatchNorm2d& bn) override {
+  void batchnorm(const ProgramInstr& instr) {
     CSQ_CHECK(pending_.active && pending_.main.bn_scale.empty())
-        << "lowering " << bn.name()
-        << ": batch norm must directly follow a convolution";
+        << "integer graph: batch norm must directly follow a convolution";
     AccRequant& main = pending_.main;
-    CSQ_CHECK(bn.running_mean().numel() == main.channels)
-        << "lowering " << bn.name() << ": channel mismatch";
-    main.bn_scale.resize(static_cast<std::size_t>(main.channels));
-    main.bn_bias.resize(static_cast<std::size_t>(main.channels));
-    const float* mean = bn.running_mean().data();
-    const float* var = bn.running_var().data();
-    const float* gamma = bn.gamma().data();
-    const float* beta = bn.beta().data();
-    for (std::int64_t c = 0; c < main.channels; ++c) {
-      const float a =
-          gamma[c] / std::sqrt(var[c] + bn.epsilon());
-      main.bn_scale[static_cast<std::size_t>(c)] = a;
-      main.bn_bias[static_cast<std::size_t>(c)] = beta[c] - mean[c] * a;
-    }
+    CSQ_CHECK(static_cast<std::int64_t>(instr.scale.size()) ==
+                  main.channels &&
+              instr.shift.size() == instr.scale.size())
+        << "integer graph: batch-norm channel mismatch";
+    main.bn_scale = instr.scale;
+    main.bn_bias = instr.shift;
   }
 
-  void lower_relu() override {
+  void relu() {
     CSQ_CHECK(pending_.active)
         << "integer graph: standalone ReLU (without a producing conv/join) "
            "is not supported";
     pending_.relu = true;
   }
 
-  void lower_act_quant(int bits, float clip) override {
+  void act_quant(int bits, float clip) {
     CSQ_CHECK(pending_.active)
         << "integer graph: activation quantizer without a producing layer";
     CSQ_CHECK(clip > 0.0f) << "integer graph: non-positive act-quant clip";
@@ -1157,7 +1159,7 @@ class GraphBuilder final : public GraphLowering {
     pending_.has_fixed_scale = true;
   }
 
-  void lower_maxpool(std::int64_t kernel) override {
+  void maxpool(std::int64_t kernel) {
     const int in = realize();
     const EdgeData in_e = g_.edges[static_cast<std::size_t>(in)];
     CSQ_CHECK(in_e.height % kernel == 0 && in_e.width % kernel == 0)
@@ -1170,7 +1172,7 @@ class GraphBuilder final : public GraphLowering {
     current_edge_ = out;
   }
 
-  void lower_global_avg_pool() override {
+  void global_avg_pool() {
     const int in = realize();
     const EdgeData in_e = g_.edges[static_cast<std::size_t>(in)];
     const int out = new_u8_edge(in_e.channels, 1, 1);
@@ -1179,16 +1181,16 @@ class GraphBuilder final : public GraphLowering {
     current_edge_ = out;
   }
 
-  void lower_flatten() override {
+  void flatten() {
     // Shape bookkeeping only: edges are flat per-sample spans already.
     realize();
   }
 
-  void begin_residual() override {
+  void begin_residual() {
     residual_stack_.push_back(Frame{realize(), {}, false});
   }
 
-  void begin_skip() override {
+  void begin_skip() {
     CSQ_CHECK(!residual_stack_.empty()) << "begin_skip outside a residual";
     Frame& frame = residual_stack_.back();
     CSQ_CHECK(pending_.active && !pending_.relu &&
@@ -1200,7 +1202,7 @@ class GraphBuilder final : public GraphLowering {
     current_edge_ = frame.fork_edge;
   }
 
-  void end_residual() override {
+  void end_residual() {
     CSQ_CHECK(!residual_stack_.empty()) << "end_residual outside a residual";
     Frame frame = std::move(residual_stack_.back());
     residual_stack_.pop_back();
@@ -1282,14 +1284,6 @@ class GraphBuilder final : public GraphLowering {
     e.slot = g_.int_slots_used++;
     g_.edges.push_back(e);
     return static_cast<int>(g_.edges.size()) - 1;
-  }
-
-  PackedIntWeights pack_source(const std::string& name, WeightSource& source,
-                               std::int64_t rows, std::int64_t cols) {
-    CSQ_CHECK(source.has_finalized_codes())
-        << "lowering " << name << ": weight source '" << source.kind()
-        << "' has no exact integer form (finalize the model first)";
-    return PackedIntWeights(source.finalized_codes(), rows, cols);
   }
 
   void record_layer(const std::string& name, const PackedIntWeights& w) {
@@ -1439,18 +1433,150 @@ std::string CompiledGraph::describe() const {
   return out.str();
 }
 
+CompiledGraph::IoShape CompiledGraph::io_shape() const {
+  const EdgeData& in =
+      impl_->edges[static_cast<std::size_t>(impl_->input_edge)];
+  IoShape shape;
+  shape.channels = in.channels;
+  shape.height = in.height;
+  shape.width = in.width;
+  shape.out_features = impl_->out_features;
+  return shape;
+}
+
+const LowerOptions& CompiledGraph::options() const { return impl_->options; }
+
+const GraphProgram& CompiledGraph::program() const {
+  return *impl_->program;
+}
+
+std::vector<EdgeScaleRecord> CompiledGraph::edge_scales() {
+  if (!impl_->scales_final) impl_->finalize_scales();
+  std::vector<EdgeScaleRecord> records;
+  records.reserve(impl_->edges.size());
+  for (const EdgeData& e : impl_->edges) {
+    EdgeScaleRecord record;
+    record.is_acc = e.is_acc;
+    if (!e.is_acc) {
+      record.scale = e.scale;
+      record.levels = e.levels;
+      record.zero_point = e.zero_point;
+    }
+    records.push_back(record);
+  }
+  return records;
+}
+
+void CompiledGraph::restore_edge_scales(
+    const std::vector<EdgeScaleRecord>& records) {
+  Impl& g = *impl_;
+  CSQ_CHECK(records.size() == g.edges.size())
+      << "graph artifact: edge count " << records.size()
+      << " does not match the program's " << g.edges.size();
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EdgeData& e = g.edges[i];
+    const EdgeScaleRecord& record = records[i];
+    CSQ_CHECK(record.is_acc == e.is_acc)
+        << "graph artifact: edge " << i << " type mismatch";
+    if (e.is_acc) continue;
+    CSQ_CHECK(record.scale > 0.0f && record.levels >= 1.0f)
+        << "graph artifact: edge " << i << " carries an unresolved scale";
+    e.scale = record.scale;
+    e.levels = record.levels;
+    e.zero_point = record.zero_point;
+    // Pools keep re-deriving from their input edge (same restored values);
+    // every other edge serves the snapshot as a pinned scale.
+    if (e.derived_from < 0) e.scale_fixed = true;
+  }
+  g.scales_final = false;
+  g.finalize_scales();
+}
+
 CompiledGraph lower(Model& model, const LowerOptions& options) {
   CSQ_CHECK(model.has_root()) << "lower: model has no root module";
+  return build_graph(record_program(model), options);
+}
+
+namespace {
+
+// Replays `program` into a fresh Impl. Shared by build_graph (which then
+// takes ownership of the program) and replicate (which shares the source
+// graph's program instead of deep-copying it).
+void replay_program(CompiledGraph::Impl& impl, const GraphProgram& program,
+                    const LowerOptions& options) {
   CSQ_CHECK(options.act_bits >= 1 && options.act_bits <= 8)
       << "lower: act_bits must be in [1, 8] (codes are stored in uint8)";
-  CompiledGraph graph;
-  graph.impl_->options = options;
-  graph.impl_->levels = (std::int64_t{1} << options.act_bits) - 1;
-  graph.impl_->pooled = options.pooled;
-  GraphBuilder builder(*graph.impl_);
-  model.root().lower(builder);
+  impl.options = options;
+  impl.levels = (std::int64_t{1} << options.act_bits) - 1;
+  impl.pooled = options.pooled;
+  GraphBuilder builder(impl);
+  const auto layer_of = [&program](const ProgramInstr& instr) ->
+      const QuantizedLayerExport& {
+    CSQ_CHECK(instr.layer >= 0 &&
+              instr.layer < static_cast<std::int32_t>(program.layers.size()))
+        << "graph program: instruction references layer " << instr.layer
+        << " of " << program.layers.size();
+    return program.layers[static_cast<std::size_t>(instr.layer)];
+  };
+  for (const ProgramInstr& instr : program.instrs) {
+    switch (instr.kind) {
+      case ProgramInstr::Kind::kConv:
+        builder.conv(layer_of(instr), instr);
+        break;
+      case ProgramInstr::Kind::kLinear:
+        builder.linear(layer_of(instr), instr);
+        break;
+      case ProgramInstr::Kind::kBatchNorm:
+        builder.batchnorm(instr);
+        break;
+      case ProgramInstr::Kind::kRelu:
+        builder.relu();
+        break;
+      case ProgramInstr::Kind::kActQuant:
+        builder.act_quant(instr.act_bits, instr.clip);
+        break;
+      case ProgramInstr::Kind::kMaxPool:
+        builder.maxpool(instr.kernel);
+        break;
+      case ProgramInstr::Kind::kGlobalAvgPool:
+        builder.global_avg_pool();
+        break;
+      case ProgramInstr::Kind::kFlatten:
+        builder.flatten();
+        break;
+      case ProgramInstr::Kind::kBeginResidual:
+        builder.begin_residual();
+        break;
+      case ProgramInstr::Kind::kBeginSkip:
+        builder.begin_skip();
+        break;
+      case ProgramInstr::Kind::kEndResidual:
+        builder.end_residual();
+        break;
+      default:
+        CSQ_CHECK(false) << "graph program: unknown instruction kind "
+                         << static_cast<int>(instr.kind);
+    }
+  }
   builder.finish();
+}
+
+}  // namespace
+
+CompiledGraph build_graph(GraphProgram program, const LowerOptions& options) {
+  CompiledGraph graph;
+  replay_program(*graph.impl_, program, options);
+  graph.impl_->program =
+      std::make_shared<const GraphProgram>(std::move(program));
   return graph;
+}
+
+CompiledGraph replicate(CompiledGraph& graph) {
+  CompiledGraph copy;
+  replay_program(*copy.impl_, *graph.impl_->program, graph.options());
+  copy.impl_->program = graph.impl_->program;  // shared: no deep copy
+  copy.restore_edge_scales(graph.edge_scales());
+  return copy;
 }
 
 float evaluate_graph_accuracy(CompiledGraph& graph,

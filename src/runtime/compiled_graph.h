@@ -36,6 +36,7 @@
 
 #include "data/dataset.h"
 #include "nn/model.h"
+#include "runtime/graph_program.h"
 #include "tensor/tensor.h"
 
 namespace csq {
@@ -51,6 +52,16 @@ struct LowerOptions {
   int act_bits = 8;
   // Thread-pool execution (flippable later via set_pooled).
   bool pooled = true;
+};
+
+// Per-edge activation-quantization state, snapshotted by edge_scales() and
+// re-installed by restore_edge_scales() — the calibration half of a
+// persisted graph artifact (the topology half is the GraphProgram).
+struct EdgeScaleRecord {
+  bool is_acc = false;  // integrity marker; i32 edges carry no scale
+  float scale = 0.0f;
+  float levels = 0.0f;
+  std::int32_t zero_point = 0;
 };
 
 class CompiledGraph {
@@ -106,18 +117,61 @@ class CompiledGraph {
   // Human-readable op listing for debugging / the deploy example.
   std::string describe() const;
 
+  // ---- artifact / replication seam ---------------------------------------
+
+  // Compiled per-sample input extents and logit width — what a server needs
+  // to size request buffers without consulting the float model.
+  struct IoShape {
+    std::int64_t channels = 0;
+    std::int64_t height = 0;
+    std::int64_t width = 0;
+    std::int64_t out_features = 0;
+  };
+  IoShape io_shape() const;
+
+  const LowerOptions& options() const;
+
+  // The recorded lowering program this graph was built from (weight codes +
+  // topology). save_graph persists it; build_graph replays it.
+  const GraphProgram& program() const;
+
+  // Snapshot of every edge's resolved quantization state. Finalizes scales
+  // first, so the graph must be calibrated (or act-quant-pinned everywhere
+  // with a calibrated input edge); throws otherwise.
+  std::vector<EdgeScaleRecord> edge_scales();
+
+  // Installs a snapshot taken from an identically-programmed graph and
+  // resolves the requantization constants — after this the graph serves
+  // without any calibration pass. Throws on edge-count/type mismatch.
+  void restore_edge_scales(const std::vector<EdgeScaleRecord>& records);
+
   struct Impl;
 
  private:
-  friend CompiledGraph lower(Model& model, const LowerOptions& options);
+  friend CompiledGraph build_graph(GraphProgram program,
+                                   const LowerOptions& options);
+  friend CompiledGraph replicate(CompiledGraph& graph);
   CompiledGraph();
   std::unique_ptr<Impl> impl_;
 };
 
-// Lowers a finalized model. Every quantizable layer must answer
-// WeightSource::has_finalized_codes() (finalized CSQ, BSQ, STE-Uniform...);
-// throws with the offending layer's name otherwise.
+// Lowers a finalized model: record_program + build_graph. Every quantizable
+// layer must answer WeightSource::has_finalized_codes() (finalized CSQ,
+// BSQ, STE-Uniform...); throws with the offending layer's name otherwise.
 CompiledGraph lower(Model& model, const LowerOptions& options = {});
+
+// Replays a recorded lowering program into a graph — the data-only path:
+// no Model is required, so a persisted artifact (runtime/graph_artifact.h)
+// lowers with the float model absent from memory. Replay is deterministic;
+// two graphs built from the same program run bit-identical forwards once
+// they carry the same edge scales.
+CompiledGraph build_graph(GraphProgram program,
+                          const LowerOptions& options = {});
+
+// Deep copy of a calibrated graph (program replay + edge-scale snapshot):
+// the per-worker replicas of the serving layer. Forwards are bit-identical
+// to the source graph's.
+CompiledGraph replicate(CompiledGraph& graph);
 
 // Top-1 accuracy (percent) of the integer graph on a dataset — the
 // integer-path counterpart of evaluate_accuracy (opt/trainer.h).

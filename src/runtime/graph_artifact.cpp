@@ -1,0 +1,188 @@
+#include "runtime/graph_artifact.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+
+#include "core/model_io.h"
+#include "util/check.h"
+
+namespace csq {
+namespace runtime {
+
+namespace {
+
+constexpr char kGraphMagic[4] = {'C', 'S', 'Q', 'G'};
+constexpr std::uint32_t kGraphSectionVersion = 1;
+// Sanity bounds for reading untrusted artifacts.
+constexpr std::uint32_t kMaxInstrs = 1 << 20;
+constexpr std::uint32_t kMaxEdges = 1 << 20;
+constexpr std::uint32_t kMaxVectorLength = 1 << 24;
+constexpr std::int64_t kMaxExtent = 1 << 20;
+
+using model_io::read_pod;
+using model_io::write_pod;
+
+void write_float_vector(std::ostream& out, const std::vector<float>& values) {
+  write_pod(out, static_cast<std::uint32_t>(values.size()));
+  out.write(reinterpret_cast<const char*>(values.data()),
+            static_cast<std::streamsize>(values.size() * sizeof(float)));
+}
+
+std::vector<float> read_float_vector(std::istream& in) {
+  const auto count = read_pod<std::uint32_t>(in);
+  CSQ_CHECK(count <= kMaxVectorLength)
+      << "graph artifact: absurd vector length " << count;
+  std::vector<float> values(count);
+  in.read(reinterpret_cast<char*>(values.data()),
+          static_cast<std::streamsize>(values.size() * sizeof(float)));
+  CSQ_CHECK(static_cast<bool>(in)) << "graph artifact: truncated";
+  return values;
+}
+
+}  // namespace
+
+bool save_graph(const std::string& path, CompiledGraph& graph) {
+  // Resolve (and validate) the scales before touching the filesystem so an
+  // uncalibrated graph fails cleanly without leaving a partial file.
+  const std::vector<EdgeScaleRecord> edges = graph.edge_scales();
+  const GraphProgram& program = graph.program();
+  const LowerOptions& options = graph.options();
+  CSQ_CHECK(!program.instrs.empty())
+      << "save_graph: graph carries no lowering program";
+
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+
+  model_io::write_container_header(
+      out, model_io::kGraphContainerVersion,
+      static_cast<std::uint32_t>(program.layers.size()));
+  for (const QuantizedLayerExport& layer : program.layers) {
+    model_io::write_layer_record(out, layer);
+  }
+
+  out.write(kGraphMagic, sizeof(kGraphMagic));
+  write_pod(out, kGraphSectionVersion);
+  write_pod(out, options.in_channels);
+  write_pod(out, options.in_height);
+  write_pod(out, options.in_width);
+  write_pod(out, static_cast<std::int32_t>(options.act_bits));
+
+  write_pod(out, static_cast<std::uint32_t>(program.instrs.size()));
+  for (const ProgramInstr& instr : program.instrs) {
+    write_pod(out, static_cast<std::uint8_t>(instr.kind));
+    write_pod(out, instr.layer);
+    write_pod(out, instr.kernel);
+    write_pod(out, instr.stride);
+    write_pod(out, instr.pad);
+    write_pod(out, instr.act_bits);
+    write_pod(out, instr.clip);
+    write_float_vector(out, instr.scale);
+    write_float_vector(out, instr.shift);
+    write_float_vector(out, instr.bias);
+  }
+
+  write_pod(out, static_cast<std::uint32_t>(edges.size()));
+  for (const EdgeScaleRecord& edge : edges) {
+    write_pod(out, static_cast<std::uint8_t>(edge.is_acc ? 1 : 0));
+    write_pod(out, edge.scale);
+    write_pod(out, edge.levels);
+    write_pod(out, edge.zero_point);
+  }
+  return static_cast<bool>(out);
+}
+
+CompiledGraph load_graph(const std::string& path, bool pooled) {
+  std::ifstream in(path, std::ios::binary);
+  CSQ_CHECK(static_cast<bool>(in))
+      << "graph artifact: cannot open " << path;
+
+  const auto [version, layer_count] = model_io::read_container_header(in);
+  CSQ_CHECK(version == model_io::kGraphContainerVersion)
+      << "graph artifact: " << path << " is a plain quantized-model "
+      << "container (version " << version << ") with no graph section";
+
+  GraphProgram program;
+  program.layers.reserve(layer_count);
+  for (std::uint32_t l = 0; l < layer_count; ++l) {
+    program.layers.push_back(model_io::read_layer_record(in, version));
+  }
+
+  char magic[4] = {};
+  in.read(magic, sizeof(magic));
+  CSQ_CHECK(in && std::equal(magic, magic + 4, kGraphMagic))
+      << "graph artifact: bad graph-section magic";
+  const auto section_version = read_pod<std::uint32_t>(in);
+  CSQ_CHECK(section_version == kGraphSectionVersion)
+      << "graph artifact: unsupported graph-section version "
+      << section_version;
+
+  LowerOptions options;
+  options.in_channels = read_pod<std::int64_t>(in);
+  options.in_height = read_pod<std::int64_t>(in);
+  options.in_width = read_pod<std::int64_t>(in);
+  options.act_bits = read_pod<std::int32_t>(in);
+  options.pooled = pooled;
+  CSQ_CHECK(options.in_channels > 0 && options.in_height > 0 &&
+            options.in_width > 0)
+      << "graph artifact: non-positive input extents";
+
+  const auto instr_count = read_pod<std::uint32_t>(in);
+  CSQ_CHECK(instr_count <= kMaxInstrs)
+      << "graph artifact: absurd instruction count " << instr_count;
+  program.instrs.reserve(instr_count);
+  for (std::uint32_t i = 0; i < instr_count; ++i) {
+    ProgramInstr instr;
+    const auto kind = read_pod<std::uint8_t>(in);
+    CSQ_CHECK(kind <= static_cast<std::uint8_t>(ProgramInstr::Kind::kLinear))
+        << "graph artifact: unknown instruction kind "
+        << static_cast<int>(kind);
+    instr.kind = static_cast<ProgramInstr::Kind>(kind);
+    instr.layer = read_pod<std::int32_t>(in);
+    instr.kernel = read_pod<std::int64_t>(in);
+    instr.stride = read_pod<std::int64_t>(in);
+    instr.pad = read_pod<std::int64_t>(in);
+    instr.act_bits = read_pod<std::int32_t>(in);
+    instr.clip = read_pod<float>(in);
+    instr.scale = read_float_vector(in);
+    instr.shift = read_float_vector(in);
+    instr.bias = read_float_vector(in);
+    // Field validation the replay builder does not re-derive: a zero pool
+    // kernel would reach an integer division and a wild act_bits an
+    // undefined shift — corrupted artifacts must throw, not crash.
+    if (instr.kind == ProgramInstr::Kind::kConv ||
+        instr.kind == ProgramInstr::Kind::kMaxPool) {
+      CSQ_CHECK(instr.kernel >= 1 && instr.kernel <= kMaxExtent)
+          << "graph artifact: bad kernel extent " << instr.kernel;
+      CSQ_CHECK(instr.stride >= 1 && instr.stride <= kMaxExtent &&
+                instr.pad >= 0 && instr.pad <= kMaxExtent)
+          << "graph artifact: bad conv stride/pad";
+    }
+    if (instr.kind == ProgramInstr::Kind::kActQuant) {
+      CSQ_CHECK(instr.act_bits >= 1 && instr.act_bits <= 32)
+          << "graph artifact: bad act-quant bits " << instr.act_bits;
+    }
+    program.instrs.push_back(std::move(instr));
+  }
+
+  const auto edge_count = read_pod<std::uint32_t>(in);
+  CSQ_CHECK(edge_count <= kMaxEdges)
+      << "graph artifact: absurd edge count " << edge_count;
+  std::vector<EdgeScaleRecord> edges;
+  edges.reserve(edge_count);
+  for (std::uint32_t e = 0; e < edge_count; ++e) {
+    EdgeScaleRecord record;
+    record.is_acc = read_pod<std::uint8_t>(in) != 0;
+    record.scale = read_pod<float>(in);
+    record.levels = read_pod<float>(in);
+    record.zero_point = read_pod<std::int32_t>(in);
+    edges.push_back(record);
+  }
+
+  CompiledGraph graph = build_graph(std::move(program), options);
+  graph.restore_edge_scales(edges);
+  return graph;
+}
+
+}  // namespace runtime
+}  // namespace csq

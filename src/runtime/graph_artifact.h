@@ -1,0 +1,35 @@
+// Persisted CompiledGraph artifacts — the serving deployment container.
+//
+// save_graph serializes a calibrated graph into a version-3 "CSQM"
+// container (core/model_io.h): the standard quantized-layer section (so
+// load_quantized_model still reads the weights of a serving artifact),
+// followed by a "CSQG" graph section holding the recorded lowering program
+// (topology, folded batch-norm affines, biases, act-quant pins) and the
+// resolved per-edge activation scales/zero-points.
+//
+// load_graph replays the program through runtime::build_graph and restores
+// the edge scales: the float model never exists in the serving process, no
+// calibration pass is needed, and the loaded graph's batched forward is
+// bit-identical to the graph that was saved (replay and requant-constant
+// resolution are deterministic).
+#pragma once
+
+#include <string>
+
+#include "runtime/compiled_graph.h"
+
+namespace csq {
+namespace runtime {
+
+// Serializes `graph` to `path`. The graph must have resolved edge scales
+// (calibrate() ran, or every edge is act-quant-pinned and the input edge
+// calibrated) — throws check_error otherwise; returns false on I/O failure.
+bool save_graph(const std::string& path, CompiledGraph& graph);
+
+// Deserializes a graph artifact. Throws check_error on format violations
+// (bad magic, truncated payload, absurd counts, non-artifact versions).
+// `pooled` selects thread-pool execution of the loaded graph's forwards.
+CompiledGraph load_graph(const std::string& path, bool pooled = true);
+
+}  // namespace runtime
+}  // namespace csq

@@ -32,11 +32,16 @@ int common_shift(const std::vector<std::int32_t>& codes) {
 
 PackedIntWeights::PackedIntWeights(const WeightCodes& codes, std::int64_t rows,
                                    std::int64_t cols)
-    : rows_(rows), cols_(cols), bits_(codes.bits) {
+    : PackedIntWeights(codes.codes, codes.step(), codes.bits, rows, cols) {}
+
+PackedIntWeights::PackedIntWeights(const std::vector<std::int32_t>& codes,
+                                   float step, int bits, std::int64_t rows,
+                                   std::int64_t cols)
+    : rows_(rows), cols_(cols), bits_(bits) {
   const std::int64_t count = rows * cols;
-  CSQ_CHECK(count == static_cast<std::int64_t>(codes.codes.size()))
+  CSQ_CHECK(count == static_cast<std::int64_t>(codes.size()))
       << "packed weights: " << rows << "x" << cols << " != "
-      << codes.codes.size() << " codes";
+      << codes.size() << " codes";
   // int32 accumulator headroom: the worst per-k contribution is the split
   // form 2 * |hi| * 255 + lo * 255 with hi = -128, lo = 1 (65535), so the
   // reduction depth must satisfy k * 65535 < 2^31 - 1.
@@ -44,13 +49,13 @@ PackedIntWeights::PackedIntWeights(const WeightCodes& codes, std::int64_t rows,
       << "packed weights: reduction depth " << cols
       << " would overflow int32 accumulation";
 
-  shift_ = common_shift(codes.codes);
+  shift_ = common_shift(codes);
   // Power-of-two scaling of a float is exact: effective_step * plane-value
   // reproduces step * full-code bit for bit.
-  effective_step_ = std::ldexp(codes.step(), shift_);
+  effective_step_ = std::ldexp(step, shift_);
 
   std::int32_t max_magnitude = 0;
-  for (const std::int32_t code : codes.codes) {
+  for (const std::int32_t code : codes) {
     max_magnitude = std::max(max_magnitude, std::abs(code >> shift_));
   }
   const bool needs_split = max_magnitude > 127;
@@ -60,9 +65,9 @@ PackedIntWeights::PackedIntWeights(const WeightCodes& codes, std::int64_t rows,
   row_sums_.assign(static_cast<std::size_t>(rows), 0);
   for (std::int64_t i = 0; i < count; ++i) {
     const std::int32_t shifted =
-        codes.codes[static_cast<std::size_t>(i)] / (1 << shift_);
+        codes[static_cast<std::size_t>(i)] / (1 << shift_);
     CSQ_CHECK(shifted >= -255 && shifted <= 255)
-        << "packed weights: code " << codes.codes[static_cast<std::size_t>(i)]
+        << "packed weights: code " << codes[static_cast<std::size_t>(i)]
         << " outside the 8-bit grid";
     if (needs_split) {
       const std::int32_t lo = shifted & 1;

@@ -38,6 +38,12 @@ class PackedIntWeights {
   PackedIntWeights(const WeightCodes& codes, std::int64_t rows,
                    std::int64_t cols);
 
+  // Borrowing form: packs a caller-owned code vector (e.g. a layer record
+  // inside a shared GraphProgram) without the WeightCodes wrapper copy.
+  // `step` is the real value of one grid unit (WeightCodes::step()).
+  PackedIntWeights(const std::vector<std::int32_t>& codes, float step,
+                   int bits, std::int64_t rows, std::int64_t cols);
+
   std::int64_t rows() const { return rows_; }
   std::int64_t cols() const { return cols_; }
   int bits() const { return bits_; }

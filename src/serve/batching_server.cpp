@@ -1,0 +1,409 @@
+#include "serve/batching_server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <mutex>
+#include <thread>
+
+#include "runtime/graph_artifact.h"
+#include "util/check.h"
+
+namespace csq {
+namespace serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// One in-flight request. Lives on the producer's stack for the duration of
+// its infer() call — the queue stores only the pointer, so the request path
+// never allocates. Every node is completed exactly once before its producer
+// returns: normally by the worker that served it, or force-completed with
+// `failed` set if a worker died (so no worker can touch a dead stack frame).
+struct Request {
+  const float* sample = nullptr;
+  float* logits = nullptr;
+  Clock::time_point enqueued;
+  bool done = false;
+  bool failed = false;
+};
+
+}  // namespace
+
+// One model id: a request ring plus one worker thread (and graph replica)
+// per registered replica. All queue state is guarded by `mutex`;
+// `queue_cv` wakes workers (work arrived / batch filled), `done_cv` wakes
+// producers (results ready, ring space freed) and start()'s warmup wait.
+struct BatchingServer::Shard {
+  std::string id;
+  std::vector<runtime::CompiledGraph> replicas;
+  runtime::CompiledGraph::IoShape shape;
+  const ServerOptions* options = nullptr;
+
+  std::mutex mutex;
+  std::condition_variable queue_cv;
+  std::condition_variable done_cv;
+  std::vector<Request*> ring;  // preallocated; head/count index it
+  std::size_t head = 0;
+  std::size_t count = 0;
+  bool accepting = false;  // start() opens, stop()/failures close — the
+                           // only lifecycle state infer() consults, so
+                           // producers never race an unguarded flag
+  bool stopping = false;
+  bool failed = false;
+  std::exception_ptr worker_error;
+  int workers_ready = 0;
+  int worker_target = 0;  // set before the threads spawn
+  ShardStats stats;
+
+  std::vector<std::thread> workers;
+
+  std::size_t capacity() const { return ring.size(); }
+
+  void worker_loop(int worker_index);
+  void run_worker(int worker_index, std::vector<Request*>& taken,
+                  std::size_t& n);
+};
+
+void BatchingServer::Shard::worker_loop(int worker_index) {
+  // `taken` and `n` live here so the failure path can force-complete the
+  // requests this worker had already popped: a check_error escaping a
+  // std::thread body would std::terminate the whole serving process, and a
+  // producer must never be left waiting on (or a worker writing into) a
+  // stack node whose batch died mid-flight.
+  std::vector<Request*> taken(
+      static_cast<std::size_t>(options->max_batch), nullptr);
+  std::size_t n = 0;
+  try {
+    run_worker(worker_index, taken, n);
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(mutex);
+    failed = true;
+    stopping = true;
+    accepting = false;
+    if (!worker_error) worker_error = std::current_exception();
+    workers_ready = worker_target;  // release start()'s warmup wait
+    for (std::size_t i = 0; i < n; ++i) {
+      taken[i]->failed = true;
+      taken[i]->done = true;
+    }
+    while (count > 0) {
+      Request* request = ring[head];
+      head = (head + 1) % capacity();
+      --count;
+      request->failed = true;
+      request->done = true;
+    }
+    queue_cv.notify_all();
+    done_cv.notify_all();
+  }
+}
+
+void BatchingServer::Shard::run_worker(int worker_index,
+                                       std::vector<Request*>& taken,
+                                       std::size_t& n) {
+  runtime::CompiledGraph& graph =
+      replicas[static_cast<std::size_t>(worker_index)];
+  const std::int64_t sample_numel =
+      shape.channels * shape.height * shape.width;
+  const std::int64_t max_batch = options->max_batch;
+
+  // Warmup: grow the graph's activation workspace, this thread's GEMM
+  // packing scratch and the staging tensor to their steady-state extents so
+  // the request path never touches the heap. The flush policy can produce
+  // ANY batch size in [1, max_batch], and every worker can have one output
+  // tensor in flight at once — so each worker forwards every size and
+  // HOLDS all outputs across a cross-worker rendezvous, seeding the tensor
+  // pool with the worst-case number of spans per size bucket.
+  Tensor staging = Tensor::zeros(
+      {max_batch, shape.channels, shape.height, shape.width});
+  graph.prepare(max_batch);
+  std::vector<Tensor> warm_outputs;
+  warm_outputs.reserve(static_cast<std::size_t>(max_batch));
+  for (std::int64_t b = max_batch; b >= 1; --b) {
+    staging.resize_unspecified({b, shape.channels, shape.height,
+                                shape.width});
+    warm_outputs.push_back(graph.forward(staging));
+  }
+  {
+    std::unique_lock<std::mutex> lock(mutex);
+    ++workers_ready;
+    done_cv.notify_all();
+    done_cv.wait(lock, [&] {
+      return workers_ready >= worker_target || stopping;
+    });
+  }
+  warm_outputs.clear();
+
+  while (true) {
+    n = 0;
+    {
+      std::unique_lock<std::mutex> lock(mutex);
+      while (true) {
+        queue_cv.wait(lock, [&] { return stopping || count > 0; });
+        if (count == 0) return;  // stopping and fully drained
+        // Flush policy: wait for a full batch until the oldest queued
+        // request's latency bound expires (requests carry their enqueue
+        // stamp, so the deadline survives partial pops exactly).
+        if (count < static_cast<std::size_t>(max_batch) && !stopping) {
+          const Clock::time_point deadline =
+              ring[head]->enqueued +
+              std::chrono::microseconds(options->max_latency_us);
+          queue_cv.wait_until(lock, deadline, [&] {
+            return count >= static_cast<std::size_t>(max_batch) || stopping;
+          });
+          // A sibling worker may have drained the queue while this one
+          // slept on the timer: go back to waiting instead of recording
+          // an empty batch.
+          if (count == 0 && !stopping) continue;
+          if (count == 0) return;
+        }
+        break;
+      }
+      n = std::min(count, static_cast<std::size_t>(max_batch));
+      for (std::size_t i = 0; i < n; ++i) {
+        taken[i] = ring[(head + i) % capacity()];
+      }
+      head = (head + n) % capacity();
+      count -= n;
+      ++stats.batches;
+      if (n == static_cast<std::size_t>(max_batch)) {
+        ++stats.full_flushes;
+      } else if (stopping) {
+        ++stats.drain_flushes;  // stop() drain: no timer fired
+      } else {
+        ++stats.timer_flushes;
+      }
+      stats.max_batch_observed =
+          std::max(stats.max_batch_observed, static_cast<std::int64_t>(n));
+    }
+    // Ring space freed: unblock producers waiting on backpressure.
+    done_cv.notify_all();
+
+    // Gather -> one batched integer forward -> scatter. The integer path is
+    // batch-invariant, so each row is bit-identical to a single-sample
+    // forward of the same graph.
+    staging.resize_unspecified({static_cast<std::int64_t>(n), shape.channels,
+                                shape.height, shape.width});
+    float* dst = staging.data();
+    for (std::size_t i = 0; i < n; ++i) {
+      std::memcpy(dst + static_cast<std::int64_t>(i) * sample_numel,
+                  taken[i]->sample,
+                  static_cast<std::size_t>(sample_numel) * sizeof(float));
+    }
+    Tensor logits = graph.forward(staging);
+    const float* out = logits.data();
+    for (std::size_t i = 0; i < n; ++i) {
+      std::memcpy(taken[i]->logits,
+                  out + static_cast<std::int64_t>(i) * shape.out_features,
+                  static_cast<std::size_t>(shape.out_features) *
+                      sizeof(float));
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      for (std::size_t i = 0; i < n; ++i) taken[i]->done = true;
+      n = 0;  // completed: the failure path must not touch these again
+    }
+    done_cv.notify_all();
+  }
+}
+
+BatchingServer::BatchingServer(ServerOptions options)
+    : options_(options) {
+  CSQ_CHECK(options_.max_batch >= 1)
+      << "batching server: max_batch must be at least 1";
+  CSQ_CHECK(options_.max_latency_us >= 0)
+      << "batching server: negative max_latency_us";
+  CSQ_CHECK(options_.queue_capacity >= 1)
+      << "batching server: queue_capacity must be at least 1";
+  options_.queue_capacity =
+      std::max(options_.queue_capacity, options_.max_batch);
+}
+
+BatchingServer::~BatchingServer() { stop(); }
+
+void BatchingServer::add_model(const std::string& model_id,
+                               std::vector<runtime::CompiledGraph> replicas) {
+  CSQ_CHECK(!started_)
+      << "batching server: add_model after start is not supported";
+  CSQ_CHECK(!replicas.empty())
+      << "batching server: model " << model_id << " has no replicas";
+  for (const auto& shard : shards_) {
+    CSQ_CHECK(shard->id != model_id)
+        << "batching server: duplicate model id " << model_id;
+  }
+  auto shard = std::make_unique<Shard>();
+  shard->id = model_id;
+  shard->shape = replicas.front().io_shape();
+  CSQ_CHECK(shard->shape.out_features > 0)
+      << "batching server: model " << model_id << " has no output head";
+  for (auto& replica : replicas) {
+    const auto shape = replica.io_shape();
+    CSQ_CHECK(shape.channels == shard->shape.channels &&
+              shape.height == shard->shape.height &&
+              shape.width == shard->shape.width &&
+              shape.out_features == shard->shape.out_features)
+        << "batching server: replica shape mismatch for model " << model_id;
+    // Resolve the requant constants NOW: an uncalibrated replica must fail
+    // this registration call, not a worker thread's warmup forward.
+    replica.edge_scales();
+  }
+  shard->replicas = std::move(replicas);
+  shard->options = &options_;
+  shard->ring.assign(static_cast<std::size_t>(options_.queue_capacity),
+                     nullptr);
+  shards_.push_back(std::move(shard));
+}
+
+void BatchingServer::add_model_from_artifact(const std::string& model_id,
+                                             const std::string& artifact_path,
+                                             int replicas, bool pooled) {
+  CSQ_CHECK(replicas >= 1)
+      << "batching server: model " << model_id << " needs >= 1 replicas";
+  std::vector<runtime::CompiledGraph> graphs;
+  graphs.reserve(static_cast<std::size_t>(replicas));
+  // One disk read + parse; the remaining replicas are bit-identical
+  // in-memory program replays.
+  graphs.push_back(runtime::load_graph(artifact_path, pooled));
+  for (int i = 1; i < replicas; ++i) {
+    // replicate() rebuilds from the loaded graph's program and options, so
+    // the pooled flag carries over.
+    graphs.push_back(runtime::replicate(graphs.front()));
+  }
+  add_model(model_id, std::move(graphs));
+}
+
+void BatchingServer::start() {
+  CSQ_CHECK(!started_) << "batching server: start called twice";
+  CSQ_CHECK(!shards_.empty()) << "batching server: no models registered";
+  started_ = true;
+  for (auto& shard : shards_) {
+    const int workers = static_cast<int>(shard->replicas.size());
+    shard->worker_target = workers;
+    {
+      std::lock_guard<std::mutex> lock(shard->mutex);
+      shard->accepting = true;
+    }
+    shard->workers.reserve(static_cast<std::size_t>(workers));
+    for (int w = 0; w < workers; ++w) {
+      shard->workers.emplace_back(
+          [shard = shard.get(), w] { shard->worker_loop(w); });
+    }
+  }
+  // Block until every worker finished its warmup so callers can rely on
+  // the zero-allocation steady state from the first request on. (>=, not
+  // ==: a failing worker's catch block jumps workers_ready to the target,
+  // and siblings still warming increment it past that afterwards.)
+  for (auto& shard : shards_) {
+    std::unique_lock<std::mutex> lock(shard->mutex);
+    shard->done_cv.wait(lock, [&] {
+      return shard->workers_ready >= shard->worker_target;
+    });
+  }
+  // Surface warmup failures synchronously instead of from a worker thread.
+  std::exception_ptr error;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    if (shard->failed && !error) error = shard->worker_error;
+  }
+  if (error) {
+    stop();
+    std::rethrow_exception(error);
+  }
+}
+
+void BatchingServer::stop() {
+  if (!started_) return;
+  for (auto& shard : shards_) {
+    {
+      std::lock_guard<std::mutex> lock(shard->mutex);
+      shard->accepting = false;  // late infer() calls now throw cleanly
+      shard->stopping = true;
+    }
+    shard->queue_cv.notify_all();
+    shard->done_cv.notify_all();
+  }
+  for (auto& shard : shards_) {
+    for (std::thread& worker : shard->workers) worker.join();
+    shard->workers.clear();
+    // Reset under the mutex: a producer rejected above may still hold it.
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    shard->stopping = false;
+    shard->failed = false;
+    shard->worker_error = nullptr;
+    shard->workers_ready = 0;
+  }
+  started_ = false;
+}
+
+BatchingServer::Shard& BatchingServer::shard_for(
+    const std::string& model_id) const {
+  for (const auto& shard : shards_) {
+    if (shard->id == model_id) return *shard;
+  }
+  CSQ_CHECK(false) << "batching server: unknown model id " << model_id;
+  // Unreachable; CSQ_CHECK throws.
+  return *shards_.front();
+}
+
+ModelHandle BatchingServer::handle(const std::string& model_id) const {
+  return ModelHandle(&shard_for(model_id));
+}
+
+void BatchingServer::infer(ModelHandle handle, const float* sample,
+                           float* logits) {
+  CSQ_CHECK(handle.valid()) << "batching server: invalid model handle";
+  Shard& shard = *static_cast<Shard*>(handle.shard_);
+  Request request;
+  request.sample = sample;
+  request.logits = logits;
+  {
+    std::unique_lock<std::mutex> lock(shard.mutex);
+    CSQ_CHECK(shard.accepting)
+        << "batching server: infer on a stopped server";
+    // Backpressure: block while the ring is full. Re-check `accepting`
+    // after the wait, not `stopping`: stop() clears stopping again once
+    // the workers are joined, but accepting stays false until the next
+    // start() — a producer waking late must not enqueue into a shard with
+    // no workers.
+    shard.done_cv.wait(lock, [&] {
+      return shard.count < shard.capacity() || !shard.accepting;
+    });
+    CSQ_CHECK(shard.accepting)
+        << "batching server: stopped while waiting for queue space";
+    request.enqueued = Clock::now();
+    shard.ring[(shard.head + shard.count) % shard.capacity()] = &request;
+    ++shard.count;
+    ++shard.stats.requests;
+  }
+  shard.queue_cv.notify_one();
+  {
+    std::unique_lock<std::mutex> lock(shard.mutex);
+    shard.done_cv.wait(lock, [&] { return request.done; });
+  }
+  CSQ_CHECK(!request.failed)
+      << "batching server: a worker of model " << shard.id
+      << " failed while this request was in flight";
+}
+
+void BatchingServer::infer(const std::string& model_id, const float* sample,
+                           float* logits) {
+  infer(handle(model_id), sample, logits);
+}
+
+runtime::CompiledGraph::IoShape BatchingServer::model_shape(
+    const std::string& model_id) const {
+  return shard_for(model_id).shape;
+}
+
+BatchingServer::ShardStats BatchingServer::stats(
+    const std::string& model_id) const {
+  Shard& shard = shard_for(model_id);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  return shard.stats;
+}
+
+}  // namespace serve
+}  // namespace csq

@@ -1,0 +1,132 @@
+// serve::BatchingServer — the request path on top of the integer runtime:
+// a multi-model shard registry, per-worker CompiledGraph replicas and a
+// latency-bounded request-batching queue.
+//
+// Request path: N producer threads call infer(handle, sample, logits). Each
+// call links a stack-allocated request node into the target shard's
+// preallocated ring and blocks. A shard worker coalesces queued requests
+// into ONE batched forward — flushing when max_batch requests are waiting
+// or when the oldest queued request has waited max_latency_us, whichever
+// comes first — scatters the per-request logits back and wakes the
+// producers. Models are registered by id; each shard owns its queue and
+// one worker thread (plus graph replica) per registered replica.
+//
+// Guarantees:
+//  * Outputs are bit-identical to serial single-sample forwards of the
+//    source graph: the integer path is batch-invariant, and replicas are
+//    deterministic program replays (runtime::replicate / load_graph).
+//  * Zero steady-state heap allocations on the request path with serial
+//    in-graph execution (the default): the ring, per-worker request arrays
+//    and staging batch tensors are grown during start()'s warmup; request
+//    nodes live on the callers' stacks; the graph forward is
+//    allocation-free after warmup (hotpath tests). Pooled replicas are
+//    SAFE — concurrent top-level parallel_for submissions queue on the
+//    shared pool (util/thread_pool.h) — but outside the strict guarantee:
+//    pool chunk assignment is dynamic, so a pool thread that slept through
+//    warmup can still grow its thread-local GEMM scratch on an early
+//    request.
+//  * Worker failures never abort the process: a throwing replica fails its
+//    shard, force-completes in-flight requests (their infer() calls throw)
+//    and start() rethrows warmup errors synchronously.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runtime/compiled_graph.h"
+
+namespace csq {
+namespace serve {
+
+struct ServerOptions {
+  // Flush a batch as soon as this many requests are queued.
+  std::int64_t max_batch = 16;
+  // ... or when the oldest queued request has waited this long.
+  std::int64_t max_latency_us = 200;
+  // Ring capacity per shard; producers beyond it block (backpressure).
+  std::int64_t queue_capacity = 1024;
+};
+
+// Resolved routing target for one model id: lets the request hot path skip
+// the registry lookup. Valid for the server's lifetime.
+class ModelHandle {
+ public:
+  ModelHandle() = default;
+  bool valid() const { return shard_ != nullptr; }
+
+ private:
+  friend class BatchingServer;
+  explicit ModelHandle(void* shard) : shard_(shard) {}
+  void* shard_ = nullptr;
+};
+
+class BatchingServer {
+ public:
+  explicit BatchingServer(ServerOptions options = {});
+  ~BatchingServer();  // stops and joins all shard workers
+
+  BatchingServer(const BatchingServer&) = delete;
+  BatchingServer& operator=(const BatchingServer&) = delete;
+
+  // Registers a model id with one worker thread per replica. Replicas must
+  // be calibrated graphs with identical IO shapes (runtime::replicate or
+  // load_graph produce them); an uncalibrated replica fails HERE, not in a
+  // worker thread. Must precede start().
+  void add_model(const std::string& model_id,
+                 std::vector<runtime::CompiledGraph> replicas);
+
+  // Convenience: loads `replicas` copies of a persisted graph artifact —
+  // the float-model-free deployment path. `pooled` selects in-graph
+  // thread-pool execution (default off: workers are the parallelism).
+  void add_model_from_artifact(const std::string& model_id,
+                               const std::string& artifact_path,
+                               int replicas, bool pooled = false);
+
+  // Launches the shard workers and runs their warmup forwards; after this
+  // the steady-state request path performs zero heap allocations.
+  void start();
+  // Drains queued requests, then joins the workers. Idempotent.
+  void stop();
+
+  // Resolves a model id once; infer(handle, ...) routes without a registry
+  // lookup. Throws for unknown ids.
+  ModelHandle handle(const std::string& model_id) const;
+
+  // Blocking single-sample inference: `sample` holds channels*height*width
+  // floats, `logits` receives out_features floats. Thread-safe; any number
+  // of producers may call concurrently.
+  void infer(ModelHandle handle, const float* sample, float* logits);
+  void infer(const std::string& model_id, const float* sample,
+             float* logits);
+
+  // Input/output extents of a registered model (for sizing request
+  // buffers).
+  runtime::CompiledGraph::IoShape model_shape(
+      const std::string& model_id) const;
+
+  struct ShardStats {
+    std::uint64_t requests = 0;
+    std::uint64_t batches = 0;
+    std::uint64_t full_flushes = 0;   // batch reached max_batch
+    std::uint64_t timer_flushes = 0;  // latency bound fired first
+    std::uint64_t drain_flushes = 0;  // partial batch popped by stop()
+    std::int64_t max_batch_observed = 0;
+  };
+  ShardStats stats(const std::string& model_id) const;
+
+  const ServerOptions& options() const { return options_; }
+
+ private:
+  struct Shard;
+
+  Shard& shard_for(const std::string& model_id) const;
+
+  ServerOptions options_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  bool started_ = false;
+};
+
+}  // namespace serve
+}  // namespace csq

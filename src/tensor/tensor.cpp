@@ -22,6 +22,18 @@ class StoragePool {
   static constexpr int kBuckets = 40;
   static constexpr std::uint64_t kMaxCachedBytes = 256ull << 20;
   static constexpr std::size_t kMaxCachedShapes = 4096;
+  static constexpr std::size_t kMaxCachedPerBucket = 256;
+
+  StoragePool() {
+    // The shelf containers are reserved once and never exceed their
+    // reserved extents (releases beyond a cap drop the buffer instead of
+    // pushing), so the pool's own bookkeeping performs no allocations
+    // after construction — a shelf push_back that reallocated mid-serving
+    // would break the zero-allocation steady-state guarantee exactly when
+    // the cached high-water mark advances.
+    shapes_.reserve(kMaxCachedShapes);
+    for (auto& shelf : data_shelves_) shelf.reserve(kMaxCachedPerBucket);
+  }
 
   void acquire_data(std::vector<float>& out, std::size_t count) {
     if (count == 0) {
@@ -52,14 +64,13 @@ class StoragePool {
     if (v.capacity() == 0) return;
     const std::uint64_t bytes = v.capacity() * sizeof(float);
     const int bucket = floor_log2(v.capacity());
-    try {
-      std::lock_guard<std::mutex> lock(mutex_);
-      if (cached_bytes_ + bytes > kMaxCachedBytes) return;  // drop: just free
-      data_shelves_[static_cast<std::size_t>(bucket)].push_back(std::move(v));
-      cached_bytes_ += bytes;
-    } catch (...) {
-      // Shelf growth failed; the buffer is freed normally.
-    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (cached_bytes_ + bytes > kMaxCachedBytes) return;  // drop: just free
+    std::vector<std::vector<float>>& shelf =
+        data_shelves_[static_cast<std::size_t>(bucket)];
+    if (shelf.size() >= kMaxCachedPerBucket) return;  // drop: stay reserved
+    shelf.push_back(std::move(v));
+    cached_bytes_ += bytes;
   }
 
   void acquire_shape(std::vector<std::int64_t>& out) {
@@ -77,12 +88,9 @@ class StoragePool {
 
   void release_shape(std::vector<std::int64_t>&& v) noexcept {
     if (v.capacity() == 0) return;
-    try {
-      std::lock_guard<std::mutex> lock(mutex_);
-      if (shapes_.size() >= kMaxCachedShapes) return;
-      shapes_.push_back(std::move(v));
-    } catch (...) {
-    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (shapes_.size() >= kMaxCachedShapes) return;
+    shapes_.push_back(std::move(v));
   }
 
   TensorPoolStats stats() {
@@ -97,9 +105,11 @@ class StoragePool {
     for (auto& shelf : data_shelves_) {
       shelf.clear();
       shelf.shrink_to_fit();
+      shelf.reserve(kMaxCachedPerBucket);  // keep releases allocation-free
     }
     shapes_.clear();
     shapes_.shrink_to_fit();
+    shapes_.reserve(kMaxCachedShapes);
     cached_bytes_ = 0;
   }
 

@@ -111,10 +111,17 @@ void ThreadPool::parallel_for_chunked(
   task.end = end;
   task.chunk = chunk;
 
+  // A direct nested submission would deadlock the queueing wait below (the
+  // caller is counted in workers_running_ of the task it is inside, so that
+  // task could never retire) — keep the misuse loud. The free-function
+  // wrappers never get here: they fall back to serial inside a region.
+  CSQ_CHECK(!inside_parallel_region())
+      << "nested parallel_for on the same pool is not supported";
   {
-    std::lock_guard<std::mutex> lock(mutex_);
-    CSQ_CHECK(active_task_ == nullptr)
-        << "nested parallel_for on the same pool is not supported";
+    // Top-level submissions from distinct threads (serving workers each
+    // driving their own graph replica) queue here until the pool is free.
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_.wait(lock, [&] { return active_task_ == nullptr; });
     active_task_ = &task;
     next_index_ = begin;
     first_error_ = nullptr;
@@ -122,17 +129,17 @@ void ThreadPool::parallel_for_chunked(
   }
   wake_.notify_all();
   run_task_share(task);
+  std::exception_ptr error;
   {
     std::unique_lock<std::mutex> lock(mutex_);
     done_.wait(lock, [&] { return workers_running_ == 0; });
     active_task_ = nullptr;
-    if (first_error_) {
-      auto error = first_error_;
-      first_error_ = nullptr;
-      lock.unlock();
-      std::rethrow_exception(error);
-    }
+    error = first_error_;
+    first_error_ = nullptr;
   }
+  // Wake submitters queued on active_task_ == nullptr.
+  done_.notify_all();
+  if (error) std::rethrow_exception(error);
 }
 
 void ThreadPool::parallel_for(std::int64_t begin, std::int64_t end,

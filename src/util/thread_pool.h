@@ -6,6 +6,10 @@
 //    (same cost per index), so dynamic stealing would only add overhead.
 //  * Exceptions thrown by workers are captured and rethrown on the caller
 //    thread (first one wins), so CSQ_CHECK failures inside kernels surface.
+//  * Top-level parallel_for calls from DIFFERENT threads are safe: they
+//    queue on the pool and run one at a time (the serving layer's worker
+//    threads each drive their own graph replica against the shared pool).
+//    Nested calls from inside a region still run serially on the caller.
 //  * A process-wide pool is exposed through `global_pool()`; thread count is
 //    taken from the CSQ_THREADS environment variable, defaulting to the
 //    hardware concurrency.

@@ -1,0 +1,19 @@
+// Global allocation probe shared by the steady-state regression suites
+// (hotpath_test.cpp, serve_test.cpp). alloc_probe.cpp replaces the global
+// operator new/delete for the WHOLE test binary with counting versions, so
+// a zero-delta window proves a code path performed no heap allocation at
+// all — a stray std::function closure, vector growth or fresh Tensor
+// buffer fails the assertion.
+#pragma once
+
+#include <cstdint>
+
+namespace csq {
+namespace testing {
+
+// Number of operator-new calls since process start (relaxed reads: windows
+// are delimited on one thread while the probed path runs).
+std::uint64_t alloc_count();
+
+}  // namespace testing
+}  // namespace csq

@@ -7,12 +7,9 @@
 //    unchanged weights and invalidates on set_beta / freeze_mask /
 //    optimizer steps;
 //  * Workspace slot semantics (grow-once, reference stability, bounds).
-#include <atomic>
-#include <cstdlib>
-#include <new>
-
 #include <gtest/gtest.h>
 
+#include "alloc_probe.h"
 #include "core/csq_weight.h"
 #include "nn/conv2d.h"
 #include "nn/linear.h"
@@ -28,50 +25,17 @@
 #include "test_helpers.h"
 #include "util/check.h"
 
-// ----------------------------------------------------- allocation probe --
-//
-// Global operator new/delete replacements that count every allocation in
-// the test binary. The steady-state windows below assert a delta of ZERO,
-// so any heap traffic on the hot path — a stray std::function closure, a
-// vector growth, a fresh Tensor buffer — fails the suite.
-
-namespace {
-std::atomic<std::uint64_t> g_alloc_count{0};
-
-void* counted_alloc(std::size_t size) {
-  ++g_alloc_count;
-  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
-  throw std::bad_alloc();
-}
-}  // namespace
-
-void* operator new(std::size_t size) { return counted_alloc(size); }
-void* operator new[](std::size_t size) { return counted_alloc(size); }
-void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
-  ++g_alloc_count;
-  return std::malloc(size == 0 ? 1 : size);
-}
-void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
-  ++g_alloc_count;
-  return std::malloc(size == 0 ? 1 : size);
-}
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete[](void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
-void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
-void operator delete[](void* p, const std::nothrow_t&) noexcept {
-  std::free(p);
-}
+// The global operator-new counter lives in alloc_probe.cpp (shared with the
+// serving-layer steady-state assertions in serve_test.cpp). The windows
+// below assert a delta of ZERO, so any heap traffic on the hot path — a
+// stray std::function closure, a vector growth, a fresh Tensor buffer —
+// fails the suite.
 
 namespace csq {
 namespace {
 
+using testing::alloc_count;
 using testing::random_tensor;
-
-std::uint64_t alloc_count() {
-  return g_alloc_count.load(std::memory_order_relaxed);
-}
 
 // Runs `steps` training steps of layer+optimizer and returns the number of
 // heap allocations the steady-state window performed.

@@ -97,6 +97,57 @@ TEST(ModelIo, RejectsMissingFile) {
                check_error);
 }
 
+// ------------------------------------------------------- golden files ---
+//
+// Committed v1 and v2 fixtures (tests/data/). The graph-section format
+// change (v3, runtime/graph_artifact.h) must never disturb how existing
+// containers read: every field of these files is asserted byte for byte
+// against the values they were written with.
+
+std::string golden_path(const std::string& name) {
+  return std::string(CSQ_TEST_DATA_DIR) + "/" + name;
+}
+
+void expect_golden_conv1(const QuantizedLayerExport& layer) {
+  EXPECT_EQ(layer.name, "conv1");
+  EXPECT_EQ(layer.shape, (std::vector<std::int64_t>{2, 3}));
+  EXPECT_EQ(layer.codes, (std::vector<std::int32_t>{0, 64, -128, 255, -255, 7}));
+  EXPECT_EQ(layer.bits, 3);
+  EXPECT_EQ(layer.scale, 0.5f);
+}
+
+TEST(ModelIoGolden, V1FixtureLoadsIdentically) {
+  const auto layers = load_quantized_model(golden_path("golden_v1.csqm"));
+  ASSERT_EQ(layers.size(), 1u);
+  expect_golden_conv1(layers[0]);
+  // v1 carries no denominator field: the CSQ default applies.
+  EXPECT_EQ(layers[0].denominator, 255.0f);
+}
+
+TEST(ModelIoGolden, V2FixtureLoadsIdentically) {
+  const auto layers = load_quantized_model(golden_path("golden_v2.csqm"));
+  ASSERT_EQ(layers.size(), 2u);
+  expect_golden_conv1(layers[0]);
+  EXPECT_EQ(layers[0].denominator, 255.0f);
+  EXPECT_EQ(layers[1].name, "fc");
+  EXPECT_EQ(layers[1].shape, (std::vector<std::int64_t>{1, 2, 1, 1}));
+  EXPECT_EQ(layers[1].codes, (std::vector<std::int32_t>{-1, 1}));
+  EXPECT_EQ(layers[1].bits, 1);
+  EXPECT_EQ(layers[1].scale, 2.0f);
+  EXPECT_EQ(layers[1].denominator, 85.0f);
+}
+
+TEST(ModelIoGolden, V1FixtureIsByteStable) {
+  // The fixture is 61 bytes written once and committed; a loader change
+  // that needs the file to change is a format break, not a refactor.
+  std::ifstream in(golden_path("golden_v1.csqm"), std::ios::binary);
+  ASSERT_TRUE(in);
+  const std::string contents((std::istreambuf_iterator<char>(in)),
+                             std::istreambuf_iterator<char>());
+  EXPECT_EQ(contents.size(), 61u);
+  EXPECT_EQ(contents.substr(0, 4), "CSQM");
+}
+
 TEST(ModelIo, ExportModelRequiresFinalizedCsqSources) {
   Rng rng(50);
   ModelConfig config;

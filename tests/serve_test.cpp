@@ -1,0 +1,508 @@
+// Serving-layer tests: persisted CompiledGraph artifacts and the
+// request-batching server.
+//
+//  * artifact round trip: save -> load -> forward is BIT-identical to the
+//    directly-lowered graph, with the layer section still readable by the
+//    plain model-container loader (v3 = v2 layers + graph section);
+//  * replicate(): in-memory program replay is bit-identical too;
+//  * N-producer concurrency stress with per-request result verification
+//    against precomputed single-sample forwards (serial and pooled
+//    replicas);
+//  * flush-policy edge cases: batch of 1, exactly max-batch, timer-driven
+//    flushes;
+//  * zero steady-state heap allocations on the request path under 4
+//    concurrent producers, using the global operator-new counter
+//    (alloc_probe.h) shared with hotpath_test.cpp.
+#include <unistd.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "alloc_probe.h"
+#include "core/csq_weight.h"
+#include "core/model_io.h"
+#include "nn/models.h"
+#include "runtime/compiled_graph.h"
+#include "runtime/graph_artifact.h"
+#include "serve/batching_server.h"
+#include "test_helpers.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace csq {
+namespace {
+
+using testing::alloc_count;
+using testing::random_tensor;
+
+constexpr std::int64_t kSide = 12;
+constexpr std::int64_t kChannels = 3;
+
+// Unique temp path per test AND process, so parallel ctest and repeated
+// concurrent invocations of the same test never collide on artifacts.
+std::string temp_path(const std::string& tag) {
+  return ::testing::TempDir() + "csq_serve_" + tag + "_" +
+         std::to_string(static_cast<long>(::getpid())) + ".csqm";
+}
+
+// A small finalized 3-bit CSQ ResNet-20, lowered and calibrated — the
+// serving substrate every test below starts from.
+runtime::CompiledGraph make_calibrated_graph(Model* model_out = nullptr) {
+  Rng rng(7001);
+  std::vector<CsqWeightSource*> registry;
+  ModelConfig model_config;
+  model_config.base_width = 4;
+  CsqWeightOptions weight_options;
+  weight_options.fixed_precision = 3;
+  Model model = make_resnet20(
+      model_config, csq_weight_factory(&registry, weight_options), nullptr,
+      rng);
+  for (CsqWeightSource* source : registry) source->finalize();
+
+  runtime::LowerOptions options;
+  options.in_channels = kChannels;
+  options.in_height = kSide;
+  options.in_width = kSide;
+  runtime::CompiledGraph graph = runtime::lower(model, options);
+  Rng calib_rng(7002);
+  Tensor calib = random_tensor({8, kChannels, kSide, kSide}, calib_rng);
+  graph.calibrate(calib);
+  if (model_out != nullptr) *model_out = std::move(model);
+  return graph;
+}
+
+void expect_bit_identical(const Tensor& a, const Tensor& b,
+                          const char* what) {
+  ASSERT_TRUE(a.same_shape(b)) << what;
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    ASSERT_EQ(a[i], b[i]) << what << ": logit " << i;
+  }
+}
+
+// ------------------------------------------------------- graph artifact --
+
+TEST(GraphArtifact, SaveLoadForwardIsBitIdenticalToDirectLowering) {
+  runtime::CompiledGraph graph = make_calibrated_graph();
+  Rng rng(7003);
+  Tensor images = random_tensor({5, kChannels, kSide, kSide}, rng);
+  const Tensor direct = graph.forward(images);
+
+  const std::string path = temp_path("roundtrip");
+  ASSERT_TRUE(runtime::save_graph(path, graph));
+
+  // The float model does not exist on this path: load_graph replays the
+  // persisted program only.
+  runtime::CompiledGraph serial = runtime::load_graph(path, /*pooled=*/false);
+  const Tensor from_serial = serial.forward(images);
+  expect_bit_identical(direct, from_serial, "loaded (serial)");
+
+  runtime::CompiledGraph pooled = runtime::load_graph(path, /*pooled=*/true);
+  const Tensor from_pooled = pooled.forward(images);
+  expect_bit_identical(direct, from_pooled, "loaded (pooled)");
+
+  // Introspection survives the round trip.
+  EXPECT_EQ(serial.layers().size(), graph.layers().size());
+  EXPECT_EQ(serial.weight_storage_bits(), graph.weight_storage_bits());
+  const auto shape = serial.io_shape();
+  EXPECT_EQ(shape.channels, kChannels);
+  EXPECT_EQ(shape.height, kSide);
+  EXPECT_EQ(shape.width, kSide);
+  EXPECT_EQ(shape.out_features, 10);
+  std::remove(path.c_str());
+}
+
+TEST(GraphArtifact, LayerSectionReadsAsPlainModelContainer) {
+  Model model;
+  runtime::CompiledGraph graph = make_calibrated_graph(&model);
+  const std::string path = temp_path("layer_section");
+  ASSERT_TRUE(runtime::save_graph(path, graph));
+
+  // v3 = v2 layer section + graph section: the plain loader reads the
+  // weights and ignores the graph payload.
+  const auto layers = load_quantized_model(path);
+  ASSERT_EQ(layers.size(), model.quant_layers().size());
+  for (std::size_t l = 0; l < layers.size(); ++l) {
+    EXPECT_EQ(layers[l].name, model.quant_layers()[l].name);
+    EXPECT_EQ(shape_numel(layers[l].shape),
+              model.quant_layers()[l].source->weight_count());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(GraphArtifact, RejectsUncalibratedGraphsAndPlainContainers) {
+  // Saving before calibrate(): edge scales are unresolved.
+  Rng rng(7004);
+  std::vector<CsqWeightSource*> registry;
+  ModelConfig model_config;
+  model_config.base_width = 4;
+  Model model = make_resnet20(model_config, csq_weight_factory(&registry),
+                              nullptr, rng);
+  for (CsqWeightSource* source : registry) source->finalize();
+  runtime::LowerOptions options;
+  options.in_height = kSide;
+  options.in_width = kSide;
+  runtime::CompiledGraph graph = runtime::lower(model, options);
+  const std::string path = temp_path("uncalibrated");
+  EXPECT_THROW(runtime::save_graph(path, graph), check_error);
+
+  // The server rejects uncalibrated replicas at registration — not from a
+  // worker thread mid-warmup.
+  serve::BatchingServer server;
+  std::vector<runtime::CompiledGraph> replicas;
+  replicas.push_back(std::move(graph));
+  EXPECT_THROW(server.add_model("uncalibrated", std::move(replicas)),
+               check_error);
+
+  // load_graph refuses a v2 container (no graph section).
+  const std::string plain = temp_path("plain_v2");
+  ASSERT_TRUE(save_quantized_model(plain, export_model(model)));
+  EXPECT_THROW(runtime::load_graph(plain), check_error);
+  std::remove(plain.c_str());
+}
+
+TEST(GraphArtifact, ReplicateIsBitIdentical) {
+  runtime::CompiledGraph graph = make_calibrated_graph();
+  runtime::CompiledGraph copy = runtime::replicate(graph);
+  Rng rng(7005);
+  Tensor images = random_tensor({3, kChannels, kSide, kSide}, rng);
+  expect_bit_identical(graph.forward(images), copy.forward(images),
+                       "replica");
+}
+
+// -------------------------------------------------------- batching server --
+
+// Expected logits for `count` distinct samples, computed one sample at a
+// time — the serial single-sample reference the batched server must match
+// bit for bit.
+struct ExpectedSet {
+  Tensor samples;           // (count, C, H, W)
+  std::vector<Tensor> logits;  // per sample
+  std::int64_t sample_numel = 0;
+  std::int64_t out_features = 0;
+};
+
+ExpectedSet make_expected(runtime::CompiledGraph& graph, int count,
+                          std::uint64_t seed) {
+  ExpectedSet expected;
+  Rng rng(seed);
+  expected.samples = random_tensor({count, kChannels, kSide, kSide}, rng);
+  expected.sample_numel = kChannels * kSide * kSide;
+  expected.out_features = graph.io_shape().out_features;
+  for (int s = 0; s < count; ++s) {
+    Tensor one({1, kChannels, kSide, kSide});
+    std::memcpy(one.data(),
+                expected.samples.data() + s * expected.sample_numel,
+                static_cast<std::size_t>(expected.sample_numel) *
+                    sizeof(float));
+    expected.logits.push_back(graph.forward(one));
+  }
+  return expected;
+}
+
+// Drives `producers` threads of `iterations` requests each against the
+// server, each request verified bit-for-bit against the expected set.
+// Returns the number of mismatched requests.
+std::uint64_t run_producers(serve::BatchingServer& server,
+                            const std::string& model_id,
+                            const ExpectedSet& expected, int producers,
+                            int iterations) {
+  const serve::ModelHandle handle = server.handle(model_id);
+  std::atomic<std::uint64_t> mismatches{0};
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(producers));
+  for (int p = 0; p < producers; ++p) {
+    threads.emplace_back([&, p] {
+      std::vector<float> logits(
+          static_cast<std::size_t>(expected.out_features));
+      const int count = static_cast<int>(expected.logits.size());
+      for (int i = 0; i < iterations; ++i) {
+        const int s = (p * 31 + i * 7) % count;
+        server.infer(handle,
+                     expected.samples.data() + s * expected.sample_numel,
+                     logits.data());
+        if (std::memcmp(logits.data(), expected.logits
+                            [static_cast<std::size_t>(s)].data(),
+                        logits.size() * sizeof(float)) != 0) {
+          ++mismatches;
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  return mismatches.load();
+}
+
+TEST(BatchingServer, ConcurrentProducersGetBitIdenticalResults) {
+  runtime::CompiledGraph graph = make_calibrated_graph();
+  ExpectedSet expected = make_expected(graph, 16, 7100);
+  const std::string path = temp_path("stress");
+  ASSERT_TRUE(runtime::save_graph(path, graph));
+
+  serve::ServerOptions options;
+  options.max_batch = 8;
+  options.max_latency_us = 200;
+  serve::BatchingServer server(options);
+  // Artifact-loaded replicas: the serving process path.
+  server.add_model_from_artifact("resnet20", path, /*replicas=*/2);
+  server.start();
+
+  EXPECT_EQ(run_producers(server, "resnet20", expected, /*producers=*/6,
+                          /*iterations=*/40),
+            0u);
+  const auto stats = server.stats("resnet20");
+  EXPECT_EQ(stats.requests, 6u * 40u);
+  EXPECT_GE(stats.batches, stats.requests / 8);
+  EXPECT_LE(stats.max_batch_observed, 8);
+  server.stop();
+  std::remove(path.c_str());
+}
+
+TEST(BatchingServer, PooledReplicasShareTheThreadPoolSafely) {
+  // Replicas with in-graph pooled execution: concurrent top-level
+  // parallel_for submissions from the shard workers must queue on the
+  // shared pool, not throw or race.
+  runtime::CompiledGraph graph = make_calibrated_graph();
+  ExpectedSet expected = make_expected(graph, 8, 7200);
+
+  std::vector<runtime::CompiledGraph> replicas;
+  replicas.push_back(runtime::replicate(graph));
+  replicas.push_back(runtime::replicate(graph));
+  for (auto& replica : replicas) replica.set_pooled(true);
+
+  serve::ServerOptions options;
+  options.max_batch = 4;
+  options.max_latency_us = 100;
+  serve::BatchingServer server(options);
+  server.add_model("pooled", std::move(replicas));
+  server.start();
+  EXPECT_EQ(run_producers(server, "pooled", expected, /*producers=*/4,
+                          /*iterations=*/15),
+            0u);
+  server.stop();
+}
+
+TEST(BatchingServer, RoutesRequestsAcrossModels) {
+  // Two models with different weights behind one server: responses must
+  // come from the addressed model.
+  runtime::CompiledGraph graph_a = make_calibrated_graph();
+  ExpectedSet expected_a = make_expected(graph_a, 4, 7300);
+
+  Rng rng(7301);
+  std::vector<CsqWeightSource*> registry;
+  ModelConfig model_config;
+  model_config.base_width = 8;  // different widths -> different logits
+  CsqWeightOptions weight_options;
+  weight_options.fixed_precision = 3;
+  Model model_b = make_resnet20(
+      model_config, csq_weight_factory(&registry, weight_options), nullptr,
+      rng);
+  for (CsqWeightSource* source : registry) source->finalize();
+  runtime::LowerOptions lower_options;
+  lower_options.in_height = kSide;
+  lower_options.in_width = kSide;
+  runtime::CompiledGraph graph_b = runtime::lower(model_b, lower_options);
+  Rng calib_rng(7302);
+  Tensor calib = random_tensor({8, kChannels, kSide, kSide}, calib_rng);
+  graph_b.calibrate(calib);
+  ExpectedSet expected_b = make_expected(graph_b, 4, 7300);  // same samples
+
+  serve::ServerOptions options;
+  options.max_batch = 4;
+  options.max_latency_us = 100;
+  serve::BatchingServer server(options);
+  {
+    std::vector<runtime::CompiledGraph> replicas_a;
+    replicas_a.push_back(std::move(graph_a));
+    server.add_model("model_a", std::move(replicas_a));
+    std::vector<runtime::CompiledGraph> replicas_b;
+    replicas_b.push_back(std::move(graph_b));
+    server.add_model("model_b", std::move(replicas_b));
+  }
+  server.start();
+  EXPECT_EQ(run_producers(server, "model_a", expected_a, 2, 10), 0u);
+  EXPECT_EQ(run_producers(server, "model_b", expected_b, 2, 10), 0u);
+  EXPECT_EQ(server.stats("model_a").requests, 20u);
+  EXPECT_EQ(server.stats("model_b").requests, 20u);
+  EXPECT_THROW(server.handle("model_c"), check_error);
+  server.stop();
+}
+
+// ------------------------------------------------------- flush policy ----
+
+TEST(BatchingServer, SingleRequestFlushesOnTheLatencyTimer) {
+  runtime::CompiledGraph graph = make_calibrated_graph();
+  ExpectedSet expected = make_expected(graph, 1, 7400);
+
+  serve::ServerOptions options;
+  options.max_batch = 8;
+  options.max_latency_us = 500;
+  serve::BatchingServer server(options);
+  std::vector<runtime::CompiledGraph> replicas;
+  replicas.push_back(std::move(graph));
+  server.add_model("m", std::move(replicas));
+  server.start();
+
+  std::vector<float> logits(
+      static_cast<std::size_t>(expected.out_features));
+  server.infer("m", expected.samples.data(), logits.data());
+  EXPECT_EQ(std::memcmp(logits.data(), expected.logits[0].data(),
+                        logits.size() * sizeof(float)),
+            0);
+  const auto stats = server.stats("m");
+  EXPECT_EQ(stats.requests, 1u);
+  EXPECT_EQ(stats.batches, 1u);
+  EXPECT_EQ(stats.timer_flushes, 1u);  // batch of 1, far below max_batch
+  EXPECT_EQ(stats.full_flushes, 0u);
+  EXPECT_EQ(stats.max_batch_observed, 1);
+  server.stop();
+}
+
+TEST(BatchingServer, ExactlyMaxBatchFlushesFull) {
+  // With an effectively infinite latency bound, the only way a batch can
+  // flush is by filling: N producers of one request each must coalesce
+  // into exactly one full batch of N.
+  runtime::CompiledGraph graph = make_calibrated_graph();
+  constexpr int kBatch = 4;
+  ExpectedSet expected = make_expected(graph, kBatch, 7500);
+
+  serve::ServerOptions options;
+  options.max_batch = kBatch;
+  options.max_latency_us = 60'000'000;  // one minute: the timer cannot win
+  serve::BatchingServer server(options);
+  std::vector<runtime::CompiledGraph> replicas;
+  replicas.push_back(std::move(graph));
+  server.add_model("m", std::move(replicas));
+  server.start();
+
+  EXPECT_EQ(run_producers(server, "m", expected, kBatch, 1), 0u);
+  const auto stats = server.stats("m");
+  EXPECT_EQ(stats.requests, static_cast<std::uint64_t>(kBatch));
+  EXPECT_EQ(stats.batches, 1u);
+  EXPECT_EQ(stats.full_flushes, 1u);
+  EXPECT_EQ(stats.timer_flushes, 0u);
+  EXPECT_EQ(stats.max_batch_observed, kBatch);
+  server.stop();
+}
+
+TEST(BatchingServer, TimerFlushDrainsPartialBatches) {
+  runtime::CompiledGraph graph = make_calibrated_graph();
+  ExpectedSet expected = make_expected(graph, 3, 7600);
+
+  serve::ServerOptions options;
+  options.max_batch = 64;  // far above the offered load
+  options.max_latency_us = 1000;
+  serve::BatchingServer server(options);
+  std::vector<runtime::CompiledGraph> replicas;
+  replicas.push_back(std::move(graph));
+  server.add_model("m", std::move(replicas));
+  server.start();
+
+  EXPECT_EQ(run_producers(server, "m", expected, 3, 5), 0u);
+  const auto stats = server.stats("m");
+  EXPECT_EQ(stats.requests, 15u);
+  EXPECT_GE(stats.timer_flushes, 1u);  // nothing can fill 64
+  EXPECT_EQ(stats.full_flushes, 0u);
+  EXPECT_LE(stats.max_batch_observed, 15);
+  server.stop();
+}
+
+// --------------------------------------------- zero-allocation steady state
+
+// Reusable two-phase rendezvous (mutex + cv only, so waiting producers add
+// no heap traffic inside the measured window).
+class Rendezvous {
+ public:
+  explicit Rendezvous(int parties) : parties_(parties) {}
+
+  void arrive_and_wait() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    const std::uint64_t generation = generation_;
+    if (++arrived_ == parties_) {
+      arrived_ = 0;
+      ++generation_;
+      cv_.notify_all();
+    } else {
+      cv_.wait(lock, [&] { return generation_ != generation; });
+    }
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  const int parties_;
+  int arrived_ = 0;
+  std::uint64_t generation_ = 0;
+};
+
+TEST(BatchingServer, SteadyStateRequestPathIsAllocationFree) {
+  runtime::CompiledGraph graph = make_calibrated_graph();
+  ExpectedSet expected = make_expected(graph, 8, 7700);
+
+  serve::ServerOptions options;
+  options.max_batch = 4;
+  options.max_latency_us = 200;
+  serve::BatchingServer server(options);
+  std::vector<runtime::CompiledGraph> replicas;
+  replicas.push_back(runtime::replicate(graph));
+  replicas.push_back(runtime::replicate(graph));
+  for (auto& replica : replicas) replica.set_pooled(false);
+  server.add_model("m", std::move(replicas));
+  server.start();
+
+  constexpr int kProducers = 4;
+  constexpr int kWarmup = 10;
+  constexpr int kMeasured = 30;
+  Rendezvous warm(kProducers + 1), measured(kProducers + 1);
+  std::atomic<std::uint64_t> mismatches{0};
+  const serve::ModelHandle handle = server.handle("m");
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      std::vector<float> logits(
+          static_cast<std::size_t>(expected.out_features));
+      const auto run = [&](int iterations) {
+        const int count = static_cast<int>(expected.logits.size());
+        for (int i = 0; i < iterations; ++i) {
+          const int s = (p * 13 + i * 5) % count;
+          server.infer(handle,
+                       expected.samples.data() + s * expected.sample_numel,
+                       logits.data());
+          if (std::memcmp(logits.data(),
+                          expected.logits[static_cast<std::size_t>(s)].data(),
+                          logits.size() * sizeof(float)) != 0) {
+            ++mismatches;
+          }
+        }
+      };
+      run(kWarmup);
+      warm.arrive_and_wait();      // main samples the counter here
+      run(kMeasured);
+      measured.arrive_and_wait();  // ... and here, before thread teardown
+    });
+  }
+
+  warm.arrive_and_wait();
+  const std::uint64_t before = alloc_count();
+  measured.arrive_and_wait();
+  const std::uint64_t delta = alloc_count() - before;
+  for (std::thread& producer : producers) producer.join();
+
+  EXPECT_EQ(delta, 0u)
+      << "steady-state serving window hit the heap " << delta << " times";
+  EXPECT_EQ(mismatches.load(), 0u);
+  EXPECT_EQ(server.stats("m").requests,
+            static_cast<std::uint64_t>(kProducers * (kWarmup + kMeasured)));
+  server.stop();
+}
+
+}  // namespace
+}  // namespace csq
