@@ -592,8 +592,31 @@ void write_infer_report(const std::string& path, int iterations) {
     graph.calibrate(calib);
   }
 
+  // Per-replica activation/scratch memory at the largest benched batch:
+  // the liveness-colored plan (the default) against the one-slot-per-edge
+  // baseline policy, so serving-memory regressions show up in the bench
+  // trajectory alongside latency.
+  const std::int64_t max_batch = 32;
+  graph.prepare(max_batch);
+  std::int64_t baseline_workspace = 0;
+  {
+    runtime::LowerOptions baseline_options = graph.options();
+    baseline_options.plan_buffers = false;
+    runtime::CompiledGraph baseline =
+        runtime::build_graph(graph.program(), baseline_options);
+    baseline.restore_edge_scales(graph.edge_scales());
+    baseline.prepare(max_batch);
+    baseline_workspace = baseline.workspace_bytes();
+  }
+  std::cout << "workspace (batch " << max_batch
+            << "): planned " << graph.workspace_bytes() << " B vs per-edge "
+            << baseline_workspace << " B\n";
+
   out << "{\n  \"model\": \"resnet20-w16-csq3b\",\n  \"image\": \"" << side << "x"
       << side << "\",\n  \"threads\": " << global_pool().num_threads()
+      << ",\n  \"workspace_batch\": " << max_batch
+      << ",\n  \"workspace_bytes\": " << graph.workspace_bytes()
+      << ",\n  \"workspace_bytes_per_edge_baseline\": " << baseline_workspace
       << ",\n  \"batches\": [\n";
   bool first = true;
   for (const std::int64_t batch : {1, 4, 16, 32}) {

@@ -26,6 +26,7 @@ namespace csq {
 class Conv2d;
 class Linear;
 class BatchNorm2d;
+struct Pool2dConfig;
 
 // Sink for the module-tree walk. Calls arrive in execution order; the
 // residual callbacks bracket the two branches of a skip connection:
@@ -46,7 +47,12 @@ class GraphLowering {
   // An activation quantizer with the given bit width and clip range: the
   // produced edge carries values in [0, clip] on a 2^bits - 1 step grid.
   virtual void lower_act_quant(int bits, float clip) = 0;
-  virtual void lower_maxpool(std::int64_t kernel) = 0;
+  // Spatial pooling over Pool2dConfig windows (nn/pooling.h): independent
+  // kernel_h/kernel_w, stride and padding. Max pooling treats padded taps
+  // as -inf; average pooling counts them as zeros over a fixed
+  // kernel_h*kernel_w divisor.
+  virtual void lower_maxpool(const Pool2dConfig& config) = 0;
+  virtual void lower_avgpool(const Pool2dConfig& config) = 0;
   virtual void lower_global_avg_pool() = 0;
   virtual void lower_flatten() = 0;
 

@@ -1,5 +1,6 @@
 #include "nn/pooling.h"
 
+#include <algorithm>
 #include <limits>
 
 #include "nn/lowering.h"
@@ -7,8 +8,21 @@
 
 namespace csq {
 
+void Pool2dConfig::validate(const char* name) const {
+  CSQ_CHECK(kernel_h >= 1 && kernel_w >= 1)
+      << "pool " << name << ": bad kernel " << kernel_h << "x" << kernel_w;
+  CSQ_CHECK(stride >= 1) << "pool " << name << ": bad stride " << stride;
+  CSQ_CHECK(pad >= 0 && pad < kernel_h && pad < kernel_w)
+      << "pool " << name << ": padding " << pad
+      << " must be smaller than the kernel";
+}
+
 void MaxPool2d::lower(GraphLowering& lowering) {
-  lowering.lower_maxpool(kernel_);
+  lowering.lower_maxpool(config_);
+}
+
+void AvgPool2d::lower(GraphLowering& lowering) {
+  lowering.lower_avgpool(config_);
 }
 
 void GlobalAvgPool::lower(GraphLowering& lowering) {
@@ -17,23 +31,39 @@ void GlobalAvgPool::lower(GraphLowering& lowering) {
 
 void Flatten::lower(GraphLowering& lowering) { lowering.lower_flatten(); }
 
+namespace {
+
+// Shared geometry check for the pooling forwards: (B,C,H,W) input and a
+// positive output grid.
+void check_pool_input(const char* kind, const std::string& name,
+                      const Tensor& input, const Pool2dConfig& config) {
+  CSQ_CHECK(input.ndim() == 4) << kind << " expects (B,C,H,W)";
+  CSQ_CHECK(config.out_h(input.dim(2)) >= 1 &&
+            config.out_w(input.dim(3)) >= 1)
+      << kind << " " << name << ": input " << input.shape_string()
+      << " smaller than the " << config.kernel_h << "x" << config.kernel_w
+      << " window";
+}
+
+}  // namespace
+
 MaxPool2d::MaxPool2d(const std::string& name, std::int64_t kernel)
-    : kernel_(kernel) {
-  CSQ_CHECK(kernel >= 1) << "maxpool: bad kernel";
+    : MaxPool2d(name, Pool2dConfig::square(kernel)) {}
+
+MaxPool2d::MaxPool2d(const std::string& name, const Pool2dConfig& config)
+    : config_(config) {
+  config_.validate(name.c_str());
   set_name(name);
 }
 
 Tensor MaxPool2d::forward(const Tensor& input, bool training) {
-  CSQ_CHECK(input.ndim() == 4) << "maxpool expects (B,C,H,W)";
+  check_pool_input("maxpool", name(), input, config_);
   const std::int64_t batch = input.dim(0);
   const std::int64_t channels = input.dim(1);
   const std::int64_t height = input.dim(2);
   const std::int64_t width = input.dim(3);
-  CSQ_CHECK(height % kernel_ == 0 && width % kernel_ == 0)
-      << "maxpool " << name() << ": input " << input.shape_string()
-      << " not divisible by kernel " << kernel_;
-  const std::int64_t out_h = height / kernel_;
-  const std::int64_t out_w = width / kernel_;
+  const std::int64_t out_h = config_.out_h(height);
+  const std::int64_t out_w = config_.out_w(width);
 
   Tensor output({batch, channels, out_h, out_w});
   std::vector<std::int64_t> argmax(
@@ -48,12 +78,15 @@ Tensor MaxPool2d::forward(const Tensor& input, bool training) {
       const std::int64_t plane_base = (b * channels + c) * height * width;
       for (std::int64_t oy = 0; oy < out_h; ++oy) {
         for (std::int64_t ox = 0; ox < out_w; ++ox, ++out_index) {
+          // Padded taps are implicit -inf: the max runs over the in-bounds
+          // window only (validate() guarantees it is non-empty).
+          std::int64_t y0, y1, x0, x1;
+          config_.window(oy, config_.kernel_h, height, y0, y1);
+          config_.window(ox, config_.kernel_w, width, x0, x1);
           float best = -std::numeric_limits<float>::infinity();
           std::int64_t best_index = 0;
-          for (std::int64_t ky = 0; ky < kernel_; ++ky) {
-            for (std::int64_t kx = 0; kx < kernel_; ++kx) {
-              const std::int64_t iy = oy * kernel_ + ky;
-              const std::int64_t ix = ox * kernel_ + kx;
+          for (std::int64_t iy = y0; iy < y1; ++iy) {
+            for (std::int64_t ix = x0; ix < x1; ++ix) {
               const float value = plane[iy * width + ix];
               if (value > best) {
                 best = value;
@@ -86,10 +119,106 @@ Tensor MaxPool2d::backward(const Tensor& grad_output) {
   Tensor grad_input(cached_input_shape_);
   float* gi = grad_input.data();
   const float* go = grad_output.data();
+  // Scatter-add: with stride < kernel the windows overlap, so one input tap
+  // can win several windows and accumulates their gradients.
   for (std::int64_t i = 0; i < grad_output.numel(); ++i) {
     gi[cached_argmax_[static_cast<std::size_t>(i)]] += go[i];
   }
   cached_argmax_.clear();
+  return grad_input;
+}
+
+AvgPool2d::AvgPool2d(const std::string& name, const Pool2dConfig& config)
+    : config_(config) {
+  config_.validate(name.c_str());
+  set_name(name);
+}
+
+Tensor AvgPool2d::forward(const Tensor& input, bool training) {
+  check_pool_input("avgpool", name(), input, config_);
+  const std::int64_t batch = input.dim(0);
+  const std::int64_t channels = input.dim(1);
+  const std::int64_t height = input.dim(2);
+  const std::int64_t width = input.dim(3);
+  const std::int64_t out_h = config_.out_h(height);
+  const std::int64_t out_w = config_.out_w(width);
+  const float inv_window =
+      1.0f / static_cast<float>(config_.kernel_h * config_.kernel_w);
+
+  Tensor output({batch, channels, out_h, out_w});
+  const float* in = input.data();
+  float* out = output.data();
+
+  std::int64_t out_index = 0;
+  for (std::int64_t b = 0; b < batch; ++b) {
+    for (std::int64_t c = 0; c < channels; ++c) {
+      const float* plane = in + (b * channels + c) * height * width;
+      for (std::int64_t oy = 0; oy < out_h; ++oy) {
+        for (std::int64_t ox = 0; ox < out_w; ++ox, ++out_index) {
+          // Padded taps contribute zero; the divisor stays kernel_h*kernel_w
+          // (count_include_pad) so the integer lowering can fold it.
+          std::int64_t y0, y1, x0, x1;
+          config_.window(oy, config_.kernel_h, height, y0, y1);
+          config_.window(ox, config_.kernel_w, width, x0, x1);
+          float acc = 0.0f;
+          for (std::int64_t iy = y0; iy < y1; ++iy) {
+            for (std::int64_t ix = x0; ix < x1; ++ix) {
+              acc += plane[iy * width + ix];
+            }
+          }
+          out[out_index] = acc * inv_window;
+        }
+      }
+    }
+  }
+
+  if (training) {
+    cached_input_shape_ = input.shape();
+  } else {
+    cached_input_shape_.clear();
+  }
+  return output;
+}
+
+Tensor AvgPool2d::backward(const Tensor& grad_output) {
+  CSQ_CHECK(!cached_input_shape_.empty())
+      << "avgpool " << name() << ": backward without training forward";
+  const std::int64_t batch = cached_input_shape_[0];
+  const std::int64_t channels = cached_input_shape_[1];
+  const std::int64_t height = cached_input_shape_[2];
+  const std::int64_t width = cached_input_shape_[3];
+  const std::int64_t out_h = config_.out_h(height);
+  const std::int64_t out_w = config_.out_w(width);
+  CSQ_CHECK(grad_output.ndim() == 4 && grad_output.dim(0) == batch &&
+            grad_output.dim(1) == channels && grad_output.dim(2) == out_h &&
+            grad_output.dim(3) == out_w)
+      << "avgpool " << name() << ": grad shape mismatch";
+  const float inv_window =
+      1.0f / static_cast<float>(config_.kernel_h * config_.kernel_w);
+
+  Tensor grad_input(cached_input_shape_);
+  float* gi = grad_input.data();
+  const float* go = grad_output.data();
+  std::int64_t out_index = 0;
+  for (std::int64_t b = 0; b < batch; ++b) {
+    for (std::int64_t c = 0; c < channels; ++c) {
+      float* plane = gi + (b * channels + c) * height * width;
+      for (std::int64_t oy = 0; oy < out_h; ++oy) {
+        for (std::int64_t ox = 0; ox < out_w; ++ox, ++out_index) {
+          const float value = go[out_index] * inv_window;
+          std::int64_t y0, y1, x0, x1;
+          config_.window(oy, config_.kernel_h, height, y0, y1);
+          config_.window(ox, config_.kernel_w, width, x0, x1);
+          for (std::int64_t iy = y0; iy < y1; ++iy) {
+            for (std::int64_t ix = x0; ix < x1; ++ix) {
+              plane[iy * width + ix] += value;
+            }
+          }
+        }
+      }
+    }
+  }
+  cached_input_shape_.clear();
   return grad_input;
 }
 

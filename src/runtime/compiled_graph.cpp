@@ -10,6 +10,7 @@
 #endif
 
 #include "data/dataloader.h"
+#include "nn/pooling.h"
 #include "runtime/packed_weights.h"
 #include "tensor/gemm.h"
 #include "tensor/im2col.h"
@@ -303,6 +304,10 @@ class Op {
     (void)g;
     (void)batch;
   }
+  // Installs the workspace slot of the op's private scratch buffer (conv
+  // im2col stripes, the linear accumulator). Called by the buffer planner
+  // after the walk; ops without scratch ignore it.
+  virtual void set_scratch_slot(int slot) { (void)slot; }
   virtual std::string describe(const CompiledGraph::Impl& g) const = 0;
 };
 
@@ -390,13 +395,13 @@ class QuantizeInputOp final : public Op {
 class ConvOp final : public Op {
  public:
   ConvOp(std::string name, int in_edge, int acc_edge, ConvGeometry geom,
-         PackedIntWeights weights, int col_slot)
+         PackedIntWeights weights, bool direct)
       : name_(std::move(name)),
         in_edge_(in_edge),
         acc_edge_(acc_edge),
         geom_(geom),
         weights_(std::move(weights)),
-        col_slot_(col_slot) {}
+        direct_(direct) {}
 
   const char* kind() const override { return "conv2d"; }
   const PackedIntWeights& weights() const { return weights_; }
@@ -405,8 +410,9 @@ class ConvOp final : public Op {
     float_weights_.clear();
     float_weights_.shrink_to_fit();
   }
+  void set_scratch_slot(int slot) override { col_slot_ = slot; }
 
-  bool direct() const { return col_slot_ < 0; }  // 1x1/s1/p0: input IS col
+  bool direct() const { return direct_; }  // 1x1/s1/p0: input IS col
 
   void prepare(CompiledGraph::Impl& g, std::int64_t batch) override {
     (void)batch;
@@ -499,7 +505,8 @@ class ConvOp final : public Op {
   ConvGeometry geom_;
   PackedIntWeights weights_;
   std::vector<float> float_weights_;
-  int col_slot_;
+  bool direct_;
+  int col_slot_ = -1;
 };
 
 // ------------------------------------------------------- requantization --
@@ -741,27 +748,27 @@ class JoinOp final : public Op {
 
 class MaxPoolOp final : public Op {
  public:
-  MaxPoolOp(int in_edge, int out_edge, std::int64_t kernel)
-      : in_edge_(in_edge), out_edge_(out_edge), kernel_(kernel) {}
+  MaxPoolOp(int in_edge, int out_edge, const Pool2dConfig& config)
+      : in_edge_(in_edge), out_edge_(out_edge), config_(config) {}
   const char* kind() const override { return "maxpool"; }
 
   void run_int(CompiledGraph::Impl& g) override {
     struct Ctx {
+      const MaxPoolOp* op;
       const EdgeData* in_e;
       const EdgeData* out_e;
       const std::uint8_t* in;
       std::uint8_t* out;
-      std::int64_t kernel;
     } ctx;
+    ctx.op = this;
     ctx.in_e = &g.edges[static_cast<std::size_t>(in_edge_)];
     ctx.out_e = &g.edges[static_cast<std::size_t>(out_edge_)];
     ctx.in = g.u8(in_edge_);
     ctx.out = g.u8(out_edge_);
-    ctx.kernel = kernel_;
     for_each_sample(g.pooled, g.batch, ctx, +[](const Ctx& c, std::int64_t b) {
-      pool_sample<std::uint8_t>(*c.in_e, *c.out_e, c.kernel,
-                                c.in + b * c.in_e->per_sample(),
-                                c.out + b * c.out_e->per_sample());
+      c.op->pool_sample<std::uint8_t>(*c.in_e, *c.out_e,
+                                      c.in + b * c.in_e->per_sample(),
+                                      c.out + b * c.out_e->per_sample());
     });
   }
 
@@ -771,32 +778,40 @@ class MaxPoolOp final : public Op {
     const float* in = g.f32(in_edge_);
     float* out = g.f32(out_edge_);
     for (std::int64_t b = 0; b < g.batch; ++b) {
-      pool_sample<float>(in_e, out_e, kernel_, in + b * in_e.per_sample(),
+      pool_sample<float>(in_e, out_e, in + b * in_e.per_sample(),
                          out + b * out_e.per_sample());
     }
   }
 
   std::string describe(const CompiledGraph::Impl& g) const override {
     std::ostringstream out;
-    out << "maxpool" << kernel_ << " " << edge_string(g, in_edge_) << " -> "
+    out << "maxpool" << config_.kernel_h << "x" << config_.kernel_w << "s"
+        << config_.stride;
+    if (config_.pad > 0) out << "p" << config_.pad;
+    out << " " << edge_string(g, in_edge_) << " -> "
         << edge_string(g, out_edge_);
     return out.str();
   }
 
  private:
+  // Max over the in-bounds window only — padded taps are the implicit -inf
+  // of the float module, and the max is order-preserving on codes, so the
+  // integer and float walks pick the same taps.
   template <typename T>
-  static void pool_sample(const EdgeData& in_e, const EdgeData& out_e,
-                          std::int64_t kernel, const T* in, T* out) {
+  void pool_sample(const EdgeData& in_e, const EdgeData& out_e, const T* in,
+                   T* out) const {
     for (std::int64_t c = 0; c < in_e.channels; ++c) {
       const T* plane = in + c * in_e.height * in_e.width;
       T* dst = out + c * out_e.height * out_e.width;
       for (std::int64_t oy = 0; oy < out_e.height; ++oy) {
         for (std::int64_t ox = 0; ox < out_e.width; ++ox) {
-          T best = plane[oy * kernel * in_e.width + ox * kernel];
-          for (std::int64_t ky = 0; ky < kernel; ++ky) {
-            for (std::int64_t kx = 0; kx < kernel; ++kx) {
-              best = std::max(best, plane[(oy * kernel + ky) * in_e.width +
-                                          ox * kernel + kx]);
+          std::int64_t y0, y1, x0, x1;
+          config_.window(oy, config_.kernel_h, in_e.height, y0, y1);
+          config_.window(ox, config_.kernel_w, in_e.width, x0, x1);
+          T best = plane[y0 * in_e.width + x0];
+          for (std::int64_t iy = y0; iy < y1; ++iy) {
+            for (std::int64_t ix = x0; ix < x1; ++ix) {
+              best = std::max(best, plane[iy * in_e.width + ix]);
             }
           }
           dst[oy * out_e.width + ox] = best;
@@ -807,7 +822,138 @@ class MaxPoolOp final : public Op {
 
   int in_edge_;
   int out_edge_;
-  std::int64_t kernel_;
+  Pool2dConfig config_;
+};
+
+// Average pooling: exact int32 window sums (padded taps contribute the
+// input edge's zero-point code — the code of real zero), then one
+// requantization back to uint8 with the fixed 1/(kernel_h*kernel_w)
+// divisor folded into the scale. The divisor never touches the integer
+// sum, so no precision is lost to a pool-time integer division.
+class AvgPoolOp final : public Op {
+ public:
+  AvgPoolOp(int in_edge, int sum_edge, int out_edge,
+            const Pool2dConfig& config)
+      : in_edge_(in_edge),
+        sum_edge_(sum_edge),
+        out_edge_(out_edge),
+        config_(config) {}
+  const char* kind() const override { return "avgpool"; }
+
+  void finalize(CompiledGraph::Impl& g) override {
+    const EdgeData& in = g.edges[static_cast<std::size_t>(in_edge_)];
+    const EdgeData& out = g.edges[static_cast<std::size_t>(out_edge_)];
+    const auto window =
+        static_cast<float>(config_.kernel_h * config_.kernel_w);
+    // real mean = in.scale * (sum / window - in.zp); code = real/out.scale
+    // + out.zp. Derived edges (out == in scale/zp) reduce to sum/window.
+    mul_ = in.scale / (out.scale * window);
+    add_ = static_cast<float>(out.zero_point) -
+           in.scale * static_cast<float>(in.zero_point) / out.scale;
+  }
+
+  void run_int(CompiledGraph::Impl& g) override {
+    struct Ctx {
+      const AvgPoolOp* op;
+      const EdgeData* in_e;
+      const EdgeData* out_e;
+      const std::uint8_t* in;
+      std::int32_t* sum;
+      std::uint8_t* out;
+      std::int32_t pad_code;
+      float mul, add, levels;
+    } ctx;
+    ctx.op = this;
+    ctx.in_e = &g.edges[static_cast<std::size_t>(in_edge_)];
+    ctx.out_e = &g.edges[static_cast<std::size_t>(out_edge_)];
+    ctx.in = g.u8(in_edge_);
+    ctx.sum = g.i32(sum_edge_);
+    ctx.out = g.u8(out_edge_);
+    ctx.pad_code = ctx.in_e->zero_point;
+    ctx.mul = mul_;
+    ctx.add = add_;
+    ctx.levels = ctx.out_e->levels;
+    for_each_sample(g.pooled, g.batch, ctx, +[](const Ctx& c, std::int64_t b) {
+      const std::uint8_t* in = c.in + b * c.in_e->per_sample();
+      std::int32_t* sum = c.sum + b * c.out_e->per_sample();
+      std::uint8_t* out = c.out + b * c.out_e->per_sample();
+      const Pool2dConfig& config = c.op->config_;
+      std::int64_t index = 0;
+      for (std::int64_t ch = 0; ch < c.in_e->channels; ++ch) {
+        const std::uint8_t* plane = in + ch * c.in_e->height * c.in_e->width;
+        for (std::int64_t oy = 0; oy < c.out_e->height; ++oy) {
+          for (std::int64_t ox = 0; ox < c.out_e->width; ++ox, ++index) {
+            std::int64_t y0, y1, x0, x1;
+            config.window(oy, config.kernel_h, c.in_e->height, y0, y1);
+            config.window(ox, config.kernel_w, c.in_e->width, x0, x1);
+            std::int32_t acc = 0;
+            for (std::int64_t iy = y0; iy < y1; ++iy) {
+              for (std::int64_t ix = x0; ix < x1; ++ix) {
+                acc += plane[iy * c.in_e->width + ix];
+              }
+            }
+            // count_include_pad: out-of-bounds taps carry the zero-point
+            // code (real zero), keeping the divisor fixed at kh*kw.
+            const std::int64_t covered = (y1 - y0) * (x1 - x0);
+            acc += c.pad_code *
+                   static_cast<std::int32_t>(
+                       config.kernel_h * config.kernel_w - covered);
+            sum[index] = acc;
+          }
+        }
+      }
+      requant_span(sum, out, c.out_e->per_sample(), c.mul, c.add, c.levels);
+    });
+  }
+
+  void run_float(CompiledGraph::Impl& g) override {
+    const EdgeData& in_e = g.edges[static_cast<std::size_t>(in_edge_)];
+    const EdgeData& out_e = g.edges[static_cast<std::size_t>(out_edge_)];
+    const float* in = g.f32(in_edge_);
+    float* out = g.f32(out_edge_);
+    const float inv_window =
+        1.0f / static_cast<float>(config_.kernel_h * config_.kernel_w);
+    for (std::int64_t b = 0; b < g.batch; ++b) {
+      const float* src = in + b * in_e.per_sample();
+      float* dst = out + b * out_e.per_sample();
+      std::int64_t index = 0;
+      for (std::int64_t ch = 0; ch < in_e.channels; ++ch) {
+        const float* plane = src + ch * in_e.height * in_e.width;
+        for (std::int64_t oy = 0; oy < out_e.height; ++oy) {
+          for (std::int64_t ox = 0; ox < out_e.width; ++ox, ++index) {
+            std::int64_t y0, y1, x0, x1;
+            config_.window(oy, config_.kernel_h, in_e.height, y0, y1);
+            config_.window(ox, config_.kernel_w, in_e.width, x0, x1);
+            float acc = 0.0f;
+            for (std::int64_t iy = y0; iy < y1; ++iy) {
+              for (std::int64_t ix = x0; ix < x1; ++ix) {
+                acc += plane[iy * in_e.width + ix];
+              }
+            }
+            dst[index] = acc * inv_window;  // pads contribute zero
+          }
+        }
+      }
+    }
+  }
+
+  std::string describe(const CompiledGraph::Impl& g) const override {
+    std::ostringstream out;
+    out << "avgpool" << config_.kernel_h << "x" << config_.kernel_w << "s"
+        << config_.stride;
+    if (config_.pad > 0) out << "p" << config_.pad;
+    out << " " << edge_string(g, in_edge_) << " -> "
+        << edge_string(g, out_edge_);
+    return out.str();
+  }
+
+ private:
+  int in_edge_;
+  int sum_edge_;
+  int out_edge_;
+  Pool2dConfig config_;
+  float mul_ = 0.0f;
+  float add_ = 0.0f;
 };
 
 class GlobalAvgPoolOp final : public Op {
@@ -870,17 +1016,60 @@ class GlobalAvgPoolOp final : public Op {
   int out_edge_;
 };
 
+// -------------------------------------------------------- dequant output --
+
+// Terminates a conv-head (no-Linear) graph: the last realized uint8 edge —
+// a GlobalAvgPool's (C,1,1) feature vector — dequantizes into the float
+// output tensor.
+class DequantOutputOp final : public Op {
+ public:
+  explicit DequantOutputOp(int in_edge) : in_edge_(in_edge) {}
+  const char* kind() const override { return "dequant_output"; }
+
+  void run_int(CompiledGraph::Impl& g) override {
+    const EdgeData& in = g.edges[static_cast<std::size_t>(in_edge_)];
+    const std::int64_t features = in.per_sample();
+    g.run_output = Tensor::uninitialized({g.batch, features});
+    const std::uint8_t* codes = g.u8(in_edge_);
+    float* out = g.run_output.data();
+    const float scale = in.scale;
+    const float zp = static_cast<float>(in.zero_point);
+    const std::int64_t count = g.batch * features;
+    for (std::int64_t i = 0; i < count; ++i) {
+      out[i] = scale * (static_cast<float>(codes[i]) - zp);
+    }
+  }
+
+  void run_float(CompiledGraph::Impl& g) override {
+    const EdgeData& in = g.edges[static_cast<std::size_t>(in_edge_)];
+    const std::int64_t features = in.per_sample();
+    g.run_output = Tensor::uninitialized({g.batch, features});
+    const float* src = g.f32(in_edge_);
+    std::copy(src, src + g.batch * features, g.run_output.data());
+  }
+
+  std::string describe(const CompiledGraph::Impl& g) const override {
+    const EdgeData& in = g.edges[static_cast<std::size_t>(in_edge_)];
+    std::ostringstream out;
+    out << "dequant_output " << edge_string(g, in_edge_) << " -> f32("
+        << in.per_sample() << ")";
+    return out.str();
+  }
+
+ private:
+  int in_edge_;
+};
+
 // ---------------------------------------------------------------- linear --
 
 class LinearOp final : public Op {
  public:
   LinearOp(std::string name, int in_edge, PackedIntWeights weights,
-           std::vector<float> bias, int acc_slot)
+           std::vector<float> bias)
       : name_(std::move(name)),
         in_edge_(in_edge),
         weights_(std::move(weights)),
-        bias_(std::move(bias)),
-        acc_slot_(acc_slot) {}
+        bias_(std::move(bias)) {}
 
   const char* kind() const override { return "linear"; }
   const PackedIntWeights& weights() const { return weights_; }
@@ -889,6 +1078,7 @@ class LinearOp final : public Op {
     float_weights_.clear();
     float_weights_.shrink_to_fit();
   }
+  void set_scratch_slot(int slot) override { acc_slot_ = slot; }
 
   void prepare(CompiledGraph::Impl& g, std::int64_t batch) override {
     g.ws->ints(acc_slot_, weights_.rows() * batch);
@@ -956,7 +1146,7 @@ class LinearOp final : public Op {
   PackedIntWeights weights_;
   std::vector<float> float_weights_;
   std::vector<float> bias_;
-  int acc_slot_;
+  int acc_slot_ = -1;
   IntGemmScratch scratch_;
 };
 
@@ -1042,11 +1232,10 @@ class GraphBuilder {
     input.channels = g.options.in_channels;
     input.height = g.options.in_height;
     input.width = g.options.in_width;
-    input.slot = g_.byte_slots_used++;
     g_.edges.push_back(input);
     g_.input_edge = 0;
     current_edge_ = 0;
-    g_.ops.push_back(std::make_unique<QuantizeInputOp>(0));
+    add_op(std::make_unique<QuantizeInputOp>(0), {}, {0});
   }
 
   void conv(const QuantizedLayerExport& layer, const ProgramInstr& instr) {
@@ -1080,14 +1269,14 @@ class GraphBuilder {
                             out_channels, geom.col_rows());
     const bool direct =
         instr.kernel == 1 && instr.stride == 1 && instr.pad == 0;
-    const int col_slot = direct ? -1 : g_.byte_slots_used++;
     const int acc = new_acc_edge(out_channels, geom.out_h(), geom.out_w());
 
     auto op = std::make_unique<ConvOp>(layer.name, in, acc, geom,
-                                       std::move(packed), col_slot);
+                                       std::move(packed), direct);
     const ConvOp* raw = op.get();
     record_layer(layer.name, raw->weights());
-    g_.ops.push_back(std::move(op));
+    add_op(std::move(op), {in}, {acc},
+           direct ? ScratchKind::kNone : ScratchKind::kByte);
 
     pending_.active = true;
     pending_.main.acc_edge = acc;
@@ -1117,12 +1306,11 @@ class GraphBuilder {
 
     PackedIntWeights packed(layer.codes, layer.step(), layer.bits,
                             out_features, in_features);
-    const int acc_slot = g_.int_slots_used++;
     auto op = std::make_unique<LinearOp>(layer.name, in, std::move(packed),
-                                         instr.bias, acc_slot);
+                                         instr.bias);
     record_layer(layer.name, op->weights());
     g_.out_features = out_features;
-    g_.ops.push_back(std::move(op));
+    add_op(std::move(op), {in}, {}, ScratchKind::kInt);
     current_edge_ = -1;  // the graph output is the float logits tensor
   }
 
@@ -1159,16 +1347,30 @@ class GraphBuilder {
     pending_.has_fixed_scale = true;
   }
 
-  void maxpool(std::int64_t kernel) {
+  void pool(const ProgramInstr& instr, bool is_avg) {
     const int in = realize();
     const EdgeData in_e = g_.edges[static_cast<std::size_t>(in)];
-    CSQ_CHECK(in_e.height % kernel == 0 && in_e.width % kernel == 0)
-        << "integer graph: maxpool kernel " << kernel
-        << " does not tile the feature map";
-    const int out = new_u8_edge(in_e.channels, in_e.height / kernel,
-                                in_e.width / kernel);
+    Pool2dConfig config;
+    config.kernel_h = instr.kernel;
+    config.kernel_w = instr.kernel_w > 0 ? instr.kernel_w : instr.kernel;
+    config.stride = instr.stride;
+    config.pad = instr.pad;
+    config.validate(is_avg ? "avgpool" : "maxpool");
+    const std::int64_t out_h = config.out_h(in_e.height);
+    const std::int64_t out_w = config.out_w(in_e.width);
+    CSQ_CHECK(out_h >= 1 && out_w >= 1)
+        << "integer graph: pool window " << config.kernel_h << "x"
+        << config.kernel_w << " larger than the " << in_e.height << "x"
+        << in_e.width << " feature map";
+    const int out = new_u8_edge(in_e.channels, out_h, out_w);
     g_.edges[static_cast<std::size_t>(out)].derived_from = in;
-    g_.ops.push_back(std::make_unique<MaxPoolOp>(in, out, kernel));
+    if (is_avg) {
+      const int sum = new_acc_edge(in_e.channels, out_h, out_w);
+      add_op(std::make_unique<AvgPoolOp>(in, sum, out, config), {in},
+             {sum, out});
+    } else {
+      add_op(std::make_unique<MaxPoolOp>(in, out, config), {in}, {out});
+    }
     current_edge_ = out;
   }
 
@@ -1177,7 +1379,7 @@ class GraphBuilder {
     const EdgeData in_e = g_.edges[static_cast<std::size_t>(in)];
     const int out = new_u8_edge(in_e.channels, 1, 1);
     g_.edges[static_cast<std::size_t>(out)].derived_from = in;
-    g_.ops.push_back(std::make_unique<GlobalAvgPoolOp>(in, out));
+    add_op(std::make_unique<GlobalAvgPoolOp>(in, out), {in}, {out});
     current_edge_ = out;
   }
 
@@ -1237,16 +1439,136 @@ class GraphBuilder {
   }
 
   void finish() {
-    CSQ_CHECK(g_.out_features > 0)
-        << "integer graph: the model must end in a Linear head";
-    CSQ_CHECK(!pending_.active && residual_stack_.empty())
+    CSQ_CHECK(residual_stack_.empty())
+        << "integer graph: dangling residual frames after the walk";
+    if (g_.out_features == 0) {
+      // Conv-head model: no Linear anywhere — a GlobalAvgPool terminates
+      // the graph and its (C,1,1) codes dequantize into the float output.
+      const int out = realize();
+      const EdgeData& e = g_.edges[static_cast<std::size_t>(out)];
+      CSQ_CHECK(e.height == 1 && e.width == 1)
+          << "integer graph: a model without a Linear head must end in "
+             "GlobalAvgPool (last edge is " << e.height << "x" << e.width
+          << ")";
+      g_.out_features = e.channels;
+      add_op(std::make_unique<DequantOutputOp>(out), {out}, {});
+    }
+    CSQ_CHECK(!pending_.active)
         << "integer graph: dangling un-realized ops after the walk";
+    plan_slots();
     const int slots =
         std::max({g_.byte_slots_used, g_.int_slots_used, 1});
     g_.ws = std::make_unique<Workspace>(slots);
   }
 
  private:
+  enum class ScratchKind { kNone, kByte, kInt };
+
+  // Edge traffic of one op, in topological (execution) order — the liveness
+  // intervals the buffer planner colors.
+  struct OpMeta {
+    std::vector<int> reads;
+    std::vector<int> writes;
+    ScratchKind scratch = ScratchKind::kNone;
+  };
+
+  void add_op(std::unique_ptr<Op> op, std::vector<int> reads,
+              std::vector<int> writes,
+              ScratchKind scratch = ScratchKind::kNone) {
+    g_.ops.push_back(std::move(op));
+    op_meta_.push_back(OpMeta{std::move(reads), std::move(writes), scratch});
+  }
+
+  // Assigns every edge (and op scratch buffer) its workspace slot. Planned
+  // mode colors the liveness intervals over the op order: an edge's slot
+  // returns to its class free list after the edge's last consumer, and ops'
+  // private scratch (conv im2col, linear accumulator) lives only for its
+  // own op — so all convolutions share one im2col stripe. Outputs and
+  // scratch of op i never recycle a slot freed AT op i (an op must not
+  // write into a buffer it is still reading), which keeps planned and
+  // unplanned graphs bit-identical.
+  void plan_slots() {
+    const int n_ops = static_cast<int>(g_.ops.size());
+    if (!g_.options.plan_buffers) {
+      // Baseline policy: one dedicated slot per edge / scratch buffer for
+      // the graph's lifetime (the memory-regression comparison point).
+      for (EdgeData& e : g_.edges) {
+        e.slot = e.is_acc ? g_.int_slots_used++ : g_.byte_slots_used++;
+      }
+      for (int i = 0; i < n_ops; ++i) {
+        if (op_meta_[static_cast<std::size_t>(i)].scratch ==
+            ScratchKind::kByte) {
+          g_.ops[static_cast<std::size_t>(i)]->set_scratch_slot(
+              g_.byte_slots_used++);
+        } else if (op_meta_[static_cast<std::size_t>(i)].scratch ==
+                   ScratchKind::kInt) {
+          g_.ops[static_cast<std::size_t>(i)]->set_scratch_slot(
+              g_.int_slots_used++);
+        }
+      }
+      return;
+    }
+
+    std::vector<int> last(g_.edges.size(), -1);
+    for (int i = 0; i < n_ops; ++i) {
+      const OpMeta& meta = op_meta_[static_cast<std::size_t>(i)];
+      for (const int e : meta.writes) {
+        last[static_cast<std::size_t>(e)] = i;
+      }
+      for (const int e : meta.reads) {
+        last[static_cast<std::size_t>(e)] =
+            std::max(last[static_cast<std::size_t>(e)], i);
+      }
+    }
+    std::vector<int> free_bytes, free_ints;
+    std::vector<char> released(g_.edges.size(), 0);
+    const auto take = [](std::vector<int>& free_list, int& used) {
+      if (free_list.empty()) return used++;
+      const int slot = free_list.back();
+      free_list.pop_back();
+      return slot;
+    };
+    for (int i = 0; i < n_ops; ++i) {
+      const OpMeta& meta = op_meta_[static_cast<std::size_t>(i)];
+      for (const int e : meta.writes) {
+        EdgeData& edge = g_.edges[static_cast<std::size_t>(e)];
+        CSQ_CHECK(edge.slot < 0) << "buffer plan: edge " << e
+                                 << " written by two ops";
+        edge.slot = edge.is_acc ? take(free_ints, g_.int_slots_used)
+                                : take(free_bytes, g_.byte_slots_used);
+      }
+      int scratch = -1;
+      if (meta.scratch == ScratchKind::kByte) {
+        scratch = take(free_bytes, g_.byte_slots_used);
+      } else if (meta.scratch == ScratchKind::kInt) {
+        scratch = take(free_ints, g_.int_slots_used);
+      }
+      if (scratch >= 0) {
+        g_.ops[static_cast<std::size_t>(i)]->set_scratch_slot(scratch);
+      }
+      const auto release_dead = [&](int e) {
+        if (last[static_cast<std::size_t>(e)] != i ||
+            released[static_cast<std::size_t>(e)]) {
+          return;
+        }
+        released[static_cast<std::size_t>(e)] = 1;
+        const EdgeData& edge = g_.edges[static_cast<std::size_t>(e)];
+        (edge.is_acc ? free_ints : free_bytes).push_back(edge.slot);
+      };
+      for (const int e : meta.reads) release_dead(e);
+      for (const int e : meta.writes) release_dead(e);
+      if (meta.scratch == ScratchKind::kByte) {
+        free_bytes.push_back(scratch);
+      } else if (meta.scratch == ScratchKind::kInt) {
+        free_ints.push_back(scratch);
+      }
+    }
+    for (std::size_t e = 0; e < g_.edges.size(); ++e) {
+      CSQ_CHECK(g_.edges[e].slot >= 0)
+          << "buffer plan: edge " << e << " was never written";
+    }
+  }
+
   struct Pending {
     bool active = false;
     bool is_join = false;
@@ -1265,12 +1587,13 @@ class GraphBuilder {
     bool main_saved = false;
   };
 
+  // Edges are created without a workspace slot; plan_slots() assigns them
+  // all at finish(), once the full liveness picture exists.
   int new_u8_edge(std::int64_t c, std::int64_t h, std::int64_t w) {
     EdgeData e;
     e.channels = c;
     e.height = h;
     e.width = w;
-    e.slot = g_.byte_slots_used++;
     g_.edges.push_back(e);
     return static_cast<int>(g_.edges.size()) - 1;
   }
@@ -1281,7 +1604,6 @@ class GraphBuilder {
     e.height = h;
     e.width = w;
     e.is_acc = true;
-    e.slot = g_.int_slots_used++;
     g_.edges.push_back(e);
     return static_cast<int>(g_.edges.size()) - 1;
   }
@@ -1321,15 +1643,21 @@ class GraphBuilder {
     }
     if (pending_.is_join) {
       if (pending_.skip_is_acc) {
-        g_.ops.push_back(std::make_unique<JoinOp>(
-            std::move(pending_.main), std::move(pending_.skip), out));
+        const int main_acc = pending_.main.acc_edge;
+        const int skip_acc = pending_.skip.acc_edge;
+        add_op(std::make_unique<JoinOp>(std::move(pending_.main),
+                                        std::move(pending_.skip), out),
+               {main_acc, skip_acc}, {out});
       } else {
-        g_.ops.push_back(std::make_unique<JoinOp>(std::move(pending_.main),
-                                                  pending_.skip_edge, out));
+        const int main_acc = pending_.main.acc_edge;
+        add_op(std::make_unique<JoinOp>(std::move(pending_.main),
+                                        pending_.skip_edge, out),
+               {main_acc, pending_.skip_edge}, {out});
       }
     } else {
-      g_.ops.push_back(
-          std::make_unique<RequantOp>(std::move(pending_.main), out));
+      const int main_acc = pending_.main.acc_edge;
+      add_op(std::make_unique<RequantOp>(std::move(pending_.main), out),
+             {main_acc}, {out});
     }
     pending_ = Pending{};
     current_edge_ = out;
@@ -1339,6 +1667,7 @@ class GraphBuilder {
   CompiledGraph::Impl& g_;
   Pending pending_;
   std::vector<Frame> residual_stack_;
+  std::vector<OpMeta> op_meta_;  // parallel to g_.ops
   int current_edge_ = -1;
 };
 
@@ -1395,6 +1724,10 @@ void CompiledGraph::set_pooled(bool pooled) { impl_->pooled = pooled; }
 
 std::uint64_t CompiledGraph::buffer_growth_count() const {
   return impl_->ws->growth_count();
+}
+
+std::int64_t CompiledGraph::workspace_bytes() const {
+  return impl_->ws->total_bytes();
 }
 
 const std::vector<CompiledGraph::LayerInfo>& CompiledGraph::layers() const {
@@ -1536,7 +1869,10 @@ void replay_program(CompiledGraph::Impl& impl, const GraphProgram& program,
         builder.act_quant(instr.act_bits, instr.clip);
         break;
       case ProgramInstr::Kind::kMaxPool:
-        builder.maxpool(instr.kernel);
+        builder.pool(instr, /*is_avg=*/false);
+        break;
+      case ProgramInstr::Kind::kAvgPool:
+        builder.pool(instr, /*is_avg=*/true);
         break;
       case ProgramInstr::Kind::kGlobalAvgPool:
         builder.global_avg_pool();

@@ -13,7 +13,14 @@
 //   * activation       -> uint8 codes with a per-edge scale; act-quant
 //     flow                modules pin their edge's scale (clip / levels),
 //                         remaining edges take calibrated ranges;
-//   * residual joins   -> integer re-scaled adds inside the requantization.
+//   * residual joins   -> integer re-scaled adds inside the requantization;
+//   * max pooling      -> order-preserving max over the uint8 codes
+//     (independent stride/padding; padded taps are skipped, the implicit
+//     -inf);
+//   * average pooling  -> exact int32 window sums with the fixed 1/(kh*kw)
+//     divisor folded into the requantization back to uint8 codes;
+//   * conv-head models -> a GlobalAvgPool with no following Linear
+//     terminates the graph; its codes dequantize into the float output.
 //
 // Execution: `forward` runs the integer path — quantize input once, then
 // uint8 GEMM operands, int32 accumulators and one fused scale/clamp pass per
@@ -52,6 +59,12 @@ struct LowerOptions {
   int act_bits = 8;
   // Thread-pool execution (flippable later via set_pooled).
   bool pooled = true;
+  // Liveness-colored buffer planning: edges share workspace slots once
+  // their last consumer has run (interval coloring over the topological op
+  // order), shrinking the steady-state footprint to the peak live set.
+  // Planned and unplanned graphs are bit-identical; OFF keeps the
+  // one-dedicated-slot-per-edge policy (the memory-regression baseline).
+  bool plan_buffers = true;
 };
 
 // Per-edge activation-quantization state, snapshotted by edge_scales() and
@@ -98,6 +111,14 @@ class CompiledGraph {
   // Growth events of the activation/scratch workspace (flat in steady
   // state; the allocation regression tests assert on it).
   std::uint64_t buffer_growth_count() const;
+
+  // Bytes of activation/scratch workspace currently retained — the
+  // per-replica serving footprint (weights excluded). Grows with
+  // prepare(batch); call prepare first to measure a deployment's
+  // steady-state footprint. With plan_buffers (the default) this is the
+  // liveness-colored peak live set, strictly below the one-slot-per-edge
+  // baseline on any multi-layer graph.
+  std::int64_t workspace_bytes() const;
 
   // ---- introspection ----------------------------------------------------
   struct LayerInfo {

@@ -13,7 +13,12 @@ namespace runtime {
 namespace {
 
 constexpr char kGraphMagic[4] = {'C', 'S', 'Q', 'G'};
-constexpr std::uint32_t kGraphSectionVersion = 1;
+// Graph-section versions: v1 square pools only (no kernel_w field, no
+// average pooling); v2 adds the pool kernel_w field and the kAvgPool
+// instruction. The writer emits v2; the reader accepts both — v1 files
+// (tests/data/golden_v3.csqm pins one) decode kernel_w = 0 (square).
+constexpr std::uint32_t kGraphSectionVersion = 2;
+constexpr std::uint32_t kMinGraphSectionVersion = 1;
 // Sanity bounds for reading untrusted artifacts.
 constexpr std::uint32_t kMaxInstrs = 1 << 20;
 constexpr std::uint32_t kMaxEdges = 1 << 20;
@@ -73,6 +78,7 @@ bool save_graph(const std::string& path, CompiledGraph& graph) {
     write_pod(out, static_cast<std::uint8_t>(instr.kind));
     write_pod(out, instr.layer);
     write_pod(out, instr.kernel);
+    write_pod(out, instr.kernel_w);
     write_pod(out, instr.stride);
     write_pod(out, instr.pad);
     write_pod(out, instr.act_bits);
@@ -113,7 +119,8 @@ CompiledGraph load_graph(const std::string& path, bool pooled) {
   CSQ_CHECK(in && std::equal(magic, magic + 4, kGraphMagic))
       << "graph artifact: bad graph-section magic";
   const auto section_version = read_pod<std::uint32_t>(in);
-  CSQ_CHECK(section_version == kGraphSectionVersion)
+  CSQ_CHECK(section_version >= kMinGraphSectionVersion &&
+            section_version <= kGraphSectionVersion)
       << "graph artifact: unsupported graph-section version "
       << section_version;
 
@@ -131,15 +138,20 @@ CompiledGraph load_graph(const std::string& path, bool pooled) {
   CSQ_CHECK(instr_count <= kMaxInstrs)
       << "graph artifact: absurd instruction count " << instr_count;
   program.instrs.reserve(instr_count);
+  // v1 sections predate the kAvgPool instruction and the kernel_w field.
+  const auto max_kind = static_cast<std::uint8_t>(
+      section_version >= 2 ? ProgramInstr::Kind::kAvgPool
+                           : ProgramInstr::Kind::kLinear);
   for (std::uint32_t i = 0; i < instr_count; ++i) {
     ProgramInstr instr;
     const auto kind = read_pod<std::uint8_t>(in);
-    CSQ_CHECK(kind <= static_cast<std::uint8_t>(ProgramInstr::Kind::kLinear))
+    CSQ_CHECK(kind <= max_kind)
         << "graph artifact: unknown instruction kind "
         << static_cast<int>(kind);
     instr.kind = static_cast<ProgramInstr::Kind>(kind);
     instr.layer = read_pod<std::int32_t>(in);
     instr.kernel = read_pod<std::int64_t>(in);
+    if (section_version >= 2) instr.kernel_w = read_pod<std::int64_t>(in);
     instr.stride = read_pod<std::int64_t>(in);
     instr.pad = read_pod<std::int64_t>(in);
     instr.act_bits = read_pod<std::int32_t>(in);
@@ -151,16 +163,27 @@ CompiledGraph load_graph(const std::string& path, bool pooled) {
     // kernel would reach an integer division and a wild act_bits an
     // undefined shift — corrupted artifacts must throw, not crash.
     if (instr.kind == ProgramInstr::Kind::kConv ||
-        instr.kind == ProgramInstr::Kind::kMaxPool) {
+        instr.kind == ProgramInstr::Kind::kMaxPool ||
+        instr.kind == ProgramInstr::Kind::kAvgPool) {
       CSQ_CHECK(instr.kernel >= 1 && instr.kernel <= kMaxExtent)
           << "graph artifact: bad kernel extent " << instr.kernel;
+      CSQ_CHECK(instr.kernel_w >= 0 && instr.kernel_w <= kMaxExtent)
+          << "graph artifact: bad kernel width " << instr.kernel_w;
       CSQ_CHECK(instr.stride >= 1 && instr.stride <= kMaxExtent &&
                 instr.pad >= 0 && instr.pad <= kMaxExtent)
-          << "graph artifact: bad conv stride/pad";
+          << "graph artifact: bad conv/pool stride/pad";
     }
     if (instr.kind == ProgramInstr::Kind::kActQuant) {
       CSQ_CHECK(instr.act_bits >= 1 && instr.act_bits <= 32)
           << "graph artifact: bad act-quant bits " << instr.act_bits;
+    }
+    if (section_version == 1 &&
+        instr.kind == ProgramInstr::Kind::kMaxPool) {
+      // v1 recorded only the pool kernel; the stride field held its unused
+      // ProgramInstr default (1) while the replay pooled with
+      // stride == kernel. Normalize to the explicit v2 encoding.
+      instr.stride = instr.kernel;
+      instr.pad = 0;
     }
     program.instrs.push_back(std::move(instr));
   }

@@ -8,6 +8,7 @@
 #include "nn/linear.h"
 #include "nn/lowering.h"
 #include "nn/model.h"
+#include "nn/pooling.h"
 #include "util/check.h"
 
 namespace csq {
@@ -77,11 +78,12 @@ class ProgramRecorder final : public GraphLowering {
     program_.instrs.push_back(std::move(instr));
   }
 
-  void lower_maxpool(std::int64_t kernel) override {
-    ProgramInstr instr;
-    instr.kind = ProgramInstr::Kind::kMaxPool;
-    instr.kernel = kernel;
-    program_.instrs.push_back(std::move(instr));
+  void lower_maxpool(const Pool2dConfig& config) override {
+    push_pool(ProgramInstr::Kind::kMaxPool, config);
+  }
+
+  void lower_avgpool(const Pool2dConfig& config) override {
+    push_pool(ProgramInstr::Kind::kAvgPool, config);
   }
 
   void lower_global_avg_pool() override {
@@ -104,6 +106,19 @@ class ProgramRecorder final : public GraphLowering {
   void push_simple(ProgramInstr::Kind kind) {
     ProgramInstr instr;
     instr.kind = kind;
+    program_.instrs.push_back(std::move(instr));
+  }
+
+  void push_pool(ProgramInstr::Kind kind, const Pool2dConfig& config) {
+    ProgramInstr instr;
+    instr.kind = kind;
+    instr.kernel = config.kernel_h;
+    // kernel_w = 0 encodes a square window (matches programs loaded from
+    // pre-rectangular artifacts, which carry no width field at all).
+    instr.kernel_w =
+        config.kernel_w == config.kernel_h ? 0 : config.kernel_w;
+    instr.stride = config.stride;
+    instr.pad = config.pad;
     program_.instrs.push_back(std::move(instr));
   }
 

@@ -38,20 +38,22 @@ struct ProgramInstr {
     kBatchNorm = 1,   // scale/shift: the folded eval-mode affine
     kRelu = 2,
     kActQuant = 3,    // act_bits, clip
-    kMaxPool = 4,     // kernel
+    kMaxPool = 4,     // kernel(_w)/stride/pad
     kGlobalAvgPool = 5,
     kFlatten = 6,
     kBeginResidual = 7,
     kBeginSkip = 8,
     kEndResidual = 9,
     kLinear = 10,     // layer, bias
+    kAvgPool = 11,    // kernel(_w)/stride/pad; fixed kh*kw divisor
   };
 
   Kind kind = Kind::kRelu;
   std::int32_t layer = -1;  // index into GraphProgram::layers (conv/linear)
-  std::int64_t kernel = 0;  // conv kernel or pool kernel
-  std::int64_t stride = 1;  // conv only
-  std::int64_t pad = 0;     // conv only
+  std::int64_t kernel = 0;  // conv kernel or pool kernel height
+  std::int64_t kernel_w = 0;  // pool kernel width; 0 = square (`kernel`)
+  std::int64_t stride = 1;  // conv and pools
+  std::int64_t pad = 0;     // conv and pools
   std::int32_t act_bits = 0;  // act-quant only
   float clip = 0.0f;          // act-quant only
   std::vector<float> scale;   // batch-norm: per-channel a of a*x + b

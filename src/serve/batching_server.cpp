@@ -405,5 +405,19 @@ BatchingServer::ShardStats BatchingServer::stats(
   return shard.stats;
 }
 
+std::vector<std::int64_t> BatchingServer::replica_workspace_bytes(
+    const std::string& model_id) const {
+  Shard& shard = shard_for(model_id);
+  // The shard mutex orders this read against worker-side workspace growth
+  // (start()'s warmup grows every replica's buffers off-thread).
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  std::vector<std::int64_t> bytes;
+  bytes.reserve(shard.replicas.size());
+  for (const runtime::CompiledGraph& replica : shard.replicas) {
+    bytes.push_back(replica.workspace_bytes());
+  }
+  return bytes;
+}
+
 }  // namespace serve
 }  // namespace csq

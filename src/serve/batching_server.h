@@ -116,6 +116,13 @@ class BatchingServer {
   };
   ShardStats stats(const std::string& model_id) const;
 
+  // Activation/scratch workspace bytes retained by each replica of a model
+  // — the per-worker serving footprint (liveness-colored by default; see
+  // runtime::LowerOptions::plan_buffers). Steady after start()'s warmup
+  // grows every buffer to max_batch.
+  std::vector<std::int64_t> replica_workspace_bytes(
+      const std::string& model_id) const;
+
   const ServerOptions& options() const { return options_; }
 
  private:

@@ -74,6 +74,23 @@ Tensor& Workspace::tensor_slot_for(int slot, std::int64_t count) {
   return tensor_slots_[static_cast<std::size_t>(slot)];
 }
 
+std::int64_t Workspace::total_bytes() const {
+  std::int64_t total = 0;
+  for (const auto& slot : float_slots_) {
+    total += static_cast<std::int64_t>(slot.size() * sizeof(float));
+  }
+  for (const auto& slot : byte_slots_) {
+    total += static_cast<std::int64_t>(slot.size());
+  }
+  for (const auto& slot : int_slots_) {
+    total += static_cast<std::int64_t>(slot.size() * sizeof(std::int32_t));
+  }
+  for (const std::int64_t high_water : tensor_high_water_) {
+    total += high_water * static_cast<std::int64_t>(sizeof(float));
+  }
+  return total;
+}
+
 const Tensor& Workspace::peek(int slot) const {
   CSQ_CHECK(slot >= 0 && static_cast<std::size_t>(slot) < tensor_slots_.size())
       << "workspace: peek of unpopulated slot " << slot;

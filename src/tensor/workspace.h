@@ -65,6 +65,12 @@ class Workspace {
   // training step must leave this unchanged.
   std::uint64_t growth_count() const { return growth_count_; }
 
+  // Bytes currently retained by all slots (float, byte, int and tensor
+  // storage; GEMM packing scratch excluded) — the arena's resident
+  // footprint. The integer runtime reports this per compiled graph as
+  // CompiledGraph::workspace_bytes().
+  std::int64_t total_bytes() const;
+
  private:
   // Returns the slot tensor, accounting a growth event only when `count`
   // exceeds the slot's allocation high-water mark.

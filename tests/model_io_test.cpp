@@ -9,7 +9,10 @@
 #include "core/csq_weight.h"
 #include "core/model_io.h"
 #include "nn/models.h"
+#include "runtime/compiled_graph.h"
+#include "runtime/graph_artifact.h"
 #include "util/check.h"
+#include "util/rng.h"
 
 namespace csq {
 namespace {
@@ -146,6 +149,70 @@ TEST(ModelIoGolden, V1FixtureIsByteStable) {
                              std::istreambuf_iterator<char>());
   EXPECT_EQ(contents.size(), 61u);
   EXPECT_EQ(contents.substr(0, 4), "CSQM");
+}
+
+TEST(ModelIoGolden, V3FixtureIsByteStable) {
+  // 1137 bytes written by the PR-4 graph-artifact writer (graph-section
+  // v1: square pools only, no kernel_w field) and committed; the v2
+  // section format must keep reading it as a legacy file, never require
+  // regenerating it.
+  std::ifstream in(golden_path("golden_v3.csqm"), std::ios::binary);
+  ASSERT_TRUE(in);
+  const std::string contents((std::istreambuf_iterator<char>(in)),
+                             std::istreambuf_iterator<char>());
+  EXPECT_EQ(contents.size(), 1137u);
+  EXPECT_EQ(contents.substr(0, 4), "CSQM");
+  // Container version 3 (the graph-artifact container).
+  EXPECT_EQ(static_cast<unsigned char>(contents[4]), 3u);
+}
+
+TEST(ModelIoGolden, V3FixtureLayerSectionLoadsAsPlainModel) {
+  // A serving artifact doubles as a quantized-model container: the layer
+  // reader consumes the layer section and ignores the graph section.
+  const auto layers = load_quantized_model(golden_path("golden_v3.csqm"));
+  ASSERT_EQ(layers.size(), 3u);
+  EXPECT_EQ(layers[0].name, "conv1");
+  EXPECT_EQ(layers[0].shape,
+            (std::vector<std::int64_t>{4, 3, 3, 3}));
+  EXPECT_EQ(layers[0].bits, 3);
+  EXPECT_EQ(layers[1].name, "conv2");
+  EXPECT_EQ(layers[2].name, "fc");
+  EXPECT_EQ(layers[2].shape, (std::vector<std::int64_t>{3, 4}));
+}
+
+TEST(ModelIoGolden, V3FixtureServesBitIdentically) {
+  // The legacy graph section replays into a serving graph whose forward is
+  // pinned to the logits recorded when the fixture was written: the v2
+  // reader, the legacy maxpool stride normalization (v1 records carry only
+  // the kernel; replay pooled with stride == kernel) and the liveness-
+  // colored buffer plan must all preserve the served bits.
+  runtime::CompiledGraph graph =
+      runtime::load_graph(golden_path("golden_v3.csqm"));
+  EXPECT_EQ(graph.io_shape().out_features, 3);
+  ASSERT_EQ(graph.program().instrs.size(), 10u);
+  bool saw_pool = false;
+  for (const runtime::ProgramInstr& instr : graph.program().instrs) {
+    if (instr.kind != runtime::ProgramInstr::Kind::kMaxPool) continue;
+    saw_pool = true;
+    EXPECT_EQ(instr.kernel, 2);
+    EXPECT_EQ(instr.kernel_w, 0);
+    EXPECT_EQ(instr.stride, 2);  // normalized from the v1 implicit stride
+    EXPECT_EQ(instr.pad, 0);
+  }
+  EXPECT_TRUE(saw_pool);
+
+  Tensor probe({2, 3, 8, 8});
+  Rng probe_rng(9999);
+  for (std::int64_t i = 0; i < probe.numel(); ++i) {
+    probe[i] = probe_rng.uniform(-1.0f, 1.0f);
+  }
+  const Tensor logits = graph.forward(probe);
+  ASSERT_EQ(logits.numel(), 6);
+  const float expected[6] = {0.505121469f, 0.067494683f, 0.670592308f,
+                             0.204661295f, 0.154584587f, 0.557375431f};
+  for (std::int64_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(logits[i], expected[i]) << "logit " << i;
+  }
 }
 
 TEST(ModelIo, ExportModelRequiresFinalizedCsqSources) {

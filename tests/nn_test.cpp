@@ -188,9 +188,80 @@ TEST(MaxPool2d, ForwardPicksMaxAndRoutesGradient) {
   EXPECT_FLOAT_EQ(grad[0], 0.0f);
 }
 
-TEST(MaxPool2d, IndivisibleInputThrows) {
+TEST(MaxPool2d, NonTilingInputDropsTrailingRows) {
+  // Floor output grid: a 2x2/s2 window over (3, 4) yields (1, 2) — the
+  // trailing row is dropped, matching the integer runtime's lowering.
   MaxPool2d pool("pool", 2);
-  EXPECT_THROW(pool.forward(Tensor({1, 1, 3, 4}), false), check_error);
+  Tensor input = Tensor::from_data(
+      {1, 1, 3, 4}, {1, 5, 2, 0, 3, 2, 9, 1, 7, 7, 7, 7});
+  Tensor out = pool.forward(input, false);
+  EXPECT_EQ(out.shape(), (std::vector<std::int64_t>{1, 1, 1, 2}));
+  EXPECT_FLOAT_EQ(out[0], 5.0f);
+  EXPECT_FLOAT_EQ(out[1], 9.0f);
+}
+
+TEST(MaxPool2d, StridedPaddedWindowAndGradient) {
+  // 3x3 window, stride 2, pad 1 over 4x4: out 2x2; padded taps are -inf.
+  Pool2dConfig config{3, 3, 2, 1};
+  MaxPool2d pool("pool", config);
+  Rng rng(301);
+  Tensor input = testing::random_tensor({2, 3, 4, 4}, rng);
+  Tensor out = pool.forward(input, false);
+  EXPECT_EQ(out.shape(), (std::vector<std::int64_t>{2, 3, 2, 2}));
+  // Top-left window covers rows/cols [0, 2) of the input.
+  float expected = input[0];
+  for (std::int64_t y = 0; y < 2; ++y) {
+    for (std::int64_t x = 0; x < 2; ++x) {
+      expected = std::max(expected, input[y * 4 + x]);
+    }
+  }
+  EXPECT_FLOAT_EQ(out[0], expected);
+  testing::check_input_gradient(pool, input, rng);
+}
+
+TEST(MaxPool2d, NonSquareKernel) {
+  Pool2dConfig config{3, 2, 2, 0};
+  MaxPool2d pool("pool", config);
+  Rng rng(302);
+  Tensor input = testing::random_tensor({1, 2, 7, 6}, rng);
+  Tensor out = pool.forward(input, true);
+  EXPECT_EQ(out.shape(), (std::vector<std::int64_t>{1, 2, 3, 3}));
+  testing::check_input_gradient(pool, input, rng);
+}
+
+TEST(MaxPool2d, RejectsPaddingNotSmallerThanKernel) {
+  EXPECT_THROW(MaxPool2d("pool", Pool2dConfig{2, 2, 2, 2}), check_error);
+  EXPECT_THROW(AvgPool2d("pool", Pool2dConfig{2, 2, 2, 2}), check_error);
+  EXPECT_THROW(MaxPool2d("pool", Pool2dConfig{2, 2, 0, 0}), check_error);
+}
+
+TEST(AvgPool2d, ForwardAveragesAndPadCountsAsZero) {
+  // 2x2/s2 tiling window: plain means.
+  AvgPool2d pool("avg", Pool2dConfig{2, 2, 2, 0});
+  Tensor input = Tensor::from_data({1, 1, 2, 4}, {1, 3, 10, 20, 5, 7, 30, 40});
+  Tensor out = pool.forward(input, false);
+  EXPECT_EQ(out.shape(), (std::vector<std::int64_t>{1, 1, 1, 2}));
+  EXPECT_FLOAT_EQ(out[0], 4.0f);
+  EXPECT_FLOAT_EQ(out[1], 25.0f);
+
+  // Padded window: the divisor stays kernel_h*kernel_w and out-of-bounds
+  // taps contribute zero (count_include_pad semantics).
+  AvgPool2d padded("avg_pad", Pool2dConfig{2, 2, 2, 1});
+  Tensor small = Tensor::from_data({1, 1, 2, 2}, {8.0f, 4.0f, 2.0f, 6.0f});
+  Tensor pad_out = padded.forward(small, false);
+  EXPECT_EQ(pad_out.shape(), (std::vector<std::int64_t>{1, 1, 2, 2}));
+  EXPECT_FLOAT_EQ(pad_out[0], 2.0f);  // only tap 8 in a 4-tap window
+  EXPECT_FLOAT_EQ(pad_out[1], 1.0f);
+  EXPECT_FLOAT_EQ(pad_out[3], 1.5f);
+}
+
+TEST(AvgPool2d, OverlappingStrideGradient) {
+  AvgPool2d pool("avg", Pool2dConfig{3, 3, 2, 1});
+  Rng rng(303);
+  Tensor input = testing::random_tensor({2, 2, 5, 5}, rng);
+  Tensor out = pool.forward(input, true);
+  EXPECT_EQ(out.shape(), (std::vector<std::int64_t>{2, 2, 3, 3}));
+  testing::check_input_gradient(pool, input, rng);
 }
 
 TEST(GlobalAvgPool, ForwardAndGradient) {

@@ -13,14 +13,20 @@
 //  * lowering of the non-CSQ fixed-grid families (STE-Uniform, BSQ)
 //    through the generic finalized-codes accessor;
 //  * the runtime conformance grid: a parameterized lowering-parity sweep
-//    over pooling variants, odd spatial sizes, batch sizes {1, 3, 17} and
-//    the three exportable families — unsupported combinations are
-//    enumerated as skipped cases (the ROADMAP's op-coverage gaps);
+//    over pooling variants (strided/padded/non-tiling windows, average
+//    pooling, non-square kernels and inputs), conv-head (no-Linear)
+//    models, batch sizes {1, 3, 17} and the three exportable families —
+//    remaining genuine gaps are enumerated as skipped cases;
+//  * the liveness-colored buffer planner: workspace_bytes() regression
+//    against the one-slot-per-edge baseline and bit-identity of planned
+//    vs unplanned forwards, plus artifact round trips of the v2 pool
+//    records (rectangular strided windows, average pooling, conv heads);
 //  * deterministic fuzz over PackedIntWeights' shift/split normalization
 //    and the int32-headroom bounds at the GEMM entry points.
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <cstdio>
 #include <string>
 #include <vector>
 
@@ -41,6 +47,7 @@
 #include "quant/bsq_weight.h"
 #include "quant/ste_uniform_weight.h"
 #include "runtime/compiled_graph.h"
+#include "runtime/graph_artifact.h"
 #include "runtime/packed_weights.h"
 #include "tensor/gemm.h"
 #include "tensor/im2col.h"
@@ -541,47 +548,243 @@ TEST(CompiledGraph, ForwardWithoutCalibrationThrows) {
   EXPECT_THROW(graph.forward(input), check_error);
 }
 
+// ------------------------------------------------- buffer planner -------
+
+TEST(CompiledGraph, LivenessPlanShrinksWorkspaceAndPreservesBits) {
+  const SyntheticDataset data = make_synthetic(small_data_config());
+  Rng rng(913);
+  std::vector<CsqWeightSource*> sources;
+  ModelConfig model_config;
+  model_config.num_classes = data.train.num_classes();
+  model_config.base_width = 8;
+  Model model =
+      make_resnet20(model_config, csq_weight_factory(&sources),
+                    fixed_act_quant_factory(/*bits=*/8), rng);
+  std::vector<int> indices;
+  for (int i = 0; i < 32; ++i) indices.push_back(i);
+  const Batch calib = data.train.gather(indices);
+  for (int step = 0; step < 2; ++step) {
+    model.forward(calib.images, /*training=*/true);
+  }
+  for (CsqWeightSource* source : sources) source->finalize();
+
+  runtime::LowerOptions planned_options;
+  planned_options.in_channels = data.train.channels();
+  planned_options.in_height = data.train.height();
+  planned_options.in_width = data.train.width();
+  runtime::CompiledGraph planned = runtime::lower(model, planned_options);
+  planned.calibrate(calib.images);
+
+  // The one-dedicated-slot-per-edge policy of PR 3/4 is the baseline the
+  // coloring must beat; both graphs replay the SAME recorded program.
+  runtime::LowerOptions baseline_options = planned_options;
+  baseline_options.plan_buffers = false;
+  runtime::CompiledGraph baseline =
+      runtime::build_graph(planned.program(), baseline_options);
+  baseline.restore_edge_scales(planned.edge_scales());
+
+  const std::int64_t batch = 16;
+  planned.prepare(batch);
+  baseline.prepare(batch);
+  ASSERT_GT(baseline.workspace_bytes(), 0);
+  // ResNet-20 keeps only a handful of edges live at once (residual forks
+  // are the widest point) and all convs share one im2col stripe, so the
+  // colored plan must be a small fraction of the per-edge baseline; 2x is
+  // a loose floor that still catches planner regressions.
+  EXPECT_LT(planned.workspace_bytes() * 2, baseline.workspace_bytes())
+      << "planned " << planned.workspace_bytes() << "B vs baseline "
+      << baseline.workspace_bytes() << "B";
+
+  // Slot sharing must not change a single bit of the forward.
+  const Batch batch_data = data.test.gather({0, 1, 2, 3, 4, 5, 6, 7});
+  const Tensor planned_logits = planned.forward(batch_data.images);
+  const Tensor baseline_logits = baseline.forward(batch_data.images);
+  ASSERT_TRUE(planned_logits.same_shape(baseline_logits));
+  for (std::int64_t i = 0; i < planned_logits.numel(); ++i) {
+    ASSERT_EQ(planned_logits[i], baseline_logits[i]) << "logit " << i;
+  }
+
+  // Steady state stays zero-allocation under the plan: no workspace growth
+  // after the first prepared forward.
+  const std::uint64_t growth = planned.buffer_growth_count();
+  planned.forward(batch_data.images);
+  planned.forward(batch_data.images);
+  EXPECT_EQ(planned.buffer_growth_count(), growth);
+}
+
+TEST(GraphArtifact, PoolAndConvHeadRecordsRoundTrip) {
+  // A graph exercising every v2 record form at once: a rectangular strided
+  // max pool, a padded average pool and a conv-head (GlobalAvgPool
+  // terminator, no Linear). Saving and loading must reproduce the forward
+  // bit for bit.
+  Rng rng(914);
+  Model model;
+  const WeightSourceFactory factory =
+      model.recording_factory(ste_uniform_weight_factory(/*bits=*/4));
+  auto net = std::make_unique<Sequential>("net");
+  Conv2dConfig c1;
+  c1.in_channels = 3;
+  c1.out_channels = 6;
+  net->add(std::make_unique<Conv2d>("conv1", c1, factory, rng));
+  net->add(std::make_unique<BatchNorm2d>("bn1", 6));
+  net->add(std::make_unique<ReLU>("relu1"));
+  net->add(std::make_unique<MaxPool2d>("pool1", Pool2dConfig{3, 2, 2, 0}));
+  Conv2dConfig c2;
+  c2.in_channels = 6;
+  c2.out_channels = 6;
+  net->add(std::make_unique<Conv2d>("conv2", c2, factory, rng));
+  net->add(std::make_unique<BatchNorm2d>("bn2", 6));
+  net->add(std::make_unique<ReLU>("relu2"));
+  net->add(std::make_unique<AvgPool2d>("pool2", Pool2dConfig{2, 2, 2, 1}));
+  net->add(std::make_unique<GlobalAvgPool>("gap"));
+  model.set_root(std::move(net));
+
+  Rng data_rng(915);
+  Tensor calib = random_tensor({6, 3, 13, 11}, data_rng);
+  for (int i = 0; i < 3; ++i) model.forward(calib, /*training=*/true);
+
+  runtime::LowerOptions options;
+  options.in_height = 13;
+  options.in_width = 11;
+  runtime::CompiledGraph graph = runtime::lower(model, options);
+  graph.calibrate(calib);
+  EXPECT_EQ(graph.io_shape().out_features, 6);
+
+  const std::string path =
+      ::testing::TempDir() + "csq_pool_roundtrip.csqm";
+  ASSERT_TRUE(runtime::save_graph(path, graph));
+  runtime::CompiledGraph loaded = runtime::load_graph(path);
+  std::remove(path.c_str());
+
+  Tensor input = random_tensor({5, 3, 13, 11}, data_rng);
+  const Tensor expected = graph.forward(input);
+  const Tensor actual = loaded.forward(input);
+  ASSERT_TRUE(expected.same_shape(actual));
+  for (std::int64_t i = 0; i < expected.numel(); ++i) {
+    ASSERT_EQ(expected[i], actual[i]) << "output " << i;
+  }
+
+  // The loaded program preserves the rectangular/strided pool geometry.
+  bool saw_max = false, saw_avg = false;
+  for (const runtime::ProgramInstr& instr : loaded.program().instrs) {
+    if (instr.kind == runtime::ProgramInstr::Kind::kMaxPool) {
+      saw_max = true;
+      EXPECT_EQ(instr.kernel, 3);
+      EXPECT_EQ(instr.kernel_w, 2);
+      EXPECT_EQ(instr.stride, 2);
+    }
+    if (instr.kind == runtime::ProgramInstr::Kind::kAvgPool) {
+      saw_avg = true;
+      EXPECT_EQ(instr.kernel, 2);
+      EXPECT_EQ(instr.kernel_w, 0);  // square windows stay compact
+      EXPECT_EQ(instr.pad, 1);
+    }
+  }
+  EXPECT_TRUE(saw_max);
+  EXPECT_TRUE(saw_avg);
+}
+
 // ------------------------------------------------- conformance grid -----
 //
 // Parameterized lowering-parity sweep: a conv/bn/relu stack with an
-// optional max pool, lowered and compared against the float eval path over
-// every exportable family, odd and even spatial sizes and the batch sizes
-// the serving layer coalesces. Combinations the runtime cannot lower yet
-// (pool kernels that do not tile the feature map — MaxPool2d is
-// stride == kernel, so these are the pooling stride variants of the
-// ROADMAP's op-coverage gap) assert the compile-time rejection and then
-// enumerate as SKIPPED cases, so closing a gap flips a skip into coverage.
+// optional pooling layer, lowered and compared against the float eval path
+// over every exportable family, the batch sizes the serving layer
+// coalesces, and a curated set of shape variants — non-tiling and strided
+// pools, overlapping padded windows, average pooling, non-square kernels
+// and inputs, and conv-head (no-Linear) models. The pooling stride/shape
+// cells and the conv-head family were enumerated GTEST_SKIPs through PR 4
+// (the ROADMAP op-coverage gaps); they now run as green coverage.
+// Remaining genuine gaps stay enumerated as skipped cells with their
+// reasons, so closing one keeps flipping a skip into coverage.
+
+enum class PoolKind { kNone, kMax, kAvg };
 
 struct ConformanceCase {
+  const char* tag;     // shape-variant fragment of the test name
   const char* family;  // "csq" | "bsq" | "ste_uniform"
-  int batch;
-  int spatial;
-  int pool_kernel;  // 1 = no pooling layer
+  int batch = 1;
+  int spatial_h = 12;
+  int spatial_w = 12;
+  PoolKind pool = PoolKind::kNone;
+  int pool_kernel_h = 0;
+  int pool_kernel_w = 0;
+  int pool_stride = 0;
+  int pool_pad = 0;
+  bool conv_head = false;        // end at GlobalAvgPool, no Linear
+  const char* skip_reason = nullptr;  // non-null: a remaining genuine gap
 };
 
 std::vector<ConformanceCase> conformance_grid() {
+  // One entry per shape variant; the grid takes the product with the three
+  // exportable families and the serving batch sizes.
+  const ConformanceCase variants[] = {
+      {"nopool_s12"},
+      {"nopool_s11", "", 0, 11, 11},
+      {"max2s2_s12", "", 0, 12, 12, PoolKind::kMax, 2, 2, 2, 0},
+      // Formerly-skipped cells: stride-2 / stride-3 windows that do not
+      // tile an 11x11 map (floor output grid drops the trailing rows).
+      {"max2s2_s11", "", 0, 11, 11, PoolKind::kMax, 2, 2, 2, 0},
+      {"max3s3_s11", "", 0, 11, 11, PoolKind::kMax, 3, 3, 3, 0},
+      // Overlapping strided window with padding (the ResNet-stem shape).
+      {"max3s2p1_s12", "", 0, 12, 12, PoolKind::kMax, 3, 3, 2, 1},
+      // Average pooling: tiling, and padded/strided on a non-square input.
+      {"avg2s2_s12", "", 0, 12, 12, PoolKind::kAvg, 2, 2, 2, 0},
+      {"avg3s2p1_s11x13", "", 0, 11, 13, PoolKind::kAvg, 3, 3, 2, 1},
+      // Non-square pool kernel.
+      {"max3x2s2_s12", "", 0, 12, 12, PoolKind::kMax, 3, 2, 2, 0},
+      // Conv-head models: GlobalAvgPool terminates the graph.
+      {"convhead_s12", "", 0, 12, 12, PoolKind::kNone, 0, 0, 0, 0, true},
+      {"convhead_avg2s2_s11", "", 0, 11, 11, PoolKind::kAvg, 2, 2, 2, 0,
+       true},
+  };
   std::vector<ConformanceCase> cases;
-  for (const char* family : {"csq", "bsq", "ste_uniform"}) {
-    for (const int batch : {1, 3, 17}) {
-      for (const int spatial : {12, 11}) {
-        for (const int pool_kernel : {1, 2, 3}) {
-          cases.push_back({family, batch, spatial, pool_kernel});
-        }
+  for (const ConformanceCase& variant : variants) {
+    for (const char* family : {"csq", "bsq", "ste_uniform"}) {
+      for (const int batch : {1, 3, 17}) {
+        ConformanceCase entry = variant;
+        entry.family = family;
+        entry.batch = batch;
+        cases.push_back(entry);
       }
     }
   }
+  // Remaining genuine gaps, enumerated once each so the grid keeps naming
+  // what the runtime cannot serve yet.
+  ConformanceCase rect_conv;
+  rect_conv.tag = "rect_conv_kernel";
+  rect_conv.family = "csq";
+  rect_conv.skip_reason =
+      "non-square CONV kernels: Conv2dConfig and the kConv program record "
+      "carry one square kernel extent (pool kernels are rectangular now; "
+      "conv kernels are not)";
+  cases.push_back(rect_conv);
+  ConformanceCase avg_exclude;
+  avg_exclude.tag = "avg_count_exclude_pad";
+  avg_exclude.family = "csq";
+  avg_exclude.skip_reason =
+      "average pooling with a per-window valid-tap divisor "
+      "(count_include_pad=false): the integer lowering folds one fixed "
+      "1/(kh*kw) divisor into the requant scale, so border windows would "
+      "need per-position constants";
+  cases.push_back(avg_exclude);
+  ConformanceCase ceil_mode;
+  ceil_mode.tag = "ceil_mode_pool";
+  ceil_mode.family = "csq";
+  ceil_mode.skip_reason =
+      "ceil-mode pooling output grids: Pool2dConfig uses floor division "
+      "(trailing partial windows are dropped, not padded)";
+  cases.push_back(ceil_mode);
   return cases;
 }
 
 std::string conformance_name(
     const ::testing::TestParamInfo<ConformanceCase>& info) {
   const ConformanceCase& param = info.param;
+  if (param.skip_reason != nullptr) return std::string("gap_") + param.tag;
   std::string name = param.family;
   name += "_b" + std::to_string(param.batch);
-  name += "_s" + std::to_string(param.spatial);
-  name += param.pool_kernel > 1
-              ? "_pool" + std::to_string(param.pool_kernel)
-              : "_nopool";
+  name += "_";
+  name += param.tag;
   return name;
 }
 
@@ -590,7 +793,11 @@ class RuntimeConformance
 
 TEST_P(RuntimeConformance, LoweringParityWithFloatEval) {
   const ConformanceCase& param = GetParam();
-  const std::int64_t spatial = param.spatial;
+  if (param.skip_reason != nullptr) {
+    GTEST_SKIP() << "runtime op-coverage gap: " << param.skip_reason;
+  }
+  const std::int64_t spatial_h = param.spatial_h;
+  const std::int64_t spatial_w = param.spatial_w;
 
   Rng rng(1300);
   Model model;
@@ -615,8 +822,17 @@ TEST_P(RuntimeConformance, LoweringParityWithFloatEval) {
   net->add(std::make_unique<Conv2d>("conv1", c1, factory, rng));
   net->add(std::make_unique<BatchNorm2d>("bn1", 8));
   net->add(std::make_unique<ReLU>("relu1"));
-  if (param.pool_kernel > 1) {
-    net->add(std::make_unique<MaxPool2d>("pool", param.pool_kernel));
+  if (param.pool != PoolKind::kNone) {
+    Pool2dConfig pool_config;
+    pool_config.kernel_h = param.pool_kernel_h;
+    pool_config.kernel_w = param.pool_kernel_w;
+    pool_config.stride = param.pool_stride;
+    pool_config.pad = param.pool_pad;
+    if (param.pool == PoolKind::kMax) {
+      net->add(std::make_unique<MaxPool2d>("pool", pool_config));
+    } else {
+      net->add(std::make_unique<AvgPool2d>("pool", pool_config));
+    }
   }
   Conv2dConfig c2;
   c2.in_channels = 8;
@@ -626,37 +842,26 @@ TEST_P(RuntimeConformance, LoweringParityWithFloatEval) {
   net->add(std::make_unique<BatchNorm2d>("bn2", 8));
   net->add(std::make_unique<ReLU>("relu2"));
   net->add(std::make_unique<GlobalAvgPool>("gap"));
-  net->add(std::make_unique<Flatten>("flatten"));
-  net->add(std::make_unique<Linear>("fc", 8, 5, factory, rng));
+  if (!param.conv_head) {
+    net->add(std::make_unique<Flatten>("flatten"));
+    net->add(std::make_unique<Linear>("fc", 8, 5, factory, rng));
+  }
   model.set_root(std::move(net));
 
   runtime::LowerOptions options;
-  options.in_height = spatial;
-  options.in_width = spatial;
-  const bool pool_lowers =
-      param.pool_kernel <= 1 || spatial % param.pool_kernel == 0;
-  if (!pool_lowers) {
-    // Non-tiling pools are unsupported end to end today: the float module
-    // rejects them at forward time and the lowering rejects them at
-    // compile time. Assert the compile-time rejection, then enumerate the
-    // case as skipped coverage.
-    for (CsqWeightSource* source : csq_registry) source->finalize();
-    EXPECT_THROW(runtime::lower(model, options), check_error);
-    GTEST_SKIP() << "maxpool kernel " << param.pool_kernel
-                 << " (stride == kernel) does not tile a " << spatial << "x"
-                 << spatial << " feature map — runtime op-coverage gap "
-                 << "(ROADMAP: pooling stride variants)";
-  }
+  options.in_height = spatial_h;
+  options.in_width = spatial_w;
 
   // Settle the BN running statistics the lowering folds.
-  Rng data_rng(1400 + param.spatial);
-  Tensor calib = random_tensor({8, 3, spatial, spatial}, data_rng);
+  Rng data_rng(1400 + param.spatial_h + param.spatial_w);
+  Tensor calib = random_tensor({8, 3, spatial_h, spatial_w}, data_rng);
   for (int i = 0; i < 3; ++i) model.forward(calib, /*training=*/true);
   for (CsqWeightSource* source : csq_registry) source->finalize();
 
   runtime::CompiledGraph graph = runtime::lower(model, options);
 
-  Tensor input = random_tensor({param.batch, 3, spatial, spatial}, data_rng);
+  Tensor input =
+      random_tensor({param.batch, 3, spatial_h, spatial_w}, data_rng);
   // Calibrate over both batches so every edge's observed range covers the
   // served inputs (ranges accumulate across calls) — the PTQ deployment
   // contract the tolerance below assumes.

@@ -177,6 +177,41 @@ TEST(GraphArtifact, ReplicateIsBitIdentical) {
                        "replica");
 }
 
+TEST(BatchingServer, ReplicaFootprintIsLivenessColored) {
+  // Every worker pays one graph workspace; the liveness-colored plan (the
+  // default) must keep each replica's footprint well under the
+  // one-slot-per-edge policy every replica paid through PR 4.
+  runtime::CompiledGraph graph = make_calibrated_graph();
+  runtime::LowerOptions baseline_options = graph.options();
+  baseline_options.plan_buffers = false;
+  runtime::CompiledGraph baseline =
+      runtime::build_graph(graph.program(), baseline_options);
+  baseline.restore_edge_scales(graph.edge_scales());
+
+  serve::ServerOptions options;
+  options.max_batch = 8;
+  serve::BatchingServer server(options);
+  std::vector<runtime::CompiledGraph> replicas;
+  replicas.push_back(runtime::replicate(graph));
+  replicas.push_back(runtime::replicate(graph));
+  server.add_model("model", std::move(replicas));
+  server.start();
+
+  // Warmup prepared every replica for max_batch; size the baseline the
+  // same way before comparing.
+  baseline.prepare(options.max_batch);
+  const std::vector<std::int64_t> footprints =
+      server.replica_workspace_bytes("model");
+  ASSERT_EQ(footprints.size(), 2u);
+  for (const std::int64_t bytes : footprints) {
+    EXPECT_GT(bytes, 0);
+    EXPECT_LT(bytes * 2, baseline.workspace_bytes())
+        << "replica " << bytes << "B vs one-slot-per-edge baseline "
+        << baseline.workspace_bytes() << "B";
+  }
+  server.stop();
+}
+
 // -------------------------------------------------------- batching server --
 
 // Expected logits for `count` distinct samples, computed one sample at a
