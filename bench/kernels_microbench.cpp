@@ -29,6 +29,7 @@
 #include <fstream>
 #include <functional>
 #include <iostream>
+#include <map>
 #include <memory>
 #include <string>
 #include <thread>
@@ -42,6 +43,7 @@
 #include "nn/weight_source.h"
 #include "opt/sgd.h"
 #include "runtime/compiled_graph.h"
+#include "runtime/packed_weights.h"
 #include "serve/batching_server.h"
 #include "quant/bsq_weight.h"
 #include "quant/dorefa_weight.h"
@@ -651,6 +653,141 @@ void write_infer_report(const std::string& path, int iterations) {
     std::cout << "infer batch " << batch << ": float " << float_ms
               << " ms, int8 " << int8_ms << " ms (x" << float_ms / int8_ms
               << ")\n";
+  }
+  out << "\n  ],\n";
+
+  using clock = std::chrono::steady_clock;
+  const auto time_ms = [&](int reps, const std::function<void()>& fn) {
+    fn();  // warmup
+    const auto start = clock::now();
+    for (int i = 0; i < reps; ++i) fn();
+    const auto stop = clock::now();
+    return std::chrono::duration<double, std::milli>(stop - start).count() /
+           static_cast<double>(reps);
+  };
+
+  // Per-layer kernel breakdown: each lowered GEMM timed standalone on its
+  // serving shape (per-sample im2col columns), selected kernel against the
+  // forced s8u8 reference — where the per-layer precision becomes latency.
+  out << "  \"layer_kernels\": [\n";
+  first = true;
+  {
+    const runtime::GraphProgram& program = graph.program();
+    std::int64_t h = side, w = side;
+    Rng gemm_rng(36);
+    for (const runtime::ProgramInstr& instr : program.instrs) {
+      if (instr.kind != runtime::ProgramInstr::Kind::kConv &&
+          instr.kind != runtime::ProgramInstr::Kind::kLinear) {
+        continue;
+      }
+      const QuantizedLayerExport& layer =
+          program.layers[static_cast<std::size_t>(instr.layer)];
+      const std::int64_t rows = layer.shape[0];
+      std::int64_t cols = 1;
+      for (std::size_t d = 1; d < layer.shape.size(); ++d) {
+        cols *= layer.shape[d];
+      }
+      std::int64_t n = 1;
+      if (instr.kind == runtime::ProgramInstr::Kind::kConv) {
+        h = (h + 2 * instr.pad - instr.kernel) / instr.stride + 1;
+        w = (w + 2 * instr.pad - instr.kernel) / instr.stride + 1;
+        n = h * w;
+      }
+      const auto kind = static_cast<runtime::WeightKernel>(instr.kernel_kind);
+      runtime::PackedIntWeights selected(layer.codes, layer.step(),
+                                         layer.bits, rows, cols, kind);
+      runtime::PackedIntWeights reference(layer.codes, layer.step(),
+                                          layer.bits, rows, cols,
+                                          runtime::WeightKernel::kS8U8);
+      std::vector<std::uint8_t> b(static_cast<std::size_t>(cols * n));
+      for (auto& v : b) {
+        v = static_cast<std::uint8_t>(gemm_rng.uniform(0.0f, 255.0f));
+      }
+      std::vector<std::int32_t> c(static_cast<std::size_t>(rows * n));
+      const int reps = std::max(iterations, 8);
+      const double selected_ms = time_ms(reps, [&] {
+        selected.gemm(Trans::no, n, b.data(), n, c.data(), n,
+                      /*pooled=*/true);
+        benchmark::DoNotOptimize(c.data());
+      });
+      const double reference_ms = time_ms(reps, [&] {
+        reference.gemm(Trans::no, n, b.data(), n, c.data(), n,
+                       /*pooled=*/true);
+        benchmark::DoNotOptimize(c.data());
+      });
+      if (!first) out << ",\n";
+      first = false;
+      out << "    {\"layer\": \"" << layer.name << "\", \"bits\": "
+          << layer.bits << ", \"kernel\": \"" << selected.kernel_name()
+          << "\", \"gemm_m\": " << rows << ", \"gemm_n\": " << n
+          << ", \"gemm_k\": " << cols << ", \"kernel_ms\": " << selected_ms
+          << ", \"s8u8_ms\": " << reference_ms
+          << ", \"speedup\": " << reference_ms / selected_ms << "}";
+    }
+  }
+  out << "\n  ],\n";
+
+  // Speedup-vs-precision curve: the SAME net lowered at fixed weight
+  // precisions, whole-net auto-selected kernels against the
+  // force_reference_kernel baseline (bit-identical logits, latency only).
+  out << "  \"precision_curve\": [\n";
+  first = true;
+  const std::int64_t curve_batch = 16;
+  for (const int bits : {1, 2, 3, 4, 8}) {
+    Rng curve_rng(33);
+    std::vector<CsqWeightSource*> curve_registry;
+    CsqWeightOptions curve_weights;
+    curve_weights.fixed_precision = bits;
+    Model curve_model = make_resnet20(
+        model_config, csq_weight_factory(&curve_registry, curve_weights),
+        nullptr, curve_rng);
+    for (CsqWeightSource* source : curve_registry) source->finalize();
+    runtime::CompiledGraph auto_graph = runtime::lower(curve_model, options);
+    {
+      Rng calib_rng(34);
+      Tensor calib = random_tensor({8, channels, side, side}, calib_rng);
+      auto_graph.calibrate(calib);
+    }
+    runtime::LowerOptions forced_options = options;
+    forced_options.force_reference_kernel = true;
+    runtime::CompiledGraph forced_graph =
+        runtime::build_graph(auto_graph.program(), forced_options);
+    forced_graph.restore_edge_scales(auto_graph.edge_scales());
+    auto_graph.prepare(curve_batch);
+    forced_graph.prepare(curve_batch);
+
+    Rng data_rng(35);
+    Tensor input =
+        random_tensor({curve_batch, channels, side, side}, data_rng);
+    const double auto_ms = time_ms(iterations, [&] {
+      Tensor logits = auto_graph.forward(input);
+      benchmark::DoNotOptimize(logits.data());
+    });
+    const double forced_ms = time_ms(iterations, [&] {
+      Tensor logits = forced_graph.forward(input);
+      benchmark::DoNotOptimize(logits.data());
+    });
+
+    // Kernel histogram of the auto-selected lowering.
+    std::map<std::string, int> kernel_counts;
+    for (const auto& layer : auto_graph.layers()) {
+      ++kernel_counts[layer.kernel];
+    }
+    if (!first) out << ",\n";
+    first = false;
+    out << "    {\"weight_bits\": " << bits << ", \"batch\": " << curve_batch
+        << ", \"kernels\": {";
+    bool first_kernel = true;
+    for (const auto& entry : kernel_counts) {
+      if (!first_kernel) out << ", ";
+      first_kernel = false;
+      out << "\"" << entry.first << "\": " << entry.second;
+    }
+    out << "}, \"auto_ms\": " << auto_ms << ", \"s8u8_forced_ms\": "
+        << forced_ms << ", \"speedup\": " << forced_ms / auto_ms << "}";
+    std::cout << "precision curve " << bits << "b: auto " << auto_ms
+              << " ms vs s8u8 " << forced_ms << " ms (x"
+              << forced_ms / auto_ms << ")\n";
   }
   out << "\n  ]\n}\n";
   std::cout << "wrote " << path << "\n";

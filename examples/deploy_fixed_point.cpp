@@ -116,7 +116,7 @@ int main() {
   for (const auto& layer : graph.layers()) {
     std::cout << "  " << layer.name << ": " << layer.bits << "b x "
               << layer.weight_count << (layer.split ? " (split planes)" : "")
-              << "\n";
+              << " -> " << layer.kernel << " kernel\n";
   }
 
   // 4. End-to-end accuracy: float eval path vs the int8 graph.

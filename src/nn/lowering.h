@@ -50,9 +50,11 @@ class GraphLowering {
   // Spatial pooling over Pool2dConfig windows (nn/pooling.h): independent
   // kernel_h/kernel_w, stride and padding. Max pooling treats padded taps
   // as -inf; average pooling counts them as zeros over a fixed
-  // kernel_h*kernel_w divisor.
+  // kernel_h*kernel_w divisor when count_include_pad, and divides each
+  // window by its valid-tap count otherwise.
   virtual void lower_maxpool(const Pool2dConfig& config) = 0;
-  virtual void lower_avgpool(const Pool2dConfig& config) = 0;
+  virtual void lower_avgpool(const Pool2dConfig& config,
+                             bool count_include_pad) = 0;
   virtual void lower_global_avg_pool() = 0;
   virtual void lower_flatten() = 0;
 

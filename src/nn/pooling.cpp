@@ -22,7 +22,7 @@ void MaxPool2d::lower(GraphLowering& lowering) {
 }
 
 void AvgPool2d::lower(GraphLowering& lowering) {
-  lowering.lower_avgpool(config_);
+  lowering.lower_avgpool(config_, count_include_pad_);
 }
 
 void GlobalAvgPool::lower(GraphLowering& lowering) {
@@ -128,8 +128,9 @@ Tensor MaxPool2d::backward(const Tensor& grad_output) {
   return grad_input;
 }
 
-AvgPool2d::AvgPool2d(const std::string& name, const Pool2dConfig& config)
-    : config_(config) {
+AvgPool2d::AvgPool2d(const std::string& name, const Pool2dConfig& config,
+                     bool count_include_pad)
+    : config_(config), count_include_pad_(count_include_pad) {
   config_.validate(name.c_str());
   set_name(name);
 }
@@ -155,8 +156,8 @@ Tensor AvgPool2d::forward(const Tensor& input, bool training) {
       const float* plane = in + (b * channels + c) * height * width;
       for (std::int64_t oy = 0; oy < out_h; ++oy) {
         for (std::int64_t ox = 0; ox < out_w; ++ox, ++out_index) {
-          // Padded taps contribute zero; the divisor stays kernel_h*kernel_w
-          // (count_include_pad) so the integer lowering can fold it.
+          // Padded taps contribute zero; the divisor is kernel_h*kernel_w
+          // (count_include_pad) or the window's valid-tap count.
           std::int64_t y0, y1, x0, x1;
           config_.window(oy, config_.kernel_h, height, y0, y1);
           config_.window(ox, config_.kernel_w, width, x0, x1);
@@ -166,7 +167,10 @@ Tensor AvgPool2d::forward(const Tensor& input, bool training) {
               acc += plane[iy * width + ix];
             }
           }
-          out[out_index] = acc * inv_window;
+          out[out_index] =
+              count_include_pad_
+                  ? acc * inv_window
+                  : acc / static_cast<float>((y1 - y0) * (x1 - x0));
         }
       }
     }
@@ -205,10 +209,14 @@ Tensor AvgPool2d::backward(const Tensor& grad_output) {
       float* plane = gi + (b * channels + c) * height * width;
       for (std::int64_t oy = 0; oy < out_h; ++oy) {
         for (std::int64_t ox = 0; ox < out_w; ++ox, ++out_index) {
-          const float value = go[out_index] * inv_window;
           std::int64_t y0, y1, x0, x1;
           config_.window(oy, config_.kernel_h, height, y0, y1);
           config_.window(ox, config_.kernel_w, width, x0, x1);
+          const float value =
+              count_include_pad_
+                  ? go[out_index] * inv_window
+                  : go[out_index] /
+                        static_cast<float>((y1 - y0) * (x1 - x0));
           for (std::int64_t iy = y0; iy < y1; ++iy) {
             for (std::int64_t ix = x0; ix < x1; ++ix) {
               plane[iy * width + ix] += value;

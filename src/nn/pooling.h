@@ -13,9 +13,10 @@ namespace csq {
 // floor division — windows may overlap (stride < kernel) or drop trailing
 // rows/columns (non-tiling maps). Padding is implicit: max pooling treats
 // padded taps as -inf (they are never selected), average pooling counts them
-// as zeros with a FIXED kernel_h*kernel_w divisor (count_include_pad) — the
-// form whose 1/(kh*kw) folds exactly into the integer runtime's
-// requantization.
+// as zeros with a FIXED kernel_h*kernel_w divisor by default
+// (count_include_pad) — the form whose 1/(kh*kw) folds exactly into the
+// integer runtime's requantization — or divides by the per-window valid-tap
+// count when AvgPool2d's count_include_pad flag is off.
 struct Pool2dConfig {
   std::int64_t kernel_h = 2;
   std::int64_t kernel_w = 2;
@@ -70,20 +71,26 @@ class MaxPool2d final : public Module {
   std::vector<std::int64_t> cached_input_shape_;
 };
 
-// Average pooling over Pool2dConfig windows (fixed kh*kw divisor; padding
-// contributes zeros).
+// Average pooling over Pool2dConfig windows. With count_include_pad (the
+// default) padding contributes zeros over a fixed kh*kw divisor; with it
+// off, each window divides by its valid-tap count — border windows average
+// only the real inputs (the integer runtime carries the matching
+// per-position divisors through requantization).
 class AvgPool2d final : public Module {
  public:
-  AvgPool2d(const std::string& name, const Pool2dConfig& config);
+  AvgPool2d(const std::string& name, const Pool2dConfig& config,
+            bool count_include_pad = true);
 
   Tensor forward(const Tensor& input, bool training) override;
   Tensor backward(const Tensor& grad_output) override;
   const char* kind() const override { return "avgpool2d"; }
   void lower(GraphLowering& lowering) override;
   const Pool2dConfig& config() const { return config_; }
+  bool count_include_pad() const { return count_include_pad_; }
 
  private:
   Pool2dConfig config_;
+  bool count_include_pad_ = true;
   std::vector<std::int64_t> cached_input_shape_;
 };
 

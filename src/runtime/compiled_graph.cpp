@@ -494,7 +494,7 @@ class ConvOp final : public Op {
     out << "conv2d " << name_ << " " << edge_string(g, in_edge_) << " -> "
         << edge_string(g, acc_edge_) << " [" << weights_.bits() << "b codes"
         << (weights_.split() ? ", split" : "") << ", shift "
-        << weights_.shift() << "]";
+        << weights_.shift() << ", " << weights_.kernel_name() << "]";
     return out.str();
   }
 
@@ -833,11 +833,12 @@ class MaxPoolOp final : public Op {
 class AvgPoolOp final : public Op {
  public:
   AvgPoolOp(int in_edge, int sum_edge, int out_edge,
-            const Pool2dConfig& config)
+            const Pool2dConfig& config, bool exclude_pad)
       : in_edge_(in_edge),
         sum_edge_(sum_edge),
         out_edge_(out_edge),
-        config_(config) {}
+        config_(config),
+        exclude_pad_(exclude_pad) {}
   const char* kind() const override { return "avgpool"; }
 
   void finalize(CompiledGraph::Impl& g) override {
@@ -845,11 +846,29 @@ class AvgPoolOp final : public Op {
     const EdgeData& out = g.edges[static_cast<std::size_t>(out_edge_)];
     const auto window =
         static_cast<float>(config_.kernel_h * config_.kernel_w);
-    // real mean = in.scale * (sum / window - in.zp); code = real/out.scale
-    // + out.zp. Derived edges (out == in scale/zp) reduce to sum/window.
+    // real mean = in.scale * (sum / divisor - in.zp); code = real/out.scale
+    // + out.zp. Derived edges (out == in scale/zp) reduce to sum/divisor.
+    // The zero-point term is divisor-free (each window's mean of a constant
+    // in.zp is in.zp), so add_ is shared by both divisor policies.
     mul_ = in.scale / (out.scale * window);
     add_ = static_cast<float>(out.zero_point) -
            in.scale * static_cast<float>(in.zero_point) / out.scale;
+    if (exclude_pad_) {
+      // Per-position divisors: border windows divide by their valid-tap
+      // count. Geometry is static, so the constants resolve once here.
+      mul_per_pos_.resize(
+          static_cast<std::size_t>(out.height * out.width));
+      for (std::int64_t oy = 0; oy < out.height; ++oy) {
+        for (std::int64_t ox = 0; ox < out.width; ++ox) {
+          std::int64_t y0, y1, x0, x1;
+          config_.window(oy, config_.kernel_h, in.height, y0, y1);
+          config_.window(ox, config_.kernel_w, in.width, x0, x1);
+          mul_per_pos_[static_cast<std::size_t>(oy * out.width + ox)] =
+              in.scale /
+              (out.scale * static_cast<float>((y1 - y0) * (x1 - x0)));
+        }
+      }
+    }
   }
 
   void run_int(CompiledGraph::Impl& g) override {
@@ -862,6 +881,7 @@ class AvgPoolOp final : public Op {
       std::uint8_t* out;
       std::int32_t pad_code;
       float mul, add, levels;
+      bool exclude_pad;
     } ctx;
     ctx.op = this;
     ctx.in_e = &g.edges[static_cast<std::size_t>(in_edge_)];
@@ -873,11 +893,13 @@ class AvgPoolOp final : public Op {
     ctx.mul = mul_;
     ctx.add = add_;
     ctx.levels = ctx.out_e->levels;
+    ctx.exclude_pad = exclude_pad_;
     for_each_sample(g.pooled, g.batch, ctx, +[](const Ctx& c, std::int64_t b) {
       const std::uint8_t* in = c.in + b * c.in_e->per_sample();
       std::int32_t* sum = c.sum + b * c.out_e->per_sample();
       std::uint8_t* out = c.out + b * c.out_e->per_sample();
       const Pool2dConfig& config = c.op->config_;
+      const std::int64_t spatial = c.out_e->height * c.out_e->width;
       std::int64_t index = 0;
       for (std::int64_t ch = 0; ch < c.in_e->channels; ++ch) {
         const std::uint8_t* plane = in + ch * c.in_e->height * c.in_e->width;
@@ -892,17 +914,30 @@ class AvgPoolOp final : public Op {
                 acc += plane[iy * c.in_e->width + ix];
               }
             }
-            // count_include_pad: out-of-bounds taps carry the zero-point
-            // code (real zero), keeping the divisor fixed at kh*kw.
-            const std::int64_t covered = (y1 - y0) * (x1 - x0);
-            acc += c.pad_code *
-                   static_cast<std::int32_t>(
-                       config.kernel_h * config.kernel_w - covered);
+            if (!c.exclude_pad) {
+              // count_include_pad: out-of-bounds taps carry the zero-point
+              // code (real zero), keeping the divisor fixed at kh*kw.
+              const std::int64_t covered = (y1 - y0) * (x1 - x0);
+              acc += c.pad_code *
+                     static_cast<std::int32_t>(
+                         config.kernel_h * config.kernel_w - covered);
+            }
             sum[index] = acc;
           }
         }
       }
-      requant_span(sum, out, c.out_e->per_sample(), c.mul, c.add, c.levels);
+      if (c.exclude_pad) {
+        // Per-position divisor: requantize scalar-wise with the window's
+        // own multiplier (shared across channels for each spatial cell).
+        const float* mul_pos = c.op->mul_per_pos_.data();
+        for (std::int64_t p = 0; p < c.out_e->per_sample(); ++p) {
+          out[p] = round_clamp_code(
+              mul_pos[p % spatial] * static_cast<float>(sum[p]) + c.add,
+              c.levels);
+        }
+      } else {
+        requant_span(sum, out, c.out_e->per_sample(), c.mul, c.add, c.levels);
+      }
     });
   }
 
@@ -930,7 +965,12 @@ class AvgPoolOp final : public Op {
                 acc += plane[iy * in_e.width + ix];
               }
             }
-            dst[index] = acc * inv_window;  // pads contribute zero
+            // Pads contribute zero; exclude_pad divides by the valid-tap
+            // count instead of the fixed window.
+            dst[index] =
+                exclude_pad_
+                    ? acc / static_cast<float>((y1 - y0) * (x1 - x0))
+                    : acc * inv_window;
           }
         }
       }
@@ -942,6 +982,7 @@ class AvgPoolOp final : public Op {
     out << "avgpool" << config_.kernel_h << "x" << config_.kernel_w << "s"
         << config_.stride;
     if (config_.pad > 0) out << "p" << config_.pad;
+    if (exclude_pad_) out << " xpad";
     out << " " << edge_string(g, in_edge_) << " -> "
         << edge_string(g, out_edge_);
     return out.str();
@@ -952,8 +993,10 @@ class AvgPoolOp final : public Op {
   int sum_edge_;
   int out_edge_;
   Pool2dConfig config_;
+  bool exclude_pad_;
   float mul_ = 0.0f;
   float add_ = 0.0f;
+  std::vector<float> mul_per_pos_;  // exclude_pad: per-spatial-cell divisor
 };
 
 class GlobalAvgPoolOp final : public Op {
@@ -1136,7 +1179,8 @@ class LinearOp final : public Op {
     std::ostringstream out;
     out << "linear " << name_ << " " << edge_string(g, in_edge_)
         << " -> f32(" << weights_.rows() << ") [" << weights_.bits()
-        << "b codes" << (weights_.split() ? ", split" : "") << "]";
+        << "b codes" << (weights_.split() ? ", split" : "") << ", "
+        << weights_.kernel_name() << "]";
     return out.str();
   }
 
@@ -1266,7 +1310,8 @@ class GraphBuilder {
     geom.validate();
 
     PackedIntWeights packed(layer.codes, layer.step(), layer.bits,
-                            out_channels, geom.col_rows());
+                            out_channels, geom.col_rows(),
+                            static_cast<WeightKernel>(instr.kernel_kind));
     const bool direct =
         instr.kernel == 1 && instr.stride == 1 && instr.pad == 0;
     const int acc = new_acc_edge(out_channels, geom.out_h(), geom.out_w());
@@ -1305,7 +1350,8 @@ class GraphBuilder {
         << "lowering " << layer.name << ": bias length mismatch";
 
     PackedIntWeights packed(layer.codes, layer.step(), layer.bits,
-                            out_features, in_features);
+                            out_features, in_features,
+                            static_cast<WeightKernel>(instr.kernel_kind));
     auto op = std::make_unique<LinearOp>(layer.name, in, std::move(packed),
                                          instr.bias);
     record_layer(layer.name, op->weights());
@@ -1366,8 +1412,9 @@ class GraphBuilder {
     g_.edges[static_cast<std::size_t>(out)].derived_from = in;
     if (is_avg) {
       const int sum = new_acc_edge(in_e.channels, out_h, out_w);
-      add_op(std::make_unique<AvgPoolOp>(in, sum, out, config), {in},
-             {sum, out});
+      add_op(std::make_unique<AvgPoolOp>(in, sum, out, config,
+                                         instr.exclude_pad),
+             {in}, {sum, out});
     } else {
       add_op(std::make_unique<MaxPoolOp>(in, out, config), {in}, {out});
     }
@@ -1615,6 +1662,7 @@ class GraphBuilder {
     info.split = w.split();
     info.weight_count = w.rows() * w.cols();
     info.storage_bits = w.storage_bits();
+    info.kernel = w.kernel_name();
     g_.layer_infos.push_back(std::move(info));
     g_.layer_weights.push_back(&w);
   }
@@ -1897,10 +1945,44 @@ void replay_program(CompiledGraph::Impl& impl, const GraphProgram& program,
   builder.finish();
 }
 
+// Per-layer kernel selection, recorded in the program BEFORE replay so the
+// persisted artifact (and every replica sharing the program) replays the
+// exact same GEMM paths. Instructions that already carry a recorded kind
+// (v3 artifacts) keep it; pre-kernel-record programs re-derive the identical
+// choice (select_kernel is a pure function of the layer data);
+// force_reference_kernel pins everything to the s8u8 baseline.
+void resolve_kernel_selection(GraphProgram& program,
+                              const LowerOptions& options) {
+  for (ProgramInstr& instr : program.instrs) {
+    if (instr.kind != ProgramInstr::Kind::kConv &&
+        instr.kind != ProgramInstr::Kind::kLinear) {
+      continue;
+    }
+    if (options.force_reference_kernel) {
+      instr.kernel_kind = static_cast<std::int32_t>(WeightKernel::kS8U8);
+      continue;
+    }
+    if (instr.kernel_kind >= 0) continue;  // recorded choice wins
+    CSQ_CHECK(instr.layer >= 0 &&
+              instr.layer < static_cast<std::int32_t>(program.layers.size()))
+        << "graph program: instruction references layer " << instr.layer
+        << " of " << program.layers.size();
+    const QuantizedLayerExport& layer =
+        program.layers[static_cast<std::size_t>(instr.layer)];
+    std::int64_t cols = 1;
+    for (std::size_t d = 1; d < layer.shape.size(); ++d) {
+      cols *= layer.shape[d];
+    }
+    instr.kernel_kind = static_cast<std::int32_t>(
+        PackedIntWeights::select_kernel(layer.codes, layer.bits, cols));
+  }
+}
+
 }  // namespace
 
 CompiledGraph build_graph(GraphProgram program, const LowerOptions& options) {
   CompiledGraph graph;
+  resolve_kernel_selection(program, options);
   replay_program(*graph.impl_, program, options);
   graph.impl_->program =
       std::make_shared<const GraphProgram>(std::move(program));

@@ -65,6 +65,11 @@ struct LowerOptions {
   // Planned and unplanned graphs are bit-identical; OFF keeps the
   // one-dedicated-slot-per-edge policy (the memory-regression baseline).
   bool plan_buffers = true;
+  // Escape hatch: run every conv/linear layer on the widened s8u8 reference
+  // GEMM, ignoring per-layer kernel selection. All kernels are bit-identical,
+  // so this only changes latency — the A/B baseline for the precision-latency
+  // benchmarks and the parity tests.
+  bool force_reference_kernel = false;
 };
 
 // Per-edge activation-quantization state, snapshotted by edge_scales() and
@@ -127,6 +132,7 @@ class CompiledGraph {
     bool split = false;        // full-span layer stored as two int8 planes
     std::int64_t weight_count = 0;
     std::int64_t storage_bits = 0;
+    std::string kernel;        // selected GEMM path (weight_kernel_name)
   };
   const std::vector<LayerInfo>& layers() const;
   std::int64_t weight_storage_bits() const;

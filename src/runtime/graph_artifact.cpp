@@ -15,9 +15,13 @@ namespace {
 constexpr char kGraphMagic[4] = {'C', 'S', 'Q', 'G'};
 // Graph-section versions: v1 square pools only (no kernel_w field, no
 // average pooling); v2 adds the pool kernel_w field and the kAvgPool
-// instruction. The writer emits v2; the reader accepts both — v1 files
-// (tests/data/golden_v3.csqm pins one) decode kernel_w = 0 (square).
-constexpr std::uint32_t kGraphSectionVersion = 2;
+// instruction; v3 adds the per-instruction kernel_kind (the recorded GEMM
+// path of a conv/linear layer) and the avg-pool exclude_pad flag. The
+// writer emits v3; the reader accepts all — v1 files
+// (tests/data/golden_v3.csqm pins one) decode kernel_w = 0 (square), and
+// pre-v3 files decode kernel_kind = -1 (re-resolved deterministically at
+// build_graph) and exclude_pad = false, preserving bit-identical serving.
+constexpr std::uint32_t kGraphSectionVersion = 3;
 constexpr std::uint32_t kMinGraphSectionVersion = 1;
 // Sanity bounds for reading untrusted artifacts.
 constexpr std::uint32_t kMaxInstrs = 1 << 20;
@@ -83,6 +87,8 @@ bool save_graph(const std::string& path, CompiledGraph& graph) {
     write_pod(out, instr.pad);
     write_pod(out, instr.act_bits);
     write_pod(out, instr.clip);
+    write_pod(out, instr.kernel_kind);
+    write_pod(out, static_cast<std::uint8_t>(instr.exclude_pad ? 1 : 0));
     write_float_vector(out, instr.scale);
     write_float_vector(out, instr.shift);
     write_float_vector(out, instr.bias);
@@ -156,6 +162,12 @@ CompiledGraph load_graph(const std::string& path, bool pooled) {
     instr.pad = read_pod<std::int64_t>(in);
     instr.act_bits = read_pod<std::int32_t>(in);
     instr.clip = read_pod<float>(in);
+    if (section_version >= 3) {
+      instr.kernel_kind = read_pod<std::int32_t>(in);
+      CSQ_CHECK(instr.kernel_kind >= -1 && instr.kernel_kind <= 3)
+          << "graph artifact: unknown kernel kind " << instr.kernel_kind;
+      instr.exclude_pad = read_pod<std::uint8_t>(in) != 0;
+    }
     instr.scale = read_float_vector(in);
     instr.shift = read_float_vector(in);
     instr.bias = read_float_vector(in);

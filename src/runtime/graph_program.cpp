@@ -82,8 +82,10 @@ class ProgramRecorder final : public GraphLowering {
     push_pool(ProgramInstr::Kind::kMaxPool, config);
   }
 
-  void lower_avgpool(const Pool2dConfig& config) override {
-    push_pool(ProgramInstr::Kind::kAvgPool, config);
+  void lower_avgpool(const Pool2dConfig& config,
+                     bool count_include_pad) override {
+    push_pool(ProgramInstr::Kind::kAvgPool, config,
+              /*exclude_pad=*/!count_include_pad);
   }
 
   void lower_global_avg_pool() override {
@@ -109,7 +111,8 @@ class ProgramRecorder final : public GraphLowering {
     program_.instrs.push_back(std::move(instr));
   }
 
-  void push_pool(ProgramInstr::Kind kind, const Pool2dConfig& config) {
+  void push_pool(ProgramInstr::Kind kind, const Pool2dConfig& config,
+                 bool exclude_pad = false) {
     ProgramInstr instr;
     instr.kind = kind;
     instr.kernel = config.kernel_h;
@@ -119,6 +122,7 @@ class ProgramRecorder final : public GraphLowering {
         config.kernel_w == config.kernel_h ? 0 : config.kernel_w;
     instr.stride = config.stride;
     instr.pad = config.pad;
+    instr.exclude_pad = exclude_pad;
     program_.instrs.push_back(std::move(instr));
   }
 

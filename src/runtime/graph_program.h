@@ -45,7 +45,7 @@ struct ProgramInstr {
     kBeginSkip = 8,
     kEndResidual = 9,
     kLinear = 10,     // layer, bias
-    kAvgPool = 11,    // kernel(_w)/stride/pad; fixed kh*kw divisor
+    kAvgPool = 11,    // kernel(_w)/stride/pad; divisor per exclude_pad
   };
 
   Kind kind = Kind::kRelu;
@@ -56,6 +56,14 @@ struct ProgramInstr {
   std::int64_t pad = 0;     // conv and pools
   std::int32_t act_bits = 0;  // act-quant only
   float clip = 0.0f;          // act-quant only
+  // conv/linear: the selected GEMM path (runtime::WeightKernel numeric
+  // value). -1 = unresolved; build_graph resolves it deterministically
+  // before replay, so persisted programs replay the recorded choice and
+  // pre-kernel-record artifacts re-derive the identical one.
+  std::int32_t kernel_kind = -1;
+  // avg-pool: divide each window by its valid-tap count instead of the
+  // fixed kh*kw (count_include_pad=false semantics).
+  bool exclude_pad = false;
   std::vector<float> scale;   // batch-norm: per-channel a of a*x + b
   std::vector<float> shift;   // batch-norm: per-channel b
   std::vector<float> bias;    // conv/linear bias (empty = none)

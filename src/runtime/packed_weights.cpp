@@ -1,5 +1,6 @@
 #include "runtime/packed_weights.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdlib>
 
@@ -28,15 +29,59 @@ int common_shift(const std::vector<std::int32_t>& codes) {
   return shift == 8 ? 0 : shift;
 }
 
+// The auto-selection policy, a pure function of the layer's stored-plane
+// shape: bit-serial (wide where the depth headroom allows) for <= 3-bit
+// layers, nibble packing for 4-bit layers whose shifted codes fit the
+// signed nibble, the widened s8u8 reference otherwise (including every
+// split layer — the hi/lo alpha chain stays on the reference path).
+WeightKernel auto_kernel(int bits, std::int32_t max_abs, bool split,
+                         std::int64_t cols) {
+  if (split) return WeightKernel::kS8U8;
+  if (bits <= 3 && max_abs <= 64) {
+    return gemm_s8u8_wide_eligible(cols, max_abs)
+               ? WeightKernel::kBitSerialWide
+               : WeightKernel::kBitSerial;
+  }
+  if (bits <= 4 && max_abs <= 7) return WeightKernel::kNibble;
+  return WeightKernel::kS8U8;
+}
+
 }  // namespace
 
+const char* weight_kernel_name(WeightKernel kernel) {
+  switch (kernel) {
+    case WeightKernel::kAuto:
+      return "auto";
+    case WeightKernel::kS8U8:
+      return "s8u8";
+    case WeightKernel::kBitSerial:
+      return "bitserial";
+    case WeightKernel::kNibble:
+      return "nibble";
+    case WeightKernel::kBitSerialWide:
+      return "bitserial-w16";
+  }
+  return "unknown";
+}
+
+WeightKernel PackedIntWeights::select_kernel(
+    const std::vector<std::int32_t>& codes, int bits, std::int64_t cols) {
+  const int shift = common_shift(codes);
+  std::int32_t max_abs = 0;
+  for (const std::int32_t code : codes) {
+    max_abs = std::max(max_abs, std::abs(code >> shift));
+  }
+  return auto_kernel(bits, max_abs, /*split=*/max_abs > 127, cols);
+}
+
 PackedIntWeights::PackedIntWeights(const WeightCodes& codes, std::int64_t rows,
-                                   std::int64_t cols)
-    : PackedIntWeights(codes.codes, codes.step(), codes.bits, rows, cols) {}
+                                   std::int64_t cols, WeightKernel kernel)
+    : PackedIntWeights(codes.codes, codes.step(), codes.bits, rows, cols,
+                       kernel) {}
 
 PackedIntWeights::PackedIntWeights(const std::vector<std::int32_t>& codes,
                                    float step, int bits, std::int64_t rows,
-                                   std::int64_t cols)
+                                   std::int64_t cols, WeightKernel kernel)
     : rows_(rows), cols_(cols), bits_(bits) {
   const std::int64_t count = rows * cols;
   CSQ_CHECK(count == static_cast<std::int64_t>(codes.size()))
@@ -58,6 +103,7 @@ PackedIntWeights::PackedIntWeights(const std::vector<std::int32_t>& codes,
   for (const std::int32_t code : codes) {
     max_magnitude = std::max(max_magnitude, std::abs(code >> shift_));
   }
+  max_abs_code_ = max_magnitude;
   const bool needs_split = max_magnitude > 127;
 
   primary_.resize(static_cast<std::size_t>(count));
@@ -80,13 +126,75 @@ PackedIntWeights::PackedIntWeights(const std::vector<std::int32_t>& codes,
     row_sums_[static_cast<std::size_t>(i / cols)] += shifted;
   }
 
-  primary_panels_.resize(
-      static_cast<std::size_t>(gemm_s8u8_packed_a_size(rows, cols)));
-  gemm_s8u8_pack_a(rows, cols, primary_.data(), cols,
-                   primary_panels_.data());
-  if (needs_split) {
-    low_panels_.resize(primary_panels_.size());
-    gemm_s8u8_pack_a(rows, cols, low_.data(), cols, low_panels_.data());
+  kernel_ = kernel == WeightKernel::kAuto
+                ? auto_kernel(bits_, max_abs_code_, needs_split, cols)
+                : kernel;
+  // Recorded kinds (artifact replay) are honored but never trusted: a
+  // corrupted or hand-edited record that violates the kernel's exactness
+  // bound must throw here, not produce wrong logits.
+  switch (kernel_) {
+    case WeightKernel::kBitSerialWide:
+      CSQ_CHECK(gemm_s8u8_wide_eligible(cols, max_abs_code_))
+          << "packed weights: bitserial-w16 kernel needs int16 headroom "
+             "(depth "
+          << cols << ", max |code| " << max_abs_code_ << ")";
+      [[fallthrough]];
+    case WeightKernel::kBitSerial:
+      CSQ_CHECK(!needs_split && max_abs_code_ <= 64)
+          << "packed weights: bit-serial kernel needs unsplit codes with "
+             "|code| <= 64, got max "
+          << max_abs_code_;
+      break;
+    case WeightKernel::kNibble:
+      CSQ_CHECK(!needs_split && max_abs_code_ <= 7)
+          << "packed weights: nibble kernel needs codes in [-8, 7], got max "
+          << max_abs_code_;
+      break;
+    case WeightKernel::kS8U8:
+      break;
+    case WeightKernel::kAuto:
+      CSQ_CHECK(false) << "packed weights: unresolved kernel kind";
+      break;
+  }
+
+  switch (kernel_) {
+    case WeightKernel::kBitSerial:
+    case WeightKernel::kBitSerialWide: {
+      // The bit-serial storage form: sign/magnitude planes. Collapsing them
+      // back through the power-of-two shift combination IS the bit-serial
+      // inner product's plane summation, hoisted to pack time; the GEMM then
+      // consumes the collapsed codes. Round-trip checked so the planes stay
+      // the authoritative representation.
+      planes_ = pack_bit_planes(primary_.data(), count);
+      std::vector<std::int8_t> collapsed(static_cast<std::size_t>(count));
+      unpack_bit_planes(planes_, collapsed.data());
+      for (std::int64_t i = 0; i < count; ++i) {
+        CSQ_CHECK(collapsed[static_cast<std::size_t>(i)] ==
+                  primary_[static_cast<std::size_t>(i)])
+            << "packed weights: bit-plane round trip diverged at " << i;
+      }
+      lowbit_panels_.resize(
+          static_cast<std::size_t>(gemm_s8u8_lowbit_packed_a_size(rows, cols)));
+      gemm_s8u8_lowbit_pack_a(rows, cols, collapsed.data(), cols,
+                              lowbit_panels_.data());
+      break;
+    }
+    case WeightKernel::kNibble:
+      nibble_panels_.resize(
+          static_cast<std::size_t>(gemm_s8u8_nibble_packed_a_size(rows, cols)));
+      gemm_s8u8_nibble_pack_a(rows, cols, primary_.data(), cols,
+                              nibble_panels_.data());
+      break;
+    default:
+      primary_panels_.resize(
+          static_cast<std::size_t>(gemm_s8u8_packed_a_size(rows, cols)));
+      gemm_s8u8_pack_a(rows, cols, primary_.data(), cols,
+                       primary_panels_.data());
+      if (needs_split) {
+        low_panels_.resize(primary_panels_.size());
+        gemm_s8u8_pack_a(rows, cols, low_.data(), cols, low_panels_.data());
+      }
+      break;
   }
 }
 
@@ -94,6 +202,31 @@ void PackedIntWeights::gemm(Trans trans_b, std::int64_t n,
                             const std::uint8_t* b, std::int64_t ldb,
                             std::int32_t* c, std::int64_t ldc, bool pooled,
                             IntGemmScratch* scratch) const {
+  switch (kernel_) {
+    case WeightKernel::kBitSerial: {
+      const auto run = pooled ? gemm_s8u8_lowbit_prepacked_parallel
+                              : gemm_s8u8_lowbit_prepacked;
+      run(trans_b, rows_, n, cols_, /*alpha=*/1, lowbit_panels_.data(), b,
+          ldb, /*accumulate=*/false, c, ldc, scratch);
+      return;
+    }
+    case WeightKernel::kBitSerialWide: {
+      const auto run = pooled ? gemm_s8u8_lowbit_wide_prepacked_parallel
+                              : gemm_s8u8_lowbit_wide_prepacked;
+      run(trans_b, rows_, n, cols_, /*alpha=*/1, lowbit_panels_.data(), b,
+          ldb, /*accumulate=*/false, c, ldc, scratch);
+      return;
+    }
+    case WeightKernel::kNibble: {
+      const auto run = pooled ? gemm_s8u8_nibble_prepacked_parallel
+                              : gemm_s8u8_nibble_prepacked;
+      run(trans_b, rows_, n, cols_, /*alpha=*/1, nibble_panels_.data(), b,
+          ldb, /*accumulate=*/false, c, ldc, scratch);
+      return;
+    }
+    default:
+      break;
+  }
   const auto run = pooled ? gemm_s8u8_prepacked_parallel : gemm_s8u8_prepacked;
   if (!split()) {
     run(trans_b, rows_, n, cols_, /*alpha=*/1, primary_panels_.data(), b, ldb,

@@ -18,16 +18,41 @@
 // reproduces the float materialization of a finalized CSQ source bit for
 // bit (one float multiply of the step by an exactly-representable integer —
 // the same operation materialize_hard performs).
+//
+// On top of the representation, each layer carries a KERNEL: the GEMM path
+// its precision earns. Low-bit layers store genuine sign/magnitude
+// bit-planes (runtime/subbyte.h) whose power-of-two combination is folded
+// back into collapsed int8 codes at pack time — the bit-serial shift-and-add
+// performed once, exactly, instead of per forward — and run the K-quad
+// vpmaddubsw kernel (or its int16-accumulator variant when the depth
+// headroom proves no overflow). 4-bit layers run the nibble-packed kernel.
+// Every kernel produces the SAME int32 accumulators as the s8u8 reference,
+// so the choice never changes served outputs, only latency.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
 #include "nn/weight_source.h"
+#include "runtime/subbyte.h"
 #include "tensor/gemm.h"
 
 namespace csq {
 namespace runtime {
+
+// Per-layer GEMM path. Numeric values are persisted in graph artifacts
+// (ProgramInstr::kernel_kind); kAuto (-1) means "resolve at lowering".
+enum class WeightKernel : std::int32_t {
+  kAuto = -1,
+  kS8U8 = 0,        // widened int16 K-pair reference path
+  kBitSerial = 1,   // bit-planes collapsed at pack time, K-quad vpmaddubsw
+  kNibble = 2,      // two codes per byte, unpacked in-register
+  kBitSerialWide = 3,  // bit-serial with int16 accumulators (3x MACs)
+};
+
+// Stable short name for describe() output and bench reports:
+// "s8u8" | "bitserial" | "nibble" | "bitserial-w16" | "auto".
+const char* weight_kernel_name(WeightKernel kernel);
 
 class PackedIntWeights {
  public:
@@ -36,19 +61,44 @@ class PackedIntWeights {
   // Packs `codes` as a (rows x cols) int8 matrix. rows*cols must equal
   // codes.codes.size(); rows is the GEMM M extent (output channels).
   PackedIntWeights(const WeightCodes& codes, std::int64_t rows,
-                   std::int64_t cols);
+                   std::int64_t cols,
+                   WeightKernel kernel = WeightKernel::kAuto);
 
   // Borrowing form: packs a caller-owned code vector (e.g. a layer record
   // inside a shared GraphProgram) without the WeightCodes wrapper copy.
   // `step` is the real value of one grid unit (WeightCodes::step()).
   PackedIntWeights(const std::vector<std::int32_t>& codes, float step,
-                   int bits, std::int64_t rows, std::int64_t cols);
+                   int bits, std::int64_t rows, std::int64_t cols,
+                   WeightKernel kernel = WeightKernel::kAuto);
+
+  // The deterministic auto-selection policy: the kernel a layer with these
+  // codes earns. Pure function of the codes/bits/shape, so re-resolving a
+  // pre-kernel-record artifact reproduces the original choice.
+  static WeightKernel select_kernel(const std::vector<std::int32_t>& codes,
+                                    int bits, std::int64_t cols);
 
   std::int64_t rows() const { return rows_; }
   std::int64_t cols() const { return cols_; }
   int bits() const { return bits_; }
   int shift() const { return shift_; }
   bool split() const { return !low_.empty(); }
+
+  // The GEMM path this layer runs (never kAuto after construction).
+  WeightKernel kernel() const { return kernel_; }
+  const char* kernel_name() const { return weight_kernel_name(kernel_); }
+
+  // Largest |stored-plane code| — the bound the kernel eligibility checks
+  // are derived from.
+  std::int32_t max_abs_code() const { return max_abs_code_; }
+
+  // Sign/magnitude bit-planes of the stored codes for bit-serial layers;
+  // nullptr for other kernels.
+  const BitPlanes* bit_planes() const {
+    return kernel_ == WeightKernel::kBitSerial ||
+                   kernel_ == WeightKernel::kBitSerialWide
+               ? &planes_
+               : nullptr;
+  }
 
   // Real value of one stored-plane unit: step * 2^shift (exact).
   float effective_step() const { return effective_step_; }
@@ -68,8 +118,9 @@ class PackedIntWeights {
   // requantization: real = effective_step * S_in * (acc - zp * row_sum).
   const std::vector<std::int64_t>& row_code_sums() const { return row_sums_; }
 
-  // C(rows, n) int32 = plane-codes * op(B); one pass, or the alpha-chained
-  // hi/lo pair for split layers. `pooled` routes through the MC-tile
+  // C(rows, n) int32 = plane-codes * op(B): one pass through the selected
+  // kernel, or the alpha-chained hi/lo pair for split layers. Every kernel
+  // yields bit-identical accumulators. `pooled` routes through the MC-tile
   // parallel kernel (top-level calls); serial inside parallel regions.
   void gemm(Trans trans_b, std::int64_t n, const std::uint8_t* b,
             std::int64_t ldb, std::int32_t* c, std::int64_t ldc, bool pooled,
@@ -93,13 +144,19 @@ class PackedIntWeights {
   std::vector<std::int8_t> low_;  // empty unless split()
   // Kernel micro-panel form of the planes, packed once at construction
   // (weights are static at serving time) so gemm() skips per-call A packing.
+  // Exactly one family is populated, matching kernel_.
   std::vector<std::int16_t> primary_panels_;
   std::vector<std::int16_t> low_panels_;
+  std::vector<std::int8_t> lowbit_panels_;    // K-quad raw int8
+  std::vector<std::uint8_t> nibble_panels_;   // K-quad, two codes per byte
+  BitPlanes planes_;  // populated for the bit-serial kernels
   std::vector<std::int64_t> row_sums_;
   std::int64_t rows_ = 0;
   std::int64_t cols_ = 0;
   int bits_ = 0;
   int shift_ = 0;
+  std::int32_t max_abs_code_ = 0;
+  WeightKernel kernel_ = WeightKernel::kS8U8;
   float effective_step_ = 1.0f;
 };
 

@@ -1,0 +1,85 @@
+#include "runtime/subbyte.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace csq {
+namespace runtime {
+
+BitPlanes pack_bit_planes(const std::int8_t* codes, std::int64_t count) {
+  CSQ_CHECK(count >= 0) << "pack_bit_planes: negative count";
+  BitPlanes planes;
+  planes.count = count;
+  std::int32_t max_magnitude = 0;
+  for (std::int64_t i = 0; i < count; ++i) {
+    const std::int32_t v = codes[i];
+    max_magnitude = std::max(max_magnitude, v < 0 ? -v : v);
+  }
+  int plane_count = 0;
+  while ((max_magnitude >> plane_count) != 0) ++plane_count;
+  planes.planes = plane_count;
+
+  const std::int64_t words = planes.words_per_plane();
+  planes.sign.assign(static_cast<std::size_t>(words), 0);
+  planes.bits.assign(static_cast<std::size_t>(plane_count * words), 0);
+  for (std::int64_t i = 0; i < count; ++i) {
+    const std::int32_t v = codes[i];
+    const std::uint64_t bit = std::uint64_t{1} << (i & 63);
+    if (v < 0) planes.sign[static_cast<std::size_t>(i >> 6)] |= bit;
+    const std::uint32_t magnitude = static_cast<std::uint32_t>(v < 0 ? -v : v);
+    for (int t = 0; t < plane_count; ++t) {
+      if ((magnitude >> t) & 1) {
+        planes.bits[static_cast<std::size_t>(t * words + (i >> 6))] |= bit;
+      }
+    }
+  }
+  return planes;
+}
+
+void unpack_bit_planes(const BitPlanes& planes, std::int8_t* codes) {
+  const std::int64_t words = planes.words_per_plane();
+  for (std::int64_t i = 0; i < planes.count; ++i) {
+    const std::uint64_t bit = std::uint64_t{1} << (i & 63);
+    std::int32_t magnitude = 0;
+    // The power-of-two shift combination, exact in integers.
+    for (int t = 0; t < planes.planes; ++t) {
+      if (planes.bits[static_cast<std::size_t>(t * words + (i >> 6))] & bit) {
+        magnitude += 1 << t;
+      }
+    }
+    const bool negative =
+        (planes.sign[static_cast<std::size_t>(i >> 6)] & bit) != 0;
+    codes[i] = static_cast<std::int8_t>(negative ? -magnitude : magnitude);
+  }
+}
+
+std::int64_t nibble_bytes(std::int64_t count) { return (count + 1) / 2; }
+
+void pack_nibbles(const std::int8_t* codes, std::int64_t count,
+                  std::uint8_t* packed) {
+  for (std::int64_t i = 0; i < count; ++i) {
+    const std::int32_t v = codes[i];
+    CSQ_CHECK(v >= -8 && v <= 7)
+        << "pack_nibbles: code " << v
+        << " outside the signed nibble range [-8, 7]";
+    const std::uint8_t nib = static_cast<std::uint8_t>(v) & 0x0F;
+    if ((i & 1) == 0) {
+      packed[i >> 1] = nib;
+    } else {
+      packed[i >> 1] = static_cast<std::uint8_t>(packed[i >> 1] | (nib << 4));
+    }
+  }
+}
+
+void unpack_nibbles(const std::uint8_t* packed, std::int64_t count,
+                    std::int8_t* codes) {
+  for (std::int64_t i = 0; i < count; ++i) {
+    const std::uint8_t byte = packed[i >> 1];
+    const std::uint32_t nib = (i & 1) ? (byte >> 4) : (byte & 0x0F);
+    codes[i] = static_cast<std::int8_t>(static_cast<std::int32_t>(nib ^ 8) - 8);
+  }
+}
+
+}  // namespace runtime
+}  // namespace csq

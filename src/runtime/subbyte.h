@@ -1,0 +1,57 @@
+// Flat sub-byte storage for weight codes: sign/magnitude bit-planes and
+// signed nibble packing.
+//
+// BitPlanes is the storage form of the runtime's bit-serial layers: one
+// packed sign mask plus one packed bitmask per magnitude bit, 64 codes per
+// uint64 word. Reconstruction is the exact power-of-two combination
+//   code = (sign ? -1 : +1) * sum_t (plane_t(bit) << t)
+// — the same shift-and-add a per-plane GEMM pass would perform, done once at
+// pack time so the compute kernel can consume the collapsed int8 codes. The
+// round trip is bit-exact by construction and fuzz-tested.
+//
+// Nibble packing stores two signed 4-bit codes (range [-8, 7]) per byte, low
+// nibble first, matching the in-register decode of the nibble GEMM
+// micro-kernel (mask, shift, xor/sub sign extension).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace csq {
+namespace runtime {
+
+struct BitPlanes {
+  std::int64_t count = 0;  // number of codes
+  int planes = 0;          // magnitude bits (0 for an all-zero span)
+  std::vector<std::uint64_t> sign;  // ceil(count/64) words
+  std::vector<std::uint64_t> bits;  // planes * ceil(count/64) words
+
+  std::int64_t words_per_plane() const { return (count + 63) / 64; }
+  // Total packed payload in bits (sign plane + magnitude planes).
+  std::int64_t storage_bits() const {
+    return count * (1 + static_cast<std::int64_t>(planes));
+  }
+};
+
+// Packs int8 codes into sign/magnitude planes. The plane count is the
+// position of the highest magnitude bit used (max |code| <= 127 always fits
+// in 7 planes).
+BitPlanes pack_bit_planes(const std::int8_t* codes, std::int64_t count);
+
+// Exact inverse of pack_bit_planes.
+void unpack_bit_planes(const BitPlanes& planes, std::int8_t* codes);
+
+// Bytes needed to hold `count` signed nibbles, two per byte.
+std::int64_t nibble_bytes(std::int64_t count);
+
+// Packs codes (each in [-8, 7], checked) two per byte, low nibble first; an
+// odd trailing code leaves the final high nibble zero.
+void pack_nibbles(const std::int8_t* codes, std::int64_t count,
+                  std::uint8_t* packed);
+
+// Exact inverse of pack_nibbles.
+void unpack_nibbles(const std::uint8_t* packed, std::int64_t count,
+                    std::int8_t* codes);
+
+}  // namespace runtime
+}  // namespace csq

@@ -610,6 +610,496 @@ void gemm_s8u8_blocked(Trans trans_b, std::int64_t m, std::int64_t n,
   }
 }
 
+// ----------------------------------------------------- sub-byte kernels ---
+//
+// The low-bit family keeps raw 8-bit operands in the packed panels and lays
+// depth out in K-QUADS: steps 4q..4q+3 adjacent per row/column, fused by one
+// vpmaddubsw (u8 activations * s8 weight codes, int16 pair sums) and one
+// vpmaddwd against ones. Saturation analysis: each int16 pair sum is at most
+// 255 * (|a0| + |a1|), so |a| <= 64 per code keeps vpmaddubsw exact — the
+// pack routines enforce it. Quad tails are zero-padded (exact).
+//
+// A~ quad layout (low-bit): panels MR-tall; entry (p, i) at
+//   [(p/4)*MR + i]*4 + p%4   (one int8 per code).
+// A~ nibble layout: same quad structure, two codes per byte; entry (p, i)
+//   lives in byte [(p/4)*MR + i]*2 + (p%4)/2, low nibble for even p, high
+//   for odd; codes are stored as their low 4 bits (signed range [-8, 7]).
+// B~ quad layout: panels NR-wide; entry (p, j) at [(p/4)*NR + j]*4 + p%4
+//   (one uint8 per activation code — half the widened int16 panel traffic).
+
+enum class QuadKernel { kLowBit, kLowBitWide, kNibble };
+
+inline std::int64_t quad_kc(std::int64_t kc) {
+  return (kc + 3) & ~std::int64_t{3};
+}
+
+void ensure_size_u8(std::vector<std::uint8_t>& buffer, std::size_t count) {
+  if (buffer.size() < count) buffer.resize(count);
+}
+
+void pack_a_s8_quad(const std::int8_t* a, std::int64_t lda, std::int64_t ic,
+                    std::int64_t pc, std::int64_t mc, std::int64_t kc,
+                    std::int8_t* dst) {
+  const std::int64_t kcq = quad_kc(kc);
+  for (std::int64_t r = 0; r < mc; r += kGemmMR) {
+    const std::int64_t rows = std::min(kGemmMR, mc - r);
+    std::fill(dst, dst + kGemmMR * kcq, std::int8_t{0});
+    for (std::int64_t i = 0; i < rows; ++i) {
+      const std::int8_t* src = a + (ic + r + i) * lda + pc;
+      for (std::int64_t p = 0; p < kc; ++p) {
+        dst[((p / 4) * kGemmMR + i) * 4 + (p & 3)] = src[p];
+      }
+    }
+    dst += kGemmMR * kcq;
+  }
+}
+
+void pack_a_nibble_quad(const std::int8_t* a, std::int64_t lda,
+                        std::int64_t ic, std::int64_t pc, std::int64_t mc,
+                        std::int64_t kc, std::uint8_t* dst) {
+  const std::int64_t kcq = quad_kc(kc);
+  for (std::int64_t r = 0; r < mc; r += kGemmMR) {
+    const std::int64_t rows = std::min(kGemmMR, mc - r);
+    std::fill(dst, dst + kGemmMR * kcq / 2, std::uint8_t{0});
+    for (std::int64_t i = 0; i < rows; ++i) {
+      const std::int8_t* src = a + (ic + r + i) * lda + pc;
+      for (std::int64_t p = 0; p < kc; ++p) {
+        const std::uint8_t nib = static_cast<std::uint8_t>(src[p]) & 0x0F;
+        std::uint8_t& byte =
+            dst[((p / 4) * kGemmMR + i) * 2 + ((p & 3) >> 1)];
+        byte = static_cast<std::uint8_t>(
+            (p & 1) ? (byte | (nib << 4)) : (byte | nib));
+      }
+    }
+    dst += kGemmMR * kcq / 2;
+  }
+}
+
+void pack_b_u8_quad(Trans trans, const std::uint8_t* b, std::int64_t ldb,
+                    std::int64_t pc, std::int64_t jc, std::int64_t kc,
+                    std::int64_t nc, std::uint8_t* dst) {
+  const std::int64_t kcq = quad_kc(kc);
+  for (std::int64_t s = 0; s < nc; s += kGemmNR) {
+    const std::int64_t cols = std::min(kGemmNR, nc - s);
+    std::fill(dst, dst + kGemmNR * kcq, std::uint8_t{0});
+    if (trans == Trans::no) {
+      for (std::int64_t p = 0; p < kc; ++p) {
+        const std::uint8_t* src = b + (pc + p) * ldb + jc + s;
+        std::uint8_t* d = dst + (p / 4) * kGemmNR * 4 + (p & 3);
+        for (std::int64_t j = 0; j < cols; ++j) d[j * 4] = src[j];
+      }
+    } else {
+      for (std::int64_t j = 0; j < cols; ++j) {
+        const std::uint8_t* src = b + (jc + s + j) * ldb + pc;
+        for (std::int64_t p = 0; p < kc; ++p) {
+          dst[((p / 4) * kGemmNR + j) * 4 + (p & 3)] = src[p];
+        }
+      }
+    }
+    dst += kGemmNR * kcq;
+  }
+}
+
+#ifdef CSQ_GEMM_AVX2_INT_KERNEL
+
+// Broadcasts one packed A quad (4 consecutive int8 codes) to every 32-bit
+// lane. Same strict-aliasing-safe memcpy idiom as load_a_pair.
+inline __m256i broadcast_a_quad(const std::int8_t* p) {
+  std::int32_t quad;
+  __builtin_memcpy(&quad, p, sizeof(quad));
+  return _mm256_set1_epi32(quad);
+}
+
+// One vpmaddubsw (u8 B * s8 A quad, pair sums) + one vpmaddwd (pair-of-pairs
+// widen) + vpaddd per accumulator row: four depth steps per instruction
+// triple — twice the widened baseline's MAC throughput.
+inline void micro_kernel_lowbit(const std::int8_t* pa, const std::uint8_t* pb,
+                                std::int64_t kc, std::int32_t* acc) {
+  const std::int64_t quads = quad_kc(kc) / 4;
+  const __m256i ones = _mm256_set1_epi16(1);
+  __m256i c0 = _mm256_setzero_si256(), c1 = _mm256_setzero_si256(),
+          c2 = _mm256_setzero_si256(), c3 = _mm256_setzero_si256(),
+          c4 = _mm256_setzero_si256(), c5 = _mm256_setzero_si256(),
+          c6 = _mm256_setzero_si256(), c7 = _mm256_setzero_si256();
+  for (std::int64_t q = 0; q < quads; ++q) {
+    const __m256i b = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(pb + q * kGemmNR * 4));
+    const std::int8_t* a_col = pa + q * kGemmMR * 4;
+    c0 = _mm256_add_epi32(
+        c0, _mm256_madd_epi16(
+                _mm256_maddubs_epi16(b, broadcast_a_quad(a_col + 0)), ones));
+    c1 = _mm256_add_epi32(
+        c1, _mm256_madd_epi16(
+                _mm256_maddubs_epi16(b, broadcast_a_quad(a_col + 4)), ones));
+    c2 = _mm256_add_epi32(
+        c2, _mm256_madd_epi16(
+                _mm256_maddubs_epi16(b, broadcast_a_quad(a_col + 8)), ones));
+    c3 = _mm256_add_epi32(
+        c3, _mm256_madd_epi16(
+                _mm256_maddubs_epi16(b, broadcast_a_quad(a_col + 12)), ones));
+    c4 = _mm256_add_epi32(
+        c4, _mm256_madd_epi16(
+                _mm256_maddubs_epi16(b, broadcast_a_quad(a_col + 16)), ones));
+    c5 = _mm256_add_epi32(
+        c5, _mm256_madd_epi16(
+                _mm256_maddubs_epi16(b, broadcast_a_quad(a_col + 20)), ones));
+    c6 = _mm256_add_epi32(
+        c6, _mm256_madd_epi16(
+                _mm256_maddubs_epi16(b, broadcast_a_quad(a_col + 24)), ones));
+    c7 = _mm256_add_epi32(
+        c7, _mm256_madd_epi16(
+                _mm256_maddubs_epi16(b, broadcast_a_quad(a_col + 28)), ones));
+  }
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + 0 * 8), c0);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + 1 * 8), c1);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + 2 * 8), c2);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + 3 * 8), c3);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + 4 * 8), c4);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + 5 * 8), c5);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + 6 * 8), c6);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + 7 * 8), c7);
+}
+
+// Same layout, int16 accumulators: the vpmaddwd widen runs ONCE per KC
+// block instead of once per quad. Exact only under the wide-eligibility
+// bound (per-lane sum <= quads * 2 * 255 * max|a| <= 32767) — the vpaddw
+// would otherwise wrap; the dispatcher never selects this kernel without
+// proving the bound.
+inline void micro_kernel_lowbit_wide(const std::int8_t* pa,
+                                     const std::uint8_t* pb, std::int64_t kc,
+                                     std::int32_t* acc) {
+  const std::int64_t quads = quad_kc(kc) / 4;
+  const __m256i ones = _mm256_set1_epi16(1);
+  __m256i s0 = _mm256_setzero_si256(), s1 = _mm256_setzero_si256(),
+          s2 = _mm256_setzero_si256(), s3 = _mm256_setzero_si256(),
+          s4 = _mm256_setzero_si256(), s5 = _mm256_setzero_si256(),
+          s6 = _mm256_setzero_si256(), s7 = _mm256_setzero_si256();
+  for (std::int64_t q = 0; q < quads; ++q) {
+    const __m256i b = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(pb + q * kGemmNR * 4));
+    const std::int8_t* a_col = pa + q * kGemmMR * 4;
+    s0 = _mm256_add_epi16(
+        s0, _mm256_maddubs_epi16(b, broadcast_a_quad(a_col + 0)));
+    s1 = _mm256_add_epi16(
+        s1, _mm256_maddubs_epi16(b, broadcast_a_quad(a_col + 4)));
+    s2 = _mm256_add_epi16(
+        s2, _mm256_maddubs_epi16(b, broadcast_a_quad(a_col + 8)));
+    s3 = _mm256_add_epi16(
+        s3, _mm256_maddubs_epi16(b, broadcast_a_quad(a_col + 12)));
+    s4 = _mm256_add_epi16(
+        s4, _mm256_maddubs_epi16(b, broadcast_a_quad(a_col + 16)));
+    s5 = _mm256_add_epi16(
+        s5, _mm256_maddubs_epi16(b, broadcast_a_quad(a_col + 20)));
+    s6 = _mm256_add_epi16(
+        s6, _mm256_maddubs_epi16(b, broadcast_a_quad(a_col + 24)));
+    s7 = _mm256_add_epi16(
+        s7, _mm256_maddubs_epi16(b, broadcast_a_quad(a_col + 28)));
+  }
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + 0 * 8),
+                      _mm256_madd_epi16(s0, ones));
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + 1 * 8),
+                      _mm256_madd_epi16(s1, ones));
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + 2 * 8),
+                      _mm256_madd_epi16(s2, ones));
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + 3 * 8),
+                      _mm256_madd_epi16(s3, ones));
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + 4 * 8),
+                      _mm256_madd_epi16(s4, ones));
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + 5 * 8),
+                      _mm256_madd_epi16(s5, ones));
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + 6 * 8),
+                      _mm256_madd_epi16(s6, ones));
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + 7 * 8),
+                      _mm256_madd_epi16(s7, ones));
+}
+
+// Nibble kernel: one 16-byte load covers a whole 8-row quad group. The
+// in-register unpack (mask/shift + byte interleave) lands row r's quad in
+// 32-bit lane r; the xor/sub pair sign-extends the 4-bit codes, and
+// vpermd duplicates one lane per accumulator row.
+inline void micro_kernel_nibble(const std::uint8_t* pa, const std::uint8_t* pb,
+                                std::int64_t kc, std::int32_t* acc) {
+  const std::int64_t quads = quad_kc(kc) / 4;
+  const __m256i ones = _mm256_set1_epi16(1);
+  const __m128i low_mask = _mm_set1_epi8(0x0F);
+  const __m256i sign_bias = _mm256_set1_epi8(8);
+  const __m256i dup0 = _mm256_set1_epi32(0), dup1 = _mm256_set1_epi32(1),
+                dup2 = _mm256_set1_epi32(2), dup3 = _mm256_set1_epi32(3),
+                dup4 = _mm256_set1_epi32(4), dup5 = _mm256_set1_epi32(5),
+                dup6 = _mm256_set1_epi32(6), dup7 = _mm256_set1_epi32(7);
+  __m256i c0 = _mm256_setzero_si256(), c1 = _mm256_setzero_si256(),
+          c2 = _mm256_setzero_si256(), c3 = _mm256_setzero_si256(),
+          c4 = _mm256_setzero_si256(), c5 = _mm256_setzero_si256(),
+          c6 = _mm256_setzero_si256(), c7 = _mm256_setzero_si256();
+  for (std::int64_t q = 0; q < quads; ++q) {
+    const __m128i raw = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(pa + q * kGemmMR * 2));
+    const __m128i lo = _mm_and_si128(raw, low_mask);
+    const __m128i hi = _mm_and_si128(_mm_srli_epi16(raw, 4), low_mask);
+    // Interleaving even-p and odd-p nibbles restores depth order: lane r of
+    // the combined vector holds codes (4q..4q+3, row r).
+    const __m128i rows03 = _mm_unpacklo_epi8(lo, hi);
+    const __m128i rows47 = _mm_unpackhi_epi8(lo, hi);
+    __m256i a_quads = _mm256_inserti128_si256(
+        _mm256_castsi128_si256(rows03), rows47, 1);
+    a_quads = _mm256_sub_epi8(_mm256_xor_si256(a_quads, sign_bias), sign_bias);
+    const __m256i b = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(pb + q * kGemmNR * 4));
+    c0 = _mm256_add_epi32(
+        c0, _mm256_madd_epi16(
+                _mm256_maddubs_epi16(
+                    b, _mm256_permutevar8x32_epi32(a_quads, dup0)),
+                ones));
+    c1 = _mm256_add_epi32(
+        c1, _mm256_madd_epi16(
+                _mm256_maddubs_epi16(
+                    b, _mm256_permutevar8x32_epi32(a_quads, dup1)),
+                ones));
+    c2 = _mm256_add_epi32(
+        c2, _mm256_madd_epi16(
+                _mm256_maddubs_epi16(
+                    b, _mm256_permutevar8x32_epi32(a_quads, dup2)),
+                ones));
+    c3 = _mm256_add_epi32(
+        c3, _mm256_madd_epi16(
+                _mm256_maddubs_epi16(
+                    b, _mm256_permutevar8x32_epi32(a_quads, dup3)),
+                ones));
+    c4 = _mm256_add_epi32(
+        c4, _mm256_madd_epi16(
+                _mm256_maddubs_epi16(
+                    b, _mm256_permutevar8x32_epi32(a_quads, dup4)),
+                ones));
+    c5 = _mm256_add_epi32(
+        c5, _mm256_madd_epi16(
+                _mm256_maddubs_epi16(
+                    b, _mm256_permutevar8x32_epi32(a_quads, dup5)),
+                ones));
+    c6 = _mm256_add_epi32(
+        c6, _mm256_madd_epi16(
+                _mm256_maddubs_epi16(
+                    b, _mm256_permutevar8x32_epi32(a_quads, dup6)),
+                ones));
+    c7 = _mm256_add_epi32(
+        c7, _mm256_madd_epi16(
+                _mm256_maddubs_epi16(
+                    b, _mm256_permutevar8x32_epi32(a_quads, dup7)),
+                ones));
+  }
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + 0 * 8), c0);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + 1 * 8), c1);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + 2 * 8), c2);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + 3 * 8), c3);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + 4 * 8), c4);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + 5 * 8), c5);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + 6 * 8), c6);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + 7 * 8), c7);
+}
+
+#else  // portable fallbacks over the same quad layouts
+
+inline void micro_kernel_lowbit(const std::int8_t* pa, const std::uint8_t* pb,
+                                std::int64_t kc, std::int32_t* acc) {
+  const std::int64_t quads = quad_kc(kc) / 4;
+  for (std::int64_t x = 0; x < kGemmMR * kGemmNR; ++x) acc[x] = 0;
+  for (std::int64_t q = 0; q < quads; ++q) {
+    const std::int8_t* a_col = pa + q * kGemmMR * 4;
+    const std::uint8_t* b_row = pb + q * kGemmNR * 4;
+    for (std::int64_t i = 0; i < kGemmMR; ++i) {
+      std::int32_t* acc_row = acc + i * kGemmNR;
+      const std::int8_t* a_quad = a_col + i * 4;
+      for (std::int64_t j = 0; j < kGemmNR; ++j) {
+        const std::uint8_t* b_quad = b_row + j * 4;
+        acc_row[j] += static_cast<std::int32_t>(a_quad[0]) * b_quad[0] +
+                      static_cast<std::int32_t>(a_quad[1]) * b_quad[1] +
+                      static_cast<std::int32_t>(a_quad[2]) * b_quad[2] +
+                      static_cast<std::int32_t>(a_quad[3]) * b_quad[3];
+      }
+    }
+  }
+}
+
+// Exact integer math has one result: under the eligibility bound the wide
+// kernel computes the same dot products, so the portable form is shared.
+inline void micro_kernel_lowbit_wide(const std::int8_t* pa,
+                                     const std::uint8_t* pb, std::int64_t kc,
+                                     std::int32_t* acc) {
+  micro_kernel_lowbit(pa, pb, kc, acc);
+}
+
+inline void micro_kernel_nibble(const std::uint8_t* pa, const std::uint8_t* pb,
+                                std::int64_t kc, std::int32_t* acc) {
+  const std::int64_t quads = quad_kc(kc) / 4;
+  for (std::int64_t x = 0; x < kGemmMR * kGemmNR; ++x) acc[x] = 0;
+  for (std::int64_t q = 0; q < quads; ++q) {
+    const std::uint8_t* a_group = pa + q * kGemmMR * 2;
+    const std::uint8_t* b_row = pb + q * kGemmNR * 4;
+    for (std::int64_t i = 0; i < kGemmMR; ++i) {
+      std::int32_t a_quad[4];
+      for (int c = 0; c < 2; ++c) {
+        const std::uint8_t byte = a_group[i * 2 + c];
+        a_quad[c * 2] = ((byte & 0x0F) ^ 8) - 8;
+        a_quad[c * 2 + 1] = ((byte >> 4) ^ 8) - 8;
+      }
+      std::int32_t* acc_row = acc + i * kGemmNR;
+      for (std::int64_t j = 0; j < kGemmNR; ++j) {
+        const std::uint8_t* b_quad = b_row + j * 4;
+        acc_row[j] += a_quad[0] * b_quad[0] + a_quad[1] * b_quad[1] +
+                      a_quad[2] * b_quad[2] + a_quad[3] * b_quad[3];
+      }
+    }
+  }
+}
+
+#endif  // CSQ_GEMM_AVX2_INT_KERNEL
+
+// Row-panel stride of one pc block in the prepacked quad layouts, in BYTES
+// (the nibble layout halves it; kcq is a multiple of 4 so the division is
+// exact).
+inline std::int64_t quad_packed_a_block_bytes(QuadKernel kernel,
+                                              std::int64_t m,
+                                              std::int64_t kc) {
+  const std::int64_t full =
+      ((m + kGemmMR - 1) / kGemmMR) * kGemmMR * quad_kc(kc);
+  return kernel == QuadKernel::kNibble ? full / 2 : full;
+}
+
+void run_ic_tile_quad(QuadKernel kernel, std::int64_t ic, std::int64_t jc,
+                      std::int64_t m, std::int64_t kc, std::int64_t nc,
+                      std::int32_t alpha, bool add_into_c,
+                      const std::uint8_t* packed_a_block,
+                      const std::uint8_t* packed_b, std::int32_t* c,
+                      std::int64_t ldc) {
+  const std::int64_t mc = std::min(kGemmMC, m - ic);
+  const std::int64_t kcq = quad_kc(kc);
+  const std::int64_t panel_bytes =
+      kernel == QuadKernel::kNibble ? kGemmMR * kcq / 2 : kGemmMR * kcq;
+  std::int32_t acc[kGemmMR * kGemmNR];
+  for (std::int64_t jr = 0; jr < nc; jr += kGemmNR) {
+    const std::int64_t n_sub = std::min(kGemmNR, nc - jr);
+    const std::uint8_t* pb = packed_b + (jr / kGemmNR) * kGemmNR * kcq;
+    for (std::int64_t ir = 0; ir < mc; ir += kGemmMR) {
+      const std::int64_t m_sub = std::min(kGemmMR, mc - ir);
+      const std::uint8_t* pa =
+          packed_a_block + ((ic + ir) / kGemmMR) * panel_bytes;
+      switch (kernel) {
+        case QuadKernel::kLowBit:
+          micro_kernel_lowbit(reinterpret_cast<const std::int8_t*>(pa), pb,
+                              kc, acc);
+          break;
+        case QuadKernel::kLowBitWide:
+          micro_kernel_lowbit_wide(reinterpret_cast<const std::int8_t*>(pa),
+                                   pb, kc, acc);
+          break;
+        case QuadKernel::kNibble:
+          micro_kernel_nibble(pa, pb, kc, acc);
+          break;
+      }
+      update_c_tile_int(c + (ic + ir) * ldc + jc + jr, ldc, acc, m_sub, n_sub,
+                        alpha, add_into_c);
+    }
+  }
+}
+
+// Shared blocked driver for the quad-layout kernels. Identical NC/KC/MC
+// split and MC-row-tile pooled distribution as gemm_s8u8_blocked, so the
+// serial/pooled bit-identity argument carries over verbatim. A is always
+// prepacked (weights are static at serving time).
+void gemm_s8u8_quad_blocked(QuadKernel kernel, Trans trans_b, std::int64_t m,
+                            std::int64_t n, std::int64_t k, std::int32_t alpha,
+                            const std::uint8_t* prepacked_a,
+                            const std::uint8_t* b, std::int64_t ldb,
+                            bool accumulate, std::int32_t* c, std::int64_t ldc,
+                            IntGemmScratch* scratch, bool pooled) {
+  if (m == 0 || n == 0) return;
+  if (alpha == 0 || k == 0) {
+    if (!accumulate) {
+      for (std::int64_t i = 0; i < m; ++i) {
+        std::fill(c + i * ldc, c + i * ldc + n, 0);
+      }
+    }
+    return;
+  }
+  IntGemmScratch& shared = scratch != nullptr ? *scratch : local_int_scratch();
+
+  for (std::int64_t jc = 0; jc < n; jc += kGemmNC) {
+    const std::int64_t nc = std::min(kGemmNC, n - jc);
+    const std::int64_t b_panels = (nc + kGemmNR - 1) / kGemmNR;
+    std::int64_t a_block_offset = 0;
+    for (std::int64_t pc = 0; pc < k; pc += kGemmKC) {
+      const std::int64_t kc = std::min(kGemmKC, k - pc);
+      const std::int64_t kcq = quad_kc(kc);
+      ensure_size_u8(shared.packed_b_quad,
+                     static_cast<std::size_t>(b_panels * kGemmNR * kcq));
+      pack_b_u8_quad(trans_b, b, ldb, pc, jc, kc, nc,
+                     shared.packed_b_quad.data());
+      const bool add_into_c = accumulate || pc != 0;
+      const std::uint8_t* a_block = prepacked_a + a_block_offset;
+
+      const std::int64_t ic_tiles = (m + kGemmMC - 1) / kGemmMC;
+      if (!pooled || ic_tiles <= 1) {
+        for (std::int64_t t = 0; t < ic_tiles; ++t) {
+          run_ic_tile_quad(kernel, t * kGemmMC, jc, m, kc, nc, alpha,
+                           add_into_c, a_block, shared.packed_b_quad.data(),
+                           c, ldc);
+        }
+      } else {
+        struct TileContext {
+          QuadKernel kernel;
+          std::int64_t jc, m, kc, nc;
+          std::int32_t alpha;
+          bool add_into_c;
+          const std::uint8_t* a_block;
+          const std::uint8_t* packed_b;
+          std::int32_t* c;
+          std::int64_t ldc;
+        } ctx;
+        ctx.kernel = kernel;
+        ctx.jc = jc;
+        ctx.m = m;
+        ctx.kc = kc;
+        ctx.nc = nc;
+        ctx.alpha = alpha;
+        ctx.add_into_c = add_into_c;
+        ctx.a_block = a_block;
+        ctx.packed_b = shared.packed_b_quad.data();
+        ctx.c = c;
+        ctx.ldc = ldc;
+        parallel_for_chunked(
+            0, ic_tiles, [&ctx](std::int64_t begin, std::int64_t end) {
+              for (std::int64_t t = begin; t < end; ++t) {
+                run_ic_tile_quad(ctx.kernel, t * kGemmMC, ctx.jc, ctx.m,
+                                 ctx.kc, ctx.nc, ctx.alpha, ctx.add_into_c,
+                                 ctx.a_block, ctx.packed_b, ctx.c, ctx.ldc);
+              }
+            });
+      }
+      a_block_offset += quad_packed_a_block_bytes(kernel, m, kc);
+    }
+  }
+}
+
+// Low-bit extents: |alpha| <= 8 admits chaining per-bit-plane passes with
+// power-of-two weights (2^t, t <= 3); the combined |alpha| * k * 255 *
+// max|a| < 2^31 headroom is the caller's contract (serving always runs
+// alpha = 1, where k <= 32767 and max|a| <= 64 bound it directly).
+void check_lowbit_extents(Trans trans_b, std::int64_t m, std::int64_t n,
+                          std::int64_t k, std::int32_t alpha) {
+  check_extents(Trans::no, trans_b, m, n, k);
+  CSQ_CHECK(alpha >= -8 && alpha <= 8)
+      << "gemm_s8u8 low-bit: alpha " << alpha
+      << " outside the [-8, 8] range the exactness bound is derived for";
+  CSQ_CHECK(k <= 32767)
+      << "gemm_s8u8 low-bit: reduction depth " << k
+      << " would overflow int32 accumulation";
+}
+
+inline bool pooled_int_dispatch(std::int64_t m, std::int64_t n,
+                                std::int64_t k) {
+  const std::int64_t ops = 2 * m * n * k;
+  return ops >= (1 << 18) && !inside_parallel_region();
+}
+
 }  // namespace
 
 void gemm(Trans trans_a, Trans trans_b, std::int64_t m, std::int64_t n,
@@ -698,6 +1188,154 @@ void gemm_s8u8_prepacked_parallel(Trans trans_b, std::int64_t m,
   const bool pooled = ops >= (1 << 18) && !inside_parallel_region();
   gemm_s8u8_blocked(trans_b, m, n, k, alpha, /*a=*/nullptr, /*lda=*/0,
                     packed_a, b, ldb, accumulate, c, ldc, scratch, pooled);
+}
+
+std::int64_t gemm_s8u8_lowbit_packed_a_size(std::int64_t m, std::int64_t k) {
+  std::int64_t total = 0;
+  for (std::int64_t pc = 0; pc < k; pc += kGemmKC) {
+    total += quad_packed_a_block_bytes(QuadKernel::kLowBit, m,
+                                       std::min(kGemmKC, k - pc));
+  }
+  return total;
+}
+
+void gemm_s8u8_lowbit_pack_a(std::int64_t m, std::int64_t k,
+                             const std::int8_t* a, std::int64_t lda,
+                             std::int8_t* packed) {
+  std::int32_t max_abs = 0;
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t p = 0; p < k; ++p) {
+      const std::int32_t v = a[i * lda + p];
+      max_abs = std::max(max_abs, v < 0 ? -v : v);
+    }
+  }
+  CSQ_CHECK(max_abs <= 64)
+      << "gemm_s8u8_lowbit_pack_a: |code| " << max_abs
+      << " > 64 would saturate the vpmaddubsw pair sums";
+  for (std::int64_t pc = 0; pc < k; pc += kGemmKC) {
+    const std::int64_t kc = std::min(kGemmKC, k - pc);
+    pack_a_s8_quad(a, lda, /*ic=*/0, pc, m, kc, packed);
+    packed += quad_packed_a_block_bytes(QuadKernel::kLowBit, m, kc);
+  }
+}
+
+std::int64_t gemm_s8u8_nibble_packed_a_size(std::int64_t m, std::int64_t k) {
+  std::int64_t total = 0;
+  for (std::int64_t pc = 0; pc < k; pc += kGemmKC) {
+    total += quad_packed_a_block_bytes(QuadKernel::kNibble, m,
+                                       std::min(kGemmKC, k - pc));
+  }
+  return total;
+}
+
+void gemm_s8u8_nibble_pack_a(std::int64_t m, std::int64_t k,
+                             const std::int8_t* a, std::int64_t lda,
+                             std::uint8_t* packed) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t p = 0; p < k; ++p) {
+      const std::int32_t v = a[i * lda + p];
+      CSQ_CHECK(v >= -8 && v <= 7)
+          << "gemm_s8u8_nibble_pack_a: code " << v
+          << " outside the signed nibble range [-8, 7]";
+    }
+  }
+  for (std::int64_t pc = 0; pc < k; pc += kGemmKC) {
+    const std::int64_t kc = std::min(kGemmKC, k - pc);
+    pack_a_nibble_quad(a, lda, /*ic=*/0, pc, m, kc, packed);
+    packed += quad_packed_a_block_bytes(QuadKernel::kNibble, m, kc);
+  }
+}
+
+bool gemm_s8u8_wide_eligible(std::int64_t k, std::int32_t max_abs_a) {
+  if (k <= 0) return true;
+  if (max_abs_a < 0) max_abs_a = -max_abs_a;
+  if (max_abs_a > 64) return false;
+  // Per int16 lane, one KC-depth block accumulates quad_kc(kc)/4 pair sums
+  // of at most 2 * 255 * max|a| each.
+  const std::int64_t kc = std::min(k, kGemmKC);
+  const std::int64_t block_positions = (kc + 3) & ~std::int64_t{3};
+  return (block_positions / 2) * 255 *
+             static_cast<std::int64_t>(max_abs_a) <=
+         32767;
+}
+
+void gemm_s8u8_lowbit_prepacked(Trans trans_b, std::int64_t m, std::int64_t n,
+                                std::int64_t k, std::int32_t alpha,
+                                const std::int8_t* packed_a,
+                                const std::uint8_t* b, std::int64_t ldb,
+                                bool accumulate, std::int32_t* c,
+                                std::int64_t ldc, IntGemmScratch* scratch) {
+  check_lowbit_extents(trans_b, m, n, k, alpha);
+  gemm_s8u8_quad_blocked(QuadKernel::kLowBit, trans_b, m, n, k, alpha,
+                         reinterpret_cast<const std::uint8_t*>(packed_a), b,
+                         ldb, accumulate, c, ldc, scratch, /*pooled=*/false);
+}
+
+void gemm_s8u8_lowbit_prepacked_parallel(Trans trans_b, std::int64_t m,
+                                         std::int64_t n, std::int64_t k,
+                                         std::int32_t alpha,
+                                         const std::int8_t* packed_a,
+                                         const std::uint8_t* b,
+                                         std::int64_t ldb, bool accumulate,
+                                         std::int32_t* c, std::int64_t ldc,
+                                         IntGemmScratch* scratch) {
+  check_lowbit_extents(trans_b, m, n, k, alpha);
+  gemm_s8u8_quad_blocked(QuadKernel::kLowBit, trans_b, m, n, k, alpha,
+                         reinterpret_cast<const std::uint8_t*>(packed_a), b,
+                         ldb, accumulate, c, ldc, scratch,
+                         pooled_int_dispatch(m, n, k));
+}
+
+void gemm_s8u8_lowbit_wide_prepacked(Trans trans_b, std::int64_t m,
+                                     std::int64_t n, std::int64_t k,
+                                     std::int32_t alpha,
+                                     const std::int8_t* packed_a,
+                                     const std::uint8_t* b, std::int64_t ldb,
+                                     bool accumulate, std::int32_t* c,
+                                     std::int64_t ldc,
+                                     IntGemmScratch* scratch) {
+  check_lowbit_extents(trans_b, m, n, k, alpha);
+  gemm_s8u8_quad_blocked(QuadKernel::kLowBitWide, trans_b, m, n, k, alpha,
+                         reinterpret_cast<const std::uint8_t*>(packed_a), b,
+                         ldb, accumulate, c, ldc, scratch, /*pooled=*/false);
+}
+
+void gemm_s8u8_lowbit_wide_prepacked_parallel(
+    Trans trans_b, std::int64_t m, std::int64_t n, std::int64_t k,
+    std::int32_t alpha, const std::int8_t* packed_a, const std::uint8_t* b,
+    std::int64_t ldb, bool accumulate, std::int32_t* c, std::int64_t ldc,
+    IntGemmScratch* scratch) {
+  check_lowbit_extents(trans_b, m, n, k, alpha);
+  gemm_s8u8_quad_blocked(QuadKernel::kLowBitWide, trans_b, m, n, k, alpha,
+                         reinterpret_cast<const std::uint8_t*>(packed_a), b,
+                         ldb, accumulate, c, ldc, scratch,
+                         pooled_int_dispatch(m, n, k));
+}
+
+void gemm_s8u8_nibble_prepacked(Trans trans_b, std::int64_t m, std::int64_t n,
+                                std::int64_t k, std::int32_t alpha,
+                                const std::uint8_t* packed_a,
+                                const std::uint8_t* b, std::int64_t ldb,
+                                bool accumulate, std::int32_t* c,
+                                std::int64_t ldc, IntGemmScratch* scratch) {
+  check_lowbit_extents(trans_b, m, n, k, alpha);
+  gemm_s8u8_quad_blocked(QuadKernel::kNibble, trans_b, m, n, k, alpha,
+                         packed_a, b, ldb, accumulate, c, ldc, scratch,
+                         /*pooled=*/false);
+}
+
+void gemm_s8u8_nibble_prepacked_parallel(Trans trans_b, std::int64_t m,
+                                         std::int64_t n, std::int64_t k,
+                                         std::int32_t alpha,
+                                         const std::uint8_t* packed_a,
+                                         const std::uint8_t* b,
+                                         std::int64_t ldb, bool accumulate,
+                                         std::int32_t* c, std::int64_t ldc,
+                                         IntGemmScratch* scratch) {
+  check_lowbit_extents(trans_b, m, n, k, alpha);
+  gemm_s8u8_quad_blocked(QuadKernel::kNibble, trans_b, m, n, k, alpha,
+                         packed_a, b, ldb, accumulate, c, ldc, scratch,
+                         pooled_int_dispatch(m, n, k));
 }
 
 }  // namespace csq

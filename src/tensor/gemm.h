@@ -97,6 +97,7 @@ void gemm_parallel(Trans trans_a, Trans trans_b, std::int64_t m,
 struct IntGemmScratch {
   std::vector<std::int16_t> packed_a;  // widened int8 micro-panels
   std::vector<std::int16_t> packed_b;  // widened uint8 micro-panels
+  std::vector<std::uint8_t> packed_b_quad;  // raw uint8 K-quad micro-panels
 };
 
 void gemm_s8u8(Trans trans_b, std::int64_t m, std::int64_t n, std::int64_t k,
@@ -135,5 +136,102 @@ void gemm_s8u8_prepacked_parallel(Trans trans_b, std::int64_t m,
                                   bool accumulate, std::int32_t* c,
                                   std::int64_t ldc,
                                   IntGemmScratch* scratch = nullptr);
+
+// --------------------------------------------- sub-byte (low-bit) GEMM ----
+//
+// Precision-specialized variants of the s8u8 path for layers whose weight
+// codes fit well under 8 bits. All of them keep raw 8-bit operands in the
+// packed panels (half the panel bandwidth of the widened int16 layout above)
+// laid out in K-QUADS: depth steps 4q..4q+3 sit adjacent per row/column, so
+// the AVX2 micro-kernels fuse four depth steps with one vpmaddubsw +
+// vpmaddwd. vpmaddubsw saturates its int16 pair sums, so exactness requires
+// |a| <= 64 per weight code (255 * (|a0| + |a1|) <= 32767); the low-bit pack
+// routine enforces that bound. Results are EXACTLY the int32 products the
+// reference s8u8 kernel produces, and the serial/pooled bit-identity
+// contract carries over unchanged (same NC/KC/MC split, same MC-row-tile
+// parallel distribution).
+//
+// Three flavors:
+//  * low-bit ("bit-serial collapsed"): A packed as raw int8 quads. Twice
+//    the per-instruction MAC throughput of the widened baseline. Weight
+//    codes |a| <= 64. The power-of-two bit-plane combination of the
+//    runtime's bit-serial layers happens at pack time (exact shifts);
+//    per-plane passes can still be chained through `alpha` (|alpha| <= 8,
+//    covering 2^t plane weights for t <= 3) and `accumulate`. The combined
+//    headroom bound is the caller's contract: |alpha| * k * 255 * max|a|
+//    must stay below 2^31.
+//  * low-bit WIDE (int16 accumulators): same packed layout; the micro-kernel
+//    accumulates vpmaddubsw results in int16 lanes across a whole KC-depth
+//    block and widens once at the end — three times the baseline MAC
+//    throughput. Only exact when `gemm_s8u8_wide_eligible` holds for the
+//    layer's depth and max |code| (binary +/-1 layers always qualify).
+//  * nibble: A packed two codes per byte (signed range [-8, 7]), unpacked
+//    inside the micro-kernel — one quarter of the baseline A-panel traffic
+//    for 4-bit-and-below layers.
+std::int64_t gemm_s8u8_lowbit_packed_a_size(std::int64_t m, std::int64_t k);
+
+void gemm_s8u8_lowbit_pack_a(std::int64_t m, std::int64_t k,
+                             const std::int8_t* a, std::int64_t lda,
+                             std::int8_t* packed);
+
+std::int64_t gemm_s8u8_nibble_packed_a_size(std::int64_t m, std::int64_t k);
+
+void gemm_s8u8_nibble_pack_a(std::int64_t m, std::int64_t k,
+                             const std::int8_t* a, std::int64_t lda,
+                             std::uint8_t* packed);
+
+// True when int16 accumulation over one KC-depth block cannot overflow for
+// reduction depth k and weight codes bounded by max_abs_a: the per-lane sum
+// is at most quad_kc(min(k, kKC)) / 2 * 255 * max_abs_a <= 32767.
+bool gemm_s8u8_wide_eligible(std::int64_t k, std::int32_t max_abs_a);
+
+void gemm_s8u8_lowbit_prepacked(Trans trans_b, std::int64_t m, std::int64_t n,
+                                std::int64_t k, std::int32_t alpha,
+                                const std::int8_t* packed_a,
+                                const std::uint8_t* b, std::int64_t ldb,
+                                bool accumulate, std::int32_t* c,
+                                std::int64_t ldc,
+                                IntGemmScratch* scratch = nullptr);
+
+void gemm_s8u8_lowbit_prepacked_parallel(Trans trans_b, std::int64_t m,
+                                         std::int64_t n, std::int64_t k,
+                                         std::int32_t alpha,
+                                         const std::int8_t* packed_a,
+                                         const std::uint8_t* b,
+                                         std::int64_t ldb, bool accumulate,
+                                         std::int32_t* c, std::int64_t ldc,
+                                         IntGemmScratch* scratch = nullptr);
+
+void gemm_s8u8_lowbit_wide_prepacked(Trans trans_b, std::int64_t m,
+                                     std::int64_t n, std::int64_t k,
+                                     std::int32_t alpha,
+                                     const std::int8_t* packed_a,
+                                     const std::uint8_t* b, std::int64_t ldb,
+                                     bool accumulate, std::int32_t* c,
+                                     std::int64_t ldc,
+                                     IntGemmScratch* scratch = nullptr);
+
+void gemm_s8u8_lowbit_wide_prepacked_parallel(
+    Trans trans_b, std::int64_t m, std::int64_t n, std::int64_t k,
+    std::int32_t alpha, const std::int8_t* packed_a, const std::uint8_t* b,
+    std::int64_t ldb, bool accumulate, std::int32_t* c, std::int64_t ldc,
+    IntGemmScratch* scratch = nullptr);
+
+void gemm_s8u8_nibble_prepacked(Trans trans_b, std::int64_t m, std::int64_t n,
+                                std::int64_t k, std::int32_t alpha,
+                                const std::uint8_t* packed_a,
+                                const std::uint8_t* b, std::int64_t ldb,
+                                bool accumulate, std::int32_t* c,
+                                std::int64_t ldc,
+                                IntGemmScratch* scratch = nullptr);
+
+void gemm_s8u8_nibble_prepacked_parallel(Trans trans_b, std::int64_t m,
+                                         std::int64_t n, std::int64_t k,
+                                         std::int32_t alpha,
+                                         const std::uint8_t* packed_a,
+                                         const std::uint8_t* b,
+                                         std::int64_t ldb, bool accumulate,
+                                         std::int32_t* c, std::int64_t ldc,
+                                         IntGemmScratch* scratch = nullptr);
 
 }  // namespace csq

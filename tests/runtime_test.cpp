@@ -684,6 +684,156 @@ TEST(GraphArtifact, PoolAndConvHeadRecordsRoundTrip) {
   EXPECT_TRUE(saw_avg);
 }
 
+namespace {
+
+// A small finalized-CSQ stack at fixed 3-bit precision: its conv/linear
+// layers earn the specialized low-bit GEMMs, exercising kernel selection,
+// the force_reference_kernel escape hatch and the v3 artifact records. The
+// average pool runs with count_include_pad=false (the exclude_pad record).
+Model make_lowbit_model(std::vector<CsqWeightSource*>& registry, Rng& rng) {
+  Model model;
+  CsqWeightOptions csq_options;
+  csq_options.fixed_precision = 3;
+  const WeightSourceFactory factory =
+      model.recording_factory(csq_weight_factory(&registry, csq_options));
+  auto net = std::make_unique<Sequential>("net");
+  Conv2dConfig c1;
+  c1.in_channels = 3;
+  c1.out_channels = 8;
+  net->add(std::make_unique<Conv2d>("conv1", c1, factory, rng));
+  net->add(std::make_unique<BatchNorm2d>("bn1", 8));
+  net->add(std::make_unique<ReLU>("relu1"));
+  net->add(std::make_unique<AvgPool2d>("pool", Pool2dConfig{3, 3, 2, 1},
+                                       /*count_include_pad=*/false));
+  Conv2dConfig c2;
+  c2.in_channels = 8;
+  c2.out_channels = 8;
+  net->add(std::make_unique<Conv2d>("conv2", c2, factory, rng));
+  net->add(std::make_unique<BatchNorm2d>("bn2", 8));
+  net->add(std::make_unique<ReLU>("relu2"));
+  net->add(std::make_unique<GlobalAvgPool>("gap"));
+  net->add(std::make_unique<Flatten>("flatten"));
+  net->add(std::make_unique<Linear>("fc", 8, 5, factory, rng));
+  model.set_root(std::move(net));
+  return model;
+}
+
+}  // namespace
+
+TEST(CompiledGraph, ForcedReferenceKernelBitIdentical) {
+  Rng rng(930);
+  std::vector<CsqWeightSource*> registry;
+  Model model = make_lowbit_model(registry, rng);
+  Rng data_rng(931);
+  Tensor calib = random_tensor({8, 3, 12, 12}, data_rng);
+  for (int i = 0; i < 3; ++i) model.forward(calib, /*training=*/true);
+  for (CsqWeightSource* source : registry) source->finalize();
+
+  runtime::LowerOptions options;
+  options.in_height = 12;
+  options.in_width = 12;
+  runtime::CompiledGraph graph = runtime::lower(model, options);
+  graph.calibrate(calib);
+
+  // The 3-bit layers must have earned a specialized kernel...
+  bool saw_specialized = false;
+  for (const auto& layer : graph.layers()) {
+    EXPECT_FALSE(layer.kernel.empty());
+    if (layer.kernel != "s8u8") saw_specialized = true;
+  }
+  EXPECT_TRUE(saw_specialized)
+      << "3-bit layers should not run the s8u8 reference";
+
+  // ...while the escape hatch pins everything back to the reference.
+  runtime::LowerOptions forced = options;
+  forced.force_reference_kernel = true;
+  runtime::CompiledGraph reference =
+      runtime::build_graph(graph.program(), forced);
+  reference.restore_edge_scales(graph.edge_scales());
+  for (const auto& layer : reference.layers()) {
+    EXPECT_EQ(layer.kernel, "s8u8");
+  }
+
+  // Kernel choice changes latency, never a single bit of the logits.
+  Tensor input = random_tensor({5, 3, 12, 12}, data_rng);
+  const Tensor fast = graph.forward(input);
+  const Tensor slow = reference.forward(input);
+  ASSERT_TRUE(fast.same_shape(slow));
+  for (std::int64_t i = 0; i < fast.numel(); ++i) {
+    ASSERT_EQ(fast[i], slow[i]) << "logit " << i;
+  }
+}
+
+TEST(GraphArtifact, KernelRecordsRoundTrip) {
+  Rng rng(940);
+  std::vector<CsqWeightSource*> registry;
+  Model model = make_lowbit_model(registry, rng);
+  Rng data_rng(941);
+  Tensor calib = random_tensor({8, 3, 12, 12}, data_rng);
+  for (int i = 0; i < 3; ++i) model.forward(calib, /*training=*/true);
+  for (CsqWeightSource* source : registry) source->finalize();
+
+  runtime::LowerOptions options;
+  options.in_height = 12;
+  options.in_width = 12;
+  runtime::CompiledGraph graph = runtime::lower(model, options);
+  graph.calibrate(calib);
+
+  const std::string path =
+      ::testing::TempDir() + "csq_kernel_roundtrip.csqm";
+  ASSERT_TRUE(runtime::save_graph(path, graph));
+  runtime::CompiledGraph loaded = runtime::load_graph(path);
+  std::remove(path.c_str());
+
+  // The v3 records replay: every conv/linear carries its resolved kernel
+  // and the exclude-pad average pool keeps its divisor policy.
+  bool saw_avg = false;
+  std::size_t layer_index = 0;
+  for (const runtime::ProgramInstr& instr : loaded.program().instrs) {
+    if (instr.kind == runtime::ProgramInstr::Kind::kConv ||
+        instr.kind == runtime::ProgramInstr::Kind::kLinear) {
+      EXPECT_GE(instr.kernel_kind, 0) << "unresolved kernel after load";
+      ASSERT_LT(layer_index, loaded.layers().size());
+      EXPECT_EQ(runtime::weight_kernel_name(static_cast<runtime::WeightKernel>(
+                    instr.kernel_kind)),
+                loaded.layers()[layer_index].kernel);
+      ++layer_index;
+    }
+    if (instr.kind == runtime::ProgramInstr::Kind::kAvgPool) {
+      saw_avg = true;
+      EXPECT_TRUE(instr.exclude_pad);
+    }
+  }
+  EXPECT_TRUE(saw_avg);
+  EXPECT_EQ(layer_index, loaded.layers().size());
+
+  Tensor input = random_tensor({5, 3, 12, 12}, data_rng);
+  const Tensor expected = graph.forward(input);
+  const Tensor actual = loaded.forward(input);
+  ASSERT_TRUE(expected.same_shape(actual));
+  for (std::int64_t i = 0; i < expected.numel(); ++i) {
+    ASSERT_EQ(expected[i], actual[i]) << "output " << i;
+  }
+
+  // Pre-kernel-record programs (v1/v2 artifacts decode kernel_kind = -1)
+  // re-derive the identical choice: wipe the records and rebuild.
+  runtime::GraphProgram wiped = loaded.program();
+  for (runtime::ProgramInstr& instr : wiped.instrs) {
+    instr.kernel_kind = -1;
+  }
+  runtime::CompiledGraph rederived =
+      runtime::build_graph(std::move(wiped), options);
+  rederived.restore_edge_scales(graph.edge_scales());
+  for (std::size_t i = 0; i < rederived.layers().size(); ++i) {
+    EXPECT_EQ(rederived.layers()[i].kernel, loaded.layers()[i].kernel)
+        << "layer " << i << " re-derived a different kernel";
+  }
+  const Tensor rederived_logits = rederived.forward(input);
+  for (std::int64_t i = 0; i < expected.numel(); ++i) {
+    ASSERT_EQ(expected[i], rederived_logits[i]) << "output " << i;
+  }
+}
+
 // ------------------------------------------------- conformance grid -----
 //
 // Parameterized lowering-parity sweep: a conv/bn/relu stack with an
@@ -711,6 +861,7 @@ struct ConformanceCase {
   int pool_stride = 0;
   int pool_pad = 0;
   bool conv_head = false;        // end at GlobalAvgPool, no Linear
+  bool avg_exclude_pad = false;  // avg pool divides by valid-tap count
   const char* skip_reason = nullptr;  // non-null: a remaining genuine gap
 };
 
@@ -730,6 +881,12 @@ std::vector<ConformanceCase> conformance_grid() {
       // Average pooling: tiling, and padded/strided on a non-square input.
       {"avg2s2_s12", "", 0, 12, 12, PoolKind::kAvg, 2, 2, 2, 0},
       {"avg3s2p1_s11x13", "", 0, 11, 13, PoolKind::kAvg, 3, 3, 2, 1},
+      // Formerly-skipped cell: count_include_pad=false — border windows
+      // divide by their valid-tap count (per-position requant divisors).
+      {"avg3s2p1_s12_xpad", "", 0, 12, 12, PoolKind::kAvg, 3, 3, 2, 1,
+       false, true},
+      {"avg3s2p1_s11x13_xpad", "", 0, 11, 13, PoolKind::kAvg, 3, 3, 2, 1,
+       false, true},
       // Non-square pool kernel.
       {"max3x2s2_s12", "", 0, 12, 12, PoolKind::kMax, 3, 2, 2, 0},
       // Conv-head models: GlobalAvgPool terminates the graph.
@@ -758,15 +915,6 @@ std::vector<ConformanceCase> conformance_grid() {
       "carry one square kernel extent (pool kernels are rectangular now; "
       "conv kernels are not)";
   cases.push_back(rect_conv);
-  ConformanceCase avg_exclude;
-  avg_exclude.tag = "avg_count_exclude_pad";
-  avg_exclude.family = "csq";
-  avg_exclude.skip_reason =
-      "average pooling with a per-window valid-tap divisor "
-      "(count_include_pad=false): the integer lowering folds one fixed "
-      "1/(kh*kw) divisor into the requant scale, so border windows would "
-      "need per-position constants";
-  cases.push_back(avg_exclude);
   ConformanceCase ceil_mode;
   ceil_mode.tag = "ceil_mode_pool";
   ceil_mode.family = "csq";
@@ -831,7 +979,9 @@ TEST_P(RuntimeConformance, LoweringParityWithFloatEval) {
     if (param.pool == PoolKind::kMax) {
       net->add(std::make_unique<MaxPool2d>("pool", pool_config));
     } else {
-      net->add(std::make_unique<AvgPool2d>("pool", pool_config));
+      net->add(std::make_unique<AvgPool2d>(
+          "pool", pool_config,
+          /*count_include_pad=*/!param.avg_exclude_pad));
     }
   }
   Conv2dConfig c2;
