@@ -31,6 +31,7 @@
 #include <iostream>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -907,7 +908,101 @@ void write_serve_report(const std::string& path, int requests_per_producer) {
                 << mean_batch << "\n";
     }
   }
-  out << "\n  ]\n}\n";
+  out << "\n  ],\n";
+
+  // Overload row: 2x as many closed-loop producers as the request ring has
+  // slots (fewer can never overflow it), a per-request deadline, admission
+  // control on (shed_overload: full ring fast-rejects with kOverloaded)
+  // versus off (producers block on backpressure until the deadline
+  // expires). Goodput counts served-within-deadline requests only; p99 is
+  // over those.
+  const int overload_producers = 16;
+  // Enough requests per producer that the tight ring actually saturates —
+  // even in --smoke mode, where the closed-loop configs above run short.
+  const int overload_requests = std::max(requests_per_producer, 40);
+  const std::int64_t overload_deadline_us = 50'000;
+  struct OverloadRow {
+    double seconds = 0.0;
+    std::uint64_t ok = 0;
+    std::vector<double> ok_latencies_us;
+    serve::BatchingServer::ShardStats stats;
+  };
+  const auto run_overload = [&](bool shed) {
+    serve::ServerOptions server_options;
+    server_options.max_batch = 8;
+    server_options.queue_capacity = 8;
+    server_options.max_latency_us = 200;
+    server_options.shed_overload = shed;
+    serve::BatchingServer server(server_options);
+    std::vector<runtime::CompiledGraph> replicas;
+    replicas.push_back(runtime::replicate(graph));
+    replicas.push_back(runtime::replicate(graph));
+    server.add_model("m", std::move(replicas));
+    server.start();
+    const serve::ModelHandle handle = server.handle("m");
+
+    OverloadRow row;
+    std::mutex merge_mutex;
+    using clock = std::chrono::steady_clock;
+    const auto start = clock::now();
+    std::vector<std::thread> threads;
+    for (int p = 0; p < overload_producers; ++p) {
+      threads.emplace_back([&, p] {
+        std::vector<float> logits(10);
+        std::vector<double> mine;
+        std::uint64_t served = 0;
+        for (int i = 0; i < overload_requests; ++i) {
+          const int s = (p + i) % kSamples;
+          const auto issued = clock::now();
+          const serve::ServeStatus status = server.try_infer(
+              handle, samples.data() + s * sample_numel, logits.data(),
+              overload_deadline_us);
+          if (status != serve::ServeStatus::kOk) continue;
+          ++served;
+          mine.push_back(std::chrono::duration<double, std::micro>(
+                             clock::now() - issued)
+                             .count());
+        }
+        std::lock_guard<std::mutex> lock(merge_mutex);
+        row.ok += served;
+        row.ok_latencies_us.insert(row.ok_latencies_us.end(), mine.begin(),
+                                   mine.end());
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+    row.seconds = std::chrono::duration<double>(clock::now() - start).count();
+    row.stats = server.stats("m");
+    server.stop();
+    std::sort(row.ok_latencies_us.begin(), row.ok_latencies_us.end());
+    return row;
+  };
+
+  out << "  \"overload\": {\"producers\": " << overload_producers
+      << ", \"queue_capacity\": 8, \"deadline_us\": " << overload_deadline_us
+      << ", \"rows\": [\n";
+  bool first_row = true;
+  for (const bool shed : {false, true}) {
+    const OverloadRow row = run_overload(shed);
+    const auto ok_percentile = [&](double q) {
+      if (row.ok_latencies_us.empty()) return 0.0;
+      const auto index = static_cast<std::size_t>(
+          q * static_cast<double>(row.ok_latencies_us.size() - 1));
+      return row.ok_latencies_us[index];
+    };
+    const double goodput = static_cast<double>(row.ok) / row.seconds;
+    if (!first_row) out << ",\n";
+    first_row = false;
+    out << "    {\"shed_overload\": " << (shed ? "true" : "false")
+        << ", \"goodput_rps\": " << goodput
+        << ", \"p99_ok_us\": " << ok_percentile(0.99)
+        << ", \"ok\": " << row.ok << ", \"shed\": " << row.stats.shed
+        << ", \"timed_out\": " << row.stats.timed_out << "}";
+    std::cout << "serve overload shed=" << (shed ? "on" : "off") << ": "
+              << goodput << " good req/s, p99(ok) " << ok_percentile(0.99)
+              << " us, shed " << row.stats.shed << ", timed out "
+              << row.stats.timed_out << "\n";
+  }
+  out << "\n  ]}\n}\n";
   std::cout << "wrote " << path << "\n";
 }
 

@@ -156,8 +156,37 @@ int main() {
             << ")\n";
   std::cout << "per-request bit-identity vs single-sample forwards: "
             << (mismatches.load() == 0 ? "all identical" : "MISMATCHES!")
-            << "\n";
+            << "\n\n";
+
+  // ---- failure semantics --------------------------------------------------
+  // The typed request path: try_infer never throws — deadlines, overload
+  // shedding, shard failure and shutdown come back as ServeStatus values
+  // (see the README "Failure semantics" section). A generous deadline on a
+  // healthy server completes normally...
+  std::vector<float> logits(static_cast<std::size_t>(shape.out_features));
+  const serve::ServeStatus deadline_status = server.try_infer(
+      handle, samples.data(), logits.data(), /*deadline_us=*/100'000);
+  std::cout << "try_infer with a 100 ms deadline: "
+            << serve::serve_status_name(deadline_status) << "\n";
+
+  // ... and after stop() the same handle degrades to a typed rejection
+  // instead of blocking (a handle outliving the server itself would too).
   server.stop();
+  const serve::ServeStatus late_status =
+      server.try_infer(handle, samples.data(), logits.data());
+  std::cout << "try_infer after stop(): "
+            << serve::serve_status_name(late_status) << "\n";
+  const auto final_stats = server.stats("resnet20");
+  std::cout << "failure counters: rejected " << final_stats.rejected
+            << ", timed out " << final_stats.timed_out << ", shed "
+            << final_stats.shed << ", quarantines "
+            << final_stats.quarantines << ", restores "
+            << final_stats.restores << "\n";
+
   std::remove(artifact_path.c_str());
-  return mismatches.load() == 0 && identical ? 0 : 1;
+  return mismatches.load() == 0 && identical &&
+                 deadline_status == serve::ServeStatus::kOk &&
+                 late_status == serve::ServeStatus::kShuttingDown
+             ? 0
+             : 1;
 }

@@ -79,13 +79,17 @@ QuantizedLayerExport read_layer_record(std::istream& in,
   const auto rank = read_pod<std::uint32_t>(in);
   CSQ_CHECK(rank <= kMaxRank) << "quantized model file: absurd rank";
   layer.shape.resize(rank);
+  // Overflow-safe element count: bound every partial product, so a
+  // corrupted dim can neither wrap the int64 product past the bound check
+  // nor drive the code-vector allocation below to an absurd size.
+  std::int64_t count = 1;
   for (std::uint32_t d = 0; d < rank; ++d) {
     layer.shape[d] = read_pod<std::int64_t>(in);
     CSQ_CHECK(layer.shape[d] >= 0) << "quantized model file: negative dim";
+    CSQ_CHECK(layer.shape[d] == 0 || count <= kMaxElements / layer.shape[d])
+        << "quantized model file: absurd element count";
+    count *= layer.shape[d];
   }
-  const std::int64_t count = shape_numel(layer.shape);
-  CSQ_CHECK(count <= kMaxElements)
-      << "quantized model file: absurd element count";
 
   layer.bits = read_pod<std::int32_t>(in);
   CSQ_CHECK(layer.bits >= 0 && layer.bits <= 8)
@@ -97,12 +101,16 @@ QuantizedLayerExport read_layer_record(std::istream& in,
         << "quantized model file: bad grid denominator";
   }  // v1 files fixed the denominator at 255 (the struct default)
 
-  layer.codes.resize(static_cast<std::size_t>(count));
+  // Demand-driven growth (not an up-front resize): a corrupt count larger
+  // than the actual payload throws on the first truncated read instead of
+  // attempting a multi-gigabyte allocation first.
+  layer.codes.reserve(static_cast<std::size_t>(
+      std::min<std::int64_t>(count, std::int64_t{1} << 20)));
   for (std::int64_t i = 0; i < count; ++i) {
     const auto code = read_pod<std::int16_t>(in);
     CSQ_CHECK(code >= -255 && code <= 255)
         << "quantized model file: code outside the 8-bit grid";
-    layer.codes[static_cast<std::size_t>(i)] = code;
+    layer.codes.push_back(code);
   }
   return layer;
 }

@@ -1831,6 +1831,10 @@ const GraphProgram& CompiledGraph::program() const {
   return *impl_->program;
 }
 
+std::shared_ptr<const GraphProgram> CompiledGraph::shared_program() const {
+  return impl_->program;
+}
+
 std::vector<EdgeScaleRecord> CompiledGraph::edge_scales() {
   if (!impl_->scales_final) impl_->finalize_scales();
   std::vector<EdgeScaleRecord> records;
@@ -1994,6 +1998,17 @@ CompiledGraph replicate(CompiledGraph& graph) {
   replay_program(*copy.impl_, *graph.impl_->program, graph.options());
   copy.impl_->program = graph.impl_->program;  // shared: no deep copy
   copy.restore_edge_scales(graph.edge_scales());
+  return copy;
+}
+
+CompiledGraph rebuild_replica(std::shared_ptr<const GraphProgram> program,
+                              const LowerOptions& options,
+                              const std::vector<EdgeScaleRecord>& records) {
+  CSQ_CHECK(program != nullptr) << "rebuild_replica: null program";
+  CompiledGraph copy;
+  replay_program(*copy.impl_, *program, options);
+  copy.impl_->program = std::move(program);  // shared: no deep copy
+  copy.restore_edge_scales(records);
   return copy;
 }
 

@@ -162,6 +162,12 @@ class CompiledGraph {
   // topology). save_graph persists it; build_graph replays it.
   const GraphProgram& program() const;
 
+  // The same program as a shared handle — replicate() hands every replica
+  // this one immutable object, and the serving layer's quarantine-restore
+  // path rebuilds a dead replica from it (rebuild_replica below) without
+  // deep-copying the codes.
+  std::shared_ptr<const GraphProgram> shared_program() const;
+
   // Snapshot of every edge's resolved quantization state. Finalizes scales
   // first, so the graph must be calibrated (or act-quant-pinned everywhere
   // with a calibrated input edge); throws otherwise.
@@ -178,6 +184,9 @@ class CompiledGraph {
   friend CompiledGraph build_graph(GraphProgram program,
                                    const LowerOptions& options);
   friend CompiledGraph replicate(CompiledGraph& graph);
+  friend CompiledGraph rebuild_replica(
+      std::shared_ptr<const GraphProgram> program, const LowerOptions& options,
+      const std::vector<EdgeScaleRecord>& records);
   CompiledGraph();
   std::unique_ptr<Impl> impl_;
 };
@@ -199,6 +208,18 @@ CompiledGraph build_graph(GraphProgram program,
 // the per-worker replicas of the serving layer. Forwards are bit-identical
 // to the source graph's.
 CompiledGraph replicate(CompiledGraph& graph);
+
+// Rebuilds a replica from a shared immutable program + edge-scale snapshot
+// — replicate() without a live source graph. The serving layer's
+// quarantine-recovery path uses this to restore a dead replica from the
+// shard's shared program; the rebuilt graph shares `program` (no deep copy
+// of the codes) and its forwards are bit-identical to every sibling built
+// from the same program and records. The program's conv/linear kernel
+// selections must already be resolved (true for any program taken from a
+// built graph).
+CompiledGraph rebuild_replica(std::shared_ptr<const GraphProgram> program,
+                              const LowerOptions& options,
+                              const std::vector<EdgeScaleRecord>& records);
 
 // Top-1 accuracy (percent) of the integer graph on a dataset — the
 // integer-path counterpart of evaluate_accuracy (opt/trainer.h).

@@ -1,11 +1,19 @@
 #include "runtime/graph_artifact.h"
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
+#include <cstdio>
+#include <cstring>
 #include <fstream>
+#include <sstream>
 
 #include "core/model_io.h"
 #include "util/check.h"
+#include "util/crc32.h"
+#include "util/failpoint.h"
 
 namespace csq {
 namespace runtime {
@@ -16,18 +24,22 @@ constexpr char kGraphMagic[4] = {'C', 'S', 'Q', 'G'};
 // Graph-section versions: v1 square pools only (no kernel_w field, no
 // average pooling); v2 adds the pool kernel_w field and the kAvgPool
 // instruction; v3 adds the per-instruction kernel_kind (the recorded GEMM
-// path of a conv/linear layer) and the avg-pool exclude_pad flag. The
-// writer emits v3; the reader accepts all — v1 files
-// (tests/data/golden_v3.csqm pins one) decode kernel_w = 0 (square), and
-// pre-v3 files decode kernel_kind = -1 (re-resolved deterministically at
-// build_graph) and exclude_pad = false, preserving bit-identical serving.
-constexpr std::uint32_t kGraphSectionVersion = 3;
+// path of a conv/linear layer) and the avg-pool exclude_pad flag; v4 adds
+// nothing to the section body but appends a CRC-32 trailer over every
+// preceding container byte, so torn or bit-flipped artifacts are rejected
+// at load instead of deserialized. The writer emits v4; the reader accepts
+// all — v1 files (tests/data/golden_v3.csqm pins one) decode kernel_w = 0
+// (square), pre-v3 files decode kernel_kind = -1 (re-resolved
+// deterministically at build_graph) and exclude_pad = false, and pre-v4
+// files simply skip CRC verification, preserving bit-identical serving.
+constexpr std::uint32_t kGraphSectionVersion = 4;
 constexpr std::uint32_t kMinGraphSectionVersion = 1;
 // Sanity bounds for reading untrusted artifacts.
 constexpr std::uint32_t kMaxInstrs = 1 << 20;
 constexpr std::uint32_t kMaxEdges = 1 << 20;
 constexpr std::uint32_t kMaxVectorLength = 1 << 24;
 constexpr std::int64_t kMaxExtent = 1 << 20;
+constexpr std::size_t kCrcTrailerBytes = sizeof(std::uint32_t);
 
 using model_io::read_pod;
 using model_io::write_pod;
@@ -49,20 +61,11 @@ std::vector<float> read_float_vector(std::istream& in) {
   return values;
 }
 
-}  // namespace
-
-bool save_graph(const std::string& path, CompiledGraph& graph) {
-  // Resolve (and validate) the scales before touching the filesystem so an
-  // uncalibrated graph fails cleanly without leaving a partial file.
-  const std::vector<EdgeScaleRecord> edges = graph.edge_scales();
-  const GraphProgram& program = graph.program();
-  const LowerOptions& options = graph.options();
-  CSQ_CHECK(!program.instrs.empty())
-      << "save_graph: graph carries no lowering program";
-
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return false;
-
+// Serializes the whole container (layer section + graph section, no CRC
+// trailer) — the byte range the v4 trailer covers.
+void write_payload(std::ostream& out, const GraphProgram& program,
+                   const LowerOptions& options,
+                   const std::vector<EdgeScaleRecord>& edges) {
   model_io::write_container_header(
       out, model_io::kGraphContainerVersion,
       static_cast<std::uint32_t>(program.layers.size()));
@@ -101,13 +104,73 @@ bool save_graph(const std::string& path, CompiledGraph& graph) {
     write_pod(out, edge.levels);
     write_pod(out, edge.zero_point);
   }
-  return static_cast<bool>(out);
+}
+
+}  // namespace
+
+bool save_graph(const std::string& path, CompiledGraph& graph) {
+  // Resolve (and validate) the scales before touching the filesystem so an
+  // uncalibrated graph fails cleanly without leaving a partial file.
+  const std::vector<EdgeScaleRecord> edges = graph.edge_scales();
+  const GraphProgram& program = graph.program();
+  const LowerOptions& options = graph.options();
+  CSQ_CHECK(!program.instrs.empty())
+      << "save_graph: graph carries no lowering program";
+
+  // Serialize to memory first: the CRC trailer covers the exact payload
+  // bytes, and the file write below becomes a single streamed copy.
+  std::ostringstream buffer(std::ios::binary);
+  write_payload(buffer, program, options, edges);
+  CSQ_CHECK(static_cast<bool>(buffer))
+      << "save_graph: in-memory serialization failed";
+  const std::string payload = buffer.str();
+  const std::uint32_t checksum = crc32(payload.data(), payload.size());
+
+  // Crash-safe publish: write a sibling temp file, fsync-free but fully
+  // flushed, then atomically rename over the destination. A crash or I/O
+  // failure mid-write leaves the destination either absent or the previous
+  // complete artifact — never a truncated file a later load_graph trusts.
+  static std::atomic<std::uint64_t> temp_counter{0};
+  const std::string temp_path =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid())) + "." +
+      std::to_string(temp_counter.fetch_add(1, std::memory_order_relaxed));
+  {
+    std::ofstream out(temp_path, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    out.write(payload.data(),
+              static_cast<std::streamsize>(payload.size()));
+    // Mid-write I/O failure injection (disk full): the destination must be
+    // untouched and the temp file must not survive.
+    CSQ_FAILPOINT_STREAM("artifact.write", out);
+    write_pod(out, checksum);
+    out.flush();
+    if (!out) {
+      std::remove(temp_path.c_str());
+      return false;
+    }
+  }
+  if (std::rename(temp_path.c_str(), path.c_str()) != 0) {
+    std::remove(temp_path.c_str());
+    return false;
+  }
+  return true;
 }
 
 CompiledGraph load_graph(const std::string& path, bool pooled) {
-  std::ifstream in(path, std::ios::binary);
-  CSQ_CHECK(static_cast<bool>(in))
+  CSQ_FAILPOINT("artifact.read");
+  std::ifstream file(path, std::ios::binary);
+  CSQ_CHECK(static_cast<bool>(file))
       << "graph artifact: cannot open " << path;
+  // Read the whole artifact up front: the v4 CRC trailer covers every
+  // preceding byte, so integrity is decided on the exact file image before
+  // any field is trusted (artifacts are compact — the weights are sub-byte
+  // codes).
+  std::ostringstream sink(std::ios::binary);
+  sink << file.rdbuf();
+  CSQ_CHECK(static_cast<bool>(file) || file.eof())
+      << "graph artifact: cannot read " << path;
+  const std::string bytes = sink.str();
+  std::istringstream in(bytes, std::ios::binary);
 
   const auto [version, layer_count] = model_io::read_container_header(in);
   CSQ_CHECK(version == model_io::kGraphContainerVersion)
@@ -129,6 +192,21 @@ CompiledGraph load_graph(const std::string& path, bool pooled) {
             section_version <= kGraphSectionVersion)
       << "graph artifact: unsupported graph-section version "
       << section_version;
+
+  // v4+: the last four bytes are crc32 over everything before them. Verify
+  // BEFORE deserializing the remaining sections — a torn or bit-flipped
+  // artifact must be rejected as corrupt, not parsed into a wrong graph.
+  if (section_version >= 4) {
+    CSQ_CHECK(bytes.size() > kCrcTrailerBytes)
+        << "graph artifact: truncated";
+    const std::size_t payload_size = bytes.size() - kCrcTrailerBytes;
+    std::uint32_t stored = 0;
+    std::memcpy(&stored, bytes.data() + payload_size, kCrcTrailerBytes);
+    const std::uint32_t actual = crc32(bytes.data(), payload_size);
+    CSQ_CHECK(stored == actual)
+        << "graph artifact: CRC mismatch (stored " << stored << ", computed "
+        << actual << ") — torn write or corrupted file";
+  }
 
   LowerOptions options;
   options.in_channels = read_pod<std::int64_t>(in);

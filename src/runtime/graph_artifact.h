@@ -12,6 +12,15 @@
 // calibration pass is needed, and the loaded graph's batched forward is
 // bit-identical to the graph that was saved (replay and requant-constant
 // resolution are deterministic).
+//
+// Crash safety: save_graph serializes to memory, writes a sibling temp file
+// and atomically renames it over the destination — a crash or stream
+// failure mid-write leaves the previous complete artifact (or nothing),
+// never a truncated file. The graph section is written at v4, whose last
+// four bytes are a CRC-32 trailer over every preceding container byte;
+// load_graph verifies it before trusting any field, so torn or bit-flipped
+// artifacts are rejected with a clean check_error. v1–v3 sections still
+// load (no trailer, no verification).
 #pragma once
 
 #include <string>

@@ -9,38 +9,48 @@
 
 #include "runtime/graph_artifact.h"
 #include "util/check.h"
+#include "util/failpoint.h"
 
 namespace csq {
 namespace serve {
 
-namespace {
+namespace detail {
 
 using Clock = std::chrono::steady_clock;
 
 // One in-flight request. Lives on the producer's stack for the duration of
-// its infer() call — the queue stores only the pointer, so the request path
-// never allocates. Every node is completed exactly once before its producer
-// returns: normally by the worker that served it, or force-completed with
-// `failed` set if a worker died (so no worker can touch a dead stack frame).
+// its try_infer() call — the queue stores only the pointer, so the request
+// path never allocates. Every admitted node is completed exactly once
+// before its producer returns: normally by the worker that served it,
+// force-completed with a failure status (quarantine overflow, shard death,
+// drain deadline), or cancelled by its own producer on deadline expiry (the
+// only path that removes a node without setting done).
 struct Request {
   const float* sample = nullptr;
   float* logits = nullptr;
   Clock::time_point enqueued;
   bool done = false;
-  bool failed = false;
+  ServeStatus status = ServeStatus::kOk;
 };
-
-}  // namespace
 
 // One model id: a request ring plus one worker thread (and graph replica)
 // per registered replica. All queue state is guarded by `mutex`;
-// `queue_cv` wakes workers (work arrived / batch filled), `done_cv` wakes
-// producers (results ready, ring space freed) and start()'s warmup wait.
-struct BatchingServer::Shard {
+// `queue_cv` wakes workers (work arrived / batch filled / stop / backoff
+// interrupt), `done_cv` wakes producers (results ready, ring space freed)
+// and start()'s warmup wait.
+struct Shard {
   std::string id;
   std::vector<runtime::CompiledGraph> replicas;
   runtime::CompiledGraph::IoShape shape;
   const ServerOptions* options = nullptr;
+
+  // Restore template: every replica was built from this shared immutable
+  // program; quarantine recovery rebuilds dead replicas from it (no deep
+  // copy of the codes) and re-installs the same edge-scale snapshot, so a
+  // restored replica is bit-identical to its siblings.
+  std::shared_ptr<const runtime::GraphProgram> program;
+  runtime::LowerOptions graph_options;
+  std::vector<runtime::EdgeScaleRecord> edge_records;
 
   std::mutex mutex;
   std::condition_variable queue_cv;
@@ -48,15 +58,17 @@ struct BatchingServer::Shard {
   std::vector<Request*> ring;  // preallocated; head/count index it
   std::size_t head = 0;
   std::size_t count = 0;
-  bool accepting = false;  // start() opens, stop()/failures close — the
-                           // only lifecycle state infer() consults, so
-                           // producers never race an unguarded flag
+  bool accepting = false;  // start() opens, stop()/total failure closes —
+                           // the only lifecycle state try_infer consults,
+                           // so producers never race an unguarded flag
   bool stopping = false;
-  bool failed = false;
+  bool failed = false;  // every replica dead (or warmup failed)
   std::exception_ptr worker_error;
   int workers_ready = 0;
   int worker_target = 0;  // set before the threads spawn
-  ShardStats stats;
+  int quarantined_now = 0;
+  int dead_now = 0;
+  BatchingServer::ShardStats stats;
 
   std::vector<std::thread> workers;
 
@@ -64,61 +76,38 @@ struct BatchingServer::Shard {
 
   void worker_loop(int worker_index);
   void run_worker(int worker_index, std::vector<Request*>& taken,
-                  std::size_t& n);
+                  std::size_t& n, Tensor& staging);
+  std::vector<Tensor> warmup_replica(runtime::CompiledGraph& graph,
+                                     Tensor& staging);
+  bool quarantine_and_restore(int worker_index, std::vector<Request*>& taken,
+                              std::size_t& n);
+  // Completes every queued request with `status`. Caller holds `mutex` and
+  // notifies done_cv afterwards.
+  void complete_queued_locked(ServeStatus status);
 };
 
-void BatchingServer::Shard::worker_loop(int worker_index) {
-  // `taken` and `n` live here so the failure path can force-complete the
-  // requests this worker had already popped: a check_error escaping a
-  // std::thread body would std::terminate the whole serving process, and a
-  // producer must never be left waiting on (or a worker writing into) a
-  // stack node whose batch died mid-flight.
-  std::vector<Request*> taken(
-      static_cast<std::size_t>(options->max_batch), nullptr);
-  std::size_t n = 0;
-  try {
-    run_worker(worker_index, taken, n);
-  } catch (...) {
-    std::lock_guard<std::mutex> lock(mutex);
-    failed = true;
-    stopping = true;
-    accepting = false;
-    if (!worker_error) worker_error = std::current_exception();
-    workers_ready = worker_target;  // release start()'s warmup wait
-    for (std::size_t i = 0; i < n; ++i) {
-      taken[i]->failed = true;
-      taken[i]->done = true;
-    }
-    while (count > 0) {
-      Request* request = ring[head];
-      head = (head + 1) % capacity();
-      --count;
-      request->failed = true;
-      request->done = true;
-    }
-    queue_cv.notify_all();
-    done_cv.notify_all();
+void Shard::complete_queued_locked(ServeStatus status) {
+  while (count > 0) {
+    Request* request = ring[head];
+    head = (head + 1) % capacity();
+    --count;
+    request->status = status;
+    request->done = true;
+    ++stats.rejected;
   }
 }
 
-void BatchingServer::Shard::run_worker(int worker_index,
-                                       std::vector<Request*>& taken,
-                                       std::size_t& n) {
-  runtime::CompiledGraph& graph =
-      replicas[static_cast<std::size_t>(worker_index)];
-  const std::int64_t sample_numel =
-      shape.channels * shape.height * shape.width;
+// Warmup: grow the graph's activation workspace, this thread's GEMM packing
+// scratch and the staging tensor to their steady-state extents so the
+// request path never touches the heap. The flush policy can produce ANY
+// batch size in [1, max_batch], and every worker can have one output tensor
+// in flight at once — the returned outputs are HELD by the caller (across
+// the start() rendezvous) to seed the tensor pool with the worst-case
+// number of spans per size bucket.
+std::vector<Tensor> Shard::warmup_replica(runtime::CompiledGraph& graph,
+                                          Tensor& staging) {
+  CSQ_FAILPOINT("serve.warmup");
   const std::int64_t max_batch = options->max_batch;
-
-  // Warmup: grow the graph's activation workspace, this thread's GEMM
-  // packing scratch and the staging tensor to their steady-state extents so
-  // the request path never touches the heap. The flush policy can produce
-  // ANY batch size in [1, max_batch], and every worker can have one output
-  // tensor in flight at once — so each worker forwards every size and
-  // HOLDS all outputs across a cross-worker rendezvous, seeding the tensor
-  // pool with the worst-case number of spans per size bucket.
-  Tensor staging = Tensor::zeros(
-      {max_batch, shape.channels, shape.height, shape.width});
   graph.prepare(max_batch);
   std::vector<Tensor> warm_outputs;
   warm_outputs.reserve(static_cast<std::size_t>(max_batch));
@@ -126,6 +115,40 @@ void BatchingServer::Shard::run_worker(int worker_index,
     staging.resize_unspecified({b, shape.channels, shape.height,
                                 shape.width});
     warm_outputs.push_back(graph.forward(staging));
+  }
+  return warm_outputs;
+}
+
+void Shard::worker_loop(int worker_index) {
+  // `taken` and `n` live here so the failure paths can account for the
+  // requests this worker had already popped: a check_error escaping a
+  // std::thread body would std::terminate the whole serving process, and a
+  // producer must never be left waiting on (or a worker writing into) a
+  // stack node whose batch died mid-flight.
+  std::vector<Request*> taken(
+      static_cast<std::size_t>(options->max_batch), nullptr);
+  std::size_t n = 0;
+  Tensor staging = Tensor::zeros(
+      {options->max_batch, shape.channels, shape.height, shape.width});
+
+  // Initial warmup. A failure here fails the whole shard and start()
+  // rethrows it synchronously: a replica that cannot even warm up is a
+  // configuration error, not a runtime fault worth a quarantine loop.
+  std::vector<Tensor> warm_outputs;
+  try {
+    warm_outputs = warmup_replica(
+        replicas[static_cast<std::size_t>(worker_index)], staging);
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(mutex);
+    failed = true;
+    stopping = true;
+    accepting = false;
+    if (!worker_error) worker_error = std::current_exception();
+    workers_ready = worker_target;  // release start()'s warmup wait
+    complete_queued_locked(ServeStatus::kShardFailed);
+    queue_cv.notify_all();
+    done_cv.notify_all();
+    return;
   }
   {
     std::unique_lock<std::mutex> lock(mutex);
@@ -137,7 +160,30 @@ void BatchingServer::Shard::run_worker(int worker_index,
   }
   warm_outputs.clear();
 
+  // Serving loop with quarantine recovery: any exception escaping a batch
+  // (replica forward, pool submission, injected fault) quarantines THIS
+  // replica only — the popped batch is requeued for siblings, and a
+  // backoff-restore loop rebuilds the replica before rejoining.
   while (true) {
+    try {
+      run_worker(worker_index, taken, n, staging);
+      return;  // stopping and fully drained
+    } catch (...) {
+      if (!quarantine_and_restore(worker_index, taken, n)) return;
+    }
+  }
+}
+
+void Shard::run_worker(int worker_index, std::vector<Request*>& taken,
+                       std::size_t& n, Tensor& staging) {
+  runtime::CompiledGraph& graph =
+      replicas[static_cast<std::size_t>(worker_index)];
+  const std::int64_t sample_numel =
+      shape.channels * shape.height * shape.width;
+  const std::int64_t max_batch = options->max_batch;
+
+  while (true) {
+    CSQ_FAILPOINT("serve.worker_batch");
     n = 0;
     {
       std::unique_lock<std::mutex> lock(mutex);
@@ -154,9 +200,9 @@ void BatchingServer::Shard::run_worker(int worker_index,
           queue_cv.wait_until(lock, deadline, [&] {
             return count >= static_cast<std::size_t>(max_batch) || stopping;
           });
-          // A sibling worker may have drained the queue while this one
-          // slept on the timer: go back to waiting instead of recording
-          // an empty batch.
+          // A sibling worker (or a timed-out producer cancelling its node)
+          // may have drained the queue while this one slept on the timer:
+          // go back to waiting instead of recording an empty batch.
           if (count == 0 && !stopping) continue;
           if (count == 0) return;
         }
@@ -193,6 +239,7 @@ void BatchingServer::Shard::run_worker(int worker_index,
                   taken[i]->sample,
                   static_cast<std::size_t>(sample_numel) * sizeof(float));
     }
+    CSQ_FAILPOINT("serve.replica_forward");
     Tensor logits = graph.forward(staging);
     const float* out = logits.data();
     for (std::size_t i = 0; i < n; ++i) {
@@ -210,6 +257,109 @@ void BatchingServer::Shard::run_worker(int worker_index,
   }
 }
 
+bool Shard::quarantine_and_restore(int worker_index,
+                                   std::vector<Request*>& taken,
+                                   std::size_t& n) {
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    ++stats.quarantines;
+    ++quarantined_now;
+    // Put the popped batch back at the FRONT of the ring — original
+    // enqueue stamps intact, so flush deadlines and FIFO order survive —
+    // for the sibling workers (or this one, once restored) to serve. If
+    // producers already refilled the freed space, fail the overflow
+    // cleanly instead of overwriting live nodes.
+    const std::size_t requeue = std::min(n, capacity() - count);
+    if (requeue > 0) {
+      head = (head + capacity() - requeue) % capacity();
+      for (std::size_t i = 0; i < requeue; ++i) {
+        ring[(head + i) % capacity()] = taken[i];
+      }
+      count += requeue;
+    }
+    for (std::size_t i = requeue; i < n; ++i) {
+      taken[i]->status = ServeStatus::kShardFailed;
+      taken[i]->done = true;
+      ++stats.rejected;
+    }
+    n = 0;
+  }
+  queue_cv.notify_all();  // requeued work for the siblings
+  done_cv.notify_all();   // overflow completions
+
+  // Exponential-backoff restore from the shard's shared immutable program.
+  // Runs outside the shard mutex: siblings keep serving (graceful
+  // degradation) while this thread rebuilds.
+  constexpr std::int64_t kMaxBackoffUs = 1'000'000;
+  std::int64_t backoff_us = std::max<std::int64_t>(
+      options->restore_backoff_us, 1);
+  for (int attempt = 0; attempt < options->restore_max_attempts; ++attempt) {
+    {
+      std::unique_lock<std::mutex> lock(mutex);
+      queue_cv.wait_for(lock, std::chrono::microseconds(backoff_us),
+                        [&] { return stopping; });
+      if (stopping) {
+        --quarantined_now;
+        return false;  // stop() completes anything left queued
+      }
+    }
+    try {
+      CSQ_FAILPOINT("serve.restore");
+      runtime::CompiledGraph rebuilt =
+          runtime::rebuild_replica(program, graph_options, edge_records);
+      Tensor staging = Tensor::zeros(
+          {options->max_batch, shape.channels, shape.height, shape.width});
+      std::vector<Tensor> warm = warmup_replica(rebuilt, staging);
+      std::lock_guard<std::mutex> lock(mutex);
+      replicas[static_cast<std::size_t>(worker_index)] = std::move(rebuilt);
+      --quarantined_now;
+      ++stats.restores;
+      return true;  // rejoin the serving loop
+    } catch (...) {
+      backoff_us = std::min(backoff_us * 2, kMaxBackoffUs);
+    }
+  }
+
+  // Restore attempts exhausted: this replica is dead. The shard fails only
+  // when EVERY replica is dead — then queued and future requests get
+  // kShardFailed instead of waiting on capacity that will never return.
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    --quarantined_now;
+    ++dead_now;
+    if (dead_now >= worker_target) {
+      failed = true;
+      accepting = false;
+      complete_queued_locked(ServeStatus::kShardFailed);
+    }
+  }
+  queue_cv.notify_all();
+  done_cv.notify_all();
+  return false;
+}
+
+}  // namespace detail
+
+using detail::Clock;
+using detail::Request;
+using detail::Shard;
+
+const char* serve_status_name(ServeStatus status) {
+  switch (status) {
+    case ServeStatus::kOk:
+      return "ok";
+    case ServeStatus::kTimeout:
+      return "timeout";
+    case ServeStatus::kOverloaded:
+      return "overloaded";
+    case ServeStatus::kShardFailed:
+      return "shard_failed";
+    case ServeStatus::kShuttingDown:
+      return "shutting_down";
+  }
+  return "unknown";
+}
+
 BatchingServer::BatchingServer(ServerOptions options)
     : options_(options) {
   CSQ_CHECK(options_.max_batch >= 1)
@@ -218,6 +368,12 @@ BatchingServer::BatchingServer(ServerOptions options)
       << "batching server: negative max_latency_us";
   CSQ_CHECK(options_.queue_capacity >= 1)
       << "batching server: queue_capacity must be at least 1";
+  CSQ_CHECK(options_.drain_deadline_us >= 0)
+      << "batching server: negative drain_deadline_us";
+  CSQ_CHECK(options_.restore_backoff_us >= 0)
+      << "batching server: negative restore_backoff_us";
+  CSQ_CHECK(options_.restore_max_attempts >= 1)
+      << "batching server: restore_max_attempts must be at least 1";
   options_.queue_capacity =
       std::max(options_.queue_capacity, options_.max_batch);
 }
@@ -234,7 +390,7 @@ void BatchingServer::add_model(const std::string& model_id,
     CSQ_CHECK(shard->id != model_id)
         << "batching server: duplicate model id " << model_id;
   }
-  auto shard = std::make_unique<Shard>();
+  auto shard = std::make_shared<Shard>();
   shard->id = model_id;
   shard->shape = replicas.front().io_shape();
   CSQ_CHECK(shard->shape.out_features > 0)
@@ -250,6 +406,12 @@ void BatchingServer::add_model(const std::string& model_id,
     // this registration call, not a worker thread's warmup forward.
     replica.edge_scales();
   }
+  // Restore template for quarantine recovery: the first replica's shared
+  // program + options + edge-scale snapshot (replicas are required to be
+  // bit-identical siblings, so any one of them defines the shard).
+  shard->program = replicas.front().shared_program();
+  shard->graph_options = replicas.front().options();
+  shard->edge_records = replicas.front().edge_scales();
   shard->replicas = std::move(replicas);
   shard->options = &options_;
   shard->ring.assign(static_cast<std::size_t>(options_.queue_capacity),
@@ -319,60 +481,121 @@ void BatchingServer::stop() {
   for (auto& shard : shards_) {
     {
       std::lock_guard<std::mutex> lock(shard->mutex);
-      shard->accepting = false;  // late infer() calls now throw cleanly
+      shard->accepting = false;  // late try_infer calls get kShuttingDown
       shard->stopping = true;
     }
     shard->queue_cv.notify_all();
     shard->done_cv.notify_all();
   }
+  // Deadline-bounded graceful drain: let the workers finish queued work,
+  // then complete whatever is still queued with kShuttingDown so no
+  // producer waits past the bound (in-flight batches always finish — they
+  // hold stack nodes a worker is actively writing).
+  if (options_.drain_deadline_us > 0) {
+    const Clock::time_point deadline =
+        Clock::now() + std::chrono::microseconds(options_.drain_deadline_us);
+    for (auto& shard : shards_) {
+      std::unique_lock<std::mutex> lock(shard->mutex);
+      const bool drained = shard->done_cv.wait_until(
+          lock, deadline, [&] { return shard->count == 0; });
+      if (!drained) {
+        shard->complete_queued_locked(ServeStatus::kShuttingDown);
+        shard->queue_cv.notify_all();
+        shard->done_cv.notify_all();
+      }
+    }
+  }
   for (auto& shard : shards_) {
     for (std::thread& worker : shard->workers) worker.join();
     shard->workers.clear();
     // Reset under the mutex: a producer rejected above may still hold it.
+    // Quarantined workers exit their restore loops on `stopping` without
+    // serving, so anything they left queued completes here — no request
+    // ever hangs across stop().
     std::lock_guard<std::mutex> lock(shard->mutex);
+    shard->complete_queued_locked(ServeStatus::kShuttingDown);
+    shard->done_cv.notify_all();
     shard->stopping = false;
     shard->failed = false;
     shard->worker_error = nullptr;
     shard->workers_ready = 0;
+    shard->quarantined_now = 0;
+    shard->dead_now = 0;
   }
   started_ = false;
 }
 
-BatchingServer::Shard& BatchingServer::shard_for(
+const std::shared_ptr<Shard>& BatchingServer::shard_ptr_for(
     const std::string& model_id) const {
   for (const auto& shard : shards_) {
-    if (shard->id == model_id) return *shard;
+    if (shard->id == model_id) return shard;
   }
   CSQ_CHECK(false) << "batching server: unknown model id " << model_id;
   // Unreachable; CSQ_CHECK throws.
-  return *shards_.front();
+  return shards_.front();
+}
+
+Shard& BatchingServer::shard_for(const std::string& model_id) const {
+  return *shard_ptr_for(model_id);
 }
 
 ModelHandle BatchingServer::handle(const std::string& model_id) const {
-  return ModelHandle(&shard_for(model_id));
+  return ModelHandle(shard_ptr_for(model_id));
 }
 
-void BatchingServer::infer(ModelHandle handle, const float* sample,
-                           float* logits) {
-  CSQ_CHECK(handle.valid()) << "batching server: invalid model handle";
-  Shard& shard = *static_cast<Shard*>(handle.shard_);
+ServeStatus BatchingServer::try_infer(const ModelHandle& handle,
+                                      const float* sample, float* logits,
+                                      std::int64_t deadline_us) {
+  // Stale handles (server destroyed, or a default-constructed handle)
+  // resolve here instead of dereferencing freed memory.
+  const std::shared_ptr<Shard> shard_ref = handle.shard_.lock();
+  if (!shard_ref) return ServeStatus::kShuttingDown;
+  Shard& shard = *shard_ref;
+
+  const bool bounded = deadline_us >= 0;
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::microseconds(bounded ? deadline_us : 0);
+
   Request request;
   request.sample = sample;
   request.logits = logits;
   {
     std::unique_lock<std::mutex> lock(shard.mutex);
-    CSQ_CHECK(shard.accepting)
-        << "batching server: infer on a stopped server";
-    // Backpressure: block while the ring is full. Re-check `accepting`
-    // after the wait, not `stopping`: stop() clears stopping again once
-    // the workers are joined, but accepting stays false until the next
-    // start() — a producer waking late must not enqueue into a shard with
-    // no workers.
-    shard.done_cv.wait(lock, [&] {
-      return shard.count < shard.capacity() || !shard.accepting;
-    });
-    CSQ_CHECK(shard.accepting)
-        << "batching server: stopped while waiting for queue space";
+    if (shard.failed) {
+      ++shard.stats.rejected;
+      return ServeStatus::kShardFailed;
+    }
+    if (!shard.accepting) {
+      ++shard.stats.rejected;
+      return ServeStatus::kShuttingDown;
+    }
+    if (shard.count >= shard.capacity()) {
+      // Admission control at the full ring: shed immediately, or apply
+      // backpressure bounded by the caller's deadline.
+      if (shard.options->shed_overload) {
+        ++shard.stats.shed;
+        return ServeStatus::kOverloaded;
+      }
+      const auto has_space = [&] {
+        return shard.count < shard.capacity() || !shard.accepting;
+      };
+      if (bounded) {
+        if (!shard.done_cv.wait_until(lock, deadline, has_space)) {
+          ++shard.stats.timed_out;
+          return ServeStatus::kTimeout;
+        }
+      } else {
+        shard.done_cv.wait(lock, has_space);
+      }
+      if (shard.failed) {
+        ++shard.stats.rejected;
+        return ServeStatus::kShardFailed;
+      }
+      if (!shard.accepting) {
+        ++shard.stats.rejected;
+        return ServeStatus::kShuttingDown;
+      }
+    }
     request.enqueued = Clock::now();
     shard.ring[(shard.head + shard.count) % shard.capacity()] = &request;
     ++shard.count;
@@ -381,11 +604,45 @@ void BatchingServer::infer(ModelHandle handle, const float* sample,
   shard.queue_cv.notify_one();
   {
     std::unique_lock<std::mutex> lock(shard.mutex);
-    shard.done_cv.wait(lock, [&] { return request.done; });
+    const auto completed = [&] { return request.done; };
+    if (bounded && !shard.done_cv.wait_until(lock, deadline, completed)) {
+      // Deadline expired. If the node is still queued, cancel it in place
+      // — compact the ring so workers never see the dead entry. If a
+      // worker already popped it, the result is one bounded forward away:
+      // wait it out (a stack node in a worker's batch cannot be
+      // abandoned) and report the actual outcome.
+      bool cancelled = false;
+      for (std::size_t i = 0; i < shard.count; ++i) {
+        const std::size_t pos = (shard.head + i) % shard.capacity();
+        if (shard.ring[pos] != &request) continue;
+        for (std::size_t j = i; j + 1 < shard.count; ++j) {
+          shard.ring[(shard.head + j) % shard.capacity()] =
+              shard.ring[(shard.head + j + 1) % shard.capacity()];
+        }
+        --shard.count;
+        cancelled = true;
+        break;
+      }
+      if (cancelled) {
+        ++shard.stats.timed_out;
+        shard.done_cv.notify_all();  // ring space freed
+        return ServeStatus::kTimeout;
+      }
+      shard.done_cv.wait(lock, completed);
+    } else if (!bounded) {
+      shard.done_cv.wait(lock, completed);
+    }
   }
-  CSQ_CHECK(!request.failed)
-      << "batching server: a worker of model " << shard.id
-      << " failed while this request was in flight";
+  return request.status;
+}
+
+void BatchingServer::infer(const ModelHandle& handle, const float* sample,
+                           float* logits) {
+  CSQ_CHECK(handle.valid()) << "batching server: invalid model handle";
+  const ServeStatus status = try_infer(handle, sample, logits);
+  CSQ_CHECK(status == ServeStatus::kOk)
+      << "batching server: infer failed with status "
+      << serve_status_name(status);
 }
 
 void BatchingServer::infer(const std::string& model_id, const float* sample,
@@ -402,7 +659,10 @@ BatchingServer::ShardStats BatchingServer::stats(
     const std::string& model_id) const {
   Shard& shard = shard_for(model_id);
   std::lock_guard<std::mutex> lock(shard.mutex);
-  return shard.stats;
+  ShardStats snapshot = shard.stats;
+  snapshot.replicas_quarantined = shard.quarantined_now;
+  snapshot.replicas_dead = shard.dead_now;
+  return snapshot;
 }
 
 std::vector<std::int64_t> BatchingServer::replica_workspace_bytes(

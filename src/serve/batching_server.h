@@ -1,33 +1,52 @@
 // serve::BatchingServer — the request path on top of the integer runtime:
 // a multi-model shard registry, per-worker CompiledGraph replicas and a
-// latency-bounded request-batching queue.
+// latency-bounded request-batching queue with production failure semantics.
 //
-// Request path: N producer threads call infer(handle, sample, logits). Each
-// call links a stack-allocated request node into the target shard's
-// preallocated ring and blocks. A shard worker coalesces queued requests
-// into ONE batched forward — flushing when max_batch requests are waiting
-// or when the oldest queued request has waited max_latency_us, whichever
-// comes first — scatters the per-request logits back and wakes the
-// producers. Models are registered by id; each shard owns its queue and
+// Request path: N producer threads call infer()/try_infer(handle, sample,
+// logits). Each call links a stack-allocated request node into the target
+// shard's preallocated ring and blocks. A shard worker coalesces queued
+// requests into ONE batched forward — flushing when max_batch requests are
+// waiting or when the oldest queued request has waited max_latency_us,
+// whichever comes first — scatters the per-request logits back and wakes
+// the producers. Models are registered by id; each shard owns its queue and
 // one worker thread (plus graph replica) per registered replica.
 //
 // Guarantees:
 //  * Outputs are bit-identical to serial single-sample forwards of the
 //    source graph: the integer path is batch-invariant, and replicas are
-//    deterministic program replays (runtime::replicate / load_graph).
-//  * Zero steady-state heap allocations on the request path with serial
-//    in-graph execution (the default): the ring, per-worker request arrays
-//    and staging batch tensors are grown during start()'s warmup; request
-//    nodes live on the callers' stacks; the graph forward is
+//    deterministic program replays (runtime::replicate / load_graph) —
+//    including replicas rebuilt by quarantine recovery.
+//  * Zero steady-state heap allocations on the fault-free request path with
+//    serial in-graph execution (the default): the ring, per-worker request
+//    arrays and staging batch tensors are grown during start()'s warmup;
+//    request nodes live on the callers' stacks; the graph forward is
 //    allocation-free after warmup (hotpath tests). Pooled replicas are
 //    SAFE — concurrent top-level parallel_for submissions queue on the
 //    shared pool (util/thread_pool.h) — but outside the strict guarantee:
 //    pool chunk assignment is dynamic, so a pool thread that slept through
 //    warmup can still grow its thread-local GEMM scratch on an early
 //    request.
-//  * Worker failures never abort the process: a throwing replica fails its
-//    shard, force-completes in-flight requests (their infer() calls throw)
-//    and start() rethrows warmup errors synchronously.
+//  * Graceful degradation: a replica that throws mid-batch is QUARANTINED —
+//    its popped requests go back to the front of the queue for siblings to
+//    serve, and a backoff-restore loop rebuilds the replica from the
+//    shard's shared immutable GraphProgram (runtime::rebuild_replica; the
+//    rebuilt replica stays per-request bit-identical). The shard fails only
+//    when every replica has exhausted its restore attempts; start()-warmup
+//    failures still fail the shard synchronously (misconfiguration, not a
+//    runtime fault).
+//  * No request ever hangs: every admitted request is completed exactly once
+//    — served, failed with a ServeStatus, or (with a deadline) cancelled —
+//    and worker failures never abort the process.
+//  * Typed failures: try_infer never throws on the request path; it reports
+//    timeouts, load shedding (ServerOptions::shed_overload), shard failure
+//    and shutdown as ServeStatus codes, counted per shard in ShardStats.
+//    The infer() convenience wrappers keep the throwing contract.
+//  * Deadline-bounded drain: stop() finishes in-flight work (bounded by
+//    ServerOptions::drain_deadline_us when set), completes anything still
+//    queued past the deadline with kShuttingDown, and late arrivals are
+//    rejected with kShuttingDown. Stale ModelHandles — held across stop()
+//    or even across server destruction — resolve to kShuttingDown instead
+//    of touching freed memory.
 #pragma once
 
 #include <cstdint>
@@ -40,26 +59,64 @@
 namespace csq {
 namespace serve {
 
+namespace detail {
+struct Shard;
+}  // namespace detail
+
+// Typed request-path outcome. The hot path reports failures as values, not
+// exceptions: overload and shutdown are expected states of a loaded server,
+// not programming errors.
+enum class ServeStatus {
+  kOk = 0,
+  kTimeout,       // the caller's deadline expired before completion
+  kOverloaded,    // ring full and shed_overload is set: fast-rejected
+  kShardFailed,   // every replica of the shard is dead
+  kShuttingDown,  // server stopped/stopping/destroyed (or stale handle)
+};
+
+const char* serve_status_name(ServeStatus status);
+
 struct ServerOptions {
   // Flush a batch as soon as this many requests are queued.
   std::int64_t max_batch = 16;
   // ... or when the oldest queued request has waited this long.
   std::int64_t max_latency_us = 200;
-  // Ring capacity per shard; producers beyond it block (backpressure).
+  // Ring capacity per shard; producers beyond it block (backpressure) or,
+  // with shed_overload, are rejected immediately.
   std::int64_t queue_capacity = 1024;
+  // Admission control: when the ring is full, reject new requests with
+  // kOverloaded instead of blocking the producer — bounded-queue load
+  // shedding for latency-sensitive deployments.
+  bool shed_overload = false;
+  // stop() lets queued work drain for at most this long before completing
+  // the remainder with kShuttingDown. 0 = unbounded drain (in-flight
+  // batches still always finish).
+  std::int64_t drain_deadline_us = 0;
+  // Quarantine recovery: backoff before a failed replica's first rebuild
+  // attempt, doubling per failed attempt (capped at 1 s).
+  std::int64_t restore_backoff_us = 1000;
+  // Rebuild attempts before a quarantined replica is declared dead. The
+  // shard fails only when EVERY replica is dead.
+  int restore_max_attempts = 8;
 };
 
 // Resolved routing target for one model id: lets the request hot path skip
-// the registry lookup. Valid for the server's lifetime.
+// the registry lookup. Holds a weak reference, so a handle that outlives
+// stop() or the server itself degrades to kShuttingDown instead of
+// dereferencing freed memory.
 class ModelHandle {
  public:
   ModelHandle() = default;
-  bool valid() const { return shard_ != nullptr; }
+  // True while the owning server (and its shard) is still alive. A valid
+  // handle can still be rejected (stopped shard); an invalid one is always
+  // kShuttingDown.
+  bool valid() const { return !shard_.expired(); }
 
  private:
   friend class BatchingServer;
-  explicit ModelHandle(void* shard) : shard_(shard) {}
-  void* shard_ = nullptr;
+  explicit ModelHandle(std::weak_ptr<detail::Shard> shard)
+      : shard_(std::move(shard)) {}
+  std::weak_ptr<detail::Shard> shard_;
 };
 
 class BatchingServer {
@@ -73,7 +130,8 @@ class BatchingServer {
   // Registers a model id with one worker thread per replica. Replicas must
   // be calibrated graphs with identical IO shapes (runtime::replicate or
   // load_graph produce them); an uncalibrated replica fails HERE, not in a
-  // worker thread. Must precede start().
+  // worker thread. Must precede start(). The first replica's program,
+  // options and edge-scale snapshot become the shard's restore template.
   void add_model(const std::string& model_id,
                  std::vector<runtime::CompiledGraph> replicas);
 
@@ -85,19 +143,31 @@ class BatchingServer {
                                int replicas, bool pooled = false);
 
   // Launches the shard workers and runs their warmup forwards; after this
-  // the steady-state request path performs zero heap allocations.
+  // the steady-state request path performs zero heap allocations. Warmup
+  // failures rethrow here, synchronously.
   void start();
-  // Drains queued requests, then joins the workers. Idempotent.
+  // Drains queued requests (bounded by drain_deadline_us), then joins the
+  // workers; anything still queued past the deadline — or left behind by
+  // quarantined workers — completes with kShuttingDown. Idempotent.
   void stop();
 
   // Resolves a model id once; infer(handle, ...) routes without a registry
   // lookup. Throws for unknown ids.
   ModelHandle handle(const std::string& model_id) const;
 
-  // Blocking single-sample inference: `sample` holds channels*height*width
-  // floats, `logits` receives out_features floats. Thread-safe; any number
-  // of producers may call concurrently.
-  void infer(ModelHandle handle, const float* sample, float* logits);
+  // Non-throwing single-sample inference. `sample` holds
+  // channels*height*width floats; `logits` receives out_features floats
+  // (written only on kOk). `deadline_us` bounds the WHOLE call — queueing
+  // (including backpressure waits) and service; < 0 means no deadline. A
+  // request whose deadline expires while still queued is cancelled and
+  // reported kTimeout; once a worker has picked it up, the call waits out
+  // the in-flight batch (one bounded forward) and reports its outcome.
+  // Thread-safe; any number of producers may call concurrently.
+  ServeStatus try_infer(const ModelHandle& handle, const float* sample,
+                        float* logits, std::int64_t deadline_us = -1);
+
+  // Blocking convenience wrappers: throw check_error on any non-kOk status.
+  void infer(const ModelHandle& handle, const float* sample, float* logits);
   void infer(const std::string& model_id, const float* sample,
              float* logits);
 
@@ -107,12 +177,20 @@ class BatchingServer {
       const std::string& model_id) const;
 
   struct ShardStats {
-    std::uint64_t requests = 0;
+    std::uint64_t requests = 0;  // admitted into the ring
     std::uint64_t batches = 0;
     std::uint64_t full_flushes = 0;   // batch reached max_batch
     std::uint64_t timer_flushes = 0;  // latency bound fired first
     std::uint64_t drain_flushes = 0;  // partial batch popped by stop()
     std::int64_t max_batch_observed = 0;
+    // Failure semantics.
+    std::uint64_t rejected = 0;   // kShuttingDown / kShardFailed outcomes
+    std::uint64_t timed_out = 0;  // kTimeout outcomes (deadline expired)
+    std::uint64_t shed = 0;       // kOverloaded fast-rejects
+    std::uint64_t quarantines = 0;  // replica failures entering quarantine
+    std::uint64_t restores = 0;     // successful backoff rebuilds
+    int replicas_quarantined = 0;   // gauge: currently restoring
+    int replicas_dead = 0;          // gauge: restore attempts exhausted
   };
   ShardStats stats(const std::string& model_id) const;
 
@@ -126,12 +204,12 @@ class BatchingServer {
   const ServerOptions& options() const { return options_; }
 
  private:
-  struct Shard;
-
-  Shard& shard_for(const std::string& model_id) const;
+  detail::Shard& shard_for(const std::string& model_id) const;
+  const std::shared_ptr<detail::Shard>& shard_ptr_for(
+      const std::string& model_id) const;
 
   ServerOptions options_;
-  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::shared_ptr<detail::Shard>> shards_;
   bool started_ = false;
 };
 

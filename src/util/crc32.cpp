@@ -1,0 +1,33 @@
+#include "util/crc32.h"
+
+#include <array>
+
+namespace csq {
+
+namespace {
+
+std::array<std::uint32_t, 256> build_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t value = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      value = (value >> 1) ^ ((value & 1u) ? 0xEDB88320u : 0u);
+    }
+    table[i] = value;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t size, std::uint32_t seed) {
+  static const std::array<std::uint32_t, 256> table = build_table();
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint32_t crc = ~seed;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = (crc >> 8) ^ table[(crc ^ bytes[i]) & 0xFFu];
+  }
+  return ~crc;
+}
+
+}  // namespace csq

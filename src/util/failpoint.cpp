@@ -1,0 +1,107 @@
+#include "util/failpoint.h"
+
+#include <mutex>
+#include <unordered_map>
+
+namespace csq {
+namespace fail {
+
+namespace detail {
+std::atomic<int> armed_count{0};
+}  // namespace detail
+
+namespace {
+
+struct PointState {
+  Policy policy = Policy::kOff;
+  std::uint64_t n = 1;
+  std::uint64_t evaluations = 0;
+  std::uint64_t triggers = 0;
+};
+
+// All registry state behind one mutex: failpoints are a test-only facility,
+// and the hot-path gate (detail::armed_count) keeps unarmed production code
+// away from this lock entirely.
+struct Registry {
+  std::mutex mutex;
+  std::unordered_map<std::string, PointState> points;
+};
+
+Registry& registry() {
+  static Registry* instance = new Registry();  // leaked: outlives all users
+  return *instance;
+}
+
+}  // namespace
+
+void arm(const std::string& point, Policy policy, std::uint64_t n) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  auto [it, inserted] = reg.points.insert_or_assign(point, PointState{});
+  it->second.policy = policy;
+  it->second.n = n == 0 ? 1 : n;
+  if (inserted) {
+    detail::armed_count.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void disarm(const std::string& point) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  if (reg.points.erase(point) > 0) {
+    detail::armed_count.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void disarm_all() {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  detail::armed_count.fetch_sub(static_cast<int>(reg.points.size()),
+                                std::memory_order_relaxed);
+  reg.points.clear();
+}
+
+std::uint64_t evaluations(const std::string& point) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  const auto it = reg.points.find(point);
+  return it == reg.points.end() ? 0 : it->second.evaluations;
+}
+
+std::uint64_t triggers(const std::string& point) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  const auto it = reg.points.find(point);
+  return it == reg.points.end() ? 0 : it->second.triggers;
+}
+
+namespace detail {
+
+bool should_trigger(const char* point) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  const auto it = reg.points.find(point);
+  if (it == reg.points.end()) return false;
+  PointState& state = it->second;
+  ++state.evaluations;
+  bool fire = false;
+  switch (state.policy) {
+    case Policy::kOff:
+      break;
+    case Policy::kOnce:
+      fire = state.triggers == 0;
+      break;
+    case Policy::kEveryN:
+      fire = state.evaluations % state.n == 0;
+      break;
+    case Policy::kAfterN:
+      fire = state.evaluations > state.n;
+      break;
+  }
+  if (fire) ++state.triggers;
+  return fire;
+}
+
+}  // namespace detail
+}  // namespace fail
+}  // namespace csq

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "util/check.h"
+#include "util/failpoint.h"
 
 namespace csq {
 
@@ -99,6 +100,10 @@ void ThreadPool::parallel_for_chunked(
     std::int64_t begin, std::int64_t end,
     const std::function<void(std::int64_t, std::int64_t)>& fn) {
   if (begin >= end) return;
+  // Fault-injection site: a failed submission surfaces on the calling
+  // thread exactly like a kernel exception (the serving layer quarantines
+  // the replica whose forward it interrupted).
+  CSQ_FAILPOINT("threadpool.submit");
   const std::int64_t count = end - begin;
   const int threads = num_threads();
   // Aim for ~4 chunks per thread so a straggler does not serialize the tail.
