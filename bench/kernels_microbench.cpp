@@ -17,6 +17,12 @@
 //   BENCH_serve.json       — the batching server (serve/batching_server.h)
 //     under closed-loop producer threads: throughput and p50/p99 request
 //     latency vs offered load (producer count) and max_batch.
+//   BENCH_train_scaling.json — deterministic data-parallel training
+//     (opt/data_parallel.h): mean step latency and speedup at 1/2/4/8
+//     workers on a fixed shard grid, with a bit-identity re-check.
+// Every report opens with a "machine" context block (hardware threads, pool
+// threads, CSQ_THREADS, portable build) so numbers are never compared
+// across hosts by accident.
 // `--smoke` runs every report in a 1-iteration mode and exits — the ctest
 // entry uses it so CI catches bench bitrot.
 #include <benchmark/benchmark.h>
@@ -32,16 +38,20 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "core/csq_weight.h"
 #include "core/gate.h"
+#include "data/dataset.h"
 #include "nn/blocks.h"
 #include "nn/conv2d.h"
 #include "nn/models.h"
+#include "nn/parameter_arena.h"
 #include "nn/weight_source.h"
+#include "opt/data_parallel.h"
 #include "opt/sgd.h"
 #include "runtime/compiled_graph.h"
 #include "runtime/packed_weights.h"
@@ -64,6 +74,31 @@ Tensor random_tensor(std::vector<std::int64_t> shape, Rng& rng) {
   Tensor tensor(std::move(shape));
   fill_uniform(tensor, -1.0f, 1.0f, rng);
   return tensor;
+}
+
+// Machine-context block stamped into every BENCH_*.json so numbers are never
+// compared across hosts (or across tuned vs portable builds) by accident:
+// the container this repo is usually benched in has a single hardware
+// thread, which caps every parallel speedup at 1x.
+std::string machine_context_json() {
+  std::ostringstream os;
+  os << "\"machine\": {\"hardware_threads\": "
+     << std::thread::hardware_concurrency()
+     << ", \"pool_threads\": " << global_pool().num_threads()
+     << ", \"csq_threads_env\": ";
+  if (const char* env = std::getenv("CSQ_THREADS")) {
+    os << '"' << env << '"';
+  } else {
+    os << "null";
+  }
+  os << ", \"portable_build\": "
+#ifdef CSQ_PORTABLE_BUILD
+     << "true"
+#else
+     << "false"
+#endif
+     << "}";
+  return os.str();
 }
 
 void BM_GemmNN(benchmark::State& state) {
@@ -281,7 +316,8 @@ void write_materialize_report(const std::string& path, double min_ms = 120.0) {
     return;
   }
   const std::int64_t elements = 64 * 64 * 3 * 3;
-  out << "{\n  \"layer\": \"64x64x3x3\",\n  \"elements\": " << elements
+  out << "{\n  " << machine_context_json()
+      << ",\n  \"layer\": \"64x64x3x3\",\n  \"elements\": " << elements
       << ",\n  \"threads\": " << global_pool().num_threads()
       << ",\n  \"results\": [\n";
   bool first = true;
@@ -409,7 +445,8 @@ void write_gemm_report(const std::string& path, double min_ms) {
       {"conv64x32x32_igrad_tn", Trans::yes, Trans::no, 576, 1024, 64},
       {"conv128x16x16_fwd_nn", Trans::no, Trans::no, 128, 256, 1152},
   };
-  out << "{\n  \"threads\": " << global_pool().num_threads()
+  out << "{\n  " << machine_context_json()
+      << ",\n  \"threads\": " << global_pool().num_threads()
       << ",\n  \"problems\": [\n";
   bool first = true;
   for (const GemmProblem& p : problems) {
@@ -492,7 +529,8 @@ void write_step_report(const std::string& path, int steps) {
     return;
   }
   const std::int64_t batch = 8, channels = 16, side = 16;
-  out << "{\n  \"block\": \"resnet20-basic-" << channels << "ch\""
+  out << "{\n  " << machine_context_json()
+      << ",\n  \"block\": \"resnet20-basic-" << channels << "ch\""
       << ",\n  \"batch\": " << batch << ",\n  \"image\": \"" << side << "x"
       << side << "\",\n  \"threads\": " << global_pool().num_threads()
       << ",\n  \"variants\": [\n";
@@ -615,7 +653,8 @@ void write_infer_report(const std::string& path, int iterations) {
             << "): planned " << graph.workspace_bytes() << " B vs per-edge "
             << baseline_workspace << " B\n";
 
-  out << "{\n  \"model\": \"resnet20-w16-csq3b\",\n  \"image\": \"" << side << "x"
+  out << "{\n  " << machine_context_json()
+      << ",\n  \"model\": \"resnet20-w16-csq3b\",\n  \"image\": \"" << side << "x"
       << side << "\",\n  \"threads\": " << global_pool().num_threads()
       << ",\n  \"workspace_batch\": " << max_batch
       << ",\n  \"workspace_bytes\": " << graph.workspace_bytes()
@@ -835,7 +874,8 @@ void write_serve_report(const std::string& path, int requests_per_producer) {
   Tensor samples = random_tensor({kSamples, 3, side, side}, data_rng);
   const std::int64_t sample_numel = 3 * side * side;
 
-  out << "{\n  \"model\": \"resnet20-w16-csq3b\",\n  \"image\": \"" << side
+  out << "{\n  " << machine_context_json()
+      << ",\n  \"model\": \"resnet20-w16-csq3b\",\n  \"image\": \"" << side
       << "x" << side << "\",\n  \"threads\": " << global_pool().num_threads()
       << ",\n  \"replicas\": 2,\n  \"configs\": [\n";
   bool first = true;
@@ -1006,6 +1046,97 @@ void write_serve_report(const std::string& path, int requests_per_producer) {
   std::cout << "wrote " << path << "\n";
 }
 
+// ------------------------------------------------- train-scaling report --
+
+// Data-parallel training throughput: mean optimizer-step latency of a CSQ
+// ResNet (depth 8, width 16) over a fixed 64-row batch at 1/2/4/8 workers.
+// The shard grid is fixed (8 shards) regardless of worker count, so every
+// row is running the SAME arithmetic — the report also re-checks the
+// determinism contract by comparing final parameter bytes against the
+// 1-worker run. Speedups are bounded by the machine context above: on a
+// single-hardware-thread container every row lands near 1x.
+void write_train_scaling_report(const std::string& path, int steps) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "could not open " << path << " for writing; skipping the "
+              << "train-scaling report\n";
+    return;
+  }
+  const std::int64_t batch_rows = 64, side = 16;
+  Rng data_rng(71);
+  Batch batch;
+  batch.images = random_tensor({batch_rows, 3, side, side}, data_rng);
+  batch.labels.resize(static_cast<std::size_t>(batch_rows));
+  for (auto& label : batch.labels) {
+    label = static_cast<int>(data_rng.uniform(0.0f, 9.999f));
+  }
+
+  const auto build_model = [] {
+    Rng rng(72);
+    ModelConfig config;
+    config.base_width = 16;
+    std::vector<CsqWeightSource*> registry;
+    Model model = make_resnet_cifar(8, config, csq_weight_factory(&registry),
+                                    nullptr, rng);
+    for (CsqWeightSource* source : registry) source->set_beta(8.0f);
+    return model;
+  };
+
+  out << "{\n  " << machine_context_json()
+      << ",\n  \"model\": \"resnet8-w16-csq\",\n  \"batch\": " << batch_rows
+      << ",\n  \"image\": \"" << side << "x" << side
+      << "\",\n  \"shards\": " << kDefaultTrainShards
+      << ",\n  \"steps\": " << steps << ",\n  \"workers\": [\n";
+
+  std::vector<float> reference_values;
+  double reference_ms = 0.0;
+  bool first = true;
+  for (const int workers : {1, 2, 4, 8}) {
+    Model model = build_model();
+    DataParallelConfig dp_config;
+    dp_config.workers = workers;
+    DataParallelTrainer trainer(model, build_model, dp_config);
+    SgdConfig sgd_config;
+    sgd_config.learning_rate = 0.05f;
+    sgd_config.momentum = 0.9f;
+    Sgd optimizer(model.arena(), sgd_config);
+
+    for (int i = 0; i < 2; ++i) trainer.train_step(batch, optimizer);
+
+    using clock = std::chrono::steady_clock;
+    const auto start = clock::now();
+    for (int i = 0; i < steps; ++i) trainer.train_step(batch, optimizer);
+    const auto stop = clock::now();
+    const double step_ms =
+        std::chrono::duration<double, std::milli>(stop - start).count() /
+        static_cast<double>(steps);
+
+    const ParameterArena& arena = model.arena();
+    bool bit_identical = true;
+    if (workers == 1) {
+      reference_values.assign(arena.values(), arena.values() + arena.size());
+      reference_ms = step_ms;
+    } else {
+      bit_identical =
+          std::memcmp(reference_values.data(), arena.values(),
+                      reference_values.size() * sizeof(float)) == 0;
+    }
+
+    if (!first) out << ",\n";
+    first = false;
+    out << "    {\"workers\": " << workers
+        << ", \"mean_step_ms\": " << step_ms
+        << ", \"speedup\": " << reference_ms / step_ms
+        << ", \"bit_identical_to_serial\": "
+        << (bit_identical ? "true" : "false") << "}";
+    std::cout << "train scaling x" << workers << ": " << step_ms
+              << " ms/step (x" << reference_ms / step_ms
+              << "), bit_identical=" << bit_identical << "\n";
+  }
+  out << "\n  ]\n}\n";
+  std::cout << "wrote " << path << "\n";
+}
+
 void register_materialize_benchmarks() {
   for (const MaterializeFamily& family : materialize_families()) {
     for (const bool pooled : {false, true}) {
@@ -1061,6 +1192,7 @@ int main(int argc, char** argv) {
     csq::write_materialize_report("BENCH_materialize.json", /*min_ms=*/1.0);
     csq::write_infer_report("BENCH_infer.json", /*iterations=*/1);
     csq::write_serve_report("BENCH_serve.json", /*requests_per_producer=*/4);
+    csq::write_train_scaling_report("BENCH_train_scaling.json", /*steps=*/1);
     return 0;
   }
   csq::register_materialize_benchmarks();
@@ -1079,6 +1211,7 @@ int main(int argc, char** argv) {
     csq::write_infer_report("BENCH_infer.json", /*iterations=*/40);
     csq::write_serve_report("BENCH_serve.json",
                             /*requests_per_producer=*/150);
+    csq::write_train_scaling_report("BENCH_train_scaling.json", /*steps=*/20);
   }
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

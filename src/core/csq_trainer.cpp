@@ -1,5 +1,7 @@
 #include "core/csq_trainer.h"
 
+#include <memory>
+
 #include "util/check.h"
 #include "util/logging.h"
 
@@ -9,19 +11,47 @@ CsqTrainResult train_csq(Model& model,
                          const std::vector<CsqWeightSource*>& sources,
                          const InMemoryDataset& train_data,
                          const InMemoryDataset& test_data,
-                         const CsqTrainConfig& config) {
+                         const CsqTrainConfig& config,
+                         const DataParallelTrainer::ModelFactory&
+                             replica_factory) {
   CSQ_CHECK(!sources.empty()) << "train_csq: no CSQ weight sources";
   CSQ_CHECK(config.train.epochs >= 1) << "train_csq: bad epoch count";
 
   CsqTrainResult result;
+
+  // Data-parallel setup: the arena broadcast keeps parameters synchronized,
+  // but scheme-level state (temperature, frozen masks) lives outside the
+  // parameters, so every schedule action below is mirrored to the replica
+  // sources as well.
+  std::unique_ptr<DataParallelTrainer> dp;
+  std::vector<CsqWeightSource*> mirror_sources;
+  if (config.data_parallel.workers > 1) {
+    dp = std::make_unique<DataParallelTrainer>(model, replica_factory,
+                                               config.data_parallel);
+    dp->for_each_replica([&mirror_sources](Model& replica) {
+      for (const QuantLayer& layer : replica.quant_layers()) {
+        if (auto* source = dynamic_cast<CsqWeightSource*>(layer.source)) {
+          mirror_sources.push_back(source);
+        }
+      }
+    });
+    CSQ_CHECK(mirror_sources.size() ==
+              sources.size() * (static_cast<std::size_t>(
+                                    config.data_parallel.workers) -
+                                1))
+        << "train_csq: replica factory produced a different CSQ layer set";
+  }
+  const auto set_all_beta = [&](float beta) {
+    for (CsqWeightSource* source : sources) source->set_beta(beta);
+    for (CsqWeightSource* source : mirror_sources) source->set_beta(beta);
+  };
 
   // ---- Joint phase: bi-level training under the budget regularizer ----
   const TemperatureSchedule joint_schedule(config.beta0, config.beta_max,
                                            config.train.epochs);
   FitHooks hooks;
   hooks.on_epoch_begin = [&](int epoch) {
-    const float beta = joint_schedule.at_epoch(epoch);
-    for (CsqWeightSource* source : sources) source->set_beta(beta);
+    set_all_beta(joint_schedule.at_epoch(epoch));
   };
   hooks.before_step = [&]() {
     apply_budget_regularizer(sources, config.lambda, config.target_bits);
@@ -29,10 +59,13 @@ CsqTrainResult train_csq(Model& model,
   hooks.on_epoch_end = [&](int, float, float) {
     result.precision_trajectory.push_back(average_precision(sources));
   };
-  result.joint_phase = fit(model, train_data, test_data, config.train, hooks);
+  result.joint_phase =
+      dp ? fit(*dp, train_data, test_data, config.train, hooks)
+         : fit(model, train_data, test_data, config.train, hooks);
 
   // ---- Optional finetune phase: frozen scheme, rewound temperature ----
   for (CsqWeightSource* source : sources) source->freeze_mask();
+  for (CsqWeightSource* source : mirror_sources) source->freeze_mask();
   if (config.finetune_epochs > 0) {
     const TemperatureSchedule finetune_schedule(
         config.beta0, config.beta_max, config.finetune_epochs);
@@ -43,11 +76,12 @@ CsqTrainResult train_csq(Model& model,
 
     FitHooks finetune_hooks;
     finetune_hooks.on_epoch_begin = [&](int epoch) {
-      const float beta = finetune_schedule.at_epoch(epoch);
-      for (CsqWeightSource* source : sources) source->set_beta(beta);
+      set_all_beta(finetune_schedule.at_epoch(epoch));
     };
     result.finetune_phase =
-        fit(model, train_data, test_data, finetune_config, finetune_hooks);
+        dp ? fit(*dp, train_data, test_data, finetune_config, finetune_hooks)
+           : fit(model, train_data, test_data, finetune_config,
+                 finetune_hooks);
   }
 
   // ---- Finalization: exact quantized model ----------------------------
@@ -68,7 +102,8 @@ CsqTrainResult train_csq(Model& model,
 
   log_debug() << "csq: finalized avg_bits=" << result.average_bits
               << " acc=" << result.test_accuracy
-              << "% (soft " << result.soft_test_accuracy << "%)";
+              << "% (soft " << result.soft_test_accuracy << "%)"
+              << (dp ? " [data-parallel]" : "");
   return result;
 }
 

@@ -18,6 +18,7 @@
 #include "core/csq_weight.h"
 #include "data/dataset.h"
 #include "nn/model.h"
+#include "opt/data_parallel.h"
 #include "opt/trainer.h"
 
 namespace csq {
@@ -30,6 +31,9 @@ struct CsqTrainConfig {
   double target_bits = 3.0;     // precision budget
   float beta0 = 1.0f;
   float beta_max = 200.0f;      // paper Algorithm 1
+  // workers > 1 runs both phases data-parallel (opt/data_parallel.h); the
+  // result is bit-identical to workers == 1 on the same shard grid.
+  DataParallelConfig data_parallel;
 };
 
 struct CsqTrainResult {
@@ -52,10 +56,15 @@ struct CsqTrainResult {
 
 // Trains a model whose quantizable layers were built with
 // csq_weight_factory(&sources). The model must contain at least one source.
-CsqTrainResult train_csq(Model& model,
-                         const std::vector<CsqWeightSource*>& sources,
-                         const InMemoryDataset& train_data,
-                         const InMemoryDataset& test_data,
-                         const CsqTrainConfig& config);
+// When config.data_parallel.workers > 1, `replica_factory` must rebuild the
+// model identically (same builder and seed; see opt/data_parallel.h) — the
+// trainer mirrors the temperature schedule and mask freezing to every
+// replica's CSQ sources so scheme state stays in lockstep with the
+// broadcast parameters.
+CsqTrainResult train_csq(
+    Model& model, const std::vector<CsqWeightSource*>& sources,
+    const InMemoryDataset& train_data, const InMemoryDataset& test_data,
+    const CsqTrainConfig& config,
+    const DataParallelTrainer::ModelFactory& replica_factory = nullptr);
 
 }  // namespace csq

@@ -170,4 +170,162 @@ std::int64_t model_storage_bits(
   return total;
 }
 
+// ---- training checkpoints -------------------------------------------------
+
+namespace {
+
+constexpr char kCheckpointMagic[4] = {'C', 'S', 'Q', 'C'};
+constexpr std::uint32_t kCheckpointVersionLegacy = 1;
+constexpr std::uint32_t kCheckpointVersion = 2;
+
+void write_checkpoint_header(std::ostream& out, std::uint32_t version,
+                             std::uint32_t param_count) {
+  out.write(kCheckpointMagic, sizeof(kCheckpointMagic));
+  write_pod(out, version);
+  write_pod(out, param_count);
+}
+
+void write_param_metadata(std::ostream& out, const Parameter& param) {
+  write_pod(out, static_cast<std::uint32_t>(param.name.size()));
+  out.write(param.name.data(),
+            static_cast<std::streamsize>(param.name.size()));
+  const std::vector<std::int64_t>& shape = param.value.shape();
+  write_pod(out, static_cast<std::uint32_t>(shape.size()));
+  for (const std::int64_t dim : shape) write_pod(out, dim);
+  write_pod(out, static_cast<std::uint8_t>(param.weight_decay ? 1 : 0));
+}
+
+// Validates one metadata record against the expected parameter and returns
+// its element count. The checkpoint must have been written from a model
+// with the identical parameter list.
+std::int64_t read_param_metadata(std::istream& in, const Parameter& param) {
+  const auto name_length = read_pod<std::uint32_t>(in);
+  CSQ_CHECK(name_length <= kMaxNameLength)
+      << "checkpoint: absurd name length";
+  std::string name(name_length, '\0');
+  in.read(name.data(), name_length);
+  CSQ_CHECK(static_cast<bool>(in)) << "checkpoint: truncated name";
+  CSQ_CHECK(name == param.name)
+      << "checkpoint: parameter mismatch — file has '" << name
+      << "', model expects '" << param.name << "'";
+
+  const auto rank = read_pod<std::uint32_t>(in);
+  CSQ_CHECK(rank <= kMaxRank) << "checkpoint: absurd rank";
+  std::vector<std::int64_t> shape(rank);
+  for (std::uint32_t d = 0; d < rank; ++d) {
+    shape[d] = read_pod<std::int64_t>(in);
+  }
+  CSQ_CHECK(shape == param.value.shape())
+      << "checkpoint: shape mismatch for " << param.name;
+
+  const auto decay = read_pod<std::uint8_t>(in);
+  CSQ_CHECK((decay != 0) == param.weight_decay)
+      << "checkpoint: weight-decay flag mismatch for " << param.name;
+  return shape_numel(shape);
+}
+
+}  // namespace
+
+bool save_checkpoint(const std::string& path, Model& model) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+
+  const ParameterArena& arena = model.arena();
+  const std::vector<ParameterArena::View>& views = arena.views();
+  write_checkpoint_header(out, kCheckpointVersion,
+                          static_cast<std::uint32_t>(views.size()));
+  for (const ParameterArena::View& view : views) {
+    write_param_metadata(out, *view.param);
+  }
+  // The whole payload is the arena value span — one contiguous write.
+  out.write(reinterpret_cast<const char*>(arena.values()),
+            static_cast<std::streamsize>(arena.size() *
+                                         static_cast<std::int64_t>(
+                                             sizeof(float))));
+  return static_cast<bool>(out);
+}
+
+bool save_checkpoint_per_tensor(const std::string& path, Model& model) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+
+  const std::vector<Parameter*>& params = model.parameters();
+  write_checkpoint_header(out, kCheckpointVersion,
+                          static_cast<std::uint32_t>(params.size()));
+  for (const Parameter* param : params) write_param_metadata(out, *param);
+  for (const Parameter* param : params) {
+    out.write(reinterpret_cast<const char*>(param->value.data()),
+              static_cast<std::streamsize>(param->value.numel() *
+                                           static_cast<std::int64_t>(
+                                               sizeof(float))));
+  }
+  return static_cast<bool>(out);
+}
+
+bool save_checkpoint_legacy(const std::string& path, Model& model) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+
+  const std::vector<Parameter*>& params = model.parameters();
+  write_checkpoint_header(out, kCheckpointVersionLegacy,
+                          static_cast<std::uint32_t>(params.size()));
+  for (const Parameter* param : params) {
+    write_param_metadata(out, *param);
+    out.write(reinterpret_cast<const char*>(param->value.data()),
+              static_cast<std::streamsize>(param->value.numel() *
+                                           static_cast<std::int64_t>(
+                                               sizeof(float))));
+  }
+  return static_cast<bool>(out);
+}
+
+void load_checkpoint(const std::string& path, Model& model) {
+  std::ifstream in(path, std::ios::binary);
+  CSQ_CHECK(static_cast<bool>(in)) << "checkpoint: cannot open " << path;
+
+  char magic[4] = {};
+  in.read(magic, sizeof(magic));
+  CSQ_CHECK(in && std::equal(magic, magic + 4, kCheckpointMagic))
+      << "checkpoint: bad magic";
+  const auto version = read_pod<std::uint32_t>(in);
+  CSQ_CHECK(version >= kCheckpointVersionLegacy &&
+            version <= kCheckpointVersion)
+      << "checkpoint: unsupported version " << version;
+
+  ParameterArena& arena = model.arena();
+  const std::vector<ParameterArena::View>& views = arena.views();
+  const auto param_count = read_pod<std::uint32_t>(in);
+  CSQ_CHECK(param_count == views.size())
+      << "checkpoint: file has " << param_count << " parameters, model has "
+      << views.size();
+
+  // Both versions carry the same floats in registration order; v1 merely
+  // interleaves them with the metadata. Assemble the flat span, then load
+  // it through the arena so every version bump happens in one place.
+  std::vector<float> values(static_cast<std::size_t>(arena.size()));
+  if (version == kCheckpointVersionLegacy) {
+    for (const ParameterArena::View& view : views) {
+      const std::int64_t count = read_param_metadata(in, *view.param);
+      CSQ_CHECK(count == view.count)
+          << "checkpoint: element count mismatch for " << view.param->name;
+      in.read(reinterpret_cast<char*>(values.data() + view.offset),
+              static_cast<std::streamsize>(count *
+                                           static_cast<std::int64_t>(
+                                               sizeof(float))));
+    }
+  } else {
+    for (const ParameterArena::View& view : views) {
+      const std::int64_t count = read_param_metadata(in, *view.param);
+      CSQ_CHECK(count == view.count)
+          << "checkpoint: element count mismatch for " << view.param->name;
+    }
+    in.read(reinterpret_cast<char*>(values.data()),
+            static_cast<std::streamsize>(arena.size() *
+                                         static_cast<std::int64_t>(
+                                             sizeof(float))));
+  }
+  CSQ_CHECK(static_cast<bool>(in)) << "checkpoint: truncated payload";
+  arena.load_values(values.data());
+}
+
 }  // namespace csq

@@ -52,6 +52,43 @@ std::vector<QuantizedLayerExport> load_quantized_model(
 // storage_bits); used to report deployment size.
 std::int64_t model_storage_bits(const std::vector<QuantizedLayerExport>& layers);
 
+// ---- training checkpoints (float parameter state) -------------------------
+//
+// Distinct container ("CSQC") for mid-training state: every Parameter's
+// float values in registration order. Format (little-endian):
+//   magic "CSQC" | u32 version | u32 param_count
+//   v1 (pre-arena, per-tensor interleaved):
+//     per param: u32 name_len | name | u32 ndim | i64 dims[ndim]
+//                | u8 weight_decay | f32 data[numel]
+//   v2 (arena, the format save_checkpoint writes):
+//     per param: u32 name_len | name | u32 ndim | i64 dims[ndim]
+//                | u8 weight_decay            (metadata table)
+//     f32 blob[total elements]               (one contiguous span)
+// Because arena offsets are the unpadded concatenation of the per-tensor
+// spans, the v2 blob is byte-identical whether it is written straight from
+// the arena (one write) or tensor by tensor — model_io_test asserts this.
+// v1 files keep loading: the payload is the same floats in the same order,
+// only interleaved with the metadata.
+
+// Saves every parameter of `model` as a v2 checkpoint. Binds the model's
+// arena (nn/parameter_arena.h); the value payload is ONE contiguous write
+// of the arena span. Returns false on I/O failure.
+bool save_checkpoint(const std::string& path, Model& model);
+
+// Same v2 bytes, written tensor by tensor without touching the arena —
+// the legacy path kept as the byte-identity oracle for save_checkpoint.
+bool save_checkpoint_per_tensor(const std::string& path, Model& model);
+
+// Writes the v1 (pre-arena) layout; used to produce back-compat fixtures.
+bool save_checkpoint_legacy(const std::string& path, Model& model);
+
+// Loads a v1 or v2 checkpoint into `model`, which must have an identical
+// parameter list (names, shapes, decay flags, order). Binds the arena and
+// loads through ParameterArena::load_values, so every Parameter's version
+// is bumped (dirty-flag contract). Throws check_error on mismatch or
+// malformed files.
+void load_checkpoint(const std::string& path, Model& model);
+
 // ---- low-level container sections ----------------------------------------
 //
 // Shared with the runtime graph-artifact writer (runtime/graph_artifact.cpp),

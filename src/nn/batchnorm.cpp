@@ -79,14 +79,21 @@ Tensor BatchNorm2d::forward(const Tensor& input, bool training) {
     const float inv_std = 1.0f / std::sqrt(safe_var + epsilon_);
     inv_std_data[c] = inv_std;
 
-    run_mean[c] = (1.0f - momentum_) * run_mean[c] + momentum_ * mean;
     // Unbiased variance for running stats (matches standard framework
     // behaviour); guard count==1.
     const float unbiased =
         count > 1 ? safe_var * static_cast<float>(count) /
                         static_cast<float>(count - 1)
                   : safe_var;
-    run_var[c] = (1.0f - momentum_) * run_var[c] + momentum_ * unbiased;
+    if (capture_mean_ != nullptr) {
+      // Capture mode: hand the stats to the data-parallel trainer for a
+      // shard-ordered replay instead of updating in place.
+      capture_mean_[c] = mean;
+      capture_var_[c] = unbiased;
+    } else {
+      run_mean[c] = (1.0f - momentum_) * run_mean[c] + momentum_ * mean;
+      run_var[c] = (1.0f - momentum_) * run_var[c] + momentum_ * unbiased;
+    }
 
     const float scale = gamma[c];
     const float shift = beta[c];
@@ -168,6 +175,23 @@ Tensor BatchNorm2d::backward(const Tensor& grad_output) {
 void BatchNorm2d::collect_parameters(std::vector<Parameter*>& out) {
   out.push_back(&gamma_);
   out.push_back(&beta_);
+}
+
+void BatchNorm2d::set_stat_capture(float* mean_out, float* var_out) {
+  CSQ_CHECK((mean_out == nullptr) == (var_out == nullptr))
+      << "batchnorm " << name() << ": capture spans must be set together";
+  capture_mean_ = mean_out;
+  capture_var_ = var_out;
+}
+
+void BatchNorm2d::replay_batch_stats(const float* mean,
+                                     const float* unbiased_var) {
+  float* run_mean = running_mean_.data();
+  float* run_var = running_var_.data();
+  for (std::int64_t c = 0; c < channels_; ++c) {
+    run_mean[c] = (1.0f - momentum_) * run_mean[c] + momentum_ * mean[c];
+    run_var[c] = (1.0f - momentum_) * run_var[c] + momentum_ * unbiased_var[c];
+  }
 }
 
 void BatchNorm2d::lower(GraphLowering& lowering) {

@@ -22,6 +22,20 @@ class BatchNorm2d final : public Module {
   const Tensor& gamma() const { return gamma_.value; }
   const Tensor& beta() const { return beta_.value; }
   float epsilon() const { return epsilon_; }
+  std::int64_t channels() const { return channels_; }
+
+  // Stat-capture mode for data-parallel micro-batch training: while set,
+  // a training forward writes the batch mean and UNBIASED variance (the
+  // values the running-stat update would consume) into the given spans
+  // (`channels` floats each) and leaves running_mean_/running_var_
+  // untouched. The trainer later replays the captured stats in shard order
+  // through replay_batch_stats(), reproducing the serial update sequence
+  // bit-for-bit at any worker count. Cleared with null pointers.
+  void set_stat_capture(float* mean_out, float* var_out);
+  // One running-stat update from captured stats:
+  //   running = (1 - momentum) * running + momentum * stat
+  // — identical arithmetic to the in-forward update.
+  void replay_batch_stats(const float* mean, const float* unbiased_var);
 
  private:
   std::int64_t channels_;
@@ -32,6 +46,10 @@ class BatchNorm2d final : public Module {
   Parameter beta_;
   Tensor running_mean_;
   Tensor running_var_;
+
+  // Stat-capture spans (null -> normal in-forward running-stat update).
+  float* capture_mean_ = nullptr;
+  float* capture_var_ = nullptr;
 
   // Training caches.
   Tensor cached_xhat_;     // normalized input

@@ -136,6 +136,14 @@ void BasicBlock::collect_parameters(std::vector<Parameter*>& out) {
   if (out_act_quant_) out_act_quant_->collect_parameters(out);
 }
 
+void BasicBlock::for_each_module(const std::function<void(Module&)>& fn) {
+  fn(*this);
+  main_.for_each_module(fn);
+  if (downsample_) downsample_->for_each_module(fn);
+  out_relu_->for_each_module(fn);
+  if (out_act_quant_) out_act_quant_->for_each_module(fn);
+}
+
 void BasicBlock::lower(GraphLowering& lowering) {
   block_lower(lowering, main_, downsample_.get(), *out_relu_,
               out_act_quant_.get());
@@ -203,6 +211,14 @@ void Bottleneck::collect_parameters(std::vector<Parameter*>& out) {
   main_.collect_parameters(out);
   if (downsample_) downsample_->collect_parameters(out);
   if (out_act_quant_) out_act_quant_->collect_parameters(out);
+}
+
+void Bottleneck::for_each_module(const std::function<void(Module&)>& fn) {
+  fn(*this);
+  main_.for_each_module(fn);
+  if (downsample_) downsample_->for_each_module(fn);
+  out_relu_->for_each_module(fn);
+  if (out_act_quant_) out_act_quant_->for_each_module(fn);
 }
 
 void Bottleneck::lower(GraphLowering& lowering) {

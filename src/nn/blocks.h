@@ -37,6 +37,7 @@ class BasicBlock final : public Module {
   Tensor forward(const Tensor& input, bool training) override;
   Tensor backward(const Tensor& grad_output) override;
   void collect_parameters(std::vector<Parameter*>& out) override;
+  void for_each_module(const std::function<void(Module&)>& fn) override;
   const char* kind() const override { return "basic_block"; }
   void lower(GraphLowering& lowering) override;
 
@@ -58,6 +59,7 @@ class Bottleneck final : public Module {
   Tensor forward(const Tensor& input, bool training) override;
   Tensor backward(const Tensor& grad_output) override;
   void collect_parameters(std::vector<Parameter*>& out) override;
+  void for_each_module(const std::function<void(Module&)>& fn) override;
   const char* kind() const override { return "bottleneck"; }
   void lower(GraphLowering& lowering) override;
 

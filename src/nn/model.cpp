@@ -17,6 +17,8 @@ WeightSourceFactory Model::recording_factory(WeightSourceFactory base) {
 
 void Model::set_root(ModulePtr root) {
   CSQ_CHECK(root != nullptr) << "set_root: null module";
+  CSQ_CHECK(arena_ == nullptr)
+      << "set_root after arena binding would orphan the bound views";
   root_ = std::move(root);
   parameters_.clear();
   parameters_collected_ = false;
@@ -44,7 +46,18 @@ const std::vector<Parameter*>& Model::parameters() {
 }
 
 void Model::zero_grad() {
+  if (arena_ != nullptr) {
+    arena_->zero_grads();
+    return;
+  }
   for (Parameter* param : parameters()) param->zero_grad();
+}
+
+ParameterArena& Model::arena() {
+  if (arena_ == nullptr) {
+    arena_ = std::make_unique<ParameterArena>(parameters());
+  }
+  return *arena_;
 }
 
 std::int64_t Model::total_weight_count() const {

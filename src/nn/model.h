@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "nn/module.h"
+#include "nn/parameter_arena.h"
 #include "nn/weight_source.h"
 
 namespace csq {
@@ -36,9 +37,22 @@ class Model {
   Tensor forward(const Tensor& input, bool training);
   Tensor backward(const Tensor& grad_output);
 
+  // Depth-first module walk (Module::for_each_module) from the root.
+  void for_each_module(const std::function<void(Module&)>& fn) {
+    root().for_each_module(fn);
+  }
+
   // Flat parameter list (collected once; stable for the model's lifetime).
   const std::vector<Parameter*>& parameters();
   void zero_grad();
+
+  // Flat parameter arena over parameters(), bound lazily on first call.
+  // Binding rebinds every Parameter's value/grad to an arena view (see
+  // nn/parameter_arena.h) — transparent to modules, but callers that cache
+  // raw data() pointers across the first arena() call would go stale, so
+  // the optimizer/checkpoint/data-parallel layers bind before training.
+  ParameterArena& arena();
+  bool has_arena() const { return arena_ != nullptr; }
 
   const std::vector<QuantLayer>& quant_layers() const { return quant_layers_; }
 
@@ -53,6 +67,8 @@ class Model {
   ModulePtr root_;
   std::vector<Parameter*> parameters_;
   bool parameters_collected_ = false;
+  // unique_ptr keeps the arena's spans address-stable across Model moves.
+  std::unique_ptr<ParameterArena> arena_;
   std::vector<QuantLayer> quant_layers_;
 };
 

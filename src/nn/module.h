@@ -9,6 +9,7 @@
 // differentiable, no STE" claim rests on.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -39,6 +40,16 @@ class Module {
   // Appends raw pointers to this module's trainable parameters. Pointers
   // stay valid for the module's lifetime (parameters are owned members).
   virtual void collect_parameters(std::vector<Parameter*>& out) { (void)out; }
+
+  // Visits this module and every descendant, depth-first in registration
+  // order (the collect_parameters order). Containers override; leaves get
+  // the default self-only visit. The data-parallel trainer uses this to
+  // pair up stateful modules (batch norms) across model replicas — the
+  // deterministic order is what aligns replica k's i-th module with the
+  // primary's i-th.
+  virtual void for_each_module(const std::function<void(Module&)>& fn) {
+    fn(*this);
+  }
 
   // Short type tag ("conv2d", "relu", ...) for debug printouts.
   virtual const char* kind() const = 0;

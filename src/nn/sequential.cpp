@@ -26,4 +26,9 @@ void Sequential::collect_parameters(std::vector<Parameter*>& out) {
   for (auto& module : modules_) module->collect_parameters(out);
 }
 
+void Sequential::for_each_module(const std::function<void(Module&)>& fn) {
+  fn(*this);
+  for (auto& module : modules_) module->for_each_module(fn);
+}
+
 }  // namespace csq

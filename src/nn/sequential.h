@@ -24,6 +24,7 @@ class Sequential final : public Module {
   Tensor forward(const Tensor& input, bool training) override;
   Tensor backward(const Tensor& grad_output) override;
   void collect_parameters(std::vector<Parameter*>& out) override;
+  void for_each_module(const std::function<void(Module&)>& fn) override;
   const char* kind() const override { return "sequential"; }
   void lower(GraphLowering& lowering) override;
 

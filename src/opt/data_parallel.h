@@ -1,0 +1,177 @@
+// Deterministic data-parallel training over model replicas.
+//
+// One optimizer step processes a batch as a FIXED grid of micro-batch
+// shards; each shard runs a full forward/backward on one replica, the
+// per-shard gradients are combined by a chunk-ordered pairwise tree
+// reduction (tensor/quant_kernels.h tree_reduce_spans) into the primary
+// model's gradient arena, and the optimizer steps the primary once. The
+// updated values are broadcast back to every replica through the flat
+// parameter arenas (nn/parameter_arena.h).
+//
+// Determinism contract — the point of the design: the numerical result of a
+// step depends only on the batch and the shard grid, NOT on the worker
+// count. Three mechanisms enforce it:
+//   1. The shard grid is fixed by the micro-batch size alone (worker count
+//      never enters the partition), so every worker count sees the same
+//      per-shard forward/backward problems.
+//   2. Each shard's kernels run serially on its worker thread
+//      (util/thread_pool.h SerialExecutionGuard) and every reduction kernel
+//      walks the same fixed chunk grid, so per-shard gradients are
+//      bit-identical regardless of which thread computed them.
+//   3. Gradients combine by a pairwise tree whose shape depends only on the
+//      shard count, BatchNorm running statistics are captured per shard and
+//      replayed in shard order (nn/batchnorm.h), and the per-shard losses
+//      combine in shard order on the calling thread.
+// Hence workers=1 and workers=8 produce byte-identical models, and the
+// degenerate single-shard grid (micro_batch >= batch size) is bit-identical
+// to the classic serial train_one_epoch step.
+//
+// Replica state: parameters are re-synchronized every step via the arena
+// broadcast. Non-parameter quantizer state (e.g. the LQ-Nets basis) stays
+// in lockstep because every replica performs exactly one materialization
+// per step — replicas left without a shard by a small final batch run a
+// state-advance pass — and each training materialization is a deterministic
+// function of the (synchronized) parameters plus the previous state. For
+// that induction to hold from step one, the replica factory must rebuild
+// the model identically (same builder, same seed) and the trainer must be
+// constructed while primary and factory-built models agree on that
+// non-parameter state (in practice: before training starts, or right after
+// a checkpoint load on both sides).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "data/dataset.h"
+#include "nn/batchnorm.h"
+#include "nn/model.h"
+#include "nn/softmax_ce.h"
+#include "opt/sgd.h"
+#include "opt/trainer.h"
+
+namespace csq {
+
+struct DataParallelConfig {
+  // Worker threads (including the calling thread). workers - 1 replicas are
+  // built from the factory; worker w drives replica w, shard s runs on
+  // replica s % workers.
+  int workers = 1;
+  // Micro-batch rows per shard. 0 selects ceil(B / kDefaultTrainShards) per
+  // batch, giving at most kDefaultTrainShards shards. The resulting shard
+  // count must not exceed kMaxReduceSpans (tensor/quant_kernels.h).
+  std::int64_t micro_batch = 0;
+};
+
+// Default shard-grid size when micro_batch is left at 0: enough shards to
+// feed 8 workers, few enough that tiny CIFAR batches keep useful shard
+// sizes.
+inline constexpr int kDefaultTrainShards = 8;
+
+class DataParallelTrainer {
+ public:
+  using ModelFactory = std::function<Model()>;
+
+  // `primary` is replica 0 and the model the optimizer steps; it must
+  // outlive the trainer. `replica_factory` is invoked workers - 1 times and
+  // must produce models with an identical parameter layout (checked via
+  // ParameterArena::layout_matches). Binds the primary's arena.
+  DataParallelTrainer(Model& primary, const ModelFactory& replica_factory,
+                      const DataParallelConfig& config);
+  ~DataParallelTrainer();
+
+  DataParallelTrainer(const DataParallelTrainer&) = delete;
+  DataParallelTrainer& operator=(const DataParallelTrainer&) = delete;
+
+  struct StepStats {
+    float loss = 0.0f;  // batch mean loss (shard-weighted)
+    int correct = 0;    // top-1 matches in the batch
+  };
+
+  // One optimizer step over `batch`: shard, forward/backward per shard,
+  // tree-reduce gradients into the primary arena, run `before_step` (budget
+  // regularizers), step the optimizer, broadcast values to the replicas.
+  // `optimizer` must be the arena-backed Sgd over primary().arena().
+  StepStats train_step(const Batch& batch, Sgd& optimizer,
+                       const std::function<void()>& before_step = {});
+
+  Model& primary() { return *primary_; }
+  int workers() const { return workers_; }
+
+  // Visits the worker replicas (NOT the primary) — used to mirror
+  // scheme-level state the arena broadcast cannot carry (temperature,
+  // frozen masks).
+  void for_each_replica(const std::function<void(Model&)>& fn);
+
+ private:
+  struct Replica {
+    Model* model = nullptr;  // replicas_[0] aliases the primary
+    SoftmaxCrossEntropy loss;
+    std::vector<int> labels;                  // shard label scratch
+    std::vector<std::int64_t> shard_shape;    // {b, C, H, W} scratch
+    std::vector<BatchNorm2d*> batchnorms;     // depth-first module order
+  };
+
+  void worker_loop(int w);
+  // Runs every shard assigned to worker w under a SerialExecutionGuard;
+  // runs the state-advance pass when w has no shard this step.
+  void run_worker(int w);
+  void run_shard(Replica& replica, int shard);
+  // Grow-once sizing of the per-shard buffers for the current step.
+  void prepare_step(const Batch& batch);
+  void combine_and_step(Sgd& optimizer,
+                        const std::function<void()>& before_step,
+                        StepStats& stats);
+  void broadcast_values();
+
+  Model* primary_ = nullptr;
+  int workers_ = 1;
+  std::int64_t micro_batch_config_ = 0;
+
+  std::vector<Model> owned_replicas_;  // workers_ - 1 factory-built models
+  std::vector<Replica> replicas_;      // size workers_; [0] is the primary
+
+  // BatchNorm bookkeeping shared by all replicas (layouts are identical):
+  // channel offset of each batchnorm in a per-shard stat span.
+  std::vector<std::int64_t> bn_offsets_;
+  std::int64_t bn_channels_ = 0;
+
+  // Per-step shard state (grow-once; steady state allocates nothing).
+  const Batch* step_batch_ = nullptr;
+  std::int64_t batch_rows_ = 0;
+  std::int64_t sample_numel_ = 0;  // C*H*W of the current batch
+  std::int64_t micro_batch_ = 0;
+  int num_shards_ = 0;
+  std::vector<std::vector<float>> shard_grads_;
+  std::vector<float> bn_stats_;  // [shard][mean span | var span]
+  std::vector<float> shard_loss_;
+  std::vector<int> shard_correct_;
+  std::vector<std::int64_t> shard_rows_;
+
+  // Worker rendezvous: generation counter + countdown, one exception slot
+  // per worker (first error wins at the barrier).
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::condition_variable done_;
+  std::uint64_t generation_ = 0;
+  int pending_ = 0;
+  bool shutdown_ = false;
+  std::vector<std::thread> threads_;
+  std::vector<std::exception_ptr> errors_;
+};
+
+// Data-parallel counterparts of the serial loops in opt/trainer.h. The
+// optimizer must be arena-backed over trainer.primary().arena(); evaluation
+// runs on the primary.
+EpochStats train_one_epoch(DataParallelTrainer& trainer, Sgd& optimizer,
+                           DataLoader& loader, const FitHooks& hooks);
+
+FitResult fit(DataParallelTrainer& trainer, const InMemoryDataset& train,
+              const InMemoryDataset& test, const TrainConfig& config,
+              const FitHooks& hooks = {});
+
+}  // namespace csq

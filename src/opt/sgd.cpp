@@ -1,5 +1,7 @@
 #include "opt/sgd.h"
 
+#include <algorithm>
+
 #include "util/check.h"
 
 namespace csq {
@@ -14,9 +16,36 @@ Sgd::Sgd(std::vector<Parameter*> parameters, const SgdConfig& config)
   }
 }
 
+Sgd::Sgd(ParameterArena& arena, const SgdConfig& config)
+    : arena_(&arena), config_(config) {
+  CSQ_CHECK(arena.size() > 0) << "sgd: empty arena";
+  arena_velocity_.assign(static_cast<std::size_t>(arena.size()), 0.0f);
+}
+
 void Sgd::step() {
   const float lr = config_.learning_rate;
   const float momentum = config_.momentum;
+
+  if (arena_ != nullptr) {
+    // One sweep over the flat spans. The view loop only switches the decay
+    // coefficient; values/grads/velocity advance contiguously.
+    float* value = arena_->values();
+    const float* grad = arena_->grads();
+    float* velocity = arena_velocity_.data();
+    for (const ParameterArena::View& view : arena_->views()) {
+      const float decay = view.weight_decay ? config_.weight_decay : 0.0f;
+      const std::int64_t begin = view.offset;
+      const std::int64_t end = view.offset + view.count;
+      for (std::int64_t i = begin; i < end; ++i) {
+        const float g = grad[i] + decay * value[i];
+        velocity[i] = momentum * velocity[i] + g;
+        value[i] -= lr * velocity[i];
+      }
+      view.param->mark_updated();
+    }
+    return;
+  }
+
   for (std::size_t p = 0; p < parameters_.size(); ++p) {
     Parameter& param = *parameters_[p];
     const float decay = param.weight_decay ? config_.weight_decay : 0.0f;
@@ -34,6 +63,7 @@ void Sgd::step() {
 }
 
 void Sgd::reset_momentum() {
+  std::fill(arena_velocity_.begin(), arena_velocity_.end(), 0.0f);
   for (Tensor& velocity : velocities_) velocity.zero();
 }
 

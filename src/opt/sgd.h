@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "nn/parameter.h"
+#include "nn/parameter_arena.h"
 
 namespace csq {
 
@@ -18,6 +19,11 @@ struct SgdConfig {
 class Sgd {
  public:
   Sgd(std::vector<Parameter*> parameters, const SgdConfig& config);
+  // Arena-backed optimizer: one flat velocity buffer, and step() is a
+  // single sweep over the contiguous value/grad spans in view order —
+  // bit-identical to the per-parameter path (same per-element arithmetic
+  // in the same order), but without the tensor pointer chase.
+  Sgd(ParameterArena& arena, const SgdConfig& config);
 
   // One update: v = momentum*v + (grad + wd*w); w -= lr * v.
   // Weight decay is skipped for parameters flagged weight_decay == false.
@@ -32,8 +38,12 @@ class Sgd {
   void reset_momentum();
 
  private:
+  // Legacy scattered-tensor path (null arena_).
   std::vector<Parameter*> parameters_;
   std::vector<Tensor> velocities_;
+  // Arena path: velocity shares the arena's flat layout.
+  ParameterArena* arena_ = nullptr;
+  std::vector<float> arena_velocity_;
   SgdConfig config_;
 };
 

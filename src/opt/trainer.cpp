@@ -76,7 +76,9 @@ FitResult fit(Model& model, const InMemoryDataset& train,
   sgd_config.learning_rate = config.learning_rate;
   sgd_config.momentum = config.momentum;
   sgd_config.weight_decay = config.weight_decay;
-  Sgd optimizer(model.parameters(), sgd_config);
+  // Arena-backed step: one flat sweep over the contiguous value/grad spans,
+  // bit-identical to the per-parameter path (opt/sgd.h).
+  Sgd optimizer(model.arena(), sgd_config);
 
   CosineSchedule schedule(config.learning_rate, config.epochs,
                           config.warmup_epochs, config.lr_min);

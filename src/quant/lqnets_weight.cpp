@@ -55,11 +55,16 @@ void LqNetsWeightSource::refresh_levels() {
 
 const Tensor& LqNetsWeightSource::weight(bool training) {
   // Eval dirty-flag: the E-step encoding is a pure function of the latents
-  // and the current basis. Training calls are deliberately never skipped —
-  // each one IS a QEM iteration (the M-step refits the basis), so caching
-  // would change the algorithm, not just save work.
+  // and the current basis. A training call IS a QEM iteration (the M-step
+  // refits the basis), so it is only ever skipped when its inputs are
+  // UNCHANGED since the previous training call — repeated forwards within
+  // one optimizer step (micro-batch shards of the data-parallel trainer)
+  // reuse the iteration's result instead of compounding extra M-steps.
   const std::uint64_t stamp = latent_.version + internal_rev_;
   if (!training && eval_cache_fresh(stamp)) return quantized_;
+  if (training && train_cache_valid_ && train_cache_stamp_ == stamp) {
+    return quantized_;
+  }
   const float* w = latent_.value.data();
   float* q = quantized_.data();
   const std::int64_t count = latent_.value.numel();
@@ -123,13 +128,24 @@ const Tensor& LqNetsWeightSource::weight(bool training) {
       }
       refresh_levels();
       // quantized_ was encoded against the pre-update levels: record the
-      // rebuild but leave the eval cache invalid.
+      // rebuild but leave the eval cache invalid. The training cache is
+      // stamped POST-update so same-step re-forwards reuse this iteration.
       ++internal_rev_;
       note_materialized_volatile();
+      train_cache_valid_ = true;
+      train_cache_stamp_ = latent_.version + internal_rev_;
       return quantized_;
     }
   }
   note_materialized(stamp);
+  if (training) {
+    train_cache_valid_ = true;
+    train_cache_stamp_ = stamp;
+  } else {
+    // Eval re-encoded quantized_ against the current levels; a training
+    // reuse of that buffer would skip the step's QEM iteration.
+    train_cache_valid_ = false;
+  }
   return quantized_;
 }
 

@@ -50,6 +50,17 @@ class LqNetsWeightSource final : public WeightSource {
   // Bumped when the M-step rewrites the basis (the eval dirty-flag stamp
   // must change: the cached encoding used the pre-update levels).
   std::uint64_t internal_rev_ = 0;
+  // Training-side dirty flag: a training weight() whose inputs are
+  // unchanged since the last QEM iteration reuses the materialized tensor
+  // instead of running another E/M step. One optimizer step therefore
+  // performs exactly ONE QEM iteration no matter how many forward passes it
+  // contains — the property that keeps data-parallel replicas' bases in
+  // lockstep at any micro-batch shard count (each shard re-forwards the
+  // same step). Invalidated by any parameter/basis revision and by
+  // eval-mode materializations (which re-encode against the post-update
+  // levels, overwriting quantized_).
+  std::uint64_t train_cache_stamp_ = 0;
+  bool train_cache_valid_ = false;
 };
 
 WeightSourceFactory lqnets_weight_factory(int bits);

@@ -178,6 +178,38 @@ void bitplane_backward(GateKind kind, float beta, const BitPlaneGrad* planes,
 
 // -------------------------------------------------------------- reductions --
 
+void tree_reduce_spans(const float* const* sources, int num_sources,
+                       float* dst, std::int64_t count, KernelExec exec) {
+  CSQ_CHECK(num_sources >= 1 && num_sources <= kMaxReduceSpans)
+      << "tree_reduce_spans: source count " << num_sources
+      << " outside 1.." << kMaxReduceSpans;
+  if (num_sources == 1) {
+    const float* src = sources[0];
+    for_each_quant_chunk(count, exec,
+                         [&](std::int64_t, std::int64_t begin,
+                             std::int64_t end) {
+                           std::copy(src + begin, src + end, dst + begin);
+                         });
+    return;
+  }
+  for_each_quant_chunk(
+      count, exec,
+      [&](std::int64_t, std::int64_t begin, std::int64_t end) {
+        float lane[kMaxReduceSpans];
+        for (std::int64_t i = begin; i < end; ++i) {
+          for (int s = 0; s < num_sources; ++s) lane[s] = sources[s][i];
+          // Pairwise tree: (s0+s1)+(s2+s3)... — a fixed shape per source
+          // count; an odd tail at any level rides up unchanged.
+          for (int stride = 1; stride < num_sources; stride *= 2) {
+            for (int s = 0; s + stride < num_sources; s += 2 * stride) {
+              lane[s] += lane[s + stride];
+            }
+          }
+          dst[i] = lane[0];
+        }
+      });
+}
+
 double chunked_dot(const float* a, const float* b, std::int64_t count,
                    double* partials, KernelExec exec) {
   const std::int64_t chunks = quant_chunk_count(count);

@@ -138,6 +138,21 @@ void bitplane_backward(GateKind kind, float beta, const BitPlaneGrad* planes,
 
 // -------------------------------------------------------------- reductions --
 
+// Upper bound on the source count of tree_reduce_spans (data-parallel
+// training shards a batch into at most this many micro-batches).
+constexpr int kMaxReduceSpans = 64;
+
+// Deterministic combine of N equally sized spans:
+//   dst[i] = pairwise-tree sum over sources[0..num_sources)[i]
+// The tree pairs sources at stride 1, 2, 4, ... so the combination order
+// depends only on num_sources — never on thread count or scheduling — and
+// the sweep runs over the fixed chunk grid (parallelizable across chunks,
+// bit-identical pooled vs serial). This is the gradient-combine step of
+// data-parallel training: per-shard gradient buffers in, the full-batch
+// gradient out.
+void tree_reduce_spans(const float* const* sources, int num_sources,
+                       float* dst, std::int64_t count, KernelExec exec);
+
 // Deterministic chunked dot product sum_i a[i]*b[i]; `partials` must hold
 // quant_chunk_count(count) doubles.
 double chunked_dot(const float* a, const float* b, std::int64_t count,

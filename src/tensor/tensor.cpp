@@ -1,6 +1,7 @@
 #include "tensor/tensor.h"
 
 #include <algorithm>
+#include <atomic>
 #include <mutex>
 #include <sstream>
 #include <utility>
@@ -11,15 +12,123 @@ namespace csq {
 
 namespace {
 
-// Process-wide recycling pool for tensor storage. Data spans are bucketed by
-// floor(log2(capacity)): a request for n elements is served from bucket
-// ceil(log2(n)), whose members all have capacity >= 2^ceil(log2(n)) >= n.
-// Freshly allocated spans reserve the rounded-up power of two, so recycled
-// capacities stay normalized and the waste factor is bounded by 2x. The
-// cache is byte-capped; releases beyond the cap simply free.
+constexpr int kBuckets = 40;
+
+int floor_log2(std::size_t n) {
+  int bits = 0;
+  while (n > 1) {
+    n >>= 1;
+    ++bits;
+  }
+  return bits;
+}
+
+int ceil_log2(std::size_t n) {
+  const int floor = floor_log2(n);
+  return (std::size_t{1} << floor) == n ? floor : floor + 1;
+}
+
+// Pool telemetry. Relaxed atomics: the counters are monotone statistics read
+// only by tensor_pool_stats(), never used for synchronization.
+std::atomic<std::uint64_t> g_data_requests{0};
+std::atomic<std::uint64_t> g_data_reuses{0};
+std::atomic<std::uint64_t> g_data_allocations{0};
+// Bytes parked across all per-thread caches (the global tier tracks its own
+// bytes under the pool mutex).
+std::atomic<std::uint64_t> g_thread_cached_bytes{0};
+
+// Per-thread front cache over the shared pool. A thread's steady-state
+// acquire/release cycle is served entirely from its own shelves, so the
+// zero-allocation guarantee is deterministic under concurrent trainers: with
+// a single shared shelf, N data-parallel workers releasing and re-acquiring
+// identical working sets race for the recycled spans, and a worker whose
+// acquire lands before a sibling's release sees an empty shelf and hits the
+// heap — an interleaving-dependent high-water mark. Thread-local shelves
+// also keep the mutex off the steady-state hot path entirely; the shared
+// tier below is only touched on a local miss (first sighting of a size on
+// this thread) and on overflow past the local caps.
+class ThreadCache {
+ public:
+  static constexpr std::size_t kMaxCachedPerBucket = 64;
+  static constexpr std::uint64_t kMaxCachedBytes = 32ull << 20;
+  static constexpr std::size_t kMaxCachedShapes = 1024;
+
+  ThreadCache();
+  ~ThreadCache();
+
+  bool try_acquire_data(std::vector<float>& out, int bucket) {
+    std::vector<std::vector<float>>& shelf =
+        shelves_[static_cast<std::size_t>(bucket)];
+    if (shelf.empty()) return false;
+    const std::uint64_t bytes = shelf.back().capacity() * sizeof(float);
+    cached_bytes_ -= bytes;
+    g_thread_cached_bytes.fetch_sub(bytes, std::memory_order_relaxed);
+    out = std::move(shelf.back());
+    shelf.pop_back();
+    return true;
+  }
+
+  // Takes ownership and returns true when the span fits under the local
+  // caps; leaves `v` untouched (for the global tier) otherwise.
+  bool try_release_data(std::vector<float>& v) noexcept {
+    const std::uint64_t bytes = v.capacity() * sizeof(float);
+    std::vector<std::vector<float>>& shelf =
+        shelves_[static_cast<std::size_t>(floor_log2(v.capacity()))];
+    if (shelf.size() >= kMaxCachedPerBucket ||
+        cached_bytes_ + bytes > kMaxCachedBytes) {
+      return false;
+    }
+    shelf.push_back(std::move(v));
+    cached_bytes_ += bytes;
+    g_thread_cached_bytes.fetch_add(bytes, std::memory_order_relaxed);
+    return true;
+  }
+
+  bool try_acquire_shape(std::vector<std::int64_t>& out) {
+    if (shapes_.empty()) return false;
+    out = std::move(shapes_.back());
+    shapes_.pop_back();
+    out.clear();
+    return true;
+  }
+
+  bool try_release_shape(std::vector<std::int64_t>& v) noexcept {
+    if (shapes_.size() >= kMaxCachedShapes) return false;
+    shapes_.push_back(std::move(v));
+    return true;
+  }
+
+  // Hands every cached buffer to the global tier (thread exit, trim) so
+  // short-lived worker threads donate their warm spans instead of freeing.
+  void flush() noexcept;
+
+ private:
+  std::vector<std::vector<float>> shelves_[kBuckets];
+  std::vector<std::vector<std::int64_t>> shapes_;
+  std::uint64_t cached_bytes_ = 0;
+};
+
+thread_local ThreadCache* t_thread_cache = nullptr;
+// Set once this thread's cache has been destroyed: late releases during
+// thread teardown (thread_local tensors destroyed after the cache) must
+// bypass straight to the global tier instead of resurrecting the cache.
+thread_local bool t_thread_cache_retired = false;
+
+ThreadCache* thread_cache() {
+  if (t_thread_cache != nullptr) return t_thread_cache;
+  if (t_thread_cache_retired) return nullptr;
+  thread_local ThreadCache cache;  // ctor publishes itself to t_thread_cache
+  return t_thread_cache;
+}
+
+// Shared recycling tier. Data spans are bucketed by floor(log2(capacity)):
+// a request for n elements is served from bucket ceil(log2(n)), whose
+// members all have capacity >= 2^ceil(log2(n)) >= n. Freshly allocated
+// spans reserve the rounded-up power of two, so recycled capacities stay
+// normalized and the waste factor is bounded by 2x. The cache is
+// byte-capped; releases beyond the cap simply free.
 class StoragePool {
  public:
-  static constexpr int kBuckets = 40;
   static constexpr std::uint64_t kMaxCachedBytes = 256ull << 20;
   static constexpr std::size_t kMaxCachedShapes = 4096;
   static constexpr std::size_t kMaxCachedPerBucket = 256;
@@ -40,28 +149,40 @@ class StoragePool {
       out.clear();
       return;
     }
+    g_data_requests.fetch_add(1, std::memory_order_relaxed);
     const int bucket = ceil_log2(count);
+    ThreadCache* cache = thread_cache();
+    if (cache != nullptr && cache->try_acquire_data(out, bucket)) {
+      g_data_reuses.fetch_add(1, std::memory_order_relaxed);
+      out.resize(count);
+      return;
+    }
     {
       std::lock_guard<std::mutex> lock(mutex_);
-      ++stats_.data_requests;
       std::vector<std::vector<float>>& shelf =
           data_shelves_[static_cast<std::size_t>(bucket)];
       if (!shelf.empty()) {
-        ++stats_.data_reuses;
+        g_data_reuses.fetch_add(1, std::memory_order_relaxed);
         cached_bytes_ -= shelf.back().capacity() * sizeof(float);
         out = std::move(shelf.back());
         shelf.pop_back();
         out.resize(count);
         return;
       }
-      ++stats_.data_allocations;
     }
+    g_data_allocations.fetch_add(1, std::memory_order_relaxed);
     out.reserve(std::size_t{1} << bucket);
     out.resize(count);
   }
 
   void release_data(std::vector<float>&& v) noexcept {
     if (v.capacity() == 0) return;
+    ThreadCache* cache = thread_cache();
+    if (cache != nullptr && cache->try_release_data(v)) return;
+    global_release_data(std::move(v));
+  }
+
+  void global_release_data(std::vector<float>&& v) noexcept {
     const std::uint64_t bytes = v.capacity() * sizeof(float);
     const int bucket = floor_log2(v.capacity());
     std::lock_guard<std::mutex> lock(mutex_);
@@ -74,6 +195,8 @@ class StoragePool {
   }
 
   void acquire_shape(std::vector<std::int64_t>& out) {
+    ThreadCache* cache = thread_cache();
+    if (cache != nullptr && cache->try_acquire_shape(out)) return;
     {
       std::lock_guard<std::mutex> lock(mutex_);
       if (!shapes_.empty()) {
@@ -88,19 +211,34 @@ class StoragePool {
 
   void release_shape(std::vector<std::int64_t>&& v) noexcept {
     if (v.capacity() == 0) return;
+    ThreadCache* cache = thread_cache();
+    if (cache != nullptr && cache->try_release_shape(v)) return;
+    global_release_shape(std::move(v));
+  }
+
+  void global_release_shape(std::vector<std::int64_t>&& v) noexcept {
     std::lock_guard<std::mutex> lock(mutex_);
     if (shapes_.size() >= kMaxCachedShapes) return;
     shapes_.push_back(std::move(v));
   }
 
   TensorPoolStats stats() {
+    TensorPoolStats snapshot;
+    snapshot.data_requests = g_data_requests.load(std::memory_order_relaxed);
+    snapshot.data_reuses = g_data_reuses.load(std::memory_order_relaxed);
+    snapshot.data_allocations =
+        g_data_allocations.load(std::memory_order_relaxed);
     std::lock_guard<std::mutex> lock(mutex_);
-    TensorPoolStats snapshot = stats_;
-    snapshot.cached_bytes = cached_bytes_;
+    snapshot.cached_bytes =
+        cached_bytes_ + g_thread_cached_bytes.load(std::memory_order_relaxed);
     return snapshot;
   }
 
+  // Frees the global tier plus the calling thread's cache. Other threads'
+  // caches stay untouched (they cannot be cleared safely from here); they
+  // flush themselves into the global tier when their thread exits.
   void trim() {
+    if (ThreadCache* cache = thread_cache()) cache->flush();
     std::lock_guard<std::mutex> lock(mutex_);
     for (auto& shelf : data_shelves_) {
       shelf.clear();
@@ -114,24 +252,10 @@ class StoragePool {
   }
 
  private:
-  static int floor_log2(std::size_t n) {
-    int bits = 0;
-    while (n > 1) {
-      n >>= 1;
-      ++bits;
-    }
-    return bits;
-  }
-  static int ceil_log2(std::size_t n) {
-    const int floor = floor_log2(n);
-    return (std::size_t{1} << floor) == n ? floor : floor + 1;
-  }
-
   std::mutex mutex_;
   std::vector<std::vector<float>> data_shelves_[kBuckets];
   std::vector<std::vector<std::int64_t>> shapes_;
   std::uint64_t cached_bytes_ = 0;
-  TensorPoolStats stats_;
 };
 
 // Leaked so tensors with static storage duration can release safely during
@@ -139,6 +263,38 @@ class StoragePool {
 StoragePool& pool() {
   static StoragePool* instance = new StoragePool();
   return *instance;
+}
+
+ThreadCache::ThreadCache() {
+  // Reserve once so cache pushes never allocate (release_data is noexcept
+  // and runs inside the zero-allocation steady-state window).
+  shapes_.reserve(kMaxCachedShapes);
+  for (auto& shelf : shelves_) shelf.reserve(kMaxCachedPerBucket);
+  t_thread_cache = this;
+}
+
+ThreadCache::~ThreadCache() {
+  t_thread_cache = nullptr;
+  t_thread_cache_retired = true;
+  flush();
+}
+
+void ThreadCache::flush() noexcept {
+  for (auto& shelf : shelves_) {
+    while (!shelf.empty()) {
+      std::vector<float> v = std::move(shelf.back());
+      shelf.pop_back();
+      g_thread_cached_bytes.fetch_sub(v.capacity() * sizeof(float),
+                                      std::memory_order_relaxed);
+      pool().global_release_data(std::move(v));
+    }
+  }
+  while (!shapes_.empty()) {
+    std::vector<std::int64_t> v = std::move(shapes_.back());
+    shapes_.pop_back();
+    pool().global_release_shape(std::move(v));
+  }
+  cached_bytes_ = 0;
 }
 
 }  // namespace
@@ -176,26 +332,63 @@ Tensor::Tensor(std::initializer_list<std::int64_t> shape) {
 }
 
 Tensor::Tensor(const Tensor& other) {
+  // Copying FROM a borrowed view yields an independent OWNED tensor: the
+  // copy must stay valid after the view's arena is gone.
   pool().acquire_shape(shape_);
   shape_.assign(other.shape_.begin(), other.shape_.end());
-  pool().acquire_data(data_, other.data_.size());
-  std::copy(other.data_.begin(), other.data_.end(), data_.begin());
+  pool().acquire_data(data_, static_cast<std::size_t>(other.numel()));
+  std::copy(other.data(), other.data() + other.numel(), data_.begin());
 }
 
 Tensor& Tensor::operator=(const Tensor& other) {
+  if (this == &other) return *this;
+  if (borrowed_ != nullptr) {
+    // Assignment INTO a view copies elements in place — the view must keep
+    // aliasing its arena segment (callers that snapshot/restore a
+    // Parameter's value would otherwise silently unhook it).
+    CSQ_CHECK(other.numel() == borrowed_count_)
+        << "assign into borrowed tensor: element count " << other.numel()
+        << " != " << borrowed_count_;
+    shape_ = other.shape_;
+    std::copy(other.data(), other.data() + other.numel(), borrowed_);
+    return *this;
+  }
   // Plain vector copy-assignment reuses existing capacity, so repeated
   // same-shape assignments (per-step activation caches) never allocate.
   shape_ = other.shape_;
-  data_ = other.data_;
+  data_.assign(other.data(), other.data() + other.numel());
   return *this;
+}
+
+Tensor::Tensor(Tensor&& other) noexcept
+    : shape_(std::move(other.shape_)),
+      data_(std::move(other.data_)),
+      borrowed_(other.borrowed_),
+      borrowed_count_(other.borrowed_count_) {
+  other.borrowed_ = nullptr;
+  other.borrowed_count_ = 0;
 }
 
 Tensor& Tensor::operator=(Tensor&& other) noexcept {
   if (this != &other) {
+    if (borrowed_ != nullptr) {
+      // A borrowed target keeps its arena segment: fall back to an element
+      // copy (same semantics as copy-assign into a view). numel mismatch
+      // would be a caller bug; terminate via the noexcept boundary.
+      CSQ_CHECK(other.numel() == borrowed_count_)
+          << "move-assign into borrowed tensor: element count mismatch";
+      shape_ = other.shape_;
+      std::copy(other.data(), other.data() + other.numel(), borrowed_);
+      return *this;
+    }
     pool().release_shape(std::move(shape_));
     pool().release_data(std::move(data_));
     shape_ = std::move(other.shape_);
     data_ = std::move(other.data_);
+    borrowed_ = other.borrowed_;
+    borrowed_count_ = other.borrowed_count_;
+    other.borrowed_ = nullptr;
+    other.borrowed_count_ = 0;
   }
   return *this;
 }
@@ -243,6 +436,17 @@ Tensor Tensor::uninitialized(std::initializer_list<std::int64_t> shape) {
   return result;
 }
 
+Tensor Tensor::borrow(float* data, const std::vector<std::int64_t>& shape) {
+  const std::int64_t count = shape_numel(shape);
+  CSQ_CHECK(data != nullptr || count == 0) << "borrow: null span";
+  Tensor result;
+  pool().acquire_shape(result.shape_);
+  result.shape_.assign(shape.begin(), shape.end());
+  result.borrowed_ = data;
+  result.borrowed_count_ = count;
+  return result;
+}
+
 std::int64_t Tensor::dim(int axis) const {
   CSQ_CHECK(axis >= 0 && axis < ndim())
       << "axis " << axis << " out of range for " << ndim() << "-d tensor";
@@ -287,6 +491,8 @@ void Tensor::resize_unspecified(
 }
 
 void Tensor::resize_storage() {
+  CSQ_CHECK(borrowed_ == nullptr)
+      << "resize on a borrowed tensor (views cannot reshape their storage)";
   const auto count = static_cast<std::size_t>(shape_numel(shape_));
   if (data_.capacity() < count) {
     pool().release_data(std::move(data_));
@@ -297,15 +503,15 @@ void Tensor::resize_storage() {
 }
 
 float& Tensor::at(std::initializer_list<std::int64_t> index) {
-  return data_[flat_offset(index)];
+  return data()[flat_offset(index)];
 }
 
 float Tensor::at(std::initializer_list<std::int64_t> index) const {
-  return data_[flat_offset(index)];
+  return data()[flat_offset(index)];
 }
 
 void Tensor::fill(float value) {
-  std::fill(data_.begin(), data_.end(), value);
+  std::fill(data(), data() + numel(), value);
 }
 
 std::size_t Tensor::check_flat(std::int64_t flat_index) const {

@@ -7,13 +7,25 @@
 // Copies are deep; Tensor is a regular value type (Core Guidelines C.20).
 //
 // Storage recycling: tensor storage (the data span AND the shape vector) is
-// drawn from a process-wide recycling pool and returned to it on
-// destruction. Training loops create and destroy the same tensor shapes
-// every step (layer outputs, gradients, scratch), so after a warmup step the
-// pool serves every request without touching the heap — steady-state
-// forward+backward performs zero allocations. The pool is thread-safe,
-// byte-capped, and observable through tensor_pool_stats() (the allocation
-// regression tests assert on it).
+// drawn from a two-tier recycling pool and returned to it on destruction.
+// Each thread fronts the shared pool with a lock-free thread-local cache:
+// training loops create and destroy the same tensor shapes every step
+// (layer outputs, gradients, scratch), so after a warmup step each thread
+// serves its own requests from its own shelves without touching the heap OR
+// the pool mutex — steady-state forward+backward performs zero allocations,
+// deterministically even when N data-parallel workers cycle identical
+// working sets concurrently (a single shared shelf would make that a race).
+// Local misses and overflow fall back to the byte-capped shared tier, and a
+// thread's cache flushes into it at thread exit. Observable through
+// tensor_pool_stats() (the allocation regression tests assert on it).
+//
+// Borrowed tensors: Tensor::borrow() wraps an externally owned float span
+// (a ParameterArena segment, a contiguous micro-batch slice) as a
+// non-owning view. A borrowed tensor reads and writes the caller's memory
+// directly; copying FROM it deep-copies into owned storage, while
+// assigning INTO it copies elements in place (element count must match) so
+// the view never migrates out of its arena. Reshaping storage
+// (resize_unspecified) is forbidden on views.
 #pragma once
 
 #include <cstdint>
@@ -35,7 +47,7 @@ class Tensor {
 
   Tensor(const Tensor& other);
   Tensor& operator=(const Tensor& other);
-  Tensor(Tensor&& other) noexcept = default;
+  Tensor(Tensor&& other) noexcept;
   Tensor& operator=(Tensor&& other) noexcept;
   ~Tensor();
 
@@ -48,13 +60,21 @@ class Tensor {
   // fully overwritten (GEMM with beta == 0, im2col); skips the zero-fill.
   static Tensor uninitialized(const std::vector<std::int64_t>& shape);
   static Tensor uninitialized(std::initializer_list<std::int64_t> shape);
+  // Non-owning view over caller-owned contiguous storage (see the borrowed-
+  // tensor notes above). `data` must cover shape_numel(shape) floats and
+  // outlive the view.
+  static Tensor borrow(float* data, const std::vector<std::int64_t>& shape);
 
   // Shape --------------------------------------------------------------
   const std::vector<std::int64_t>& shape() const { return shape_; }
   std::int64_t dim(int axis) const;
   int ndim() const { return static_cast<int>(shape_.size()); }
-  std::int64_t numel() const { return static_cast<std::int64_t>(data_.size()); }
-  bool empty() const { return data_.empty(); }
+  std::int64_t numel() const {
+    return borrowed_ != nullptr ? borrowed_count_
+                                : static_cast<std::int64_t>(data_.size());
+  }
+  bool empty() const { return numel() == 0; }
+  bool is_borrowed() const { return borrowed_ != nullptr; }
   bool same_shape(const Tensor& other) const { return shape_ == other.shape_; }
   std::string shape_string() const;
 
@@ -70,10 +90,12 @@ class Tensor {
   void resize_unspecified(std::initializer_list<std::int64_t> new_shape);
 
   // Data access ---------------------------------------------------------
-  float* data() { return data_.data(); }
-  const float* data() const { return data_.data(); }
-  float& operator[](std::int64_t flat_index) { return data_[check_flat(flat_index)]; }
-  float operator[](std::int64_t flat_index) const { return data_[check_flat(flat_index)]; }
+  float* data() { return borrowed_ != nullptr ? borrowed_ : data_.data(); }
+  const float* data() const {
+    return borrowed_ != nullptr ? borrowed_ : data_.data();
+  }
+  float& operator[](std::int64_t flat_index) { return data()[check_flat(flat_index)]; }
+  float operator[](std::int64_t flat_index) const { return data()[check_flat(flat_index)]; }
 
   // Multi-dimensional accessors (bounds-checked; intended for tests and
   // non-hot-path code — kernels index flat spans directly).
@@ -92,6 +114,10 @@ class Tensor {
 
   std::vector<std::int64_t> shape_;
   std::vector<float> data_;
+  // Borrow mode: when set, `borrowed_` is the data span and data_ stays
+  // empty. The view neither frees nor pools the span.
+  float* borrowed_ = nullptr;
+  std::int64_t borrowed_count_ = 0;
 };
 
 // Computes the element count of a shape; throws on negative extents.

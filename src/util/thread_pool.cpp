@@ -73,6 +73,15 @@ class ParallelRegionGuard {
 
 bool inside_parallel_region() { return t_inside_parallel_region; }
 
+SerialExecutionGuard::SerialExecutionGuard()
+    : previous_(t_inside_parallel_region) {
+  t_inside_parallel_region = true;
+}
+
+SerialExecutionGuard::~SerialExecutionGuard() {
+  t_inside_parallel_region = previous_;
+}
+
 void ThreadPool::run_task_share(const Task& task) {
   ParallelRegionGuard guard;
   while (true) {
@@ -179,25 +188,5 @@ ThreadPool& global_pool() {
 int pool_slot() { return t_pool_slot; }
 
 int pool_slot_count() { return global_pool().num_threads(); }
-
-void parallel_for(std::int64_t begin, std::int64_t end,
-                  const std::function<void(std::int64_t)>& fn,
-                  std::int64_t serial_threshold) {
-  if (end - begin <= serial_threshold || inside_parallel_region()) {
-    for (std::int64_t i = begin; i < end; ++i) fn(i);
-    return;
-  }
-  global_pool().parallel_for(begin, end, fn);
-}
-
-void parallel_for_chunked(
-    std::int64_t begin, std::int64_t end,
-    const std::function<void(std::int64_t, std::int64_t)>& fn) {
-  if (end - begin <= 1 || inside_parallel_region()) {
-    if (begin < end) fn(begin, end);
-    return;
-  }
-  global_pool().parallel_for_chunked(begin, end, fn);
-}
 
 }  // namespace csq

@@ -78,6 +78,24 @@ ThreadPool& global_pool();
 // used to serialize nested parallel loops.
 bool inside_parallel_region();
 
+// Scoped opt-out of the global pool: while alive on a thread, every
+// parallel_for wrapper on that thread runs serially (exactly the nested-
+// region fallback). Data-parallel training workers hold one so the inner
+// kernels of N concurrent forward/backward passes never contend for — or
+// serialize on — the shared pool; parallelism comes from the shards alone,
+// and the fixed-chunk-grid kernels make serial execution bit-identical to
+// pooled anyway.
+class SerialExecutionGuard {
+ public:
+  SerialExecutionGuard();
+  ~SerialExecutionGuard();
+  SerialExecutionGuard(const SerialExecutionGuard&) = delete;
+  SerialExecutionGuard& operator=(const SerialExecutionGuard&) = delete;
+
+ private:
+  bool previous_;
+};
+
 // Stable scratch-stripe index of the calling thread: global-pool worker i
 // answers i + 1, every other thread (including the caller participating in a
 // parallel region) answers 0. Always < pool_slot_count(). Lets parallel
@@ -89,12 +107,33 @@ int pool_slot_count();
 
 // Convenience wrappers over the global pool. Falls back to a serial loop for
 // tiny ranges where threading would cost more than it saves.
-void parallel_for(std::int64_t begin, std::int64_t end,
-                  const std::function<void(std::int64_t)>& fn,
-                  std::int64_t serial_threshold = 2);
+//
+// Templates rather than std::function parameters so the serial paths (tiny
+// range, nested region, SerialExecutionGuard) invoke the functor directly
+// with no type erasure — a hot training step makes thousands of these calls
+// and must not allocate. The pooled path wraps a reference to the caller's
+// functor (parallel_for blocks until the region retires, so the reference
+// cannot dangle); a reference_wrapper fits std::function's small-object
+// buffer, keeping the submission heap-free as well.
+template <typename Fn>
+void parallel_for(std::int64_t begin, std::int64_t end, const Fn& fn,
+                  std::int64_t serial_threshold = 2) {
+  if (end - begin <= serial_threshold || inside_parallel_region()) {
+    for (std::int64_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+  global_pool().parallel_for(
+      begin, end, std::function<void(std::int64_t)>(std::cref(fn)));
+}
 
-void parallel_for_chunked(
-    std::int64_t begin, std::int64_t end,
-    const std::function<void(std::int64_t, std::int64_t)>& fn);
+template <typename Fn>
+void parallel_for_chunked(std::int64_t begin, std::int64_t end, const Fn& fn) {
+  if (end - begin <= 1 || inside_parallel_region()) {
+    if (begin < end) fn(begin, end);
+    return;
+  }
+  global_pool().parallel_for_chunked(
+      begin, end, std::function<void(std::int64_t, std::int64_t)>(std::cref(fn)));
+}
 
 }  // namespace csq

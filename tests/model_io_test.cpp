@@ -2,7 +2,11 @@
 // fidelity, format validation against corrupt/truncated files, export
 // preconditions.
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <fstream>
+#include <iterator>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -244,6 +248,180 @@ TEST(ModelIo, ExportModelRequiresFinalizedCsqSources) {
     EXPECT_EQ(loaded[l].name, layers[l].name);
   }
   std::remove(path.c_str());
+}
+
+// ---- training checkpoints (CSQC container) --------------------------------
+
+Model checkpoint_model(std::uint64_t seed) {
+  Rng rng(seed);
+  ModelConfig config;
+  config.num_classes = 4;
+  config.base_width = 4;
+  return make_resnet_cifar(8, config, dense_weight_factory(), nullptr, rng);
+}
+
+// Deterministic, seed-independent parameter pattern so the committed golden
+// fixture's expected values are reproducible from the test source alone.
+void fill_pattern(Model& model) {
+  std::int64_t i = 0;
+  for (Parameter* param : model.parameters()) {
+    float* data = param->value.data();
+    for (std::int64_t j = 0; j < param->value.numel(); ++j, ++i) {
+      data[j] = 0.03125f * static_cast<float>(i % 257) - 4.0f;
+    }
+    param->mark_updated();
+  }
+}
+
+std::vector<char> read_file_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(static_cast<bool>(in)) << "cannot open " << path;
+  return std::vector<char>(std::istreambuf_iterator<char>(in),
+                           std::istreambuf_iterator<char>());
+}
+
+TEST(Checkpoint, RoundTripRestoresEveryParameterAndBumpsVersions) {
+  Model model = checkpoint_model(41);
+  fill_pattern(model);
+  const std::string path = temp_path("ckpt_roundtrip");
+  ASSERT_TRUE(save_checkpoint(path, model));
+
+  Model fresh = checkpoint_model(42);  // different seed: different values
+  std::vector<std::uint64_t> versions;
+  for (Parameter* param : fresh.parameters()) versions.push_back(param->version);
+  load_checkpoint(path, fresh);
+
+  const ParameterArena& a = model.arena();
+  const ParameterArena& b = fresh.arena();
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(std::memcmp(a.values(), b.values(),
+                        static_cast<std::size_t>(a.size()) * sizeof(float)),
+            0)
+      << "restored values differ";
+  const std::vector<Parameter*>& params = fresh.parameters();
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    EXPECT_GT(params[i]->version, versions[i])
+        << params[i]->name << ": load must bump the version";
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, ArenaSaveByteIdenticalToPerTensorSave) {
+  Model model = checkpoint_model(43);
+  fill_pattern(model);
+  model.arena();  // bind BEFORE either save: both paths see arena views
+  const std::string arena_path = temp_path("ckpt_arena");
+  const std::string tensor_path = temp_path("ckpt_tensor");
+  ASSERT_TRUE(save_checkpoint(arena_path, model));
+  ASSERT_TRUE(save_checkpoint_per_tensor(tensor_path, model));
+
+  const std::vector<char> arena_bytes = read_file_bytes(arena_path);
+  const std::vector<char> tensor_bytes = read_file_bytes(tensor_path);
+  ASSERT_FALSE(arena_bytes.empty());
+  EXPECT_EQ(arena_bytes, tensor_bytes)
+      << "single-write arena checkpoint differs from per-tensor bytes";
+  std::remove(arena_path.c_str());
+  std::remove(tensor_path.c_str());
+}
+
+TEST(Checkpoint, PerTensorSaveWithoutArenaMatchesArenaSave) {
+  // The legacy per-tensor writer must produce the same bytes whether or not
+  // the model has ever been arena-bound.
+  Model unbound = checkpoint_model(44);
+  fill_pattern(unbound);
+  const std::string unbound_path = temp_path("ckpt_unbound");
+  ASSERT_TRUE(save_checkpoint_per_tensor(unbound_path, unbound));
+
+  Model bound = checkpoint_model(44);
+  fill_pattern(bound);
+  const std::string bound_path = temp_path("ckpt_bound");
+  ASSERT_TRUE(save_checkpoint(bound_path, bound));
+
+  EXPECT_EQ(read_file_bytes(unbound_path), read_file_bytes(bound_path));
+  std::remove(unbound_path.c_str());
+  std::remove(bound_path.c_str());
+}
+
+TEST(Checkpoint, LegacyV1FileLoads) {
+  Model model = checkpoint_model(45);
+  fill_pattern(model);
+  const std::string path = temp_path("ckpt_v1");
+  ASSERT_TRUE(save_checkpoint_legacy(path, model));
+
+  Model fresh = checkpoint_model(46);
+  load_checkpoint(path, fresh);
+  const ParameterArena& a = model.arena();
+  const ParameterArena& b = fresh.arena();
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(std::memcmp(a.values(), b.values(),
+                        static_cast<std::size_t>(a.size()) * sizeof(float)),
+            0);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, GoldenPreArenaFixtureLoads) {
+  // Committed fixture written by the v1 (pre-arena, per-tensor interleaved)
+  // writer with the deterministic fill_pattern values. Regenerate with
+  // CSQ_REGEN_GOLDEN=1 only on a deliberate format change.
+  const std::string path = golden_path("golden_checkpoint_v1.csqc");
+  if (std::getenv("CSQ_REGEN_GOLDEN") != nullptr) {
+    Model writer = checkpoint_model(47);
+    fill_pattern(writer);
+    ASSERT_TRUE(save_checkpoint_legacy(path, writer));
+  }
+
+  Model model = checkpoint_model(48);
+  load_checkpoint(path, model);
+
+  // The loaded values must be exactly the deterministic pattern.
+  std::int64_t i = 0;
+  for (Parameter* param : model.parameters()) {
+    const float* data = param->value.data();
+    for (std::int64_t j = 0; j < param->value.numel(); ++j, ++i) {
+      ASSERT_EQ(data[j], 0.03125f * static_cast<float>(i % 257) - 4.0f)
+          << param->name << " element " << j;
+    }
+  }
+}
+
+TEST(Checkpoint, RejectsMismatchedModelAndCorruptFiles) {
+  Model model = checkpoint_model(49);
+  const std::string path = temp_path("ckpt_mismatch");
+  ASSERT_TRUE(save_checkpoint(path, model));
+
+  // Different architecture: parameter list differs.
+  Rng rng(50);
+  ModelConfig wide;
+  wide.num_classes = 4;
+  wide.base_width = 8;
+  Model other = make_resnet_cifar(8, wide, dense_weight_factory(), nullptr, rng);
+  EXPECT_THROW(load_checkpoint(path, other), check_error);
+
+  // Truncated payload.
+  const std::vector<char> bytes = read_file_bytes(path);
+  const std::string truncated_path = temp_path("ckpt_truncated");
+  {
+    std::ofstream out(truncated_path, std::ios::binary);
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size() - 64));
+  }
+  Model fresh = checkpoint_model(49);
+  EXPECT_THROW(load_checkpoint(truncated_path, fresh), check_error);
+
+  // Bad magic.
+  const std::string magic_path = temp_path("ckpt_badmagic");
+  {
+    std::ofstream out(magic_path, std::ios::binary);
+    out.write("NOPE", 4);
+    out.write(bytes.data() + 4,
+              static_cast<std::streamsize>(bytes.size() - 4));
+  }
+  Model fresh2 = checkpoint_model(49);
+  EXPECT_THROW(load_checkpoint(magic_path, fresh2), check_error);
+
+  std::remove(path.c_str());
+  std::remove(truncated_path.c_str());
+  std::remove(magic_path.c_str());
 }
 
 }  // namespace
