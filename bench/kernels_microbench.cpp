@@ -54,8 +54,11 @@
 #include "opt/data_parallel.h"
 #include "opt/sgd.h"
 #include "runtime/compiled_graph.h"
+#include "runtime/graph_artifact.h"
 #include "runtime/packed_weights.h"
+#include "serve/autoscaler.h"
 #include "serve/batching_server.h"
+#include "serve/transport.h"
 #include "quant/bsq_weight.h"
 #include "quant/dorefa_weight.h"
 #include "quant/lqnets_weight.h"
@@ -1042,7 +1045,197 @@ void write_serve_report(const std::string& path, int requests_per_producer) {
               << " us, shed " << row.stats.shed << ", timed out "
               << row.stats.timed_out << "\n";
   }
-  out << "\n  ]}\n}\n";
+  out << "\n  ]},\n";
+
+  // Transport row: the same closed loop, but over the loopback wire
+  // (serve/transport.h) — each client thread owns a TransportClient
+  // connection, so the row prices frame encode + TCP round trip + dispatch
+  // on top of the in-process numbers above.
+  {
+    serve::ServerOptions server_options;
+    server_options.max_batch = 8;
+    server_options.max_latency_us = 200;
+    serve::BatchingServer server(server_options);
+    std::vector<runtime::CompiledGraph> replicas;
+    replicas.push_back(runtime::replicate(graph));
+    replicas.push_back(runtime::replicate(graph));
+    server.add_model("m", std::move(replicas));
+    server.start();
+    serve::ServeTransport transport(server);
+    transport.start();
+
+    const int clients = 4;
+    const int total = clients * requests_per_producer;
+    std::vector<double> latencies_us(static_cast<std::size_t>(total), 0.0);
+    using clock = std::chrono::steady_clock;
+    const auto start = clock::now();
+    std::vector<std::thread> threads;
+    for (int c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        serve::TransportClient client(transport.port());
+        std::vector<float> logits;
+        for (int i = 0; i < requests_per_producer; ++i) {
+          const int s = (c + i) % kSamples;
+          const auto issued = clock::now();
+          client.infer("m", samples.data() + s * sample_numel,
+                       static_cast<std::size_t>(sample_numel), logits);
+          latencies_us[static_cast<std::size_t>(
+              c * requests_per_producer + i)] =
+              std::chrono::duration<double, std::micro>(clock::now() -
+                                                        issued)
+                  .count();
+        }
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+    const double seconds =
+        std::chrono::duration<double>(clock::now() - start).count();
+    const auto stats = transport.stats();
+    transport.stop();
+    server.stop();
+
+    std::sort(latencies_us.begin(), latencies_us.end());
+    const auto percentile = [&](double q) {
+      const auto index = static_cast<std::size_t>(
+          q * static_cast<double>(latencies_us.size() - 1));
+      return latencies_us[index];
+    };
+    const double throughput = static_cast<double>(total) / seconds;
+    out << "  \"transport\": {\"clients\": " << clients
+        << ", \"requests\": " << total
+        << ", \"throughput_rps\": " << throughput
+        << ", \"p50_us\": " << percentile(0.50)
+        << ", \"p99_us\": " << percentile(0.99)
+        << ", \"responses\": " << stats.responses
+        << ", \"transport_errors\": " << stats.transport_errors << "},\n";
+    std::cout << "serve transport c" << clients << ": " << throughput
+              << " req/s over loopback, p50 " << percentile(0.50)
+              << " us, p99 " << percentile(0.99) << " us\n";
+  }
+
+  // Autoscale row: replicas follow offered load at runtime — a shard
+  // starts at 1 replica, a queue-driven policy (serve/autoscaler.h) scales
+  // it up under a producer flood and back down once the flood stops.
+  {
+    serve::ServerOptions server_options;
+    server_options.max_batch = 1;  // one forward per request: easy backlog
+    server_options.max_replicas = 3;
+    serve::BatchingServer server(server_options);
+    std::vector<runtime::CompiledGraph> replicas;
+    replicas.push_back(runtime::replicate(graph));
+    server.add_model("m", std::move(replicas));
+    server.start();
+
+    serve::AutoscalerOptions policy;
+    policy.interval_us = 2'000;
+    policy.max_replicas = 3;
+    policy.up_queue_depth = 2;
+    policy.up_ticks = 2;
+    policy.down_idle_ticks = 5;
+    policy.cooldown_ticks = 1;
+    serve::ReplicaAutoscaler autoscaler(server, "m", policy);
+    autoscaler.start();
+
+    const auto poll_replicas = [&](int want, bool at_least) {
+      for (int i = 0; i < 600; ++i) {
+        const int active = server.stats("m").replicas_active;
+        if (at_least ? active >= want : active <= want) return true;
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
+      return false;
+    };
+
+    const serve::ModelHandle handle = server.handle("m");
+    std::atomic<bool> load{true};
+    using clock = std::chrono::steady_clock;
+    const auto start = clock::now();
+    std::vector<std::thread> producers;
+    for (int p = 0; p < 6; ++p) {
+      producers.emplace_back([&] {
+        std::vector<float> logits(10);
+        while (load.load()) {
+          server.try_infer(handle, samples.data(), logits.data());
+        }
+      });
+    }
+    const bool scaled_up = poll_replicas(2, /*at_least=*/true);
+    const double up_ms =
+        std::chrono::duration<double, std::milli>(clock::now() - start)
+            .count();
+    const int peak = server.stats("m").replicas_active;
+    load.store(false);
+    for (std::thread& producer : producers) producer.join();
+    const bool scaled_down = poll_replicas(1, /*at_least=*/false);
+    const auto stats = server.stats("m");
+    autoscaler.stop();
+    server.stop();
+
+    out << "  \"autoscale\": {\"min_replicas\": 1, \"max_replicas\": 3"
+        << ", \"scaled_up\": " << (scaled_up ? "true" : "false")
+        << ", \"time_to_scale_up_ms\": " << up_ms
+        << ", \"peak_replicas\": " << peak
+        << ", \"scaled_back_down\": " << (scaled_down ? "true" : "false")
+        << ", \"scale_ups\": " << stats.scale_ups
+        << ", \"scale_downs\": " << stats.scale_downs << "},\n";
+    std::cout << "serve autoscale: 1 -> " << peak << " replicas in " << up_ms
+              << " ms under load, back to " << stats.replicas_active
+              << " when idle (" << stats.scale_ups << " ups, "
+              << stats.scale_downs << " downs)\n";
+  }
+
+  // Mmap row: unique (private-dirty) memory added by loading one more
+  // replica from the SAME artifact — copy loading re-packs weights into
+  // anonymous heap pages, mmap loading borrows the file's page cache
+  // (read-only file pages are never dirty), which is what lets N serving
+  // processes share one copy of the weights.
+  {
+    const auto private_dirty_kb = [] {
+      std::ifstream in("/proc/self/smaps_rollup");
+      std::string line;
+      while (std::getline(in, line)) {
+        if (line.rfind("Private_Dirty:", 0) == 0) {
+          return std::strtol(line.c_str() + 14, nullptr, 10);
+        }
+      }
+      return -1L;
+    };
+    const std::string artifact_path = "BENCH_serve_mmap.csqm";
+    if (runtime::save_graph(artifact_path, graph)) {
+      const long before_mmap = private_dirty_kb();
+      runtime::CompiledGraph mapped =
+          runtime::load_graph_mmap(artifact_path, /*pooled=*/false);
+      const long after_mmap = private_dirty_kb();
+      runtime::CompiledGraph copied =
+          runtime::load_graph(artifact_path, /*pooled=*/false);
+      const long after_copy = private_dirty_kb();
+      const long mmap_kb = after_mmap - before_mmap;
+      const long copy_kb = after_copy - after_mmap;
+      // Both serve the same bits (spot-check, and keeps the loads live
+      // across the measurements above).
+      Tensor probe = random_tensor({1, 3, side, side}, data_rng);
+      const Tensor a = mapped.forward(probe);
+      const Tensor b = copied.forward(probe);
+      bool identical = true;
+      for (std::int64_t i = 0; i < a.numel(); ++i) {
+        identical = identical && a[i] == b[i];
+      }
+      out << "  \"mmap\": {\"copy_load_private_dirty_kb\": " << copy_kb
+          << ", \"mmap_load_private_dirty_kb\": " << mmap_kb
+          << ", \"unique_rss_ratio\": "
+          << (copy_kb > 0 ? static_cast<double>(mmap_kb) /
+                                static_cast<double>(copy_kb)
+                          : 0.0)
+          << ", \"bit_identical\": " << (identical ? "true" : "false")
+          << "}\n}\n";
+      std::cout << "serve mmap: +" << mmap_kb
+                << " KiB private-dirty per mmap replica vs +" << copy_kb
+                << " KiB per copy replica ("
+                << (identical ? "bit-identical" : "MISMATCH") << ")\n";
+      std::remove(artifact_path.c_str());
+    } else {
+      out << "  \"mmap\": {\"error\": \"save_graph failed\"}\n}\n";
+    }
+  }
   std::cout << "wrote " << path << "\n";
 }
 

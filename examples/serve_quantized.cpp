@@ -9,10 +9,22 @@
 // bit-identity of loaded-vs-direct forwards, per-request correctness under
 // concurrency and the throughput/batching statistics.
 //
-//   $ ./examples/serve_quantized
+// The second half re-serves the artifact CROSS-PROCESS: the parent
+// memory-maps the artifact (load_graph_mmap — N processes share one page
+// cache), exposes it over the loopback transport (serve/transport.h) and
+// forks two client processes (`--client <port> <fixture>`) that each drive
+// it over TCP, checking every response bit-for-bit against the in-process
+// forwards the parent wrote into the fixture file.
+//
+//   $ ./examples/serve_quantized            # parent: server + forked clients
+//   $ ./examples/serve_quantized --client <port> <fixture>   # internal
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -25,13 +37,83 @@
 #include "runtime/compiled_graph.h"
 #include "runtime/graph_artifact.h"
 #include "serve/batching_server.h"
+#include "serve/transport.h"
 #include "tensor/ops.h"
 #include "util/logging.h"
 #include "util/rng.h"
 
-int main() {
+namespace {
+
+// Fixture the parent hands each client process: the request samples plus
+// the parent's own in-process forwards as the bit-identity oracle.
+//   u32 n_samples | u32 sample_numel | u32 out_features
+//   f32 samples[n * sample_numel] | f32 expected[n * out_features]
+bool write_client_fixture(const std::string& path, const csq::Tensor& samples,
+                          const std::vector<csq::Tensor>& expected,
+                          std::int64_t sample_numel,
+                          std::int64_t out_features) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  const std::uint32_t header[3] = {
+      static_cast<std::uint32_t>(expected.size()),
+      static_cast<std::uint32_t>(sample_numel),
+      static_cast<std::uint32_t>(out_features)};
+  out.write(reinterpret_cast<const char*>(header), sizeof(header));
+  out.write(reinterpret_cast<const char*>(samples.data()),
+            static_cast<std::streamsize>(samples.numel() * sizeof(float)));
+  for (const csq::Tensor& logits : expected) {
+    out.write(reinterpret_cast<const char*>(logits.data()),
+              static_cast<std::streamsize>(logits.numel() * sizeof(float)));
+  }
+  return out.good();
+}
+
+// Client-process mode: drive the parent's loopback transport and verify
+// every response against the fixture oracle. Exit 0 = all bit-identical.
+int run_client(std::uint16_t port, const std::string& fixture_path) {
+  std::ifstream in(fixture_path, std::ios::binary);
+  if (!in) return 2;
+  std::uint32_t header[3] = {0, 0, 0};
+  in.read(reinterpret_cast<char*>(header), sizeof(header));
+  const std::uint32_t n = header[0], sample_numel = header[1],
+                      out_features = header[2];
+  std::vector<float> samples(static_cast<std::size_t>(n) * sample_numel);
+  std::vector<float> expected(static_cast<std::size_t>(n) * out_features);
+  in.read(reinterpret_cast<char*>(samples.data()),
+          static_cast<std::streamsize>(samples.size() * sizeof(float)));
+  in.read(reinterpret_cast<char*>(expected.data()),
+          static_cast<std::streamsize>(expected.size() * sizeof(float)));
+  if (!in.good()) return 2;
+
+  csq::serve::TransportClient client(port);
+  if (!client.connected()) return 3;
+  std::vector<float> logits;
+  for (std::uint32_t round = 0; round < 4; ++round) {
+    for (std::uint32_t s = 0; s < n; ++s) {
+      const csq::serve::WireStatus status =
+          client.infer("resnet20", samples.data() + s * sample_numel,
+                       sample_numel, logits);
+      if (status != csq::serve::WireStatus::kOk) return 4;
+      if (logits.size() != out_features ||
+          std::memcmp(logits.data(), expected.data() + s * out_features,
+                      out_features * sizeof(float)) != 0) {
+        return 5;
+      }
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace csq;
   set_log_level(LogLevel::warn);
+
+  if (argc == 4 && std::strcmp(argv[1], "--client") == 0) {
+    return run_client(static_cast<std::uint16_t>(std::atoi(argv[2])),
+                      argv[3]);
+  }
 
   const std::int64_t side = 16;
   const std::string artifact_path = "resnet20_int8.csqm";
@@ -183,8 +265,62 @@ int main() {
             << final_stats.quarantines << ", restores "
             << final_stats.restores << "\n";
 
+  // ---- cross-process serving ---------------------------------------------
+  // Re-serve the SAME artifact over the loopback transport, with replicas
+  // that memory-map the weight section instead of copying it (two replicas
+  // share one mapping here; separate processes mapping the same file share
+  // one page cache). Two forked client processes each drive the server
+  // over TCP and verify every response bit-for-bit against the parent's
+  // in-process forwards (shipped to them in a fixture file).
+  serve::BatchingServer wire_server;
+  {
+    std::vector<runtime::CompiledGraph> wire_replicas;
+    wire_replicas.push_back(
+        runtime::load_graph_mmap(artifact_path, /*pooled=*/false));
+    wire_replicas.push_back(runtime::replicate(wire_replicas.front()));
+    wire_server.add_model("resnet20", std::move(wire_replicas));
+  }
+  wire_server.start();
+  serve::ServeTransport transport(wire_server);
+  transport.start();
+
+  const std::string fixture_path = "serve_client_fixture.bin";
+  bool clients_ok =
+      write_client_fixture(fixture_path, samples, expected, sample_numel,
+                           shape.out_features);
+  int client_failures = 0;
+  if (clients_ok) {
+    const std::string port_arg = std::to_string(transport.port());
+    std::vector<pid_t> children;
+    for (int c = 0; c < 2; ++c) {
+      const pid_t pid = ::fork();
+      if (pid == 0) {
+        ::execl("/proc/self/exe", "serve_quantized", "--client",
+                port_arg.c_str(), fixture_path.c_str(),
+                static_cast<char*>(nullptr));
+        ::_exit(127);  // exec failed
+      }
+      if (pid > 0) children.push_back(pid);
+    }
+    clients_ok = children.size() == 2;
+    for (const pid_t pid : children) {
+      int status = 0;
+      ::waitpid(pid, &status, 0);
+      if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) ++client_failures;
+    }
+  }
+  clients_ok = clients_ok && client_failures == 0;
+  const auto wire_stats = transport.stats();
+  std::cout << "\ncross-process: 2 forked clients drove "
+            << wire_stats.responses
+            << " requests over loopback against mmap-loaded replicas: "
+            << (clients_ok ? "all bit-identical" : "FAILURES!") << "\n";
+  transport.stop();
+  wire_server.stop();
+  std::remove(fixture_path.c_str());
+
   std::remove(artifact_path.c_str());
-  return mismatches.load() == 0 && identical &&
+  return mismatches.load() == 0 && identical && clients_ok &&
                  deadline_status == serve::ServeStatus::kOk &&
                  late_status == serve::ServeStatus::kShuttingDown
              ? 0

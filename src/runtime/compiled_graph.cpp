@@ -1271,7 +1271,11 @@ namespace {
 // with live lowering.
 class GraphBuilder {
  public:
-  GraphBuilder(CompiledGraph::Impl& g) : g_(g) {
+  // `mapped` is the borrowed-weight table of an mmap-loaded program (null
+  // for regular programs): conv/linear layers then adopt pre-packed views
+  // from it, in lowering order, instead of packing from the layer codes.
+  GraphBuilder(CompiledGraph::Impl& g, const MappedWeightTable* mapped)
+      : g_(g), mapped_(mapped) {
     EdgeData input;
     input.channels = g.options.in_channels;
     input.height = g.options.in_height;
@@ -1280,6 +1284,28 @@ class GraphBuilder {
     g_.input_edge = 0;
     current_edge_ = 0;
     add_op(std::make_unique<QuantizeInputOp>(0), {}, {0});
+  }
+
+  // Packs (or borrows) one layer's weights for the replayed conv/linear.
+  PackedIntWeights make_packed(const QuantizedLayerExport& layer,
+                               const ProgramInstr& instr, std::int64_t rows,
+                               std::int64_t cols) {
+    if (mapped_ == nullptr) {
+      return PackedIntWeights(layer.codes, layer.step(), layer.bits, rows,
+                              cols,
+                              static_cast<WeightKernel>(instr.kernel_kind));
+    }
+    CSQ_CHECK(next_mapped_ < mapped_->entries.size())
+        << "mmap artifact: weight table holds " << mapped_->entries.size()
+        << " entries but the program replays more conv/linear layers";
+    const MappedWeightTable::Entry& entry = mapped_->entries[next_mapped_++];
+    CSQ_CHECK(entry.rows == rows && entry.cols == cols)
+        << "mmap artifact: " << layer.name << " weight extents " << entry.rows
+        << "x" << entry.cols << " do not match the replayed layer (" << rows
+        << "x" << cols << ")";
+    return PackedIntWeights(entry.spans, layer.step(), layer.bits,
+                            entry.shift, rows, cols,
+                            static_cast<WeightKernel>(instr.kernel_kind));
   }
 
   void conv(const QuantizedLayerExport& layer, const ProgramInstr& instr) {
@@ -1309,9 +1335,8 @@ class GraphBuilder {
     geom.pad = instr.pad;
     geom.validate();
 
-    PackedIntWeights packed(layer.codes, layer.step(), layer.bits,
-                            out_channels, geom.col_rows(),
-                            static_cast<WeightKernel>(instr.kernel_kind));
+    PackedIntWeights packed =
+        make_packed(layer, instr, out_channels, geom.col_rows());
     const bool direct =
         instr.kernel == 1 && instr.stride == 1 && instr.pad == 0;
     const int acc = new_acc_edge(out_channels, geom.out_h(), geom.out_w());
@@ -1349,9 +1374,8 @@ class GraphBuilder {
               static_cast<std::int64_t>(instr.bias.size()) == out_features)
         << "lowering " << layer.name << ": bias length mismatch";
 
-    PackedIntWeights packed(layer.codes, layer.step(), layer.bits,
-                            out_features, in_features,
-                            static_cast<WeightKernel>(instr.kernel_kind));
+    PackedIntWeights packed =
+        make_packed(layer, instr, out_features, in_features);
     auto op = std::make_unique<LinearOp>(layer.name, in, std::move(packed),
                                          instr.bias);
     record_layer(layer.name, op->weights());
@@ -1713,6 +1737,8 @@ class GraphBuilder {
   }
 
   CompiledGraph::Impl& g_;
+  const MappedWeightTable* mapped_ = nullptr;
+  std::size_t next_mapped_ = 0;  // borrowed entries consumed so far
   Pending pending_;
   std::vector<Frame> residual_stack_;
   std::vector<OpMeta> op_meta_;  // parallel to g_.ops
@@ -1806,6 +1832,11 @@ Tensor CompiledGraph::dequantized_weights(
   return Tensor();
 }
 
+const std::vector<const PackedIntWeights*>&
+CompiledGraph::layer_weight_views() const {
+  return impl_->layer_weights;
+}
+
 std::string CompiledGraph::describe() const {
   std::ostringstream out;
   for (const auto& op : impl_->ops) {
@@ -1894,7 +1925,7 @@ void replay_program(CompiledGraph::Impl& impl, const GraphProgram& program,
   impl.options = options;
   impl.levels = (std::int64_t{1} << options.act_bits) - 1;
   impl.pooled = options.pooled;
-  GraphBuilder builder(impl);
+  GraphBuilder builder(impl, program.mapped.get());
   const auto layer_of = [&program](const ProgramInstr& instr) ->
       const QuantizedLayerExport& {
     CSQ_CHECK(instr.layer >= 0 &&
@@ -1957,6 +1988,23 @@ void replay_program(CompiledGraph::Impl& impl, const GraphProgram& program,
 // force_reference_kernel pins everything to the s8u8 baseline.
 void resolve_kernel_selection(GraphProgram& program,
                               const LowerOptions& options) {
+  // Mmap-loaded programs carry no owned codes to re-derive a selection from
+  // — the borrowed panels were packed for the recorded kernels, so the
+  // recorded kinds are the only valid replay.
+  if (program.mapped != nullptr) {
+    CSQ_CHECK(!options.force_reference_kernel)
+        << "mmap artifact: force_reference_kernel would mismatch the "
+           "borrowed panels; use load_graph for kernel A/B runs";
+    for (const ProgramInstr& instr : program.instrs) {
+      if (instr.kind != ProgramInstr::Kind::kConv &&
+          instr.kind != ProgramInstr::Kind::kLinear) {
+        continue;
+      }
+      CSQ_CHECK(instr.kernel_kind >= 0)
+          << "mmap artifact: unresolved kernel kind on a mapped program";
+    }
+    return;
+  }
   for (ProgramInstr& instr : program.instrs) {
     if (instr.kind != ProgramInstr::Kind::kConv &&
         instr.kind != ProgramInstr::Kind::kLinear) {

@@ -49,6 +49,8 @@
 namespace csq {
 namespace runtime {
 
+class PackedIntWeights;  // runtime/packed_weights.h
+
 struct LowerOptions {
   // Per-sample input extents (the module tree is shape-polymorphic; the
   // compiled graph is not).
@@ -140,6 +142,11 @@ class CompiledGraph {
   // Bit-exact reconstruction of a lowered layer's weights from its packed
   // int8 codes (flat tensor, row-major (out, in) / (oc, ic*kh*kw)).
   Tensor dequantized_weights(const std::string& layer_name) const;
+
+  // The packed weights of every lowered conv/linear layer, in lowering
+  // order (parallel to layers()) — the v5 artifact weight section
+  // serializes their planes and kernel panels (runtime/graph_artifact.h).
+  const std::vector<const PackedIntWeights*>& layer_weight_views() const;
 
   // Human-readable op listing for debugging / the deploy example.
   std::string describe() const;

@@ -1,5 +1,8 @@
 #include "runtime/graph_artifact.h"
 
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -8,9 +11,13 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <istream>
+#include <memory>
 #include <sstream>
+#include <streambuf>
 
 #include "core/model_io.h"
+#include "runtime/packed_weights.h"
 #include "util/check.h"
 #include "util/crc32.h"
 #include "util/failpoint.h"
@@ -27,12 +34,17 @@ constexpr char kGraphMagic[4] = {'C', 'S', 'Q', 'G'};
 // path of a conv/linear layer) and the avg-pool exclude_pad flag; v4 adds
 // nothing to the section body but appends a CRC-32 trailer over every
 // preceding container byte, so torn or bit-flipped artifacts are rejected
-// at load instead of deserialized. The writer emits v4; the reader accepts
-// all — v1 files (tests/data/golden_v3.csqm pins one) decode kernel_w = 0
-// (square), pre-v3 files decode kernel_kind = -1 (re-resolved
-// deterministically at build_graph) and exclude_pad = false, and pre-v4
-// files simply skip CRC verification, preserving bit-identical serving.
-constexpr std::uint32_t kGraphSectionVersion = 4;
+// at load instead of deserialized; v5 appends a packed-weights section
+// (each layer's int8 planes + prepacked kernel panels, 64-byte aligned)
+// between the edge records and the CRC trailer, so load_graph_mmap can
+// borrow weight pages straight from a read-only mapping. The writer emits
+// v5; the reader accepts all — v1 files (tests/data/golden_v3.csqm pins
+// one) decode kernel_w = 0 (square), pre-v3 files decode kernel_kind = -1
+// (re-resolved deterministically at build_graph) and exclude_pad = false,
+// pre-v4 files simply skip CRC verification, and load_graph ignores the v5
+// weight section entirely (it re-packs from the codes), preserving
+// bit-identical serving.
+constexpr std::uint32_t kGraphSectionVersion = 5;
 constexpr std::uint32_t kMinGraphSectionVersion = 1;
 // Sanity bounds for reading untrusted artifacts.
 constexpr std::uint32_t kMaxInstrs = 1 << 20;
@@ -40,6 +52,10 @@ constexpr std::uint32_t kMaxEdges = 1 << 20;
 constexpr std::uint32_t kMaxVectorLength = 1 << 24;
 constexpr std::int64_t kMaxExtent = 1 << 20;
 constexpr std::size_t kCrcTrailerBytes = sizeof(std::uint32_t);
+// File-offset alignment of every weight-section blob. mmap bases are
+// page-aligned, so file-offset alignment IS memory alignment for the
+// borrowed int16 panels (and keeps blobs cache-line aligned).
+constexpr std::size_t kWeightAlignment = 64;
 
 using model_io::read_pod;
 using model_io::write_pod;
@@ -61,11 +77,25 @@ std::vector<float> read_float_vector(std::istream& in) {
   return values;
 }
 
-// Serializes the whole container (layer section + graph section, no CRC
-// trailer) — the byte range the v4 trailer covers.
+// Zero-pads `out` so the next byte lands on a kWeightAlignment boundary of
+// the payload (== file) offset.
+void pad_to_alignment(std::ostream& out) {
+  static const char zeros[kWeightAlignment] = {};
+  const auto pos = static_cast<std::size_t>(out.tellp());
+  const std::size_t misalign = pos % kWeightAlignment;
+  if (misalign != 0) {
+    out.write(zeros,
+              static_cast<std::streamsize>(kWeightAlignment - misalign));
+  }
+}
+
+// Serializes the whole container (layer section + graph section + v5
+// packed-weights section, no CRC trailer) — the byte range the trailer
+// covers. `weights` are the built graph's packed layers in lowering order.
 void write_payload(std::ostream& out, const GraphProgram& program,
                    const LowerOptions& options,
-                   const std::vector<EdgeScaleRecord>& edges) {
+                   const std::vector<EdgeScaleRecord>& edges,
+                   const std::vector<const PackedIntWeights*>& weights) {
   model_io::write_container_header(
       out, model_io::kGraphContainerVersion,
       static_cast<std::uint32_t>(program.layers.size()));
@@ -81,7 +111,12 @@ void write_payload(std::ostream& out, const GraphProgram& program,
   write_pod(out, static_cast<std::int32_t>(options.act_bits));
 
   write_pod(out, static_cast<std::uint32_t>(program.instrs.size()));
+  std::vector<std::int32_t> weight_layer_indices;
   for (const ProgramInstr& instr : program.instrs) {
+    if (instr.kind == ProgramInstr::Kind::kConv ||
+        instr.kind == ProgramInstr::Kind::kLinear) {
+      weight_layer_indices.push_back(instr.layer);
+    }
     write_pod(out, static_cast<std::uint8_t>(instr.kind));
     write_pod(out, instr.layer);
     write_pod(out, instr.kernel);
@@ -104,83 +139,201 @@ void write_payload(std::ostream& out, const GraphProgram& program,
     write_pod(out, edge.levels);
     write_pod(out, edge.zero_point);
   }
-}
 
-}  // namespace
-
-bool save_graph(const std::string& path, CompiledGraph& graph) {
-  // Resolve (and validate) the scales before touching the filesystem so an
-  // uncalibrated graph fails cleanly without leaving a partial file.
-  const std::vector<EdgeScaleRecord> edges = graph.edge_scales();
-  const GraphProgram& program = graph.program();
-  const LowerOptions& options = graph.options();
-  CSQ_CHECK(!program.instrs.empty())
-      << "save_graph: graph carries no lowering program";
-
-  // Serialize to memory first: the CRC trailer covers the exact payload
-  // bytes, and the file write below becomes a single streamed copy.
-  std::ostringstream buffer(std::ios::binary);
-  write_payload(buffer, program, options, edges);
-  CSQ_CHECK(static_cast<bool>(buffer))
-      << "save_graph: in-memory serialization failed";
-  const std::string payload = buffer.str();
-  const std::uint32_t checksum = crc32(payload.data(), payload.size());
-
-  // Crash-safe publish: write a sibling temp file, fsync-free but fully
-  // flushed, then atomically rename over the destination. A crash or I/O
-  // failure mid-write leaves the destination either absent or the previous
-  // complete artifact — never a truncated file a later load_graph trusts.
-  static std::atomic<std::uint64_t> temp_counter{0};
-  const std::string temp_path =
-      path + ".tmp." + std::to_string(static_cast<long>(::getpid())) + "." +
-      std::to_string(temp_counter.fetch_add(1, std::memory_order_relaxed));
-  {
-    std::ofstream out(temp_path, std::ios::binary | std::ios::trunc);
-    if (!out) return false;
-    out.write(payload.data(),
-              static_cast<std::streamsize>(payload.size()));
-    // Mid-write I/O failure injection (disk full): the destination must be
-    // untouched and the temp file must not survive.
-    CSQ_FAILPOINT_STREAM("artifact.write", out);
-    write_pod(out, checksum);
-    out.flush();
-    if (!out) {
-      std::remove(temp_path.c_str());
-      return false;
+  // v5 packed-weights section: the exact bytes the serving-time GEMM
+  // consumes, one entry per conv/linear layer in lowering order, every blob
+  // aligned so a mapped view can be consumed in place.
+  CSQ_CHECK(weights.size() == weight_layer_indices.size())
+      << "save_graph: " << weights.size() << " packed layers for "
+      << weight_layer_indices.size() << " conv/linear instructions";
+  write_pod(out, static_cast<std::uint32_t>(weights.size()));
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const PackedIntWeights& w = *weights[i];
+    const std::int64_t count = w.rows() * w.cols();
+    write_pod(out, weight_layer_indices[i]);
+    write_pod(out, w.rows());
+    write_pod(out, w.cols());
+    write_pod(out, static_cast<std::int32_t>(w.shift()));
+    write_pod(out, static_cast<std::int32_t>(w.kernel()));
+    write_pod(out, static_cast<std::uint8_t>(w.split() ? 1 : 0));
+    pad_to_alignment(out);
+    out.write(reinterpret_cast<const char*>(w.primary_data()),
+              static_cast<std::streamsize>(count));
+    if (w.split()) {
+      pad_to_alignment(out);
+      out.write(reinterpret_cast<const char*>(w.low_data()),
+                static_cast<std::streamsize>(count));
+    }
+    switch (w.kernel()) {
+      case WeightKernel::kBitSerial:
+      case WeightKernel::kBitSerialWide: {
+        const std::int64_t panel_count =
+            gemm_s8u8_lowbit_packed_a_size(w.rows(), w.cols());
+        pad_to_alignment(out);
+        out.write(reinterpret_cast<const char*>(w.lowbit_panel_data()),
+                  static_cast<std::streamsize>(panel_count));
+        break;
+      }
+      case WeightKernel::kNibble: {
+        const std::int64_t panel_count =
+            gemm_s8u8_nibble_packed_a_size(w.rows(), w.cols());
+        pad_to_alignment(out);
+        out.write(reinterpret_cast<const char*>(w.nibble_panel_data()),
+                  static_cast<std::streamsize>(panel_count));
+        break;
+      }
+      default: {
+        const std::int64_t panel_count =
+            gemm_s8u8_packed_a_size(w.rows(), w.cols());
+        pad_to_alignment(out);
+        out.write(
+            reinterpret_cast<const char*>(w.s8u8_panel_data()),
+            static_cast<std::streamsize>(panel_count *
+                                         static_cast<std::int64_t>(
+                                             sizeof(std::int16_t))));
+        if (w.split()) {
+          pad_to_alignment(out);
+          out.write(
+              reinterpret_cast<const char*>(w.s8u8_low_panel_data()),
+              static_cast<std::streamsize>(panel_count *
+                                           static_cast<std::int64_t>(
+                                               sizeof(std::int16_t))));
+        }
+        break;
+      }
     }
   }
-  if (std::rename(temp_path.c_str(), path.c_str()) != 0) {
-    std::remove(temp_path.c_str());
-    return false;
-  }
-  return true;
 }
 
-CompiledGraph load_graph(const std::string& path, bool pooled) {
-  CSQ_FAILPOINT("artifact.read");
-  std::ifstream file(path, std::ios::binary);
-  CSQ_CHECK(static_cast<bool>(file))
-      << "graph artifact: cannot open " << path;
-  // Read the whole artifact up front: the v4 CRC trailer covers every
-  // preceding byte, so integrity is decided on the exact file image before
-  // any field is trusted (artifacts are compact — the weights are sub-byte
-  // codes).
-  std::ostringstream sink(std::ios::binary);
-  sink << file.rdbuf();
-  CSQ_CHECK(static_cast<bool>(file) || file.eof())
-      << "graph artifact: cannot read " << path;
-  const std::string bytes = sink.str();
-  std::istringstream in(bytes, std::ios::binary);
+// Forces `path`'s dirty state to stable storage: file data pages for a
+// regular file, the entry table for a directory (pass O_DIRECTORY).
+bool sync_path(const char* path, int flags) {
+  const int fd = ::open(path, flags | O_CLOEXEC);
+  if (fd < 0) return false;
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+}
 
+// Directory component of `path` ("." when the path has none) — the directory
+// whose entry table must be fsynced for a rename into it to be durable.
+std::string parent_directory(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+// ---- shared parse of the layer + graph sections ---------------------------
+
+// Read-only istream over an existing byte span (the mmap'd artifact) with
+// full seek support — parsing never copies the underlying bytes.
+class SpanStreamBuf final : public std::streambuf {
+ public:
+  SpanStreamBuf(const char* data, std::size_t size) {
+    char* base = const_cast<char*>(data);
+    setg(base, base, base + size);
+  }
+
+ protected:
+  pos_type seekoff(off_type off, std::ios_base::seekdir dir,
+                   std::ios_base::openmode which) override {
+    if (!(which & std::ios_base::in)) return pos_type(off_type(-1));
+    const off_type size = egptr() - eback();
+    off_type target = 0;
+    switch (dir) {
+      case std::ios_base::beg:
+        target = off;
+        break;
+      case std::ios_base::cur:
+        target = (gptr() - eback()) + off;
+        break;
+      case std::ios_base::end:
+        target = size + off;
+        break;
+      default:
+        return pos_type(off_type(-1));
+    }
+    if (target < 0 || target > size) return pos_type(off_type(-1));
+    setg(eback(), eback() + target, egptr());
+    return pos_type(target);
+  }
+
+  pos_type seekpos(pos_type pos, std::ios_base::openmode which) override {
+    return seekoff(off_type(pos), std::ios_base::beg, which);
+  }
+};
+
+// Layer-record metadata without the code payload: reads name/shape/bits/
+// scale/denominator, then SEEKS over the i16 codes (layer.codes stays
+// empty) — the mmap path packs from the v5 weight section instead of the
+// codes, so it never materializes them.
+QuantizedLayerExport read_layer_metadata(std::istream& in,
+                                         std::uint32_t version) {
+  QuantizedLayerExport layer;
+  const auto name_length = read_pod<std::uint32_t>(in);
+  CSQ_CHECK(name_length <= 4096) << "graph artifact: absurd name length";
+  layer.name.resize(name_length);
+  in.read(layer.name.data(), name_length);
+  CSQ_CHECK(static_cast<bool>(in)) << "graph artifact: truncated name";
+
+  const auto rank = read_pod<std::uint32_t>(in);
+  CSQ_CHECK(rank <= 8) << "graph artifact: absurd layer rank";
+  layer.shape.resize(rank);
+  std::int64_t count = 1;
+  constexpr std::int64_t kMaxElements = std::int64_t{1} << 33;
+  for (std::uint32_t d = 0; d < rank; ++d) {
+    layer.shape[d] = read_pod<std::int64_t>(in);
+    CSQ_CHECK(layer.shape[d] >= 0) << "graph artifact: negative dim";
+    CSQ_CHECK(layer.shape[d] == 0 || count <= kMaxElements / layer.shape[d])
+        << "graph artifact: absurd element count";
+    count *= layer.shape[d];
+  }
+
+  layer.bits = read_pod<std::int32_t>(in);
+  CSQ_CHECK(layer.bits >= 0 && layer.bits <= 8)
+      << "graph artifact: bits out of range";
+  layer.scale = read_pod<float>(in);
+  if (version >= 2) {
+    layer.denominator = read_pod<float>(in);
+    CSQ_CHECK(layer.denominator >= 1.0f && layer.denominator <= 255.0f)
+        << "graph artifact: bad grid denominator";
+  }
+  in.seekg(static_cast<std::streamoff>(count) *
+               static_cast<std::streamoff>(sizeof(std::int16_t)),
+           std::ios_base::cur);
+  CSQ_CHECK(static_cast<bool>(in)) << "graph artifact: truncated codes";
+  return layer;
+}
+
+struct ParsedArtifact {
+  GraphProgram program;
+  LowerOptions options;
+  std::vector<EdgeScaleRecord> edges;
+  std::uint32_t section_version = 0;
+};
+
+// Parses the layer + graph sections from `in`, whose underlying image is
+// [data, data + size). For v4+ the CRC trailer (the last four bytes of the
+// image) is verified BEFORE any graph-section field is deserialized.
+// skip_layer_codes leaves every layer's code vector empty (mmap path).
+// On return the stream is positioned right after the edge records — where
+// the v5 weight section begins.
+ParsedArtifact parse_artifact(std::istream& in, const char* data,
+                              std::size_t size, bool pooled,
+                              bool skip_layer_codes) {
+  ParsedArtifact parsed;
   const auto [version, layer_count] = model_io::read_container_header(in);
   CSQ_CHECK(version == model_io::kGraphContainerVersion)
-      << "graph artifact: " << path << " is a plain quantized-model "
-      << "container (version " << version << ") with no graph section";
+      << "graph artifact: file is a plain quantized-model container "
+      << "(version " << version << ") with no graph section";
 
-  GraphProgram program;
+  GraphProgram& program = parsed.program;
   program.layers.reserve(layer_count);
   for (std::uint32_t l = 0; l < layer_count; ++l) {
-    program.layers.push_back(model_io::read_layer_record(in, version));
+    program.layers.push_back(skip_layer_codes
+                                 ? read_layer_metadata(in, version)
+                                 : model_io::read_layer_record(in, version));
   }
 
   char magic[4] = {};
@@ -192,23 +345,23 @@ CompiledGraph load_graph(const std::string& path, bool pooled) {
             section_version <= kGraphSectionVersion)
       << "graph artifact: unsupported graph-section version "
       << section_version;
+  parsed.section_version = section_version;
 
   // v4+: the last four bytes are crc32 over everything before them. Verify
   // BEFORE deserializing the remaining sections — a torn or bit-flipped
   // artifact must be rejected as corrupt, not parsed into a wrong graph.
   if (section_version >= 4) {
-    CSQ_CHECK(bytes.size() > kCrcTrailerBytes)
-        << "graph artifact: truncated";
-    const std::size_t payload_size = bytes.size() - kCrcTrailerBytes;
+    CSQ_CHECK(size > kCrcTrailerBytes) << "graph artifact: truncated";
+    const std::size_t payload_size = size - kCrcTrailerBytes;
     std::uint32_t stored = 0;
-    std::memcpy(&stored, bytes.data() + payload_size, kCrcTrailerBytes);
-    const std::uint32_t actual = crc32(bytes.data(), payload_size);
+    std::memcpy(&stored, data + payload_size, kCrcTrailerBytes);
+    const std::uint32_t actual = crc32(data, payload_size);
     CSQ_CHECK(stored == actual)
         << "graph artifact: CRC mismatch (stored " << stored << ", computed "
         << actual << ") — torn write or corrupted file";
   }
 
-  LowerOptions options;
+  LowerOptions& options = parsed.options;
   options.in_channels = read_pod<std::int64_t>(in);
   options.in_height = read_pod<std::int64_t>(in);
   options.in_width = read_pod<std::int64_t>(in);
@@ -281,19 +434,271 @@ CompiledGraph load_graph(const std::string& path, bool pooled) {
   const auto edge_count = read_pod<std::uint32_t>(in);
   CSQ_CHECK(edge_count <= kMaxEdges)
       << "graph artifact: absurd edge count " << edge_count;
-  std::vector<EdgeScaleRecord> edges;
-  edges.reserve(edge_count);
+  parsed.edges.reserve(edge_count);
   for (std::uint32_t e = 0; e < edge_count; ++e) {
     EdgeScaleRecord record;
     record.is_acc = read_pod<std::uint8_t>(in) != 0;
     record.scale = read_pod<float>(in);
     record.levels = read_pod<float>(in);
     record.zero_point = read_pod<std::int32_t>(in);
-    edges.push_back(record);
+    parsed.edges.push_back(record);
+  }
+  return parsed;
+}
+
+// Owns one read-only mapping of an artifact file; the MappedWeightTable's
+// keepalive shares it with every graph built from the program.
+struct ArtifactMapping {
+  const char* data = nullptr;
+  std::size_t size = 0;
+
+  ~ArtifactMapping() {
+    if (data != nullptr) {
+      ::munmap(const_cast<char*>(data), size);
+    }
+  }
+};
+
+// Parses the v5 packed-weights section (stream positioned right after the
+// edge records) into borrowed views over the mapping. Every pointer is
+// bounds-checked against the payload before it is trusted.
+std::shared_ptr<const MappedWeightTable> read_weight_table(
+    std::istream& in, const GraphProgram& program,
+    std::shared_ptr<ArtifactMapping> mapping) {
+  const char* base = mapping->data;
+  const std::size_t payload_size = mapping->size - kCrcTrailerBytes;
+
+  std::vector<std::int32_t> weight_layer_indices;
+  for (const ProgramInstr& instr : program.instrs) {
+    if (instr.kind == ProgramInstr::Kind::kConv ||
+        instr.kind == ProgramInstr::Kind::kLinear) {
+      weight_layer_indices.push_back(instr.layer);
+    }
   }
 
-  CompiledGraph graph = build_graph(std::move(program), options);
-  graph.restore_edge_scales(edges);
+  const auto entry_count = read_pod<std::uint32_t>(in);
+  CSQ_CHECK(entry_count == weight_layer_indices.size())
+      << "mmap artifact: weight section holds " << entry_count
+      << " entries for " << weight_layer_indices.size()
+      << " conv/linear layers";
+
+  auto table = std::make_shared<MappedWeightTable>();
+  table->entries.reserve(entry_count);
+
+  // Aligns the read position and returns a bounds-checked view of the next
+  // `bytes` payload bytes, advancing the stream past them.
+  const auto take_blob = [&](std::int64_t bytes) -> const char* {
+    const auto pos = static_cast<std::size_t>(in.tellg());
+    const std::size_t misalign = pos % kWeightAlignment;
+    const std::size_t aligned =
+        misalign == 0 ? pos : pos + (kWeightAlignment - misalign);
+    CSQ_CHECK(bytes >= 0 &&
+              aligned + static_cast<std::size_t>(bytes) <= payload_size)
+        << "mmap artifact: weight blob overruns the payload";
+    in.seekg(static_cast<std::streamoff>(aligned +
+                                         static_cast<std::size_t>(bytes)),
+             std::ios_base::beg);
+    CSQ_CHECK(static_cast<bool>(in)) << "mmap artifact: truncated weights";
+    return base + aligned;
+  };
+
+  for (std::uint32_t i = 0; i < entry_count; ++i) {
+    const auto layer_index = read_pod<std::int32_t>(in);
+    CSQ_CHECK(layer_index == weight_layer_indices[i])
+        << "mmap artifact: weight entry " << i << " keys layer "
+        << layer_index << ", program expects " << weight_layer_indices[i];
+    MappedWeightTable::Entry entry;
+    entry.rows = read_pod<std::int64_t>(in);
+    entry.cols = read_pod<std::int64_t>(in);
+    entry.shift = read_pod<std::int32_t>(in);
+    const auto kernel = read_pod<std::int32_t>(in);
+    const bool split = read_pod<std::uint8_t>(in) != 0;
+    CSQ_CHECK(entry.rows >= 1 && entry.rows <= kMaxExtent &&
+              entry.cols >= 1 && entry.cols <= 32767)
+        << "mmap artifact: absurd weight extents " << entry.rows << "x"
+        << entry.cols;
+    CSQ_CHECK(kernel >= 0 && kernel <= 3)
+        << "mmap artifact: unknown weight kernel " << kernel;
+
+    const std::int64_t count = entry.rows * entry.cols;
+    entry.spans.primary =
+        reinterpret_cast<const std::int8_t*>(take_blob(count));
+    if (split) {
+      entry.spans.low =
+          reinterpret_cast<const std::int8_t*>(take_blob(count));
+    }
+    switch (static_cast<WeightKernel>(kernel)) {
+      case WeightKernel::kBitSerial:
+      case WeightKernel::kBitSerialWide:
+        entry.spans.lowbit_panels = reinterpret_cast<const std::int8_t*>(
+            take_blob(gemm_s8u8_lowbit_packed_a_size(entry.rows, entry.cols)));
+        break;
+      case WeightKernel::kNibble:
+        entry.spans.nibble_panels = reinterpret_cast<const std::uint8_t*>(
+            take_blob(gemm_s8u8_nibble_packed_a_size(entry.rows, entry.cols)));
+        break;
+      default: {
+        const std::int64_t panel_bytes =
+            gemm_s8u8_packed_a_size(entry.rows, entry.cols) *
+            static_cast<std::int64_t>(sizeof(std::int16_t));
+        entry.spans.primary_panels =
+            reinterpret_cast<const std::int16_t*>(take_blob(panel_bytes));
+        if (split) {
+          entry.spans.low_panels =
+              reinterpret_cast<const std::int16_t*>(take_blob(panel_bytes));
+        }
+        break;
+      }
+    }
+    table->entries.push_back(entry);
+  }
+  table->keepalive = std::move(mapping);
+  return table;
+}
+
+}  // namespace
+
+bool save_graph(const std::string& path, CompiledGraph& graph) {
+  // Resolve (and validate) the scales before touching the filesystem so an
+  // uncalibrated graph fails cleanly without leaving a partial file.
+  const std::vector<EdgeScaleRecord> edges = graph.edge_scales();
+  const GraphProgram& program = graph.program();
+  const LowerOptions& options = graph.options();
+  CSQ_CHECK(!program.instrs.empty())
+      << "save_graph: graph carries no lowering program";
+  CSQ_CHECK(program.mapped == nullptr)
+      << "save_graph: graph was loaded via load_graph_mmap (weight codes "
+         "are borrowed, not owned); re-save from a load_graph copy instead";
+
+  // Serialize to memory first: the CRC trailer covers the exact payload
+  // bytes, and the file write below becomes a single streamed copy.
+  std::ostringstream buffer(std::ios::binary);
+  write_payload(buffer, program, options, edges, graph.layer_weight_views());
+  CSQ_CHECK(static_cast<bool>(buffer))
+      << "save_graph: in-memory serialization failed";
+  const std::string payload = buffer.str();
+  const std::uint32_t checksum = crc32(payload.data(), payload.size());
+
+  // Crash-safe publish: write a sibling temp file, fsync it, atomically
+  // rename over the destination, then fsync the parent directory. A crash
+  // or I/O failure mid-write leaves the destination either absent or the
+  // previous complete artifact — never a truncated file a later load_graph
+  // trusts — and the directory fsync makes the rename itself durable (on
+  // ext4/xfs a crash right after rename can otherwise roll the name back to
+  // the previous artifact even though the data pages hit disk).
+  static std::atomic<std::uint64_t> temp_counter{0};
+  const std::string temp_path =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid())) + "." +
+      std::to_string(temp_counter.fetch_add(1, std::memory_order_relaxed));
+  {
+    std::ofstream out(temp_path, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    out.write(payload.data(),
+              static_cast<std::streamsize>(payload.size()));
+    // Mid-write I/O failure injection (disk full): the destination must be
+    // untouched and the temp file must not survive.
+    CSQ_FAILPOINT_STREAM("artifact.write", out);
+    write_pod(out, checksum);
+    out.flush();
+    if (!out) {
+      std::remove(temp_path.c_str());
+      return false;
+    }
+  }
+  if (CSQ_FAILPOINT_FIRES("artifact.fsync") ||
+      !sync_path(temp_path.c_str(), O_RDONLY)) {
+    std::remove(temp_path.c_str());
+    return false;
+  }
+  if (std::rename(temp_path.c_str(), path.c_str()) != 0) {
+    std::remove(temp_path.c_str());
+    return false;
+  }
+  // Post-rename window: the new artifact's bytes are durable but its name
+  // may not be. On directory-fsync failure report false — the caller must
+  // not bank on durability — while the renamed file stays in place and
+  // remains loadable.
+  const std::string dir = parent_directory(path);
+  if (CSQ_FAILPOINT_FIRES("artifact.dirsync") ||
+      !sync_path(dir.c_str(), O_RDONLY | O_DIRECTORY)) {
+    return false;
+  }
+  return true;
+}
+
+CompiledGraph load_graph(const std::string& path, bool pooled) {
+  CSQ_FAILPOINT("artifact.read");
+  std::ifstream file(path, std::ios::binary);
+  CSQ_CHECK(static_cast<bool>(file))
+      << "graph artifact: cannot open " << path;
+  // Read the whole artifact up front: the v4+ CRC trailer covers every
+  // preceding byte, so integrity is decided on the exact file image before
+  // any field is trusted (artifacts are compact — the weights are sub-byte
+  // codes).
+  std::ostringstream sink(std::ios::binary);
+  sink << file.rdbuf();
+  CSQ_CHECK(static_cast<bool>(file) || file.eof())
+      << "graph artifact: cannot read " << path;
+  const std::string bytes = sink.str();
+  std::istringstream in(bytes, std::ios::binary);
+
+  ParsedArtifact parsed = parse_artifact(in, bytes.data(), bytes.size(),
+                                         pooled, /*skip_layer_codes=*/false);
+  // The v5 packed-weights section (if present) is deliberately ignored:
+  // this loader re-packs from the owned codes, byte-identically.
+  CompiledGraph graph =
+      build_graph(std::move(parsed.program), parsed.options);
+  graph.restore_edge_scales(parsed.edges);
+  return graph;
+}
+
+CompiledGraph load_graph_mmap(const std::string& path, bool pooled) {
+  CSQ_FAILPOINT("artifact.mmap");
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  CSQ_CHECK(fd >= 0) << "graph artifact: cannot open " << path;
+  struct stat st {};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    CSQ_CHECK(false) << "graph artifact: cannot stat " << path;
+  }
+  const auto size = static_cast<std::size_t>(st.st_size);
+  if (size <= kCrcTrailerBytes) {
+    ::close(fd);
+    CSQ_CHECK(false) << "graph artifact: " << path << " is truncated";
+  }
+  void* base = ::mmap(nullptr, size, PROT_READ, MAP_SHARED, fd, 0);
+  ::close(fd);  // the mapping holds its own reference
+  CSQ_CHECK(base != MAP_FAILED) << "graph artifact: mmap failed for " << path;
+  auto mapping = std::make_shared<ArtifactMapping>();
+  mapping->data = static_cast<const char*>(base);
+  mapping->size = size;
+
+  // Integrity first: the trailer is verified over the raw mapping before a
+  // single field — header included — is deserialized. A flipped bit
+  // anywhere in the file fails here, before any page is trusted.
+  const std::size_t payload_size = size - kCrcTrailerBytes;
+  std::uint32_t stored = 0;
+  std::memcpy(&stored, mapping->data + payload_size, kCrcTrailerBytes);
+  const std::uint32_t actual = crc32(mapping->data, payload_size);
+  CSQ_CHECK(stored == actual)
+      << "graph artifact: CRC mismatch (stored " << stored << ", computed "
+      << actual << ") — corrupt file, or a pre-v4 artifact mmap cannot "
+      << "verify; use load_graph";
+
+  SpanStreamBuf buf(mapping->data, size);
+  std::istream in(&buf);
+  ParsedArtifact parsed = parse_artifact(in, mapping->data, size, pooled,
+                                         /*skip_layer_codes=*/true);
+  CSQ_CHECK(parsed.section_version >= 5)
+      << "graph artifact: mmap load needs a v5 artifact with a "
+         "packed-weights section (got v"
+      << parsed.section_version << "); re-save or use load_graph";
+
+  parsed.program.mapped =
+      read_weight_table(in, parsed.program, std::move(mapping));
+  CompiledGraph graph =
+      build_graph(std::move(parsed.program), parsed.options);
+  graph.restore_edge_scales(parsed.edges);
   return graph;
 }
 

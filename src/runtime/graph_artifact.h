@@ -13,14 +13,24 @@
 // bit-identical to the graph that was saved (replay and requant-constant
 // resolution are deterministic).
 //
-// Crash safety: save_graph serializes to memory, writes a sibling temp file
-// and atomically renames it over the destination — a crash or stream
-// failure mid-write leaves the previous complete artifact (or nothing),
-// never a truncated file. The graph section is written at v4, whose last
-// four bytes are a CRC-32 trailer over every preceding container byte;
-// load_graph verifies it before trusting any field, so torn or bit-flipped
-// artifacts are rejected with a clean check_error. v1–v3 sections still
-// load (no trailer, no verification).
+// Crash safety: save_graph serializes to memory, writes a sibling temp
+// file, fsyncs it, atomically renames it over the destination and fsyncs
+// the parent directory — a crash or stream failure mid-write leaves the
+// previous complete artifact (or nothing), never a truncated file, and the
+// published name survives a crash right after the rename. The graph section
+// is written at v5, whose last four bytes are a CRC-32 trailer over every
+// preceding container byte; load_graph verifies it before trusting any
+// field, so torn or bit-flipped artifacts are rejected with a clean
+// check_error. v1–v4 sections still load (pre-v4: no trailer, no
+// verification).
+//
+// Page sharing: v5 appends a packed-weights section — each conv/linear
+// layer's int8 planes and prepacked kernel panels, 64-byte aligned — so
+// load_graph_mmap can map the artifact read-only and build graphs whose
+// PackedIntWeights BORROW those pages instead of copying them. N serving
+// processes (and all their replicas) then share one page cache for the
+// immutable weight data; per-process unique RSS barely moves as replicas
+// multiply.
 #pragma once
 
 #include <string>
@@ -39,6 +49,17 @@ bool save_graph(const std::string& path, CompiledGraph& graph);
 // (bad magic, truncated payload, absurd counts, non-artifact versions).
 // `pooled` selects thread-pool execution of the loaded graph's forwards.
 CompiledGraph load_graph(const std::string& path, bool pooled = true);
+
+// Memory-mapped load (v5 artifacts only): maps `path` read-only, verifies
+// the CRC-32 trailer over the whole mapping BEFORE trusting any field, then
+// builds a graph whose PackedIntWeights borrow planes/panels straight from
+// the mapping — the weight codes are never copied into the process. The
+// mapping lives as long as any graph sharing the loaded program
+// (replicate / rebuild_replica keep it alive), and the loaded graph's
+// forwards are bit-identical to a load_graph copy of the same file.
+// Throws check_error on corruption or pre-v5 artifacts; such programs
+// cannot be re-saved (save_graph rejects them — the owned codes are absent).
+CompiledGraph load_graph_mmap(const std::string& path, bool pooled = true);
 
 }  // namespace runtime
 }  // namespace csq

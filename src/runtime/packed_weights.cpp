@@ -105,6 +105,7 @@ PackedIntWeights::PackedIntWeights(const std::vector<std::int32_t>& codes,
   }
   max_abs_code_ = max_magnitude;
   const bool needs_split = max_magnitude > 127;
+  split_ = needs_split;
 
   primary_.resize(static_cast<std::size_t>(count));
   if (needs_split) low_.resize(static_cast<std::size_t>(count));
@@ -129,33 +130,7 @@ PackedIntWeights::PackedIntWeights(const std::vector<std::int32_t>& codes,
   kernel_ = kernel == WeightKernel::kAuto
                 ? auto_kernel(bits_, max_abs_code_, needs_split, cols)
                 : kernel;
-  // Recorded kinds (artifact replay) are honored but never trusted: a
-  // corrupted or hand-edited record that violates the kernel's exactness
-  // bound must throw here, not produce wrong logits.
-  switch (kernel_) {
-    case WeightKernel::kBitSerialWide:
-      CSQ_CHECK(gemm_s8u8_wide_eligible(cols, max_abs_code_))
-          << "packed weights: bitserial-w16 kernel needs int16 headroom "
-             "(depth "
-          << cols << ", max |code| " << max_abs_code_ << ")";
-      [[fallthrough]];
-    case WeightKernel::kBitSerial:
-      CSQ_CHECK(!needs_split && max_abs_code_ <= 64)
-          << "packed weights: bit-serial kernel needs unsplit codes with "
-             "|code| <= 64, got max "
-          << max_abs_code_;
-      break;
-    case WeightKernel::kNibble:
-      CSQ_CHECK(!needs_split && max_abs_code_ <= 7)
-          << "packed weights: nibble kernel needs codes in [-8, 7], got max "
-          << max_abs_code_;
-      break;
-    case WeightKernel::kS8U8:
-      break;
-    case WeightKernel::kAuto:
-      CSQ_CHECK(false) << "packed weights: unresolved kernel kind";
-      break;
-  }
+  check_kernel_eligibility();
 
   switch (kernel_) {
     case WeightKernel::kBitSerial:
@@ -198,6 +173,96 @@ PackedIntWeights::PackedIntWeights(const std::vector<std::int32_t>& codes,
   }
 }
 
+void PackedIntWeights::check_kernel_eligibility() const {
+  switch (kernel_) {
+    case WeightKernel::kBitSerialWide:
+      CSQ_CHECK(gemm_s8u8_wide_eligible(cols_, max_abs_code_))
+          << "packed weights: bitserial-w16 kernel needs int16 headroom "
+             "(depth "
+          << cols_ << ", max |code| " << max_abs_code_ << ")";
+      [[fallthrough]];
+    case WeightKernel::kBitSerial:
+      CSQ_CHECK(!split_ && max_abs_code_ <= 64)
+          << "packed weights: bit-serial kernel needs unsplit codes with "
+             "|code| <= 64, got max "
+          << max_abs_code_;
+      break;
+    case WeightKernel::kNibble:
+      CSQ_CHECK(!split_ && max_abs_code_ <= 7)
+          << "packed weights: nibble kernel needs codes in [-8, 7], got max "
+          << max_abs_code_;
+      break;
+    case WeightKernel::kS8U8:
+      break;
+    case WeightKernel::kAuto:
+      CSQ_CHECK(false) << "packed weights: unresolved kernel kind";
+      break;
+  }
+}
+
+PackedIntWeights::PackedIntWeights(const WeightSpans& spans, float step,
+                                   int bits, int shift, std::int64_t rows,
+                                   std::int64_t cols, WeightKernel kernel)
+    : spans_(spans),
+      rows_(rows),
+      cols_(cols),
+      bits_(bits),
+      shift_(shift),
+      kernel_(kernel),
+      borrowed_(true) {
+  CSQ_CHECK(rows > 0 && cols > 0)
+      << "packed weights: borrowed extents " << rows << "x" << cols;
+  CSQ_CHECK(cols <= 32767)
+      << "packed weights: reduction depth " << cols
+      << " would overflow int32 accumulation";
+  CSQ_CHECK(shift >= 0 && shift <= 7)
+      << "packed weights: borrowed shift " << shift << " out of range";
+  CSQ_CHECK(spans.primary != nullptr)
+      << "packed weights: borrowed primary plane is null";
+  split_ = spans.low != nullptr;
+  effective_step_ = std::ldexp(step, shift_);
+
+  // One scan over the borrowed planes recomputes the two derived quantities
+  // the artifact does not persist — per-row code sums (the requant
+  // zero-point correction) and the max-|code| bound the kernel eligibility
+  // checks consume — and re-validates the 8-bit grid on the way.
+  const std::int64_t count = rows * cols;
+  row_sums_.assign(static_cast<std::size_t>(rows), 0);
+  std::int32_t max_magnitude = 0;
+  for (std::int64_t i = 0; i < count; ++i) {
+    const std::int32_t code =
+        split_ ? 2 * static_cast<std::int32_t>(spans.primary[i]) +
+                     spans.low[i]
+               : spans.primary[i];
+    CSQ_CHECK(code >= -255 && code <= 255)
+        << "packed weights: borrowed plane code " << code
+        << " outside the 8-bit grid";
+    max_magnitude = std::max(max_magnitude, std::abs(code));
+    row_sums_[static_cast<std::size_t>(i / cols)] += code;
+  }
+  max_abs_code_ = max_magnitude;
+  CSQ_CHECK(!split_ || max_magnitude > 127)
+      << "packed weights: borrowed split layer with |code| <= 127";
+
+  check_kernel_eligibility();
+  switch (kernel_) {
+    case WeightKernel::kBitSerial:
+    case WeightKernel::kBitSerialWide:
+      CSQ_CHECK(spans.lowbit_panels != nullptr)
+          << "packed weights: borrowed bit-serial panels missing";
+      break;
+    case WeightKernel::kNibble:
+      CSQ_CHECK(spans.nibble_panels != nullptr)
+          << "packed weights: borrowed nibble panels missing";
+      break;
+    default:
+      CSQ_CHECK(spans.primary_panels != nullptr &&
+                (!split_ || spans.low_panels != nullptr))
+          << "packed weights: borrowed s8u8 panels missing";
+      break;
+  }
+}
+
 void PackedIntWeights::gemm(Trans trans_b, std::int64_t n,
                             const std::uint8_t* b, std::int64_t ldb,
                             std::int32_t* c, std::int64_t ldc, bool pooled,
@@ -206,21 +271,21 @@ void PackedIntWeights::gemm(Trans trans_b, std::int64_t n,
     case WeightKernel::kBitSerial: {
       const auto run = pooled ? gemm_s8u8_lowbit_prepacked_parallel
                               : gemm_s8u8_lowbit_prepacked;
-      run(trans_b, rows_, n, cols_, /*alpha=*/1, lowbit_panels_.data(), b,
+      run(trans_b, rows_, n, cols_, /*alpha=*/1, lowbit_panel_data(), b,
           ldb, /*accumulate=*/false, c, ldc, scratch);
       return;
     }
     case WeightKernel::kBitSerialWide: {
       const auto run = pooled ? gemm_s8u8_lowbit_wide_prepacked_parallel
                               : gemm_s8u8_lowbit_wide_prepacked;
-      run(trans_b, rows_, n, cols_, /*alpha=*/1, lowbit_panels_.data(), b,
+      run(trans_b, rows_, n, cols_, /*alpha=*/1, lowbit_panel_data(), b,
           ldb, /*accumulate=*/false, c, ldc, scratch);
       return;
     }
     case WeightKernel::kNibble: {
       const auto run = pooled ? gemm_s8u8_nibble_prepacked_parallel
                               : gemm_s8u8_nibble_prepacked;
-      run(trans_b, rows_, n, cols_, /*alpha=*/1, nibble_panels_.data(), b,
+      run(trans_b, rows_, n, cols_, /*alpha=*/1, nibble_panel_data(), b,
           ldb, /*accumulate=*/false, c, ldc, scratch);
       return;
     }
@@ -229,14 +294,14 @@ void PackedIntWeights::gemm(Trans trans_b, std::int64_t n,
   }
   const auto run = pooled ? gemm_s8u8_prepacked_parallel : gemm_s8u8_prepacked;
   if (!split()) {
-    run(trans_b, rows_, n, cols_, /*alpha=*/1, primary_panels_.data(), b, ldb,
+    run(trans_b, rows_, n, cols_, /*alpha=*/1, s8u8_panel_data(), b, ldb,
         /*accumulate=*/false, c, ldc, scratch);
     return;
   }
   // code = 2*hi + lo: alpha-chained passes, both exact in int32.
-  run(trans_b, rows_, n, cols_, /*alpha=*/2, primary_panels_.data(), b, ldb,
+  run(trans_b, rows_, n, cols_, /*alpha=*/2, s8u8_panel_data(), b, ldb,
       /*accumulate=*/false, c, ldc, scratch);
-  run(trans_b, rows_, n, cols_, /*alpha=*/1, low_panels_.data(), b, ldb,
+  run(trans_b, rows_, n, cols_, /*alpha=*/1, s8u8_low_panel_data(), b, ldb,
       /*accumulate=*/true, c, ldc, scratch);
 }
 

@@ -31,6 +31,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "nn/weight_source.h"
@@ -54,6 +55,36 @@ enum class WeightKernel : std::int32_t {
 // "s8u8" | "bitserial" | "nibble" | "bitserial-w16" | "auto".
 const char* weight_kernel_name(WeightKernel kernel);
 
+// Raw views of one layer's packed storage — every byte the serving-time
+// GEMM consumes — pointing into externally-owned memory (a CRC-verified
+// read-only file mapping for the load_graph_mmap path). Extents are implied
+// by rows/cols/kernel: planes are rows*cols int8; panel element counts come
+// from the gemm_*_packed_a_size functions. Exactly one panel family is
+// non-null, matching the layer's kernel (plus low_panels for split s8u8).
+struct WeightSpans {
+  const std::int8_t* primary = nullptr;          // rows*cols plane codes
+  const std::int8_t* low = nullptr;              // split layers only
+  const std::int16_t* primary_panels = nullptr;  // s8u8 micro-panels
+  const std::int16_t* low_panels = nullptr;      // split s8u8 only
+  const std::int8_t* lowbit_panels = nullptr;    // bit-serial kernels
+  const std::uint8_t* nibble_panels = nullptr;   // nibble kernel
+};
+
+// Borrowed packed-weight storage for graphs loaded via load_graph_mmap():
+// per conv/linear layer (lowering order), views into one read-only file
+// mapping, plus the keepalive that unmaps the file once the last graph
+// sharing the program drops it. GraphProgram::mapped holds this table.
+struct MappedWeightTable {
+  struct Entry {
+    WeightSpans spans;
+    std::int64_t rows = 0;
+    std::int64_t cols = 0;
+    int shift = 0;
+  };
+  std::vector<Entry> entries;
+  std::shared_ptr<const void> keepalive;
+};
+
 class PackedIntWeights {
  public:
   PackedIntWeights() = default;
@@ -71,6 +102,17 @@ class PackedIntWeights {
                    int bits, std::int64_t rows, std::int64_t cols,
                    WeightKernel kernel = WeightKernel::kAuto);
 
+  // Borrowing (mmap) form: adopts pre-packed planes and panels that live in
+  // externally-owned CRC-verified memory (runtime/graph_artifact.h
+  // load_graph_mmap) — no plane or panel copies, so replicas across N
+  // processes share one page cache. Row sums and the max-|code| bound are
+  // recomputed with one scan, and the kernel's exactness eligibility is
+  // re-checked exactly as in the owning form. The caller must keep the
+  // backing memory alive for this object's lifetime (the GraphProgram's
+  // MappedWeightTable holds the mapping).
+  PackedIntWeights(const WeightSpans& spans, float step, int bits, int shift,
+                   std::int64_t rows, std::int64_t cols, WeightKernel kernel);
+
   // The deterministic auto-selection policy: the kernel a layer with these
   // codes earns. Pure function of the codes/bits/shape, so re-resolving a
   // pre-kernel-record artifact reproduces the original choice.
@@ -81,7 +123,34 @@ class PackedIntWeights {
   std::int64_t cols() const { return cols_; }
   int bits() const { return bits_; }
   int shift() const { return shift_; }
-  bool split() const { return !low_.empty(); }
+  bool split() const { return split_; }
+
+  // True when the planes/panels point into externally-owned memory (the
+  // mmap'd artifact path) instead of this object's own vectors.
+  bool borrowed() const { return borrowed_; }
+
+  // Raw storage views — the bytes the v5 artifact weight section persists
+  // and the borrowing constructor adopts. Null where not applicable.
+  const std::int8_t* primary_data() const {
+    return borrowed_ ? spans_.primary : primary_.data();
+  }
+  const std::int8_t* low_data() const {
+    if (!split_) return nullptr;
+    return borrowed_ ? spans_.low : low_.data();
+  }
+  const std::int16_t* s8u8_panel_data() const {
+    return borrowed_ ? spans_.primary_panels : primary_panels_.data();
+  }
+  const std::int16_t* s8u8_low_panel_data() const {
+    if (!split_) return nullptr;
+    return borrowed_ ? spans_.low_panels : low_panels_.data();
+  }
+  const std::int8_t* lowbit_panel_data() const {
+    return borrowed_ ? spans_.lowbit_panels : lowbit_panels_.data();
+  }
+  const std::uint8_t* nibble_panel_data() const {
+    return borrowed_ ? spans_.nibble_panels : nibble_panels_.data();
+  }
 
   // The GEMM path this layer runs (never kAuto after construction).
   WeightKernel kernel() const { return kernel_; }
@@ -92,10 +161,11 @@ class PackedIntWeights {
   std::int32_t max_abs_code() const { return max_abs_code_; }
 
   // Sign/magnitude bit-planes of the stored codes for bit-serial layers;
-  // nullptr for other kernels.
+  // nullptr for other kernels and for borrowed (mmap) weights — the planes
+  // are test-only introspection the artifact does not persist.
   const BitPlanes* bit_planes() const {
-    return kernel_ == WeightKernel::kBitSerial ||
-                   kernel_ == WeightKernel::kBitSerialWide
+    return !borrowed_ && (kernel_ == WeightKernel::kBitSerial ||
+                          kernel_ == WeightKernel::kBitSerialWide)
                ? &planes_
                : nullptr;
   }
@@ -131,13 +201,17 @@ class PackedIntWeights {
   std::int64_t storage_bits() const;
 
  private:
+  // Recorded kernel kinds (artifact replay / mmap load) are honored but
+  // never trusted: a record that violates the kernel's exactness bound must
+  // throw, not produce wrong logits. Requires max_abs_code_/split_/cols_ set.
+  void check_kernel_eligibility() const;
+
   // Stored-plane code of element i: the hi/lo pair re-assembled for split
   // layers, the single plane otherwise (GEMM-accumulator units).
   std::int32_t plane_code(std::int64_t i) const {
-    const auto index = static_cast<std::size_t>(i);
-    return split() ? 2 * static_cast<std::int32_t>(primary_[index]) +
-                         low_[index]
-                   : primary_[index];
+    return split_ ? 2 * static_cast<std::int32_t>(primary_data()[i]) +
+                        low_data()[i]
+                  : primary_data()[i];
   }
 
   std::vector<std::int8_t> primary_;
@@ -149,7 +223,8 @@ class PackedIntWeights {
   std::vector<std::int16_t> low_panels_;
   std::vector<std::int8_t> lowbit_panels_;    // K-quad raw int8
   std::vector<std::uint8_t> nibble_panels_;   // K-quad, two codes per byte
-  BitPlanes planes_;  // populated for the bit-serial kernels
+  BitPlanes planes_;  // populated for the bit-serial kernels (owned mode)
+  WeightSpans spans_;  // borrowed mode: views into the caller's mapping
   std::vector<std::int64_t> row_sums_;
   std::int64_t rows_ = 0;
   std::int64_t cols_ = 0;
@@ -158,6 +233,8 @@ class PackedIntWeights {
   std::int32_t max_abs_code_ = 0;
   WeightKernel kernel_ = WeightKernel::kS8U8;
   float effective_step_ = 1.0f;
+  bool split_ = false;
+  bool borrowed_ = false;
 };
 
 }  // namespace runtime

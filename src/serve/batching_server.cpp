@@ -33,14 +33,33 @@ struct Request {
   ServeStatus status = ServeStatus::kOk;
 };
 
+// How a worker left its serving loop.
+enum class WorkerExit {
+  kStopped,  // stopping and fully drained
+  kRetired,  // claimed a pending scale-down request
+};
+
+// Outcome of the backoff-rebuild loop shared by quarantine recovery and
+// scale-up bootstrap.
+enum class RestoreOutcome {
+  kRestored,   // fresh warmed replica installed in the slot
+  kRetired,    // claimed a pending scale-down request instead
+  kStopped,    // server stopping
+  kExhausted,  // restore_max_attempts rebuilds all failed
+};
+
 // One model id: a request ring plus one worker thread (and graph replica)
-// per registered replica. All queue state is guarded by `mutex`;
-// `queue_cv` wakes workers (work arrived / batch filled / stop / backoff
-// interrupt), `done_cv` wakes producers (results ready, ring space freed)
-// and start()'s warmup wait.
+// per live replica slot. All queue state is guarded by `mutex`;
+// `queue_cv` wakes workers (work arrived / batch filled / stop / retire /
+// backoff interrupt), `done_cv` wakes producers (results ready, ring space
+// freed) and start()'s warmup wait.
 struct Shard {
   std::string id;
-  std::vector<runtime::CompiledGraph> replicas;
+  // Replica slots, max_workers wide: [0, registered) are filled by
+  // add_model, the rest are scale-up headroom (ServerOptions::max_replicas)
+  // that bootstrap from the restore template on demand. A slot is null
+  // whenever no worker owns it (never spawned, retired, or dead).
+  std::vector<std::unique_ptr<runtime::CompiledGraph>> replicas;
   runtime::CompiledGraph::IoShape shape;
   const ServerOptions* options = nullptr;
 
@@ -62,12 +81,27 @@ struct Shard {
                            // the only lifecycle state try_infer consults,
                            // so producers never race an unguarded flag
   bool stopping = false;
-  bool failed = false;  // every replica dead (or warmup failed)
+  bool failed = false;  // no live replica left (or warmup failed)
   std::exception_ptr worker_error;
   int workers_ready = 0;
-  int worker_target = 0;  // set before the threads spawn
+  int worker_target = 0;   // start() rendezvous width
+  int max_workers = 0;     // slot count: max(registered, max_replicas)
   int quarantined_now = 0;
   int dead_now = 0;
+  // Scaling state. live_workers counts every worker that will eventually
+  // serve or die trying — serving, quarantine-restoring, and bootstrapping
+  // scale-up workers alike; the shard fails only when it hits zero.
+  // retire_requests is the pending scale-down count: ANY worker that
+  // observes it positive claims one and exits between batches.
+  int live_workers = 0;
+  int retire_requests = 0;
+  std::vector<std::uint8_t> slot_busy;  // a worker owns this replica slot
+  // Autoscaler latency signal: per-batch flush wait (oldest popped
+  // request's queueing time, µs) over the last kFlushWindow batches.
+  static constexpr std::size_t kFlushWindow = 256;
+  std::vector<std::int64_t> flush_waits;
+  std::size_t flush_wait_pos = 0;
+  std::size_t flush_wait_count = 0;
   BatchingServer::ShardStats stats;
 
   std::vector<std::thread> workers;
@@ -75,12 +109,20 @@ struct Shard {
   std::size_t capacity() const { return ring.size(); }
 
   void worker_loop(int worker_index);
-  void run_worker(int worker_index, std::vector<Request*>& taken,
-                  std::size_t& n, Tensor& staging);
+  void scale_worker_loop(int worker_index);
+  void serve_until_exit(int worker_index, std::vector<Request*>& taken,
+                        std::size_t& n, Tensor& staging);
+  WorkerExit run_worker(int worker_index, std::vector<Request*>& taken,
+                        std::size_t& n, Tensor& staging);
   std::vector<Tensor> warmup_replica(runtime::CompiledGraph& graph,
                                      Tensor& staging);
   bool quarantine_and_restore(int worker_index, std::vector<Request*>& taken,
                               std::size_t& n);
+  RestoreOutcome restore_with_backoff(int worker_index);
+  // Permanent worker exit: releases the slot (freeing the replica's
+  // memory), drops live_workers and — when the last live worker dies
+  // unexpectedly — fails the shard. Takes `mutex`.
+  void worker_exit(int worker_index, bool dead);
   // Completes every queued request with `status`. Caller holds `mutex` and
   // notifies done_cv afterwards.
   void complete_queued_locked(ServeStatus status);
@@ -137,7 +179,7 @@ void Shard::worker_loop(int worker_index) {
   std::vector<Tensor> warm_outputs;
   try {
     warm_outputs = warmup_replica(
-        replicas[static_cast<std::size_t>(worker_index)], staging);
+        *replicas[static_cast<std::size_t>(worker_index)], staging);
   } catch (...) {
     std::lock_guard<std::mutex> lock(mutex);
     failed = true;
@@ -145,6 +187,7 @@ void Shard::worker_loop(int worker_index) {
     accepting = false;
     if (!worker_error) worker_error = std::current_exception();
     workers_ready = worker_target;  // release start()'s warmup wait
+    --live_workers;
     complete_queued_locked(ServeStatus::kShardFailed);
     queue_cv.notify_all();
     done_cv.notify_all();
@@ -160,24 +203,70 @@ void Shard::worker_loop(int worker_index) {
   }
   warm_outputs.clear();
 
-  // Serving loop with quarantine recovery: any exception escaping a batch
-  // (replica forward, pool submission, injected fault) quarantines THIS
-  // replica only — the popped batch is requeued for siblings, and a
-  // backoff-restore loop rebuilds the replica before rejoining.
+  serve_until_exit(worker_index, taken, n, staging);
+}
+
+// Scale-up entry point (set_replicas): the slot is claimed and counted in
+// live_workers, but holds no replica yet — bootstrap one from the restore
+// template with the same backoff loop quarantine recovery uses, then join
+// the serving rotation. Requests keep flowing on the existing workers the
+// whole time.
+void Shard::scale_worker_loop(int worker_index) {
+  std::vector<Request*> taken(
+      static_cast<std::size_t>(options->max_batch), nullptr);
+  std::size_t n = 0;
+  Tensor staging = Tensor::zeros(
+      {options->max_batch, shape.channels, shape.height, shape.width});
+
+  switch (restore_with_backoff(worker_index)) {
+    case RestoreOutcome::kRestored:
+      break;
+    case RestoreOutcome::kRetired:
+      worker_exit(worker_index, /*dead=*/false);
+      return;
+    case RestoreOutcome::kStopped: {
+      std::lock_guard<std::mutex> lock(mutex);
+      --live_workers;
+      return;
+    }
+    case RestoreOutcome::kExhausted:
+      worker_exit(worker_index, /*dead=*/true);
+      return;
+  }
+  serve_until_exit(worker_index, taken, n, staging);
+}
+
+// Serving loop with quarantine recovery: any exception escaping a batch
+// (replica forward, pool submission, injected fault) quarantines THIS
+// replica only — the popped batch is requeued for siblings, and a
+// backoff-restore loop rebuilds the replica before rejoining.
+void Shard::serve_until_exit(int worker_index, std::vector<Request*>& taken,
+                             std::size_t& n, Tensor& staging) {
   while (true) {
     try {
-      run_worker(worker_index, taken, n, staging);
-      return;  // stopping and fully drained
+      switch (run_worker(worker_index, taken, n, staging)) {
+        case WorkerExit::kStopped: {
+          std::lock_guard<std::mutex> lock(mutex);
+          --live_workers;
+          return;
+        }
+        case WorkerExit::kRetired:
+          worker_exit(worker_index, /*dead=*/false);
+          // A retiring worker may have been the one a queued request was
+          // waiting on: hand the queue to a sibling.
+          queue_cv.notify_all();
+          return;
+      }
     } catch (...) {
       if (!quarantine_and_restore(worker_index, taken, n)) return;
     }
   }
 }
 
-void Shard::run_worker(int worker_index, std::vector<Request*>& taken,
-                       std::size_t& n, Tensor& staging) {
+WorkerExit Shard::run_worker(int worker_index, std::vector<Request*>& taken,
+                             std::size_t& n, Tensor& staging) {
   runtime::CompiledGraph& graph =
-      replicas[static_cast<std::size_t>(worker_index)];
+      *replicas[static_cast<std::size_t>(worker_index)];
   const std::int64_t sample_numel =
       shape.channels * shape.height * shape.width;
   const std::int64_t max_batch = options->max_batch;
@@ -188,8 +277,21 @@ void Shard::run_worker(int worker_index, std::vector<Request*>& taken,
     {
       std::unique_lock<std::mutex> lock(mutex);
       while (true) {
-        queue_cv.wait(lock, [&] { return stopping || count > 0; });
-        if (count == 0) return;  // stopping and fully drained
+        queue_cv.wait(lock, [&] {
+          return stopping || retire_requests > 0 || count > 0;
+        });
+        // Scale-down: claim one pending retirement between batches — any
+        // worker will do, queued work goes to the siblings. stop() wins
+        // over retirement (the drain needs every worker).
+        if (retire_requests > 0 && !stopping) {
+          --retire_requests;
+          ++stats.scale_downs;
+          return WorkerExit::kRetired;
+        }
+        if (count == 0) {
+          if (stopping) return WorkerExit::kStopped;  // fully drained
+          continue;
+        }
         // Flush policy: wait for a full batch until the oldest queued
         // request's latency bound expires (requests carry their enqueue
         // stamp, so the deadline survives partial pops exactly).
@@ -198,16 +300,30 @@ void Shard::run_worker(int worker_index, std::vector<Request*>& taken,
               ring[head]->enqueued +
               std::chrono::microseconds(options->max_latency_us);
           queue_cv.wait_until(lock, deadline, [&] {
-            return count >= static_cast<std::size_t>(max_batch) || stopping;
+            return count >= static_cast<std::size_t>(max_batch) || stopping ||
+                   retire_requests > 0;
           });
+          if (retire_requests > 0 && !stopping) {
+            --retire_requests;
+            ++stats.scale_downs;
+            return WorkerExit::kRetired;
+          }
           // A sibling worker (or a timed-out producer cancelling its node)
           // may have drained the queue while this one slept on the timer:
           // go back to waiting instead of recording an empty batch.
           if (count == 0 && !stopping) continue;
-          if (count == 0) return;
+          if (count == 0) return WorkerExit::kStopped;
         }
         break;
       }
+      // Autoscaler latency signal: how long the oldest request of this
+      // flush sat queued.
+      flush_waits[flush_wait_pos] =
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              Clock::now() - ring[head]->enqueued)
+              .count();
+      flush_wait_pos = (flush_wait_pos + 1) % kFlushWindow;
+      flush_wait_count = std::min(flush_wait_count + 1, kFlushWindow);
       n = std::min(count, static_cast<std::size_t>(max_batch));
       for (std::size_t i = 0; i < n; ++i) {
         taken[i] = ring[(head + i) % capacity()];
@@ -287,20 +403,54 @@ bool Shard::quarantine_and_restore(int worker_index,
   queue_cv.notify_all();  // requeued work for the siblings
   done_cv.notify_all();   // overflow completions
 
-  // Exponential-backoff restore from the shard's shared immutable program.
-  // Runs outside the shard mutex: siblings keep serving (graceful
-  // degradation) while this thread rebuilds.
+  const RestoreOutcome outcome = restore_with_backoff(worker_index);
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    --quarantined_now;
+    if (outcome == RestoreOutcome::kRestored) ++stats.restores;
+  }
+  switch (outcome) {
+    case RestoreOutcome::kRestored:
+      return true;  // rejoin the serving loop
+    case RestoreOutcome::kRetired:
+      worker_exit(worker_index, /*dead=*/false);
+      queue_cv.notify_all();
+      return false;
+    case RestoreOutcome::kStopped: {
+      // stop() completes anything left queued.
+      std::lock_guard<std::mutex> lock(mutex);
+      --live_workers;
+      return false;
+    }
+    case RestoreOutcome::kExhausted:
+      worker_exit(worker_index, /*dead=*/true);
+      return false;
+  }
+  return false;  // unreachable
+}
+
+// Exponential-backoff rebuild from the shard's shared immutable program.
+// Runs outside the shard mutex: siblings keep serving (graceful
+// degradation) while this thread rebuilds. Shared by quarantine recovery
+// and scale-up bootstrap — a scale-up replica is just a restore into an
+// empty slot. A pending scale-down is claimed in preference to rebuilding
+// (no point warming a replica the policy no longer wants).
+RestoreOutcome Shard::restore_with_backoff(int worker_index) {
   constexpr std::int64_t kMaxBackoffUs = 1'000'000;
   std::int64_t backoff_us = std::max<std::int64_t>(
       options->restore_backoff_us, 1);
   for (int attempt = 0; attempt < options->restore_max_attempts; ++attempt) {
     {
       std::unique_lock<std::mutex> lock(mutex);
-      queue_cv.wait_for(lock, std::chrono::microseconds(backoff_us),
-                        [&] { return stopping; });
-      if (stopping) {
-        --quarantined_now;
-        return false;  // stop() completes anything left queued
+      if (attempt > 0 || options->restore_backoff_us > 0) {
+        queue_cv.wait_for(lock, std::chrono::microseconds(backoff_us),
+                          [&] { return stopping || retire_requests > 0; });
+      }
+      if (stopping) return RestoreOutcome::kStopped;
+      if (retire_requests > 0) {
+        --retire_requests;
+        ++stats.scale_downs;
+        return RestoreOutcome::kRetired;
       }
     }
     try {
@@ -311,31 +461,38 @@ bool Shard::quarantine_and_restore(int worker_index,
           {options->max_batch, shape.channels, shape.height, shape.width});
       std::vector<Tensor> warm = warmup_replica(rebuilt, staging);
       std::lock_guard<std::mutex> lock(mutex);
-      replicas[static_cast<std::size_t>(worker_index)] = std::move(rebuilt);
-      --quarantined_now;
-      ++stats.restores;
-      return true;  // rejoin the serving loop
+      replicas[static_cast<std::size_t>(worker_index)] =
+          std::make_unique<runtime::CompiledGraph>(std::move(rebuilt));
+      return RestoreOutcome::kRestored;
     } catch (...) {
       backoff_us = std::min(backoff_us * 2, kMaxBackoffUs);
     }
   }
+  return RestoreOutcome::kExhausted;
+}
 
-  // Restore attempts exhausted: this replica is dead. The shard fails only
-  // when EVERY replica is dead — then queued and future requests get
-  // kShardFailed instead of waiting on capacity that will never return.
+// Restore attempts exhausted (dead) or retirement claimed: release the
+// slot. The shard fails only when the LAST live worker dies — then queued
+// and future requests get kShardFailed instead of waiting on capacity that
+// will never return. Retirement can never trip that (set_replicas keeps
+// the target >= 1 and a retire is only claimed by a live worker).
+void Shard::worker_exit(int worker_index, bool dead) {
   {
     std::lock_guard<std::mutex> lock(mutex);
-    --quarantined_now;
-    ++dead_now;
-    if (dead_now >= worker_target) {
-      failed = true;
-      accepting = false;
-      complete_queued_locked(ServeStatus::kShardFailed);
+    --live_workers;
+    slot_busy[static_cast<std::size_t>(worker_index)] = 0;
+    replicas[static_cast<std::size_t>(worker_index)].reset();
+    if (dead) {
+      ++dead_now;
+      if (live_workers <= 0 && !stopping) {
+        failed = true;
+        accepting = false;
+        complete_queued_locked(ServeStatus::kShardFailed);
+      }
     }
   }
   queue_cv.notify_all();
   done_cv.notify_all();
-  return false;
 }
 
 }  // namespace detail
@@ -374,6 +531,8 @@ BatchingServer::BatchingServer(ServerOptions options)
       << "batching server: negative restore_backoff_us";
   CSQ_CHECK(options_.restore_max_attempts >= 1)
       << "batching server: restore_max_attempts must be at least 1";
+  CSQ_CHECK(options_.max_replicas >= 0)
+      << "batching server: negative max_replicas";
   options_.queue_capacity =
       std::max(options_.queue_capacity, options_.max_batch);
 }
@@ -406,13 +565,22 @@ void BatchingServer::add_model(const std::string& model_id,
     // this registration call, not a worker thread's warmup forward.
     replica.edge_scales();
   }
-  // Restore template for quarantine recovery: the first replica's shared
-  // program + options + edge-scale snapshot (replicas are required to be
-  // bit-identical siblings, so any one of them defines the shard).
+  // Restore template for quarantine recovery and scale-up bootstrap: the
+  // first replica's shared program + options + edge-scale snapshot
+  // (replicas are required to be bit-identical siblings, so any one of
+  // them defines the shard).
   shard->program = replicas.front().shared_program();
   shard->graph_options = replicas.front().options();
   shard->edge_records = replicas.front().edge_scales();
-  shard->replicas = std::move(replicas);
+  shard->max_workers = std::max(static_cast<int>(replicas.size()),
+                                options_.max_replicas);
+  shard->replicas.resize(static_cast<std::size_t>(shard->max_workers));
+  for (std::size_t r = 0; r < replicas.size(); ++r) {
+    shard->replicas[r] =
+        std::make_unique<runtime::CompiledGraph>(std::move(replicas[r]));
+  }
+  shard->slot_busy.assign(static_cast<std::size_t>(shard->max_workers), 0);
+  shard->flush_waits.assign(Shard::kFlushWindow, 0);
   shard->options = &options_;
   shard->ring.assign(static_cast<std::size_t>(options_.queue_capacity),
                      nullptr);
@@ -442,11 +610,18 @@ void BatchingServer::start() {
   CSQ_CHECK(!shards_.empty()) << "batching server: no models registered";
   started_ = true;
   for (auto& shard : shards_) {
-    const int workers = static_cast<int>(shard->replicas.size());
+    int workers = 0;
+    for (const auto& replica : shard->replicas) {
+      if (replica != nullptr) ++workers;  // registered slots; the rest are
+    }                                     // scale-up headroom
     shard->worker_target = workers;
     {
       std::lock_guard<std::mutex> lock(shard->mutex);
       shard->accepting = true;
+      shard->live_workers = workers;
+      for (int w = 0; w < workers; ++w) {
+        shard->slot_busy[static_cast<std::size_t>(w)] = 1;
+      }
     }
     shard->workers.reserve(static_cast<std::size_t>(workers));
     for (int w = 0; w < workers; ++w) {
@@ -521,8 +696,48 @@ void BatchingServer::stop() {
     shard->workers_ready = 0;
     shard->quarantined_now = 0;
     shard->dead_now = 0;
+    shard->live_workers = 0;
+    shard->retire_requests = 0;
   }
   started_ = false;
+}
+
+void BatchingServer::set_replicas(const std::string& model_id, int target) {
+  CSQ_CHECK(started_) << "batching server: set_replicas before start";
+  Shard& shard = shard_for(model_id);
+  CSQ_CHECK(target >= 1)
+      << "batching server: replica target must be at least 1";
+  CSQ_CHECK(target <= shard.max_workers)
+      << "batching server: replica target " << target << " exceeds the "
+      << shard.max_workers << " slots of model " << model_id
+      << " (raise ServerOptions::max_replicas)";
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    if (shard.stopping || shard.failed || !shard.accepting) return;
+    // Workers already asked to retire don't count toward capacity.
+    const int effective = shard.live_workers - shard.retire_requests;
+    if (target > effective) {
+      int need = target - effective;
+      // Cancel pending retirements before spawning anything new.
+      const int cancelled = std::min(need, shard.retire_requests);
+      shard.retire_requests -= cancelled;
+      need -= cancelled;
+      for (int w = 0; w < shard.max_workers && need > 0; ++w) {
+        if (shard.slot_busy[static_cast<std::size_t>(w)]) continue;
+        shard.slot_busy[static_cast<std::size_t>(w)] = 1;
+        ++shard.live_workers;
+        ++shard.stats.scale_ups;
+        --need;
+        // Bootstrap off-thread: set_replicas returns immediately; the new
+        // worker rebuilds + warms a replica, then joins the rotation.
+        shard.workers.emplace_back(
+            [s = &shard, w] { s->scale_worker_loop(w); });
+      }
+    } else if (target < effective) {
+      shard.retire_requests += effective - target;
+    }
+  }
+  shard.queue_cv.notify_all();
 }
 
 const std::shared_ptr<Shard>& BatchingServer::shard_ptr_for(
@@ -662,6 +877,22 @@ BatchingServer::ShardStats BatchingServer::stats(
   ShardStats snapshot = shard.stats;
   snapshot.replicas_quarantined = shard.quarantined_now;
   snapshot.replicas_dead = shard.dead_now;
+  snapshot.queue_depth = static_cast<std::int64_t>(shard.count);
+  snapshot.replicas_active = shard.live_workers - shard.quarantined_now;
+  if (shard.flush_wait_count > 0) {
+    // p99 over the window: small (<= 256 entries) and read-only callers,
+    // so an on-demand partial sort beats bookkeeping on the hot path.
+    std::vector<std::int64_t> window(
+        shard.flush_waits.begin(),
+        shard.flush_waits.begin() +
+            static_cast<std::ptrdiff_t>(shard.flush_wait_count));
+    const std::size_t rank = (window.size() - 1) * 99 / 100;
+    std::nth_element(window.begin(),
+                     window.begin() + static_cast<std::ptrdiff_t>(rank),
+                     window.end());
+    snapshot.flush_wait_p99_us =
+        window[static_cast<std::size_t>(rank)];
+  }
   return snapshot;
 }
 
@@ -673,8 +904,8 @@ std::vector<std::int64_t> BatchingServer::replica_workspace_bytes(
   std::lock_guard<std::mutex> lock(shard.mutex);
   std::vector<std::int64_t> bytes;
   bytes.reserve(shard.replicas.size());
-  for (const runtime::CompiledGraph& replica : shard.replicas) {
-    bytes.push_back(replica.workspace_bytes());
+  for (const auto& replica : shard.replicas) {
+    if (replica != nullptr) bytes.push_back(replica->workspace_bytes());
   }
   return bytes;
 }

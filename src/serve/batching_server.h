@@ -41,6 +41,11 @@
 //    timeouts, load shedding (ServerOptions::shed_overload), shard failure
 //    and shutdown as ServeStatus codes, counted per shard in ShardStats.
 //    The infer() convenience wrappers keep the throwing contract.
+//  * Elastic capacity: set_replicas() grows or shrinks a shard's worker
+//    count at runtime — scale-up replicas bootstrap from the same restore
+//    template quarantine recovery uses (bit-identical siblings), scale-down
+//    retires workers only between batches. serve/autoscaler.h drives this
+//    from the shard's queue-depth and flush-latency stats.
 //  * Deadline-bounded drain: stop() finishes in-flight work (bounded by
 //    ServerOptions::drain_deadline_us when set), completes anything still
 //    queued past the deadline with kShuttingDown, and late arrivals are
@@ -98,6 +103,11 @@ struct ServerOptions {
   // Rebuild attempts before a quarantined replica is declared dead. The
   // shard fails only when EVERY replica is dead.
   int restore_max_attempts = 8;
+  // Runtime-scaling headroom: set_replicas() may scale any shard up to this
+  // many workers (slots beyond the registered replicas bootstrap from the
+  // shard's restore template on demand). 0 = the registered replica count —
+  // no scaling headroom.
+  int max_replicas = 0;
 };
 
 // Resolved routing target for one model id: lets the request hot path skip
@@ -151,6 +161,19 @@ class BatchingServer {
   // quarantined workers — completes with kShuttingDown. Idempotent.
   void stop();
 
+  // Runtime replica scaling (requires start()): adjusts the live worker
+  // count of `model_id` toward `target` without pausing the request path.
+  // Scale-up spawns workers that bootstrap fresh replicas from the shard's
+  // restore template (rebuild_replica + warmup) off-thread, then join the
+  // serving rotation — requests keep flowing on the existing workers
+  // meanwhile. Scale-down retires workers cooperatively: each finishes (or
+  // hands back) its current batch, frees its replica's memory and exits;
+  // no admitted request is dropped. `target` must be in
+  // [1, max(registered replicas, ServerOptions::max_replicas)]; calls on a
+  // stopped or failed shard are no-ops. Thread-safe, including concurrent
+  // calls (the autoscaler in serve/autoscaler.h drives this).
+  void set_replicas(const std::string& model_id, int target);
+
   // Resolves a model id once; infer(handle, ...) routes without a registry
   // lookup. Throws for unknown ids.
   ModelHandle handle(const std::string& model_id) const;
@@ -158,10 +181,18 @@ class BatchingServer {
   // Non-throwing single-sample inference. `sample` holds
   // channels*height*width floats; `logits` receives out_features floats
   // (written only on kOk). `deadline_us` bounds the WHOLE call — queueing
-  // (including backpressure waits) and service; < 0 means no deadline. A
-  // request whose deadline expires while still queued is cancelled and
-  // reported kTimeout; once a worker has picked it up, the call waits out
-  // the in-flight batch (one bounded forward) and reports its outcome.
+  // (including backpressure waits) and service. Deadline semantics are
+  // PINNED (the wire protocol in serve/transport.h relies on them):
+  //   * deadline_us < 0 (canonically -1): no deadline — wait indefinitely.
+  //   * deadline_us == 0: the deadline is already expired on entry. The
+  //     request is admitted, then cancelled with kTimeout unless it is
+  //     completable without waiting (already done when first checked, or
+  //     popped by a worker before the cancel — then the in-flight batch is
+  //     waited out and its real outcome reported). It is NOT "no deadline".
+  //   * deadline_us > 0: bounds the call; expiry while still queued cancels
+  //     the request with kTimeout; once a worker has picked it up, the call
+  //     waits out the in-flight batch (one bounded forward) and reports its
+  //     outcome.
   // Thread-safe; any number of producers may call concurrently.
   ServeStatus try_infer(const ModelHandle& handle, const float* sample,
                         float* logits, std::int64_t deadline_us = -1);
@@ -190,7 +221,16 @@ class BatchingServer {
     std::uint64_t quarantines = 0;  // replica failures entering quarantine
     std::uint64_t restores = 0;     // successful backoff rebuilds
     int replicas_quarantined = 0;   // gauge: currently restoring
-    int replicas_dead = 0;          // gauge: restore attempts exhausted
+    int replicas_dead = 0;          // replicas whose restores were exhausted
+    // Runtime scaling (set_replicas / the autoscaler policy inputs).
+    std::uint64_t scale_ups = 0;    // workers spawned by set_replicas
+    std::uint64_t scale_downs = 0;  // workers retired by set_replicas
+    std::int64_t queue_depth = 0;   // gauge: requests queued right now
+    int replicas_active = 0;        // gauge: serving-capable workers now
+    // p99 of the per-batch flush wait (the oldest popped request's queueing
+    // time, µs) over the last 256 batches — the latency signal the
+    // autoscaler watches. 0 until the first batch.
+    std::int64_t flush_wait_p99_us = 0;
   };
   ShardStats stats(const std::string& model_id) const;
 

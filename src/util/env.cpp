@@ -1,7 +1,12 @@
 #include "util/env.h"
 
+#include <cctype>
+#include <cerrno>
+#include <climits>
 #include <cstdlib>
 #include <cstring>
+
+#include "util/logging.h"
 
 namespace csq {
 
@@ -25,16 +30,57 @@ const char* bench_mode_name(BenchMode mode) {
   return "?";
 }
 
+namespace {
+
+// Strict whole-string integer parse. Leading/trailing whitespace, trailing
+// garbage, empty digits and out-of-int-range values all reject; the caller
+// falls back to its documented default instead of acting on a silent 0.
+bool parse_int_strict(const char* text, int* out) {
+  if (std::isspace(static_cast<unsigned char>(*text))) return false;
+  errno = 0;
+  char* end = nullptr;
+  const long value = std::strtol(text, &end, 10);
+  if (end == text || *end != '\0') return false;
+  if (errno == ERANGE || value < INT_MIN || value > INT_MAX) return false;
+  *out = static_cast<int>(value);
+  return true;
+}
+
+bool parse_double_strict(const char* text, double* out) {
+  if (std::isspace(static_cast<unsigned char>(*text))) return false;
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(text, &end);
+  if (end == text || *end != '\0') return false;
+  if (errno == ERANGE) return false;
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
 int env_int(const char* name, int fallback) {
   const char* env = std::getenv(name);
   if (env == nullptr || *env == '\0') return fallback;
-  return std::atoi(env);
+  int value = 0;
+  if (!parse_int_strict(env, &value)) {
+    log_warn() << name << "=\"" << env
+               << "\" is not a valid integer; using default " << fallback;
+    return fallback;
+  }
+  return value;
 }
 
 double env_double(const char* name, double fallback) {
   const char* env = std::getenv(name);
   if (env == nullptr || *env == '\0') return fallback;
-  return std::atof(env);
+  double value = 0.0;
+  if (!parse_double_strict(env, &value)) {
+    log_warn() << name << "=\"" << env
+               << "\" is not a valid number; using default " << fallback;
+    return fallback;
+  }
+  return value;
 }
 
 std::string env_string(const char* name, const std::string& fallback) {

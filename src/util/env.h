@@ -17,7 +17,9 @@ BenchMode bench_mode();
 
 const char* bench_mode_name(BenchMode mode);
 
-// Generic typed getters with defaults.
+// Generic typed getters with defaults. Numeric getters parse strictly: the
+// whole value must be a valid in-range number, otherwise a warning is logged
+// and the fallback is returned (CSQ_THREADS=abc no longer silently means 0).
 int env_int(const char* name, int fallback);
 double env_double(const char* name, double fallback);
 std::string env_string(const char* name, const std::string& fallback);

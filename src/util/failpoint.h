@@ -17,6 +17,12 @@
 //   threadpool.submit     top-level parallel_for submission
 //   artifact.read         load_graph, after opening the file
 //   artifact.write        save_graph, mid-payload (stream variant)
+//   artifact.fsync        save_graph, temp-file fsync before rename (bool)
+//   artifact.dirsync      save_graph, directory fsync after rename (bool)
+//   artifact.mmap         load_graph_mmap, after opening the file
+//   transport.accept      ServeTransport, accepting a client connection
+//   transport.read        ServeTransport, reading request bytes
+//   transport.write       ServeTransport, writing response bytes
 //
 // Compiled out entirely with -DCSQ_FAILPOINTS=OFF (CSQ_FAILPOINTS_ENABLED=0):
 // every macro expands to a no-op and release binaries carry no hooks.
@@ -109,9 +115,17 @@ bool should_trigger(const char* point);
     }                                                                      \
   } while (0)
 
+// Expression variant: evaluates to true when `point` fires — for sites that
+// report failure through a return value (fsync, accept) rather than an
+// exception or stream state.
+#define CSQ_FAILPOINT_FIRES(point)                                         \
+  (::csq::fail::detail::armed_count.load(std::memory_order_relaxed) > 0 && \
+   ::csq::fail::detail::should_trigger(point))
+
 #else
 
 #define CSQ_FAILPOINT(point) ((void)0)
 #define CSQ_FAILPOINT_STREAM(point, stream) ((void)0)
+#define CSQ_FAILPOINT_FIRES(point) (false)
 
 #endif  // CSQ_FAILPOINTS_ENABLED

@@ -20,6 +20,7 @@
 #include <dirent.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -34,7 +35,9 @@
 #include <gtest/gtest.h>
 
 #include "core/csq_weight.h"
+#include "core/model_io.h"
 #include "nn/models.h"
+#include "nn/weight_source.h"
 #include "runtime/compiled_graph.h"
 #include "runtime/graph_artifact.h"
 #include "serve/batching_server.h"
@@ -241,6 +244,74 @@ TEST_F(ArtifactRobustnessTest, ReadFailpointSurfacesAsInjectedFault) {
   std::remove(path.c_str());
 }
 
+TEST_F(ArtifactRobustnessTest, FsyncFailureLeavesPreviousArtifactIntact) {
+  // The durability fsync of the TEMP file fails (pre-rename window): the
+  // destination must be untouched and the failed temp removed — same
+  // contract as a mid-write failure, one step later in the protocol.
+  char dir_template[512];
+  const std::string tmpl = ::testing::TempDir() + "csq_fsync_XXXXXX";
+  ASSERT_LT(tmpl.size(), sizeof(dir_template));
+  std::memcpy(dir_template, tmpl.c_str(), tmpl.size() + 1);
+  ASSERT_NE(::mkdtemp(dir_template), nullptr);
+  const std::string dir(dir_template);
+  const std::string path = dir + "/model.csqm";
+
+  runtime::CompiledGraph graph = make_calibrated_graph();
+  ASSERT_TRUE(runtime::save_graph(path, graph));
+  const std::string before = read_bytes(path);
+
+  fail::arm("artifact.fsync", fail::Policy::kOnce);
+  EXPECT_FALSE(runtime::save_graph(path, graph));
+  EXPECT_EQ(read_bytes(path), before) << "destination was touched";
+
+  std::vector<std::string> entries;
+  DIR* handle = ::opendir(dir.c_str());
+  ASSERT_NE(handle, nullptr);
+  while (struct dirent* entry = ::readdir(handle)) {
+    const std::string name = entry->d_name;
+    if (name != "." && name != "..") entries.push_back(name);
+  }
+  ::closedir(handle);
+  EXPECT_EQ(entries, std::vector<std::string>{"model.csqm"});
+
+  runtime::CompiledGraph loaded = runtime::load_graph(path, /*pooled=*/false);
+  EXPECT_EQ(loaded.io_shape().out_features, 10);
+  std::remove(path.c_str());
+  ::rmdir(dir.c_str());
+}
+
+TEST_F(ArtifactRobustnessTest, DirsyncFailureIsPostRenameAndNonDestructive) {
+  // The parent-directory fsync fails AFTER the atomic rename (post-rename
+  // window): save_graph must report failure — the caller cannot count on
+  // the rename surviving a crash — but the renamed file IS the complete
+  // new artifact, so a reader that finds it must be able to trust it.
+  runtime::CompiledGraph graph = make_calibrated_graph();
+  const std::string path = temp_path("dirsync_fault");
+  fail::arm("artifact.dirsync", fail::Policy::kOnce);
+  EXPECT_FALSE(runtime::save_graph(path, graph));
+
+  runtime::CompiledGraph loaded = runtime::load_graph(path, /*pooled=*/false);
+  EXPECT_EQ(loaded.io_shape().out_features, 10);
+  // The mmap loader trusts it too (CRC over the full mapping).
+  runtime::CompiledGraph mapped =
+      runtime::load_graph_mmap(path, /*pooled=*/false);
+  EXPECT_EQ(mapped.io_shape().out_features, 10);
+  std::remove(path.c_str());
+}
+
+TEST_F(ArtifactRobustnessTest, MmapFailpointSurfacesAsInjectedFault) {
+  runtime::CompiledGraph graph = make_calibrated_graph();
+  const std::string path = temp_path("mmap_fault");
+  ASSERT_TRUE(runtime::save_graph(path, graph));
+  fail::arm("artifact.mmap", fail::Policy::kOnce);
+  EXPECT_THROW(runtime::load_graph_mmap(path), fail::injected_fault);
+  // Self-disarmed: the retry maps and serves.
+  runtime::CompiledGraph loaded =
+      runtime::load_graph_mmap(path, /*pooled=*/false);
+  EXPECT_EQ(loaded.io_shape().out_features, 10);
+  std::remove(path.c_str());
+}
+
 #endif  // CSQ_FAILPOINTS_ENABLED
 
 TEST_F(ArtifactRobustnessTest, SaveToUnopenablePathReturnsFalse) {
@@ -356,6 +427,117 @@ TEST(CorruptionFuzz, GoldenV3StillLoadsAndServes) {
   EXPECT_EQ(graph.io_shape().out_features, 3);
   Tensor probe = Tensor::zeros({1, 3, 8, 8});
   EXPECT_EQ(graph.forward(probe).numel(), 3);
+}
+
+TEST(CorruptionFuzz, MmapLoaderRejectsEverySampledBitFlip) {
+  // Unlike the copy loader on pre-CRC files, load_graph_mmap verifies the
+  // CRC over the WHOLE mapping before trusting a single page, so EVERY
+  // bit flip — header, weight section, or the trailer itself — must be
+  // rejected with a clean check_error.
+  runtime::CompiledGraph graph = make_calibrated_graph();
+  const std::string path = temp_path("mmap_flip");
+  ASSERT_TRUE(runtime::save_graph(path, graph));
+  const std::string bytes = read_bytes(path);
+  const std::string mutant_path = temp_path("mmap_flip_mut");
+  const std::size_t total_bits = bytes.size() * 8;
+  const std::size_t stride = std::max<std::size_t>(1, total_bits / 256);
+  for (std::size_t bit = 0; bit < total_bits; bit += stride) {
+    std::string mutant = bytes;
+    mutant[bit / 8] = static_cast<char>(
+        static_cast<unsigned char>(mutant[bit / 8]) ^ (1u << (bit % 8)));
+    write_bytes(mutant_path, mutant);
+    EXPECT_THROW(runtime::load_graph_mmap(mutant_path), check_error)
+        << "bit " << bit;
+  }
+  std::remove(path.c_str());
+  std::remove(mutant_path.c_str());
+}
+
+TEST(CorruptionFuzz, MmapLoaderRejectsEverySampledTruncation) {
+  // Truncation removes or splits the CRC trailer; every sampled prefix of
+  // a v5 artifact must fail cleanly before any parsing (run under the
+  // sanitize preset, this is the memory-safety sweep of the mapped path).
+  runtime::CompiledGraph graph = make_calibrated_graph();
+  const std::string path = temp_path("mmap_trunc");
+  ASSERT_TRUE(runtime::save_graph(path, graph));
+  const std::string bytes = read_bytes(path);
+  const std::string cut_path = temp_path("mmap_trunc_cut");
+  const std::size_t stride = std::max<std::size_t>(1, bytes.size() / 512);
+  for (std::size_t cut = 0; cut < bytes.size(); cut += stride) {
+    write_bytes(cut_path, bytes.substr(0, cut));
+    EXPECT_THROW(runtime::load_graph_mmap(cut_path), check_error)
+        << "cut at " << cut;
+  }
+  std::remove(path.c_str());
+  std::remove(cut_path.c_str());
+}
+
+// A small dense model for checkpoint-container fuzzing (mirrors
+// model_io_test.cpp's fixture).
+Model checkpoint_model(std::uint64_t seed) {
+  Rng rng(seed);
+  ModelConfig config;
+  config.num_classes = 4;
+  config.base_width = 4;
+  return make_resnet_cifar(8, config, dense_weight_factory(), nullptr, rng);
+}
+
+TEST(CorruptionFuzz, CheckpointV2EverySampledTruncationFailsCleanly) {
+  // The CSQC v2 arena checkpoint, truncated across the metadata table and
+  // the flat f32 blob: every prefix must be rejected with a clean
+  // check_error and must leave the destination model untouched enough to
+  // keep loading further mutants (no partial-write crashes).
+  Model model = checkpoint_model(61);
+  const std::string path = temp_path("ckpt_trunc");
+  ASSERT_TRUE(save_checkpoint(path, model));
+  const std::string bytes = read_bytes(path);
+  ASSERT_GT(bytes.size(), 64u);
+  Model victim = checkpoint_model(62);
+  const std::string cut_path = temp_path("ckpt_trunc_cut");
+  const std::size_t stride = std::max<std::size_t>(1, bytes.size() / 512);
+  for (std::size_t cut = 0; cut < bytes.size(); cut += stride) {
+    write_bytes(cut_path, bytes.substr(0, cut));
+    EXPECT_THROW(load_checkpoint(cut_path, victim), check_error)
+        << "cut at " << cut;
+  }
+  // The intact file still loads after the whole gauntlet.
+  load_checkpoint(path, victim);
+  std::remove(path.c_str());
+  std::remove(cut_path.c_str());
+}
+
+TEST(CorruptionFuzz, CheckpointV2BitFlipsNeverCrash) {
+  // CSQC carries no integrity trailer, so a flip deep inside the f32 blob
+  // may legitimately load (as different weights). The guarantee is the
+  // weaker memory-safety one: every sampled flip either loads or throws a
+  // clean check_error — never a crash or out-of-bounds parse.
+  Model model = checkpoint_model(63);
+  const std::string path = temp_path("ckpt_flip");
+  ASSERT_TRUE(save_checkpoint(path, model));
+  const std::string bytes = read_bytes(path);
+  Model victim = checkpoint_model(64);
+  const std::string mutant_path = temp_path("ckpt_flip_mut");
+  const std::size_t total_bits = bytes.size() * 8;
+  const std::size_t stride = std::max<std::size_t>(1, total_bits / 256);
+  std::size_t loaded = 0;
+  std::size_t rejected = 0;
+  for (std::size_t bit = 0; bit < total_bits; bit += stride) {
+    std::string mutant = bytes;
+    mutant[bit / 8] = static_cast<char>(
+        static_cast<unsigned char>(mutant[bit / 8]) ^ (1u << (bit % 8)));
+    write_bytes(mutant_path, mutant);
+    try {
+      load_checkpoint(mutant_path, victim);
+      ++loaded;
+    } catch (const check_error&) {
+      ++rejected;
+    }
+  }
+  // Both outcomes occur: header/metadata flips reject, blob flips load.
+  EXPECT_GT(loaded, 0u);
+  EXPECT_GT(rejected, 0u);
+  std::remove(path.c_str());
+  std::remove(mutant_path.c_str());
 }
 
 #if CSQ_FAILPOINTS_ENABLED

@@ -400,6 +400,47 @@ TEST(BatchingServer, SingleRequestFlushesOnTheLatencyTimer) {
   server.stop();
 }
 
+TEST(BatchingServer, DeadlineSemanticsArePinned) {
+  // The {-1, 0, >0} deadline contract is load-bearing for the wire
+  // protocol (serve/transport.h encodes -1 as THE no-deadline value), so
+  // pin each case against a server whose flush timer dwarfs the test: a
+  // lone request sits on the timer, making expiry deterministic.
+  runtime::CompiledGraph graph = make_calibrated_graph();
+  ExpectedSet expected = make_expected(graph, 1, 7450);
+
+  serve::ServerOptions options;
+  options.max_batch = 16;
+  options.max_latency_us = 300'000;
+  serve::BatchingServer server(options);
+  std::vector<runtime::CompiledGraph> replicas;
+  replicas.push_back(std::move(graph));
+  server.add_model("m", std::move(replicas));
+  server.start();
+  const serve::ModelHandle handle = server.handle("m");
+
+  std::vector<float> logits(
+      static_cast<std::size_t>(expected.out_features));
+  // deadline_us == 0: already expired on entry — admitted, then cancelled
+  // with kTimeout (it is NOT "no deadline"; the 300 ms timer never fires).
+  EXPECT_EQ(server.try_infer(handle, expected.samples.data(), logits.data(),
+                             /*deadline_us=*/0),
+            serve::ServeStatus::kTimeout);
+  // A short positive deadline expires while queued, same outcome.
+  EXPECT_EQ(server.try_infer(handle, expected.samples.data(), logits.data(),
+                             /*deadline_us=*/1),
+            serve::ServeStatus::kTimeout);
+  // deadline_us == -1: no deadline — waits out the timer flush, succeeds,
+  // and the result is bit-identical.
+  EXPECT_EQ(server.try_infer(handle, expected.samples.data(), logits.data(),
+                             /*deadline_us=*/-1),
+            serve::ServeStatus::kOk);
+  EXPECT_EQ(std::memcmp(logits.data(), expected.logits[0].data(),
+                        logits.size() * sizeof(float)),
+            0);
+  EXPECT_EQ(server.stats("m").timed_out, 2u);
+  server.stop();
+}
+
 TEST(BatchingServer, ExactlyMaxBatchFlushesFull) {
   // With an effectively infinite latency bound, the only way a batch can
   // flush is by filling: N producers of one request each must coalesce

@@ -1,0 +1,638 @@
+// Cross-process serving tests (`ctest -L serve_transport`, also swept by
+// the sanitize/tsan presets):
+//
+//  * Transport.*    — the loopback TCP front of the batching server: wire
+//    round trips bit-identical to in-process infer, concurrent clients,
+//    malformed/oversized/bad-deadline frames, listener-first graceful
+//    drain, and the transport.{accept,read,write} failpoints;
+//  * ReplicaScaling.* — BatchingServer::set_replicas: runtime scale-up
+//    (bootstrapped from the restore template, bit-identical results) and
+//    cooperative scale-down with no dropped requests;
+//  * Autoscaler.*   — the queue-driven policy loop: replicas climb under
+//    sustained backlog and fall back to the floor when idle;
+//  * MmapArtifact.* — load_graph_mmap: borrowed weight pages, forwards
+//    bit-identical to load_graph, replicas sharing one mapping, save_graph
+//    rejecting borrowed programs, and pre-v5 artifacts rejected cleanly.
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/csq_weight.h"
+#include "nn/models.h"
+#include "runtime/compiled_graph.h"
+#include "runtime/graph_artifact.h"
+#include "runtime/packed_weights.h"
+#include "serve/autoscaler.h"
+#include "serve/batching_server.h"
+#include "serve/transport.h"
+#include "test_helpers.h"
+#include "util/check.h"
+#include "util/failpoint.h"
+#include "util/net.h"
+#include "util/rng.h"
+
+namespace csq {
+namespace {
+
+using testing::random_tensor;
+
+constexpr std::int64_t kSide = 12;
+constexpr std::int64_t kChannels = 3;
+constexpr std::int64_t kSampleNumel = kChannels * kSide * kSide;
+
+std::string temp_path(const std::string& tag) {
+  return ::testing::TempDir() + "csq_transport_" + tag + "_" +
+         std::to_string(static_cast<long>(::getpid())) + ".csqm";
+}
+
+// A small finalized 3-bit CSQ ResNet-20, lowered and calibrated (same
+// substrate as serve_test.cpp).
+runtime::CompiledGraph make_calibrated_graph() {
+  Rng rng(9001);
+  std::vector<CsqWeightSource*> registry;
+  ModelConfig model_config;
+  model_config.base_width = 4;
+  CsqWeightOptions weight_options;
+  weight_options.fixed_precision = 3;
+  Model model = make_resnet20(
+      model_config, csq_weight_factory(&registry, weight_options), nullptr,
+      rng);
+  for (CsqWeightSource* source : registry) source->finalize();
+
+  runtime::LowerOptions options;
+  options.in_channels = kChannels;
+  options.in_height = kSide;
+  options.in_width = kSide;
+  runtime::CompiledGraph graph = runtime::lower(model, options);
+  Rng calib_rng(9002);
+  Tensor calib = random_tensor({8, kChannels, kSide, kSide}, calib_rng);
+  graph.calibrate(calib);
+  return graph;
+}
+
+void expect_bit_identical(const Tensor& expected, const float* actual,
+                          const char* what) {
+  for (std::int64_t i = 0; i < expected.numel(); ++i) {
+    ASSERT_EQ(expected[i], actual[i]) << what << ": logit " << i;
+  }
+}
+
+// Precomputed single-sample forwards: the oracle every wire response is
+// compared against bit-for-bit.
+std::vector<Tensor> single_sample_oracle(runtime::CompiledGraph& graph,
+                                         const Tensor& samples) {
+  const std::int64_t n = samples.shape()[0];
+  std::vector<Tensor> expected;
+  expected.reserve(static_cast<std::size_t>(n));
+  for (std::int64_t s = 0; s < n; ++s) {
+    Tensor one({1, kChannels, kSide, kSide});
+    std::memcpy(one.data(), samples.data() + s * kSampleNumel,
+                static_cast<std::size_t>(kSampleNumel) * sizeof(float));
+    expected.push_back(graph.forward(one));
+  }
+  return expected;
+}
+
+// Polls a predicate for up to ~10 s (loaded-CI headroom).
+template <typename Predicate>
+bool poll(Predicate&& predicate) {
+  for (int i = 0; i < 2000; ++i) {
+    if (predicate()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return predicate();
+}
+
+// ---------------------------------------------------------- wire transport --
+
+TEST(Transport, RoundTripIsBitIdenticalToInProcessInfer) {
+  runtime::CompiledGraph graph = make_calibrated_graph();
+  Rng rng(9100);
+  Tensor samples = random_tensor({6, kChannels, kSide, kSide}, rng);
+  const std::vector<Tensor> expected = single_sample_oracle(graph, samples);
+
+  serve::BatchingServer server;
+  server.add_model("m", [&] {
+    std::vector<runtime::CompiledGraph> replicas;
+    replicas.push_back(runtime::replicate(graph));
+    return replicas;
+  }());
+  server.start();
+  serve::ServeTransport transport(server);
+  transport.start();
+  ASSERT_GT(transport.port(), 0);
+
+  serve::TransportClient client(transport.port());
+  ASSERT_TRUE(client.connected());
+  std::vector<float> logits;
+  for (int s = 0; s < 6; ++s) {
+    const serve::WireStatus status =
+        client.infer("m", samples.data() + s * kSampleNumel,
+                     static_cast<std::size_t>(kSampleNumel), logits);
+    ASSERT_EQ(status, serve::WireStatus::kOk) << "sample " << s;
+    ASSERT_EQ(logits.size(), 10u);
+    expect_bit_identical(expected[static_cast<std::size_t>(s)],
+                         logits.data(), "wire round trip");
+  }
+
+  // The response counter is bumped after the write lands, so the client
+  // can observe its frame a beat before the stat: poll.
+  EXPECT_TRUE(poll([&] { return transport.stats().responses == 6; }));
+  const auto stats = transport.stats();
+  EXPECT_EQ(stats.connections, 1u);
+  EXPECT_EQ(stats.requests, 6u);
+  EXPECT_EQ(stats.bad_requests, 0u);
+
+  transport.stop();
+  server.stop();
+}
+
+TEST(Transport, ConcurrentClientsGetBitIdenticalResults) {
+  runtime::CompiledGraph graph = make_calibrated_graph();
+  Rng rng(9110);
+  Tensor samples = random_tensor({8, kChannels, kSide, kSide}, rng);
+  const std::vector<Tensor> expected = single_sample_oracle(graph, samples);
+
+  serve::BatchingServer server;
+  std::vector<runtime::CompiledGraph> replicas;
+  replicas.push_back(runtime::replicate(graph));
+  replicas.push_back(runtime::replicate(graph));
+  server.add_model("m", std::move(replicas));
+  server.start();
+  serve::TransportOptions transport_options;
+  transport_options.dispatch_threads = 4;
+  serve::ServeTransport transport(server, transport_options);
+  transport.start();
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 4; ++c) {
+    clients.emplace_back([&, c] {
+      serve::TransportClient client(transport.port());
+      if (!client.connected()) {
+        ++failures;
+        return;
+      }
+      std::vector<float> logits;
+      for (int round = 0; round < 8; ++round) {
+        const int s = (c + round) % 8;
+        if (client.infer("m", samples.data() + s * kSampleNumel,
+                         static_cast<std::size_t>(kSampleNumel),
+                         logits) != serve::WireStatus::kOk) {
+          ++failures;
+          return;
+        }
+        const Tensor& want = expected[static_cast<std::size_t>(s)];
+        for (std::int64_t i = 0; i < want.numel(); ++i) {
+          if (want[i] != logits[static_cast<std::size_t>(i)]) {
+            ++failures;
+            return;
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& thread : clients) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  EXPECT_TRUE(poll([&] { return transport.stats().responses == 32; }));
+  const auto stats = transport.stats();
+  EXPECT_EQ(stats.connections, 4u);
+  EXPECT_EQ(stats.requests, 32u);
+
+  transport.stop();
+  server.stop();
+}
+
+TEST(Transport, BadRequestsAreRejectedWithoutKillingTheConnection) {
+  runtime::CompiledGraph graph = make_calibrated_graph();
+  serve::BatchingServer server;
+  std::vector<runtime::CompiledGraph> replicas;
+  replicas.push_back(std::move(graph));
+  server.add_model("m", std::move(replicas));
+  server.start();
+  serve::ServeTransport transport(server);
+  transport.start();
+
+  serve::TransportClient client(transport.port());
+  ASSERT_TRUE(client.connected());
+  std::vector<float> logits;
+  std::vector<float> sample(static_cast<std::size_t>(kSampleNumel), 0.0f);
+
+  // Unknown model id.
+  EXPECT_EQ(client.infer("nope", sample.data(), sample.size(), logits),
+            serve::WireStatus::kBadRequest);
+  // Wrong sample count for a known model.
+  EXPECT_EQ(client.infer("m", sample.data(), sample.size() - 1, logits),
+            serve::WireStatus::kBadRequest);
+  // deadline_us < -1 has no wire meaning (-1 is THE no-deadline encoding).
+  EXPECT_EQ(client.infer("m", sample.data(), sample.size(), logits,
+                         /*deadline_us=*/-5),
+            serve::WireStatus::kBadRequest);
+  // The frame boundary stayed intact throughout: the same connection still
+  // serves a well-formed request.
+  EXPECT_EQ(client.infer("m", sample.data(), sample.size(), logits),
+            serve::WireStatus::kOk);
+
+  EXPECT_TRUE(poll([&] { return transport.stats().responses == 4; }));
+  EXPECT_EQ(transport.stats().bad_requests, 3u);
+
+  transport.stop();
+  server.stop();
+}
+
+TEST(Transport, WireDeadlinesFollowThePinnedSemantics) {
+  // A server whose flush timer is far longer than the test: a single
+  // queued request sits waiting, so expired deadlines deterministically
+  // cancel while -1 waits out the timer flush.
+  runtime::CompiledGraph graph = make_calibrated_graph();
+  serve::ServerOptions server_options;
+  server_options.max_batch = 16;
+  server_options.max_latency_us = 300'000;
+  serve::BatchingServer server(server_options);
+  std::vector<runtime::CompiledGraph> replicas;
+  replicas.push_back(std::move(graph));
+  server.add_model("m", std::move(replicas));
+  server.start();
+  serve::ServeTransport transport(server);
+  transport.start();
+
+  serve::TransportClient client(transport.port());
+  ASSERT_TRUE(client.connected());
+  std::vector<float> logits;
+  std::vector<float> sample(static_cast<std::size_t>(kSampleNumel), 0.25f);
+
+  // deadline 0: already expired on entry -> kTimeout (the request never
+  // waits out the 300 ms flush timer).
+  EXPECT_EQ(client.infer("m", sample.data(), sample.size(), logits,
+                         /*deadline_us=*/0),
+            serve::WireStatus::kTimeout);
+  // A short positive deadline expires the same way.
+  EXPECT_EQ(client.infer("m", sample.data(), sample.size(), logits,
+                         /*deadline_us=*/1),
+            serve::WireStatus::kTimeout);
+  // -1 = no deadline: waits for the timer flush and succeeds.
+  EXPECT_EQ(client.infer("m", sample.data(), sample.size(), logits,
+                         /*deadline_us=*/-1),
+            serve::WireStatus::kOk);
+
+  transport.stop();
+  server.stop();
+}
+
+TEST(Transport, OversizedAndRunawayFramesDropTheConnection) {
+  runtime::CompiledGraph graph = make_calibrated_graph();
+  serve::BatchingServer server;
+  std::vector<runtime::CompiledGraph> replicas;
+  replicas.push_back(std::move(graph));
+  server.add_model("m", std::move(replicas));
+  server.start();
+  serve::TransportOptions options;
+  options.max_frame_bytes = 4096;
+  serve::ServeTransport transport(server, options);
+  transport.start();
+
+  // A declared body length beyond max_frame_bytes is a protocol violation:
+  // no response, connection closed.
+  net::UniqueFd raw = net::connect_loopback(transport.port());
+  ASSERT_TRUE(raw.valid());
+  const std::uint32_t huge = 1u << 20;
+  ASSERT_TRUE(net::write_full(raw.get(), &huge, sizeof(huge)));
+  char probe = 0;
+  EXPECT_FALSE(net::read_full(raw.get(), &probe, 1)) << "expected EOF";
+
+  // A malformed-but-small body gets a kBadRequest response instead.
+  net::UniqueFd raw2 = net::connect_loopback(transport.port());
+  ASSERT_TRUE(raw2.valid());
+  const std::uint32_t tiny_len = 4;
+  const std::uint32_t garbage = 0xffffffffu;
+  ASSERT_TRUE(net::write_full(raw2.get(), &tiny_len, sizeof(tiny_len)));
+  ASSERT_TRUE(net::write_full(raw2.get(), &garbage, sizeof(garbage)));
+  std::uint32_t response_len = 0;
+  ASSERT_TRUE(
+      net::read_full(raw2.get(), &response_len, sizeof(response_len)));
+  std::vector<std::uint8_t> body(response_len);
+  ASSERT_TRUE(net::read_full(raw2.get(), body.data(), body.size()));
+  EXPECT_EQ(body[0],
+            static_cast<std::uint8_t>(serve::WireStatus::kBadRequest));
+
+  EXPECT_TRUE(poll([&] { return transport.stats().transport_errors >= 1; }));
+  transport.stop();
+  server.stop();
+}
+
+TEST(Transport, StopClosesTheListenerFirstAndDrains) {
+  runtime::CompiledGraph graph = make_calibrated_graph();
+  serve::BatchingServer server;
+  std::vector<runtime::CompiledGraph> replicas;
+  replicas.push_back(std::move(graph));
+  server.add_model("m", std::move(replicas));
+  server.start();
+  serve::ServeTransport transport(server);
+  transport.start();
+  const std::uint16_t port = transport.port();
+
+  serve::TransportClient client(port);
+  ASSERT_TRUE(client.connected());
+  std::vector<float> logits;
+  std::vector<float> sample(static_cast<std::size_t>(kSampleNumel), 0.5f);
+  ASSERT_EQ(client.infer("m", sample.data(), sample.size(), logits),
+            serve::WireStatus::kOk);
+
+  transport.stop();
+  // Every dispatched frame got its response before the teardown.
+  const auto stats = transport.stats();
+  EXPECT_EQ(stats.responses, stats.requests);
+  // The listener is gone: fresh connections are refused.
+  serve::TransportClient late(port);
+  EXPECT_FALSE(late.connected());
+  // stop() is idempotent.
+  transport.stop();
+  server.stop();
+}
+
+#if CSQ_FAILPOINTS_ENABLED
+
+class TransportFailpointTest : public ::testing::Test {
+ protected:
+  void TearDown() override { fail::disarm_all(); }
+};
+
+TEST_F(TransportFailpointTest, InjectedFaultsDropOnlyTheAffectedConnection) {
+  runtime::CompiledGraph graph = make_calibrated_graph();
+  serve::BatchingServer server;
+  std::vector<runtime::CompiledGraph> replicas;
+  replicas.push_back(std::move(graph));
+  server.add_model("m", std::move(replicas));
+  server.start();
+  serve::ServeTransport transport(server);
+  transport.start();
+
+  std::vector<float> logits;
+  std::vector<float> sample(static_cast<std::size_t>(kSampleNumel), 1.0f);
+
+  // accept fault: the connection is closed immediately after accept. The
+  // TCP handshake itself succeeds (backlog), so the failure surfaces on
+  // the first round trip.
+  fail::arm("transport.accept", fail::Policy::kOnce);
+  serve::TransportClient refused(transport.port());
+  EXPECT_EQ(refused.infer("m", sample.data(), sample.size(), logits),
+            serve::WireStatus::kTransportError);
+
+  // read fault: mid-connection read failure drops that client only.
+  serve::TransportClient victim(transport.port());
+  ASSERT_TRUE(victim.connected());
+  fail::arm("transport.read", fail::Policy::kOnce);
+  EXPECT_EQ(victim.infer("m", sample.data(), sample.size(), logits),
+            serve::WireStatus::kTransportError);
+
+  // write fault: the response write fails, the connection dies, and the
+  // client observes EOF instead of a frame.
+  serve::TransportClient write_victim(transport.port());
+  ASSERT_TRUE(write_victim.connected());
+  fail::arm("transport.write", fail::Policy::kOnce);
+  EXPECT_EQ(write_victim.infer("m", sample.data(), sample.size(), logits),
+            serve::WireStatus::kTransportError);
+
+  // The transport as a whole survived every injected fault.
+  serve::TransportClient healthy(transport.port());
+  ASSERT_TRUE(healthy.connected());
+  EXPECT_EQ(healthy.infer("m", sample.data(), sample.size(), logits),
+            serve::WireStatus::kOk);
+  EXPECT_GE(transport.stats().transport_errors, 3u);
+
+  transport.stop();
+  server.stop();
+}
+
+#endif  // CSQ_FAILPOINTS_ENABLED
+
+// --------------------------------------------------------- replica scaling --
+
+TEST(ReplicaScaling, ScaleUpBootstrapsBitIdenticalReplicas) {
+  runtime::CompiledGraph graph = make_calibrated_graph();
+  Rng rng(9200);
+  Tensor samples = random_tensor({8, kChannels, kSide, kSide}, rng);
+  const std::vector<Tensor> expected = single_sample_oracle(graph, samples);
+
+  serve::ServerOptions options;
+  options.max_replicas = 3;
+  serve::BatchingServer server(options);
+  std::vector<runtime::CompiledGraph> replicas;
+  replicas.push_back(std::move(graph));
+  server.add_model("m", std::move(replicas));
+  server.start();
+  EXPECT_EQ(server.stats("m").replicas_active, 1);
+
+  server.set_replicas("m", 3);
+  ASSERT_TRUE(poll([&] { return server.stats("m").replicas_active == 3; }));
+  EXPECT_EQ(server.stats("m").scale_ups, 2u);
+
+  // Scaled-up replicas serve bit-identically (they are restore-template
+  // rebuilds of the same program).
+  const serve::ModelHandle handle = server.handle("m");
+  std::vector<float> logits(10);
+  for (int s = 0; s < 8; ++s) {
+    ASSERT_EQ(server.try_infer(handle, samples.data() + s * kSampleNumel,
+                               logits.data()),
+              serve::ServeStatus::kOk);
+    expect_bit_identical(expected[static_cast<std::size_t>(s)],
+                         logits.data(), "post-scale-up");
+  }
+
+  // Cooperative scale-down: workers retire between batches; capacity
+  // settles at the new target and requests keep succeeding.
+  server.set_replicas("m", 1);
+  ASSERT_TRUE(poll([&] { return server.stats("m").replicas_active == 1; }));
+  EXPECT_EQ(server.stats("m").scale_downs, 2u);
+  ASSERT_EQ(server.try_infer(handle, samples.data(), logits.data()),
+            serve::ServeStatus::kOk);
+  expect_bit_identical(expected[0], logits.data(), "post-scale-down");
+
+  server.stop();
+}
+
+TEST(ReplicaScaling, TargetsOutsideTheSlotRangeAreRejected) {
+  runtime::CompiledGraph graph = make_calibrated_graph();
+  serve::ServerOptions options;
+  options.max_replicas = 2;
+  serve::BatchingServer server(options);
+  std::vector<runtime::CompiledGraph> replicas;
+  replicas.push_back(std::move(graph));
+  server.add_model("m", std::move(replicas));
+  server.start();
+  EXPECT_THROW(server.set_replicas("m", 0), check_error);
+  EXPECT_THROW(server.set_replicas("m", 3), check_error);
+  EXPECT_THROW(server.set_replicas("ghost", 1), check_error);
+  // A no-op target is accepted and changes nothing.
+  server.set_replicas("m", 1);
+  EXPECT_EQ(server.stats("m").replicas_active, 1);
+  server.stop();
+}
+
+TEST(Autoscaler, ReplicasFollowOfferedLoad) {
+  runtime::CompiledGraph graph = make_calibrated_graph();
+  serve::ServerOptions server_options;
+  server_options.max_batch = 1;  // one forward per request: easy backlog
+  server_options.max_replicas = 3;
+  serve::BatchingServer server(server_options);
+  std::vector<runtime::CompiledGraph> replicas;
+  replicas.push_back(std::move(graph));
+  server.add_model("m", std::move(replicas));
+  server.start();
+
+  serve::AutoscalerOptions policy;
+  policy.interval_us = 2'000;
+  policy.min_replicas = 1;
+  policy.max_replicas = 3;
+  policy.up_queue_depth = 2;
+  policy.up_ticks = 2;
+  policy.down_idle_ticks = 5;
+  policy.cooldown_ticks = 1;
+  serve::ReplicaAutoscaler autoscaler(server, "m", policy);
+  autoscaler.start();
+
+  // Sustained backlog from more producers than one replica can absorb.
+  const serve::ModelHandle handle = server.handle("m");
+  std::atomic<bool> load{true};
+  std::vector<float> sample(static_cast<std::size_t>(kSampleNumel), 0.1f);
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 6; ++p) {
+    producers.emplace_back([&] {
+      std::vector<float> logits(10);
+      while (load.load()) {
+        server.try_infer(handle, sample.data(), logits.data());
+      }
+    });
+  }
+  EXPECT_TRUE(poll([&] { return server.stats("m").replicas_active >= 2; }))
+      << "no scale-up under sustained backlog";
+
+  // Load stops; the policy walks the count back down to the floor.
+  load.store(false);
+  for (std::thread& producer : producers) producer.join();
+  EXPECT_TRUE(poll([&] { return server.stats("m").replicas_active == 1; }))
+      << "no scale-down when idle";
+  const auto stats = autoscaler.stats();
+  EXPECT_GE(stats.scale_ups, 1u);
+  EXPECT_GE(stats.scale_downs, 1u);
+
+  autoscaler.stop();
+  server.stop();
+}
+
+// ----------------------------------------------------------- mmap loading --
+
+TEST(MmapArtifact, ForwardsAreBitIdenticalToCopyLoad) {
+  runtime::CompiledGraph graph = make_calibrated_graph();
+  const std::string path = temp_path("mmap_identity");
+  ASSERT_TRUE(runtime::save_graph(path, graph));
+
+  Rng rng(9300);
+  Tensor images = random_tensor({5, kChannels, kSide, kSide}, rng);
+  runtime::CompiledGraph copied = runtime::load_graph(path, /*pooled=*/false);
+  runtime::CompiledGraph mapped =
+      runtime::load_graph_mmap(path, /*pooled=*/false);
+
+  const Tensor want = copied.forward(images);
+  const Tensor got = mapped.forward(images);
+  ASSERT_TRUE(want.same_shape(got));
+  for (std::int64_t i = 0; i < want.numel(); ++i) {
+    ASSERT_EQ(want[i], got[i]) << "logit " << i;
+  }
+
+  // The mapped graph borrows every layer's weight pages; the copied one
+  // owns them.
+  for (const runtime::PackedIntWeights* weights :
+       mapped.layer_weight_views()) {
+    EXPECT_TRUE(weights->borrowed());
+  }
+  for (const runtime::PackedIntWeights* weights :
+       copied.layer_weight_views()) {
+    EXPECT_FALSE(weights->borrowed());
+  }
+  EXPECT_EQ(mapped.weight_storage_bits(), copied.weight_storage_bits());
+  std::remove(path.c_str());
+}
+
+TEST(MmapArtifact, ReplicasShareOneMappingAndStayBitIdentical) {
+  runtime::CompiledGraph graph = make_calibrated_graph();
+  const std::string path = temp_path("mmap_share");
+  ASSERT_TRUE(runtime::save_graph(path, graph));
+
+  runtime::CompiledGraph mapped =
+      runtime::load_graph_mmap(path, /*pooled=*/false);
+  runtime::CompiledGraph sibling = runtime::replicate(mapped);
+  // The replica borrows from the SAME mapping (shared program), and the
+  // mapping outlives the artifact file: unlink it, then keep serving.
+  std::remove(path.c_str());
+  for (const runtime::PackedIntWeights* weights :
+       sibling.layer_weight_views()) {
+    EXPECT_TRUE(weights->borrowed());
+  }
+  Rng rng(9310);
+  Tensor images = random_tensor({3, kChannels, kSide, kSide}, rng);
+  const Tensor want = mapped.forward(images);
+  const Tensor got = sibling.forward(images);
+  for (std::int64_t i = 0; i < want.numel(); ++i) {
+    ASSERT_EQ(want[i], got[i]) << "logit " << i;
+  }
+}
+
+TEST(MmapArtifact, ServesThroughTheBatchingServer) {
+  runtime::CompiledGraph graph = make_calibrated_graph();
+  const std::string path = temp_path("mmap_serve");
+  ASSERT_TRUE(runtime::save_graph(path, graph));
+  Rng rng(9320);
+  Tensor samples = random_tensor({4, kChannels, kSide, kSide}, rng);
+  const std::vector<Tensor> expected = single_sample_oracle(graph, samples);
+
+  serve::BatchingServer server;
+  std::vector<runtime::CompiledGraph> replicas;
+  replicas.push_back(runtime::load_graph_mmap(path, /*pooled=*/false));
+  replicas.push_back(runtime::replicate(replicas.front()));
+  server.add_model("m", std::move(replicas));
+  server.start();
+  const serve::ModelHandle handle = server.handle("m");
+  std::vector<float> logits(10);
+  for (int s = 0; s < 4; ++s) {
+    ASSERT_EQ(server.try_infer(handle, samples.data() + s * kSampleNumel,
+                               logits.data()),
+              serve::ServeStatus::kOk);
+    expect_bit_identical(expected[static_cast<std::size_t>(s)],
+                         logits.data(), "mmap-backed serving");
+  }
+  server.stop();
+  std::remove(path.c_str());
+}
+
+TEST(MmapArtifact, MappedProgramsCannotBeResaved) {
+  runtime::CompiledGraph graph = make_calibrated_graph();
+  const std::string path = temp_path("mmap_resave");
+  ASSERT_TRUE(runtime::save_graph(path, graph));
+  runtime::CompiledGraph mapped =
+      runtime::load_graph_mmap(path, /*pooled=*/false);
+  // The owned codes are absent from a borrowed program: re-saving would
+  // persist an empty layer section. Rejected loudly instead.
+  EXPECT_THROW(runtime::save_graph(temp_path("mmap_resave_out"), mapped),
+               check_error);
+  std::remove(path.c_str());
+}
+
+TEST(MmapArtifact, PreV5ArtifactsAreRejectedCleanly) {
+  // The committed pre-CRC fixture has neither a trailer nor a weight
+  // section: the mmap loader must refuse it BEFORE parsing anything.
+  const std::string golden =
+      std::string(CSQ_TEST_DATA_DIR) + "/golden_v3.csqm";
+  EXPECT_THROW(runtime::load_graph_mmap(golden), check_error);
+}
+
+}  // namespace
+}  // namespace csq

@@ -183,6 +183,43 @@ TEST(Env, IntFallsBackWhenUnset) {
   EXPECT_EQ(env_int("CSQ_SURELY_UNSET_VAR", 42), 42);
 }
 
+TEST(Env, IntParsesStrictDecimal) {
+  ::setenv("CSQ_TEST_ENV_INT", "17", 1);
+  EXPECT_EQ(env_int("CSQ_TEST_ENV_INT", 3), 17);
+  ::setenv("CSQ_TEST_ENV_INT", "-8", 1);
+  EXPECT_EQ(env_int("CSQ_TEST_ENV_INT", 3), -8);
+  ::unsetenv("CSQ_TEST_ENV_INT");
+}
+
+TEST(Env, IntRejectsGarbageAndFallsBack) {
+  // Before the strict parse, atoi turned every one of these into a silent 0.
+  const char* bad[] = {"abc", "12abc", "1.5", "", " 7", "7 ", "0x10"};
+  for (const char* value : bad) {
+    ::setenv("CSQ_TEST_ENV_INT", value, 1);
+    EXPECT_EQ(env_int("CSQ_TEST_ENV_INT", 42), 42) << "value: '" << value
+                                                   << "'";
+  }
+  ::unsetenv("CSQ_TEST_ENV_INT");
+}
+
+TEST(Env, IntRejectsOverflowAndFallsBack) {
+  ::setenv("CSQ_TEST_ENV_INT", "99999999999999999999", 1);
+  EXPECT_EQ(env_int("CSQ_TEST_ENV_INT", 7), 7);
+  ::setenv("CSQ_TEST_ENV_INT", "-99999999999999999999", 1);
+  EXPECT_EQ(env_int("CSQ_TEST_ENV_INT", 7), 7);
+  ::unsetenv("CSQ_TEST_ENV_INT");
+}
+
+TEST(Env, DoubleParsesStrictAndRejectsGarbage) {
+  ::setenv("CSQ_TEST_ENV_DBL", "2.5", 1);
+  EXPECT_DOUBLE_EQ(env_double("CSQ_TEST_ENV_DBL", 1.0), 2.5);
+  ::setenv("CSQ_TEST_ENV_DBL", "2.5x", 1);
+  EXPECT_DOUBLE_EQ(env_double("CSQ_TEST_ENV_DBL", 1.0), 1.0);
+  ::setenv("CSQ_TEST_ENV_DBL", "not-a-number", 1);
+  EXPECT_DOUBLE_EQ(env_double("CSQ_TEST_ENV_DBL", 1.0), 1.0);
+  ::unsetenv("CSQ_TEST_ENV_DBL");
+}
+
 TEST(Env, BenchModeNameRoundtrip) {
   EXPECT_STREQ(bench_mode_name(BenchMode::smoke), "smoke");
   EXPECT_STREQ(bench_mode_name(BenchMode::normal), "default");
