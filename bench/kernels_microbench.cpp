@@ -515,6 +515,79 @@ void write_gemm_report(const std::string& path, double min_ms) {
               << "), pooled " << pooled << " GFLOP/s, bit_identical="
               << bit_identical << "\n";
   }
+
+  // Wide-N rows: the head-matmul family (few output rows, ~1000 columns)
+  // where the classic MC row split degenerates to serial. split_ways forces
+  // 1/2/4/8-way column-panel grids regardless of the machine's thread
+  // count, so the rows are comparable across hosts (speedups are ~1x on a
+  // single-hardware-thread runner — the grid still runs, the workers just
+  // drain it sequentially).
+  out << "\n  ],\n  \"wide_n\": [\n";
+  const std::int64_t wide_k = 512, wide_n = 1000;
+  bool first_wide = true;
+  for (const std::int64_t m : {std::int64_t{1}, std::int64_t{8}}) {
+    Rng rng(11);
+    Tensor a = random_tensor({m, wide_k}, rng);
+    Tensor b = random_tensor({wide_k, wide_n}, rng);
+    Tensor c({m, wide_n});
+
+    const double serial = time_gemm_gflops(
+        [&](std::int64_t pm, std::int64_t pn, std::int64_t pk,
+            const float* pa, const float* pb, float* pc) {
+          gemm(Trans::no, Trans::no, pm, pn, pk, 1.0f, pa, wide_k, pb,
+               wide_n, 0.0f, pc, pn);
+        },
+        m, wide_n, wide_k, a.data(), b.data(), c.data(), min_ms);
+
+    Tensor serial_c({m, wide_n});
+    gemm(Trans::no, Trans::no, m, wide_n, wide_k, 1.0f, a.data(), wide_k,
+         b.data(), wide_n, 0.0f, serial_c.data(), wide_n);
+
+    if (!first_wide) out << ",\n";
+    first_wide = false;
+    out << "    {\"name\": \"head_m" << m << "\", \"m\": " << m
+        << ", \"n\": " << wide_n << ", \"k\": " << wide_k
+        << ", \"split\": \""
+        << (gemm_choose_split(m, wide_n, 4) == GemmSplit::kCols ? "cols"
+                                                                : "other")
+        << "\", \"serial_gflops\": " << serial << ", \"ways\": [";
+    std::cout << "gemm wide_n m" << m << ": serial " << serial
+              << " GFLOP/s";
+    bool first_ways = true;
+    for (const int ways : {1, 2, 4, 8}) {
+      const double split_gflops = time_gemm_gflops(
+          [&](std::int64_t pm, std::int64_t pn, std::int64_t pk,
+              const float* pa, const float* pb, float* pc) {
+            gemm_parallel(Trans::no, Trans::no, pm, pn, pk, 1.0f, pa,
+                          wide_k, pb, wide_n, 0.0f, pc, pn,
+                          /*scratch=*/nullptr, GemmSplit::kAuto, ways);
+          },
+          m, wide_n, wide_k, a.data(), b.data(), c.data(), min_ms);
+      Tensor split_c({m, wide_n});
+      gemm_parallel(Trans::no, Trans::no, m, wide_n, wide_k, 1.0f, a.data(),
+                    wide_k, b.data(), wide_n, 0.0f, split_c.data(), wide_n,
+                    /*scratch=*/nullptr, GemmSplit::kAuto, ways);
+      bool bit_identical = true;
+      for (std::int64_t i = 0; i < serial_c.numel(); ++i) {
+        if (serial_c[i] != split_c[i]) {
+          bit_identical = false;
+          break;
+        }
+      }
+      if (!first_ways) out << ", ";
+      first_ways = false;
+      out << "{\"ways\": " << ways << ", \"tasks\": "
+          << gemm_split_task_count(GemmSplit::kAuto, m, wide_n, ways)
+          << ", \"gflops\": " << split_gflops
+          << ", \"speedup_vs_serial\": " << split_gflops / serial
+          << ", \"bit_identical\": " << (bit_identical ? "true" : "false")
+          << "}";
+      std::cout << ", w" << ways << " " << split_gflops << " (x"
+                << split_gflops / serial << ")";
+    }
+    out << "]}";
+    std::cout << "\n";
+  }
   out << "\n  ]\n}\n";
   std::cout << "wrote " << path << "\n";
 }
@@ -952,6 +1025,82 @@ void write_serve_report(const std::string& path, int requests_per_producer) {
     }
   }
   out << "\n  ],\n";
+
+  // Batch-1 intra-op row: a single replica serving a single closed-loop
+  // producer at max_batch=1 — the latency-floor configuration where batching
+  // cannot help and the only parallelism available is INSIDE the forward.
+  // borrow_idle_cores=off runs each forward serially; =on grants the sole
+  // flusher the pool, fanning out the wide-N column-split GEMMs. Outputs
+  // are verified bit-identical against single-sample oracles either way.
+  {
+    Tensor oracle[kSamples];
+    for (int s = 0; s < kSamples; ++s) {
+      Tensor one({1, 3, side, side});
+      std::memcpy(one.data(), samples.data() + s * sample_numel,
+                  static_cast<std::size_t>(sample_numel) * sizeof(float));
+      oracle[s] = graph.forward(one);
+    }
+    const int batch1_requests = std::max(requests_per_producer * 4, 24);
+
+    out << "  \"batch1_intra_op\": {\"replicas\": 1, \"max_batch\": 1"
+        << ", \"requests\": " << batch1_requests << ", \"rows\": [\n";
+    bool first_b1 = true;
+    for (const bool borrow : {false, true}) {
+      serve::ServerOptions server_options;
+      server_options.max_batch = 1;
+      server_options.max_latency_us = 200;
+      server_options.borrow_idle_cores = borrow;
+      serve::BatchingServer server(server_options);
+      std::vector<runtime::CompiledGraph> replicas;
+      replicas.push_back(runtime::replicate(graph));
+      replicas.front().set_pooled(false);  // intra-op only via the grant
+      server.add_model("m", std::move(replicas));
+      server.start();
+      const serve::ModelHandle handle = server.handle("m");
+
+      bool bit_identical = true;
+      std::vector<double> latencies_us(
+          static_cast<std::size_t>(batch1_requests), 0.0);
+      std::vector<float> logits(10);
+      using clock = std::chrono::steady_clock;
+      for (int i = 0; i < batch1_requests; ++i) {
+        const int s = i % kSamples;
+        const auto issued = clock::now();
+        server.infer(handle, samples.data() + s * sample_numel,
+                     logits.data());
+        latencies_us[static_cast<std::size_t>(i)] =
+            std::chrono::duration<double, std::micro>(clock::now() - issued)
+                .count();
+        if (std::memcmp(logits.data(), oracle[s].data(),
+                        logits.size() * sizeof(float)) != 0) {
+          bit_identical = false;
+        }
+      }
+      const auto stats = server.stats("m");
+      server.stop();
+
+      std::sort(latencies_us.begin(), latencies_us.end());
+      const auto percentile = [&](double q) {
+        const auto index = static_cast<std::size_t>(
+            q * static_cast<double>(latencies_us.size() - 1));
+        return latencies_us[index];
+      };
+      if (!first_b1) out << ",\n";
+      first_b1 = false;
+      out << "    {\"borrow_idle_cores\": " << (borrow ? "true" : "false")
+          << ", \"p50_us\": " << percentile(0.50)
+          << ", \"p99_us\": " << percentile(0.99)
+          << ", \"borrowed_flushes\": " << stats.borrowed_flushes
+          << ", \"bit_identical\": " << (bit_identical ? "true" : "false")
+          << "}";
+      std::cout << "serve batch1 borrow=" << (borrow ? "on" : "off")
+                << ": p50 " << percentile(0.50) << " us, p99 "
+                << percentile(0.99) << " us, borrowed "
+                << stats.borrowed_flushes << ", bit_identical="
+                << bit_identical << "\n";
+    }
+    out << "\n  ]},\n";
+  }
 
   // Overload row: 2x as many closed-loop producers as the request ring has
   // slots (fewer can never overflow it), a per-request deadline, admission

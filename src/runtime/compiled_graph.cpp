@@ -450,10 +450,13 @@ class ConvOp final : public Op {
     ctx.cols = geom_.col_cols();
     ctx.pad_code = static_cast<std::uint8_t>(in.zero_point);
     // Parallelism picks the outermost productive level: larger batches
-    // split across samples; batches below the sample-loop's pooling
-    // threshold (parallel_for serial_threshold = 2) run pooled MC-tile
-    // GEMMs instead so latency-critical small requests still fan out.
-    ctx.gemm_pooled = g.pooled && g.batch <= 2;
+    // split across samples; batches at or below the sample-loop's pooling
+    // threshold (kParallelForSerialThreshold) run pooled GEMMs instead so
+    // latency-critical small requests still fan out. These GEMMs are the
+    // canonical wide-N/small-M shape (m = out_channels, one MC tile; n =
+    // spatial positions), so the kAuto split resolves to the column split —
+    // a batch-1 conv forward now uses the whole pool instead of one core.
+    ctx.gemm_pooled = g.pooled && g.batch <= kParallelForSerialThreshold;
     for_each_sample(g.pooled, g.batch, ctx, +[](const Ctx& c, std::int64_t b) {
       const std::uint8_t* col;
       if (c.col_base == nullptr) {
@@ -1132,8 +1135,10 @@ class LinearOp final : public Op {
     const std::int64_t out_f = weights_.rows();
     const std::int64_t in_f = weights_.cols();
     std::int32_t* acc = g.ws->ints(acc_slot_, out_f * g.batch);
-    // acc(OUT, B) = W_codes(OUT, IN) * X^T — the one top-level integer GEMM,
-    // MC-tile pooled when enabled.
+    // acc(OUT, B) = W_codes(OUT, IN) * X^T — the one top-level integer GEMM.
+    // n here is the BATCH (kAuto keeps the row split: at batch 1 there is a
+    // single output column, so there is nothing for a column split to carve;
+    // the head matmul only fans out via its m = OUT row tiles).
     weights_.gemm(Trans::yes, g.batch, g.u8(in_edge_), in_f, acc, g.batch,
                   g.pooled, &scratch_);
 
@@ -1793,6 +1798,8 @@ void CompiledGraph::prepare(std::int64_t batch) {
   if (!impl_->scales_final) impl_->finalize_scales();
   impl_->prepare(batch);
 }
+
+bool CompiledGraph::pooled() const { return impl_->pooled; }
 
 void CompiledGraph::set_pooled(bool pooled) { impl_->pooled = pooled; }
 

@@ -113,6 +113,10 @@ class CompiledGraph {
   // this is an optional hook.
   void prepare(std::int64_t batch);
 
+  // Current execution mode. Tracks set_pooled, unlike options().pooled,
+  // which keeps the construction-time value (the batching server's
+  // idle-core borrowing restores to this between grants).
+  bool pooled() const;
   void set_pooled(bool pooled);
 
   // Growth events of the activation/scratch workspace (flat in steady

@@ -266,43 +266,67 @@ PackedIntWeights::PackedIntWeights(const WeightSpans& spans, float step,
 void PackedIntWeights::gemm(Trans trans_b, std::int64_t n,
                             const std::uint8_t* b, std::int64_t ldb,
                             std::int32_t* c, std::int64_t ldc, bool pooled,
-                            IntGemmScratch* scratch) const {
+                            IntGemmScratch* scratch,
+                            GemmSplit gemm_split) const {
+  // The serial entry points take no split (nothing to decompose); the
+  // parallel ones get the caller's split so wide-N layers fan out even when
+  // rows_ fits in one MC tile.
   switch (kernel_) {
-    case WeightKernel::kBitSerial: {
-      const auto run = pooled ? gemm_s8u8_lowbit_prepacked_parallel
-                              : gemm_s8u8_lowbit_prepacked;
-      run(trans_b, rows_, n, cols_, /*alpha=*/1, lowbit_panel_data(), b,
-          ldb, /*accumulate=*/false, c, ldc, scratch);
+    case WeightKernel::kBitSerial:
+      if (pooled) {
+        gemm_s8u8_lowbit_prepacked_parallel(
+            trans_b, rows_, n, cols_, /*alpha=*/1, lowbit_panel_data(), b,
+            ldb, /*accumulate=*/false, c, ldc, scratch, gemm_split);
+      } else {
+        gemm_s8u8_lowbit_prepacked(trans_b, rows_, n, cols_, /*alpha=*/1,
+                                   lowbit_panel_data(), b, ldb,
+                                   /*accumulate=*/false, c, ldc, scratch);
+      }
       return;
-    }
-    case WeightKernel::kBitSerialWide: {
-      const auto run = pooled ? gemm_s8u8_lowbit_wide_prepacked_parallel
-                              : gemm_s8u8_lowbit_wide_prepacked;
-      run(trans_b, rows_, n, cols_, /*alpha=*/1, lowbit_panel_data(), b,
-          ldb, /*accumulate=*/false, c, ldc, scratch);
+    case WeightKernel::kBitSerialWide:
+      if (pooled) {
+        gemm_s8u8_lowbit_wide_prepacked_parallel(
+            trans_b, rows_, n, cols_, /*alpha=*/1, lowbit_panel_data(), b,
+            ldb, /*accumulate=*/false, c, ldc, scratch, gemm_split);
+      } else {
+        gemm_s8u8_lowbit_wide_prepacked(trans_b, rows_, n, cols_,
+                                        /*alpha=*/1, lowbit_panel_data(), b,
+                                        ldb, /*accumulate=*/false, c, ldc,
+                                        scratch);
+      }
       return;
-    }
-    case WeightKernel::kNibble: {
-      const auto run = pooled ? gemm_s8u8_nibble_prepacked_parallel
-                              : gemm_s8u8_nibble_prepacked;
-      run(trans_b, rows_, n, cols_, /*alpha=*/1, nibble_panel_data(), b,
-          ldb, /*accumulate=*/false, c, ldc, scratch);
+    case WeightKernel::kNibble:
+      if (pooled) {
+        gemm_s8u8_nibble_prepacked_parallel(
+            trans_b, rows_, n, cols_, /*alpha=*/1, nibble_panel_data(), b,
+            ldb, /*accumulate=*/false, c, ldc, scratch, gemm_split);
+      } else {
+        gemm_s8u8_nibble_prepacked(trans_b, rows_, n, cols_, /*alpha=*/1,
+                                   nibble_panel_data(), b, ldb,
+                                   /*accumulate=*/false, c, ldc, scratch);
+      }
       return;
-    }
     default:
       break;
   }
-  const auto run = pooled ? gemm_s8u8_prepacked_parallel : gemm_s8u8_prepacked;
+  const auto run = [&](std::int32_t alpha, const std::int16_t* panels,
+                       bool accumulate) {
+    if (pooled) {
+      gemm_s8u8_prepacked_parallel(trans_b, rows_, n, cols_, alpha, panels,
+                                   b, ldb, accumulate, c, ldc, scratch,
+                                   gemm_split);
+    } else {
+      gemm_s8u8_prepacked(trans_b, rows_, n, cols_, alpha, panels, b, ldb,
+                          accumulate, c, ldc, scratch);
+    }
+  };
   if (!split()) {
-    run(trans_b, rows_, n, cols_, /*alpha=*/1, s8u8_panel_data(), b, ldb,
-        /*accumulate=*/false, c, ldc, scratch);
+    run(/*alpha=*/1, s8u8_panel_data(), /*accumulate=*/false);
     return;
   }
   // code = 2*hi + lo: alpha-chained passes, both exact in int32.
-  run(trans_b, rows_, n, cols_, /*alpha=*/2, s8u8_panel_data(), b, ldb,
-      /*accumulate=*/false, c, ldc, scratch);
-  run(trans_b, rows_, n, cols_, /*alpha=*/1, s8u8_low_panel_data(), b, ldb,
-      /*accumulate=*/true, c, ldc, scratch);
+  run(/*alpha=*/2, s8u8_panel_data(), /*accumulate=*/false);
+  run(/*alpha=*/1, s8u8_low_panel_data(), /*accumulate=*/true);
 }
 
 std::int64_t PackedIntWeights::storage_bits() const {

@@ -190,11 +190,15 @@ class PackedIntWeights {
 
   // C(rows, n) int32 = plane-codes * op(B): one pass through the selected
   // kernel, or the alpha-chained hi/lo pair for split layers. Every kernel
-  // yields bit-identical accumulators. `pooled` routes through the MC-tile
-  // parallel kernel (top-level calls); serial inside parallel regions.
+  // yields bit-identical accumulators. `pooled` routes through the parallel
+  // kernel (top-level calls); serial inside parallel regions. `split` picks
+  // the pooled tile decomposition — the default kAuto resolves by shape, so
+  // wide-N/small-rows layers (conv GEMMs at batch 1, attention-style heads)
+  // take the column split instead of degrading to serial.
   void gemm(Trans trans_b, std::int64_t n, const std::uint8_t* b,
             std::int64_t ldb, std::int32_t* c, std::int64_t ldc, bool pooled,
-            IntGemmScratch* scratch = nullptr) const;
+            IntGemmScratch* scratch = nullptr,
+            GemmSplit split = GemmSplit::kAuto) const;
 
   // Storage of the packed planes in bits (bits() per weight, doubled for
   // split layers, plus the scale).

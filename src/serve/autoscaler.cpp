@@ -109,6 +109,11 @@ void ReplicaAutoscaler::policy_loop() {
     }
     if (next_target == target) continue;
 
+    // Either stop order is safe: a tick that races BatchingServer::stop()
+    // (or fires after it) hits set_replicas' lifecycle no-op instead of a
+    // CHECK -- a throw here would escape the policy thread and terminate
+    // the process. Callers therefore need no autoscaler-before-server
+    // shutdown discipline.
     server_.set_replicas(model_id_, next_target);
     {
       std::lock_guard<std::mutex> lock(mutex_);

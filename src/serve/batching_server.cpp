@@ -1,6 +1,8 @@
 #include "serve/batching_server.h"
 
 #include <algorithm>
+#include <array>
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstring>
@@ -98,11 +100,21 @@ struct Shard {
   std::vector<std::uint8_t> slot_busy;  // a worker owns this replica slot
   // Autoscaler latency signal: per-batch flush wait (oldest popped
   // request's queueing time, µs) over the last kFlushWindow batches.
+  // Concurrency audit: BOTH sides of this ring are under `mutex` — the
+  // worker writes flush_waits/flush_wait_pos/flush_wait_count inside the
+  // locked pop scope of run_worker, and stats() copies them under the same
+  // lock — so there is no torn-read window (the TSan stats-hammer test
+  // pins this against a producer flood).
   static constexpr std::size_t kFlushWindow = 256;
   std::vector<std::int64_t> flush_waits;
   std::size_t flush_wait_pos = 0;
   std::size_t flush_wait_count = 0;
   BatchingServer::ShardStats stats;
+  // Workers currently between pop and scatter-completion (running a
+  // forward). Atomic rather than mutex-guarded so the idle-sibling release
+  // guard in run_worker stays exception-safe without re-taking the lock on
+  // the quarantine unwind path.
+  std::atomic<int> flushing_now{0};
 
   std::vector<std::thread> workers;
 
@@ -270,6 +282,10 @@ WorkerExit Shard::run_worker(int worker_index, std::vector<Request*>& taken,
   const std::int64_t sample_numel =
       shape.channels * shape.height * shape.width;
   const std::int64_t max_batch = options->max_batch;
+  // The replica's own execution mode (which a caller may have flipped with
+  // set_pooled after lowering, so graph_options.pooled is not authoritative):
+  // the level an idle-core grant is restored to when siblings are busy.
+  const bool base_pooled = graph.pooled();
 
   while (true) {
     CSQ_FAILPOINT("serve.worker_batch");
@@ -344,6 +360,26 @@ WorkerExit Shard::run_worker(int worker_index, std::vector<Request*>& taken,
     // Ring space freed: unblock producers waiting on backpressure.
     done_cv.notify_all();
 
+    // Idle-sibling core budget: when no sibling is mid-flush, run this
+    // batch with in-graph pooled execution so a lone (often batch-1)
+    // request fans its column-split GEMMs out over the idle cores. The
+    // counter is released on EVERY exit path — the quarantine unwind
+    // included — by the guard, so a replica failure never wedges the
+    // grant. Pooled and serial execution are bit-identical, so the grant
+    // may differ batch to batch without affecting outputs.
+    struct FlushingGuard {
+      std::atomic<int>& counter;
+      ~FlushingGuard() { counter.fetch_sub(1, std::memory_order_acq_rel); }
+    };
+    const int siblings_flushing =
+        flushing_now.fetch_add(1, std::memory_order_acq_rel);
+    FlushingGuard flushing_guard{flushing_now};
+    bool borrowed = false;
+    if (options->borrow_idle_cores) {
+      borrowed = siblings_flushing == 0;
+      graph.set_pooled(base_pooled || borrowed);
+    }
+
     // Gather -> one batched integer forward -> scatter. The integer path is
     // batch-invariant, so each row is bit-identical to a single-sample
     // forward of the same graph.
@@ -367,6 +403,7 @@ WorkerExit Shard::run_worker(int worker_index, std::vector<Request*>& taken,
     {
       std::lock_guard<std::mutex> lock(mutex);
       for (std::size_t i = 0; i < n; ++i) taken[i]->done = true;
+      if (borrowed) ++stats.borrowed_flushes;
       n = 0;  // completed: the failure path must not touch these again
     }
     done_cv.notify_all();
@@ -703,7 +740,9 @@ void BatchingServer::stop() {
 }
 
 void BatchingServer::set_replicas(const std::string& model_id, int target) {
-  CSQ_CHECK(started_) << "batching server: set_replicas before start";
+  // Argument validation still throws for genuinely bad calls (unknown model,
+  // nonsensical target) regardless of lifecycle state -- those are caller
+  // bugs, not races.
   Shard& shard = shard_for(model_id);
   CSQ_CHECK(target >= 1)
       << "batching server: replica target must be at least 1";
@@ -711,6 +750,13 @@ void BatchingServer::set_replicas(const std::string& model_id, int target) {
       << "batching server: replica target " << target << " exceeds the "
       << shard.max_workers << " slots of model " << model_id
       << " (raise ServerOptions::max_replicas)";
+  // Lifecycle, however, is a no-op, not a CHECK: the autoscaler's policy
+  // thread calls this concurrently with stop(), and a CHECK throwing on a
+  // thread that can't propagate it would std::terminate the process. A tick
+  // that loses the race against stop() (or lands before start()) simply does
+  // nothing; any worker it manages to spawn before `accepting` flips is
+  // emplaced under shard.mutex ahead of stop()'s join loop, so it is joined.
+  if (!started_.load(std::memory_order_acquire)) return;
   {
     std::lock_guard<std::mutex> lock(shard.mutex);
     if (shard.stopping || shard.failed || !shard.accepting) return;
@@ -873,25 +919,37 @@ runtime::CompiledGraph::IoShape BatchingServer::model_shape(
 BatchingServer::ShardStats BatchingServer::stats(
     const std::string& model_id) const {
   Shard& shard = shard_for(model_id);
-  std::lock_guard<std::mutex> lock(shard.mutex);
-  ShardStats snapshot = shard.stats;
-  snapshot.replicas_quarantined = shard.quarantined_now;
-  snapshot.replicas_dead = shard.dead_now;
-  snapshot.queue_depth = static_cast<std::int64_t>(shard.count);
-  snapshot.replicas_active = shard.live_workers - shard.quarantined_now;
-  if (shard.flush_wait_count > 0) {
-    // p99 over the window: small (<= 256 entries) and read-only callers,
-    // so an on-demand partial sort beats bookkeeping on the hot path.
-    std::vector<std::int64_t> window(
-        shard.flush_waits.begin(),
-        shard.flush_waits.begin() +
-            static_cast<std::ptrdiff_t>(shard.flush_wait_count));
-    const std::size_t rank = (window.size() - 1) * 99 / 100;
+  // Concurrency audit (flush-wait window): both the worker-side writes and
+  // this read of flush_waits/flush_wait_count happen under shard.mutex, so a
+  // snapshot never sees a torn window. What used to live under the lock was
+  // the p99 itself -- a heap allocation plus nth_element while producers and
+  // flushers contend for the same mutex. Copy the fixed-size window out under
+  // the lock, select outside it.
+  ShardStats snapshot;
+  std::array<std::int64_t, Shard::kFlushWindow> window;
+  std::size_t wait_count = 0;
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    snapshot = shard.stats;
+    snapshot.replicas_quarantined = shard.quarantined_now;
+    snapshot.replicas_dead = shard.dead_now;
+    snapshot.queue_depth = static_cast<std::int64_t>(shard.count);
+    snapshot.replicas_active = shard.live_workers - shard.quarantined_now;
+    wait_count = shard.flush_wait_count;
+    std::copy(shard.flush_waits.begin(),
+              shard.flush_waits.begin() +
+                  static_cast<std::ptrdiff_t>(wait_count),
+              window.begin());
+  }
+  if (wait_count > 0) {
+    // p99 over the window: small (<= kFlushWindow entries) and read-only
+    // callers, so an on-demand partial sort beats bookkeeping on the hot
+    // path -- and it now runs lock-free on the caller's stack copy.
+    const std::size_t rank = (wait_count - 1) * 99 / 100;
     std::nth_element(window.begin(),
                      window.begin() + static_cast<std::ptrdiff_t>(rank),
-                     window.end());
-    snapshot.flush_wait_p99_us =
-        window[static_cast<std::size_t>(rank)];
+                     window.begin() + static_cast<std::ptrdiff_t>(wait_count));
+    snapshot.flush_wait_p99_us = window[rank];
   }
   return snapshot;
 }

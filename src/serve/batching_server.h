@@ -54,6 +54,7 @@
 //    of touching freed memory.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -108,6 +109,16 @@ struct ServerOptions {
   // shard's restore template on demand). 0 = the registered replica count —
   // no scaling headroom.
   int max_replicas = 0;
+  // Idle-sibling core budget: a worker that is the ONLY one flushing at pop
+  // time runs its batch with in-graph pooled execution, so the column-split
+  // GEMMs of a lone batch-1 request fan out over the idle cores instead of
+  // using one. Workers flushing concurrently stay with the pooled flag
+  // their replicas were built with (they never serialize on the shared
+  // pool). Outputs are bit-identical either way — pooled and serial
+  // execution share the determinism contract — so the grant may differ
+  // batch to batch. Off by default: granted batches run pooled GEMMs,
+  // which sit outside the strict zero-allocation guarantee (see above).
+  bool borrow_idle_cores = false;
 };
 
 // Resolved routing target for one model id: lets the request hot path skip
@@ -170,7 +181,11 @@ class BatchingServer {
   // hands back) its current batch, frees its replica's memory and exits;
   // no admitted request is dropped. `target` must be in
   // [1, max(registered replicas, ServerOptions::max_replicas)]; calls on a
-  // stopped or failed shard are no-ops. Thread-safe, including concurrent
+  // stopped or failed shard — or before start() / after stop() entirely —
+  // are no-ops, never errors: the autoscaler's policy thread may tick
+  // concurrently with stop(), and a decision landing after listener close
+  // must not scale a draining shard (or terminate the process from a
+  // thread it cannot throw out of). Thread-safe, including concurrent
   // calls (the autoscaler in serve/autoscaler.h drives this).
   void set_replicas(const std::string& model_id, int target);
 
@@ -231,6 +246,10 @@ class BatchingServer {
     // time, µs) over the last 256 batches — the latency signal the
     // autoscaler watches. 0 until the first batch.
     std::int64_t flush_wait_p99_us = 0;
+    // Batches granted the idle-sibling core budget
+    // (ServerOptions::borrow_idle_cores): ran with in-graph pooled
+    // execution because no sibling was mid-flush.
+    std::uint64_t borrowed_flushes = 0;
   };
   ShardStats stats(const std::string& model_id) const;
 
@@ -250,7 +269,10 @@ class BatchingServer {
 
   ServerOptions options_;
   std::vector<std::shared_ptr<detail::Shard>> shards_;
-  bool started_ = false;
+  // Atomic: set_replicas may be called from the autoscaler's policy thread
+  // concurrently with stop() on the control thread; it reads this flag as
+  // its first gate (and must see a torn-free value, not race UB).
+  std::atomic<bool> started_{false};
 };
 
 }  // namespace serve

@@ -42,6 +42,72 @@ void apply_beta(std::int64_t m_begin, std::int64_t m_end, std::int64_t n,
   }
 }
 
+// ----------------------------------------------------- tile-grid split ----
+//
+// Task decomposition for the column-split (kCols) and 2-D-grid (kGrid)
+// pooled paths, shared by all three blocked drivers. The C tile grid is
+// carved into row_groups x col_stripes tasks: each task owns a disjoint
+// block of C (a contiguous run of MC row tiles x one NR-aligned column
+// stripe) and runs the full ascending pc depth loop itself, packing op(B)
+// for its stripe into a per-slot region of the shared packed-B scratch.
+//
+// Bit-identity argument (extends the row-split one):
+//  * Ownership: every C element belongs to exactly one (row tile, column
+//    stripe) pair — no write conflicts, no order dependence across tasks.
+//  * Identical packed panels: stripe boundaries are NR-aligned, and the
+//    serial sweep also carves B into NR-wide micro-panels from NR-aligned
+//    offsets (kGemmNC is a multiple of kGemmNR), so each micro-panel a task
+//    packs holds exactly the bytes the serial pack produces for those
+//    columns — zero-padding happens only at the true matrix edge either way.
+//  * Identical per-element op order: each task visits pc panels in the same
+//    ascending order as the serial loop (beta / accumulate applied at
+//    pc == 0), and the micro-kernel's packed-k order is fixed by the
+//    blocking constants.
+// Stripes are capped at kGemmNC columns so the per-task packed panel keeps
+// the serial path's cache footprint.
+
+struct TileGrid {
+  std::int64_t row_groups = 1;         // groups of consecutive MC row tiles
+  std::int64_t tiles_per_group = 1;    // MC tiles per group (last may be short)
+  std::int64_t col_stripes = 1;        // NR-aligned column stripes
+  std::int64_t panels_per_stripe = 1;  // NR panels per stripe (last may be short)
+  std::int64_t tasks() const { return row_groups * col_stripes; }
+};
+
+int resolve_split_ways(int split_ways) {
+  return split_ways > 0 ? split_ways : global_pool().num_threads();
+}
+
+// Builds the task grid for kCols / kGrid (kRows never reaches this). Targets
+// `ways` tasks; produces more when a stripe would exceed kGemmNC columns
+// (tasks queue on the pool, which is fine) and fewer when the shape has too
+// few tiles to split that finely.
+TileGrid make_tile_grid(GemmSplit split, std::int64_t m, std::int64_t n,
+                        int ways) {
+  const std::int64_t ic_tiles = (m + kGemmMC - 1) / kGemmMC;
+  const std::int64_t col_panels = (n + kGemmNR - 1) / kGemmNR;
+  TileGrid grid;
+  grid.tiles_per_group = std::max<std::int64_t>(ic_tiles, 1);
+  std::int64_t col_ways = std::max<std::int64_t>(ways, 1);
+  if (split == GemmSplit::kGrid && ic_tiles > 1) {
+    grid.row_groups = std::min<std::int64_t>(ic_tiles, ways);
+    grid.tiles_per_group =
+        (ic_tiles + grid.row_groups - 1) / grid.row_groups;
+    grid.row_groups =
+        (ic_tiles + grid.tiles_per_group - 1) / grid.tiles_per_group;
+    col_ways = std::max<std::int64_t>(ways / grid.row_groups, 1);
+  }
+  grid.col_stripes = std::max<std::int64_t>(
+      std::min<std::int64_t>(col_panels, col_ways), 1);
+  grid.panels_per_stripe =
+      (col_panels + grid.col_stripes - 1) / grid.col_stripes;
+  grid.panels_per_stripe =
+      std::min<std::int64_t>(grid.panels_per_stripe, kGemmNC / kGemmNR);
+  grid.col_stripes =
+      (col_panels + grid.panels_per_stripe - 1) / grid.panels_per_stripe;
+  return grid;
+}
+
 // --------------------------------------------------------------- packing --
 //
 // A~ layout: ceil(mc/MR) micro-panels, each kc x MR:
@@ -225,22 +291,113 @@ void run_ic_tile(Trans trans_a, const float* a, std::int64_t lda,
   }
 }
 
+// Column-split / 2-D-grid pooled driver (float). Each task owns a disjoint
+// (row group x column stripe) block of C, packs op(B) for its stripe into a
+// pool_slot()-indexed region of the shared packed-B scratch (the pool runs
+// one top-level task graph at a time, so slots are never shared), packs A
+// into its thread-local scratch, and runs the ascending pc loop itself —
+// see the TileGrid comment for the bit-identity argument.
+void gemm_blocked_grid(Trans trans_a, Trans trans_b, std::int64_t m,
+                       std::int64_t n, std::int64_t k, float alpha,
+                       const float* a, std::int64_t lda, const float* b,
+                       std::int64_t ldb, float beta, float* c,
+                       std::int64_t ldc, GemmScratch& shared,
+                       const TileGrid& grid) {
+  const std::int64_t kc_max = std::min(k, kGemmKC);
+  const std::int64_t stripe_elems = grid.panels_per_stripe * kGemmNR * kc_max;
+  ensure_size(shared.packed_b,
+              static_cast<std::size_t>(pool_slot_count() * stripe_elems));
+
+  struct GridContext {
+    Trans trans_a, trans_b;
+    const float* a;
+    std::int64_t lda;
+    const float* b;
+    std::int64_t ldb, m, n, k;
+    float alpha, beta;
+    float* c;
+    std::int64_t ldc;
+    float* packed_b_base;
+    std::int64_t stripe_elems, ic_tiles;
+    TileGrid grid;
+  } ctx;
+  ctx.trans_a = trans_a;
+  ctx.trans_b = trans_b;
+  ctx.a = a;
+  ctx.lda = lda;
+  ctx.b = b;
+  ctx.ldb = ldb;
+  ctx.m = m;
+  ctx.n = n;
+  ctx.k = k;
+  ctx.alpha = alpha;
+  ctx.beta = beta;
+  ctx.c = c;
+  ctx.ldc = ldc;
+  ctx.packed_b_base = shared.packed_b.data();
+  ctx.stripe_elems = stripe_elems;
+  ctx.ic_tiles = (m + kGemmMC - 1) / kGemmMC;
+  ctx.grid = grid;
+  parallel_for_chunked(
+      0, grid.tasks(), [&ctx](std::int64_t begin, std::int64_t end) {
+        float* stripe = ctx.packed_b_base + pool_slot() * ctx.stripe_elems;
+        for (std::int64_t t = begin; t < end; ++t) {
+          const std::int64_t g = t / ctx.grid.col_stripes;
+          const std::int64_t s = t % ctx.grid.col_stripes;
+          const std::int64_t jc = s * ctx.grid.panels_per_stripe * kGemmNR;
+          const std::int64_t nc =
+              std::min(ctx.grid.panels_per_stripe * kGemmNR, ctx.n - jc);
+          const std::int64_t tile_begin = g * ctx.grid.tiles_per_group;
+          const std::int64_t tile_end = std::min(
+              tile_begin + ctx.grid.tiles_per_group, ctx.ic_tiles);
+          for (std::int64_t pc = 0; pc < ctx.k; pc += kGemmKC) {
+            const std::int64_t kc = std::min(kGemmKC, ctx.k - pc);
+            pack_b_panel(ctx.trans_b, ctx.b, ctx.ldb, pc, jc, kc, nc, stripe);
+            const float beta_eff = pc == 0 ? ctx.beta : 1.0f;
+            for (std::int64_t tt = tile_begin; tt < tile_end; ++tt) {
+              run_ic_tile(ctx.trans_a, ctx.a, ctx.lda, tt * kGemmMC, pc, jc,
+                          ctx.m, kc, nc, ctx.alpha, beta_eff, stripe, ctx.c,
+                          ctx.ldc, local_scratch().packed_a);
+            }
+          }
+        }
+      });
+}
+
 // Shared driver for the serial and pooled paths. The jc/pc loop nest runs on
 // the calling thread (B is packed once per (jc, pc) and reused across the
 // whole ic sweep); the ic tiles either run in order (serial) or are
 // distributed across the pool. Both orders compute each C element with an
 // identical floating-point operation sequence, so results are bit-identical.
+// The kCols/kGrid splits route to gemm_blocked_grid instead — same
+// operation sequence per element, different task decomposition.
 void gemm_blocked(Trans trans_a, Trans trans_b, std::int64_t m, std::int64_t n,
                   std::int64_t k, float alpha, const float* a,
                   std::int64_t lda, const float* b, std::int64_t ldb,
                   float beta, float* c, std::int64_t ldc, GemmScratch* scratch,
-                  bool pooled) {
+                  bool pooled, GemmSplit split = GemmSplit::kRows,
+                  int split_ways = 0) {
   if (m == 0 || n == 0) return;
   if (alpha == 0.0f || k == 0) {
     apply_beta(0, m, n, beta, c, ldc);
     return;
   }
   GemmScratch& shared = scratch != nullptr ? *scratch : local_scratch();
+
+  if (pooled) {
+    const int ways = resolve_split_ways(split_ways);
+    if (split == GemmSplit::kAuto) split = gemm_choose_split(m, n, ways);
+    if (split != GemmSplit::kRows) {
+      const TileGrid grid = make_tile_grid(split, m, n, ways);
+      if (grid.tasks() > 1) {
+        gemm_blocked_grid(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb,
+                          beta, c, ldc, shared, grid);
+        return;
+      }
+      // A 1-task grid means the shape cannot use this split; fall through
+      // to the row path (which degrades to serial for a single row tile).
+    }
+  }
 
   for (std::int64_t jc = 0; jc < n; jc += kGemmNC) {
     const std::int64_t nc = std::min(kGemmNC, n - jc);
@@ -520,6 +677,101 @@ inline std::int64_t packed_a_block_size(std::int64_t m, std::int64_t kc) {
   return ((m + kGemmMR - 1) / kGemmMR) * kGemmMR * paired_kc(kc);
 }
 
+// Column-split / 2-D-grid pooled driver (widened s8u8). Mirrors
+// gemm_blocked_grid; the prepacked-A block offset depends only on pc (never
+// on jc or ic), so every task recomputes it locally by accumulating
+// packed_a_block_size over its own ascending pc loop — identical offsets to
+// the serial sweep. Integer accumulation is associative, so the ownership
+// argument alone gives bit-identity.
+void gemm_s8u8_blocked_grid(Trans trans_b, std::int64_t m, std::int64_t n,
+                            std::int64_t k, std::int32_t alpha,
+                            const std::int8_t* a, std::int64_t lda,
+                            const std::int16_t* prepacked_a,
+                            const std::uint8_t* b, std::int64_t ldb,
+                            bool accumulate, std::int32_t* c, std::int64_t ldc,
+                            IntGemmScratch& shared, const TileGrid& grid) {
+  const std::int64_t kcp_max = paired_kc(std::min(k, kGemmKC));
+  const std::int64_t stripe_elems =
+      grid.panels_per_stripe * kGemmNR * kcp_max;
+  ensure_size_s16(shared.packed_b,
+                  static_cast<std::size_t>(pool_slot_count() * stripe_elems));
+
+  struct GridContext {
+    Trans trans_b;
+    const std::int8_t* a;
+    std::int64_t lda;
+    const std::int16_t* prepacked_a;
+    const std::uint8_t* b;
+    std::int64_t ldb, m, n, k;
+    std::int32_t alpha;
+    bool accumulate;
+    std::int32_t* c;
+    std::int64_t ldc;
+    std::int16_t* packed_b_base;
+    std::int64_t stripe_elems, ic_tiles;
+    TileGrid grid;
+  } ctx;
+  ctx.trans_b = trans_b;
+  ctx.a = a;
+  ctx.lda = lda;
+  ctx.prepacked_a = prepacked_a;
+  ctx.b = b;
+  ctx.ldb = ldb;
+  ctx.m = m;
+  ctx.n = n;
+  ctx.k = k;
+  ctx.alpha = alpha;
+  ctx.accumulate = accumulate;
+  ctx.c = c;
+  ctx.ldc = ldc;
+  ctx.packed_b_base = shared.packed_b.data();
+  ctx.stripe_elems = stripe_elems;
+  ctx.ic_tiles = (m + kGemmMC - 1) / kGemmMC;
+  ctx.grid = grid;
+  parallel_for_chunked(
+      0, grid.tasks(), [&ctx](std::int64_t begin, std::int64_t end) {
+        std::int16_t* stripe =
+            ctx.packed_b_base + pool_slot() * ctx.stripe_elems;
+        for (std::int64_t t = begin; t < end; ++t) {
+          const std::int64_t g = t / ctx.grid.col_stripes;
+          const std::int64_t s = t % ctx.grid.col_stripes;
+          const std::int64_t jc = s * ctx.grid.panels_per_stripe * kGemmNR;
+          const std::int64_t nc =
+              std::min(ctx.grid.panels_per_stripe * kGemmNR, ctx.n - jc);
+          const std::int64_t tile_begin = g * ctx.grid.tiles_per_group;
+          const std::int64_t tile_end = std::min(
+              tile_begin + ctx.grid.tiles_per_group, ctx.ic_tiles);
+          std::int64_t a_block_offset = 0;
+          for (std::int64_t pc = 0; pc < ctx.k; pc += kGemmKC) {
+            const std::int64_t kc = std::min(kGemmKC, ctx.k - pc);
+            const std::int64_t kcp = paired_kc(kc);
+            pack_b_u8(ctx.trans_b, ctx.b, ctx.ldb, pc, jc, kc, nc, stripe);
+            const bool add_into_c = ctx.accumulate || pc != 0;
+            for (std::int64_t tt = tile_begin; tt < tile_end; ++tt) {
+              const std::int64_t ic = tt * kGemmMC;
+              const std::int16_t* pa;
+              if (ctx.prepacked_a != nullptr) {
+                pa = ctx.prepacked_a + a_block_offset +
+                     (ic / kGemmMR) * kGemmMR * kcp;
+              } else {
+                const std::int64_t mc = std::min(kGemmMC, ctx.m - ic);
+                const std::int64_t a_panels = (mc + kGemmMR - 1) / kGemmMR;
+                std::vector<std::int16_t>& storage =
+                    local_int_scratch().packed_a;
+                ensure_size_s16(
+                    storage, static_cast<std::size_t>(a_panels * kGemmMR * kcp));
+                pack_a_s8(ctx.a, ctx.lda, ic, pc, mc, kc, storage.data());
+                pa = storage.data();
+              }
+              run_ic_tile_int(ic, jc, ctx.m, kc, nc, ctx.alpha, add_into_c,
+                              pa, stripe, ctx.c, ctx.ldc);
+            }
+            a_block_offset += packed_a_block_size(ctx.m, kc);
+          }
+        }
+      });
+}
+
 // `prepacked_a` may be null (A packed per (ic, pc) tile into scratch — the
 // one-shot path) or point at a gemm_s8u8_pack_a layout (weights packed once
 // at graph-lowering time).
@@ -529,7 +781,8 @@ void gemm_s8u8_blocked(Trans trans_b, std::int64_t m, std::int64_t n,
                        const std::int16_t* prepacked_a, const std::uint8_t* b,
                        std::int64_t ldb, bool accumulate, std::int32_t* c,
                        std::int64_t ldc, IntGemmScratch* scratch,
-                       bool pooled) {
+                       bool pooled, GemmSplit split = GemmSplit::kRows,
+                       int split_ways = 0) {
   if (m == 0 || n == 0) return;
   if (alpha == 0 || k == 0) {
     if (!accumulate) {
@@ -540,6 +793,19 @@ void gemm_s8u8_blocked(Trans trans_b, std::int64_t m, std::int64_t n,
     return;
   }
   IntGemmScratch& shared = scratch != nullptr ? *scratch : local_int_scratch();
+
+  if (pooled) {
+    const int ways = resolve_split_ways(split_ways);
+    if (split == GemmSplit::kAuto) split = gemm_choose_split(m, n, ways);
+    if (split != GemmSplit::kRows) {
+      const TileGrid grid = make_tile_grid(split, m, n, ways);
+      if (grid.tasks() > 1) {
+        gemm_s8u8_blocked_grid(trans_b, m, n, k, alpha, a, lda, prepacked_a,
+                               b, ldb, accumulate, c, ldc, shared, grid);
+        return;
+      }
+    }
+  }
 
   for (std::int64_t jc = 0; jc < n; jc += kGemmNC) {
     const std::int64_t nc = std::min(kGemmNC, n - jc);
@@ -1001,6 +1267,85 @@ void run_ic_tile_quad(QuadKernel kernel, std::int64_t ic, std::int64_t jc,
   }
 }
 
+// Column-split / 2-D-grid pooled driver (quad-layout kernels). A is always
+// prepacked; the per-pc block offset is a pure function of (kernel, m, pc),
+// so each task accumulates it locally over its own ascending pc loop.
+void gemm_s8u8_quad_blocked_grid(QuadKernel kernel, Trans trans_b,
+                                 std::int64_t m, std::int64_t n,
+                                 std::int64_t k, std::int32_t alpha,
+                                 const std::uint8_t* prepacked_a,
+                                 const std::uint8_t* b, std::int64_t ldb,
+                                 bool accumulate, std::int32_t* c,
+                                 std::int64_t ldc, IntGemmScratch& shared,
+                                 const TileGrid& grid) {
+  const std::int64_t kcq_max = quad_kc(std::min(k, kGemmKC));
+  const std::int64_t stripe_elems =
+      grid.panels_per_stripe * kGemmNR * kcq_max;
+  ensure_size_u8(shared.packed_b_quad,
+                 static_cast<std::size_t>(pool_slot_count() * stripe_elems));
+
+  struct GridContext {
+    QuadKernel kernel;
+    Trans trans_b;
+    const std::uint8_t* prepacked_a;
+    const std::uint8_t* b;
+    std::int64_t ldb, m, n, k;
+    std::int32_t alpha;
+    bool accumulate;
+    std::int32_t* c;
+    std::int64_t ldc;
+    std::uint8_t* packed_b_base;
+    std::int64_t stripe_elems, ic_tiles;
+    TileGrid grid;
+  } ctx;
+  ctx.kernel = kernel;
+  ctx.trans_b = trans_b;
+  ctx.prepacked_a = prepacked_a;
+  ctx.b = b;
+  ctx.ldb = ldb;
+  ctx.m = m;
+  ctx.n = n;
+  ctx.k = k;
+  ctx.alpha = alpha;
+  ctx.accumulate = accumulate;
+  ctx.c = c;
+  ctx.ldc = ldc;
+  ctx.packed_b_base = shared.packed_b_quad.data();
+  ctx.stripe_elems = stripe_elems;
+  ctx.ic_tiles = (m + kGemmMC - 1) / kGemmMC;
+  ctx.grid = grid;
+  parallel_for_chunked(
+      0, grid.tasks(), [&ctx](std::int64_t begin, std::int64_t end) {
+        std::uint8_t* stripe =
+            ctx.packed_b_base + pool_slot() * ctx.stripe_elems;
+        for (std::int64_t t = begin; t < end; ++t) {
+          const std::int64_t g = t / ctx.grid.col_stripes;
+          const std::int64_t s = t % ctx.grid.col_stripes;
+          const std::int64_t jc = s * ctx.grid.panels_per_stripe * kGemmNR;
+          const std::int64_t nc =
+              std::min(ctx.grid.panels_per_stripe * kGemmNR, ctx.n - jc);
+          const std::int64_t tile_begin = g * ctx.grid.tiles_per_group;
+          const std::int64_t tile_end = std::min(
+              tile_begin + ctx.grid.tiles_per_group, ctx.ic_tiles);
+          std::int64_t a_block_offset = 0;
+          for (std::int64_t pc = 0; pc < ctx.k; pc += kGemmKC) {
+            const std::int64_t kc = std::min(kGemmKC, ctx.k - pc);
+            pack_b_u8_quad(ctx.trans_b, ctx.b, ctx.ldb, pc, jc, kc, nc,
+                           stripe);
+            const bool add_into_c = ctx.accumulate || pc != 0;
+            const std::uint8_t* a_block = ctx.prepacked_a + a_block_offset;
+            for (std::int64_t tt = tile_begin; tt < tile_end; ++tt) {
+              run_ic_tile_quad(ctx.kernel, tt * kGemmMC, jc, ctx.m, kc, nc,
+                               ctx.alpha, add_into_c, a_block, stripe, ctx.c,
+                               ctx.ldc);
+            }
+            a_block_offset +=
+                quad_packed_a_block_bytes(ctx.kernel, ctx.m, kc);
+          }
+        }
+      });
+}
+
 // Shared blocked driver for the quad-layout kernels. Identical NC/KC/MC
 // split and MC-row-tile pooled distribution as gemm_s8u8_blocked, so the
 // serial/pooled bit-identity argument carries over verbatim. A is always
@@ -1010,7 +1355,9 @@ void gemm_s8u8_quad_blocked(QuadKernel kernel, Trans trans_b, std::int64_t m,
                             const std::uint8_t* prepacked_a,
                             const std::uint8_t* b, std::int64_t ldb,
                             bool accumulate, std::int32_t* c, std::int64_t ldc,
-                            IntGemmScratch* scratch, bool pooled) {
+                            IntGemmScratch* scratch, bool pooled,
+                            GemmSplit split = GemmSplit::kRows,
+                            int split_ways = 0) {
   if (m == 0 || n == 0) return;
   if (alpha == 0 || k == 0) {
     if (!accumulate) {
@@ -1021,6 +1368,20 @@ void gemm_s8u8_quad_blocked(QuadKernel kernel, Trans trans_b, std::int64_t m,
     return;
   }
   IntGemmScratch& shared = scratch != nullptr ? *scratch : local_int_scratch();
+
+  if (pooled) {
+    const int ways = resolve_split_ways(split_ways);
+    if (split == GemmSplit::kAuto) split = gemm_choose_split(m, n, ways);
+    if (split != GemmSplit::kRows) {
+      const TileGrid grid = make_tile_grid(split, m, n, ways);
+      if (grid.tasks() > 1) {
+        gemm_s8u8_quad_blocked_grid(kernel, trans_b, m, n, k, alpha,
+                                    prepacked_a, b, ldb, accumulate, c, ldc,
+                                    shared, grid);
+        return;
+      }
+    }
+  }
 
   for (std::int64_t jc = 0; jc < n; jc += kGemmNC) {
     const std::int64_t nc = std::min(kGemmNC, n - jc);
@@ -1102,6 +1463,25 @@ inline bool pooled_int_dispatch(std::int64_t m, std::int64_t n,
 
 }  // namespace
 
+GemmSplit gemm_choose_split(std::int64_t m, std::int64_t n, int ways) {
+  const int w = resolve_split_ways(ways);
+  const std::int64_t ic_tiles = (m + kGemmMC - 1) / kGemmMC;
+  const std::int64_t col_panels = (n + kGemmNR - 1) / kGemmNR;
+  if (w <= 1 || col_panels <= 1) return GemmSplit::kRows;
+  if (ic_tiles >= w) return GemmSplit::kRows;
+  if (ic_tiles <= 1) return GemmSplit::kCols;
+  return GemmSplit::kGrid;
+}
+
+std::int64_t gemm_split_task_count(GemmSplit split, std::int64_t m,
+                                   std::int64_t n, int ways) {
+  if (m <= 0 || n <= 0) return 1;
+  const int w = resolve_split_ways(ways);
+  if (split == GemmSplit::kAuto) split = gemm_choose_split(m, n, w);
+  if (split == GemmSplit::kRows) return (m + kGemmMC - 1) / kGemmMC;
+  return make_tile_grid(split, m, n, w).tasks();
+}
+
 void gemm(Trans trans_a, Trans trans_b, std::int64_t m, std::int64_t n,
           std::int64_t k, float alpha, const float* a, std::int64_t lda,
           const float* b, std::int64_t ldb, float beta, float* c,
@@ -1115,13 +1495,13 @@ void gemm_parallel(Trans trans_a, Trans trans_b, std::int64_t m,
                    std::int64_t n, std::int64_t k, float alpha, const float* a,
                    std::int64_t lda, const float* b, std::int64_t ldb,
                    float beta, float* c, std::int64_t ldc,
-                   GemmScratch* scratch) {
+                   GemmScratch* scratch, GemmSplit split, int split_ways) {
   check_extents(trans_a, trans_b, m, n, k);
   // Only fan out when there is enough arithmetic to amortize the pool wakeup.
   const std::int64_t flops = 2 * m * n * k;
   const bool pooled = flops >= (1 << 18) && !inside_parallel_region();
   gemm_blocked(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc,
-               scratch, pooled);
+               scratch, pooled, split, split_ways);
 }
 
 void gemm_s8u8(Trans trans_b, std::int64_t m, std::int64_t n, std::int64_t k,
@@ -1138,12 +1518,12 @@ void gemm_s8u8_parallel(Trans trans_b, std::int64_t m, std::int64_t n,
                         const std::int8_t* a, std::int64_t lda,
                         const std::uint8_t* b, std::int64_t ldb,
                         bool accumulate, std::int32_t* c, std::int64_t ldc,
-                        IntGemmScratch* scratch) {
+                        IntGemmScratch* scratch, GemmSplit split,
+                        int split_ways) {
   check_int_extents(trans_b, m, n, k, alpha);
-  const std::int64_t ops = 2 * m * n * k;
-  const bool pooled = ops >= (1 << 18) && !inside_parallel_region();
   gemm_s8u8_blocked(trans_b, m, n, k, alpha, a, lda, /*prepacked_a=*/nullptr,
-                    b, ldb, accumulate, c, ldc, scratch, pooled);
+                    b, ldb, accumulate, c, ldc, scratch,
+                    pooled_int_dispatch(m, n, k), split, split_ways);
 }
 
 std::int64_t gemm_s8u8_packed_a_size(std::int64_t m, std::int64_t k) {
@@ -1182,12 +1562,12 @@ void gemm_s8u8_prepacked_parallel(Trans trans_b, std::int64_t m,
                                   const std::int16_t* packed_a,
                                   const std::uint8_t* b, std::int64_t ldb,
                                   bool accumulate, std::int32_t* c,
-                                  std::int64_t ldc, IntGemmScratch* scratch) {
+                                  std::int64_t ldc, IntGemmScratch* scratch,
+                                  GemmSplit split, int split_ways) {
   check_int_extents(trans_b, m, n, k, alpha);
-  const std::int64_t ops = 2 * m * n * k;
-  const bool pooled = ops >= (1 << 18) && !inside_parallel_region();
   gemm_s8u8_blocked(trans_b, m, n, k, alpha, /*a=*/nullptr, /*lda=*/0,
-                    packed_a, b, ldb, accumulate, c, ldc, scratch, pooled);
+                    packed_a, b, ldb, accumulate, c, ldc, scratch,
+                    pooled_int_dispatch(m, n, k), split, split_ways);
 }
 
 std::int64_t gemm_s8u8_lowbit_packed_a_size(std::int64_t m, std::int64_t k) {
@@ -1278,12 +1658,13 @@ void gemm_s8u8_lowbit_prepacked_parallel(Trans trans_b, std::int64_t m,
                                          const std::uint8_t* b,
                                          std::int64_t ldb, bool accumulate,
                                          std::int32_t* c, std::int64_t ldc,
-                                         IntGemmScratch* scratch) {
+                                         IntGemmScratch* scratch,
+                                         GemmSplit split, int split_ways) {
   check_lowbit_extents(trans_b, m, n, k, alpha);
   gemm_s8u8_quad_blocked(QuadKernel::kLowBit, trans_b, m, n, k, alpha,
                          reinterpret_cast<const std::uint8_t*>(packed_a), b,
                          ldb, accumulate, c, ldc, scratch,
-                         pooled_int_dispatch(m, n, k));
+                         pooled_int_dispatch(m, n, k), split, split_ways);
 }
 
 void gemm_s8u8_lowbit_wide_prepacked(Trans trans_b, std::int64_t m,
@@ -1304,12 +1685,12 @@ void gemm_s8u8_lowbit_wide_prepacked_parallel(
     Trans trans_b, std::int64_t m, std::int64_t n, std::int64_t k,
     std::int32_t alpha, const std::int8_t* packed_a, const std::uint8_t* b,
     std::int64_t ldb, bool accumulate, std::int32_t* c, std::int64_t ldc,
-    IntGemmScratch* scratch) {
+    IntGemmScratch* scratch, GemmSplit split, int split_ways) {
   check_lowbit_extents(trans_b, m, n, k, alpha);
   gemm_s8u8_quad_blocked(QuadKernel::kLowBitWide, trans_b, m, n, k, alpha,
                          reinterpret_cast<const std::uint8_t*>(packed_a), b,
                          ldb, accumulate, c, ldc, scratch,
-                         pooled_int_dispatch(m, n, k));
+                         pooled_int_dispatch(m, n, k), split, split_ways);
 }
 
 void gemm_s8u8_nibble_prepacked(Trans trans_b, std::int64_t m, std::int64_t n,
@@ -1331,11 +1712,12 @@ void gemm_s8u8_nibble_prepacked_parallel(Trans trans_b, std::int64_t m,
                                          const std::uint8_t* b,
                                          std::int64_t ldb, bool accumulate,
                                          std::int32_t* c, std::int64_t ldc,
-                                         IntGemmScratch* scratch) {
+                                         IntGemmScratch* scratch,
+                                         GemmSplit split, int split_ways) {
   check_lowbit_extents(trans_b, m, n, k, alpha);
   gemm_s8u8_quad_blocked(QuadKernel::kNibble, trans_b, m, n, k, alpha,
                          packed_a, b, ldb, accumulate, c, ldc, scratch,
-                         pooled_int_dispatch(m, n, k));
+                         pooled_int_dispatch(m, n, k), split, split_ways);
 }
 
 }  // namespace csq

@@ -25,12 +25,16 @@
 // steady-state calls perform no heap allocations.
 //
 // Determinism contract: for fixed operands, `gemm` and `gemm_parallel`
-// produce BIT-IDENTICAL results regardless of thread count. The parallel
-// path distributes whole (ic, jr) tiles of C across the pool; each C element
-// is owned by exactly one tile, and the per-element accumulation order
+// produce BIT-IDENTICAL results regardless of thread count OR split mode.
+// The parallel path distributes whole tiles of C across the pool — MC row
+// tiles (the classic split), NR-aligned column stripes (wide-N/small-M
+// shapes), or a 2-D (row tile x column stripe) grid; each C element is
+// owned by exactly one tile, and the per-element accumulation order
 // (pc-panel order, then packed-k order inside the micro-kernel) is a
-// function of the blocking constants only — never of the thread count. The
-// tier-1 GEMM parity tests assert this with exact equality.
+// function of the blocking constants only — never of the thread count or
+// of which split carved the tile. Column stripes are NR-aligned, so every
+// packed B micro-panel holds exactly the columns the serial sweep packs.
+// The tier-1 GEMM parity tests assert this with exact equality.
 //
 // `gemm` is strictly serial so it can run inside batch-parallel loops;
 // `gemm_parallel` fans out across the global thread pool and is used at top
@@ -54,10 +58,43 @@ constexpr std::int64_t kGemmMC = 64;
 constexpr std::int64_t kGemmKC = 256;
 constexpr std::int64_t kGemmNC = 1024;
 
+// How the pooled drivers carve C's tile grid across the thread pool. Every
+// mode yields bit-identical results (see the determinism contract above);
+// the choice only affects which shapes actually fan out.
+//
+//  * kRows: MC row tiles — the classic split. Best when m spans several MC
+//    blocks; degenerates to serial for m <= kGemmMC (one tile).
+//  * kCols: NR-aligned column stripes. Each task owns a stripe of C columns
+//    and runs the full pc depth loop itself, packing op(B) for its stripe
+//    into a per-slot region of the packed-B scratch (`pool_slot()` indexed,
+//    one stripe region per pool slot — the pool runs one top-level task
+//    graph at a time, so slots are never shared). The split wide-N/small-M
+//    shapes (Linear heads, batch-1 conv GEMMs) need.
+//  * kGrid: 2-D (row tile group x column stripe) grid for shapes big in
+//    both dimensions when neither 1-D split alone fills the pool.
+//  * kAuto: `gemm_choose_split` picks by shape — see its comment.
+enum class GemmSplit { kAuto = -1, kRows = 0, kCols = 1, kGrid = 2 };
+
+// Shape policy for GemmSplit::kAuto with `ways` workers (0 = pool width):
+// row tiles >= ways -> kRows (classic split already fills the pool);
+// otherwise a single row tile -> kCols; otherwise kGrid. Exposed so tests
+// and the bench can pin the policy (an m<=kGemmMC wide-N GEMM must never
+// fall back to the serial row branch).
+GemmSplit gemm_choose_split(std::int64_t m, std::int64_t n, int ways);
+
+// Number of independent tasks the pooled driver schedules for this shape
+// under `split` (kAuto resolved first) with `ways` workers. 1 means the
+// work runs on the calling thread — the regression tests pin that wide-N
+// shapes with m as small as 1 still report > 1.
+std::int64_t gemm_split_task_count(GemmSplit split, std::int64_t m,
+                                   std::int64_t n, int ways);
+
 // Reusable packing scratch. Grow-once: buffers expand to the largest panel
 // seen and are then recycled, so a layer that owns a GemmScratch performs
 // zero steady-state allocations. When no scratch is supplied the kernels use
 // an internal thread-local instance (one per pool thread, also grow-once).
+// Column-split/grid runs size `packed_b` as pool_slot_count() stripe
+// regions (still grow-once, still kKC * kNC elements per slot at most).
 struct GemmScratch {
   std::vector<float> packed_a;  // kMC x kKC panel, MR-tall micro-panels
   std::vector<float> packed_b;  // kKC x kNC panel, NR-wide micro-panels
@@ -68,11 +105,16 @@ void gemm(Trans trans_a, Trans trans_b, std::int64_t m, std::int64_t n,
           const float* b, std::int64_t ldb, float beta, float* c,
           std::int64_t ldc, GemmScratch* scratch = nullptr);
 
+// `split` picks the tile decomposition (kAuto resolves by shape);
+// `split_ways` forces the decomposition width (0 = pool thread count) so
+// tests and benches can exercise 2/4/8-way grids on any machine — the
+// result is bit-identical either way, only the task grid changes.
 void gemm_parallel(Trans trans_a, Trans trans_b, std::int64_t m,
                    std::int64_t n, std::int64_t k, float alpha, const float* a,
                    std::int64_t lda, const float* b, std::int64_t ldb,
                    float beta, float* c, std::int64_t ldc,
-                   GemmScratch* scratch = nullptr);
+                   GemmScratch* scratch = nullptr,
+                   GemmSplit split = GemmSplit::kAuto, int split_ways = 0);
 
 // ------------------------------------------------- integer (serving) GEMM --
 //
@@ -111,7 +153,9 @@ void gemm_s8u8_parallel(Trans trans_b, std::int64_t m, std::int64_t n,
                         const std::int8_t* a, std::int64_t lda,
                         const std::uint8_t* b, std::int64_t ldb,
                         bool accumulate, std::int32_t* c, std::int64_t ldc,
-                        IntGemmScratch* scratch = nullptr);
+                        IntGemmScratch* scratch = nullptr,
+                        GemmSplit split = GemmSplit::kAuto,
+                        int split_ways = 0);
 
 // Weight matrices are static at serving time: pack A into the kernel's
 // micro-panel layout ONCE (all KC-depth blocks, MR-tall panels) and reuse it
@@ -135,7 +179,9 @@ void gemm_s8u8_prepacked_parallel(Trans trans_b, std::int64_t m,
                                   const std::uint8_t* b, std::int64_t ldb,
                                   bool accumulate, std::int32_t* c,
                                   std::int64_t ldc,
-                                  IntGemmScratch* scratch = nullptr);
+                                  IntGemmScratch* scratch = nullptr,
+                                  GemmSplit split = GemmSplit::kAuto,
+                                  int split_ways = 0);
 
 // --------------------------------------------- sub-byte (low-bit) GEMM ----
 //
@@ -200,7 +246,9 @@ void gemm_s8u8_lowbit_prepacked_parallel(Trans trans_b, std::int64_t m,
                                          const std::uint8_t* b,
                                          std::int64_t ldb, bool accumulate,
                                          std::int32_t* c, std::int64_t ldc,
-                                         IntGemmScratch* scratch = nullptr);
+                                         IntGemmScratch* scratch = nullptr,
+                                         GemmSplit split = GemmSplit::kAuto,
+                                         int split_ways = 0);
 
 void gemm_s8u8_lowbit_wide_prepacked(Trans trans_b, std::int64_t m,
                                      std::int64_t n, std::int64_t k,
@@ -215,7 +263,8 @@ void gemm_s8u8_lowbit_wide_prepacked_parallel(
     Trans trans_b, std::int64_t m, std::int64_t n, std::int64_t k,
     std::int32_t alpha, const std::int8_t* packed_a, const std::uint8_t* b,
     std::int64_t ldb, bool accumulate, std::int32_t* c, std::int64_t ldc,
-    IntGemmScratch* scratch = nullptr);
+    IntGemmScratch* scratch = nullptr, GemmSplit split = GemmSplit::kAuto,
+    int split_ways = 0);
 
 void gemm_s8u8_nibble_prepacked(Trans trans_b, std::int64_t m, std::int64_t n,
                                 std::int64_t k, std::int32_t alpha,
@@ -232,6 +281,8 @@ void gemm_s8u8_nibble_prepacked_parallel(Trans trans_b, std::int64_t m,
                                          const std::uint8_t* b,
                                          std::int64_t ldb, bool accumulate,
                                          std::int32_t* c, std::int64_t ldc,
-                                         IntGemmScratch* scratch = nullptr);
+                                         IntGemmScratch* scratch = nullptr,
+                                         GemmSplit split = GemmSplit::kAuto,
+                                         int split_ways = 0);
 
 }  // namespace csq

@@ -105,6 +105,17 @@ int pool_slot();
 // Number of distinct pool_slot() values: global_pool().num_threads().
 int pool_slot_count();
 
+// Default serial-fallback threshold for `parallel_for`: ranges of <= 2
+// indices run on the caller. Audit note (kept current with the GEMM column
+// split): this threshold gates BATCH-level loops only — a 1- or 2-sample
+// batch deliberately stays on the caller because each sample's GEMM can fan
+// out on its own (the pooled drivers' kCols/kGrid splits parallelize even
+// m=1 wide-N problems, and their tile distribution goes through
+// `parallel_for_chunked`, whose threshold is 1, so a profitable 2-task
+// column split is never silently serialized by this constant). Call sites
+// that want a different tradeoff pass an explicit threshold.
+inline constexpr std::int64_t kParallelForSerialThreshold = 2;
+
 // Convenience wrappers over the global pool. Falls back to a serial loop for
 // tiny ranges where threading would cost more than it saves.
 //
@@ -117,7 +128,7 @@ int pool_slot_count();
 // buffer, keeping the submission heap-free as well.
 template <typename Fn>
 void parallel_for(std::int64_t begin, std::int64_t end, const Fn& fn,
-                  std::int64_t serial_threshold = 2) {
+                  std::int64_t serial_threshold = kParallelForSerialThreshold) {
   if (end - begin <= serial_threshold || inside_parallel_region()) {
     for (std::int64_t i = begin; i < end; ++i) fn(i);
     return;

@@ -580,5 +580,109 @@ TEST(BatchingServer, SteadyStateRequestPathIsAllocationFree) {
   server.stop();
 }
 
+// -------------------------------------------- stats-path concurrency ----
+
+TEST(BatchingServer, StatsSnapshotsRaceProducersSafely) {
+  // Regression pin for the stats-path audit: stats() reads the flush-wait
+  // ring, the counter struct and the liveness gauges while workers mutate
+  // all three on every flush. Both sides hold the shard mutex, so a
+  // snapshot must never be torn — this hammers the pair under the tsan
+  // preset (serve_runtime label), where any unlocked access in either
+  // direction is a hard failure, not a flake.
+  runtime::CompiledGraph graph = make_calibrated_graph();
+  ExpectedSet expected = make_expected(graph, 8, 7800);
+
+  serve::ServerOptions options;
+  options.max_batch = 4;
+  options.max_latency_us = 100;
+  serve::BatchingServer server(options);
+  std::vector<runtime::CompiledGraph> replicas;
+  replicas.push_back(runtime::replicate(graph));
+  replicas.push_back(runtime::replicate(graph));
+  server.add_model("m", std::move(replicas));
+  server.start();
+
+  std::atomic<bool> done{false};
+  std::thread reader([&] {
+    while (!done.load()) {
+      const auto stats = server.stats("m");
+      // Internally consistent even mid-flood: gauges stay in range and the
+      // p99 always comes from real (non-negative) wait samples.
+      ASSERT_GE(stats.flush_wait_p99_us, 0);
+      ASSERT_GE(stats.replicas_active, 0);
+      ASSERT_LE(stats.max_batch_observed, 4);
+    }
+  });
+  EXPECT_EQ(run_producers(server, "m", expected, /*producers=*/4,
+                          /*iterations=*/50),
+            0u);
+  done.store(true);
+  reader.join();
+
+  const auto stats = server.stats("m");
+  EXPECT_EQ(stats.requests, 4u * 50u);
+  EXPECT_GE(stats.batches, stats.requests / 4);
+  server.stop();
+}
+
+// ---------------------------------------------- idle-sibling borrowing ----
+
+TEST(BatchingServer, BorrowedIdleCoresKeepBatch1BitIdentity) {
+  // borrow_idle_cores at max_batch=1: every flush of the single replica is
+  // a sole flush, so every forward runs with the borrowed in-graph pooled
+  // execution — and must stay bit-identical to the serial oracle (the
+  // wide-N column split's determinism contract, end to end).
+  runtime::CompiledGraph graph = make_calibrated_graph();
+  ExpectedSet expected = make_expected(graph, 8, 7900);
+
+  serve::ServerOptions options;
+  options.max_batch = 1;
+  options.max_latency_us = 100;
+  options.borrow_idle_cores = true;
+  serve::BatchingServer server(options);
+  std::vector<runtime::CompiledGraph> replicas;
+  replicas.push_back(runtime::replicate(graph));
+  replicas.front().set_pooled(false);
+  server.add_model("m", std::move(replicas));
+  server.start();
+
+  EXPECT_EQ(run_producers(server, "m", expected, /*producers=*/1,
+                          /*iterations=*/24),
+            0u);
+  const auto stats = server.stats("m");
+  EXPECT_EQ(stats.requests, 24u);
+  EXPECT_EQ(stats.borrowed_flushes, 24u);  // sole replica: every flush
+  server.stop();
+}
+
+TEST(BatchingServer, BorrowingStaysBitIdenticalUnderContention) {
+  // Two replicas, concurrent producers: grants flip on and off as flushes
+  // overlap. The mode a batch happens to run in must never show in the
+  // logits, and the release guard must leave the counter balanced (later
+  // sole flushes still get grants).
+  runtime::CompiledGraph graph = make_calibrated_graph();
+  ExpectedSet expected = make_expected(graph, 8, 8000);
+
+  serve::ServerOptions options;
+  options.max_batch = 2;
+  options.max_latency_us = 100;
+  options.borrow_idle_cores = true;
+  serve::BatchingServer server(options);
+  std::vector<runtime::CompiledGraph> replicas;
+  replicas.push_back(runtime::replicate(graph));
+  replicas.push_back(runtime::replicate(graph));
+  server.add_model("m", std::move(replicas));
+  server.start();
+
+  EXPECT_EQ(run_producers(server, "m", expected, /*producers=*/4,
+                          /*iterations=*/25),
+            0u);
+  const auto stats = server.stats("m");
+  EXPECT_EQ(stats.requests, 100u);
+  EXPECT_GE(stats.borrowed_flushes, 1u);
+  EXPECT_LE(stats.borrowed_flushes, stats.batches);
+  server.stop();
+}
+
 }  // namespace
 }  // namespace csq

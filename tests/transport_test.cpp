@@ -16,6 +16,7 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -474,6 +475,72 @@ TEST(ReplicaScaling, TargetsOutsideTheSlotRangeAreRejected) {
   // A no-op target is accepted and changes nothing.
   server.set_replicas("m", 1);
   EXPECT_EQ(server.stats("m").replicas_active, 1);
+  server.stop();
+}
+
+TEST(ReplicaScaling, SetReplicasOutsideTheLifecycleIsANoOp) {
+  // Lifecycle races are no-ops, never CHECKs: the autoscaler's policy
+  // thread may tick concurrently with stop(), and a throw there cannot
+  // propagate — it would std::terminate the process. Argument validation
+  // still throws regardless of lifecycle state (caller bugs, not races).
+  runtime::CompiledGraph graph = make_calibrated_graph();
+  serve::ServerOptions options;
+  options.max_replicas = 2;
+  serve::BatchingServer server(options);
+  std::vector<runtime::CompiledGraph> replicas;
+  replicas.push_back(std::move(graph));
+  server.add_model("m", std::move(replicas));
+
+  server.set_replicas("m", 2);  // before start: accepted, no effect
+  EXPECT_THROW(server.set_replicas("ghost", 1), check_error);
+  EXPECT_THROW(server.set_replicas("m", 0), check_error);
+  EXPECT_EQ(server.stats("m").replicas_active, 0);
+
+  server.start();
+  EXPECT_EQ(server.stats("m").replicas_active, 1);
+  server.stop();
+
+  server.set_replicas("m", 2);  // after stop: accepted, no effect
+  EXPECT_EQ(server.stats("m").replicas_active, 0);
+}
+
+TEST(Autoscaler, TicksAcrossServerStopAreHarmless) {
+  // Shutdown-ordering pin (runs under the tsan preset): stopping the
+  // SERVER first leaves the autoscaler ticking against a stopped server.
+  // Every tick it lands — including one mid-stop — must no-op instead of
+  // crashing the policy thread.
+  runtime::CompiledGraph graph = make_calibrated_graph();
+  serve::ServerOptions server_options;
+  server_options.max_replicas = 2;
+  serve::BatchingServer server(server_options);
+  std::vector<runtime::CompiledGraph> replicas;
+  replicas.push_back(std::move(graph));
+  server.add_model("m", std::move(replicas));
+  server.start();
+
+  serve::AutoscalerOptions policy;
+  policy.interval_us = 200;  // tick as fast as possible across the stop
+  policy.min_replicas = 1;
+  policy.max_replicas = 2;
+  policy.down_idle_ticks = 1;  // every idle tick proposes a target change
+  policy.cooldown_ticks = 0;
+  serve::ReplicaAutoscaler autoscaler(server, "m", policy);
+  autoscaler.start();
+
+  // Force targets above the floor so the idle policy keeps proposing
+  // scale-downs — ticks that call set_replicas, not just observe.
+  server.set_replicas("m", 2);
+  server.stop();
+  // Let ticks land on the stopped server before the autoscaler goes away.
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  autoscaler.stop();
+
+  // And the reverse order on a fresh cycle still works.
+  server.start();
+  serve::ReplicaAutoscaler late(server, "m", policy);
+  late.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  late.stop();
   server.stop();
 }
 
